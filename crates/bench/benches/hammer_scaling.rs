@@ -1,0 +1,71 @@
+//! Table 3 / §6.6: HAMMER's O(N²) runtime scaling in the number of
+//! unique outcomes, and the weight-derivation kernel on its own.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use hammer_core::{global_chs, Hammer};
+use hammer_dist::{BitString, Distribution};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn synthetic(unique: usize, n_bits: usize, seed: u64) -> Distribution {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mask = if n_bits == 64 {
+        u64::MAX
+    } else {
+        (1u64 << n_bits) - 1
+    };
+    let mut keys = std::collections::HashSet::with_capacity(unique);
+    while keys.len() < unique {
+        keys.insert(rng.gen::<u64>() & mask);
+    }
+    let pairs = keys
+        .into_iter()
+        .map(|k| (BitString::new(k, n_bits), rng.gen::<f64>() + 1e-6));
+    Distribution::from_probs(n_bits, pairs).expect("valid distribution")
+}
+
+fn bench_reconstruct(c: &mut Criterion) {
+    let mut group = c.benchmark_group("hammer_reconstruct");
+    for &unique in &[512usize, 2048, 8192] {
+        let dist = synthetic(unique, 24, 7);
+        group.throughput(Throughput::Elements((unique * unique) as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(unique), &dist, |b, d| {
+            let hammer = Hammer::new();
+            b.iter(|| hammer.reconstruct(d));
+        });
+    }
+    group.finish();
+}
+
+fn bench_width_independence(c: &mut Criterion) {
+    // The paper's Table 3 point: the op count does not depend on the
+    // qubit count (our distance kernel is one XOR + POPCNT either way).
+    let mut group = c.benchmark_group("hammer_width_independence");
+    for &n_bits in &[16usize, 32, 64] {
+        let dist = synthetic(2048, n_bits, 11);
+        group.bench_with_input(BenchmarkId::from_parameter(n_bits), &dist, |b, d| {
+            let hammer = Hammer::new();
+            b.iter(|| hammer.reconstruct(d));
+        });
+    }
+    group.finish();
+}
+
+fn bench_global_chs(c: &mut Criterion) {
+    let mut group = c.benchmark_group("global_chs");
+    for &unique in &[512usize, 2048] {
+        let dist = synthetic(unique, 24, 13);
+        group.throughput(Throughput::Elements((unique * unique) as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(unique), &dist, |b, d| {
+            b.iter(|| global_chs(d.as_slice(), 12));
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_reconstruct, bench_width_independence, bench_global_chs
+}
+criterion_main!(benches);

@@ -1,0 +1,53 @@
+//! Simulator throughput: state-vector gate application and the two
+//! noise engines on a representative BV workload.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hammer_circuits::BernsteinVazirani;
+use hammer_dist::BitString;
+use hammer_sim::{Circuit, DeviceModel, PropagationEngine, StateVector, TrajectoryEngine};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_statevector_gates(c: &mut Criterion) {
+    let mut group = c.benchmark_group("statevector_layer");
+    for &n in &[10usize, 14, 18] {
+        // One H layer + one CX ladder.
+        let mut circuit = Circuit::new(n);
+        for q in 0..n {
+            circuit.h(q);
+        }
+        for q in 0..n - 1 {
+            circuit.cx(q, q + 1);
+        }
+        group.bench_with_input(BenchmarkId::from_parameter(n), &circuit, |b, circ| {
+            b.iter(|| StateVector::from_circuit(circ));
+        });
+    }
+    group.finish();
+}
+
+fn bench_engines(c: &mut Criterion) {
+    let mut group = c.benchmark_group("noise_engines_bv10_1k_trials");
+    let bench = BernsteinVazirani::new(BitString::ones(10));
+    let circuit = bench.circuit();
+    let device = DeviceModel::ibm_paris(bench.num_qubits());
+
+    group.bench_function("propagation", |b| {
+        let engine = PropagationEngine::new(&device);
+        let mut rng = StdRng::seed_from_u64(1);
+        b.iter(|| engine.sample(&circuit, 1024, &mut rng).expect("sampling"));
+    });
+    group.bench_function("trajectory", |b| {
+        let engine = TrajectoryEngine::new(&device);
+        let mut rng = StdRng::seed_from_u64(1);
+        b.iter(|| engine.sample(&circuit, 1024, &mut rng).expect("sampling"));
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_statevector_gates, bench_engines
+}
+criterion_main!(benches);

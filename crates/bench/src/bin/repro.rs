@@ -1,0 +1,56 @@
+//! Regenerates the paper's tables and figures.
+//!
+//! Usage:
+//!
+//! ```text
+//! repro all [--quick]
+//! repro fig8b fig9a table3 [--quick]
+//! repro --list
+//! ```
+
+use std::process::ExitCode;
+
+use hammer_bench::experiments;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() || args.iter().any(|a| a == "--help" || a == "-h") {
+        eprintln!("usage: repro <experiment-id>... | all [--quick]");
+        eprintln!("       repro --list");
+        return ExitCode::FAILURE;
+    }
+    if args.iter().any(|a| a == "--list") {
+        for id in experiments::ALL_IDS {
+            println!("{id}");
+        }
+        return ExitCode::SUCCESS;
+    }
+    let quick = args.iter().any(|a| a == "--quick");
+    let ids: Vec<&str> = if args.iter().any(|a| a == "all") {
+        experiments::ALL_IDS.to_vec()
+    } else {
+        args.iter()
+            .filter(|a| !a.starts_with("--"))
+            .map(String::as_str)
+            .collect()
+    };
+    let mut failed = false;
+    for id in ids {
+        let start = std::time::Instant::now();
+        match experiments::run(id, quick) {
+            Some(report) => {
+                println!("{report}");
+                eprintln!("[{id} finished in {:.1}s]", start.elapsed().as_secs_f64());
+            }
+            None => {
+                eprintln!("unknown experiment id: {id} (try --list)");
+                failed = true;
+            }
+        }
+    }
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

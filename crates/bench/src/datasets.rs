@@ -1,0 +1,388 @@
+//! Synthetic stand-ins for the paper's two experimental datasets
+//! (Tables 1–2): the IBM benchmark suite (BV + QAOA on three Falcon-class
+//! backends) and the Google Sycamore QAOA dataset (grid / 3-regular /
+//! SK Maxcut instances).
+//!
+//! Instance counts, size ranges and layer counts mirror the tables;
+//! every instance is seeded so the whole dataset is reproducible.
+
+use hammer_circuits::BernsteinVazirani;
+use hammer_dist::BitString;
+use hammer_graphs::{generators, Graph};
+use hammer_sim::DeviceModel;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// The three IBM evaluation backends (§5.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IbmBackend {
+    /// IBM-Paris-like preset.
+    Paris,
+    /// IBM-Manhattan-like preset (noisiest).
+    Manhattan,
+    /// IBM-Casablanca-like preset (cleanest).
+    Casablanca,
+}
+
+impl IbmBackend {
+    /// All three backends.
+    pub const ALL: [IbmBackend; 3] = [Self::Paris, Self::Manhattan, Self::Casablanca];
+
+    /// Instantiates the device at width `n`.
+    #[must_use]
+    pub fn device(self, n: usize) -> DeviceModel {
+        match self {
+            Self::Paris => DeviceModel::ibm_paris(n),
+            Self::Manhattan => DeviceModel::ibm_manhattan(n),
+            Self::Casablanca => DeviceModel::ibm_casablanca(n),
+        }
+    }
+
+    /// Short name for reports.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            Self::Paris => "paris",
+            Self::Manhattan => "manhattan",
+            Self::Casablanca => "casablanca",
+        }
+    }
+}
+
+/// One Bernstein–Vazirani instance of the IBM suite.
+#[derive(Debug, Clone)]
+pub struct BvInstance {
+    /// Instance identifier, e.g. `bv-08-k3-paris`.
+    pub id: String,
+    /// The benchmark (key + circuit builder).
+    pub bench: BernsteinVazirani,
+    /// The backend it runs on.
+    pub backend: IbmBackend,
+}
+
+/// The QAOA problem families of the two datasets.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum GraphFamily {
+    /// Random 3-regular graphs (both datasets' core family).
+    ThreeRegular,
+    /// 2-D grid graphs (Google; SWAP-free on Sycamore).
+    Grid,
+    /// Erdős–Rényi with the given edge probability (IBM "Rand Graphs").
+    ErdosRenyi(f64),
+    /// Ring / 2-regular (Fig. 12's low-degree family).
+    Ring,
+    /// Sherrington–Kirkpatrick ±1 complete graphs (Google).
+    SherringtonKirkpatrick,
+}
+
+impl GraphFamily {
+    /// Short name for reports and angle caching.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            Self::ThreeRegular => "3reg",
+            Self::Grid => "grid",
+            Self::ErdosRenyi(_) => "er",
+            Self::Ring => "ring",
+            Self::SherringtonKirkpatrick => "sk",
+        }
+    }
+
+    /// Samples an `n`-node instance of the family.
+    ///
+    /// # Panics
+    ///
+    /// Panics on family-specific size constraints (3-regular needs even
+    /// `n ≥ 4`; ring needs `n ≥ 3`).
+    #[must_use]
+    pub fn sample(self, n: usize, rng: &mut StdRng) -> Graph {
+        match self {
+            Self::ThreeRegular => generators::random_regular(n, 3, rng),
+            Self::Grid => generators::near_square_grid(n),
+            Self::ErdosRenyi(p) => {
+                // Reject disconnected samples: the paper's instances are
+                // connected Maxcut problems.
+                for _ in 0..100 {
+                    let g = generators::erdos_renyi(n, p, rng);
+                    if g.is_connected() {
+                        return g;
+                    }
+                }
+                panic!("failed to sample a connected G({n},{p}) instance");
+            }
+            Self::Ring => generators::ring(n),
+            Self::SherringtonKirkpatrick => generators::sherrington_kirkpatrick(n, rng),
+        }
+    }
+}
+
+/// One QAOA instance of either dataset.
+#[derive(Debug, Clone)]
+pub struct QaoaInstance {
+    /// Instance identifier, e.g. `qaoa-3reg-n10-p2-s0`.
+    pub id: String,
+    /// The problem graph.
+    pub graph: Graph,
+    /// The family it was drawn from.
+    pub family: GraphFamily,
+    /// Number of QAOA layers.
+    pub p: usize,
+    /// Seed index within its `(family, n, p)` group.
+    pub seed: u64,
+}
+
+impl QaoaInstance {
+    /// Samples the instance identified by `(family, n, p, seed)` — the
+    /// same constructor the dataset suites use, exposed for experiments
+    /// that need ad-hoc instances.
+    #[must_use]
+    pub fn with_seed(family: GraphFamily, n: usize, p: usize, seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(
+            0xDA7A_0000 ^ (n as u64) << 32 ^ (p as u64) << 24 ^ seed.wrapping_mul(0x9E37),
+        );
+        Self {
+            id: format!("qaoa-{}-n{n:02}-p{p}-s{seed}", family.name()),
+            graph: family.sample(n, &mut rng),
+            family,
+            p,
+            seed,
+        }
+    }
+
+    /// Number of nodes / qubits.
+    #[must_use]
+    pub fn n(&self) -> usize {
+        self.graph.num_nodes()
+    }
+}
+
+/// Deterministic random BV key of `width` bits (never all-zeros, which
+/// would make the circuit CX-free).
+#[must_use]
+pub fn bv_key(width: usize, seed: u64) -> BitString {
+    let mut rng = StdRng::seed_from_u64(0xB5_0000 ^ (width as u64) << 32 ^ seed);
+    loop {
+        let mask = if width == 64 { u64::MAX } else { (1u64 << width) - 1 };
+        let bits = rng.gen::<u64>() & mask;
+        if bits != 0 {
+            return BitString::new(bits, width);
+        }
+    }
+}
+
+/// The IBM BV suite of Table 2: 88 circuits with 5–15 data qubits
+/// (11 widths × 8 keys), each runnable on all three backends. In quick
+/// mode: widths 5–9, 2 keys each.
+#[must_use]
+pub fn ibm_bv_suite(quick: bool) -> Vec<BvInstance> {
+    let (widths, keys_per_width): (Vec<usize>, u64) = if quick {
+        ((5..=9).collect(), 2)
+    } else {
+        ((5..=15).collect(), 8)
+    };
+    let mut out = Vec::new();
+    for &w in &widths {
+        for k in 0..keys_per_width {
+            let key = bv_key(w, k);
+            // Alternate backends across instances; fig8b additionally
+            // fans each instance out to all three.
+            let backend = IbmBackend::ALL[(w + k as usize) % 3];
+            out.push(BvInstance {
+                id: format!("bv-{w:02}-k{k}-{}", backend.name()),
+                bench: BernsteinVazirani::new(key),
+                backend,
+            });
+        }
+    }
+    out
+}
+
+/// The IBM QAOA 3-regular suite of Table 2: ~70 circuits, 6–20 nodes
+/// (even), p ∈ {2, 4}. Quick mode: n ≤ 10, p = 2, one seed.
+#[must_use]
+pub fn ibm_qaoa_3reg_suite(quick: bool) -> Vec<QaoaInstance> {
+    let mut out = Vec::new();
+    if quick {
+        for n in [6usize, 8, 10] {
+            out.push(QaoaInstance::with_seed(GraphFamily::ThreeRegular, n, 2, 0));
+        }
+        return out;
+    }
+    for p in [2usize, 4] {
+        for n in (6..=20).step_by(2) {
+            for seed in 0..5 {
+                if out.len() < 70 {
+                    out.push(QaoaInstance::with_seed(GraphFamily::ThreeRegular, n, p, seed));
+                }
+            }
+        }
+    }
+    out.truncate(70);
+    out
+}
+
+/// The IBM QAOA random-graph suite of Table 2: ~70 Erdős–Rényi
+/// instances, 5–20 nodes, connectivity 0.2–0.8, p ∈ {2, 4}. Quick mode:
+/// a handful of small instances.
+#[must_use]
+pub fn ibm_qaoa_rand_suite(quick: bool) -> Vec<QaoaInstance> {
+    let connectivities = [0.2, 0.4, 0.6, 0.8];
+    let mut out = Vec::new();
+    if quick {
+        for (i, n) in [6usize, 8, 10].into_iter().enumerate() {
+            out.push(QaoaInstance::with_seed(
+                GraphFamily::ErdosRenyi(connectivities[i % 4]),
+                n,
+                2,
+                0,
+            ));
+        }
+        return out;
+    }
+    let mut i = 0usize;
+    'outer: for seed in 0..3u64 {
+        for p in [2usize, 4] {
+            for n in 5..=20 {
+                if out.len() >= 70 {
+                    break 'outer;
+                }
+                let c = connectivities[i % connectivities.len()];
+                out.push(QaoaInstance::with_seed(GraphFamily::ErdosRenyi(c), n, p, seed));
+                i += 1;
+            }
+        }
+    }
+    out
+}
+
+/// The Google grid suite of Table 1: 120 circuits, 6–20 nodes,
+/// p = 1–5 (8 sizes × 5 layer counts × 3 seeds). Quick mode: n ≤ 12,
+/// p ≤ 3, one seed.
+#[must_use]
+pub fn google_grid_suite(quick: bool) -> Vec<QaoaInstance> {
+    let mut out = Vec::new();
+    let (sizes, ps, seeds): (Vec<usize>, Vec<usize>, u64) = if quick {
+        (vec![6, 9, 12], vec![1, 2, 3], 1)
+    } else {
+        ((6..=20).step_by(2).collect(), vec![1, 2, 3, 4, 5], 3)
+    };
+    for &p in &ps {
+        for &n in &sizes {
+            for seed in 0..seeds {
+                out.push(QaoaInstance::with_seed(GraphFamily::Grid, n, p, seed));
+            }
+        }
+    }
+    out
+}
+
+/// The Google 3-regular suite of Table 1: 200 circuits, 4–16 nodes
+/// (even), p = 1–3. Quick mode: n ≤ 10, p ≤ 2, one seed.
+#[must_use]
+pub fn google_3reg_suite(quick: bool) -> Vec<QaoaInstance> {
+    let mut out = Vec::new();
+    if quick {
+        for p in [1usize, 2] {
+            for n in [6usize, 8, 10] {
+                out.push(QaoaInstance::with_seed(GraphFamily::ThreeRegular, n, p, 0));
+            }
+        }
+        return out;
+    }
+    for p in [1usize, 2, 3] {
+        for n in (4..=16).step_by(2) {
+            for seed in 0..10 {
+                if out.len() < 200 {
+                    out.push(QaoaInstance::with_seed(GraphFamily::ThreeRegular, n, p, seed));
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Trials per job: Google used 25 000, IBM defaults to 8 192
+/// (§5.2, §6.6); quick mode uses 2 048.
+#[must_use]
+pub fn trials(google: bool, quick: bool) -> u64 {
+    match (google, quick) {
+        (_, true) => 2048,
+        (true, false) => 25_000,
+        (false, false) => 8192,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bv_suite_matches_table_two() {
+        let suite = ibm_bv_suite(false);
+        assert_eq!(suite.len(), 88);
+        let widths: Vec<usize> = suite.iter().map(|i| i.bench.num_data_qubits()).collect();
+        assert_eq!(*widths.iter().min().unwrap(), 5);
+        assert_eq!(*widths.iter().max().unwrap(), 15);
+        // No duplicate ids.
+        let mut ids: Vec<&str> = suite.iter().map(|i| i.id.as_str()).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), 88);
+    }
+
+    #[test]
+    fn bv_keys_are_deterministic_and_nonzero() {
+        assert_eq!(bv_key(8, 3), bv_key(8, 3));
+        assert_ne!(bv_key(8, 3), bv_key(8, 4));
+        for w in 1..=20 {
+            assert!(bv_key(w, 0).weight() > 0);
+        }
+    }
+
+    #[test]
+    fn ibm_qaoa_suites_match_table_two() {
+        let reg = ibm_qaoa_3reg_suite(false);
+        assert_eq!(reg.len(), 70);
+        assert!(reg.iter().all(|i| i.p == 2 || i.p == 4));
+        assert!(reg.iter().all(|i| i.n() >= 6 && i.n() <= 20));
+        let rand = ibm_qaoa_rand_suite(false);
+        assert_eq!(rand.len(), 70);
+        assert!(rand.iter().all(|i| i.graph.is_connected()));
+    }
+
+    #[test]
+    fn google_suites_match_table_one() {
+        let grid = google_grid_suite(false);
+        assert_eq!(grid.len(), 120);
+        assert!(grid.iter().all(|i| (1..=5).contains(&i.p)));
+        let reg = google_3reg_suite(false);
+        assert_eq!(reg.len(), 200);
+        assert!(reg.iter().all(|i| (1..=3).contains(&i.p)));
+        assert!(reg.iter().all(|i| i.n() % 2 == 0 && i.n() >= 4 && i.n() <= 16));
+    }
+
+    #[test]
+    fn quick_suites_are_small_but_representative() {
+        assert!(ibm_bv_suite(true).len() <= 12);
+        assert!(google_grid_suite(true).len() <= 12);
+        assert!(google_3reg_suite(true).len() <= 8);
+        assert!(!ibm_qaoa_3reg_suite(true).is_empty());
+        assert!(!ibm_qaoa_rand_suite(true).is_empty());
+    }
+
+    #[test]
+    fn instances_are_reproducible() {
+        let a = QaoaInstance::with_seed(GraphFamily::ThreeRegular, 10, 2, 1);
+        let b = QaoaInstance::with_seed(GraphFamily::ThreeRegular, 10, 2, 1);
+        assert_eq!(a.graph, b.graph);
+        let c = QaoaInstance::with_seed(GraphFamily::ThreeRegular, 10, 2, 2);
+        assert_ne!(a.graph, c.graph);
+    }
+
+    #[test]
+    fn trials_match_paper() {
+        assert_eq!(trials(true, false), 25_000);
+        assert_eq!(trials(false, false), 8192);
+        assert_eq!(trials(true, true), 2048);
+    }
+}

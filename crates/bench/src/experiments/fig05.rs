@@ -1,0 +1,91 @@
+//! Figure 5: how fast the MaxCut cost degrades with Hamming distance
+//! from the desired cuts.
+
+use std::fmt::Write as _;
+
+use hammer_graphs::MaxCut;
+use hammer_qaoa::expectation::costs_at_distance;
+
+use crate::datasets::{GraphFamily, QaoaInstance};
+use crate::report::{fnum, section, Table};
+
+/// Fig. 5: cost staircases at Hamming distance 1 and 2 from the desired
+/// cuts of a 10-node MaxCut instance.
+#[must_use]
+pub fn fig5(quick: bool) -> String {
+    let mut out = section(
+        "fig5",
+        "Cost of all cuts at Hamming distance 1 / 2 from the desired cuts (QAOA-10)",
+        "one flip costs ~2x the optimum's margin, two flips up to ~10x: even \
+         Hamming-close outcomes wreck the expectation",
+    );
+    let n = if quick { 8 } else { 10 };
+    let inst = QaoaInstance::with_seed(GraphFamily::ThreeRegular, n, 1, 2);
+    let problem = MaxCut::new(inst.graph.clone());
+    let optimum = problem.brute_force();
+    let _ = writeln!(
+        out,
+        "instance {}: C_min = {}, {} optimal cut(s)",
+        inst.id,
+        optimum.c_min,
+        optimum.optimal.len()
+    );
+
+    let mut table = Table::new(&[
+        "distance",
+        "strings",
+        "best cost",
+        "mean cost",
+        "worst cost",
+        "mean degradation",
+    ]);
+    let mut means = Vec::new();
+    for d in 1..=2usize {
+        let costs = costs_at_distance(&problem, &optimum.optimal, d);
+        let mean = costs.iter().sum::<f64>() / costs.len() as f64;
+        means.push(mean);
+        // Degradation: how much of the optimal margin is lost, in units
+        // of |C_min| (1.0 = all of it).
+        let degradation = (mean - optimum.c_min) / optimum.c_min.abs();
+        table.row_owned(vec![
+            d.to_string(),
+            costs.len().to_string(),
+            fnum(costs[0], 2),
+            fnum(mean, 2),
+            fnum(*costs.last().expect("non-empty"), 2),
+            fnum(degradation, 2),
+        ]);
+    }
+    let _ = write!(out, "{table}");
+
+    // The staircase itself, abbreviated.
+    for d in 1..=2usize {
+        let costs = costs_at_distance(&problem, &optimum.optimal, d);
+        let shown: Vec<String> = costs.iter().map(|c| fnum(*c, 1)).take(20).collect();
+        let _ = writeln!(
+            out,
+            "\nd={d} staircase (sorted costs{}): {}",
+            if costs.len() > 20 { ", first 20" } else { "" },
+            shown.join(" ")
+        );
+    }
+    let _ = writeln!(
+        out,
+        "\ntwo-flip mean degradation / one-flip mean degradation = {}",
+        fnum(
+            (means[1] - optimum.c_min) / (means[0] - optimum.c_min),
+            2
+        )
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn fig5_quick_renders() {
+        let r = super::fig5(true);
+        assert!(r.contains("staircase"));
+        assert!(r.contains("C_min"));
+    }
+}

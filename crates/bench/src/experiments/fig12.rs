@@ -1,0 +1,117 @@
+//! Figure 12: EHD growth with circuit width for every benchmark family,
+//! on IBM-like and Google-like devices.
+
+use std::fmt::Write as _;
+
+use hammer_circuits::BernsteinVazirani;
+use hammer_dist::{metrics, BitString};
+use hammer_graphs::MaxCut;
+use hammer_qaoa::QaoaRunner;
+use hammer_sim::DeviceModel;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::angles;
+use crate::datasets::{GraphFamily, IbmBackend, QaoaInstance};
+use crate::pipeline::{run_bv, Engine};
+use crate::report::{fnum, section, Table};
+
+fn qaoa_ehd(family: GraphFamily, n: usize, p: usize, device: DeviceModel, trials: u64) -> f64 {
+    let inst = QaoaInstance::with_seed(family, n, p, 0);
+    let runner = QaoaRunner::new(MaxCut::new(inst.graph.clone()), device).trials(trials);
+    let params = angles::tuned(family, p);
+    let mut rng = StdRng::seed_from_u64(0x016C ^ (n as u64) << 8 ^ p as u64);
+    let outcome = runner.run(&params, &mut rng).expect("QAOA pipeline");
+    metrics::ehd(&outcome.distribution, runner.optimal_cuts())
+}
+
+fn bv_ehd(n: usize, trials: u64) -> f64 {
+    let bench = BernsteinVazirani::new(BitString::ones(n));
+    let device = IbmBackend::Paris.device(bench.num_qubits());
+    let mut rng = StdRng::seed_from_u64(0x016C_B ^ n as u64);
+    let dist =
+        run_bv(&bench, &device, Engine::Propagation, trials, &mut rng).expect("BV pipeline");
+    metrics::ehd(&dist, &[bench.key()])
+}
+
+/// Fig. 12(a–b): EHD vs width for BV and QAOA families on both device
+/// styles, against the uniform-error `n/2` line.
+#[must_use]
+pub fn fig12(quick: bool) -> String {
+    let mut out = section(
+        "fig12",
+        "EHD vs qubits for all benchmark families (IBM-like and Google-like)",
+        "EHD grows with n, stays below n/2 everywhere; BV loses structure \
+         fastest (super-linear depth); deeper p loses structure faster",
+    );
+    let (sizes, trials): (Vec<usize>, u64) = if quick {
+        (vec![6, 8, 10, 12], 2048)
+    } else {
+        ((6..=20).step_by(2).collect(), 8192)
+    };
+
+    let _ = writeln!(out, "\n(a) IBM-Paris-like device");
+    let mut table = Table::new(&[
+        "n",
+        "BV (111..1)",
+        "3reg QAOA p=2",
+        "3reg QAOA p=4",
+        "uniform n/2",
+    ]);
+    for &n in &sizes {
+        table.row_owned(vec![
+            n.to_string(),
+            fnum(bv_ehd(n, trials), 3),
+            fnum(
+                qaoa_ehd(GraphFamily::ThreeRegular, n, 2, IbmBackend::Paris.device(n), trials),
+                3,
+            ),
+            fnum(
+                qaoa_ehd(GraphFamily::ThreeRegular, n, 4, IbmBackend::Paris.device(n), trials),
+                3,
+            ),
+            fnum(metrics::uniform_ehd(n), 1),
+        ]);
+    }
+    let _ = write!(out, "{table}");
+
+    let _ = writeln!(out, "\n(b) Google-Sycamore-like device");
+    let mut table = Table::new(&["n", "3reg QAOA p=3", "grid QAOA p=4", "uniform n/2"]);
+    for &n in &sizes {
+        if n > 16 {
+            // The Google 3-regular suite stops at 16 nodes (Table 1).
+            continue;
+        }
+        table.row_owned(vec![
+            n.to_string(),
+            fnum(
+                qaoa_ehd(
+                    GraphFamily::ThreeRegular,
+                    n,
+                    3,
+                    DeviceModel::google_sycamore(n),
+                    trials,
+                ),
+                3,
+            ),
+            fnum(
+                qaoa_ehd(GraphFamily::Grid, n, 4, DeviceModel::google_sycamore(n), trials),
+                3,
+            ),
+            fnum(metrics::uniform_ehd(n), 1),
+        ]);
+    }
+    let _ = write!(out, "{table}");
+    out.push_str("\nevery series sits below n/2: structure persists at scale.\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn bv_ehd_grows_with_width() {
+        let small = super::bv_ehd(5, 2048);
+        let large = super::bv_ehd(11, 2048);
+        assert!(large > small, "EHD should grow: {small} -> {large}");
+    }
+}

@@ -1,0 +1,197 @@
+//! Bernstein–Vazirani circuits: the single-correct-answer benchmark of
+//! the paper's IBM evaluation (Table 2, Figs. 1(a), 3(b), 7, 8).
+
+use hammer_dist::{BitString, Counts, Distribution};
+use hammer_sim::Circuit;
+
+/// A Bernstein–Vazirani benchmark instance encoding a secret key.
+///
+/// The circuit follows the standard hardware construction: `n` data
+/// qubits plus one ancilla (qubit `n`). All qubits are Hadamard'd, the
+/// ancilla is prepared in `|−⟩`, the oracle applies a CX from each
+/// key-`1` data qubit onto the ancilla, and the final Hadamard layer
+/// collapses the data register to the key. On an ideal machine a single
+/// query reveals the key with certainty (§2.2).
+///
+/// The CX fan-in onto the shared ancilla is why BV depth grows
+/// super-linearly under routing on sparse devices — the effect §7 blames
+/// for BV losing Hamming structure faster than QAOA.
+///
+/// # Example
+///
+/// ```
+/// use hammer_circuits::BernsteinVazirani;
+/// use hammer_dist::BitString;
+/// use hammer_sim::simulate_ideal;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let bench = BernsteinVazirani::new(BitString::parse("1011")?);
+/// let ideal = simulate_ideal(&bench.circuit());
+/// let data = bench.data_distribution(&ideal);
+/// assert!((data.prob(bench.key()) - 1.0).abs() < 1e-9);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BernsteinVazirani {
+    key: BitString,
+}
+
+impl BernsteinVazirani {
+    /// Creates the benchmark for a given secret key.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the key is wider than 63 bits (one qubit is reserved
+    /// for the ancilla).
+    #[must_use]
+    pub fn new(key: BitString) -> Self {
+        assert!(key.len() <= 63, "key of {} bits leaves no room for the ancilla", key.len());
+        Self { key }
+    }
+
+    /// The secret key.
+    #[must_use]
+    pub fn key(&self) -> BitString {
+        self.key
+    }
+
+    /// Width of the data register (the key length).
+    #[must_use]
+    pub fn num_data_qubits(&self) -> usize {
+        self.key.len()
+    }
+
+    /// Total circuit width (data + ancilla).
+    #[must_use]
+    pub fn num_qubits(&self) -> usize {
+        self.key.len() + 1
+    }
+
+    /// Builds the circuit. The ancilla is qubit `n` (the top bit of
+    /// measured outcomes) and reads `1` on an ideal machine after the
+    /// final Hadamard.
+    #[must_use]
+    pub fn circuit(&self) -> Circuit {
+        let n = self.key.len();
+        let anc = n;
+        let mut c = Circuit::new(n + 1);
+        // Ancilla to |1⟩ then |−⟩; data to |+⟩.
+        c.x(anc);
+        for q in 0..n {
+            c.h(q);
+        }
+        c.h(anc);
+        // Oracle: phase kickback from each key-1 qubit.
+        for q in 0..n {
+            if self.key.bit(q) {
+                c.cx(q, anc);
+            }
+        }
+        // Uncompute the superposition.
+        for q in 0..n {
+            c.h(q);
+        }
+        c.h(anc);
+        c
+    }
+
+    /// The ideal full-register outcome: ancilla bit `1` concatenated
+    /// with the key.
+    #[must_use]
+    pub fn expected_full_outcome(&self) -> BitString {
+        let n = self.key.len();
+        BitString::new(self.key.as_u64() | (1 << n), n + 1)
+    }
+
+    /// Indices of the data qubits, for marginalizing out the ancilla.
+    #[must_use]
+    pub fn data_qubits(&self) -> Vec<usize> {
+        (0..self.key.len()).collect()
+    }
+
+    /// Projects a full-register histogram onto the data register.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the histogram width is not `n + 1`.
+    #[must_use]
+    pub fn data_counts(&self, full: &Counts) -> Counts {
+        full.marginal(&self.data_qubits())
+    }
+
+    /// Projects a full-register distribution onto the data register.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the distribution width is not `n + 1`.
+    #[must_use]
+    pub fn data_distribution(&self, full: &Distribution) -> Distribution {
+        full.marginal(&self.data_qubits())
+    }
+}
+
+/// Convenience constructor: the full BV circuit for `key` (including the
+/// ancilla qubit `n`).
+#[must_use]
+pub fn bernstein_vazirani(key: BitString) -> Circuit {
+    BernsteinVazirani::new(key).circuit()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hammer_sim::simulate_ideal;
+
+    fn bs(s: &str) -> BitString {
+        BitString::parse(s).unwrap()
+    }
+
+    #[test]
+    fn ideal_output_is_the_key() {
+        for key in ["1", "0", "101", "1111", "10110", "0000000", "1010101010"] {
+            let bench = BernsteinVazirani::new(bs(key));
+            let ideal = simulate_ideal(&bench.circuit());
+            let data = bench.data_distribution(&ideal);
+            assert!(
+                (data.prob(bench.key()) - 1.0).abs() < 1e-9,
+                "key {key} not recovered"
+            );
+        }
+    }
+
+    #[test]
+    fn full_outcome_has_ancilla_set() {
+        let bench = BernsteinVazirani::new(bs("101"));
+        let ideal = simulate_ideal(&bench.circuit());
+        let expected = bench.expected_full_outcome();
+        assert_eq!(expected.to_string(), "1101");
+        assert!((ideal.prob(expected) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn cx_count_equals_key_weight() {
+        let bench = BernsteinVazirani::new(bs("110101"));
+        assert_eq!(bench.circuit().cx_count(), 4);
+        let zero = BernsteinVazirani::new(bs("0000"));
+        assert_eq!(zero.circuit().cx_count(), 0);
+    }
+
+    #[test]
+    fn circuit_width_includes_ancilla() {
+        let bench = BernsteinVazirani::new(bs("1010"));
+        assert_eq!(bench.num_qubits(), 5);
+        assert_eq!(bench.num_data_qubits(), 4);
+        assert_eq!(bench.circuit().num_qubits(), 5);
+    }
+
+    #[test]
+    fn data_counts_marginalizes_ancilla() {
+        let bench = BernsteinVazirani::new(bs("11"));
+        let mut full = Counts::new(3).unwrap();
+        full.record_n(bs("111"), 7); // ancilla 1, data 11
+        full.record_n(bs("011"), 3); // ancilla 0, data 11
+        let data = bench.data_counts(&full);
+        assert_eq!(data.count(bs("11")), 10);
+    }
+}

@@ -1,0 +1,68 @@
+//! GHZ circuits — the error-structure probe of §3.1.
+
+use hammer_dist::BitString;
+use hammer_sim::Circuit;
+
+/// The `n`-qubit GHZ preparation circuit: `H` on qubit 0 followed by a
+/// CX ladder. Ideal output: an equal mixture of `00…0` and `11…1`.
+///
+/// # Panics
+///
+/// Panics if `n` is zero or exceeds 64.
+///
+/// # Example
+///
+/// ```
+/// use hammer_circuits::{ghz, ghz_correct_outcomes};
+/// use hammer_sim::simulate_ideal;
+///
+/// let dist = simulate_ideal(&ghz(10));
+/// let correct = ghz_correct_outcomes(10);
+/// assert!((dist.prob(correct[0]) - 0.5).abs() < 1e-9);
+/// assert!((dist.prob(correct[1]) - 0.5).abs() < 1e-9);
+/// ```
+#[must_use]
+pub fn ghz(n: usize) -> Circuit {
+    let mut c = Circuit::new(n);
+    c.h(0);
+    for q in 0..n.saturating_sub(1) {
+        c.cx(q, q + 1);
+    }
+    c
+}
+
+/// The two correct GHZ outcomes: all-zeros and all-ones.
+#[must_use]
+pub fn ghz_correct_outcomes(n: usize) -> [BitString; 2] {
+    [BitString::zeros(n), BitString::ones(n)]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hammer_sim::simulate_ideal;
+
+    #[test]
+    fn ideal_ghz_has_two_equal_branches() {
+        for n in [2usize, 5, 10] {
+            let d = simulate_ideal(&ghz(n));
+            assert_eq!(d.len(), 2, "n={n}");
+            for c in ghz_correct_outcomes(n) {
+                assert!((d.prob(c) - 0.5).abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn ghz_structure() {
+        let c = ghz(8);
+        assert_eq!(c.cx_count(), 7);
+        assert_eq!(c.depth(), 8);
+    }
+
+    #[test]
+    fn single_qubit_ghz_is_plus_state() {
+        let d = simulate_ideal(&ghz(1));
+        assert_eq!(d.len(), 2);
+    }
+}

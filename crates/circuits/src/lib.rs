@@ -1,0 +1,28 @@
+//! The paper's benchmark circuits: Bernstein–Vazirani, GHZ, QAOA-MaxCut
+//! and the Section 7 random-identity (entanglement study) circuits.
+//!
+//! # Example
+//!
+//! ```
+//! use hammer_circuits::{qaoa_maxcut, QaoaLayer};
+//! use hammer_graphs::generators;
+//! use hammer_sim::simulate_ideal;
+//!
+//! let graph = generators::grid_graph(2, 3);
+//! let circuit = qaoa_maxcut(&graph, &[QaoaLayer::new(0.5, 0.35)]);
+//! let dist = simulate_ideal(&circuit);
+//! assert_eq!(dist.n_bits(), 6);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod bv;
+mod ghz;
+mod qaoa;
+mod random_identity;
+
+pub use bv::{bernstein_vazirani, BernsteinVazirani};
+pub use ghz::{ghz, ghz_correct_outcomes};
+pub use qaoa::{qaoa_maxcut, QaoaLayer};
+pub use random_identity::{RandomIdentity, RandomIdentityBuilder};

@@ -1,0 +1,231 @@
+//! The Section 7 entanglement-study circuits:
+//! `H^{⊗n} · U_R · U_R† · H^{⊗n}`, where `U_R` is a random unitary built
+//! from random single-qubit rotations (Rz, Rx, Ry) and two-qubit gates
+//! (CX, CZ). The circuit entangles and then exactly disentangles, so the
+//! ideal output is the all-zeros state — which makes fidelity easy to
+//! measure on hardware — while the transient entanglement (and the
+//! circuit depth) can be dialed up or down.
+
+use hammer_dist::BitString;
+use hammer_sim::{Circuit, Gate};
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// Builder for the §7 random-identity benchmarks.
+///
+/// `layers` controls U_R's depth; `two_qubit_density` the fraction of
+/// qubit pairs entangled per layer (0 = product circuit, 1 = every
+/// available pair). Together they span the entanglement-entropy range of
+/// Fig. 11.
+///
+/// # Example
+///
+/// ```
+/// use hammer_circuits::RandomIdentityBuilder;
+/// use hammer_dist::BitString;
+/// use hammer_sim::simulate_ideal;
+/// use rand::SeedableRng;
+///
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(13);
+/// let bench = RandomIdentityBuilder::new(6)
+///     .layers(4)
+///     .two_qubit_density(0.8)
+///     .build(&mut rng);
+/// let dist = simulate_ideal(bench.circuit());
+/// assert!((dist.prob(BitString::zeros(6)) - 1.0).abs() < 1e-9);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct RandomIdentityBuilder {
+    num_qubits: usize,
+    layers: usize,
+    two_qubit_density: f64,
+}
+
+impl RandomIdentityBuilder {
+    /// Starts a builder for `num_qubits` qubits (default: 3 layers,
+    /// density 0.5).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_qubits < 2` (entanglement needs two qubits).
+    #[must_use]
+    pub fn new(num_qubits: usize) -> Self {
+        assert!(num_qubits >= 2, "random-identity circuits need ≥ 2 qubits");
+        Self {
+            num_qubits,
+            layers: 3,
+            two_qubit_density: 0.5,
+        }
+    }
+
+    /// Sets the number of layers in `U_R`.
+    #[must_use]
+    pub fn layers(mut self, layers: usize) -> Self {
+        self.layers = layers;
+        self
+    }
+
+    /// Sets the fraction of disjoint qubit pairs entangled per layer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if outside `[0, 1]`.
+    #[must_use]
+    pub fn two_qubit_density(mut self, density: f64) -> Self {
+        assert!((0.0..=1.0).contains(&density), "density out of [0,1]");
+        self.two_qubit_density = density;
+        self
+    }
+
+    /// Samples a concrete benchmark circuit.
+    pub fn build<R: Rng + ?Sized>(&self, rng: &mut R) -> RandomIdentity {
+        let n = self.num_qubits;
+        let mut ur = Circuit::new(n);
+        for _ in 0..self.layers {
+            // Random single-qubit rotations on every qubit.
+            for q in 0..n {
+                let theta = rng.gen_range(-std::f64::consts::PI..std::f64::consts::PI);
+                let gate = match rng.gen_range(0..3u8) {
+                    0 => Gate::Rx(q, theta),
+                    1 => Gate::Ry(q, theta),
+                    _ => Gate::Rz(q, theta),
+                };
+                ur.push(gate);
+            }
+            // Random disjoint pairs, a `two_qubit_density` fraction of
+            // which get a random CX or CZ.
+            let mut qubits: Vec<usize> = (0..n).collect();
+            qubits.shuffle(rng);
+            for pair in qubits.chunks(2) {
+                if pair.len() == 2 && rng.gen::<f64>() < self.two_qubit_density {
+                    if rng.gen::<bool>() {
+                        ur.push(Gate::Cx(pair[0], pair[1]));
+                    } else {
+                        ur.push(Gate::Cz(pair[0], pair[1]));
+                    }
+                }
+            }
+        }
+
+        // Entangling half: H^n · U_R (the state whose entropy is
+        // measured) …
+        let mut half = Circuit::new(n);
+        for q in 0..n {
+            half.h(q);
+        }
+        half.append(&ur);
+        // … and the full identity: half · U_R† · H^n.
+        let mut full = half.clone();
+        full.append(&ur.dagger());
+        for q in 0..n {
+            full.h(q);
+        }
+        RandomIdentity { full, half }
+    }
+}
+
+/// A sampled random-identity benchmark.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RandomIdentity {
+    full: Circuit,
+    half: Circuit,
+}
+
+impl RandomIdentity {
+    /// The full benchmark circuit `H·U_R·U_R†·H` (ideal output:
+    /// all-zeros).
+    #[must_use]
+    pub fn circuit(&self) -> &Circuit {
+        &self.full
+    }
+
+    /// The entangling half `H·U_R`, whose state's entanglement entropy
+    /// quantifies the benchmark's degree of entanglement.
+    #[must_use]
+    pub fn entangling_half(&self) -> &Circuit {
+        &self.half
+    }
+
+    /// The unique correct outcome (all zeros).
+    #[must_use]
+    pub fn correct_outcome(&self) -> BitString {
+        BitString::zeros(self.full.num_qubits())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hammer_sim::{entanglement_entropy, simulate_ideal, StateVector};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn full_circuit_is_identity_on_zero_state() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for (n, layers, density) in [(4, 2, 0.5), (6, 5, 0.9), (5, 1, 0.0), (8, 3, 0.3)] {
+            let bench = RandomIdentityBuilder::new(n)
+                .layers(layers)
+                .two_qubit_density(density)
+                .build(&mut rng);
+            let d = simulate_ideal(bench.circuit());
+            assert!(
+                (d.prob(bench.correct_outcome()) - 1.0).abs() < 1e-9,
+                "n={n} layers={layers} density={density}"
+            );
+        }
+    }
+
+    #[test]
+    fn zero_density_has_zero_entropy() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let bench = RandomIdentityBuilder::new(6)
+            .layers(4)
+            .two_qubit_density(0.0)
+            .build(&mut rng);
+        let sv = StateVector::from_circuit(bench.entangling_half());
+        assert!(entanglement_entropy(&sv, 3) < 1e-9);
+    }
+
+    #[test]
+    fn dense_circuits_create_entanglement() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut max_entropy = 0.0f64;
+        for _ in 0..5 {
+            let bench = RandomIdentityBuilder::new(6)
+                .layers(6)
+                .two_qubit_density(1.0)
+                .build(&mut rng);
+            let sv = StateVector::from_circuit(bench.entangling_half());
+            max_entropy = max_entropy.max(entanglement_entropy(&sv, 3));
+        }
+        assert!(
+            max_entropy > 0.5,
+            "dense random circuits should entangle, got {max_entropy}"
+        );
+    }
+
+    #[test]
+    fn depth_tracks_layer_count() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let shallow = RandomIdentityBuilder::new(6)
+            .layers(2)
+            .build(&mut rng)
+            .circuit()
+            .depth();
+        let deep = RandomIdentityBuilder::new(6)
+            .layers(10)
+            .build(&mut rng)
+            .circuit()
+            .depth();
+        assert!(deep > shallow);
+    }
+
+    #[test]
+    fn build_is_deterministic_per_seed() {
+        let builder = RandomIdentityBuilder::new(5).layers(3).two_qubit_density(0.7);
+        let a = builder.build(&mut StdRng::seed_from_u64(9));
+        let b = builder.build(&mut StdRng::seed_from_u64(9));
+        assert_eq!(a, b);
+    }
+}

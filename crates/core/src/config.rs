@@ -1,0 +1,126 @@
+//! Configuration of the Hamming Reconstruction algorithm.
+//!
+//! The defaults reproduce Algorithm 1 of the paper exactly; the variants
+//! exist for the ablation studies called out in `DESIGN.md` §5
+//! (neighborhood cutoff, weight scheme, filter rule).
+
+/// How far into the Hamming space the neighborhood score looks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum NeighborhoodLimit {
+    /// The paper's rule: consider distances `d` with `d < n/2`
+    /// (Algorithm 1 line 7). "We limit the neighborhood sizes up to n/2
+    /// by assigning zero weight for Hamming bins greater than n/2"
+    /// (§4.3).
+    #[default]
+    HalfWidth,
+    /// A fixed cutoff: distances `d < k`.
+    Fixed(usize),
+    /// No cutoff: every pair contributes. §4.2 predicts this dilutes the
+    /// score toward uniformity — the ablation verifies it.
+    Unbounded,
+}
+
+impl NeighborhoodLimit {
+    /// Number of Hamming bins (`max_d`, exclusive) for an `n`-bit
+    /// distribution.
+    #[must_use]
+    pub fn max_distance(self, n_bits: usize) -> usize {
+        match self {
+            // d < n/2 in the real-number sense: d ∈ 0..ceil(n/2).
+            Self::HalfWidth => n_bits.div_ceil(2),
+            Self::Fixed(k) => k.min(n_bits + 1),
+            Self::Unbounded => n_bits + 1,
+        }
+    }
+}
+
+/// How the per-distance weights `W[d]` are derived.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum WeightScheme {
+    /// The paper's rule per §4.3: "we use the average CHS to compute the
+    /// weights … by inverting the average CHS" —
+    /// `W[d] = 1 / (CHS_total[d] / N) = N / CHS_total[d]`. Because
+    /// infrequent outcomes dominate the distribution, the average CHS
+    /// captures the *global* neighborhood profile, and inverting it
+    /// discounts distances that are rich for everyone.
+    #[default]
+    InverseAverageChs,
+    /// Algorithm 1 read literally: invert the distribution-wide *summed*
+    /// CHS (`W[d] = 1 / CHS_total[d]`). This differs from the §4.3 text
+    /// by a factor of `N`, which shrinks the neighborhood term to the
+    /// point where the probability seed dominates — the ablation
+    /// quantifies how much of HAMMER's benefit this forfeits.
+    InverseGlobalChs,
+    /// Every bin weighs 1 — isolates the benefit of inversion.
+    Uniform,
+    /// Invert the *theoretical* uniform-error average CHS
+    /// (`CHS_uniform[d] = C(n,d) / 2^n`) instead of the measured one.
+    InverseBinomial,
+}
+
+/// Which neighbors may contribute to a string's score.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum FilterRule {
+    /// The paper's π filter: a string only collects credit from
+    /// strictly-less-probable neighbors (`P(x) > P(y)`, Algorithm 1
+    /// line 20). This stops low-probability strings from free-riding on
+    /// rich neighborhoods (§4.4).
+    #[default]
+    LowerProbabilityOnly,
+    /// No filter: every neighbor except the string itself contributes.
+    None,
+}
+
+/// Full configuration of a [`crate::Hammer`] instance.
+///
+/// `HammerConfig::default()` is the paper's Algorithm 1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct HammerConfig {
+    /// Neighborhood cutoff.
+    pub neighborhood: NeighborhoodLimit,
+    /// Weight derivation.
+    pub weights: WeightScheme,
+    /// Neighbor filter.
+    pub filter: FilterRule,
+}
+
+impl HammerConfig {
+    /// The paper's configuration (same as `Default`).
+    #[must_use]
+    pub fn paper() -> Self {
+        Self::default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn half_width_matches_algorithm_one() {
+        assert_eq!(NeighborhoodLimit::HalfWidth.max_distance(10), 5);
+        assert_eq!(NeighborhoodLimit::HalfWidth.max_distance(9), 5);
+        assert_eq!(NeighborhoodLimit::HalfWidth.max_distance(3), 2);
+        assert_eq!(NeighborhoodLimit::HalfWidth.max_distance(1), 1);
+    }
+
+    #[test]
+    fn fixed_limit_is_clamped() {
+        assert_eq!(NeighborhoodLimit::Fixed(3).max_distance(10), 3);
+        assert_eq!(NeighborhoodLimit::Fixed(99).max_distance(4), 5);
+    }
+
+    #[test]
+    fn unbounded_covers_all_distances() {
+        assert_eq!(NeighborhoodLimit::Unbounded.max_distance(6), 7);
+    }
+
+    #[test]
+    fn default_is_paper_configuration() {
+        let d = HammerConfig::default();
+        assert_eq!(d, HammerConfig::paper());
+        assert_eq!(d.neighborhood, NeighborhoodLimit::HalfWidth);
+        assert_eq!(d.weights, WeightScheme::InverseAverageChs);
+        assert_eq!(d.filter, FilterRule::LowerProbabilityOnly);
+    }
+}

@@ -1,0 +1,64 @@
+//! Introspection types exposing Algorithm 1's intermediate quantities —
+//! the data plotted in Fig. 7 of the paper.
+
+use hammer_dist::Distribution;
+
+/// Every intermediate quantity of one HAMMER run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HammerTrace {
+    /// Width of the outcomes in bits.
+    pub n_bits: usize,
+    /// Exclusive Hamming-distance cutoff (`d < max_distance`).
+    pub max_distance: usize,
+    /// The distribution-wide CHS (Algorithm 1 lines 3–8).
+    pub global_chs: Vec<f64>,
+    /// `global_chs / N`: the "Average of all" curve of Fig. 7(b).
+    pub average_chs: Vec<f64>,
+    /// Per-distance weights (Algorithm 1 lines 10–13), Fig. 7(c).
+    pub weights: Vec<f64>,
+    /// The input distribution `P_in`.
+    pub input: Distribution,
+    /// The reconstructed distribution `P_out`.
+    pub output: Distribution,
+}
+
+/// Per-bin score decomposition of a single string (Fig. 7(b, d, e)).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScoreBreakdown {
+    /// The string's probability in `P_in` (the score's seed term).
+    pub probability: f64,
+    /// The string's CHS: observed mass at each distance `d < max_d`.
+    pub chs: Vec<f64>,
+    /// Weighted, filtered per-bin contributions `W[d] · Σ P(y)`.
+    pub contributions: Vec<f64>,
+    /// Total neighborhood score
+    /// (`probability + Σ contributions`; Fig. 7(e)'s cumulative score).
+    pub score: f64,
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::Hammer;
+    use hammer_dist::{BitString, Distribution};
+
+    #[test]
+    fn trace_fields_have_consistent_lengths() {
+        let d = Distribution::from_probs(
+            4,
+            [
+                (BitString::parse("1111").unwrap(), 0.4),
+                (BitString::parse("1110").unwrap(), 0.3),
+                (BitString::parse("0000").unwrap(), 0.3),
+            ],
+        )
+        .unwrap();
+        let t = Hammer::new().trace(&d);
+        assert_eq!(t.n_bits, 4);
+        assert_eq!(t.max_distance, 2);
+        assert_eq!(t.global_chs.len(), 2);
+        assert_eq!(t.average_chs.len(), 2);
+        assert_eq!(t.weights.len(), 2);
+        assert_eq!(t.input.len(), 3);
+        assert_eq!(t.output.len(), 3);
+    }
+}

@@ -1,0 +1,138 @@
+//! Property-based tests for Hamming Reconstruction.
+
+use hammer_core::{FilterRule, Hammer, HammerConfig, NeighborhoodLimit, WeightScheme};
+use hammer_dist::{BitString, Distribution};
+use proptest::prelude::*;
+
+/// Strategy: a sparse distribution over n-bit outcomes.
+fn distribution() -> impl Strategy<Value = Distribution> {
+    (3usize..=10)
+        .prop_flat_map(|n| {
+            let max = (1u64 << n) - 1;
+            (
+                Just(n),
+                proptest::collection::btree_map(0..=max, 1u64..2000, 2..50),
+            )
+        })
+        .prop_map(|(n, map)| {
+            let pairs = map
+                .into_iter()
+                .map(|(k, w)| (BitString::new(k, n), w as f64));
+            Distribution::from_probs(n, pairs).expect("valid distribution")
+        })
+}
+
+/// Strategy: an arbitrary (possibly ablated) configuration.
+fn config() -> impl Strategy<Value = HammerConfig> {
+    (
+        prop_oneof![
+            Just(NeighborhoodLimit::HalfWidth),
+            (1usize..6).prop_map(NeighborhoodLimit::Fixed),
+            Just(NeighborhoodLimit::Unbounded),
+        ],
+        prop_oneof![
+            Just(WeightScheme::InverseAverageChs),
+            Just(WeightScheme::InverseGlobalChs),
+            Just(WeightScheme::Uniform),
+            Just(WeightScheme::InverseBinomial),
+        ],
+        prop_oneof![Just(FilterRule::LowerProbabilityOnly), Just(FilterRule::None)],
+    )
+        .prop_map(|(neighborhood, weights, filter)| HammerConfig {
+            neighborhood,
+            weights,
+            filter,
+        })
+}
+
+proptest! {
+    #[test]
+    fn output_is_a_valid_distribution(d in distribution(), cfg in config()) {
+        let out = Hammer::with_config(cfg).reconstruct(&d);
+        prop_assert!((out.total_mass() - 1.0).abs() < 1e-9);
+        for (_, p) in out.iter() {
+            prop_assert!(p > 0.0);
+        }
+    }
+
+    #[test]
+    fn support_is_preserved(d in distribution(), cfg in config()) {
+        // HAMMER never invents outcomes and, because every score is
+        // seeded with P(x) > 0, never deletes any either.
+        let out = Hammer::with_config(cfg).reconstruct(&d);
+        prop_assert_eq!(out.len(), d.len());
+        for (x, _) in out.iter() {
+            prop_assert!(d.prob(x) > 0.0);
+        }
+    }
+
+    #[test]
+    fn deterministic(d in distribution(), cfg in config()) {
+        let a = Hammer::with_config(cfg).reconstruct(&d);
+        let b = Hammer::with_config(cfg).reconstruct(&d);
+        prop_assert_eq!(a, b);
+    }
+
+    #[test]
+    fn serial_equals_parallel(d in distribution()) {
+        let serial = Hammer::new().with_threads(1).reconstruct(&d);
+        let parallel = Hammer::new().with_threads(8).reconstruct(&d);
+        for (x, p) in serial.iter() {
+            prop_assert!((parallel.prob(x) - p).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn trace_matches_reconstruct(d in distribution(), cfg in config()) {
+        let h = Hammer::with_config(cfg);
+        let t = h.trace(&d);
+        let direct = h.reconstruct(&d);
+        for (x, p) in direct.iter() {
+            prop_assert!((t.output.prob(x) - p).abs() < 1e-9);
+        }
+        prop_assert_eq!(t.weights.len(), t.max_distance);
+        prop_assert_eq!(t.global_chs.len(), t.max_distance);
+    }
+
+    #[test]
+    fn scores_breakdown_consistent(d in distribution()) {
+        let h = Hammer::new();
+        for (x, _) in d.iter().take(10) {
+            let b = h.score_breakdown(&d, x);
+            let total = b.probability + b.contributions.iter().sum::<f64>();
+            prop_assert!((b.score - total).abs() < 1e-9);
+            prop_assert!(b.score >= b.probability);
+        }
+    }
+
+    #[test]
+    fn top_outcome_never_loses_to_an_equal_neighborhood(d in distribution()) {
+        // The most probable outcome's score is seeded highest and the
+        // filter only lets it absorb smaller probabilities, so its
+        // *score* (not necessarily its likelihood) is at least that of
+        // any outcome with an empty neighborhood.
+        let h = Hammer::new();
+        let (top, p_top) = d.most_probable().unwrap();
+        let top_score = h.score_breakdown(&d, top).score;
+        prop_assert!(top_score >= p_top - 1e-12);
+    }
+
+    #[test]
+    fn degenerate_inputs_pass_through(bits in 0u64..16, extra in 0u64..16) {
+        let single = Distribution::point_mass(BitString::new(bits, 4));
+        prop_assert_eq!(Hammer::new().reconstruct(&single).len(), 1);
+        // Two outcomes still work.
+        if bits != extra {
+            let two = Distribution::from_probs(
+                4,
+                [
+                    (BitString::new(bits, 4), 0.6),
+                    (BitString::new(extra, 4), 0.4),
+                ],
+            )
+            .unwrap();
+            let out = Hammer::new().reconstruct(&two);
+            prop_assert!((out.total_mass() - 1.0).abs() < 1e-9);
+        }
+    }
+}

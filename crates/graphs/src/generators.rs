@@ -1,0 +1,242 @@
+//! Random and structured graph generators matching the paper's workload
+//! families (Tables 1–2): Erdős–Rényi, random d-regular, 2-D grid, ring
+//! (2-regular) and Sherrington–Kirkpatrick instances.
+
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+use crate::graph::Graph;
+
+/// Erdős–Rényi `G(n, p)`: every pair is an edge independently with
+/// probability `p`, unit weights. The paper varies `p` between 0.2
+/// (sparse) and 0.8 (highly connected) for its random-graph QAOA suite.
+///
+/// # Panics
+///
+/// Panics if `p` is outside `[0, 1]`.
+pub fn erdos_renyi<R: Rng + ?Sized>(n: usize, p: f64, rng: &mut R) -> Graph {
+    assert!((0.0..=1.0).contains(&p), "edge probability out of [0,1]");
+    let mut g = Graph::new(n);
+    for a in 0..n {
+        for b in a + 1..n {
+            if rng.gen::<f64>() < p {
+                g.add_edge(a, b, 1.0);
+            }
+        }
+    }
+    g
+}
+
+/// A uniformly random simple `d`-regular graph via the configuration
+/// (pairing) model with rejection, unit weights. The 3-regular family is
+/// the core of both the Google and IBM QAOA suites.
+///
+/// # Panics
+///
+/// Panics if `n·d` is odd, `d ≥ n`, or a simple pairing cannot be found
+/// in 10 000 attempts (not observed for the paper's sizes).
+pub fn random_regular<R: Rng + ?Sized>(n: usize, d: usize, rng: &mut R) -> Graph {
+    assert!(d < n, "degree {d} must be below node count {n}");
+    assert!((n * d).is_multiple_of(2), "n·d must be even for a {d}-regular graph");
+    'attempt: for _ in 0..10_000 {
+        // Stubs: d copies of each node, shuffled and paired.
+        let mut stubs: Vec<usize> = (0..n).flat_map(|v| std::iter::repeat_n(v, d)).collect();
+        stubs.shuffle(rng);
+        let mut g = Graph::new(n);
+        let mut seen = std::collections::HashSet::new();
+        for pair in stubs.chunks(2) {
+            let (a, b) = (pair[0], pair[1]);
+            if a == b {
+                continue 'attempt;
+            }
+            let key = (a.min(b), a.max(b));
+            if !seen.insert(key) {
+                continue 'attempt;
+            }
+            g.add_edge(a, b, 1.0);
+        }
+        return g;
+    }
+    panic!("failed to sample a simple {d}-regular graph on {n} nodes");
+}
+
+/// The `rows × cols` grid graph with unit weights (node `r·cols + c` at
+/// row `r`, column `c`) — the Google "Grid" QAOA family, which maps onto
+/// Sycamore's lattice without SWAPs.
+///
+/// # Panics
+///
+/// Panics if either dimension is zero or the graph exceeds 64 nodes.
+#[must_use]
+pub fn grid_graph(rows: usize, cols: usize) -> Graph {
+    assert!(rows > 0 && cols > 0, "grid dimensions must be positive");
+    let mut g = Graph::new(rows * cols);
+    for r in 0..rows {
+        for c in 0..cols {
+            let v = r * cols + c;
+            if c + 1 < cols {
+                g.add_edge(v, v + 1, 1.0);
+            }
+            if r + 1 < rows {
+                g.add_edge(v, v + cols, 1.0);
+            }
+        }
+    }
+    g
+}
+
+/// A near-square grid covering exactly `n` nodes: the widest grid
+/// `rows × cols` with `rows·cols ≥ n`, truncated to the first `n` nodes
+/// (row-major). Used to build Google-style grid instances at arbitrary
+/// sizes.
+///
+/// # Panics
+///
+/// Panics if `n` is zero or exceeds 64.
+#[must_use]
+pub fn near_square_grid(n: usize) -> Graph {
+    assert!((1..=64).contains(&n), "size {n} outside 1..=64");
+    let cols = (n as f64).sqrt().ceil() as usize;
+    let rows = n.div_ceil(cols);
+    let mut g = Graph::new(n);
+    for r in 0..rows {
+        for c in 0..cols {
+            let v = r * cols + c;
+            if v >= n {
+                continue;
+            }
+            if c + 1 < cols && v + 1 < n {
+                g.add_edge(v, v + 1, 1.0);
+            }
+            if r + 1 < rows && v + cols < n {
+                g.add_edge(v, v + cols, 1.0);
+            }
+        }
+    }
+    g
+}
+
+/// The ring (cycle) graph — the 2-regular family of Fig. 12's sweep.
+///
+/// # Panics
+///
+/// Panics if `n < 3`.
+#[must_use]
+pub fn ring(n: usize) -> Graph {
+    assert!(n >= 3, "ring needs at least 3 nodes");
+    let mut g = Graph::new(n);
+    for v in 0..n - 1 {
+        g.add_edge(v, v + 1, 1.0);
+    }
+    g.add_edge(n - 1, 0, 1.0);
+    g
+}
+
+/// A Sherrington–Kirkpatrick instance: the complete graph with uniform
+/// ±1 weights — the third Google QAOA family.
+pub fn sherrington_kirkpatrick<R: Rng + ?Sized>(n: usize, rng: &mut R) -> Graph {
+    let mut g = Graph::new(n);
+    for a in 0..n {
+        for b in a + 1..n {
+            let w = if rng.gen::<bool>() { 1.0 } else { -1.0 };
+            g.add_edge(a, b, w);
+        }
+    }
+    g
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn erdos_renyi_extremes() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let empty = erdos_renyi(8, 0.0, &mut rng);
+        assert_eq!(empty.num_edges(), 0);
+        let full = erdos_renyi(8, 1.0, &mut rng);
+        assert_eq!(full.num_edges(), 28);
+    }
+
+    #[test]
+    fn erdos_renyi_density_tracks_p() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let n = 20;
+        let pairs = n * (n - 1) / 2;
+        let g = erdos_renyi(n, 0.4, &mut rng);
+        let density = g.num_edges() as f64 / pairs as f64;
+        assert!((density - 0.4).abs() < 0.15, "density {density}");
+    }
+
+    #[test]
+    fn random_regular_has_exact_degrees() {
+        let mut rng = StdRng::seed_from_u64(3);
+        for (n, d) in [(8, 3), (10, 3), (12, 4), (6, 2), (16, 3)] {
+            let g = random_regular(n, d, &mut rng);
+            for v in 0..n {
+                assert_eq!(g.degree(v), d, "node {v} of {d}-regular on {n}");
+            }
+            assert_eq!(g.num_edges(), n * d / 2);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "even")]
+    fn random_regular_rejects_odd_product() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let _ = random_regular(5, 3, &mut rng);
+    }
+
+    #[test]
+    fn grid_edge_count() {
+        // rows·(cols−1) + cols·(rows−1).
+        let g = grid_graph(3, 4);
+        assert_eq!(g.num_edges(), 3 * 3 + 4 * 2);
+        assert!(g.is_connected());
+    }
+
+    #[test]
+    fn near_square_grid_connected_for_all_sizes() {
+        for n in 2..=36 {
+            let g = near_square_grid(n);
+            assert_eq!(g.num_nodes(), n);
+            assert!(g.is_connected(), "size {n} disconnected");
+            // Grid degree never exceeds 4.
+            for v in 0..n {
+                assert!(g.degree(v) <= 4);
+            }
+        }
+    }
+
+    #[test]
+    fn ring_is_two_regular() {
+        let g = ring(7);
+        for v in 0..7 {
+            assert_eq!(g.degree(v), 2);
+        }
+        assert!(g.is_connected());
+    }
+
+    #[test]
+    fn sk_is_complete_with_unit_magnitude_weights() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let g = sherrington_kirkpatrick(7, &mut rng);
+        assert_eq!(g.num_edges(), 21);
+        assert!(g.edges().iter().all(|&(_, _, w)| w.abs() == 1.0));
+        // Both signs should appear with overwhelming probability.
+        assert!(g.edges().iter().any(|&(_, _, w)| w > 0.0));
+        assert!(g.edges().iter().any(|&(_, _, w)| w < 0.0));
+    }
+
+    #[test]
+    fn generators_are_deterministic_per_seed() {
+        let a = random_regular(10, 3, &mut StdRng::seed_from_u64(9));
+        let b = random_regular(10, 3, &mut StdRng::seed_from_u64(9));
+        assert_eq!(a, b);
+        let c = erdos_renyi(10, 0.5, &mut StdRng::seed_from_u64(9));
+        let d = erdos_renyi(10, 0.5, &mut StdRng::seed_from_u64(9));
+        assert_eq!(c, d);
+    }
+}

@@ -1,0 +1,189 @@
+//! Undirected weighted graphs — the MaxCut problem instances QAOA
+//! optimizes.
+
+use std::collections::VecDeque;
+
+/// An undirected weighted graph on nodes `0..n`.
+///
+/// Parallel edges are rejected; weights are arbitrary finite reals
+/// (the Sherrington–Kirkpatrick instances use ±1).
+///
+/// # Example
+///
+/// ```
+/// use hammer_graphs::Graph;
+///
+/// let mut g = Graph::new(3);
+/// g.add_edge(0, 1, 1.0);
+/// g.add_edge(1, 2, 1.0);
+/// assert_eq!(g.num_nodes(), 3);
+/// assert_eq!(g.num_edges(), 2);
+/// assert!(g.is_connected());
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Graph {
+    n: usize,
+    edges: Vec<(usize, usize, f64)>,
+}
+
+impl Graph {
+    /// An edgeless graph on `n` nodes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero or exceeds 64 (the bitstring width limit).
+    #[must_use]
+    pub fn new(n: usize) -> Self {
+        assert!((1..=64).contains(&n), "graph size {n} outside 1..=64");
+        Self {
+            n,
+            edges: Vec::new(),
+        }
+    }
+
+    /// Builds a graph from an edge list with unit weights.
+    ///
+    /// # Panics
+    ///
+    /// Panics on out-of-range endpoints, self-loops or duplicates.
+    #[must_use]
+    pub fn from_edges(n: usize, edges: &[(usize, usize)]) -> Self {
+        let mut g = Self::new(n);
+        for &(a, b) in edges {
+            g.add_edge(a, b, 1.0);
+        }
+        g
+    }
+
+    /// Adds an undirected edge of the given weight.
+    ///
+    /// # Panics
+    ///
+    /// Panics on out-of-range endpoints, self-loops, duplicate edges or
+    /// non-finite weights.
+    pub fn add_edge(&mut self, a: usize, b: usize, weight: f64) -> &mut Self {
+        assert!(a < self.n && b < self.n, "edge ({a},{b}) out of range");
+        assert!(a != b, "self-loop on node {a}");
+        assert!(weight.is_finite(), "non-finite edge weight");
+        let (lo, hi) = (a.min(b), a.max(b));
+        assert!(
+            !self.edges.iter().any(|&(x, y, _)| (x, y) == (lo, hi)),
+            "duplicate edge ({a},{b})"
+        );
+        self.edges.push((lo, hi, weight));
+        self
+    }
+
+    /// Number of nodes.
+    #[must_use]
+    pub fn num_nodes(&self) -> usize {
+        self.n
+    }
+
+    /// Number of edges.
+    #[must_use]
+    pub fn num_edges(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Edge list as `(a, b, weight)` with `a < b`.
+    #[must_use]
+    pub fn edges(&self) -> &[(usize, usize, f64)] {
+        &self.edges
+    }
+
+    /// Degree of node `v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of range.
+    #[must_use]
+    pub fn degree(&self, v: usize) -> usize {
+        assert!(v < self.n, "node {v} out of range");
+        self.edges
+            .iter()
+            .filter(|&&(a, b, _)| a == v || b == v)
+            .count()
+    }
+
+    /// Sum of all edge weights.
+    #[must_use]
+    pub fn total_weight(&self) -> f64 {
+        self.edges.iter().map(|&(_, _, w)| w).sum()
+    }
+
+    /// True if every node is reachable from node 0.
+    #[must_use]
+    pub fn is_connected(&self) -> bool {
+        if self.n == 1 {
+            return true;
+        }
+        let mut adj = vec![Vec::new(); self.n];
+        for &(a, b, _) in &self.edges {
+            adj[a].push(b);
+            adj[b].push(a);
+        }
+        let mut seen = vec![false; self.n];
+        seen[0] = true;
+        let mut queue = VecDeque::from([0usize]);
+        let mut visited = 1;
+        while let Some(u) = queue.pop_front() {
+            for &v in &adj[u] {
+                if !seen[v] {
+                    seen[v] = true;
+                    visited += 1;
+                    queue.push_back(v);
+                }
+            }
+        }
+        visited == self.n
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_queries() {
+        let mut g = Graph::new(4);
+        g.add_edge(0, 1, 1.0).add_edge(1, 2, -2.0).add_edge(2, 3, 0.5);
+        assert_eq!(g.num_nodes(), 4);
+        assert_eq!(g.num_edges(), 3);
+        assert_eq!(g.degree(1), 2);
+        assert_eq!(g.degree(0), 1);
+        assert!((g.total_weight() + 0.5).abs() < 1e-12);
+        assert!(g.is_connected());
+    }
+
+    #[test]
+    fn from_edges_unit_weights() {
+        let g = Graph::from_edges(3, &[(0, 1), (1, 2)]);
+        assert!(g.edges().iter().all(|&(_, _, w)| w == 1.0));
+    }
+
+    #[test]
+    fn disconnected_detected() {
+        let g = Graph::from_edges(4, &[(0, 1), (2, 3)]);
+        assert!(!g.is_connected());
+    }
+
+    #[test]
+    fn singleton_is_connected() {
+        assert!(Graph::new(1).is_connected());
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate edge")]
+    fn duplicate_edges_rejected() {
+        let mut g = Graph::new(3);
+        g.add_edge(0, 1, 1.0).add_edge(1, 0, 2.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "self-loop")]
+    fn self_loops_rejected() {
+        let mut g = Graph::new(3);
+        g.add_edge(2, 2, 1.0);
+    }
+}

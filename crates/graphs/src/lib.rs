@@ -1,0 +1,27 @@
+//! MaxCut problem instances for the QAOA benchmarks of the HAMMER
+//! reproduction: graph types, the generator families of Tables 1–2
+//! (Erdős–Rényi, random d-regular, grid, ring, Sherrington–Kirkpatrick)
+//! and exact brute-force optima.
+//!
+//! # Example
+//!
+//! ```
+//! use hammer_graphs::{generators, MaxCut};
+//! use rand::SeedableRng;
+//!
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+//! let graph = generators::random_regular(10, 3, &mut rng);
+//! let problem = MaxCut::new(graph);
+//! let optimum = problem.brute_force();
+//! assert!(optimum.c_min < 0.0); // the desired cut has negative cost
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod generators;
+mod graph;
+mod maxcut;
+
+pub use graph::Graph;
+pub use maxcut::{MaxCut, MaxCutOptimum};

@@ -1,0 +1,237 @@
+//! The MaxCut cost function in the paper's Ising convention and
+//! brute-force optimal solutions for instances up to 30 nodes.
+
+use hammer_dist::BitString;
+
+use crate::graph::Graph;
+
+/// A MaxCut problem over a weighted graph, in the Ising convention the
+/// paper (following Harrigan et al.) uses: the cost of an assignment
+/// `x ∈ {0,1}ⁿ` is
+///
+/// `C(x) = Σ_{(i,j,w)} w · z_i · z_j`, with `z_i = +1` for bit 0 and
+/// `−1` for bit 1.
+///
+/// Cut edges contribute `−w`, so for positive weights **the desired cut
+/// has negative cost** and minimizing `C` maximizes the cut — exactly
+/// the formulation behind the paper's `C_exp/C_min` cost ratio (Eq. 5).
+///
+/// # Example
+///
+/// ```
+/// use hammer_graphs::{Graph, MaxCut};
+/// use hammer_dist::BitString;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// // A triangle: best cut severs 2 of 3 edges → cost −2 + 1 = −1.
+/// let g = Graph::from_edges(3, &[(0, 1), (1, 2), (0, 2)]);
+/// let problem = MaxCut::new(g);
+/// let optimum = problem.brute_force();
+/// assert_eq!(optimum.c_min, -1.0);
+/// assert_eq!(problem.cost(BitString::parse("001")?), -1.0);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct MaxCut {
+    graph: Graph,
+}
+
+/// The exact optimum of a MaxCut instance.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MaxCutOptimum {
+    /// The minimum (most negative) Ising cost.
+    pub c_min: f64,
+    /// Every assignment achieving `c_min`. Complementary pairs are both
+    /// included (flipping all bits preserves the cost).
+    pub optimal: Vec<BitString>,
+}
+
+impl MaxCut {
+    /// Wraps a graph as a MaxCut instance.
+    #[must_use]
+    pub fn new(graph: Graph) -> Self {
+        Self { graph }
+    }
+
+    /// The underlying graph.
+    #[must_use]
+    pub fn graph(&self) -> &Graph {
+        &self.graph
+    }
+
+    /// Number of binary variables (graph nodes).
+    #[must_use]
+    pub fn num_vars(&self) -> usize {
+        self.graph.num_nodes()
+    }
+
+    /// Ising cost `C(x) = Σ w_ij z_i z_j` of an assignment.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the assignment width differs from the node count.
+    #[must_use]
+    pub fn cost(&self, x: BitString) -> f64 {
+        assert_eq!(
+            x.len(),
+            self.graph.num_nodes(),
+            "assignment width does not match graph size"
+        );
+        let bits = x.as_u64();
+        let mut acc = 0.0;
+        for &(a, b, w) in self.graph.edges() {
+            let cut = ((bits >> a) ^ (bits >> b)) & 1 == 1;
+            acc += if cut { -w } else { w };
+        }
+        acc
+    }
+
+    /// Total weight of the edges cut by `x` (the "cut value" in MaxCut
+    /// terms): `(W_total − C(x)) / 2`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the assignment width differs from the node count.
+    #[must_use]
+    pub fn cut_weight(&self, x: BitString) -> f64 {
+        (self.graph.total_weight() - self.cost(x)) / 2.0
+    }
+
+    /// Exhaustive search over all `2^n` assignments, exploiting the
+    /// global spin-flip symmetry (only half the space is evaluated; each
+    /// optimum and its complement are both reported).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the instance exceeds 30 nodes.
+    #[must_use]
+    pub fn brute_force(&self) -> MaxCutOptimum {
+        let n = self.graph.num_nodes();
+        assert!(n <= 30, "brute force limited to 30 nodes, got {n}");
+        if n == 1 {
+            return MaxCutOptimum {
+                c_min: 0.0,
+                optimal: vec![BitString::zeros(1), BitString::ones(1)],
+            };
+        }
+        let mut c_min = f64::INFINITY;
+        let mut optimal: Vec<u64> = Vec::new();
+        let full = (1u64 << n) - 1;
+        // Fix the top bit to 0: complements are added afterwards.
+        for bits in 0..(1u64 << (n - 1)) {
+            let c = self.cost(BitString::new(bits, n));
+            if c < c_min - 1e-12 {
+                c_min = c;
+                optimal.clear();
+                optimal.push(bits);
+            } else if (c - c_min).abs() <= 1e-12 {
+                optimal.push(bits);
+            }
+        }
+        let mut all: Vec<BitString> = Vec::with_capacity(optimal.len() * 2);
+        for bits in optimal {
+            all.push(BitString::new(bits, n));
+            all.push(BitString::new(bits ^ full, n));
+        }
+        all.sort();
+        all.dedup();
+        MaxCutOptimum {
+            c_min,
+            optimal: all,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bs(s: &str) -> BitString {
+        BitString::parse(s).unwrap()
+    }
+
+    #[test]
+    fn single_edge_costs() {
+        let g = Graph::from_edges(2, &[(0, 1)]);
+        let m = MaxCut::new(g);
+        assert_eq!(m.cost(bs("00")), 1.0); // uncut
+        assert_eq!(m.cost(bs("11")), 1.0); // uncut
+        assert_eq!(m.cost(bs("01")), -1.0); // cut
+        assert_eq!(m.cost(bs("10")), -1.0); // cut
+        assert_eq!(m.cut_weight(bs("01")), 1.0);
+        assert_eq!(m.cut_weight(bs("00")), 0.0);
+    }
+
+    #[test]
+    fn triangle_is_frustrated() {
+        // Odd cycles cannot cut every edge: best is 2 of 3.
+        let g = Graph::from_edges(3, &[(0, 1), (1, 2), (0, 2)]);
+        let m = MaxCut::new(g);
+        let opt = m.brute_force();
+        assert_eq!(opt.c_min, -1.0);
+        // 6 optimal assignments (all except 000 and 111).
+        assert_eq!(opt.optimal.len(), 6);
+    }
+
+    #[test]
+    fn even_ring_is_bipartite() {
+        let g = crate::generators::ring(6);
+        let m = MaxCut::new(g);
+        let opt = m.brute_force();
+        // Perfect cut severs all 6 edges → C = −6.
+        assert_eq!(opt.c_min, -6.0);
+        assert!(opt.optimal.contains(&bs("101010")));
+        assert!(opt.optimal.contains(&bs("010101")));
+        assert_eq!(opt.optimal.len(), 2);
+    }
+
+    #[test]
+    fn complement_symmetry() {
+        let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(8);
+        let g = crate::generators::erdos_renyi(8, 0.5, &mut rng);
+        let m = MaxCut::new(g);
+        for bits in [0u64, 37, 129, 255] {
+            let x = BitString::new(bits, 8);
+            let xc = BitString::new(bits ^ 0xFF, 8);
+            assert!((m.cost(x) - m.cost(xc)).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn brute_force_optimal_are_complement_closed() {
+        let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(9);
+        let g = crate::generators::random_regular(10, 3, &mut rng);
+        let m = MaxCut::new(g);
+        let opt = m.brute_force();
+        let full = (1u64 << 10) - 1;
+        for x in &opt.optimal {
+            let comp = BitString::new(x.as_u64() ^ full, 10);
+            assert!(opt.optimal.contains(&comp), "complement of {x} missing");
+            assert!((m.cost(*x) - opt.c_min).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn brute_force_really_is_minimum() {
+        let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(10);
+        let g = crate::generators::sherrington_kirkpatrick(8, &mut rng);
+        let m = MaxCut::new(g);
+        let opt = m.brute_force();
+        for bits in 0..(1u64 << 8) {
+            assert!(m.cost(BitString::new(bits, 8)) >= opt.c_min - 1e-12);
+        }
+    }
+
+    #[test]
+    fn negative_weights_flip_preference() {
+        // A single negative edge is best left uncut.
+        let mut g = Graph::new(2);
+        g.add_edge(0, 1, -2.0);
+        let m = MaxCut::new(g);
+        let opt = m.brute_force();
+        assert_eq!(opt.c_min, -2.0);
+        assert!(opt.optimal.contains(&bs("00")));
+        assert!(opt.optimal.contains(&bs("11")));
+    }
+}

@@ -1,0 +1,241 @@
+//! Cost expectations and the quality curves of Figs. 9(b)/(d).
+
+use hammer_dist::{BitString, Distribution};
+use hammer_graphs::MaxCut;
+
+/// The expected Ising cost `C_exp = Σ_x P(x)·C(x)` of a sampled
+/// distribution (§6.3).
+///
+/// # Panics
+///
+/// Panics if the distribution width differs from the problem size.
+#[must_use]
+pub fn expected_cost(dist: &Distribution, problem: &MaxCut) -> f64 {
+    dist.expectation(|x| problem.cost(x))
+}
+
+/// The Cost Ratio `CR = C_exp / C_min` (Eq. 5). Higher is better;
+/// negative means the noisy expectation landed on the wrong side of
+/// zero.
+///
+/// # Panics
+///
+/// Panics if `c_min = 0`.
+#[must_use]
+pub fn cost_ratio(dist: &Distribution, problem: &MaxCut, c_min: f64) -> f64 {
+    assert!(c_min != 0.0, "cost ratio undefined for c_min = 0");
+    expected_cost(dist, problem) / c_min
+}
+
+/// One point of a solution-quality curve: solutions of quality ratio
+/// `ratio = C(x)/C_min` carrying `probability` mass.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct QualityPoint {
+    /// `C_sol / C_min`; 1.0 = optimal, negative = worse than random.
+    pub ratio: f64,
+    /// Cumulative probability of all sampled solutions with a ratio at
+    /// least this good.
+    pub cumulative_probability: f64,
+}
+
+/// The cumulative solution-quality curve of Figs. 9(b)/(d): for each
+/// distinct quality ratio (descending from optimal), the total
+/// probability of sampled solutions at least that good.
+///
+/// # Panics
+///
+/// Panics if `c_min = 0` or the widths mismatch.
+#[must_use]
+pub fn quality_curve(dist: &Distribution, problem: &MaxCut, c_min: f64) -> Vec<QualityPoint> {
+    assert!(c_min != 0.0, "quality curve undefined for c_min = 0");
+    let mut points: Vec<(f64, f64)> = dist
+        .iter()
+        .map(|(x, p)| (problem.cost(x) / c_min, p))
+        .collect();
+    // Best ratios first (descending).
+    points.sort_by(|a, b| b.0.partial_cmp(&a.0).expect("finite ratios"));
+    let mut out: Vec<QualityPoint> = Vec::new();
+    let mut acc = 0.0;
+    for (ratio, p) in points {
+        acc += p;
+        match out.last_mut() {
+            Some(last) if (last.ratio - ratio).abs() < 1e-12 => {
+                last.cumulative_probability = acc;
+            }
+            _ => out.push(QualityPoint {
+                ratio,
+                cumulative_probability: acc,
+            }),
+        }
+    }
+    out
+}
+
+/// Probability mass on exactly-optimal solutions (`C(x) = C_min`).
+///
+/// # Panics
+///
+/// Panics if the widths mismatch.
+#[must_use]
+pub fn optimal_mass(dist: &Distribution, problem: &MaxCut, c_min: f64) -> f64 {
+    dist.iter()
+        .filter(|&(x, _)| (problem.cost(x) - c_min).abs() < 1e-9)
+        .map(|(_, p)| p)
+        .sum()
+}
+
+/// The cost of the best (lowest-cost) solution actually sampled.
+///
+/// # Panics
+///
+/// Panics if the distribution is empty.
+#[must_use]
+pub fn best_sampled_cost(dist: &Distribution, problem: &MaxCut) -> f64 {
+    dist.iter()
+        .map(|(x, _)| problem.cost(x))
+        .fold(f64::INFINITY, f64::min)
+}
+
+/// Convenience: the distribution restricted to a predicate on cost, used
+/// by harnesses to measure sub-optimal mass.
+pub fn mass_where<F>(dist: &Distribution, problem: &MaxCut, mut pred: F) -> f64
+where
+    F: FnMut(f64) -> bool,
+{
+    dist.iter()
+        .filter(|&(x, _)| pred(problem.cost(x)))
+        .map(|(_, p)| p)
+        .sum()
+}
+
+/// All assignments within Hamming distance exactly `d` of any optimal
+/// cut, paired with their costs — the staircase data of Fig. 5.
+#[must_use]
+pub fn costs_at_distance(problem: &MaxCut, optimal: &[BitString], d: usize) -> Vec<f64> {
+    let mut seen = std::collections::HashSet::new();
+    let mut out = Vec::new();
+    for &opt in optimal {
+        for x in opt.neighbors_at(d) {
+            // Skip strings that are optimal themselves or closer to
+            // another optimum.
+            if optimal.iter().any(|&o| x.hamming_distance(o) < d as u32) {
+                continue;
+            }
+            if seen.insert(x.as_u64()) {
+                out.push(problem.cost(x));
+            }
+        }
+    }
+    out.sort_by(|a, b| a.partial_cmp(b).expect("finite costs"));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hammer_graphs::{generators, Graph};
+
+    fn bs(s: &str) -> BitString {
+        BitString::parse(s).unwrap()
+    }
+
+    fn ring6() -> (MaxCut, f64) {
+        let problem = MaxCut::new(generators::ring(6));
+        let c_min = problem.brute_force().c_min;
+        (problem, c_min)
+    }
+
+    #[test]
+    fn expected_cost_of_point_mass() {
+        let (problem, c_min) = ring6();
+        let d = Distribution::point_mass(bs("101010"));
+        assert_eq!(expected_cost(&d, &problem), c_min);
+        assert_eq!(cost_ratio(&d, &problem, c_min), 1.0);
+    }
+
+    #[test]
+    fn uniform_distribution_has_zero_expected_cost() {
+        // Every edge is cut with probability 1/2 under uniform sampling.
+        let (problem, c_min) = ring6();
+        let d = Distribution::uniform(6);
+        assert!(expected_cost(&d, &problem).abs() < 1e-9);
+        assert!(cost_ratio(&d, &problem, c_min).abs() < 1e-9);
+    }
+
+    #[test]
+    fn quality_curve_is_monotone() {
+        let (problem, c_min) = ring6();
+        let d = Distribution::uniform(6);
+        let curve = quality_curve(&d, &problem, c_min);
+        assert!(!curve.is_empty());
+        // Ratios strictly descending, cumulative probability ascending.
+        for w in curve.windows(2) {
+            assert!(w[0].ratio > w[1].ratio);
+            assert!(w[0].cumulative_probability <= w[1].cumulative_probability + 1e-12);
+        }
+        // The final point accumulates everything.
+        assert!((curve.last().unwrap().cumulative_probability - 1.0).abs() < 1e-9);
+        // The first point is the optimal mass.
+        assert!((curve[0].ratio - 1.0).abs() < 1e-12);
+        assert!((curve[0].cumulative_probability - optimal_mass(&d, &problem, c_min)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn optimal_mass_counts_both_optima() {
+        let (problem, c_min) = ring6();
+        let d = Distribution::from_probs(
+            6,
+            [
+                (bs("101010"), 0.3),
+                (bs("010101"), 0.2),
+                (bs("000000"), 0.5),
+            ],
+        )
+        .unwrap();
+        assert!((optimal_mass(&d, &problem, c_min) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn best_sampled_tracks_support() {
+        let (problem, c_min) = ring6();
+        let bad = Distribution::point_mass(bs("000000"));
+        assert!(best_sampled_cost(&bad, &problem) > c_min);
+        let mixed =
+            Distribution::from_probs(6, [(bs("101010"), 0.01), (bs("000000"), 0.99)]).unwrap();
+        assert_eq!(best_sampled_cost(&mixed, &problem), c_min);
+    }
+
+    #[test]
+    fn fig5_distance_one_cuts_are_worse() {
+        // Fig. 5: strings one flip from a desired cut cost strictly more
+        // (less negative); two flips more still, on average.
+        let graph = generators::ring(8);
+        let problem = MaxCut::new(graph);
+        let opt = problem.brute_force();
+        let d1 = costs_at_distance(&problem, &opt.optimal, 1);
+        let d2 = costs_at_distance(&problem, &opt.optimal, 2);
+        assert!(!d1.is_empty() && !d2.is_empty());
+        assert!(d1.iter().all(|&c| c > opt.c_min));
+        let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
+        assert!(mean(&d2) > mean(&d1), "{} vs {}", mean(&d2), mean(&d1));
+    }
+
+    #[test]
+    fn mass_where_partitions() {
+        let (problem, _) = ring6();
+        let d = Distribution::uniform(6);
+        let below = mass_where(&d, &problem, |c| c < 0.0);
+        let rest = mass_where(&d, &problem, |c| c >= 0.0);
+        assert!((below + rest - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn weighted_graph_expectations() {
+        let mut g = Graph::new(2);
+        g.add_edge(0, 1, 3.0);
+        let problem = MaxCut::new(g);
+        let d = Distribution::from_probs(2, [(bs("01"), 0.5), (bs("00"), 0.5)]).unwrap();
+        // 0.5·(−3) + 0.5·(3) = 0.
+        assert!(expected_cost(&d, &problem).abs() < 1e-12);
+    }
+}

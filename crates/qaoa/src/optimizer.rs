@@ -1,0 +1,220 @@
+//! A self-contained Nelder–Mead simplex minimizer — the classical
+//! optimizer of the variational loop (§2.3). Derivative-free, which is
+//! what noisy quantum cost landscapes demand.
+
+/// Result of a Nelder–Mead run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OptimizationResult {
+    /// The best parameter vector found.
+    pub x: Vec<f64>,
+    /// Objective value at `x`.
+    pub fx: f64,
+    /// Number of simplex iterations performed.
+    pub iterations: usize,
+    /// Number of objective evaluations.
+    pub evaluations: usize,
+    /// Whether the simplex converged within tolerance (vs hitting the
+    /// iteration cap).
+    pub converged: bool,
+}
+
+/// Nelder–Mead configuration. Defaults follow the classic
+/// (α=1, γ=2, ρ=0.5, σ=0.5) coefficients.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NelderMead {
+    /// Maximum simplex iterations.
+    pub max_iterations: usize,
+    /// Convergence tolerance on the objective spread across the simplex.
+    pub tolerance: f64,
+    /// Initial simplex step per dimension.
+    pub initial_step: f64,
+}
+
+impl Default for NelderMead {
+    fn default() -> Self {
+        Self {
+            max_iterations: 200,
+            tolerance: 1e-6,
+            initial_step: 0.25,
+        }
+    }
+}
+
+impl NelderMead {
+    /// Minimizes `f` starting from `x0`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x0` is empty.
+    pub fn minimize<F>(&self, mut f: F, x0: &[f64]) -> OptimizationResult
+    where
+        F: FnMut(&[f64]) -> f64,
+    {
+        assert!(!x0.is_empty(), "cannot optimize zero parameters");
+        let n = x0.len();
+        let mut evaluations = 0;
+        let mut eval = |x: &[f64], evals: &mut usize| {
+            *evals += 1;
+            f(x)
+        };
+
+        // Initial simplex: x0 plus one step along each axis.
+        let mut simplex: Vec<(Vec<f64>, f64)> = Vec::with_capacity(n + 1);
+        let fx0 = eval(x0, &mut evaluations);
+        simplex.push((x0.to_vec(), fx0));
+        for i in 0..n {
+            let mut v = x0.to_vec();
+            v[i] += self.initial_step;
+            let fv = eval(&v, &mut evaluations);
+            simplex.push((v, fv));
+        }
+
+        let mut iterations = 0;
+        let mut converged = false;
+        while iterations < self.max_iterations {
+            iterations += 1;
+            simplex.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("finite objective"));
+            let spread = simplex[n].1 - simplex[0].1;
+            if spread.abs() < self.tolerance {
+                converged = true;
+                break;
+            }
+
+            // Centroid of all but the worst point.
+            let mut centroid = vec![0.0; n];
+            for (v, _) in &simplex[..n] {
+                for (c, x) in centroid.iter_mut().zip(v) {
+                    *c += x / n as f64;
+                }
+            }
+            let worst = simplex[n].clone();
+
+            let blend = |t: f64| -> Vec<f64> {
+                centroid
+                    .iter()
+                    .zip(&worst.0)
+                    .map(|(c, w)| c + t * (c - w))
+                    .collect()
+            };
+
+            // Reflection.
+            let xr = blend(1.0);
+            let fr = eval(&xr, &mut evaluations);
+            if fr < simplex[0].1 {
+                // Expansion.
+                let xe = blend(2.0);
+                let fe = eval(&xe, &mut evaluations);
+                simplex[n] = if fe < fr { (xe, fe) } else { (xr, fr) };
+                continue;
+            }
+            if fr < simplex[n - 1].1 {
+                simplex[n] = (xr, fr);
+                continue;
+            }
+            // Contraction (outside if reflected beat the worst).
+            let xc = if fr < worst.1 { blend(0.5) } else { blend(-0.5) };
+            let fc = eval(&xc, &mut evaluations);
+            if fc < worst.1.min(fr) {
+                simplex[n] = (xc, fc);
+                continue;
+            }
+            // Shrink toward the best vertex.
+            let best = simplex[0].0.clone();
+            for entry in simplex.iter_mut().skip(1) {
+                let shrunk: Vec<f64> = best
+                    .iter()
+                    .zip(&entry.0)
+                    .map(|(b, x)| b + 0.5 * (x - b))
+                    .collect();
+                let fs = eval(&shrunk, &mut evaluations);
+                *entry = (shrunk, fs);
+            }
+        }
+
+        simplex.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("finite objective"));
+        let (x, fx) = simplex.swap_remove(0);
+        OptimizationResult {
+            x,
+            fx,
+            iterations,
+            evaluations,
+            converged,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn minimizes_a_quadratic_bowl() {
+        let nm = NelderMead::default();
+        let r = nm.minimize(
+            |x| (x[0] - 3.0).powi(2) + (x[1] + 1.0).powi(2) + 5.0,
+            &[0.0, 0.0],
+        );
+        assert!(r.converged);
+        assert!((r.x[0] - 3.0).abs() < 1e-2, "{:?}", r.x);
+        assert!((r.x[1] + 1.0).abs() < 1e-2);
+        assert!((r.fx - 5.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn minimizes_rosenbrock_two_d() {
+        let nm = NelderMead {
+            max_iterations: 2000,
+            tolerance: 1e-10,
+            initial_step: 0.5,
+        };
+        let r = nm.minimize(
+            |x| (1.0 - x[0]).powi(2) + 100.0 * (x[1] - x[0] * x[0]).powi(2),
+            &[-1.2, 1.0],
+        );
+        assert!((r.x[0] - 1.0).abs() < 1e-3, "{:?}", r.x);
+        assert!((r.x[1] - 1.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn handles_one_dimension() {
+        let nm = NelderMead::default();
+        let r = nm.minimize(|x| (x[0] - 0.5).abs(), &[10.0]);
+        assert!((r.x[0] - 0.5).abs() < 1e-3);
+    }
+
+    #[test]
+    fn respects_iteration_cap() {
+        let nm = NelderMead {
+            max_iterations: 3,
+            tolerance: 0.0,
+            initial_step: 0.1,
+        };
+        let r = nm.minimize(|x| x[0] * x[0], &[5.0]);
+        assert!(!r.converged);
+        assert_eq!(r.iterations, 3);
+    }
+
+    #[test]
+    fn works_on_periodic_objectives() {
+        // QAOA landscapes are periodic; make sure a sinusoid is handled.
+        let nm = NelderMead::default();
+        let r = nm.minimize(|x| x[0].sin(), &[2.0]);
+        // A local minimum of sin is at 3π/2 ≈ 4.712 (value −1).
+        assert!((r.fx + 1.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn evaluation_count_reported() {
+        let nm = NelderMead::default();
+        let mut calls = 0usize;
+        let r = nm.minimize(
+            |x| {
+                calls += 1;
+                x[0] * x[0]
+            },
+            &[1.0],
+        );
+        assert_eq!(calls, r.evaluations);
+        assert!(r.evaluations >= r.iterations);
+    }
+}

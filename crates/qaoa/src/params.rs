@@ -1,0 +1,127 @@
+//! QAOA parameter vectors.
+
+use hammer_circuits::QaoaLayer;
+
+/// A full QAOA parameter schedule: `p` layers of `(γ, β)`.
+///
+/// # Example
+///
+/// ```
+/// use hammer_qaoa::QaoaParams;
+///
+/// let params = QaoaParams::from_flat(&[0.4, 0.3, 0.2, 0.1]);
+/// assert_eq!(params.p(), 2);
+/// assert_eq!(params.layers()[0].gamma, 0.4);
+/// assert_eq!(params.layers()[1].beta, 0.1);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct QaoaParams {
+    layers: Vec<QaoaLayer>,
+}
+
+impl QaoaParams {
+    /// Wraps a layer schedule.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `layers` is empty.
+    #[must_use]
+    pub fn new(layers: Vec<QaoaLayer>) -> Self {
+        assert!(!layers.is_empty(), "QAOA needs at least one layer");
+        Self { layers }
+    }
+
+    /// `p` identical layers — a common warm start.
+    #[must_use]
+    pub fn constant(p: usize, gamma: f64, beta: f64) -> Self {
+        assert!(p >= 1, "QAOA needs at least one layer");
+        Self::new(vec![QaoaLayer::new(gamma, beta); p])
+    }
+
+    /// A linear-ramp schedule (γ ramps up, β ramps down across layers),
+    /// the standard heuristic initialization for deep QAOA.
+    #[must_use]
+    pub fn linear_ramp(p: usize, gamma_max: f64, beta_max: f64) -> Self {
+        assert!(p >= 1, "QAOA needs at least one layer");
+        let layers = (0..p)
+            .map(|l| {
+                let f = (l as f64 + 0.5) / p as f64;
+                QaoaLayer::new(gamma_max * f, beta_max * (1.0 - f))
+            })
+            .collect();
+        Self::new(layers)
+    }
+
+    /// Unflattens `[γ₀, β₀, γ₁, β₁, …]` (the optimizer's encoding).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slice is empty or has odd length.
+    #[must_use]
+    pub fn from_flat(flat: &[f64]) -> Self {
+        assert!(
+            !flat.is_empty() && flat.len() % 2 == 0,
+            "flat parameter vector must have positive even length"
+        );
+        Self::new(
+            flat.chunks(2)
+                .map(|c| QaoaLayer::new(c[0], c[1]))
+                .collect(),
+        )
+    }
+
+    /// Flattens to `[γ₀, β₀, γ₁, β₁, …]`.
+    #[must_use]
+    pub fn to_flat(&self) -> Vec<f64> {
+        self.layers
+            .iter()
+            .flat_map(|l| [l.gamma, l.beta])
+            .collect()
+    }
+
+    /// Number of layers `p`.
+    #[must_use]
+    pub fn p(&self) -> usize {
+        self.layers.len()
+    }
+
+    /// The layer schedule.
+    #[must_use]
+    pub fn layers(&self) -> &[QaoaLayer] {
+        &self.layers
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flat_roundtrip() {
+        let p = QaoaParams::from_flat(&[0.1, 0.2, 0.3, 0.4, 0.5, 0.6]);
+        assert_eq!(p.p(), 3);
+        assert_eq!(p.to_flat(), vec![0.1, 0.2, 0.3, 0.4, 0.5, 0.6]);
+    }
+
+    #[test]
+    fn constant_layers_identical() {
+        let p = QaoaParams::constant(4, 0.7, 0.2);
+        assert_eq!(p.p(), 4);
+        assert!(p.layers().iter().all(|l| l.gamma == 0.7 && l.beta == 0.2));
+    }
+
+    #[test]
+    fn linear_ramp_monotone() {
+        let p = QaoaParams::linear_ramp(5, 1.0, 0.8);
+        let g: Vec<f64> = p.layers().iter().map(|l| l.gamma).collect();
+        let b: Vec<f64> = p.layers().iter().map(|l| l.beta).collect();
+        assert!(g.windows(2).all(|w| w[0] < w[1]), "gamma ramps up");
+        assert!(b.windows(2).all(|w| w[0] > w[1]), "beta ramps down");
+    }
+
+    #[test]
+    #[should_panic(expected = "even length")]
+    fn odd_flat_rejected() {
+        let _ = QaoaParams::from_flat(&[0.1, 0.2, 0.3]);
+    }
+}

@@ -1,0 +1,229 @@
+//! Minimal complex arithmetic for the state-vector engine.
+//!
+//! Implemented in-tree to keep the substrate dependency-free; the engine
+//! only needs the handful of operations below.
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, Mul, MulAssign, Neg, Sub, SubAssign};
+
+/// A double-precision complex number.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Complex {
+    /// Real part.
+    pub re: f64,
+    /// Imaginary part.
+    pub im: f64,
+}
+
+/// The complex zero.
+pub const C_ZERO: Complex = Complex { re: 0.0, im: 0.0 };
+/// The complex one.
+pub const C_ONE: Complex = Complex { re: 1.0, im: 0.0 };
+/// The imaginary unit `i`.
+pub const C_I: Complex = Complex { re: 0.0, im: 1.0 };
+
+impl Complex {
+    /// Creates `re + i·im`.
+    #[must_use]
+    pub const fn new(re: f64, im: f64) -> Self {
+        Self { re, im }
+    }
+
+    /// A purely real value.
+    #[must_use]
+    pub const fn real(re: f64) -> Self {
+        Self { re, im: 0.0 }
+    }
+
+    /// `e^{iθ} = cos θ + i sin θ`.
+    #[must_use]
+    pub fn from_polar_unit(theta: f64) -> Self {
+        Self {
+            re: theta.cos(),
+            im: theta.sin(),
+        }
+    }
+
+    /// Complex conjugate.
+    #[must_use]
+    pub fn conj(self) -> Self {
+        Self {
+            re: self.re,
+            im: -self.im,
+        }
+    }
+
+    /// Squared magnitude `|z|²` — the measurement probability of an
+    /// amplitude.
+    #[must_use]
+    pub fn norm_sqr(self) -> f64 {
+        self.re * self.re + self.im * self.im
+    }
+
+    /// Magnitude `|z|`.
+    #[must_use]
+    pub fn abs(self) -> f64 {
+        self.norm_sqr().sqrt()
+    }
+
+    /// Scales by a real factor.
+    #[must_use]
+    pub fn scale(self, k: f64) -> Self {
+        Self {
+            re: self.re * k,
+            im: self.im * k,
+        }
+    }
+
+    /// True when both parts are within `tol` of `other`'s.
+    #[must_use]
+    pub fn approx_eq(self, other: Self, tol: f64) -> bool {
+        (self.re - other.re).abs() <= tol && (self.im - other.im).abs() <= tol
+    }
+}
+
+impl Add for Complex {
+    type Output = Self;
+    fn add(self, rhs: Self) -> Self {
+        Self::new(self.re + rhs.re, self.im + rhs.im)
+    }
+}
+
+impl AddAssign for Complex {
+    fn add_assign(&mut self, rhs: Self) {
+        self.re += rhs.re;
+        self.im += rhs.im;
+    }
+}
+
+impl Sub for Complex {
+    type Output = Self;
+    fn sub(self, rhs: Self) -> Self {
+        Self::new(self.re - rhs.re, self.im - rhs.im)
+    }
+}
+
+impl SubAssign for Complex {
+    fn sub_assign(&mut self, rhs: Self) {
+        self.re -= rhs.re;
+        self.im -= rhs.im;
+    }
+}
+
+impl Mul for Complex {
+    type Output = Self;
+    fn mul(self, rhs: Self) -> Self {
+        Self::new(
+            self.re * rhs.re - self.im * rhs.im,
+            self.re * rhs.im + self.im * rhs.re,
+        )
+    }
+}
+
+impl MulAssign for Complex {
+    fn mul_assign(&mut self, rhs: Self) {
+        *self = *self * rhs;
+    }
+}
+
+impl Mul<f64> for Complex {
+    type Output = Self;
+    fn mul(self, rhs: f64) -> Self {
+        self.scale(rhs)
+    }
+}
+
+impl Div for Complex {
+    type Output = Self;
+    fn div(self, rhs: Self) -> Self {
+        let d = rhs.norm_sqr();
+        Self::new(
+            (self.re * rhs.re + self.im * rhs.im) / d,
+            (self.im * rhs.re - self.re * rhs.im) / d,
+        )
+    }
+}
+
+impl Neg for Complex {
+    type Output = Self;
+    fn neg(self) -> Self {
+        Self::new(-self.re, -self.im)
+    }
+}
+
+impl Sum for Complex {
+    fn sum<I: Iterator<Item = Self>>(iter: I) -> Self {
+        iter.fold(C_ZERO, |a, b| a + b)
+    }
+}
+
+impl From<f64> for Complex {
+    fn from(re: f64) -> Self {
+        Self::real(re)
+    }
+}
+
+impl fmt::Display for Complex {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.im >= 0.0 {
+            write!(f, "{}+{}i", self.re, self.im)
+        } else {
+            write!(f, "{}{}i", self.re, self.im)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arithmetic_identities() {
+        let z = Complex::new(3.0, -4.0);
+        assert_eq!(z + C_ZERO, z);
+        assert_eq!(z * C_ONE, z);
+        assert_eq!(z - z, C_ZERO);
+        assert_eq!(-z, Complex::new(-3.0, 4.0));
+        assert_eq!(z.norm_sqr(), 25.0);
+        assert_eq!(z.abs(), 5.0);
+    }
+
+    #[test]
+    fn i_squared_is_minus_one() {
+        assert!((C_I * C_I).approx_eq(Complex::real(-1.0), 1e-15));
+    }
+
+    #[test]
+    fn conjugate_multiplication_gives_norm() {
+        let z = Complex::new(1.5, -2.5);
+        let n = z * z.conj();
+        assert!((n.re - z.norm_sqr()).abs() < 1e-12);
+        assert!(n.im.abs() < 1e-12);
+    }
+
+    #[test]
+    fn division_inverts_multiplication() {
+        let a = Complex::new(2.0, 3.0);
+        let b = Complex::new(-1.0, 0.5);
+        let c = a * b;
+        assert!((c / b).approx_eq(a, 1e-12));
+    }
+
+    #[test]
+    fn polar_unit_is_on_unit_circle() {
+        for k in 0..8 {
+            let theta = k as f64 * std::f64::consts::FRAC_PI_4;
+            let z = Complex::from_polar_unit(theta);
+            assert!((z.norm_sqr() - 1.0).abs() < 1e-12);
+        }
+        assert!(Complex::from_polar_unit(std::f64::consts::PI)
+            .approx_eq(Complex::real(-1.0), 1e-12));
+    }
+
+    #[test]
+    fn sum_folds_over_zero() {
+        let total: Complex = [C_ONE, C_I, Complex::new(1.0, 1.0)].into_iter().sum();
+        assert!(total.approx_eq(Complex::new(2.0, 2.0), 1e-15));
+    }
+}

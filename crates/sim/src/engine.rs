@@ -1,0 +1,53 @@
+//! The common interface of the two noise engines.
+
+use hammer_dist::{Counts, Distribution};
+use rand::RngCore;
+
+use crate::circuit::Circuit;
+use crate::error::SimError;
+
+/// A noisy executor: something that runs a circuit for a number of trials
+/// on a simulated device and returns the measured histogram — the role a
+/// real IBM/Google backend plays in the paper.
+///
+/// Two implementations exist:
+///
+/// * [`crate::TrajectoryEngine`] — exact state-vector Monte-Carlo with
+///   stochastic Pauli injection (gold standard, practical to ≈ 14
+///   qubits);
+/// * [`crate::PropagationEngine`] — Clifford-skeleton Pauli-fault
+///   propagation over an ideal sample (scales to the paper's 20+ qubit
+///   sweeps; cross-validated against the trajectory engine).
+pub trait NoiseEngine {
+    /// Short engine identifier for reports.
+    fn engine_name(&self) -> &'static str;
+
+    /// Executes `circuit` for `trials` trials and tallies the outcomes.
+    ///
+    /// # Errors
+    ///
+    /// * [`SimError::ZeroTrials`] if `trials == 0`;
+    /// * [`SimError::CircuitTooWide`] if the circuit exceeds the device;
+    /// * [`SimError::TooManyQubitsForDense`] if the width exceeds dense
+    ///   simulation limits.
+    fn sample_counts(
+        &self,
+        circuit: &Circuit,
+        trials: u64,
+        rng: &mut dyn RngCore,
+    ) -> Result<Counts, SimError>;
+
+    /// Convenience: sample and normalize into a [`Distribution`].
+    ///
+    /// # Errors
+    ///
+    /// Same as [`NoiseEngine::sample_counts`].
+    fn noisy_distribution(
+        &self,
+        circuit: &Circuit,
+        trials: u64,
+        rng: &mut dyn RngCore,
+    ) -> Result<Distribution, SimError> {
+        Ok(self.sample_counts(circuit, trials, rng)?.to_distribution())
+    }
+}

@@ -1,0 +1,173 @@
+//! Bipartite entanglement entropy of pure states — the degree-of-
+//! entanglement measure of the Section 7 study ("we evaluate the degree
+//! of entanglement … by computing the entanglement entropy of the state
+//! produced by the sub-circuit H·U_R using ideal simulations").
+
+use crate::complex::C_ZERO;
+use crate::linalg::CMatrix;
+use crate::statevector::StateVector;
+
+/// Von Neumann entanglement entropy (in bits) of the bipartition
+/// `{qubits 0..cut} | {qubits cut..n}` of a pure state.
+///
+/// Computed by forming the reduced density matrix of the first `cut`
+/// qubits and diagonalizing it: `S = −Σ λ log₂ λ`. The value lies in
+/// `[0, min(cut, n−cut)]`; 0 for product states, 1 for a Bell pair or
+/// GHZ state across any cut.
+///
+/// # Panics
+///
+/// Panics if `cut` is zero or not less than the state width, or if
+/// `min(cut, n−cut) > 12` (the dense reduced density matrix would exceed
+/// 4096×4096).
+///
+/// # Example
+///
+/// ```
+/// use hammer_sim::{entanglement_entropy, Circuit, StateVector};
+///
+/// let mut bell = Circuit::new(2);
+/// bell.h(0).cx(0, 1);
+/// let state = StateVector::from_circuit(&bell);
+/// let s = entanglement_entropy(&state, 1);
+/// assert!((s - 1.0).abs() < 1e-9);
+/// ```
+#[must_use]
+pub fn entanglement_entropy(state: &StateVector, cut: usize) -> f64 {
+    let n = state.num_qubits();
+    assert!(cut >= 1 && cut < n, "cut {cut} outside 1..{n}");
+    // Work with the smaller subsystem: S(A) = S(B) for pure states.
+    let a = cut.min(n - cut);
+    let trace_low_bits = a == cut;
+    assert!(a <= 12, "reduced density matrix of 2^{a} exceeds supported size");
+
+    let dim_a = 1usize << a;
+    let dim_b = 1usize << (n - a);
+    let amps = state.amplitudes();
+
+    // ρ_A[i][j] = Σ_b ψ[idx(i,b)] · conj(ψ[idx(j,b)]), where the kept
+    // subsystem occupies the low `a` bits (or the high bits, in which
+    // case we address accordingly).
+    let index = |kept: usize, other: usize| -> usize {
+        if trace_low_bits {
+            // Kept subsystem = low bits of the original cut.
+            (other << a) | kept
+        } else {
+            // Kept subsystem = high bits.
+            (kept << (n - a)) | other
+        }
+    };
+    let mut rho = CMatrix::zeros(dim_a);
+    for i in 0..dim_a {
+        for j in i..dim_a {
+            let mut acc = C_ZERO;
+            for b in 0..dim_b {
+                acc += amps[index(i, b)] * amps[index(j, b)].conj();
+            }
+            rho.set(i, j, acc);
+            rho.set(j, i, acc.conj());
+        }
+    }
+
+    let mut entropy = 0.0;
+    for lambda in rho.hermitian_eigenvalues() {
+        if lambda > 1e-12 {
+            entropy -= lambda * lambda.log2();
+        }
+    }
+    entropy.max(0.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::circuit::Circuit;
+
+    #[test]
+    fn product_state_has_zero_entropy() {
+        let mut c = Circuit::new(4);
+        c.h(0).h(1).x(2).rx(3, 0.7);
+        let sv = StateVector::from_circuit(&c);
+        for cut in 1..4 {
+            assert!(entanglement_entropy(&sv, cut) < 1e-9, "cut {cut}");
+        }
+    }
+
+    #[test]
+    fn bell_pair_has_one_bit() {
+        let mut c = Circuit::new(2);
+        c.h(0).cx(0, 1);
+        let sv = StateVector::from_circuit(&c);
+        assert!((entanglement_entropy(&sv, 1) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ghz_has_one_bit_across_any_cut() {
+        let n = 6;
+        let mut c = Circuit::new(n);
+        c.h(0);
+        for q in 0..n - 1 {
+            c.cx(q, q + 1);
+        }
+        let sv = StateVector::from_circuit(&c);
+        for cut in 1..n {
+            assert!(
+                (entanglement_entropy(&sv, cut) - 1.0).abs() < 1e-9,
+                "cut {cut}"
+            );
+        }
+    }
+
+    #[test]
+    fn entropy_is_symmetric_in_the_cut() {
+        let mut c = Circuit::new(5);
+        c.h(0).cx(0, 1).ry(2, 0.4).cx(1, 2).cz(2, 3).cx(3, 4).t(4).cx(0, 4);
+        let sv = StateVector::from_circuit(&c);
+        for cut in 1..5 {
+            let s1 = entanglement_entropy(&sv, cut);
+            // Pure state: S(A) = S(B). Recompute with complementary cut.
+            let s2 = entanglement_entropy(&sv, 5 - cut);
+            // These cuts are different bipartitions in general; they are
+            // equal only when the partitions coincide, so just bound the
+            // range instead.
+            assert!(s1 >= -1e-9 && s1 <= cut.min(5 - cut) as f64 + 1e-9);
+            assert!(s2 >= -1e-9);
+        }
+    }
+
+    #[test]
+    fn two_bell_pairs_across_middle_cut() {
+        // Pairs (0,2) and (1,3): cutting at 2 severs both → entropy 2.
+        let mut c = Circuit::new(4);
+        c.h(0).cx(0, 2).h(1).cx(1, 3);
+        let sv = StateVector::from_circuit(&c);
+        assert!((entanglement_entropy(&sv, 2) - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn entropy_bounded_by_subsystem_size() {
+        // A scrambled state's entropy stays within [0, min(a, b)].
+        let mut c = Circuit::new(6);
+        for layer in 0..4 {
+            for q in 0..6 {
+                c.ry(q, 0.3 + 0.17 * (layer * 6 + q) as f64);
+            }
+            for q in 0..5 {
+                c.cx(q, q + 1);
+            }
+        }
+        let sv = StateVector::from_circuit(&c);
+        for cut in 1..6 {
+            let s = entanglement_entropy(&sv, cut);
+            let cap = cut.min(6 - cut) as f64;
+            assert!(s >= -1e-9 && s <= cap + 1e-9, "cut {cut}: {s} > {cap}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "outside")]
+    fn invalid_cut_rejected() {
+        let sv = StateVector::new(3);
+        let _ = entanglement_entropy(&sv, 3);
+    }
+}

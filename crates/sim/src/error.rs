@@ -1,0 +1,39 @@
+//! Error type for the simulation and transpilation entry points.
+
+use std::fmt;
+
+/// Errors produced by the simulator, engines and transpiler.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SimError {
+    /// A circuit addresses more qubits than the device provides.
+    CircuitTooWide {
+        /// Circuit register width.
+        circuit: usize,
+        /// Device qubit count.
+        device: usize,
+    },
+    /// A sampling call requested zero trials.
+    ZeroTrials,
+    /// The coupling map cannot route the circuit (disconnected).
+    Unroutable,
+    /// Dense simulation was requested beyond the supported width.
+    TooManyQubitsForDense(usize),
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::CircuitTooWide { circuit, device } => write!(
+                f,
+                "circuit uses {circuit} qubits but the device has only {device}"
+            ),
+            Self::ZeroTrials => write!(f, "sampling requires at least one trial"),
+            Self::Unroutable => write!(f, "coupling map is disconnected; circuit cannot be routed"),
+            Self::TooManyQubitsForDense(n) => {
+                write!(f, "dense simulation limited to 24 qubits, got {n}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SimError {}

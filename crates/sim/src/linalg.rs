@@ -1,0 +1,328 @@
+//! Small dense complex linear algebra: just enough for reduced density
+//! matrices and their eigenvalues (entanglement entropy, §7).
+
+use crate::complex::{Complex, C_ZERO};
+
+/// A dense square complex matrix, row-major.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CMatrix {
+    n: usize,
+    data: Vec<Complex>,
+}
+
+impl CMatrix {
+    /// The `n × n` zero matrix.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero.
+    #[must_use]
+    pub fn zeros(n: usize) -> Self {
+        assert!(n > 0, "matrix dimension must be positive");
+        Self {
+            n,
+            data: vec![C_ZERO; n * n],
+        }
+    }
+
+    /// The `n × n` identity.
+    #[must_use]
+    pub fn identity(n: usize) -> Self {
+        let mut m = Self::zeros(n);
+        for i in 0..n {
+            m.set(i, i, Complex::real(1.0));
+        }
+        m
+    }
+
+    /// Dimension.
+    #[must_use]
+    pub fn dim(&self) -> usize {
+        self.n
+    }
+
+    /// Element at `(row, col)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on out-of-range indices.
+    #[must_use]
+    pub fn get(&self, row: usize, col: usize) -> Complex {
+        assert!(row < self.n && col < self.n, "index out of range");
+        self.data[row * self.n + col]
+    }
+
+    /// Sets element `(row, col)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on out-of-range indices.
+    pub fn set(&mut self, row: usize, col: usize, value: Complex) {
+        assert!(row < self.n && col < self.n, "index out of range");
+        self.data[row * self.n + col] = value;
+    }
+
+    /// Matrix product `self · other`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if dimensions differ.
+    #[must_use]
+    pub fn mul(&self, other: &CMatrix) -> CMatrix {
+        assert_eq!(self.n, other.n, "dimension mismatch");
+        let n = self.n;
+        let mut out = CMatrix::zeros(n);
+        for i in 0..n {
+            for k in 0..n {
+                let a = self.get(i, k);
+                if a == C_ZERO {
+                    continue;
+                }
+                for j in 0..n {
+                    let v = out.get(i, j) + a * other.get(k, j);
+                    out.set(i, j, v);
+                }
+            }
+        }
+        out
+    }
+
+    /// Conjugate transpose.
+    #[must_use]
+    pub fn dagger(&self) -> CMatrix {
+        let mut out = CMatrix::zeros(self.n);
+        for i in 0..self.n {
+            for j in 0..self.n {
+                out.set(j, i, self.get(i, j).conj());
+            }
+        }
+        out
+    }
+
+    /// Trace (sum of diagonal entries).
+    #[must_use]
+    pub fn trace(&self) -> Complex {
+        (0..self.n).map(|i| self.get(i, i)).sum()
+    }
+
+    /// True when `‖A − A†‖∞ ≤ tol`.
+    #[must_use]
+    pub fn is_hermitian(&self, tol: f64) -> bool {
+        for i in 0..self.n {
+            for j in i..self.n {
+                if !self.get(i, j).approx_eq(self.get(j, i).conj(), tol) {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    /// Sum of squared magnitudes of the off-diagonal entries.
+    fn off_diagonal_norm_sqr(&self) -> f64 {
+        let mut acc = 0.0;
+        for i in 0..self.n {
+            for j in 0..self.n {
+                if i != j {
+                    acc += self.get(i, j).norm_sqr();
+                }
+            }
+        }
+        acc
+    }
+
+    /// Eigenvalues of a Hermitian matrix via the cyclic complex Jacobi
+    /// method, ascending order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the matrix is not Hermitian to within `1e-9`, or if the
+    /// iteration fails to converge in 100 sweeps (which does not occur
+    /// for Hermitian inputs).
+    #[must_use]
+    pub fn hermitian_eigenvalues(&self) -> Vec<f64> {
+        assert!(self.is_hermitian(1e-9), "matrix is not Hermitian");
+        let n = self.n;
+        let mut a = self.clone();
+        let tol = 1e-24 * (1.0 + a.trace().abs()).powi(2);
+        for _sweep in 0..100 {
+            if a.off_diagonal_norm_sqr() <= tol {
+                break;
+            }
+            for p in 0..n {
+                for q in p + 1..n {
+                    let apq = a.get(p, q);
+                    let r = apq.abs();
+                    if r < 1e-300 {
+                        continue;
+                    }
+                    // Phase so the rotated off-diagonal block is real.
+                    let phase = apq.scale(1.0 / r); // e^{iφ}
+                    let app = a.get(p, p).re;
+                    let aqq = a.get(q, q).re;
+                    // tan 2θ = 2r / (aqq − app); τ = (aqq − app)/(2r).
+                    let tau = (aqq - app) / (2.0 * r);
+                    let t = if tau == 0.0 {
+                        1.0
+                    } else {
+                        tau.signum() / (tau.abs() + (1.0 + tau * tau).sqrt())
+                    };
+                    let c = 1.0 / (1.0 + t * t).sqrt();
+                    let s = t * c;
+                    // Column update: col_p ← c·col_p − s e^{−iφ}·col_q,
+                    //                col_q ← s e^{iφ}·col_p + c·col_q.
+                    let se_m = phase.conj().scale(s);
+                    let se_p = phase.scale(s);
+                    for k in 0..n {
+                        let akp = a.get(k, p);
+                        let akq = a.get(k, q);
+                        a.set(k, p, akp.scale(c) - se_m * akq);
+                        a.set(k, q, se_p * akp + akq.scale(c));
+                    }
+                    // Row update: row_p ← c·row_p − s e^{iφ}·row_q,
+                    //             row_q ← s e^{−iφ}·row_p + c·row_q.
+                    for k in 0..n {
+                        let apk = a.get(p, k);
+                        let aqk = a.get(q, k);
+                        a.set(p, k, apk.scale(c) - se_p * aqk);
+                        a.set(q, k, se_m * apk + aqk.scale(c));
+                    }
+                    // Numerically pin the zeroed pair.
+                    a.set(p, q, C_ZERO);
+                    a.set(q, p, C_ZERO);
+                }
+            }
+        }
+        assert!(
+            a.off_diagonal_norm_sqr() <= tol.max(1e-18),
+            "Jacobi iteration failed to converge"
+        );
+        let mut eigs: Vec<f64> = (0..n).map(|i| a.get(i, i).re).collect();
+        eigs.sort_by(|x, y| x.partial_cmp(y).expect("finite eigenvalues"));
+        eigs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn c(re: f64, im: f64) -> Complex {
+        Complex::new(re, im)
+    }
+
+    #[test]
+    fn identity_eigenvalues_are_ones() {
+        let eigs = CMatrix::identity(4).hermitian_eigenvalues();
+        for e in eigs {
+            assert!((e - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn diagonal_matrix_returns_diagonal() {
+        let mut m = CMatrix::zeros(3);
+        m.set(0, 0, c(3.0, 0.0));
+        m.set(1, 1, c(-1.0, 0.0));
+        m.set(2, 2, c(0.5, 0.0));
+        let eigs = m.hermitian_eigenvalues();
+        assert!((eigs[0] + 1.0).abs() < 1e-12);
+        assert!((eigs[1] - 0.5).abs() < 1e-12);
+        assert!((eigs[2] - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn two_by_two_real_symmetric() {
+        // [[2, 1], [1, 2]] → eigenvalues 1 and 3.
+        let mut m = CMatrix::zeros(2);
+        m.set(0, 0, c(2.0, 0.0));
+        m.set(0, 1, c(1.0, 0.0));
+        m.set(1, 0, c(1.0, 0.0));
+        m.set(1, 1, c(2.0, 0.0));
+        let eigs = m.hermitian_eigenvalues();
+        assert!((eigs[0] - 1.0).abs() < 1e-10);
+        assert!((eigs[1] - 3.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn two_by_two_complex_hermitian() {
+        // Pauli-Y: [[0, −i], [i, 0]] → eigenvalues ±1.
+        let mut m = CMatrix::zeros(2);
+        m.set(0, 1, c(0.0, -1.0));
+        m.set(1, 0, c(0.0, 1.0));
+        let eigs = m.hermitian_eigenvalues();
+        assert!((eigs[0] + 1.0).abs() < 1e-10);
+        assert!((eigs[1] - 1.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn eigenvalue_sum_equals_trace() {
+        // Random-ish Hermitian built as B + B†.
+        let n = 6;
+        let mut b = CMatrix::zeros(n);
+        let mut seed = 1u64;
+        let mut next = || {
+            seed = seed.wrapping_mul(6_364_136_223_846_793_005).wrapping_add(1);
+            ((seed >> 33) as f64 / (1u64 << 31) as f64) - 1.0
+        };
+        for i in 0..n {
+            for j in 0..n {
+                b.set(i, j, c(next(), next()));
+            }
+        }
+        let h = {
+            let bd = b.dagger();
+            let mut m = CMatrix::zeros(n);
+            for i in 0..n {
+                for j in 0..n {
+                    m.set(i, j, b.get(i, j) + bd.get(i, j));
+                }
+            }
+            m
+        };
+        assert!(h.is_hermitian(1e-12));
+        let eigs = h.hermitian_eigenvalues();
+        let sum: f64 = eigs.iter().sum();
+        assert!((sum - h.trace().re).abs() < 1e-8, "{sum} vs {}", h.trace().re);
+        // Frobenius norm² = Σ λ² for Hermitian matrices.
+        let frob: f64 = (0..n)
+            .flat_map(|i| (0..n).map(move |j| (i, j)))
+            .map(|(i, j)| h.get(i, j).norm_sqr())
+            .sum();
+        let lambda_sqr: f64 = eigs.iter().map(|l| l * l).sum();
+        assert!((frob - lambda_sqr).abs() < 1e-6, "{frob} vs {lambda_sqr}");
+    }
+
+    #[test]
+    fn psd_matrix_has_nonnegative_eigenvalues() {
+        // A A† is PSD for any A.
+        let mut a = CMatrix::zeros(4);
+        a.set(0, 1, c(1.0, 2.0));
+        a.set(1, 2, c(-0.5, 0.25));
+        a.set(2, 0, c(0.0, -1.5));
+        a.set(3, 3, c(2.0, 0.0));
+        a.set(0, 3, c(0.3, 0.7));
+        let h = a.mul(&a.dagger());
+        for e in h.hermitian_eigenvalues() {
+            assert!(e >= -1e-10, "negative eigenvalue {e}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "not Hermitian")]
+    fn non_hermitian_rejected() {
+        let mut m = CMatrix::zeros(2);
+        m.set(0, 1, c(1.0, 0.0));
+        let _ = m.hermitian_eigenvalues();
+    }
+
+    #[test]
+    fn matrix_product_against_identity() {
+        let mut m = CMatrix::zeros(3);
+        m.set(0, 1, c(2.0, 1.0));
+        m.set(2, 0, c(0.0, -1.0));
+        let i = CMatrix::identity(3);
+        assert_eq!(m.mul(&i), m);
+        assert_eq!(i.mul(&m), m);
+    }
+}

@@ -1,0 +1,527 @@
+//! Clifford-skeleton Pauli-fault propagation: the scalable noise engine.
+//!
+//! A sampled Pauli fault at gate location `i` is conjugated *classically*
+//! through the remaining gates: Clifford gates (`H`, `S`, `√X`, `CX`,
+//! `CZ`, `SWAP`) transform Paulis exactly; non-Clifford rotations
+//! (`Rx/Ry/Rz/T/ZZ(γ)`) are approximated as identity for fault
+//! transport. At measurement, the accumulated X-component of all faults
+//! is XORed onto a sample drawn from the *ideal* output distribution.
+//!
+//! This is the textbook Pauli-propagation approximation. It preserves
+//! exactly the two mechanisms the paper's Hamming-behavior observations
+//! rest on: a small number of local faults flips few measured bits, and
+//! deeper circuits with more entangling gates spread each fault onto
+//! more qubits (growing EHD, §7). The engine is cross-validated against
+//! [`crate::TrajectoryEngine`] in the integration suite.
+
+use hammer_dist::{BitString, Counts};
+use rand::{Rng, RngCore};
+
+use crate::circuit::Circuit;
+use crate::device::DeviceModel;
+use crate::engine::NoiseEngine;
+use crate::error::SimError;
+use crate::gates::Gate;
+use crate::noise::{Pauli, PauliFault};
+use crate::sampler::AliasSampler;
+use crate::statevector::{StateVector, MAX_DENSE_QUBITS};
+
+/// A Pauli operator on the whole register, tracked as X/Z bit masks
+/// (`Y` on qubit `q` sets bit `q` in both masks). Phases are irrelevant
+/// for measurement statistics and are not tracked.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct PauliMask {
+    /// Qubits carrying an X component (these flip Z-basis outcomes).
+    pub x: u64,
+    /// Qubits carrying a Z component.
+    pub z: u64,
+}
+
+impl PauliMask {
+    /// The identity (no error).
+    #[must_use]
+    pub const fn identity() -> Self {
+        Self { x: 0, z: 0 }
+    }
+
+    /// A single-qubit Pauli on `q`.
+    #[must_use]
+    pub fn single(p: Pauli, q: usize) -> Self {
+        let bit = 1u64 << q;
+        match p {
+            Pauli::X => Self { x: bit, z: 0 },
+            Pauli::Y => Self { x: bit, z: bit },
+            Pauli::Z => Self { x: 0, z: bit },
+        }
+    }
+
+    /// Composes two Pauli masks (multiplication up to phase = XOR).
+    #[must_use]
+    pub fn compose(self, other: Self) -> Self {
+        Self {
+            x: self.x ^ other.x,
+            z: self.z ^ other.z,
+        }
+    }
+
+    /// Conjugates the mask through one gate: `P ← G P G†` (up to phase).
+    /// Non-Clifford gates are approximated as identity.
+    #[must_use]
+    pub fn conjugate_through(self, gate: Gate) -> Self {
+        let Self { mut x, mut z } = self;
+        match gate {
+            Gate::H(q) => {
+                // H: X ↔ Z.
+                let bit = 1u64 << q;
+                let xb = x & bit;
+                let zb = z & bit;
+                x = (x & !bit) | zb;
+                z = (z & !bit) | xb;
+            }
+            Gate::S(q) | Gate::Sdg(q) => {
+                // S: X → ±Y, Y → ∓X, Z → Z ⇒ z ^= x on q.
+                z ^= x & (1u64 << q);
+            }
+            Gate::SqrtX(q) | Gate::SqrtXdg(q) => {
+                // √X: Z → ∓Y, Y → ±Z, X → X ⇒ x ^= z on q.
+                x ^= z & (1u64 << q);
+            }
+            Gate::Cx(c, t) => {
+                // X_c → X_c X_t ; Z_t → Z_c Z_t.
+                let cbit = 1u64 << c;
+                let tbit = 1u64 << t;
+                if x & cbit != 0 {
+                    x ^= tbit;
+                }
+                if z & tbit != 0 {
+                    z ^= cbit;
+                }
+            }
+            Gate::Cz(a, b) => {
+                // X_a → X_a Z_b ; X_b → Z_a X_b.
+                let abit = 1u64 << a;
+                let bbit = 1u64 << b;
+                if x & abit != 0 {
+                    z ^= bbit;
+                }
+                if x & bbit != 0 {
+                    z ^= abit;
+                }
+            }
+            Gate::Swap(a, b) => {
+                let abit = 1u64 << a;
+                let bbit = 1u64 << b;
+                let xa = x & abit != 0;
+                let xb = x & bbit != 0;
+                if xa != xb {
+                    x ^= abit | bbit;
+                }
+                let za = z & abit != 0;
+                let zb = z & bbit != 0;
+                if za != zb {
+                    z ^= abit | bbit;
+                }
+            }
+            // Paulis commute with Paulis up to phase.
+            Gate::X(_) | Gate::Y(_) | Gate::Z(_) => {}
+            // Non-Clifford: identity approximation for fault transport.
+            Gate::T(_)
+            | Gate::Tdg(_)
+            | Gate::Rx(..)
+            | Gate::Ry(..)
+            | Gate::Rz(..)
+            | Gate::Zz(..) => {}
+        }
+        Self { x, z }
+    }
+}
+
+/// The scalable Pauli-propagation noise engine.
+///
+/// # Example
+///
+/// ```
+/// use hammer_sim::{Circuit, DeviceModel, PropagationEngine};
+/// use rand::SeedableRng;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut bv = Circuit::new(12);
+/// // ... build a 12-qubit circuit ...
+/// # bv.h(0).cx(0, 11);
+/// let device = DeviceModel::ibm_manhattan(12);
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+/// let counts = PropagationEngine::new(&device).sample(&bv, 8192, &mut rng)?;
+/// assert_eq!(counts.total(), 8192);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct PropagationEngine<'a> {
+    device: &'a DeviceModel,
+}
+
+impl<'a> PropagationEngine<'a> {
+    /// Creates an engine bound to a device model.
+    #[must_use]
+    pub fn new(device: &'a DeviceModel) -> Self {
+        Self { device }
+    }
+
+    /// The device this engine executes on.
+    #[must_use]
+    pub fn device(&self) -> &DeviceModel {
+        self.device
+    }
+
+    fn validate(&self, circuit: &Circuit, trials: u64) -> Result<(), SimError> {
+        if trials == 0 {
+            return Err(SimError::ZeroTrials);
+        }
+        if circuit.num_qubits() > self.device.num_qubits() {
+            return Err(SimError::CircuitTooWide {
+                circuit: circuit.num_qubits(),
+                device: self.device.num_qubits(),
+            });
+        }
+        if circuit.num_qubits() > MAX_DENSE_QUBITS {
+            return Err(SimError::TooManyQubitsForDense(circuit.num_qubits()));
+        }
+        Ok(())
+    }
+
+    /// Executes `circuit` for `trials` trials.
+    ///
+    /// # Errors
+    ///
+    /// See [`NoiseEngine::sample_counts`].
+    pub fn sample<R: Rng + ?Sized>(
+        &self,
+        circuit: &Circuit,
+        trials: u64,
+        rng: &mut R,
+    ) -> Result<Counts, SimError> {
+        self.validate(circuit, trials)?;
+        let n = circuit.num_qubits();
+        let noise = self.device.noise();
+
+        // Ideal sparse output distribution + O(1) sampler over it.
+        let ideal = StateVector::from_circuit(circuit).to_distribution(1e-14);
+        let entries = ideal.as_slice();
+        let weights: Vec<f64> = entries.iter().map(|&(_, p)| p).collect();
+        let ideal_sampler = AliasSampler::new(&weights).expect("normalized distribution");
+
+        let gates = circuit.gates();
+        let gate_ps: Vec<f64> = gates
+            .iter()
+            .map(|g| match g.qubits() {
+                crate::gates::GateQubits::One(q) => noise.p1_for(q),
+                crate::gates::GateQubits::Two(a, b) => noise.p2_for(a, b),
+            })
+            .collect();
+
+        // Idle periods only matter when the model has an idle rate.
+        let idle_rate = noise.idle();
+        let (idle_before, idle_trailing) = if idle_rate > 0.0 {
+            circuit.idle_periods()
+        } else {
+            (Vec::new(), Vec::new())
+        };
+
+        let mut counts = Counts::new(n).expect("validated width");
+        for _ in 0..trials {
+            // Accumulated X-flip mask from all faults of this trial.
+            let mut flips = 0u64;
+            for (i, (&p, g)) in gate_ps.iter().zip(gates).enumerate() {
+                // Idle faults propagate through this gate too.
+                if idle_rate > 0.0 {
+                    for &(q, moments) in &idle_before[i] {
+                        for _ in 0..moments {
+                            if rng.gen::<f64>() < idle_rate {
+                                let mut mask = PauliMask::single(Pauli::random(rng), q);
+                                for &later in &gates[i..] {
+                                    mask = mask.conjugate_through(later);
+                                }
+                                flips ^= mask.x;
+                            }
+                        }
+                    }
+                }
+                if p > 0.0 && rng.gen::<f64>() < p {
+                    let fault = if g.is_two_qubit() {
+                        PauliFault::random_double(rng)
+                    } else {
+                        PauliFault::random_single(rng)
+                    };
+                    flips ^= self.propagate(gates, i, *g, fault).x;
+                }
+            }
+            if idle_rate > 0.0 {
+                for (q, &moments) in idle_trailing.iter().enumerate() {
+                    for _ in 0..moments {
+                        if rng.gen::<f64>() < idle_rate
+                            && Pauli::random(rng).flips_measurement()
+                        {
+                            flips ^= 1u64 << q;
+                        }
+                    }
+                }
+            }
+            let ideal_key = entries[ideal_sampler.sample(rng)].0;
+            let outcome = BitString::new(ideal_key ^ flips, n);
+            counts.record(noise.apply_readout(outcome, rng));
+        }
+        Ok(counts)
+    }
+
+    /// Builds the initial mask of a fault at gate `g` (location `i`) and
+    /// conjugates it through the rest of the circuit.
+    fn propagate(&self, gates: &[Gate], i: usize, g: Gate, fault: PauliFault) -> PauliMask {
+        let mut mask = PauliMask::identity();
+        match g.qubits() {
+            crate::gates::GateQubits::One(q) => {
+                if let Some(p) = fault.first {
+                    mask = mask.compose(PauliMask::single(p, q));
+                }
+            }
+            crate::gates::GateQubits::Two(a, b) => {
+                if let Some(p) = fault.first {
+                    mask = mask.compose(PauliMask::single(p, a));
+                }
+                if let Some(p) = fault.second {
+                    mask = mask.compose(PauliMask::single(p, b));
+                }
+            }
+        }
+        for &later in &gates[i + 1..] {
+            mask = mask.conjugate_through(later);
+        }
+        mask
+    }
+}
+
+impl NoiseEngine for PropagationEngine<'_> {
+    fn engine_name(&self) -> &'static str {
+        "propagation"
+    }
+
+    fn sample_counts(
+        &self,
+        circuit: &Circuit,
+        trials: u64,
+        rng: &mut dyn RngCore,
+    ) -> Result<Counts, SimError> {
+        self.sample(circuit, trials, rng)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hammer_dist::metrics;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn single_pauli_masks() {
+        let m = PauliMask::single(Pauli::Y, 3);
+        assert_eq!(m.x, 0b1000);
+        assert_eq!(m.z, 0b1000);
+        let m = PauliMask::single(Pauli::Z, 0);
+        assert_eq!(m.x, 0);
+        assert_eq!(m.z, 1);
+    }
+
+    #[test]
+    fn hadamard_swaps_x_and_z() {
+        let x = PauliMask::single(Pauli::X, 1);
+        let after = x.conjugate_through(Gate::H(1));
+        assert_eq!(after, PauliMask::single(Pauli::Z, 1));
+        // Y is preserved up to sign.
+        let y = PauliMask::single(Pauli::Y, 1);
+        assert_eq!(y.conjugate_through(Gate::H(1)), y);
+        // H on another qubit does nothing.
+        assert_eq!(x.conjugate_through(Gate::H(0)), x);
+    }
+
+    #[test]
+    fn cx_spreads_x_from_control_to_target() {
+        let x = PauliMask::single(Pauli::X, 0);
+        let after = x.conjugate_through(Gate::Cx(0, 1));
+        assert_eq!(after.x, 0b11);
+        assert_eq!(after.z, 0);
+        // X on the target stays put.
+        let xt = PauliMask::single(Pauli::X, 1);
+        assert_eq!(xt.conjugate_through(Gate::Cx(0, 1)), xt);
+        // Z propagates target → control.
+        let zt = PauliMask::single(Pauli::Z, 1);
+        let after = zt.conjugate_through(Gate::Cx(0, 1));
+        assert_eq!(after.z, 0b11);
+        assert_eq!(after.x, 0);
+    }
+
+    #[test]
+    fn cz_maps_x_to_xz() {
+        let x = PauliMask::single(Pauli::X, 0);
+        let after = x.conjugate_through(Gate::Cz(0, 1));
+        assert_eq!(after.x, 0b01);
+        assert_eq!(after.z, 0b10);
+    }
+
+    #[test]
+    fn s_and_sqrtx_rules() {
+        // S: X → Y.
+        let x = PauliMask::single(Pauli::X, 0);
+        assert_eq!(
+            x.conjugate_through(Gate::S(0)),
+            PauliMask::single(Pauli::Y, 0)
+        );
+        // √X: Z → Y (up to sign).
+        let z = PauliMask::single(Pauli::Z, 0);
+        assert_eq!(
+            z.conjugate_through(Gate::SqrtX(0)),
+            PauliMask::single(Pauli::Y, 0)
+        );
+    }
+
+    #[test]
+    fn swap_moves_the_error() {
+        let y = PauliMask::single(Pauli::Y, 0);
+        assert_eq!(
+            y.conjugate_through(Gate::Swap(0, 2)),
+            PauliMask::single(Pauli::Y, 2)
+        );
+    }
+
+    #[test]
+    fn conjugation_is_involutive_for_self_inverse_cliffords() {
+        // H, CX, CZ, SWAP are self-inverse: conjugating twice restores.
+        let masks = [
+            PauliMask::single(Pauli::X, 0),
+            PauliMask::single(Pauli::Y, 1),
+            PauliMask::single(Pauli::Z, 2).compose(PauliMask::single(Pauli::X, 0)),
+        ];
+        let gates = [Gate::H(0), Gate::Cx(0, 1), Gate::Cz(1, 2), Gate::Swap(0, 2)];
+        for m in masks {
+            for g in gates {
+                assert_eq!(
+                    m.conjugate_through(g).conjugate_through(g),
+                    m,
+                    "{g} not involutive on {m:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn noiseless_device_reproduces_ideal() {
+        let mut c = Circuit::new(3);
+        c.h(0).cx(0, 1).cx(1, 2);
+        let device = DeviceModel::noiseless(3);
+        let engine = PropagationEngine::new(&device);
+        let mut rng = StdRng::seed_from_u64(21);
+        let d = engine
+            .sample(&c, 4000, &mut rng)
+            .unwrap()
+            .to_distribution();
+        assert_eq!(d.len(), 2);
+        assert!((d.prob(BitString::zeros(3)) - 0.5).abs() < 0.05);
+    }
+
+    #[test]
+    fn deeper_circuits_have_larger_ehd() {
+        // The defining §7 behavior: depth spreads faults.
+        let device = DeviceModel::ibm_manhattan(8);
+        let engine = PropagationEngine::new(&device);
+        let correct = [BitString::zeros(8)];
+        let mut ehds = Vec::new();
+        for reps in [1usize, 4, 12] {
+            // An identity-equivalent ladder circuit of growing depth.
+            let mut c = Circuit::new(8);
+            for _ in 0..reps {
+                for q in 0..7 {
+                    c.cx(q, q + 1);
+                }
+            }
+            for _ in 0..reps {
+                for q in (0..7).rev() {
+                    c.cx(q, q + 1);
+                }
+            }
+            let mut rng = StdRng::seed_from_u64(31);
+            let d = engine
+                .sample(&c, 6000, &mut rng)
+                .unwrap()
+                .to_distribution();
+            ehds.push(metrics::ehd(&d, &correct));
+        }
+        assert!(
+            ehds[0] < ehds[1] && ehds[1] < ehds[2],
+            "EHD should grow with depth: {ehds:?}"
+        );
+        // But stay below the uniform-error value n/2 = 4.
+        assert!(ehds[2] < 4.0, "EHD {} should stay below n/2", ehds[2]);
+    }
+
+    #[test]
+    fn idle_noise_matches_trajectory_engine() {
+        // Same idle-only experiment on both engines: flip statistics of
+        // the fully idle qubit must agree (X gates are Clifford, so the
+        // propagation engine is exact here).
+        let mut c = Circuit::new(2);
+        for _ in 0..12 {
+            c.x(0).x(0);
+        }
+        let coupling = crate::coupling::CouplingMap::full(2);
+        let noise = crate::noise::NoiseModel::uniform(
+            2,
+            0.0,
+            0.0,
+            crate::noise::ReadoutError::ideal(),
+        )
+        .with_idle_rate(0.01);
+        let device = DeviceModel::new("idle-only", coupling, noise);
+        let flip_rate = |dist: &hammer_dist::Distribution| -> f64 {
+            dist.iter().filter(|(x, _)| x.bit(1)).map(|(_, p)| p).sum()
+        };
+        let p_prop = flip_rate(
+            &PropagationEngine::new(&device)
+                .sample(&c, 20_000, &mut StdRng::seed_from_u64(3))
+                .unwrap()
+                .to_distribution(),
+        );
+        let p_traj = flip_rate(
+            &crate::trajectory::TrajectoryEngine::new(&device)
+                .sample(&c, 20_000, &mut StdRng::seed_from_u64(3))
+                .unwrap()
+                .to_distribution(),
+        );
+        assert!(p_prop > 0.05, "idle noise visible: {p_prop}");
+        assert!(
+            (p_prop - p_traj).abs() < 0.02,
+            "engines disagree: {p_prop} vs {p_traj}"
+        );
+    }
+
+    #[test]
+    fn deterministic_under_fixed_seed() {
+        let mut c = Circuit::new(5);
+        c.h(0).cx(0, 1).cx(1, 2).cx(2, 3).cx(3, 4);
+        let device = DeviceModel::ibm_paris(5);
+        let engine = PropagationEngine::new(&device);
+        let a = engine.sample(&c, 800, &mut StdRng::seed_from_u64(1)).unwrap();
+        let b = engine.sample(&c, 800, &mut StdRng::seed_from_u64(1)).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn zero_trials_rejected() {
+        let device = DeviceModel::noiseless(2);
+        let engine = PropagationEngine::new(&device);
+        let mut c = Circuit::new(2);
+        c.h(0);
+        assert_eq!(
+            engine.sample(&c, 0, &mut StdRng::seed_from_u64(1)),
+            Err(SimError::ZeroTrials)
+        );
+    }
+}

@@ -1,0 +1,155 @@
+//! Walker alias sampling: O(1) draws from a fixed discrete distribution.
+//!
+//! Both noise engines draw tens of thousands of samples from the ideal
+//! output distribution; the alias method makes each draw constant-time
+//! after linear setup.
+
+use rand::Rng;
+
+/// An alias table over indices `0..n` with given non-negative weights.
+///
+/// # Example
+///
+/// ```
+/// use hammer_sim::AliasSampler;
+/// use rand::SeedableRng;
+///
+/// let sampler = AliasSampler::new(&[1.0, 3.0]).unwrap();
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+/// let draws: Vec<usize> = (0..1000).map(|_| sampler.sample(&mut rng)).collect();
+/// let ones = draws.iter().filter(|&&i| i == 1).count();
+/// assert!(ones > 650 && ones < 850); // ≈ 75%
+/// ```
+#[derive(Debug, Clone)]
+pub struct AliasSampler {
+    /// Acceptance probability per slot.
+    prob: Vec<f64>,
+    /// Alias index per slot.
+    alias: Vec<usize>,
+}
+
+impl AliasSampler {
+    /// Builds the table. Weights need not be normalized.
+    ///
+    /// Returns `None` when `weights` is empty, contains a negative or
+    /// non-finite value, or sums to zero.
+    #[must_use]
+    pub fn new(weights: &[f64]) -> Option<Self> {
+        if weights.is_empty() {
+            return None;
+        }
+        let total: f64 = weights.iter().sum();
+        if !total.is_finite() || total <= 0.0 {
+            return None;
+        }
+        if weights.iter().any(|&w| !w.is_finite() || w < 0.0) {
+            return None;
+        }
+        let n = weights.len();
+        let scale = n as f64 / total;
+        let mut prob: Vec<f64> = weights.iter().map(|&w| w * scale).collect();
+        let mut alias = vec![0usize; n];
+        let mut small: Vec<usize> = Vec::new();
+        let mut large: Vec<usize> = Vec::new();
+        for (i, &p) in prob.iter().enumerate() {
+            if p < 1.0 {
+                small.push(i);
+            } else {
+                large.push(i);
+            }
+        }
+        while let (Some(s), Some(l)) = (small.pop(), large.pop()) {
+            alias[s] = l;
+            prob[l] = (prob[l] + prob[s]) - 1.0;
+            if prob[l] < 1.0 {
+                small.push(l);
+            } else {
+                large.push(l);
+            }
+        }
+        // Leftovers are numerically 1.0.
+        for i in small.into_iter().chain(large) {
+            prob[i] = 1.0;
+        }
+        Some(Self { prob, alias })
+    }
+
+    /// Number of categories.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.prob.len()
+    }
+
+    /// True when the table is empty (never: construction forbids it).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.prob.is_empty()
+    }
+
+    /// Draws one index in O(1).
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        let slot = rng.gen_range(0..self.prob.len());
+        if rng.gen::<f64>() < self.prob[slot] {
+            slot
+        } else {
+            self.alias[slot]
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn rejects_degenerate_input() {
+        assert!(AliasSampler::new(&[]).is_none());
+        assert!(AliasSampler::new(&[0.0, 0.0]).is_none());
+        assert!(AliasSampler::new(&[1.0, -0.5]).is_none());
+        assert!(AliasSampler::new(&[f64::NAN]).is_none());
+    }
+
+    #[test]
+    fn single_category_always_drawn() {
+        let s = AliasSampler::new(&[5.0]).unwrap();
+        let mut rng = StdRng::seed_from_u64(2);
+        for _ in 0..100 {
+            assert_eq!(s.sample(&mut rng), 0);
+        }
+    }
+
+    #[test]
+    fn zero_weight_category_never_drawn() {
+        let s = AliasSampler::new(&[1.0, 0.0, 1.0]).unwrap();
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..5000 {
+            assert_ne!(s.sample(&mut rng), 1);
+        }
+    }
+
+    #[test]
+    fn frequencies_match_weights() {
+        let weights = [0.1, 0.4, 0.2, 0.3];
+        let s = AliasSampler::new(&weights).unwrap();
+        let mut rng = StdRng::seed_from_u64(4);
+        let n = 200_000;
+        let mut hits = [0u32; 4];
+        for _ in 0..n {
+            hits[s.sample(&mut rng)] += 1;
+        }
+        for (i, &w) in weights.iter().enumerate() {
+            let freq = f64::from(hits[i]) / n as f64;
+            assert!((freq - w).abs() < 0.01, "category {i}: {freq} vs {w}");
+        }
+    }
+
+    #[test]
+    fn unnormalized_weights_accepted() {
+        let s = AliasSampler::new(&[2.0, 6.0]).unwrap();
+        let mut rng = StdRng::seed_from_u64(5);
+        let ones = (0..10_000).filter(|_| s.sample(&mut rng) == 1).count();
+        assert!((ones as f64 / 10_000.0 - 0.75).abs() < 0.02);
+    }
+}

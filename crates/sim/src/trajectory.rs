@@ -1,0 +1,406 @@
+//! Monte-Carlo trajectory simulation: exact state-vector evolution with
+//! stochastic Pauli fault injection.
+//!
+//! Each trial samples a fault configuration (per-gate depolarizing
+//! events); fault-free trials sample from the cached ideal state, faulty
+//! trials re-simulate the circuit with the sampled Paulis injected after
+//! the faulty gates. Readout errors are applied to every measured
+//! outcome. This is the gold-standard engine: it makes no approximation
+//! beyond the noise model itself.
+
+use hammer_dist::{BitString, Counts};
+use rand::{Rng, RngCore};
+
+use crate::circuit::Circuit;
+use crate::device::DeviceModel;
+use crate::engine::NoiseEngine;
+use crate::error::SimError;
+use crate::gates::{Gate, GateQubits};
+use crate::noise::{Pauli, PauliFault};
+use crate::sampler::AliasSampler;
+use crate::statevector::{StateVector, MAX_DENSE_QUBITS};
+
+/// The exact Monte-Carlo noise engine.
+///
+/// # Example
+///
+/// ```
+/// use hammer_sim::{Circuit, DeviceModel, TrajectoryEngine};
+/// use rand::SeedableRng;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut ghz = Circuit::new(4);
+/// ghz.h(0).cx(0, 1).cx(1, 2).cx(2, 3);
+/// let device = DeviceModel::ibm_paris(4);
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(11);
+/// let counts = TrajectoryEngine::new(&device).sample(&ghz, 2048, &mut rng)?;
+/// assert_eq!(counts.total(), 2048);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct TrajectoryEngine<'a> {
+    device: &'a DeviceModel,
+}
+
+impl<'a> TrajectoryEngine<'a> {
+    /// Creates an engine bound to a device model.
+    #[must_use]
+    pub fn new(device: &'a DeviceModel) -> Self {
+        Self { device }
+    }
+
+    /// The device this engine executes on.
+    #[must_use]
+    pub fn device(&self) -> &DeviceModel {
+        self.device
+    }
+
+    fn validate(&self, circuit: &Circuit, trials: u64) -> Result<(), SimError> {
+        if trials == 0 {
+            return Err(SimError::ZeroTrials);
+        }
+        if circuit.num_qubits() > self.device.num_qubits() {
+            return Err(SimError::CircuitTooWide {
+                circuit: circuit.num_qubits(),
+                device: self.device.num_qubits(),
+            });
+        }
+        if circuit.num_qubits() > MAX_DENSE_QUBITS {
+            return Err(SimError::TooManyQubitsForDense(circuit.num_qubits()));
+        }
+        Ok(())
+    }
+
+    /// Executes `circuit` for `trials` trials.
+    ///
+    /// # Errors
+    ///
+    /// See [`NoiseEngine::sample_counts`].
+    pub fn sample<R: Rng + ?Sized>(
+        &self,
+        circuit: &Circuit,
+        trials: u64,
+        rng: &mut R,
+    ) -> Result<Counts, SimError> {
+        self.validate(circuit, trials)?;
+        let n = circuit.num_qubits();
+        let noise = self.device.noise();
+
+        // Fault probability per gate location.
+        let gate_ps: Vec<f64> = circuit
+            .gates()
+            .iter()
+            .map(|g| match g.qubits() {
+                crate::gates::GateQubits::One(q) => noise.p1_for(q),
+                crate::gates::GateQubits::Two(a, b) => noise.p2_for(a, b),
+            })
+            .collect();
+
+        // Ideal final state, reused by every fault-free trial.
+        let ideal = StateVector::from_circuit(circuit);
+        let ideal_sampler =
+            AliasSampler::new(&ideal.probabilities()).expect("normalized state");
+
+        // Idle periods only matter when the model has an idle rate.
+        let idle_rate = noise.idle();
+        let (idle_before, idle_trailing) = if idle_rate > 0.0 {
+            circuit.idle_periods()
+        } else {
+            (Vec::new(), Vec::new())
+        };
+
+        let mut counts = Counts::new(n).expect("validated width");
+        let mut faults: Vec<TrialFault> = Vec::new();
+        for _ in 0..trials {
+            faults.clear();
+            for (i, (&p, g)) in gate_ps.iter().zip(circuit.gates()).enumerate() {
+                // Decoherence while waiting for this gate's operands.
+                if idle_rate > 0.0 {
+                    for &(q, moments) in &idle_before[i] {
+                        for _ in 0..moments {
+                            if rng.gen::<f64>() < idle_rate {
+                                faults.push(TrialFault::BeforeGate {
+                                    idx: i,
+                                    qubit: q,
+                                    pauli: Pauli::random(rng),
+                                });
+                            }
+                        }
+                    }
+                }
+                if p > 0.0 && rng.gen::<f64>() < p {
+                    let fault = if g.is_two_qubit() {
+                        PauliFault::random_double(rng)
+                    } else {
+                        PauliFault::random_single(rng)
+                    };
+                    faults.push(TrialFault::AfterGate { idx: i, fault });
+                }
+            }
+            if idle_rate > 0.0 {
+                for (q, &moments) in idle_trailing.iter().enumerate() {
+                    for _ in 0..moments {
+                        if rng.gen::<f64>() < idle_rate {
+                            faults.push(TrialFault::End {
+                                qubit: q,
+                                pauli: Pauli::random(rng),
+                            });
+                        }
+                    }
+                }
+            }
+            let outcome = if faults.is_empty() {
+                BitString::new(ideal_sampler.sample(rng) as u64, n)
+            } else {
+                self.faulty_trajectory(circuit, &faults).sample(rng)
+            };
+            counts.record(noise.apply_readout(outcome, rng));
+        }
+        Ok(counts)
+    }
+
+    /// Re-simulates the circuit with the given faults injected at their
+    /// recorded positions (idle faults before their gate, gate faults
+    /// after, end faults before measurement). `faults` must be ordered
+    /// by gate index with `End` faults last, which the sampling loop
+    /// guarantees.
+    fn faulty_trajectory(&self, circuit: &Circuit, faults: &[TrialFault]) -> StateVector {
+        let mut sv = StateVector::new(circuit.num_qubits());
+        let mut next = 0usize;
+        for (gi, &g) in circuit.gates().iter().enumerate() {
+            while next < faults.len() {
+                match faults[next] {
+                    TrialFault::BeforeGate { idx, qubit, pauli } if idx == gi => {
+                        sv.apply_gate(pauli_gate(pauli, qubit));
+                        next += 1;
+                    }
+                    _ => break,
+                }
+            }
+            sv.apply_gate(g);
+            while next < faults.len() {
+                match faults[next] {
+                    TrialFault::AfterGate { idx, fault } if idx == gi => {
+                        let (qa, qb) = match g.qubits() {
+                            GateQubits::One(a) => (a, None),
+                            GateQubits::Two(a, b) => (a, Some(b)),
+                        };
+                        if let Some(p) = fault.first {
+                            sv.apply_gate(pauli_gate(p, qa));
+                        }
+                        if let (Some(p), Some(b)) = (fault.second, qb) {
+                            sv.apply_gate(pauli_gate(p, b));
+                        }
+                        next += 1;
+                    }
+                    _ => break,
+                }
+            }
+        }
+        for f in &faults[next..] {
+            if let TrialFault::End { qubit, pauli } = *f {
+                sv.apply_gate(pauli_gate(pauli, qubit));
+            }
+        }
+        sv
+    }
+}
+
+/// One fault event within a trial.
+#[derive(Debug, Clone, Copy)]
+enum TrialFault {
+    /// Idle-decoherence fault on `qubit` just before gate `idx`.
+    BeforeGate { idx: usize, qubit: usize, pauli: Pauli },
+    /// Depolarizing fault on the operands of gate `idx`.
+    AfterGate { idx: usize, fault: PauliFault },
+    /// Idle fault after a qubit's last gate, before measurement.
+    End { qubit: usize, pauli: Pauli },
+}
+
+/// The gate realizing a Pauli error on qubit `q`.
+fn pauli_gate(p: Pauli, q: usize) -> Gate {
+    match p {
+        Pauli::X => Gate::X(q),
+        Pauli::Y => Gate::Y(q),
+        Pauli::Z => Gate::Z(q),
+    }
+}
+
+impl NoiseEngine for TrajectoryEngine<'_> {
+    fn engine_name(&self) -> &'static str {
+        "trajectory"
+    }
+
+    fn sample_counts(
+        &self,
+        circuit: &Circuit,
+        trials: u64,
+        rng: &mut dyn RngCore,
+    ) -> Result<Counts, SimError> {
+        self.sample(circuit, trials, rng)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hammer_dist::metrics;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn ghz(n: usize) -> Circuit {
+        let mut c = Circuit::new(n);
+        c.h(0);
+        for q in 0..n - 1 {
+            c.cx(q, q + 1);
+        }
+        c
+    }
+
+    #[test]
+    fn zero_trials_rejected() {
+        let device = DeviceModel::noiseless(2);
+        let engine = TrajectoryEngine::new(&device);
+        let mut rng = StdRng::seed_from_u64(0);
+        assert_eq!(
+            engine.sample(&ghz(2), 0, &mut rng),
+            Err(SimError::ZeroTrials)
+        );
+    }
+
+    #[test]
+    fn wide_circuit_rejected() {
+        let device = DeviceModel::noiseless(2);
+        let engine = TrajectoryEngine::new(&device);
+        let mut rng = StdRng::seed_from_u64(0);
+        assert!(matches!(
+            engine.sample(&ghz(3), 16, &mut rng),
+            Err(SimError::CircuitTooWide { circuit: 3, device: 2 })
+        ));
+    }
+
+    #[test]
+    fn noiseless_device_reproduces_ideal() {
+        let device = DeviceModel::noiseless(3);
+        let engine = TrajectoryEngine::new(&device);
+        let mut rng = StdRng::seed_from_u64(1);
+        let counts = engine.sample(&ghz(3), 4000, &mut rng).unwrap();
+        let dist = counts.to_distribution();
+        // Only the two GHZ branches appear.
+        assert_eq!(dist.len(), 2);
+        let all0 = BitString::zeros(3);
+        let all1 = BitString::ones(3);
+        assert!((dist.prob(all0) - 0.5).abs() < 0.05);
+        assert!((dist.prob(all1) - 0.5).abs() < 0.05);
+    }
+
+    #[test]
+    fn noisy_device_produces_errors_clustered_near_correct() {
+        let device = DeviceModel::ibm_paris(6);
+        let engine = TrajectoryEngine::new(&device);
+        let mut rng = StdRng::seed_from_u64(2);
+        let counts = engine.sample(&ghz(6), 6000, &mut rng).unwrap();
+        let dist = counts.to_distribution();
+        let correct = [BitString::zeros(6), BitString::ones(6)];
+        let p = metrics::pst(&dist, &correct);
+        // Noise pushes PST below 1 but the circuit is shallow enough to
+        // stay mostly correct.
+        assert!(p < 0.999, "expected some errors, pst = {p}");
+        assert!(p > 0.5, "unexpectedly destructive noise, pst = {p}");
+        // Hamming structure: EHD far below the uniform-error value n/2.
+        let e = metrics::ehd(&dist, &correct);
+        assert!(e < 1.0, "ehd {e} should be far below 3.0");
+    }
+
+    #[test]
+    fn readout_bias_pulls_ones_toward_zeros() {
+        // All-ones circuit on a device with strongly biased readout.
+        let mut c = Circuit::new(4);
+        for q in 0..4 {
+            c.x(q);
+        }
+        let coupling = crate::coupling::CouplingMap::full(4);
+        let noise = crate::noise::NoiseModel::uniform(
+            4,
+            0.0,
+            0.0,
+            crate::noise::ReadoutError::new(0.0, 0.25),
+        );
+        let device = DeviceModel::new("biased", coupling, noise);
+        let engine = TrajectoryEngine::new(&device);
+        let mut rng = StdRng::seed_from_u64(3);
+        let counts = engine.sample(&c, 8000, &mut rng).unwrap();
+        let dist = counts.to_distribution();
+        // Expected weight = 4 × 0.75 = 3.
+        let mean_weight = dist
+            .iter()
+            .map(|(x, p)| p * f64::from(x.weight()))
+            .sum::<f64>();
+        assert!((mean_weight - 3.0).abs() < 0.1, "mean weight {mean_weight}");
+    }
+
+    #[test]
+    fn idle_noise_degrades_waiting_qubits() {
+        // A circuit where qubit 1 idles for the whole schedule while
+        // qubit 0 works; only idle noise is enabled.
+        let mut c = Circuit::new(3);
+        for _ in 0..10 {
+            c.x(0).x(0);
+        }
+        c.x(2); // ideal outcome: bit 2 = 1
+        let coupling = crate::coupling::CouplingMap::full(3);
+        let noise = crate::noise::NoiseModel::uniform(
+            3,
+            0.0,
+            0.0,
+            crate::noise::ReadoutError::ideal(),
+        )
+        .with_idle_rate(0.02);
+        let device = DeviceModel::new("idle-only", coupling, noise);
+        let engine = TrajectoryEngine::new(&device);
+        let mut rng = StdRng::seed_from_u64(41);
+        let dist = engine.sample(&c, 8000, &mut rng).unwrap().to_distribution();
+        // Qubit 1 never runs a gate: it idles for the full depth and
+        // should flip far more often than the always-busy qubit 0.
+        let p_q1_flipped: f64 = dist
+            .iter()
+            .filter(|(x, _)| x.bit(1))
+            .map(|(_, p)| p)
+            .sum();
+        let p_q0_flipped: f64 = dist
+            .iter()
+            .filter(|(x, _)| x.bit(0))
+            .map(|(_, p)| p)
+            .sum();
+        assert!(
+            p_q1_flipped > 5.0 * p_q0_flipped.max(1e-4),
+            "idle qubit flip rate {p_q1_flipped} vs busy {p_q0_flipped}"
+        );
+        assert!(p_q1_flipped > 0.05, "idle noise should be visible");
+    }
+
+    #[test]
+    fn deterministic_under_fixed_seed() {
+        let device = DeviceModel::ibm_paris(4);
+        let engine = TrajectoryEngine::new(&device);
+        let a = engine
+            .sample(&ghz(4), 500, &mut StdRng::seed_from_u64(7))
+            .unwrap();
+        let b = engine
+            .sample(&ghz(4), 500, &mut StdRng::seed_from_u64(7))
+            .unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn trait_object_usable() {
+        let device = DeviceModel::ibm_paris(3);
+        let engine = TrajectoryEngine::new(&device);
+        let dynamic: &dyn NoiseEngine = &engine;
+        let mut rng = StdRng::seed_from_u64(8);
+        let d = dynamic.noisy_distribution(&ghz(3), 256, &mut rng).unwrap();
+        assert!((d.total_mass() - 1.0).abs() < 1e-9);
+        assert_eq!(dynamic.engine_name(), "trajectory");
+    }
+}

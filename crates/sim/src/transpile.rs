@@ -1,0 +1,421 @@
+//! SWAP-routing transpiler: maps logical circuits onto constrained
+//! coupling maps, the stand-in for the paper's "Qiskit compiler
+//! tool-chain … compilation step recursively to ensure minimum number of
+//! CNOTs" (§5.2).
+//!
+//! The router keeps a logical→physical layout and, for every two-qubit
+//! gate on non-adjacent physical qubits, inserts SWAPs along a shortest
+//! path. The SWAP overhead is what makes 3-regular QAOA circuits deeper
+//! than grid circuits (and what erodes their Hamming structure) — the
+//! effect behind Figs. 9 and 12.
+
+use hammer_dist::{BitString, Counts};
+
+use crate::circuit::Circuit;
+use crate::coupling::CouplingMap;
+use crate::error::SimError;
+use crate::gates::{Gate, GateQubits};
+
+/// The result of routing a logical circuit onto a device.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Transpiled {
+    /// The physical circuit (register width = device width).
+    circuit: Circuit,
+    /// Logical width of the source circuit.
+    logical_qubits: usize,
+    /// Final layout: logical qubit `i` ends on physical qubit
+    /// `layout[i]`, so its measured value is physical bit `layout[i]`.
+    layout: Vec<usize>,
+    /// Number of SWAP gates inserted by routing.
+    swaps_inserted: usize,
+}
+
+impl Transpiled {
+    /// The routed physical circuit.
+    #[must_use]
+    pub fn circuit(&self) -> &Circuit {
+        &self.circuit
+    }
+
+    /// Logical register width of the original circuit.
+    #[must_use]
+    pub fn logical_qubits(&self) -> usize {
+        self.logical_qubits
+    }
+
+    /// Final logical→physical layout.
+    #[must_use]
+    pub fn layout(&self) -> &[usize] {
+        &self.layout
+    }
+
+    /// Number of SWAPs routing inserted.
+    #[must_use]
+    pub fn swaps_inserted(&self) -> usize {
+        self.swaps_inserted
+    }
+
+    /// Extracts the logical outcome from a physical measurement:
+    /// logical bit `i` = physical bit `layout[i]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `physical`'s width differs from the physical register.
+    #[must_use]
+    pub fn logical_outcome(&self, physical: BitString) -> BitString {
+        assert_eq!(
+            physical.len(),
+            self.circuit.num_qubits(),
+            "physical outcome width mismatch"
+        );
+        let mut bits = 0u64;
+        for (i, &p) in self.layout.iter().enumerate() {
+            if physical.bit(p) {
+                bits |= 1 << i;
+            }
+        }
+        BitString::new(bits, self.logical_qubits)
+    }
+
+    /// Converts a physical-outcome histogram into logical outcomes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the histogram width differs from the physical register.
+    #[must_use]
+    pub fn logical_counts(&self, physical: &Counts) -> Counts {
+        let mut out = Counts::new(self.logical_qubits).expect("valid width");
+        for (outcome, n) in physical.iter() {
+            out.record_n(self.logical_outcome(outcome), n);
+        }
+        out
+    }
+
+    /// Converts a physical-outcome distribution into logical outcomes,
+    /// merging probabilities that collide after projection.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the distribution width differs from the physical
+    /// register.
+    #[must_use]
+    pub fn logical_distribution(
+        &self,
+        physical: &hammer_dist::Distribution,
+    ) -> hammer_dist::Distribution {
+        let pairs = physical
+            .iter()
+            .map(|(outcome, p)| (self.logical_outcome(outcome), p));
+        hammer_dist::Distribution::from_probs(self.logical_qubits, pairs)
+            .expect("projection preserves probability mass")
+    }
+}
+
+/// Routes `circuit` onto `coupling` with a trivial initial layout and
+/// greedy shortest-path SWAP insertion, then decomposes everything to the
+/// `{1q, CX}` basis (the IBM native two-qubit gate).
+///
+/// # Errors
+///
+/// * [`SimError::CircuitTooWide`] if the device is smaller than the
+///   circuit;
+/// * [`SimError::Unroutable`] if the coupling map is disconnected.
+///
+/// # Example
+///
+/// ```
+/// use hammer_sim::{transpile, Circuit, CouplingMap};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// // CX between the two ends of a 4-qubit chain needs routing.
+/// let mut c = Circuit::new(4);
+/// c.h(0).cx(0, 3);
+/// let routed = transpile(&c, &CouplingMap::linear(4))?;
+/// assert!(routed.swaps_inserted() > 0);
+/// # Ok(())
+/// # }
+/// ```
+pub fn transpile(circuit: &Circuit, coupling: &CouplingMap) -> Result<Transpiled, SimError> {
+    let identity: Vec<usize> = (0..coupling.num_qubits()).collect();
+    transpile_with_layout(circuit, coupling, &identity)
+}
+
+/// Routes `circuit` onto `coupling` starting from an explicit initial
+/// layout: logical qubit `i` starts on physical qubit
+/// `initial_layout[i]`. Remaining physical qubits serve as routing
+/// space. This is the knob behind *diverse mappings*: different layouts
+/// steer the program through different (differently noisy) couplers.
+///
+/// # Errors
+///
+/// As [`transpile`].
+///
+/// # Panics
+///
+/// Panics if `initial_layout` is shorter than the circuit, repeats a
+/// physical qubit, or addresses one out of range.
+pub fn transpile_with_layout(
+    circuit: &Circuit,
+    coupling: &CouplingMap,
+    initial_layout: &[usize],
+) -> Result<Transpiled, SimError> {
+    let n_logical = circuit.num_qubits();
+    let n_physical = coupling.num_qubits();
+    if n_logical > n_physical {
+        return Err(SimError::CircuitTooWide {
+            circuit: n_logical,
+            device: n_physical,
+        });
+    }
+    if !coupling.is_connected() {
+        return Err(SimError::Unroutable);
+    }
+    assert!(
+        initial_layout.len() >= n_logical,
+        "initial layout covers {} qubits, circuit needs {}",
+        initial_layout.len(),
+        n_logical
+    );
+
+    let dist = coupling.distance_matrix();
+    // Seed the layout from the caller's assignment, then place the
+    // remaining physical qubits on the unused logical slots.
+    let mut log2phys: Vec<usize> = vec![usize::MAX; n_physical];
+    let mut used = vec![false; n_physical];
+    for (logical, &phys) in initial_layout.iter().take(n_logical).enumerate() {
+        assert!(phys < n_physical, "physical qubit {phys} out of range");
+        assert!(!used[phys], "physical qubit {phys} assigned twice");
+        used[phys] = true;
+        log2phys[logical] = phys;
+    }
+    let mut spare = (0..n_physical).filter(|&p| !used[p]);
+    for slot in log2phys.iter_mut().skip(n_logical) {
+        *slot = spare.next().expect("enough physical qubits");
+    }
+    let mut phys2log: Vec<usize> = vec![usize::MAX; n_physical];
+    for (logical, &phys) in log2phys.iter().enumerate() {
+        phys2log[phys] = logical;
+    }
+    let mut out = Circuit::new(n_physical);
+    let mut swaps = 0usize;
+
+    let emit_swap =
+        |out: &mut Circuit, log2phys: &mut [usize], phys2log: &mut [usize], a: usize, b: usize| {
+            out.swap(a, b);
+            let (la, lb) = (phys2log[a], phys2log[b]);
+            phys2log.swap(a, b);
+            log2phys.swap(la, lb);
+        };
+
+    for &g in circuit.gates() {
+        match g.qubits() {
+            GateQubits::One(q) => {
+                out.push(remap_gate(g, log2phys[q], None));
+            }
+            GateQubits::Two(a, b) => {
+                let mut pa = log2phys[a];
+                let pb = log2phys[b];
+                // Walk `pa` toward `pb` along a shortest path.
+                while dist[pa][pb] > 1 {
+                    let next = *coupling
+                        .neighbors(pa)
+                        .iter()
+                        .find(|&&nb| dist[nb][pb] == dist[pa][pb] - 1)
+                        .expect("connected map has a descending neighbor");
+                    emit_swap(&mut out, &mut log2phys, &mut phys2log, pa, next);
+                    swaps += 1;
+                    pa = next;
+                }
+                out.push(remap_gate(g, pa, Some(log2phys[b])));
+            }
+        }
+    }
+
+    Ok(Transpiled {
+        circuit: out.decompose_to_cx(),
+        logical_qubits: n_logical,
+        layout: log2phys[..n_logical].to_vec(),
+        swaps_inserted: swaps,
+    })
+}
+
+/// Rewrites a gate's operands onto physical qubits.
+fn remap_gate(g: Gate, a: usize, b: Option<usize>) -> Gate {
+    use Gate::*;
+    match (g, b) {
+        (H(_), _) => H(a),
+        (X(_), _) => X(a),
+        (Y(_), _) => Y(a),
+        (Z(_), _) => Z(a),
+        (S(_), _) => S(a),
+        (Sdg(_), _) => Sdg(a),
+        (T(_), _) => T(a),
+        (Tdg(_), _) => Tdg(a),
+        (SqrtX(_), _) => SqrtX(a),
+        (SqrtXdg(_), _) => SqrtXdg(a),
+        (Rx(_, t), _) => Rx(a, t),
+        (Ry(_, t), _) => Ry(a, t),
+        (Rz(_, t), _) => Rz(a, t),
+        (Cx(..), Some(b)) => Cx(a, b),
+        (Cz(..), Some(b)) => Cz(a, b),
+        (Swap(..), Some(b)) => Swap(a, b),
+        (Zz(.., g2), Some(b)) => Zz(a, b, g2),
+        (two_qubit, None) => unreachable!("two-qubit gate {two_qubit} remapped without operand"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::statevector::simulate_ideal;
+
+    #[test]
+    fn adjacent_gates_need_no_swaps() {
+        let mut c = Circuit::new(3);
+        c.h(0).cx(0, 1).cx(1, 2);
+        let t = transpile(&c, &CouplingMap::linear(3)).unwrap();
+        assert_eq!(t.swaps_inserted(), 0);
+        assert_eq!(t.layout(), &[0, 1, 2]);
+    }
+
+    #[test]
+    fn distant_gates_get_routed() {
+        let mut c = Circuit::new(5);
+        c.cx(0, 4);
+        let t = transpile(&c, &CouplingMap::linear(5)).unwrap();
+        // Distance 4 → 3 SWAPs to become adjacent.
+        assert_eq!(t.swaps_inserted(), 3);
+        // Physical circuit contains only CX after decomposition.
+        assert!(t
+            .circuit()
+            .gates()
+            .iter()
+            .all(|g| !matches!(g, Gate::Swap(..))));
+    }
+
+    #[test]
+    fn full_coupling_never_swaps() {
+        let mut c = Circuit::new(6);
+        for a in 0..6 {
+            for b in 0..6 {
+                if a != b {
+                    c.cx(a, b);
+                }
+            }
+        }
+        let t = transpile(&c, &CouplingMap::full(6)).unwrap();
+        assert_eq!(t.swaps_inserted(), 0);
+    }
+
+    #[test]
+    fn grid_qaoa_edges_cheaper_than_chain() {
+        // A 2×3 grid circuit whose ZZ gates follow grid edges routes for
+        // free on the grid but needs SWAPs on a line.
+        let grid = CouplingMap::grid(2, 3);
+        let mut c = Circuit::new(6);
+        for (a, b) in grid.edges() {
+            c.zz(a, b, 0.3);
+        }
+        let on_grid = transpile(&c, &grid).unwrap();
+        let on_line = transpile(&c, &CouplingMap::linear(6)).unwrap();
+        assert_eq!(on_grid.swaps_inserted(), 0);
+        assert!(on_line.swaps_inserted() > 0);
+        assert!(on_line.circuit().cx_count() > on_grid.circuit().cx_count());
+    }
+
+    #[test]
+    fn routed_circuit_preserves_semantics() {
+        // Compare ideal distributions: transpiled + unpermuted ==
+        // original.
+        let mut c = Circuit::new(4);
+        c.h(0).cx(0, 3).rz(3, 0.7).cx(1, 2).h(2).cx(0, 2).t(1).cx(3, 1);
+        let t = transpile(&c, &CouplingMap::linear(4)).unwrap();
+        let original = simulate_ideal(&c);
+        let routed = simulate_ideal(t.circuit());
+        // Re-map the routed distribution to logical qubits.
+        let mut pairs = Vec::new();
+        for (phys, p) in routed.iter() {
+            pairs.push((t.logical_outcome(phys), p));
+        }
+        let logical =
+            hammer_dist::Distribution::from_probs(4, pairs).expect("valid distribution");
+        for (x, p) in original.iter() {
+            assert!(
+                (logical.prob(x) - p).abs() < 1e-9,
+                "prob mismatch at {x}: {} vs {p}",
+                logical.prob(x)
+            );
+        }
+    }
+
+    #[test]
+    fn logical_counts_remaps_histograms() {
+        let mut c = Circuit::new(2);
+        c.x(0).cx(0, 1);
+        // Route onto a 3-qubit chain; logical width stays 2.
+        let t = transpile(&c, &CouplingMap::linear(3)).unwrap();
+        let mut physical = Counts::new(3).unwrap();
+        // Simulate by measuring the physical ideal outcome.
+        let ideal = simulate_ideal(t.circuit());
+        let (top, _) = ideal.most_probable().unwrap();
+        physical.record_n(top, 10);
+        let logical = t.logical_counts(&physical);
+        assert_eq!(logical.n_bits(), 2);
+        assert_eq!(logical.count(BitString::parse("11").unwrap()), 10);
+    }
+
+    #[test]
+    fn custom_layout_places_qubits() {
+        let mut c = Circuit::new(2);
+        c.x(0).cx(0, 1);
+        // Put logical 0 on physical 3 and logical 1 on physical 2.
+        let t = transpile_with_layout(&c, &CouplingMap::linear(4), &[3, 2]).unwrap();
+        assert_eq!(t.swaps_inserted(), 0); // 3 and 2 are adjacent
+        assert_eq!(t.layout(), &[3, 2]);
+        let ideal = simulate_ideal(t.circuit());
+        let (top, _) = ideal.most_probable().unwrap();
+        assert_eq!(t.logical_outcome(top), BitString::parse("11").unwrap());
+    }
+
+    #[test]
+    fn diverse_layouts_preserve_semantics() {
+        let mut c = Circuit::new(3);
+        c.h(0).cx(0, 2).t(1).cx(1, 0).rz(2, 0.3);
+        let reference = simulate_ideal(&c);
+        let coupling = CouplingMap::linear(5);
+        for layout in [[0usize, 1, 2], [4, 3, 2], [2, 0, 4]] {
+            let t = transpile_with_layout(&c, &coupling, &layout).unwrap();
+            let routed = simulate_ideal(t.circuit());
+            let logical = t.logical_distribution(&routed);
+            for (x, p) in reference.iter() {
+                assert!(
+                    (logical.prob(x) - p).abs() < 1e-9,
+                    "layout {layout:?} broke outcome {x}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "assigned twice")]
+    fn duplicate_layout_rejected() {
+        let c = Circuit::new(2);
+        let _ = transpile_with_layout(&c, &CouplingMap::linear(3), &[1, 1]);
+    }
+
+    #[test]
+    fn too_wide_circuit_rejected() {
+        let c = Circuit::new(5);
+        assert!(matches!(
+            transpile(&c, &CouplingMap::linear(3)),
+            Err(SimError::CircuitTooWide { circuit: 5, device: 3 })
+        ));
+    }
+
+    #[test]
+    fn disconnected_map_rejected() {
+        let c = Circuit::new(2);
+        let m = CouplingMap::from_edges(4, &[(0, 1), (2, 3)]);
+        assert_eq!(transpile(&c, &m), Err(SimError::Unroutable));
+    }
+}

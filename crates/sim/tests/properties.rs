@@ -1,0 +1,241 @@
+//! Property-based tests for the simulator: unitarity, reversibility,
+//! routing equivalence, and an exact cross-validation of the
+//! Clifford-conjugation rules the propagation engine relies on.
+
+use hammer_sim::{
+    simulate_ideal, transpile, Circuit, CouplingMap, Gate, Pauli, PauliMask, StateVector,
+};
+use proptest::prelude::*;
+
+/// Strategy: an arbitrary gate on `n` qubits.
+fn gate(n: usize) -> impl Strategy<Value = Gate> {
+    let q = 0..n;
+    let q2 = move || {
+        (0..n, 0..n - 1).prop_map(move |(a, mut b)| {
+            if b >= a {
+                b += 1;
+            }
+            (a, b)
+        })
+    };
+    prop_oneof![
+        q.clone().prop_map(Gate::H),
+        q.clone().prop_map(Gate::X),
+        q.clone().prop_map(Gate::Y),
+        q.clone().prop_map(Gate::Z),
+        q.clone().prop_map(Gate::S),
+        q.clone().prop_map(Gate::Sdg),
+        q.clone().prop_map(Gate::T),
+        q.clone().prop_map(Gate::SqrtX),
+        (q.clone(), -3.0f64..3.0).prop_map(|(a, t)| Gate::Rx(a, t)),
+        (q.clone(), -3.0f64..3.0).prop_map(|(a, t)| Gate::Ry(a, t)),
+        (q.clone(), -3.0f64..3.0).prop_map(|(a, t)| Gate::Rz(a, t)),
+        q2().prop_map(|(a, b)| Gate::Cx(a, b)),
+        q2().prop_map(|(a, b)| Gate::Cz(a, b)),
+        q2().prop_map(|(a, b)| Gate::Swap(a, b)),
+        (q2(), -2.0f64..2.0).prop_map(|((a, b), g)| Gate::Zz(a, b, g)),
+    ]
+}
+
+/// Strategy: a random circuit on 2..=5 qubits.
+fn circuit() -> impl Strategy<Value = Circuit> {
+    (2usize..=5)
+        .prop_flat_map(|n| (Just(n), proptest::collection::vec(gate(n), 1..25)))
+        .prop_map(|(n, gates)| {
+            let mut c = Circuit::new(n);
+            for g in gates {
+                c.push(g);
+            }
+            c
+        })
+}
+
+/// Strategy: a random *Clifford* circuit (exact Pauli conjugation).
+fn clifford_circuit() -> impl Strategy<Value = Circuit> {
+    let clifford_gate = |n: usize| {
+        let q = 0..n;
+        let q2 = move || {
+            (0..n, 0..n - 1).prop_map(move |(a, mut b)| {
+                if b >= a {
+                    b += 1;
+                }
+                (a, b)
+            })
+        };
+        prop_oneof![
+            q.clone().prop_map(Gate::H),
+            q.clone().prop_map(Gate::S),
+            q.clone().prop_map(Gate::Sdg),
+            q.clone().prop_map(Gate::SqrtX),
+            q.clone().prop_map(Gate::SqrtXdg),
+            q.clone().prop_map(Gate::X),
+            q.clone().prop_map(Gate::Y),
+            q.clone().prop_map(Gate::Z),
+            q2().prop_map(|(a, b)| Gate::Cx(a, b)),
+            q2().prop_map(|(a, b)| Gate::Cz(a, b)),
+            q2().prop_map(|(a, b)| Gate::Swap(a, b)),
+        ]
+    };
+    (2usize..=5)
+        .prop_flat_map(move |n| (Just(n), proptest::collection::vec(clifford_gate(n), 1..20)))
+        .prop_map(|(n, gates)| {
+            let mut c = Circuit::new(n);
+            for g in gates {
+                c.push(g);
+            }
+            c
+        })
+}
+
+/// Applies a Pauli mask (X/Z bit masks) to a state as explicit gates.
+fn apply_mask(sv: &mut StateVector, mask: PauliMask) {
+    for q in 0..sv.num_qubits() {
+        let bit = 1u64 << q;
+        match (mask.x & bit != 0, mask.z & bit != 0) {
+            (true, false) => sv.apply_gate(Gate::X(q)),
+            (false, true) => sv.apply_gate(Gate::Z(q)),
+            (true, true) => sv.apply_gate(Gate::Y(q)),
+            (false, false) => {}
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn random_circuits_preserve_norm(c in circuit()) {
+        let sv = StateVector::from_circuit(&c);
+        prop_assert!((sv.norm_sqr() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn dagger_inverts_random_circuits(c in circuit()) {
+        let mut round_trip = c.clone();
+        round_trip.append(&c.dagger());
+        let sv = StateVector::from_circuit(&round_trip);
+        let zero = hammer_dist::BitString::zeros(c.num_qubits());
+        prop_assert!((sv.probability(zero) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn decompose_to_cx_preserves_state(c in circuit()) {
+        let direct = StateVector::from_circuit(&c);
+        let decomposed = StateVector::from_circuit(&c.decompose_to_cx());
+        // Equal up to global phase.
+        prop_assert!((direct.inner_product(&decomposed).abs() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn routing_preserves_distributions(c in circuit()) {
+        let coupling = CouplingMap::linear(c.num_qubits());
+        let routed = transpile(&c, &coupling).expect("routable");
+        let reference = simulate_ideal(&c);
+        let physical = simulate_ideal(routed.circuit());
+        let logical = routed.logical_distribution(&physical);
+        for (x, p) in reference.iter() {
+            prop_assert!(
+                (logical.prob(x) - p).abs() < 1e-9,
+                "outcome {x}: routed {} vs direct {p}",
+                logical.prob(x)
+            );
+        }
+    }
+
+    #[test]
+    fn pauli_conjugation_matches_statevector(
+        c in clifford_circuit(),
+        pauli_idx in 0usize..3,
+        qubit_frac in 0.0f64..1.0,
+    ) {
+        // For Clifford C and Pauli P: C·P|ψ₀⟩ must equal P'·C|ψ₀⟩ with
+        // P' = C P C† — exactly the rule the propagation engine applies.
+        let n = c.num_qubits();
+        let q = ((qubit_frac * n as f64) as usize).min(n - 1);
+        let p = [Pauli::X, Pauli::Y, Pauli::Z][pauli_idx];
+        let mask = PauliMask::single(p, q);
+
+        // Left side: inject P at the start, then run the circuit.
+        let mut lhs = StateVector::new(n);
+        apply_mask(&mut lhs, mask);
+        lhs.apply_circuit(&c);
+
+        // Right side: run the circuit, then apply the conjugated mask.
+        let mut conj = mask;
+        for &g in c.gates() {
+            conj = conj.conjugate_through(g);
+        }
+        let mut rhs = StateVector::new(n);
+        rhs.apply_circuit(&c);
+        apply_mask(&mut rhs, conj);
+
+        // Equal up to global phase (masks drop phases deliberately).
+        let overlap = lhs.inner_product(&rhs).abs();
+        prop_assert!(
+            (overlap - 1.0).abs() < 1e-9,
+            "conjugation mismatch: overlap {overlap}"
+        );
+    }
+
+    #[test]
+    fn mask_composition_commutes_with_conjugation(c in clifford_circuit()) {
+        // C (P∘Q) C† = (C P C†) ∘ (C Q C†) — composition before or after
+        // transport is the same, which lets the engines XOR masks.
+        let p = PauliMask::single(Pauli::X, 0);
+        let q = PauliMask::single(Pauli::Z, c.num_qubits() - 1);
+        let transport = |m: PauliMask| {
+            c.gates().iter().fold(m, |acc, &g| acc.conjugate_through(g))
+        };
+        prop_assert_eq!(transport(p.compose(q)), transport(p).compose(transport(q)));
+    }
+
+    #[test]
+    fn slots_are_consistent_with_depth(c in circuit()) {
+        let slots = c.slots();
+        prop_assert_eq!(slots.len(), c.gate_count());
+        let max_slot = slots.iter().max().copied().unwrap_or(0);
+        if c.gate_count() > 0 {
+            prop_assert_eq!(max_slot + 1, c.depth());
+        }
+        // Gates on the same qubit occupy strictly increasing slots.
+        for q in 0..c.num_qubits() {
+            let mut last: Option<usize> = None;
+            for (g, &s) in c.gates().iter().zip(&slots) {
+                if g.qubits().to_vec().contains(&q) {
+                    if let Some(prev) = last {
+                        prop_assert!(s > prev);
+                    }
+                    last = Some(s);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn idle_periods_account_for_every_moment(c in circuit()) {
+        // Busy moments + idle moments = depth, per qubit.
+        let (per_gate, trailing) = c.idle_periods();
+        let depth = c.depth();
+        let mut busy = vec![0usize; c.num_qubits()];
+        let mut idle = trailing.clone();
+        for (g, idles) in c.gates().iter().zip(&per_gate) {
+            for q in g.qubits().to_vec() {
+                busy[q] += 1;
+            }
+            for &(q, d) in idles {
+                idle[q] += d;
+            }
+        }
+        for q in 0..c.num_qubits() {
+            prop_assert_eq!(
+                busy[q] + idle[q],
+                depth,
+                "qubit {} busy {} + idle {} != depth {}",
+                q,
+                busy[q],
+                idle[q],
+                depth
+            );
+        }
+    }
+}

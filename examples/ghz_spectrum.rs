@@ -1,0 +1,57 @@
+//! Visualize the Hamming spectrum of a noisy GHZ-10 run (the §3.1
+//! observation that started the paper).
+//!
+//! ```text
+//! cargo run --release --example ghz_spectrum
+//! ```
+
+use hammer::prelude::*;
+use rand::SeedableRng;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let n = 10;
+    let circuit = ghz(n);
+    let correct = ghz_correct_outcomes(n);
+    let device = DeviceModel::ibm_manhattan(n);
+    let mut rng = rand::rngs::StdRng::seed_from_u64(31);
+
+    let counts = TrajectoryEngine::new(&device).sample(&circuit, 8192, &mut rng)?;
+    let dist = counts.to_distribution();
+
+    println!("GHZ-{n} on {} ({} trials)", device.name(), counts.total());
+    println!(
+        "correct outcomes 0^{n} / 1^{n} hold {:.1}% of the mass\n",
+        100.0 * pst(&dist, &correct)
+    );
+
+    let spectrum = HammingSpectrum::new(&dist, &correct);
+    println!("bin  outcomes  total-prob  histogram");
+    let max_total = spectrum
+        .bins()
+        .iter()
+        .map(|b| b.total)
+        .fold(f64::NEG_INFINITY, f64::max);
+    for (k, bin) in spectrum.bins().iter().enumerate() {
+        if bin.count == 0 && k > 0 {
+            continue;
+        }
+        let bar_len = ((bin.total / max_total) * 40.0).round() as usize;
+        println!(
+            "{k:>3}  {:>8}  {:>10.4}  {}",
+            bin.count,
+            bin.total,
+            "#".repeat(bar_len)
+        );
+    }
+
+    println!("\nEHD = {:.3} (uniform-error model would give {:.1})", ehd(&dist, &correct), n as f64 / 2.0);
+
+    // Show the dominant incorrect outcomes and their distances.
+    println!("\ntop outcomes:");
+    for (x, p) in dist.top_k(8) {
+        let d = x.min_distance_to(&correct);
+        let marker = if d == 0 { " <= correct" } else { "" };
+        println!("  {x}  p = {p:.4}  bin {d}{marker}");
+    }
+    Ok(())
+}

@@ -1,0 +1,50 @@
+//! Sweep the two-qubit error rate and watch the Hamming structure (and
+//! HAMMER's leverage) respond — a compact version of the §7 analysis.
+//!
+//! ```text
+//! cargo run --release --example noise_sweep
+//! ```
+
+use hammer::prelude::*;
+use hammer::sim::ReadoutError;
+use rand::SeedableRng;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let key = BitString::parse("11011011")?;
+    let bench = BernsteinVazirani::new(key);
+    let n = bench.num_qubits();
+    let correct = [key];
+
+    println!("BV-8 under a sweep of the two-qubit fault rate (8192 trials each)\n");
+    println!("p2       PST(base)  PST(HAMMER)  gain    EHD     IST(base)  IST(HAMMER)");
+
+    for &p2 in &[0.002, 0.005, 0.01, 0.02, 0.04, 0.08] {
+        let noise = NoiseModel::uniform(n, p2 / 10.0, p2, ReadoutError::new(0.01, 0.025));
+        let device = DeviceModel::ibm_paris(n).with_noise(noise);
+        let routed = hammer::sim::transpile(&bench.circuit(), device.coupling())?;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(17);
+        let physical = PropagationEngine::new(&device).sample(routed.circuit(), 8192, &mut rng)?;
+        let baseline = bench
+            .data_counts(&routed.logical_counts(&physical))
+            .to_distribution();
+        let recovered = Hammer::new().reconstruct(&baseline);
+
+        println!(
+            "{:<8.3} {:<10.4} {:<12.4} {:<7.2} {:<7.3} {:<10.3} {:<10.3}",
+            p2,
+            pst(&baseline, &correct),
+            pst(&recovered, &correct),
+            pst(&recovered, &correct) / pst(&baseline, &correct).max(1e-12),
+            ehd(&baseline, &correct),
+            ist(&baseline, &correct),
+            ist(&recovered, &correct),
+        );
+    }
+
+    println!(
+        "\nAs errors increase, EHD creeps toward n/2 = {:.1} and the Hamming \
+         structure (and HAMMER's leverage) erodes — the §7 observation.",
+        key.len() as f64 / 2.0
+    );
+    Ok(())
+}

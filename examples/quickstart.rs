@@ -1,0 +1,71 @@
+//! Quickstart: run a noisy Bernstein–Vazirani circuit and recover the
+//! masked key with HAMMER.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use hammer::prelude::*;
+use rand::SeedableRng;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(2022);
+
+    // The paper's Fig. 8(a) benchmark: BV-10 with key 1010101010.
+    let key = BitString::parse("1010101010")?;
+    let bench = BernsteinVazirani::new(key);
+    println!("secret key:        {key}");
+
+    // A synthetic IBM-Paris-class device (heavy-hex slice + noise).
+    let device = DeviceModel::ibm_paris(bench.num_qubits());
+    println!(
+        "device:            {} ({} qubits, p2 = {:.3})",
+        device.name(),
+        device.num_qubits(),
+        device.noise().p2()
+    );
+
+    // Route the circuit onto the device and execute 8192 trials.
+    let routed = hammer::sim::transpile(&bench.circuit(), device.coupling())?;
+    println!(
+        "routed circuit:    {} CX, depth {}, {} SWAPs inserted",
+        routed.circuit().cx_count(),
+        routed.circuit().depth(),
+        routed.swaps_inserted()
+    );
+    let engine = PropagationEngine::new(&device);
+    let physical = engine.sample(routed.circuit(), 8192, &mut rng)?;
+    let noisy = bench
+        .data_counts(&routed.logical_counts(&physical))
+        .to_distribution();
+
+    // Post-process with HAMMER.
+    let recovered = Hammer::new().reconstruct(&noisy);
+
+    let correct = [key];
+    println!();
+    println!("                   baseline   HAMMER");
+    println!(
+        "PST                {:>8.4}   {:>8.4}",
+        pst(&noisy, &correct),
+        pst(&recovered, &correct)
+    );
+    println!(
+        "IST                {:>8.4}   {:>8.4}",
+        ist(&noisy, &correct),
+        ist(&recovered, &correct)
+    );
+    println!(
+        "EHD                {:>8.4}   {:>8.4}   (uniform-error model: {:.1})",
+        ehd(&noisy, &correct),
+        ehd(&recovered, &correct),
+        noisy.n_bits() as f64 / 2.0
+    );
+
+    let (top_before, _) = noisy.most_probable().expect("non-empty");
+    let (top_after, _) = recovered.most_probable().expect("non-empty");
+    println!();
+    println!("most probable before: {top_before} (correct: {})", top_before == key);
+    println!("most probable after:  {top_after} (correct: {})", top_after == key);
+    Ok(())
+}

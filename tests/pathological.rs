@@ -1,0 +1,200 @@
+//! Failure-injection and pathological-input tests: the pipelines must
+//! behave sensibly on degenerate distributions, hostile noise settings
+//! and boundary-size circuits.
+
+use hammer::core::{FilterRule, Hammer, HammerConfig, NeighborhoodLimit, WeightScheme};
+use hammer::prelude::*;
+use hammer::sim::{CouplingMap, ReadoutError, SimError};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+#[test]
+fn hammer_on_a_two_outcome_distribution() {
+    // The minimum non-trivial input.
+    let d = Distribution::from_probs(
+        4,
+        [
+            (BitString::parse("0000").unwrap(), 0.7),
+            (BitString::parse("1111").unwrap(), 0.3),
+        ],
+    )
+    .unwrap();
+    let out = Hammer::new().reconstruct(&d);
+    assert_eq!(out.len(), 2);
+    assert!((out.total_mass() - 1.0).abs() < 1e-12);
+}
+
+#[test]
+fn hammer_on_maximum_width_strings() {
+    // 64-bit outcomes exercise the mask boundary paths.
+    let base = BitString::ones(64);
+    let d = Distribution::from_probs(
+        64,
+        [
+            (base, 0.5),
+            (base.flip_bit(0), 0.2),
+            (base.flip_bit(63), 0.2),
+            (BitString::zeros(64), 0.1),
+        ],
+    )
+    .unwrap();
+    let out = Hammer::new().reconstruct(&d);
+    assert!((out.total_mass() - 1.0).abs() < 1e-9);
+    assert_eq!(out.most_probable().unwrap().0, base);
+}
+
+#[test]
+fn hammer_with_every_ablation_combination_stays_valid() {
+    let d = Distribution::from_probs(
+        6,
+        (0u64..40)
+            .map(|k| (BitString::new(k, 6), (k % 7 + 1) as f64))
+            .collect::<Vec<_>>(),
+    )
+    .unwrap();
+    for neighborhood in [
+        NeighborhoodLimit::HalfWidth,
+        NeighborhoodLimit::Fixed(1),
+        NeighborhoodLimit::Fixed(7),
+        NeighborhoodLimit::Unbounded,
+    ] {
+        for weights in [
+            WeightScheme::InverseAverageChs,
+            WeightScheme::InverseGlobalChs,
+            WeightScheme::Uniform,
+            WeightScheme::InverseBinomial,
+        ] {
+            for filter in [FilterRule::LowerProbabilityOnly, FilterRule::None] {
+                let cfg = HammerConfig {
+                    neighborhood,
+                    weights,
+                    filter,
+                };
+                let out = Hammer::with_config(cfg).reconstruct(&d);
+                assert!(
+                    (out.total_mass() - 1.0).abs() < 1e-9,
+                    "unnormalized output under {cfg:?}"
+                );
+                assert_eq!(out.len(), d.len(), "support changed under {cfg:?}");
+            }
+        }
+    }
+}
+
+#[test]
+fn engines_reject_oversized_circuits_gracefully() {
+    let device = DeviceModel::noiseless(4);
+    let circuit = Circuit::new(6);
+    let mut rng = StdRng::seed_from_u64(1);
+    let err = PropagationEngine::new(&device)
+        .sample(&circuit, 16, &mut rng)
+        .unwrap_err();
+    assert!(matches!(err, SimError::CircuitTooWide { .. }));
+    // The error formats into a useful message.
+    assert!(err.to_string().contains("6"));
+}
+
+#[test]
+fn extreme_readout_noise_destroys_then_mitigation_recovers_structure() {
+    // Half-flip readout is the worst legal setting: outcomes become
+    // nearly uniform and HAMMER must not invent structure.
+    let key = BitString::parse("101101").unwrap();
+    let bench = BernsteinVazirani::new(key);
+    let n = bench.num_qubits();
+    let noise = NoiseModel::uniform(n, 0.0, 0.0, ReadoutError::new(0.45, 0.45));
+    let device = DeviceModel::new("readout-hell", CouplingMap::full(n), noise);
+    let mut rng = StdRng::seed_from_u64(3);
+    let counts = TrajectoryEngine::new(&device)
+        .sample(&bench.circuit(), 20_000, &mut rng)
+        .unwrap();
+    let dist = bench.data_counts(&counts).to_distribution();
+    // Close to uniform: EHD near n/2.
+    let e = ehd(&dist, &[key]);
+    assert!(e > 2.0, "expected near-uniform output, ehd = {e}");
+    let out = Hammer::new().reconstruct(&dist);
+    // No artificial concentration: top outcome stays small.
+    let (_, p_top) = out.most_probable().unwrap();
+    assert!(p_top < 0.2, "HAMMER fabricated structure: {p_top}");
+}
+
+#[test]
+fn zero_weight_key_bv_has_no_entanglement_but_still_works() {
+    // An all-zeros key produces a CX-free circuit: the pipeline should
+    // run and return (nearly) the key itself.
+    let key = BitString::zeros(5);
+    let bench = BernsteinVazirani::new(key);
+    let device = DeviceModel::ibm_paris(bench.num_qubits());
+    let mut rng = StdRng::seed_from_u64(5);
+    let counts = TrajectoryEngine::new(&device)
+        .sample(&bench.circuit(), 4096, &mut rng)
+        .unwrap();
+    let dist = bench.data_counts(&counts).to_distribution();
+    assert!(pst(&dist, &[key]) > 0.5);
+}
+
+#[test]
+fn single_qubit_device_end_to_end() {
+    let mut c = Circuit::new(1);
+    c.x(0);
+    let device = DeviceModel::noiseless(1);
+    let mut rng = StdRng::seed_from_u64(7);
+    let d = TrajectoryEngine::new(&device)
+        .sample(&c, 256, &mut rng)
+        .unwrap()
+        .to_distribution();
+    assert!((d.prob(BitString::ones(1)) - 1.0).abs() < 1e-9);
+    // HAMMER on a single-outcome distribution is the identity.
+    assert_eq!(Hammer::new().reconstruct(&d), d);
+}
+
+#[test]
+fn reconstruct_counts_equals_reconstruct_of_normalized() {
+    let mut counts = Counts::new(4).unwrap();
+    let mut rng = StdRng::seed_from_u64(11);
+    let d = Distribution::uniform(4);
+    for _ in 0..500 {
+        counts.record(d.sample(&mut rng));
+    }
+    let a = Hammer::new().reconstruct_counts(&counts);
+    let b = Hammer::new().reconstruct(&counts.to_distribution());
+    assert_eq!(a, b);
+}
+
+#[test]
+fn qaoa_runner_survives_uniform_output() {
+    // γ = β = 0 gives the uniform distribution: CR ≈ 0 but nothing
+    // should panic anywhere in the pipeline, including HAMMER.
+    let problem = MaxCut::new(generators::ring(6));
+    let runner = QaoaRunner::new(problem, DeviceModel::ibm_paris(6)).trials(2048);
+    let params = QaoaParams::constant(1, 0.0, 0.0);
+    let mut rng = StdRng::seed_from_u64(13);
+    let out = runner
+        .run_with(
+            &params,
+            &PostProcess::Hammer(hammer::core::HammerConfig::paper()),
+            &mut rng,
+        )
+        .unwrap();
+    assert!(out.cost_ratio.abs() < 0.2, "uniform output CR ≈ 0, got {}", out.cost_ratio);
+}
+
+#[test]
+fn transpiler_routes_on_every_preset_topology() {
+    // A fully-entangling circuit routes on all device families without
+    // loss of semantics (checked via width/CX accounting).
+    let mut c = Circuit::new(6);
+    for a in 0..6 {
+        for b in a + 1..6 {
+            c.cx(a, b);
+        }
+    }
+    for device in [
+        DeviceModel::ibm_paris(6),
+        DeviceModel::google_sycamore(6),
+        DeviceModel::noiseless(6),
+    ] {
+        let routed = hammer::sim::transpile(&c, device.coupling()).unwrap();
+        assert_eq!(routed.logical_qubits(), 6);
+        assert!(routed.circuit().cx_count() >= c.cx_count());
+    }
+}
