@@ -119,7 +119,11 @@ mod tests {
 
     #[test]
     fn p1_angles_beat_random_sampling() {
-        for family in [GraphFamily::ThreeRegular, GraphFamily::Grid, GraphFamily::Ring] {
+        for family in [
+            GraphFamily::ThreeRegular,
+            GraphFamily::Grid,
+            GraphFamily::Ring,
+        ] {
             let cr = ideal_reference_cr(family, 1);
             assert!(
                 cr > 0.3,

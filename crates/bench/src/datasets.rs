@@ -162,7 +162,11 @@ impl QaoaInstance {
 pub fn bv_key(width: usize, seed: u64) -> BitString {
     let mut rng = StdRng::seed_from_u64(0xB5_0000 ^ (width as u64) << 32 ^ seed);
     loop {
-        let mask = if width == 64 { u64::MAX } else { (1u64 << width) - 1 };
+        let mask = if width == 64 {
+            u64::MAX
+        } else {
+            (1u64 << width) - 1
+        };
         let bits = rng.gen::<u64>() & mask;
         if bits != 0 {
             return BitString::new(bits, width);
@@ -212,7 +216,12 @@ pub fn ibm_qaoa_3reg_suite(quick: bool) -> Vec<QaoaInstance> {
         for n in (6..=20).step_by(2) {
             for seed in 0..5 {
                 if out.len() < 70 {
-                    out.push(QaoaInstance::with_seed(GraphFamily::ThreeRegular, n, p, seed));
+                    out.push(QaoaInstance::with_seed(
+                        GraphFamily::ThreeRegular,
+                        n,
+                        p,
+                        seed,
+                    ));
                 }
             }
         }
@@ -247,7 +256,12 @@ pub fn ibm_qaoa_rand_suite(quick: bool) -> Vec<QaoaInstance> {
                     break 'outer;
                 }
                 let c = connectivities[i % connectivities.len()];
-                out.push(QaoaInstance::with_seed(GraphFamily::ErdosRenyi(c), n, p, seed));
+                out.push(QaoaInstance::with_seed(
+                    GraphFamily::ErdosRenyi(c),
+                    n,
+                    p,
+                    seed,
+                ));
                 i += 1;
             }
         }
@@ -293,7 +307,12 @@ pub fn google_3reg_suite(quick: bool) -> Vec<QaoaInstance> {
         for n in (4..=16).step_by(2) {
             for seed in 0..10 {
                 if out.len() < 200 {
-                    out.push(QaoaInstance::with_seed(GraphFamily::ThreeRegular, n, p, seed));
+                    out.push(QaoaInstance::with_seed(
+                        GraphFamily::ThreeRegular,
+                        n,
+                        p,
+                        seed,
+                    ));
                 }
             }
         }
@@ -358,7 +377,9 @@ mod tests {
         let reg = google_3reg_suite(false);
         assert_eq!(reg.len(), 200);
         assert!(reg.iter().all(|i| (1..=3).contains(&i.p)));
-        assert!(reg.iter().all(|i| i.n() % 2 == 0 && i.n() >= 4 && i.n() <= 16));
+        assert!(reg
+            .iter()
+            .all(|i| i.n() % 2 == 0 && i.n() >= 4 && i.n() <= 16));
     }
 
     #[test]

@@ -6,9 +6,7 @@
 
 use std::fmt::Write as _;
 
-use hammer_core::{
-    FilterRule, Hammer, HammerConfig, NeighborhoodLimit, WeightScheme,
-};
+use hammer_core::{FilterRule, Hammer, HammerConfig, NeighborhoodLimit, WeightScheme};
 use hammer_dist::{metrics, stats, Distribution};
 use hammer_sim::ReadoutMitigator;
 use rand::rngs::StdRng;
@@ -27,8 +25,7 @@ fn workload(quick: bool) -> Vec<(BvInstance, Distribution)> {
         .into_iter()
         .map(|inst| {
             let device = inst.backend.device(inst.bench.num_qubits());
-            let mut rng =
-                StdRng::seed_from_u64(0xAB1A ^ inst.bench.key().as_u64().rotate_left(17));
+            let mut rng = StdRng::seed_from_u64(0xAB1A ^ inst.bench.key().as_u64().rotate_left(17));
             let dist = run_bv(&inst.bench, &device, Engine::Propagation, trials, &mut rng)
                 .expect("BV pipeline");
             (inst, dist)
@@ -91,10 +88,19 @@ pub fn weights(quick: bool) -> String {
     let work = workload(quick);
     let mut table = Table::new(&["weight scheme", "gmean PST gain"]);
     for (name, scheme) in [
-        ("inverse average CHS (paper)", WeightScheme::InverseAverageChs),
-        ("inverse summed CHS (Alg. 1 literal)", WeightScheme::InverseGlobalChs),
+        (
+            "inverse average CHS (paper)",
+            WeightScheme::InverseAverageChs,
+        ),
+        (
+            "inverse summed CHS (Alg. 1 literal)",
+            WeightScheme::InverseGlobalChs,
+        ),
         ("uniform", WeightScheme::Uniform),
-        ("inverse binomial (theoretical)", WeightScheme::InverseBinomial),
+        (
+            "inverse binomial (theoretical)",
+            WeightScheme::InverseBinomial,
+        ),
     ] {
         let cfg = HammerConfig {
             weights: scheme,

@@ -94,7 +94,11 @@ pub fn ext_edm(quick: bool) -> String {
          complementary, so the composition should win",
     );
     let suite = ibm_bv_suite(quick);
-    let suite = if quick { &suite[..] } else { &suite[..suite.len().min(36)] };
+    let suite = if quick {
+        &suite[..]
+    } else {
+        &suite[..suite.len().min(36)]
+    };
     let trials = if quick { 2048 } else { 8192 };
     let mappings = 4;
 
@@ -138,7 +142,12 @@ pub fn ext_edm(quick: bool) -> String {
         ]);
     }
     let _ = write!(out, "{table}");
-    let _ = writeln!(out, "\ncircuits: {} (trial budget {} per pipeline)", suite.len(), trials);
+    let _ = writeln!(
+        out,
+        "\ncircuits: {} (trial budget {} per pipeline)",
+        suite.len(),
+        trials
+    );
     out
 }
 
@@ -174,7 +183,7 @@ pub fn sec64_ibm_qaoa(quick: bool) -> String {
         .trials(shots);
         let params = angles::tuned(inst.family, inst.p);
         let ideal = runner.ideal(&params);
-        let mut rng = StdRng::seed_from_u64(0x64_1B ^ i as u64);
+        let mut rng = StdRng::seed_from_u64(0x641B ^ i as u64);
         let outcomes = runner
             .run_multi(
                 &params,
@@ -240,8 +249,7 @@ pub fn ext_idle(quick: bool) -> String {
         "idle decoherence penalizes stretched (SWAP-heavy) schedules; EHD \
          grows with the idle rate and HAMMER's PST gain persists",
     );
-    let key = BitString::parse(if quick { "110101101" } else { "11010110101" })
-        .expect("valid key");
+    let key = BitString::parse(if quick { "110101101" } else { "11010110101" }).expect("valid key");
     let bench = hammer_circuits::BernsteinVazirani::new(key);
     let base = IbmBackend::Paris.device(bench.num_qubits());
     let trials = if quick { 4096 } else { 16384 };
@@ -257,8 +265,8 @@ pub fn ext_idle(quick: bool) -> String {
     for &idle in &[0.0, 0.001, 0.003, 0.01] {
         let device = base.with_noise(base.noise().clone().with_idle_rate(idle));
         let mut rng = StdRng::seed_from_u64(0x1D7E);
-        let baseline = run_bv(&bench, &device, Engine::Propagation, trials, &mut rng)
-            .expect("BV pipeline");
+        let baseline =
+            run_bv(&bench, &device, Engine::Propagation, trials, &mut rng).expect("BV pipeline");
         let recovered = hammer.reconstruct(&baseline);
         let keys = [key];
         table.row_owned(vec![

@@ -29,9 +29,9 @@ pub fn fig1a(quick: bool) -> String {
     let bench = BernsteinVazirani::new(key);
     let device = DeviceModel::ibm_manhattan(bench.num_qubits());
     let trials = if quick { 2048 } else { 8192 };
-    let mut rng = StdRng::seed_from_u64(0x0161_0A);
-    let dist = run_bv(&bench, &device, Engine::Trajectory, trials, &mut rng)
-        .expect("BV-4 pipeline");
+    let mut rng = StdRng::seed_from_u64(0x01610A);
+    let dist =
+        run_bv(&bench, &device, Engine::Trajectory, trials, &mut rng).expect("BV-4 pipeline");
 
     let mut table = Table::new(&["outcome", "hd(key)", "probability", "histogram"]);
     let mut rows: Vec<(BitString, f64)> = dist.iter().collect();
@@ -81,7 +81,7 @@ pub fn fig1b(quick: bool) -> String {
             IbmBackend::Paris.device(n),
         )
         .trials(trials);
-        let mut rng = StdRng::seed_from_u64(0x0161_0B ^ n as u64);
+        let mut rng = StdRng::seed_from_u64(0x01610B ^ n as u64);
         let outcome = runner
             .run_with(&params, &PostProcess::Baseline, &mut rng)
             .expect("QAOA pipeline");
@@ -123,7 +123,7 @@ pub fn fig1c(quick: bool) -> String {
             .ideal(&hammer_qaoa::QaoaParams::constant(1, g, b))
             .cost_ratio
     });
-    let mut rng = StdRng::seed_from_u64(0x0161_0C);
+    let mut rng = StdRng::seed_from_u64(0x01610C);
     let noisy = Landscape::scan((lo, hi), (lo, hi), (res, res), |g, b| {
         runner
             .run(&hammer_qaoa::QaoaParams::constant(1, g, b), &mut rng)
@@ -137,7 +137,13 @@ pub fn fig1c(quick: bool) -> String {
         out,
         "instance: 3-regular n={n}, p=1, C_min = {c_min}; grid {res}x{res} over (gamma, beta)"
     );
-    let mut table = Table::new(&["landscape", "CR min", "CR max", "dynamic range", "mean |grad|"]);
+    let mut table = Table::new(&[
+        "landscape",
+        "CR min",
+        "CR max",
+        "dynamic range",
+        "mean |grad|",
+    ]);
     table.row_owned(vec![
         "ideal".into(),
         fnum(ilo, 3),

@@ -28,16 +28,21 @@ pub fn fig2b(quick: bool) -> String {
     let bench = BernsteinVazirani::new(key);
     let device = DeviceModel::ibm_manhattan(bench.num_qubits());
     let trials = if quick { 2048 } else { 8192 };
-    let mut rng = StdRng::seed_from_u64(0x0162_0B);
-    let noisy = run_bv(&bench, &device, Engine::Trajectory, trials, &mut rng)
-        .expect("BV-3 pipeline");
+    let mut rng = StdRng::seed_from_u64(0x01620B);
+    let noisy =
+        run_bv(&bench, &device, Engine::Trajectory, trials, &mut rng).expect("BV-3 pipeline");
 
     let mut table = Table::new(&["outcome", "ideal", "noisy", "histogram"]);
     for bits in 0..8u64 {
         let x = BitString::new(bits, 3);
         let ideal = if x == key { 1.0 } else { 0.0 };
         let p = noisy.prob(x);
-        table.row_owned(vec![x.to_string(), fnum(ideal, 2), fnum(p, 4), bar(p, 1.0, 30)]);
+        table.row_owned(vec![
+            x.to_string(),
+            fnum(ideal, 2),
+            fnum(p, 4),
+            bar(p, 1.0, 30),
+        ]);
     }
     let _ = write!(out, "{table}");
     let _ = writeln!(
@@ -61,12 +66,15 @@ pub fn fig2d(quick: bool) -> String {
     let n = 9;
     let inst = QaoaInstance::with_seed(GraphFamily::ErdosRenyi(0.4), n, 2, 1);
     let problem = hammer_graphs::MaxCut::new(inst.graph.clone());
-    let runner = QaoaRunner::new(problem, IbmBackend::Paris.device(n))
-        .trials(if quick { 2048 } else { 8192 });
+    let runner = QaoaRunner::new(problem, IbmBackend::Paris.device(n)).trials(if quick {
+        2048
+    } else {
+        8192
+    });
     let params = angles::tuned(GraphFamily::ErdosRenyi(0.4), 2);
 
     let ideal = runner.ideal(&params);
-    let mut rng = StdRng::seed_from_u64(0x0162_0D);
+    let mut rng = StdRng::seed_from_u64(0x01620D);
     let noisy = runner.run(&params, &mut rng).expect("QAOA pipeline");
 
     let mut table = Table::new(&["execution", "E[C]", "CR = E[C]/C_min", "optimal mass"]);

@@ -69,7 +69,7 @@ pub fn fig3a() -> String {
             x.hamming_distance(correct).to_string(),
         ]);
     }
-    let _ = write!(out, "{table}\n");
+    let _ = writeln!(out, "{table}");
     let spectrum = HammingSpectrum::new(&dist, &[correct]);
     let _ = write!(out, "{}", spectrum_table(&spectrum));
     out
@@ -88,9 +88,9 @@ pub fn fig3b(quick: bool) -> String {
     let bench = BernsteinVazirani::new(key);
     let device = DeviceModel::ibm_manhattan(bench.num_qubits());
     let trials = if quick { 4096 } else { 16384 };
-    let mut rng = StdRng::seed_from_u64(0x0163_0B);
-    let dist = run_bv(&bench, &device, Engine::Propagation, trials, &mut rng)
-        .expect("BV-8 pipeline");
+    let mut rng = StdRng::seed_from_u64(0x01630B);
+    let dist =
+        run_bv(&bench, &device, Engine::Propagation, trials, &mut rng).expect("BV-8 pipeline");
 
     let spectrum = HammingSpectrum::new(&dist, &[key]);
     let _ = write!(out, "{}", spectrum_table(&spectrum));
@@ -124,14 +124,22 @@ pub fn fig3c(quick: bool) -> String {
         .find(|i| MaxCut::new(i.graph.clone()).brute_force().optimal.len() >= 3)
         .expect("an 8-node 3-regular instance with >= 3 optima exists");
     let problem = MaxCut::new(inst.graph.clone());
-    let runner = QaoaRunner::new(problem, IbmBackend::Manhattan.device(8))
-        .trials(if quick { 4096 } else { 16384 });
+    let runner = QaoaRunner::new(problem, IbmBackend::Manhattan.device(8)).trials(if quick {
+        4096
+    } else {
+        16384
+    });
     let params = angles::tuned(GraphFamily::ThreeRegular, 2);
-    let mut rng = StdRng::seed_from_u64(0x0163_0C);
+    let mut rng = StdRng::seed_from_u64(0x01630C);
     let outcome = runner.run(&params, &mut rng).expect("QAOA pipeline");
 
     let correct = runner.optimal_cuts();
-    let _ = writeln!(out, "instance {} with {} optimal cuts", inst.id, correct.len());
+    let _ = writeln!(
+        out,
+        "instance {} with {} optimal cuts",
+        inst.id,
+        correct.len()
+    );
     let spectrum = HammingSpectrum::new(&outcome.distribution, correct);
     let _ = write!(out, "{}", spectrum_table(&spectrum));
 

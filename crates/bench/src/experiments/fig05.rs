@@ -72,10 +72,7 @@ pub fn fig5(quick: bool) -> String {
     let _ = writeln!(
         out,
         "\ntwo-flip mean degradation / one-flip mean degradation = {}",
-        fnum(
-            (means[1] - optimum.c_min) / (means[0] - optimum.c_min),
-            2
-        )
+        fnum((means[1] - optimum.c_min) / (means[0] - optimum.c_min), 2)
     );
     out
 }

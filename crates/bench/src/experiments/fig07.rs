@@ -28,7 +28,7 @@ pub fn fig7(quick: bool) -> String {
     let bench = BernsteinVazirani::new(key);
     let device = IbmBackend::Manhattan.device(bench.num_qubits());
     let trials = if quick { 8192 } else { 32768 };
-    let mut rng = StdRng::seed_from_u64(0x0167_00);
+    let mut rng = StdRng::seed_from_u64(0x016700);
     let dist =
         run_bv(&bench, &device, Engine::Propagation, trials, &mut rng).expect("BV-10 pipeline");
 

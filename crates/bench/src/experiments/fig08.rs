@@ -25,7 +25,7 @@ pub fn fig8a(quick: bool) -> String {
     let bench = hammer_circuits::BernsteinVazirani::new(key);
     let device = IbmBackend::Paris.device(bench.num_qubits());
     let trials = if quick { 8192 } else { 32768 };
-    let mut rng = StdRng::seed_from_u64(0x0168_0A);
+    let mut rng = StdRng::seed_from_u64(0x01680A);
     let baseline =
         run_bv(&bench, &device, Engine::Propagation, trials, &mut rng).expect("BV pipeline");
     let hammered = Hammer::new().reconstruct(&baseline);
@@ -57,8 +57,14 @@ pub fn fig8a(quick: bool) -> String {
     let _ = writeln!(
         out,
         "\nPST improvement {}x, IST improvement {}x",
-        fnum(metrics::pst(&hammered, &[key]) / metrics::pst(&baseline, &[key]), 2),
-        fnum(metrics::ist(&hammered, &[key]) / metrics::ist(&baseline, &[key]), 2),
+        fnum(
+            metrics::pst(&hammered, &[key]) / metrics::pst(&baseline, &[key]),
+            2
+        ),
+        fnum(
+            metrics::ist(&hammered, &[key]) / metrics::ist(&baseline, &[key]),
+            2
+        ),
     );
     out
 }
@@ -88,9 +94,8 @@ pub fn fig8b(quick: bool) -> String {
     for inst in &suite {
         for &backend in backends {
             let device = backend.device(inst.bench.num_qubits());
-            let mut rng = StdRng::seed_from_u64(
-                0x0168_0B ^ (inst.bench.key().as_u64() << 8) ^ backend as u64,
-            );
+            let mut rng =
+                StdRng::seed_from_u64(0x01680B ^ (inst.bench.key().as_u64() << 8) ^ backend as u64);
             let baseline = run_bv(&inst.bench, &device, Engine::Propagation, trials, &mut rng)
                 .expect("BV pipeline");
             let after = hammer.reconstruct(&baseline);

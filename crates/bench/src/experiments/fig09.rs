@@ -42,7 +42,13 @@ fn run_instance(inst: &QaoaInstance, shots: u64, seed: u64) -> (f64, f64, QaoaRu
 }
 
 /// The shared S-curve report for figs. 9(a) and 9(c).
-fn s_curve(id: &str, title: &str, expectation_note: &str, suite: &[QaoaInstance], quick: bool) -> String {
+fn s_curve(
+    id: &str,
+    title: &str,
+    expectation_note: &str,
+    suite: &[QaoaInstance],
+    quick: bool,
+) -> String {
     let mut out = section(id, title, expectation_note);
     let shots = trials(true, quick);
     let mut rows: Vec<(String, usize, usize, f64, f64)> = Vec::new();
@@ -81,10 +87,7 @@ fn s_curve(id: &str, title: &str, expectation_note: &str, suite: &[QaoaInstance]
         wins,
         rows.len(),
         fnum(stats::geometric_mean(&gains).unwrap_or(1.0), 3),
-        fnum(
-            gains.iter().copied().fold(f64::NEG_INFINITY, f64::max),
-            2
-        ),
+        fnum(gains.iter().copied().fold(f64::NEG_INFINITY, f64::max), 2),
     );
     out
 }
@@ -131,7 +134,7 @@ fn quality_curve_report(
     .trials(shots);
     let params = angles::tuned(inst.family, inst.p);
     let (base_post, hammer_post) = google_post();
-    let mut rng = StdRng::seed_from_u64(0x0169_B);
+    let mut rng = StdRng::seed_from_u64(0x0169B);
     let mut outcomes = runner
         .run_multi(&params, &[base_post, hammer_post], &mut rng)
         .expect("QAOA pipeline");

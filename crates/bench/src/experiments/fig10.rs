@@ -112,7 +112,7 @@ pub fn fig10b(quick: bool) -> String {
     // simulated job. Offset the lattice away from the analytic zeros.
     let lo = 0.07;
     let hi = std::f64::consts::PI - 0.03;
-    let mut rng = StdRng::seed_from_u64(0x016A_B);
+    let mut rng = StdRng::seed_from_u64(0x016AB);
     let mut base_values = Vec::new();
     let hammered = Landscape::scan((lo, hi), (lo, hi), (res, res), |g, b| {
         let outcomes = runner
@@ -131,13 +131,16 @@ pub fn fig10b(quick: bool) -> String {
     let baseline = Landscape {
         gammas: hammered.gammas.clone(),
         betas: hammered.betas.clone(),
-        values: base_values
-            .chunks(res)
-            .map(<[f64]>::to_vec)
-            .collect(),
+        values: base_values.chunks(res).map(<[f64]>::to_vec).collect(),
     };
 
-    let mut table = Table::new(&["landscape", "CR min", "CR max", "mean |grad|", "best (gamma, beta)"]);
+    let mut table = Table::new(&[
+        "landscape",
+        "CR min",
+        "CR max",
+        "mean |grad|",
+        "best (gamma, beta)",
+    ]);
     for (name, l) in [("baseline", &baseline), ("HAMMER", &hammered)] {
         let (lo, hi) = l.range();
         // `minimum()` finds the lowest CR; we want the best (highest),

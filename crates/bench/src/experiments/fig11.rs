@@ -38,10 +38,8 @@ fn run_class(
             .layers(layers)
             .two_qubit_density(density)
             .build(&mut rng);
-        let entropy = entanglement_entropy(
-            &StateVector::from_circuit(bench.entangling_half()),
-            n / 2,
-        );
+        let entropy =
+            entanglement_entropy(&StateVector::from_circuit(bench.entangling_half()), n / 2);
         // Per-circuit calibration drift: the paper's data spans twenty
         // days of calibration cycles, so realized error rates vary
         // circuit to circuit. Without this, EHD would be a pure
@@ -52,10 +50,7 @@ fn run_class(
             n,
             base.noise().p1() * drift,
             base.noise().p2() * drift,
-            hammer_sim::ReadoutError::new(
-                (0.018 * drift).min(0.5),
-                (0.042 * drift).min(0.5),
-            ),
+            hammer_sim::ReadoutError::new((0.018 * drift).min(0.5), (0.042 * drift).min(0.5)),
         ));
         let engine = PropagationEngine::new(&device);
         let dist = engine
@@ -83,9 +78,8 @@ fn run_class(
         samples.iter().map(|s| s.depth).max().expect("non-empty"),
     );
     let mut table = Table::new(&["pair", "spearman"]);
-    let rho = |xs: &[f64], ys: &[f64]| {
-        stats::spearman(xs, ys).map_or("n/a".to_string(), |r| fnum(r, 3))
-    };
+    let rho =
+        |xs: &[f64], ys: &[f64]| stats::spearman(xs, ys).map_or("n/a".to_string(), |r| fnum(r, 3));
     table.row_owned(vec!["entropy vs EHD".into(), rho(&entropies, &ehds)]);
     table.row_owned(vec!["fidelity vs EHD".into(), rho(&fidelities, &ehds)]);
     table.row_owned(vec!["depth vs EHD".into(), rho(&depths, &ehds)]);
@@ -95,15 +89,19 @@ fn run_class(
     let mut by_entropy: Vec<&Sample> = samples.iter().collect();
     by_entropy.sort_by(|a, b| a.entropy.partial_cmp(&b.entropy).expect("finite"));
     let tercile = by_entropy.len() / 3;
-    let mut table = Table::new(&["entropy tercile", "mean entropy", "mean EHD", "mean fidelity"]);
+    let mut table = Table::new(&[
+        "entropy tercile",
+        "mean entropy",
+        "mean EHD",
+        "mean fidelity",
+    ]);
     for (name, chunk) in [
         ("low", &by_entropy[..tercile]),
         ("mid", &by_entropy[tercile..2 * tercile]),
         ("high", &by_entropy[2 * tercile..]),
     ] {
-        let m = |f: fn(&Sample) -> f64| {
-            chunk.iter().map(|s| f(s)).sum::<f64>() / chunk.len() as f64
-        };
+        let m =
+            |f: fn(&Sample) -> f64| chunk.iter().map(|s| f(s)).sum::<f64>() / chunk.len() as f64;
         table.row_owned(vec![
             name.into(),
             fnum(m(|s| s.entropy), 3),

@@ -28,9 +28,8 @@ fn qaoa_ehd(family: GraphFamily, n: usize, p: usize, device: DeviceModel, trials
 fn bv_ehd(n: usize, trials: u64) -> f64 {
     let bench = BernsteinVazirani::new(BitString::ones(n));
     let device = IbmBackend::Paris.device(bench.num_qubits());
-    let mut rng = StdRng::seed_from_u64(0x016C_B ^ n as u64);
-    let dist =
-        run_bv(&bench, &device, Engine::Propagation, trials, &mut rng).expect("BV pipeline");
+    let mut rng = StdRng::seed_from_u64(0x016CB ^ n as u64);
+    let dist = run_bv(&bench, &device, Engine::Propagation, trials, &mut rng).expect("BV pipeline");
     metrics::ehd(&dist, &[bench.key()])
 }
 
@@ -63,11 +62,23 @@ pub fn fig12(quick: bool) -> String {
             n.to_string(),
             fnum(bv_ehd(n, trials), 3),
             fnum(
-                qaoa_ehd(GraphFamily::ThreeRegular, n, 2, IbmBackend::Paris.device(n), trials),
+                qaoa_ehd(
+                    GraphFamily::ThreeRegular,
+                    n,
+                    2,
+                    IbmBackend::Paris.device(n),
+                    trials,
+                ),
                 3,
             ),
             fnum(
-                qaoa_ehd(GraphFamily::ThreeRegular, n, 4, IbmBackend::Paris.device(n), trials),
+                qaoa_ehd(
+                    GraphFamily::ThreeRegular,
+                    n,
+                    4,
+                    IbmBackend::Paris.device(n),
+                    trials,
+                ),
                 3,
             ),
             fnum(metrics::uniform_ehd(n), 1),
@@ -95,7 +106,13 @@ pub fn fig12(quick: bool) -> String {
                 3,
             ),
             fnum(
-                qaoa_ehd(GraphFamily::Grid, n, 4, DeviceModel::google_sycamore(n), trials),
+                qaoa_ehd(
+                    GraphFamily::Grid,
+                    n,
+                    4,
+                    DeviceModel::google_sycamore(n),
+                    trials,
+                ),
                 3,
             ),
             fnum(metrics::uniform_ehd(n), 1),

@@ -35,7 +35,11 @@ pub fn table1() -> String {
         let ps: Vec<usize> = v.iter().map(|i| i.p).collect();
         (
             format!("{}-{}", ns.iter().min().unwrap(), ns.iter().max().unwrap()),
-            format!("{} to {}", ps.iter().min().unwrap(), ps.iter().max().unwrap()),
+            format!(
+                "{} to {}",
+                ps.iter().min().unwrap(),
+                ps.iter().max().unwrap()
+            ),
         )
     };
     let (gn, gp) = span(&grid);
@@ -57,7 +61,11 @@ pub fn table1() -> String {
         "CR".into(),
     ]);
     let _ = write!(out, "{table}");
-    let _ = writeln!(out, "\ntrials per circuit: {}", datasets::trials(true, false));
+    let _ = writeln!(
+        out,
+        "\ntrials per circuit: {}",
+        datasets::trials(true, false)
+    );
     out
 }
 
@@ -86,7 +94,11 @@ pub fn table2() -> String {
     table.row_owned(vec![
         "BV".into(),
         "Bernstein-Vazirani".into(),
-        format!("{}-{}", widths.iter().min().unwrap(), widths.iter().max().unwrap()),
+        format!(
+            "{}-{}",
+            widths.iter().min().unwrap(),
+            widths.iter().max().unwrap()
+        ),
         "-".into(),
         bv.len().to_string(),
         "IST, PST".into(),
@@ -187,7 +199,10 @@ pub fn table3(quick: bool) -> String {
         } else {
             // Extrapolate at the last measured throughput.
             let secs = pairs / (last_throughput * 1e6);
-            (format!("~{} (extrapolated)", fnum(secs, 0)), last_throughput)
+            (
+                format!("~{} (extrapolated)", fnum(secs, 0)),
+                last_throughput,
+            )
         };
         table.row_owned(vec![
             trials.to_string(),

@@ -102,7 +102,10 @@ pub fn run_bv_edm(
     rng: &mut dyn RngCore,
 ) -> Result<Distribution, SimError> {
     assert!(k >= 1, "EDM needs at least one mapping");
-    assert!(trials >= k as u64, "not enough trials to split across mappings");
+    assert!(
+        trials >= k as u64,
+        "not enough trials to split across mappings"
+    );
     let n_logical = bench.num_qubits();
     let n_physical = device.num_qubits();
     let per_mapping = trials / k as u64;
@@ -156,7 +159,10 @@ mod tests {
         let traj = run_bv(&bench, &device, Engine::Trajectory, 4096, &mut rng).unwrap();
         let p1 = metrics::pst(&prop, &[key]);
         let p2 = metrics::pst(&traj, &[key]);
-        assert!((p1 - p2).abs() < 0.12, "propagation {p1} vs trajectory {p2}");
+        assert!(
+            (p1 - p2).abs() < 0.12,
+            "propagation {p1} vs trajectory {p2}"
+        );
     }
 
     #[test]

@@ -45,7 +45,8 @@ impl Table {
             cells.len(),
             self.headers.len()
         );
-        self.rows.push(cells.iter().map(ToString::to_string).collect());
+        self.rows
+            .push(cells.iter().map(ToString::to_string).collect());
         self
     }
 
@@ -87,7 +88,11 @@ impl std::fmt::Display for Table {
             let _ = write!(line, "{:<width$}", h, width = widths[i] + 2);
         }
         writeln!(f, "{}", line.trim_end())?;
-        writeln!(f, "{}", "-".repeat(widths.iter().sum::<usize>() + 2 * (cols - 1)))?;
+        writeln!(
+            f,
+            "{}",
+            "-".repeat(widths.iter().sum::<usize>() + 2 * (cols - 1))
+        )?;
         for row in &self.rows {
             let mut line = String::new();
             for (i, cell) in row.iter().enumerate() {

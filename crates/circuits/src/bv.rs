@@ -46,7 +46,11 @@ impl BernsteinVazirani {
     /// for the ancilla).
     #[must_use]
     pub fn new(key: BitString) -> Self {
-        assert!(key.len() <= 63, "key of {} bits leaves no room for the ancilla", key.len());
+        assert!(
+            key.len() <= 63,
+            "key of {} bits leaves no room for the ancilla",
+            key.len()
+        );
         Self { key }
     }
 

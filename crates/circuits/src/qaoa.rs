@@ -116,9 +116,7 @@ mod tests {
         let layer = [QaoaLayer::new(0.7, 0.3)];
         let d1 = simulate_ideal(&qaoa_maxcut(&g1, &layer));
         let d2 = simulate_ideal(&qaoa_maxcut(&g2, &layer));
-        let any_diff = d1
-            .iter()
-            .any(|(x, p)| (d2.prob(x) - p).abs() > 1e-6);
+        let any_diff = d1.iter().any(|(x, p)| (d2.prob(x) - p).abs() > 1e-6);
         assert!(any_diff);
     }
 
@@ -128,7 +126,10 @@ mod tests {
         // bit-flip (the circuit commutes with X^⊗n).
         let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(3);
         let graph = generators::random_regular(6, 3, &mut rng);
-        let c = qaoa_maxcut(&graph, &[QaoaLayer::new(0.5, 0.4), QaoaLayer::new(0.3, 0.2)]);
+        let c = qaoa_maxcut(
+            &graph,
+            &[QaoaLayer::new(0.5, 0.4), QaoaLayer::new(0.3, 0.2)],
+        );
         let d = simulate_ideal(&c);
         let full = (1u64 << 6) - 1;
         for (x, p) in d.iter() {

@@ -223,7 +223,9 @@ mod tests {
 
     #[test]
     fn build_is_deterministic_per_seed() {
-        let builder = RandomIdentityBuilder::new(5).layers(3).two_qubit_density(0.7);
+        let builder = RandomIdentityBuilder::new(5)
+            .layers(3)
+            .two_qubit_density(0.7);
         let a = builder.build(&mut StdRng::seed_from_u64(9));
         let b = builder.build(&mut StdRng::seed_from_u64(9));
         assert_eq!(a, b);

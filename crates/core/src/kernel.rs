@@ -25,11 +25,7 @@ pub fn global_chs(entries: &[(u64, f64)], max_d: usize) -> Vec<f64> {
 /// (Algorithm 1 lines 16–21): for each `x`,
 /// `score(x) = P(x) + Σ_y [hd(x,y) < max_d ∧ filter(x,y)] · W[d] · P(y)`.
 #[must_use]
-pub fn scores(
-    entries: &[(u64, f64)],
-    weights: &[f64],
-    filter: FilterRule,
-) -> Vec<f64> {
+pub fn scores(entries: &[(u64, f64)], weights: &[f64], filter: FilterRule) -> Vec<f64> {
     entries
         .iter()
         .map(|&(xk, px)| score_one(xk, px, entries, weights, filter))
@@ -169,7 +165,9 @@ mod tests {
         let mut e = Vec::new();
         let mut state = 12345u64;
         for i in 0..4096u64 {
-            state = state.wrapping_mul(6_364_136_223_846_793_005).wrapping_add(1);
+            state = state
+                .wrapping_mul(6_364_136_223_846_793_005)
+                .wrapping_add(1);
             e.push((state % (1 << 12), 1.0 + (i % 7) as f64));
         }
         let w = vec![0.9, 0.5, 0.25, 0.1, 0.05, 0.02];

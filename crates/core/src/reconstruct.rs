@@ -112,9 +112,7 @@ impl Hammer {
                     .map(|total| if total > 0.0 { n_unique / total } else { 0.0 })
                     .collect()
             }
-            WeightScheme::InverseGlobalChs => {
-                invert(&kernel::global_chs(dist.as_slice(), max_d))
-            }
+            WeightScheme::InverseGlobalChs => invert(&kernel::global_chs(dist.as_slice(), max_d)),
             WeightScheme::Uniform => vec![1.0; max_d],
             WeightScheme::InverseBinomial => {
                 // Theoretical average CHS under the uniform-error model:
@@ -148,15 +146,13 @@ impl Hammer {
             return dist.clone();
         }
         let entries = dist.as_slice();
-        let scores =
-            kernel::scores_parallel(entries, weights, self.config.filter, self.threads);
+        let scores = kernel::scores_parallel(entries, weights, self.config.filter, self.threads);
         let n = dist.n_bits();
         let pairs = entries
             .iter()
             .zip(&scores)
             .map(|(&(k, p), &s)| (BitString::new(k, n), p * s));
-        Distribution::from_probs(n, pairs)
-            .expect("scores are positive: every score ≥ P(x) > 0")
+        Distribution::from_probs(n, pairs).expect("scores are positive: every score ≥ P(x) > 0")
     }
 
     /// Convenience: normalize a raw trial histogram and reconstruct it —
@@ -380,7 +376,7 @@ mod tests {
         let w = h.weights(&d);
         let chs = kernel::global_chs(d.as_slice(), 2);
         assert_eq!(w.len(), 2); // n=3 → d < 1.5 → bins {0, 1}
-        // W[d] · (CHS_total[d] / N) = 1.
+                                // W[d] · (CHS_total[d] / N) = 1.
         for (wi, ci) in w.iter().zip(&chs) {
             assert!((wi * ci / 6.0 - 1.0).abs() < 1e-12);
         }
@@ -404,8 +400,7 @@ mod tests {
     fn zero_chs_bins_get_zero_weight() {
         // Two far-apart outcomes: no mass at small distances apart from
         // the diagonal.
-        let d = Distribution::from_probs(6, [(bs("000000"), 0.5), (bs("111111"), 0.5)])
-            .unwrap();
+        let d = Distribution::from_probs(6, [(bs("000000"), 0.5), (bs("111111"), 0.5)]).unwrap();
         let w = Hammer::new().weights(&d);
         // Bins 1 and 2 hold no mass → zero weight, no division by zero.
         assert!(w[1] == 0.0 && w[2] == 0.0);
@@ -479,7 +474,10 @@ mod tests {
             filter: FilterRule::None,
         });
         let spread = |h: &Hammer| {
-            let scores: Vec<f64> = d.iter().map(|(x, _)| h.score_breakdown(&d, x).score).collect();
+            let scores: Vec<f64> = d
+                .iter()
+                .map(|(x, _)| h.score_breakdown(&d, x).score)
+                .collect();
             let max = scores.iter().copied().fold(f64::NEG_INFINITY, f64::max);
             let min = scores.iter().copied().fold(f64::INFINITY, f64::min);
             max / min

@@ -36,7 +36,10 @@ fn config() -> impl Strategy<Value = HammerConfig> {
             Just(WeightScheme::Uniform),
             Just(WeightScheme::InverseBinomial),
         ],
-        prop_oneof![Just(FilterRule::LowerProbabilityOnly), Just(FilterRule::None)],
+        prop_oneof![
+            Just(FilterRule::LowerProbabilityOnly),
+            Just(FilterRule::None)
+        ],
     )
         .prop_map(|(neighborhood, weights, filter)| HammerConfig {
             neighborhood,

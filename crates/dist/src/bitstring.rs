@@ -1,0 +1,421 @@
+//! Fixed-width measurement outcomes packed into a `u64`.
+
+use std::fmt;
+
+use crate::error::DistError;
+
+/// The widest register a [`BitString`] can represent.
+pub const MAX_BITS: usize = 64;
+
+/// A measurement outcome: `n` bits packed into a `u64`.
+///
+/// Bit `q` of the packed word is the value of qubit `q`, so qubit 0 is
+/// the **least significant** bit. [`Display`](fmt::Display) and
+/// [`parse`](BitString::parse) use the conventional string order with
+/// the highest qubit first: `BitString::parse("10")` has bit 1 set and
+/// bit 0 clear.
+///
+/// Hamming-space operations (distance, neighborhoods) compile down to
+/// one XOR + POPCNT on the packed word, which is what keeps HAMMER's
+/// `O(N²)` kernel fast and width-independent.
+///
+/// # Example
+///
+/// ```
+/// use hammer_dist::BitString;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let x = BitString::parse("1011")?;
+/// assert_eq!(x.len(), 4);
+/// assert_eq!(x.as_u64(), 0b1011);
+/// assert_eq!(x.weight(), 3);
+/// assert!(x.bit(0) && x.bit(1) && !x.bit(2) && x.bit(3));
+/// assert_eq!(x.to_string(), "1011");
+/// assert_eq!(x.hamming_distance(BitString::parse("1000")?), 2);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct BitString {
+    bits: u64,
+    n: u8,
+}
+
+impl BitString {
+    /// Builds an `n`-bit string from a packed word.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is outside `1..=64` or `bits` has a bit set at or
+    /// above position `n`.
+    #[must_use]
+    pub fn new(bits: u64, n: usize) -> Self {
+        assert!(
+            (1..=MAX_BITS).contains(&n),
+            "bitstring width {n} outside 1..={MAX_BITS}"
+        );
+        assert!(
+            n == MAX_BITS || bits >> n == 0,
+            "value {bits:#x} does not fit in {n} bits"
+        );
+        Self { bits, n: n as u8 }
+    }
+
+    /// The all-zeros string of width `n`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is outside `1..=64`.
+    #[must_use]
+    pub fn zeros(n: usize) -> Self {
+        Self::new(0, n)
+    }
+
+    /// The all-ones string of width `n`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is outside `1..=64`.
+    #[must_use]
+    pub fn ones(n: usize) -> Self {
+        assert!(
+            (1..=MAX_BITS).contains(&n),
+            "bitstring width {n} outside 1..={MAX_BITS}"
+        );
+        let bits = if n == MAX_BITS {
+            u64::MAX
+        } else {
+            (1u64 << n) - 1
+        };
+        Self::new(bits, n)
+    }
+
+    /// Parses a binary literal such as `"10110"`, highest qubit first.
+    ///
+    /// # Errors
+    ///
+    /// * [`DistError::WidthOutOfRange`] if the literal is empty or
+    ///   longer than 64 characters;
+    /// * [`DistError::InvalidBitChar`] on any character besides `0`/`1`.
+    pub fn parse(s: &str) -> Result<Self, DistError> {
+        let n = s.chars().count();
+        if !(1..=MAX_BITS).contains(&n) {
+            return Err(DistError::WidthOutOfRange(n));
+        }
+        let mut bits = 0u64;
+        for c in s.chars() {
+            bits <<= 1;
+            match c {
+                '0' => {}
+                '1' => bits |= 1,
+                other => return Err(DistError::InvalidBitChar(other)),
+            }
+        }
+        Ok(Self::new(bits, n))
+    }
+
+    /// Width in bits.
+    #[must_use]
+    #[allow(clippy::len_without_is_empty)] // width is always >= 1
+    pub fn len(self) -> usize {
+        usize::from(self.n)
+    }
+
+    /// The packed word (bit `q` = qubit `q`).
+    #[must_use]
+    pub fn as_u64(self) -> u64 {
+        self.bits
+    }
+
+    /// Value of bit `q`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is out of range.
+    #[must_use]
+    pub fn bit(self, q: usize) -> bool {
+        assert!(
+            q < self.len(),
+            "bit index {q} out of range for width {}",
+            self.n
+        );
+        self.bits >> q & 1 == 1
+    }
+
+    /// A copy with bit `q` flipped.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is out of range.
+    #[must_use]
+    pub fn flip_bit(self, q: usize) -> Self {
+        assert!(
+            q < self.len(),
+            "bit index {q} out of range for width {}",
+            self.n
+        );
+        Self {
+            bits: self.bits ^ (1u64 << q),
+            n: self.n,
+        }
+    }
+
+    /// Hamming weight (number of set bits).
+    #[must_use]
+    pub fn weight(self) -> u32 {
+        self.bits.count_ones()
+    }
+
+    /// Hamming distance to `other`: one XOR + POPCNT.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the widths differ.
+    #[must_use]
+    pub fn hamming_distance(self, other: Self) -> u32 {
+        assert_eq!(
+            self.n, other.n,
+            "hamming distance between widths {} and {}",
+            self.n, other.n
+        );
+        (self.bits ^ other.bits).count_ones()
+    }
+
+    /// The smallest Hamming distance from `self` to any string in
+    /// `others` — the multi-correct-outcome binning rule of the paper's
+    /// §3.2 (outcomes bin by their *nearest* correct answer).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `others` is empty or any width differs.
+    #[must_use]
+    pub fn min_distance_to(self, others: &[Self]) -> u32 {
+        assert!(!others.is_empty(), "min_distance_to over an empty set");
+        others
+            .iter()
+            .map(|&o| self.hamming_distance(o))
+            .min()
+            .expect("non-empty set")
+    }
+
+    /// Iterates over every string at Hamming distance exactly `d` from
+    /// `self` (`C(n, d)` strings; `self` alone for `d = 0`, nothing for
+    /// `d > n`).
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use hammer_dist::BitString;
+    ///
+    /// let x = BitString::parse("000").unwrap();
+    /// let mut flips: Vec<String> =
+    ///     x.neighbors_at(1).map(|nb| nb.to_string()).collect();
+    /// flips.sort();
+    /// assert_eq!(flips, ["001", "010", "100"]);
+    /// ```
+    #[must_use]
+    pub fn neighbors_at(self, d: usize) -> NeighborsAt {
+        let positions = if d <= self.len() {
+            Some((0..d).collect())
+        } else {
+            None
+        };
+        NeighborsAt {
+            base: self,
+            d,
+            positions,
+        }
+    }
+}
+
+impl fmt::Display for BitString {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for q in (0..self.len()).rev() {
+            f.write_str(if self.bit(q) { "1" } else { "0" })?;
+        }
+        Ok(())
+    }
+}
+
+/// Iterator over the strings at one exact Hamming distance — see
+/// [`BitString::neighbors_at`].
+#[derive(Debug, Clone)]
+pub struct NeighborsAt {
+    base: BitString,
+    d: usize,
+    /// Ascending flip positions of the next combination; `None` once
+    /// exhausted.
+    positions: Option<Vec<usize>>,
+}
+
+impl Iterator for NeighborsAt {
+    type Item = BitString;
+
+    fn next(&mut self) -> Option<BitString> {
+        let positions = self.positions.as_mut()?;
+        let mask = positions.iter().fold(0u64, |m, &i| m | 1u64 << i);
+        let result = BitString {
+            bits: self.base.bits ^ mask,
+            n: self.base.n,
+        };
+        // Advance to the next ascending combination of d flip positions.
+        let n = self.base.len();
+        let mut advanced = false;
+        for i in (0..self.d).rev() {
+            if positions[i] < n - (self.d - i) {
+                positions[i] += 1;
+                for j in i + 1..self.d {
+                    positions[j] = positions[j - 1] + 1;
+                }
+                advanced = true;
+                break;
+            }
+        }
+        if !advanced {
+            self.positions = None;
+        }
+        Some(result)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_orders_highest_qubit_first() {
+        let x = BitString::parse("100").unwrap();
+        assert_eq!(x.as_u64(), 0b100);
+        assert!(x.bit(2) && !x.bit(1) && !x.bit(0));
+    }
+
+    #[test]
+    fn display_round_trips() {
+        for s in ["0", "1", "101101", "0000000", "1111111111"] {
+            assert_eq!(BitString::parse(s).unwrap().to_string(), s);
+        }
+    }
+
+    #[test]
+    fn parse_rejects_bad_input() {
+        assert_eq!(BitString::parse(""), Err(DistError::WidthOutOfRange(0)));
+        assert_eq!(
+            BitString::parse(&"1".repeat(65)),
+            Err(DistError::WidthOutOfRange(65))
+        );
+        assert_eq!(
+            BitString::parse("10x1"),
+            Err(DistError::InvalidBitChar('x'))
+        );
+    }
+
+    #[test]
+    fn sixty_four_bit_boundary() {
+        let ones = BitString::ones(64);
+        assert_eq!(ones.as_u64(), u64::MAX);
+        assert_eq!(ones.weight(), 64);
+        assert_eq!(ones.hamming_distance(BitString::zeros(64)), 64);
+        assert_eq!(ones.flip_bit(63).weight(), 63);
+        assert_eq!(ones.to_string().len(), 64);
+        assert_eq!(BitString::parse(&"1".repeat(64)).unwrap(), ones);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not fit")]
+    fn new_rejects_out_of_width_bits() {
+        let _ = BitString::new(0b100, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside 1..=64")]
+    fn new_rejects_zero_width() {
+        let _ = BitString::new(0, 0);
+    }
+
+    #[test]
+    fn weight_and_flip() {
+        let x = BitString::parse("0110").unwrap();
+        assert_eq!(x.weight(), 2);
+        assert_eq!(x.flip_bit(0).weight(), 3);
+        assert_eq!(x.flip_bit(1).weight(), 1);
+        assert_eq!(x.flip_bit(1).flip_bit(1), x);
+    }
+
+    #[test]
+    fn distance_is_a_metric_on_spot_checks() {
+        let a = BitString::parse("1010").unwrap();
+        let b = BitString::parse("0110").unwrap();
+        let c = BitString::parse("0000").unwrap();
+        assert_eq!(a.hamming_distance(a), 0);
+        assert_eq!(a.hamming_distance(b), b.hamming_distance(a));
+        assert!(a.hamming_distance(c) <= a.hamming_distance(b) + b.hamming_distance(c));
+    }
+
+    #[test]
+    #[should_panic(expected = "widths 3 and 4")]
+    fn distance_rejects_mixed_widths() {
+        let _ = BitString::parse("101")
+            .unwrap()
+            .hamming_distance(BitString::parse("1010").unwrap());
+    }
+
+    #[test]
+    fn min_distance_picks_the_nearest() {
+        let x = BitString::parse("1110").unwrap();
+        let set = [
+            BitString::parse("1111").unwrap(),
+            BitString::parse("0000").unwrap(),
+        ];
+        assert_eq!(x.min_distance_to(&set), 1);
+    }
+
+    #[test]
+    fn neighbors_at_counts_match_binomials() {
+        let x = BitString::parse("10110").unwrap();
+        for (d, expect) in [
+            (0usize, 1usize),
+            (1, 5),
+            (2, 10),
+            (3, 10),
+            (4, 5),
+            (5, 1),
+            (6, 0),
+        ] {
+            let neighbors: Vec<BitString> = x.neighbors_at(d).collect();
+            assert_eq!(neighbors.len(), expect, "d = {d}");
+            for nb in &neighbors {
+                assert_eq!(nb.hamming_distance(x) as usize, d, "d = {d}");
+            }
+        }
+    }
+
+    #[test]
+    fn neighbors_are_distinct() {
+        let x = BitString::ones(6);
+        let mut seen: Vec<u64> = x.neighbors_at(3).map(BitString::as_u64).collect();
+        seen.sort_unstable();
+        let len = seen.len();
+        seen.dedup();
+        assert_eq!(seen.len(), len);
+    }
+
+    #[test]
+    fn neighbors_at_full_width() {
+        let x = BitString::zeros(64);
+        let far: Vec<BitString> = x.neighbors_at(1).collect();
+        assert_eq!(far.len(), 64);
+        assert!(far.iter().any(|nb| nb.bit(63)));
+    }
+
+    #[test]
+    fn ordering_is_by_value() {
+        let mut v = [
+            BitString::parse("11").unwrap(),
+            BitString::parse("00").unwrap(),
+            BitString::parse("10").unwrap(),
+        ];
+        v.sort();
+        assert_eq!(v[0].to_string(), "00");
+        assert_eq!(v[2].to_string(), "11");
+    }
+}

@@ -1,0 +1,273 @@
+//! Trial-count histograms: what a quantum job returns before
+//! normalization.
+
+use std::collections::BTreeMap;
+
+use crate::bitstring::{BitString, MAX_BITS};
+use crate::distribution::Distribution;
+use crate::error::DistError;
+
+/// A histogram of measured outcomes over a fixed register width — the
+/// raw result of running a circuit for some number of trials (shots).
+///
+/// Outcomes are keyed by their packed `u64` form in a sorted map, so
+/// iteration order, equality and [`Counts::to_distribution`] are all
+/// deterministic.
+///
+/// # Example
+///
+/// ```
+/// use hammer_dist::{BitString, Counts};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut counts = Counts::new(3)?;
+/// counts.record(BitString::parse("111")?);
+/// counts.record_n(BitString::parse("110")?, 9);
+/// assert_eq!(counts.total(), 10);
+/// assert_eq!(counts.count(BitString::parse("110")?), 9);
+///
+/// let dist = counts.to_distribution();
+/// assert!((dist.prob(BitString::parse("110")?) - 0.9).abs() < 1e-12);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Counts {
+    n_bits: usize,
+    counts: BTreeMap<u64, u64>,
+    total: u64,
+}
+
+impl Counts {
+    /// An empty histogram over `n_bits`-bit outcomes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DistError::WidthOutOfRange`] if `n_bits` is outside
+    /// `1..=64`.
+    pub fn new(n_bits: usize) -> Result<Self, DistError> {
+        if !(1..=MAX_BITS).contains(&n_bits) {
+            return Err(DistError::WidthOutOfRange(n_bits));
+        }
+        Ok(Self {
+            n_bits,
+            counts: BTreeMap::new(),
+            total: 0,
+        })
+    }
+
+    /// Register width in bits.
+    #[must_use]
+    pub fn n_bits(&self) -> usize {
+        self.n_bits
+    }
+
+    /// Records one trial.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the outcome width differs from the histogram width.
+    pub fn record(&mut self, outcome: BitString) {
+        self.record_n(outcome, 1);
+    }
+
+    /// Records `n` identical trials.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the outcome width differs from the histogram width.
+    pub fn record_n(&mut self, outcome: BitString, n: u64) {
+        assert_eq!(
+            outcome.len(),
+            self.n_bits,
+            "outcome width {} does not match histogram width {}",
+            outcome.len(),
+            self.n_bits
+        );
+        if n == 0 {
+            return;
+        }
+        *self.counts.entry(outcome.as_u64()).or_insert(0) += n;
+        self.total += n;
+    }
+
+    /// Trials recorded for one outcome (0 if never seen).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the outcome width differs from the histogram width.
+    #[must_use]
+    pub fn count(&self, outcome: BitString) -> u64 {
+        assert_eq!(
+            outcome.len(),
+            self.n_bits,
+            "outcome width {} does not match histogram width {}",
+            outcome.len(),
+            self.n_bits
+        );
+        self.counts.get(&outcome.as_u64()).copied().unwrap_or(0)
+    }
+
+    /// Total trials recorded.
+    #[must_use]
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Number of distinct outcomes observed.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// True when no trial has been recorded.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.counts.is_empty()
+    }
+
+    /// Iterates over `(outcome, trials)` pairs in ascending outcome
+    /// order.
+    pub fn iter(&self) -> impl Iterator<Item = (BitString, u64)> + '_ {
+        self.counts
+            .iter()
+            .map(|(&k, &c)| (BitString::new(k, self.n_bits), c))
+    }
+
+    /// Projects the histogram onto a sub-register: output bit `i` is
+    /// input bit `qubits[i]`, and outcomes that collide after the
+    /// projection merge their counts. This is how an ancilla is
+    /// marginalized out of a measured histogram.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `qubits` is empty, repeats an index, or addresses a
+    /// bit outside the register.
+    #[must_use]
+    pub fn marginal(&self, qubits: &[usize]) -> Counts {
+        let mut out = Counts::new(qubits.len()).expect("1..=64 selected qubits");
+        let mut seen = 0u64;
+        for &q in qubits {
+            assert!(
+                q < self.n_bits,
+                "qubit {q} outside register of {} bits",
+                self.n_bits
+            );
+            assert!(seen >> q & 1 == 0, "qubit {q} selected twice");
+            seen |= 1 << q;
+        }
+        for (&k, &c) in &self.counts {
+            let mut projected = 0u64;
+            for (i, &q) in qubits.iter().enumerate() {
+                projected |= (k >> q & 1) << i;
+            }
+            out.record_n(BitString::new(projected, qubits.len()), c);
+        }
+        out
+    }
+
+    /// Normalizes the histogram into a [`Distribution`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if no trial has been recorded — an empty histogram has no
+    /// distribution.
+    #[must_use]
+    pub fn to_distribution(&self) -> Distribution {
+        assert!(self.total > 0, "cannot normalize an empty histogram");
+        let pairs = self.iter().map(|(outcome, c)| (outcome, c as f64));
+        Distribution::from_probs(self.n_bits, pairs)
+            .expect("a non-empty histogram always has positive mass")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bs(s: &str) -> BitString {
+        BitString::parse(s).unwrap()
+    }
+
+    #[test]
+    fn new_validates_width() {
+        assert!(Counts::new(1).is_ok());
+        assert!(Counts::new(64).is_ok());
+        assert_eq!(Counts::new(0), Err(DistError::WidthOutOfRange(0)));
+        assert_eq!(Counts::new(65), Err(DistError::WidthOutOfRange(65)));
+    }
+
+    #[test]
+    fn record_accumulates() {
+        let mut c = Counts::new(2).unwrap();
+        c.record(bs("01"));
+        c.record_n(bs("01"), 4);
+        c.record_n(bs("11"), 5);
+        c.record_n(bs("10"), 0); // no-op
+        assert_eq!(c.count(bs("01")), 5);
+        assert_eq!(c.count(bs("10")), 0);
+        assert_eq!(c.total(), 10);
+        assert_eq!(c.len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not match histogram width")]
+    fn record_rejects_wrong_width() {
+        let mut c = Counts::new(2).unwrap();
+        c.record(bs("011"));
+    }
+
+    #[test]
+    fn iter_is_sorted_by_outcome() {
+        let mut c = Counts::new(2).unwrap();
+        c.record_n(bs("11"), 1);
+        c.record_n(bs("00"), 2);
+        c.record_n(bs("10"), 3);
+        let keys: Vec<u64> = c.iter().map(|(x, _)| x.as_u64()).collect();
+        assert_eq!(keys, vec![0b00, 0b10, 0b11]);
+    }
+
+    #[test]
+    fn marginal_merges_collisions() {
+        let mut c = Counts::new(3).unwrap();
+        c.record_n(bs("111"), 7); // bits (q2,q1,q0) = (1,1,1)
+        c.record_n(bs("011"), 3); // (0,1,1)
+                                  // Keep qubits 0 and 1: both outcomes project to "11".
+        let m = c.marginal(&[0, 1]);
+        assert_eq!(m.n_bits(), 2);
+        assert_eq!(m.count(bs("11")), 10);
+        assert_eq!(m.total(), 10);
+    }
+
+    #[test]
+    fn marginal_reorders_bits() {
+        let mut c = Counts::new(3).unwrap();
+        c.record_n(bs("011"), 1); // q0=1, q1=1, q2=0
+                                  // Output bit 0 = q2, output bit 1 = q0.
+        let m = c.marginal(&[2, 0]);
+        assert_eq!(m.count(bs("10")), 1); // q0=1 -> bit 1, q2=0 -> bit 0
+    }
+
+    #[test]
+    #[should_panic(expected = "selected twice")]
+    fn marginal_rejects_duplicates() {
+        let c = Counts::new(3).unwrap();
+        let _ = c.marginal(&[1, 1]);
+    }
+
+    #[test]
+    fn to_distribution_normalizes() {
+        let mut c = Counts::new(2).unwrap();
+        c.record_n(bs("00"), 1);
+        c.record_n(bs("11"), 3);
+        let d = c.to_distribution();
+        assert!((d.prob(bs("11")) - 0.75).abs() < 1e-12);
+        assert!((d.total_mass() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty histogram")]
+    fn empty_histogram_has_no_distribution() {
+        let _ = Counts::new(2).unwrap().to_distribution();
+    }
+}

@@ -1,0 +1,404 @@
+//! Sparse probability distributions over fixed-width outcomes.
+
+use std::collections::BTreeMap;
+
+use rand::Rng;
+
+use crate::bitstring::{BitString, MAX_BITS};
+use crate::error::DistError;
+
+/// Width cap for [`Distribution::uniform`], which materializes all
+/// `2^n` outcomes.
+const MAX_UNIFORM_BITS: usize = 24;
+
+/// A normalized, sparse probability distribution over `n`-bit outcomes.
+///
+/// The support is stored as a vector of `(packed outcome, probability)`
+/// pairs sorted by outcome, which makes iteration deterministic,
+/// equality exact, and hands HAMMER's `O(N²)` kernel a flat
+/// [`as_slice`](Distribution::as_slice) to stream over. Every
+/// constructor renormalizes, so `total_mass() ≈ 1` always holds and
+/// every stored probability is strictly positive.
+///
+/// # Example
+///
+/// ```
+/// use hammer_dist::{BitString, Distribution};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// // Weights need not be normalized; duplicates merge.
+/// let d = Distribution::from_probs(2, [
+///     (BitString::parse("11")?, 3.0),
+///     (BitString::parse("01")?, 1.0),
+/// ])?;
+/// assert_eq!(d.len(), 2);
+/// assert!((d.prob(BitString::parse("11")?) - 0.75).abs() < 1e-12);
+/// assert_eq!(d.most_probable().unwrap().0, BitString::parse("11")?);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Distribution {
+    n_bits: usize,
+    /// Sorted by packed outcome; probabilities strictly positive and
+    /// summing to 1 (up to rounding).
+    entries: Vec<(u64, f64)>,
+}
+
+impl Distribution {
+    /// Builds a distribution from `(outcome, weight)` pairs.
+    ///
+    /// Weights are relative: duplicates are merged by summation, zero
+    /// weights are dropped from the support, and the result is
+    /// normalized to unit mass.
+    ///
+    /// # Errors
+    ///
+    /// * [`DistError::WidthOutOfRange`] if `n_bits` is outside `1..=64`;
+    /// * [`DistError::WidthMismatch`] if any outcome's width differs
+    ///   from `n_bits`;
+    /// * [`DistError::InvalidProbability`] on a negative or non-finite
+    ///   weight;
+    /// * [`DistError::EmptyDistribution`] if no positive mass remains.
+    pub fn from_probs<I>(n_bits: usize, pairs: I) -> Result<Self, DistError>
+    where
+        I: IntoIterator<Item = (BitString, f64)>,
+    {
+        if !(1..=MAX_BITS).contains(&n_bits) {
+            return Err(DistError::WidthOutOfRange(n_bits));
+        }
+        let mut merged: BTreeMap<u64, f64> = BTreeMap::new();
+        for (outcome, weight) in pairs {
+            if outcome.len() != n_bits {
+                return Err(DistError::WidthMismatch {
+                    left: n_bits,
+                    right: outcome.len(),
+                });
+            }
+            if !weight.is_finite() || weight < 0.0 {
+                return Err(DistError::InvalidProbability(weight));
+            }
+            *merged.entry(outcome.as_u64()).or_insert(0.0) += weight;
+        }
+        let total: f64 = merged.values().sum();
+        // Weights are validated finite and non-negative, so the sum is
+        // an ordinary non-negative float.
+        if total <= 0.0 {
+            return Err(DistError::EmptyDistribution);
+        }
+        let entries: Vec<(u64, f64)> = merged
+            .into_iter()
+            .filter(|&(_, w)| w > 0.0)
+            .map(|(k, w)| (k, w / total))
+            .collect();
+        Ok(Self { n_bits, entries })
+    }
+
+    /// The uniform distribution over all `2^n` outcomes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_bits` is zero or exceeds 24 (`2^24` dense entries
+    /// is the cap; wider uniform references are analytic, see
+    /// [`crate::metrics::uniform_ehd`]).
+    #[must_use]
+    pub fn uniform(n_bits: usize) -> Self {
+        assert!(
+            (1..=MAX_UNIFORM_BITS).contains(&n_bits),
+            "uniform distribution limited to 1..={MAX_UNIFORM_BITS} bits, got {n_bits}"
+        );
+        let size = 1usize << n_bits;
+        let p = 1.0 / size as f64;
+        Self {
+            n_bits,
+            entries: (0..size as u64).map(|k| (k, p)).collect(),
+        }
+    }
+
+    /// The distribution placing all mass on one outcome.
+    #[must_use]
+    pub fn point_mass(outcome: BitString) -> Self {
+        Self {
+            n_bits: outcome.len(),
+            entries: vec![(outcome.as_u64(), 1.0)],
+        }
+    }
+
+    /// Register width in bits.
+    #[must_use]
+    pub fn n_bits(&self) -> usize {
+        self.n_bits
+    }
+
+    /// Number of outcomes in the support.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when the support is empty (unreachable through public
+    /// constructors, which reject zero mass).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The raw `(packed outcome, probability)` support, sorted by
+    /// outcome — the flat view HAMMER's XOR+POPCNT kernel consumes.
+    #[must_use]
+    pub fn as_slice(&self) -> &[(u64, f64)] {
+        &self.entries
+    }
+
+    /// Probability of one outcome (0 when outside the support).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the outcome width differs from the distribution width.
+    #[must_use]
+    pub fn prob(&self, outcome: BitString) -> f64 {
+        assert_eq!(
+            outcome.len(),
+            self.n_bits,
+            "outcome width {} does not match distribution width {}",
+            outcome.len(),
+            self.n_bits
+        );
+        self.entries
+            .binary_search_by_key(&outcome.as_u64(), |&(k, _)| k)
+            .map_or(0.0, |i| self.entries[i].1)
+    }
+
+    /// Iterates over `(outcome, probability)` pairs in ascending
+    /// outcome order.
+    pub fn iter(&self) -> impl Iterator<Item = (BitString, f64)> + '_ {
+        self.entries
+            .iter()
+            .map(|&(k, p)| (BitString::new(k, self.n_bits), p))
+    }
+
+    /// Sum of all stored probabilities (1 up to rounding).
+    #[must_use]
+    pub fn total_mass(&self) -> f64 {
+        self.entries.iter().map(|&(_, p)| p).sum()
+    }
+
+    /// The most probable outcome (ties broken toward the smallest
+    /// packed value, deterministically). `None` only for the empty
+    /// distribution, which public constructors cannot produce.
+    #[must_use]
+    pub fn most_probable(&self) -> Option<(BitString, f64)> {
+        let mut best: Option<(u64, f64)> = None;
+        for &(k, p) in &self.entries {
+            if best.is_none_or(|(_, bp)| p > bp) {
+                best = Some((k, p));
+            }
+        }
+        best.map(|(k, p)| (BitString::new(k, self.n_bits), p))
+    }
+
+    /// The `k` most probable outcomes, descending by probability (ties
+    /// broken toward smaller packed values). Shorter than `k` when the
+    /// support is.
+    #[must_use]
+    pub fn top_k(&self, k: usize) -> Vec<(BitString, f64)> {
+        let mut sorted = self.entries.clone();
+        sorted.sort_by(|a, b| {
+            b.1.partial_cmp(&a.1)
+                .expect("finite probs")
+                .then(a.0.cmp(&b.0))
+        });
+        sorted
+            .into_iter()
+            .take(k)
+            .map(|(key, p)| (BitString::new(key, self.n_bits), p))
+            .collect()
+    }
+
+    /// The expectation `Σ_x P(x) · f(x)` of a function of the outcome.
+    pub fn expectation<F: FnMut(BitString) -> f64>(&self, mut f: F) -> f64 {
+        self.entries
+            .iter()
+            .map(|&(k, p)| p * f(BitString::new(k, self.n_bits)))
+            .sum()
+    }
+
+    /// Projects onto a sub-register: output bit `i` is input bit
+    /// `qubits[i]`; probabilities that collide after projection merge.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `qubits` is empty, repeats an index, or addresses a
+    /// bit outside the register.
+    #[must_use]
+    pub fn marginal(&self, qubits: &[usize]) -> Distribution {
+        let mut seen = 0u64;
+        for &q in qubits {
+            assert!(
+                q < self.n_bits,
+                "qubit {q} outside register of {} bits",
+                self.n_bits
+            );
+            assert!(seen >> q & 1 == 0, "qubit {q} selected twice");
+            seen |= 1 << q;
+        }
+        let width = qubits.len();
+        let pairs = self.entries.iter().map(|&(k, p)| {
+            let mut projected = 0u64;
+            for (i, &q) in qubits.iter().enumerate() {
+                projected |= (k >> q & 1) << i;
+            }
+            (BitString::new(projected, width), p)
+        });
+        Distribution::from_probs(width, pairs).expect("projection preserves probability mass")
+    }
+
+    /// Samples one outcome according to the distribution.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> BitString {
+        let mut u: f64 = rng.gen::<f64>() * self.total_mass();
+        for &(k, p) in &self.entries {
+            if u < p {
+                return BitString::new(k, self.n_bits);
+            }
+            u -= p;
+        }
+        let (k, _) = *self.entries.last().expect("non-empty support");
+        BitString::new(k, self.n_bits)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn bs(s: &str) -> BitString {
+        BitString::parse(s).unwrap()
+    }
+
+    #[test]
+    fn from_probs_merges_and_normalizes() {
+        let d = Distribution::from_probs(2, [(bs("10"), 1.0), (bs("01"), 2.0), (bs("10"), 1.0)])
+            .unwrap();
+        assert_eq!(d.len(), 2);
+        assert!((d.prob(bs("10")) - 0.5).abs() < 1e-12);
+        assert!((d.prob(bs("01")) - 0.5).abs() < 1e-12);
+        assert!((d.total_mass() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn from_probs_drops_zero_weights() {
+        let d = Distribution::from_probs(2, [(bs("00"), 0.0), (bs("11"), 2.0)]).unwrap();
+        assert_eq!(d.len(), 1);
+        assert_eq!(d.prob(bs("00")), 0.0);
+    }
+
+    #[test]
+    fn from_probs_rejects_bad_input() {
+        assert_eq!(
+            Distribution::from_probs(3, [(bs("10"), 1.0)]),
+            Err(DistError::WidthMismatch { left: 3, right: 2 })
+        );
+        assert_eq!(
+            Distribution::from_probs(2, [(bs("10"), -0.1)]),
+            Err(DistError::InvalidProbability(-0.1))
+        );
+        assert!(matches!(
+            Distribution::from_probs(2, [(bs("10"), f64::NAN)]),
+            Err(DistError::InvalidProbability(p)) if p.is_nan()
+        ));
+        assert_eq!(
+            Distribution::from_probs(2, std::iter::empty()),
+            Err(DistError::EmptyDistribution)
+        );
+        assert_eq!(
+            Distribution::from_probs(2, [(bs("10"), 0.0)]),
+            Err(DistError::EmptyDistribution)
+        );
+    }
+
+    #[test]
+    fn entries_are_sorted_by_outcome() {
+        let d = Distribution::from_probs(2, [(bs("11"), 0.2), (bs("00"), 0.5), (bs("10"), 0.3)])
+            .unwrap();
+        let keys: Vec<u64> = d.as_slice().iter().map(|&(k, _)| k).collect();
+        assert_eq!(keys, vec![0b00, 0b10, 0b11]);
+    }
+
+    #[test]
+    fn uniform_covers_everything() {
+        let d = Distribution::uniform(4);
+        assert_eq!(d.len(), 16);
+        assert!((d.total_mass() - 1.0).abs() < 1e-12);
+        assert!((d.prob(bs("0110")) - 1.0 / 16.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn point_mass_is_certain() {
+        let d = Distribution::point_mass(bs("101"));
+        assert_eq!(d.len(), 1);
+        assert_eq!(d.prob(bs("101")), 1.0);
+        assert_eq!(d.most_probable(), Some((bs("101"), 1.0)));
+    }
+
+    #[test]
+    fn most_probable_breaks_ties_deterministically() {
+        let d = Distribution::from_probs(2, [(bs("11"), 0.5), (bs("00"), 0.5)]).unwrap();
+        assert_eq!(d.most_probable().unwrap().0, bs("00"));
+    }
+
+    #[test]
+    fn top_k_is_descending() {
+        let d = Distribution::from_probs(
+            3,
+            [
+                (bs("000"), 0.1),
+                (bs("001"), 0.4),
+                (bs("010"), 0.2),
+                (bs("011"), 0.3),
+            ],
+        )
+        .unwrap();
+        let top = d.top_k(3);
+        assert_eq!(top.len(), 3);
+        assert_eq!(top[0].0, bs("001"));
+        assert_eq!(top[1].0, bs("011"));
+        assert_eq!(top[2].0, bs("010"));
+        assert_eq!(d.top_k(10).len(), 4);
+    }
+
+    #[test]
+    fn expectation_weights_by_probability() {
+        let d = Distribution::from_probs(2, [(bs("00"), 0.25), (bs("11"), 0.75)]).unwrap();
+        let mean_weight = d.expectation(|x| f64::from(x.weight()));
+        assert!((mean_weight - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn marginal_projects_and_merges() {
+        let d = Distribution::from_probs(3, [(bs("111"), 0.7), (bs("011"), 0.3)]).unwrap();
+        let m = d.marginal(&[0, 1]);
+        assert_eq!(m.n_bits(), 2);
+        assert!((m.prob(bs("11")) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sample_follows_the_masses() {
+        let d = Distribution::from_probs(2, [(bs("00"), 0.2), (bs("11"), 0.8)]).unwrap();
+        let mut rng = StdRng::seed_from_u64(5);
+        let trials = 20_000;
+        let ones = (0..trials)
+            .filter(|_| d.sample(&mut rng) == bs("11"))
+            .count();
+        assert!((ones as f64 / f64::from(trials) - 0.8).abs() < 0.01);
+    }
+
+    #[test]
+    fn sixty_four_bit_support() {
+        let base = BitString::ones(64);
+        let d = Distribution::from_probs(64, [(base, 0.5), (base.flip_bit(63), 0.5)]).unwrap();
+        assert_eq!(d.len(), 2);
+        assert!((d.prob(base) - 0.5).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,76 @@
+//! The crate-wide error type.
+
+use std::fmt;
+
+/// Errors produced by the bitstring, histogram and distribution
+/// constructors.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum DistError {
+    /// Two objects that must share a register width do not.
+    WidthMismatch {
+        /// Width of the left-hand / expected object.
+        left: usize,
+        /// Width of the right-hand / offending object.
+        right: usize,
+    },
+    /// A distribution was built with no positive probability mass.
+    EmptyDistribution,
+    /// A register width outside the supported `1..=64` range.
+    WidthOutOfRange(usize),
+    /// A bitstring literal contained a character other than `0` or `1`.
+    InvalidBitChar(char),
+    /// A probability weight was negative or not finite.
+    InvalidProbability(f64),
+}
+
+impl fmt::Display for DistError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::WidthMismatch { left, right } => {
+                write!(f, "register width mismatch: {left} vs {right} bits")
+            }
+            Self::EmptyDistribution => {
+                write!(f, "distribution has no positive probability mass")
+            }
+            Self::WidthOutOfRange(n) => {
+                write!(f, "register width {n} outside the supported 1..=64 range")
+            }
+            Self::InvalidBitChar(c) => {
+                write!(
+                    f,
+                    "invalid character {c:?} in bitstring literal (want 0 or 1)"
+                )
+            }
+            Self::InvalidProbability(p) => {
+                write!(f, "probability weight {p} is negative or not finite")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DistError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_names_the_problem() {
+        let e = DistError::WidthMismatch { left: 2, right: 3 };
+        assert!(e.to_string().contains("2 vs 3"));
+        assert!(DistError::EmptyDistribution
+            .to_string()
+            .contains("no positive"));
+        assert!(DistError::WidthOutOfRange(65).to_string().contains("65"));
+        assert!(DistError::InvalidBitChar('x').to_string().contains('x'));
+        assert!(DistError::InvalidProbability(-0.5)
+            .to_string()
+            .contains("-0.5"));
+    }
+
+    #[test]
+    fn error_trait_is_implemented() {
+        let boxed: Box<dyn std::error::Error> = Box::new(DistError::EmptyDistribution);
+        assert!(!boxed.to_string().is_empty());
+    }
+}

@@ -1,0 +1,293 @@
+//! The paper's figures of merit (§5.3): PST, IST, EHD and the
+//! distribution-distance measures used to compare pipelines.
+
+use crate::bitstring::BitString;
+use crate::distribution::Distribution;
+
+/// Returns `true` when `x` is one of the correct outcomes.
+fn is_correct(x: BitString, correct: &[BitString]) -> bool {
+    correct.contains(&x)
+}
+
+/// **Probability of a Successful Trial**: the total probability mass on
+/// the correct outcomes.
+///
+/// # Panics
+///
+/// Panics if any correct outcome's width differs from the
+/// distribution's.
+///
+/// # Example
+///
+/// ```
+/// use hammer_dist::{metrics, BitString, Distribution};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let d = Distribution::from_probs(2, [
+///     (BitString::parse("11")?, 0.7),
+///     (BitString::parse("01")?, 0.3),
+/// ])?;
+/// assert!((metrics::pst(&d, &[BitString::parse("11")?]) - 0.7).abs() < 1e-12);
+/// # Ok(())
+/// # }
+/// ```
+#[must_use]
+pub fn pst(dist: &Distribution, correct: &[BitString]) -> f64 {
+    dist.iter()
+        .filter(|&(x, _)| is_correct(x, correct))
+        .map(|(_, p)| p)
+        .sum()
+}
+
+/// **Inference Strength of a Trial**: the probability of the strongest
+/// correct outcome over the probability of the strongest *incorrect*
+/// outcome. `IST > 1` means the correct answer wins the arg-max;
+/// [`f64::INFINITY`] when no incorrect outcome was observed at all.
+///
+/// # Panics
+///
+/// Panics if any correct outcome's width differs from the
+/// distribution's.
+#[must_use]
+pub fn ist(dist: &Distribution, correct: &[BitString]) -> f64 {
+    let mut best_correct = 0.0f64;
+    let mut best_incorrect = 0.0f64;
+    for (x, p) in dist.iter() {
+        if is_correct(x, correct) {
+            best_correct = best_correct.max(p);
+        } else {
+            best_incorrect = best_incorrect.max(p);
+        }
+    }
+    if best_incorrect > 0.0 {
+        best_correct / best_incorrect
+    } else if best_correct > 0.0 {
+        f64::INFINITY
+    } else {
+        0.0
+    }
+}
+
+/// **Expected Hamming Distance** (Eq. 4): the probability-weighted mean
+/// distance from each outcome to its *nearest* correct answer. Low EHD
+/// is the paper's core observation — errors cluster near the correct
+/// answer instead of spreading to the uniform-error value `n/2`.
+///
+/// # Panics
+///
+/// Panics if `correct` is empty or widths differ.
+#[must_use]
+pub fn ehd(dist: &Distribution, correct: &[BitString]) -> f64 {
+    dist.expectation(|x| f64::from(x.min_distance_to(correct)))
+}
+
+/// The EHD a uniform-error machine would produce: `n / 2` (each bit of
+/// a uniformly random outcome disagrees with the correct answer with
+/// probability one half) — the reference line of Figs. 1(b) and 12.
+#[must_use]
+pub fn uniform_ehd(n_bits: usize) -> f64 {
+    n_bits as f64 / 2.0
+}
+
+/// **Total Variation Distance**: `½ Σ_x |P(x) − Q(x)|`, in `[0, 1]`.
+///
+/// # Panics
+///
+/// Panics if the widths differ.
+#[must_use]
+pub fn tvd(p: &Distribution, q: &Distribution) -> f64 {
+    assert_eq!(
+        p.n_bits(),
+        q.n_bits(),
+        "TVD between widths {} and {}",
+        p.n_bits(),
+        q.n_bits()
+    );
+    // Both supports are sorted by outcome: merge in one pass.
+    let (a, b) = (p.as_slice(), q.as_slice());
+    let (mut i, mut j) = (0, 0);
+    let mut acc = 0.0;
+    while i < a.len() || j < b.len() {
+        match (a.get(i), b.get(j)) {
+            (Some(&(ka, pa)), Some(&(kb, pb))) => {
+                if ka == kb {
+                    acc += (pa - pb).abs();
+                    i += 1;
+                    j += 1;
+                } else if ka < kb {
+                    acc += pa;
+                    i += 1;
+                } else {
+                    acc += pb;
+                    j += 1;
+                }
+            }
+            (Some(&(_, pa)), None) => {
+                acc += pa;
+                i += 1;
+            }
+            (None, Some(&(_, pb))) => {
+                acc += pb;
+                j += 1;
+            }
+            (None, None) => unreachable!("loop condition"),
+        }
+    }
+    acc / 2.0
+}
+
+/// **Hellinger fidelity**: `(Σ_x √(P(x)·Q(x)))²`, in `[0, 1]`, 1 iff
+/// the distributions agree — the classical fidelity used to compare a
+/// noisy output against the ideal one.
+///
+/// # Panics
+///
+/// Panics if the widths differ.
+#[must_use]
+pub fn hellinger_fidelity(p: &Distribution, q: &Distribution) -> f64 {
+    assert_eq!(
+        p.n_bits(),
+        q.n_bits(),
+        "fidelity between widths {} and {}",
+        p.n_bits(),
+        q.n_bits()
+    );
+    // Only the support intersection contributes; walk the sorted lists.
+    let (a, b) = (p.as_slice(), q.as_slice());
+    let (mut i, mut j) = (0, 0);
+    let mut bc = 0.0; // Bhattacharyya coefficient
+    while i < a.len() && j < b.len() {
+        let (ka, pa) = a[i];
+        let (kb, pb) = b[j];
+        if ka == kb {
+            bc += (pa * pb).sqrt();
+            i += 1;
+            j += 1;
+        } else if ka < kb {
+            i += 1;
+        } else {
+            j += 1;
+        }
+    }
+    bc * bc
+}
+
+/// **Cost Ratio** (Eq. 5): the expected cost under `dist` divided by
+/// the known optimum `c_min`. 1 means every sample is optimal; values
+/// near 0 mean the samples are no better than uniform guessing.
+///
+/// # Panics
+///
+/// Panics if `c_min` is zero.
+#[must_use]
+pub fn cost_ratio<F: FnMut(BitString) -> f64>(dist: &Distribution, cost: F, c_min: f64) -> f64 {
+    assert!(c_min != 0.0, "cost ratio undefined for c_min = 0");
+    dist.expectation(cost) / c_min
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bs(s: &str) -> BitString {
+        BitString::parse(s).unwrap()
+    }
+
+    fn noisy_bv() -> Distribution {
+        Distribution::from_probs(
+            3,
+            [
+                (bs("111"), 0.5),
+                (bs("110"), 0.2),
+                (bs("101"), 0.2),
+                (bs("000"), 0.1),
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn pst_sums_correct_mass() {
+        let d = noisy_bv();
+        assert!((pst(&d, &[bs("111")]) - 0.5).abs() < 1e-12);
+        assert!((pst(&d, &[bs("111"), bs("000")]) - 0.6).abs() < 1e-12);
+        assert_eq!(pst(&d, &[bs("010")]), 0.0);
+    }
+
+    #[test]
+    fn ist_compares_against_the_strongest_incorrect() {
+        let d = noisy_bv();
+        assert!((ist(&d, &[bs("111")]) - 2.5).abs() < 1e-12); // 0.5 / 0.2
+                                                              // Key masked by a stronger incorrect outcome -> IST < 1.
+        assert!(ist(&d, &[bs("000")]) < 1.0);
+        // No incorrect outcome at all -> infinite strength.
+        let pure = Distribution::point_mass(bs("111"));
+        assert_eq!(ist(&pure, &[bs("111")]), f64::INFINITY);
+        // No correct outcome observed -> zero strength.
+        assert_eq!(ist(&pure, &[bs("000")]), 0.0);
+    }
+
+    #[test]
+    fn ehd_weights_minimum_distances() {
+        let d = noisy_bv();
+        // 0.5·0 + 0.2·1 + 0.2·1 + 0.1·3 = 0.7
+        assert!((ehd(&d, &[bs("111")]) - 0.7).abs() < 1e-12);
+        // Adding 000 as correct removes its 3-flip contribution.
+        assert!((ehd(&d, &[bs("111"), bs("000")]) - 0.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn uniform_distribution_hits_the_uniform_ehd() {
+        let d = Distribution::uniform(6);
+        let e = ehd(&d, &[bs("000000")]);
+        assert!((e - uniform_ehd(6)).abs() < 1e-9, "uniform EHD {e}");
+        assert_eq!(uniform_ehd(9), 4.5);
+    }
+
+    #[test]
+    fn tvd_basics() {
+        let d = noisy_bv();
+        assert_eq!(tvd(&d, &d), 0.0);
+        let ideal = Distribution::point_mass(bs("111"));
+        assert!((tvd(&d, &ideal) - 0.5).abs() < 1e-12);
+        // Disjoint supports are maximally far apart.
+        let other = Distribution::point_mass(bs("010"));
+        assert!((tvd(&ideal, &other) - 1.0).abs() < 1e-12);
+        // Symmetry.
+        assert!((tvd(&d, &ideal) - tvd(&ideal, &d)).abs() < 1e-15);
+    }
+
+    #[test]
+    fn hellinger_fidelity_basics() {
+        let d = noisy_bv();
+        assert!((hellinger_fidelity(&d, &d) - 1.0).abs() < 1e-12);
+        let ideal = Distribution::point_mass(bs("111"));
+        assert!((hellinger_fidelity(&d, &ideal) - 0.5).abs() < 1e-12);
+        let other = Distribution::point_mass(bs("010"));
+        assert_eq!(hellinger_fidelity(&ideal, &other), 0.0);
+    }
+
+    #[test]
+    fn cost_ratio_normalizes_by_optimum() {
+        let d = Distribution::from_probs(2, [(bs("01"), 0.5), (bs("00"), 0.5)]).unwrap();
+        // Cost: -1 for cut (01), +1 for uncut (00); optimum -1.
+        let cr = cost_ratio(&d, |x| if x.weight() == 1 { -1.0 } else { 1.0 }, -1.0);
+        assert!(cr.abs() < 1e-12); // expectation 0 -> ratio 0
+        let all_cut = Distribution::point_mass(bs("10"));
+        let cr = cost_ratio(&all_cut, |x| if x.weight() == 1 { -1.0 } else { 1.0 }, -1.0);
+        assert!((cr - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "c_min = 0")]
+    fn cost_ratio_rejects_zero_optimum() {
+        let d = Distribution::uniform(2);
+        let _ = cost_ratio(&d, |_| 0.0, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "TVD between widths")]
+    fn tvd_rejects_width_mismatch() {
+        let _ = tvd(&Distribution::uniform(2), &Distribution::uniform(3));
+    }
+}

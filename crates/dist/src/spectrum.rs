@@ -1,0 +1,278 @@
+//! Hamming spectra: bucketing an output distribution by Hamming
+//! distance from the correct answers (§3.2 of the paper), and the
+//! per-string Cumulative Hamming Strength of §4.1.
+
+use crate::bitstring::BitString;
+use crate::distribution::Distribution;
+
+/// One Hamming bin of a [`HammingSpectrum`]: the outcomes at one exact
+/// (minimum) distance from the correct-answer set.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct SpectrumBin {
+    /// Number of distinct outcomes in the bin.
+    pub count: usize,
+    /// Total probability mass of the bin.
+    pub total: f64,
+    /// Largest single-outcome probability in the bin (0 when empty).
+    pub max: f64,
+}
+
+impl SpectrumBin {
+    /// Mean probability of the bin's outcomes (0 when empty).
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.total / self.count as f64
+        }
+    }
+}
+
+/// The Hamming spectrum of a distribution with respect to a set of
+/// correct outcomes: every observed outcome lands in the bin of its
+/// distance to the *nearest* correct answer (bin 0 holds the correct
+/// answers themselves).
+///
+/// This is the bucketing behind Figs. 1, 3 and the EHD metric: on real
+/// hardware the mass concentrates in low bins — errors cluster close to
+/// the correct answer in Hamming space — while a uniform-error machine
+/// would spread it binomially around `n/2`.
+///
+/// # Example
+///
+/// ```
+/// use hammer_dist::{BitString, Distribution, HammingSpectrum};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let dist = Distribution::from_probs(2, [
+///     (BitString::parse("11")?, 0.6),
+///     (BitString::parse("01")?, 0.2),
+///     (BitString::parse("10")?, 0.12),
+///     (BitString::parse("00")?, 0.08),
+/// ])?;
+/// let spectrum = HammingSpectrum::new(&dist, &[BitString::parse("11")?]);
+/// assert_eq!(spectrum.bins().len(), 3); // distances 0, 1, 2
+/// assert_eq!(spectrum.bins()[1].count, 2); // "01" and "10"
+/// assert!((spectrum.bins()[1].total - 0.32).abs() < 1e-12);
+/// assert!((spectrum.total_strength() - 1.0).abs() < 1e-12);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct HammingSpectrum {
+    n_bits: usize,
+    bins: Vec<SpectrumBin>,
+}
+
+impl HammingSpectrum {
+    /// Buckets `dist` by minimum Hamming distance to `correct`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `correct` is empty or any width differs from the
+    /// distribution's.
+    #[must_use]
+    pub fn new(dist: &Distribution, correct: &[BitString]) -> Self {
+        assert!(
+            !correct.is_empty(),
+            "spectrum needs at least one correct outcome"
+        );
+        for c in correct {
+            assert_eq!(
+                c.len(),
+                dist.n_bits(),
+                "correct outcome width {} does not match distribution width {}",
+                c.len(),
+                dist.n_bits()
+            );
+        }
+        let n = dist.n_bits();
+        let mut bins = vec![SpectrumBin::default(); n + 1];
+        for (x, p) in dist.iter() {
+            let d = x.min_distance_to(correct) as usize;
+            let bin = &mut bins[d];
+            bin.count += 1;
+            bin.total += p;
+            if p > bin.max {
+                bin.max = p;
+            }
+        }
+        Self { n_bits: n, bins }
+    }
+
+    /// Register width in bits.
+    #[must_use]
+    pub fn n_bits(&self) -> usize {
+        self.n_bits
+    }
+
+    /// The bins, indexed by Hamming distance `0..=n`.
+    #[must_use]
+    pub fn bins(&self) -> &[SpectrumBin] {
+        &self.bins
+    }
+
+    /// Total strength across all bins. Binning partitions the support,
+    /// so this always equals the distribution's total mass (1 up to
+    /// rounding) — the `Σ_d CHS[d]` conservation invariant.
+    #[must_use]
+    pub fn total_strength(&self) -> f64 {
+        self.bins.iter().map(|b| b.total).sum()
+    }
+
+    /// The per-outcome probability a uniform-error machine would give
+    /// every string: `1 / 2^n` — the chance line of Fig. 3.
+    #[must_use]
+    pub fn uniform_outcome_probability(&self) -> f64 {
+        0.5f64.powi(self.n_bits as i32)
+    }
+}
+
+/// The Cumulative Hamming Strength of one string (§4.1): `chs[d]` is
+/// the observed probability mass at Hamming distance exactly `d` from
+/// `x`, for `d < max_d`. Bin 0 is `P(x)` itself.
+///
+/// # Panics
+///
+/// Panics if `x`'s width differs from the distribution's.
+///
+/// # Example
+///
+/// ```
+/// use hammer_dist::{spectrum, BitString, Distribution};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let dist = Distribution::from_probs(3, [
+///     (BitString::parse("111")?, 0.5),
+///     (BitString::parse("110")?, 0.3),
+///     (BitString::parse("000")?, 0.2),
+/// ])?;
+/// let chs = spectrum::chs(&dist, BitString::parse("111")?, 2);
+/// assert!((chs[0] - 0.5).abs() < 1e-12); // the string itself
+/// assert!((chs[1] - 0.3).abs() < 1e-12); // one flip away
+/// # Ok(())
+/// # }
+/// ```
+#[must_use]
+pub fn chs(dist: &Distribution, x: BitString, max_d: usize) -> Vec<f64> {
+    assert_eq!(
+        x.len(),
+        dist.n_bits(),
+        "string width {} does not match distribution width {}",
+        x.len(),
+        dist.n_bits()
+    );
+    let key = x.as_u64();
+    let mut out = vec![0.0; max_d];
+    for &(yk, py) in dist.as_slice() {
+        let d = (key ^ yk).count_ones() as usize;
+        if d < max_d {
+            out[d] += py;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::error::DistError;
+
+    fn bs(s: &str) -> BitString {
+        BitString::parse(s).unwrap()
+    }
+
+    fn ghzish() -> Distribution {
+        Distribution::from_probs(
+            3,
+            [
+                (bs("000"), 0.45),
+                (bs("111"), 0.40),
+                (bs("001"), 0.06),
+                (bs("110"), 0.05),
+                (bs("010"), 0.04),
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn bins_use_minimum_distance_over_the_correct_set() {
+        let s = HammingSpectrum::new(&ghzish(), &[bs("000"), bs("111")]);
+        // Bin 0: both correct outcomes; bin 1: the three single-flip
+        // errors (each 1 away from the nearest branch).
+        assert_eq!(s.bins()[0].count, 2);
+        assert!((s.bins()[0].total - 0.85).abs() < 1e-12);
+        assert_eq!(s.bins()[1].count, 3);
+        assert!((s.bins()[1].total - 0.15).abs() < 1e-12);
+        assert_eq!(s.bins()[2].count, 0);
+        assert_eq!(s.bins().len(), 4);
+    }
+
+    #[test]
+    fn bin_statistics_are_consistent() {
+        let s = HammingSpectrum::new(&ghzish(), &[bs("000")]);
+        for bin in s.bins() {
+            assert!(bin.max <= bin.total + 1e-15);
+            assert!(bin.mean() <= bin.max + 1e-15);
+            if bin.count == 0 {
+                assert_eq!(bin.total, 0.0);
+                assert_eq!(bin.mean(), 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn total_strength_is_conserved() {
+        for correct in [vec![bs("000")], vec![bs("000"), bs("111")], vec![bs("010")]] {
+            let s = HammingSpectrum::new(&ghzish(), &correct);
+            assert!((s.total_strength() - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn uniform_outcome_probability_is_2_to_minus_n() {
+        let s = HammingSpectrum::new(&ghzish(), &[bs("000")]);
+        assert!((s.uniform_outcome_probability() - 0.125).abs() < 1e-15);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one correct outcome")]
+    fn empty_correct_set_rejected() {
+        let _ = HammingSpectrum::new(&ghzish(), &[]);
+    }
+
+    #[test]
+    #[should_panic(expected = "width")]
+    fn mismatched_correct_width_rejected() {
+        let _ = HammingSpectrum::new(&ghzish(), &[bs("0000")]);
+    }
+
+    #[test]
+    fn chs_bins_by_exact_distance() {
+        let d = ghzish();
+        let chs = chs(&d, bs("000"), 4);
+        assert!((chs[0] - 0.45).abs() < 1e-12);
+        assert!((chs[1] - 0.10).abs() < 1e-12); // 001 + 010
+        assert!((chs[2] - 0.05).abs() < 1e-12); // 110
+        assert!((chs[3] - 0.40).abs() < 1e-12); // 111
+    }
+
+    #[test]
+    fn chs_truncates_at_max_d() {
+        let d = ghzish();
+        let chs = chs(&d, bs("000"), 2);
+        assert_eq!(chs.len(), 2);
+        // Truncated sum < 1: distant outcomes fall outside.
+        assert!(chs.iter().sum::<f64>() < 1.0);
+    }
+
+    #[test]
+    fn error_type_round_trips_through_results() {
+        // Sanity-check the error plumbing the spectrum module's
+        // consumers rely on.
+        let err = Distribution::from_probs(2, [(bs("101"), 1.0)]).unwrap_err();
+        assert_eq!(err, DistError::WidthMismatch { left: 2, right: 3 });
+    }
+}

@@ -1,0 +1,160 @@
+//! Small statistics helpers used by the experiment harness: means over
+//! per-circuit gains and the Spearman correlations of Fig. 11.
+
+/// Arithmetic mean; `None` on an empty slice.
+#[must_use]
+pub fn mean(values: &[f64]) -> Option<f64> {
+    if values.is_empty() {
+        None
+    } else {
+        Some(values.iter().sum::<f64>() / values.len() as f64)
+    }
+}
+
+/// Geometric mean — the paper's aggregate for multiplicative
+/// improvements ("gmean PST gain"). `None` on an empty slice; any zero
+/// value collapses the mean to zero, and negative values yield `NaN`.
+///
+/// # Example
+///
+/// ```
+/// use hammer_dist::stats::geometric_mean;
+///
+/// let g = geometric_mean(&[1.0, 4.0]).unwrap();
+/// assert!((g - 2.0).abs() < 1e-12);
+/// assert!(geometric_mean(&[]).is_none());
+/// ```
+#[must_use]
+pub fn geometric_mean(values: &[f64]) -> Option<f64> {
+    if values.is_empty() {
+        return None;
+    }
+    let log_mean = values.iter().map(|&v| v.ln()).sum::<f64>() / values.len() as f64;
+    Some(log_mean.exp())
+}
+
+/// Spearman rank correlation between two equal-length series, in
+/// `[-1, 1]`. Ties receive average ranks. Returns `None` when the
+/// lengths differ, fewer than two points are given, or either series
+/// is constant (the correlation is undefined).
+///
+/// # Example
+///
+/// ```
+/// use hammer_dist::stats::spearman;
+///
+/// // Monotone relation -> perfect rank correlation, however nonlinear.
+/// let xs = [1.0, 2.0, 3.0, 4.0];
+/// let ys = [1.0, 8.0, 27.0, 64.0];
+/// assert!((spearman(&xs, &ys).unwrap() - 1.0).abs() < 1e-12);
+/// ```
+#[must_use]
+pub fn spearman(xs: &[f64], ys: &[f64]) -> Option<f64> {
+    if xs.len() != ys.len() || xs.len() < 2 {
+        return None;
+    }
+    let rx = average_ranks(xs);
+    let ry = average_ranks(ys);
+    pearson(&rx, &ry)
+}
+
+/// Average ranks (1-based) with ties sharing their mean rank.
+fn average_ranks(values: &[f64]) -> Vec<f64> {
+    let mut order: Vec<usize> = (0..values.len()).collect();
+    order.sort_by(|&a, &b| {
+        values[a]
+            .partial_cmp(&values[b])
+            .expect("ranks need comparable (non-NaN) values")
+    });
+    let mut ranks = vec![0.0; values.len()];
+    let mut i = 0;
+    while i < order.len() {
+        // Find the tie group [i, j).
+        let mut j = i + 1;
+        while j < order.len() && values[order[j]] == values[order[i]] {
+            j += 1;
+        }
+        // Ranks i+1 ..= j averaged over the group.
+        let rank = (i + 1 + j) as f64 / 2.0;
+        for &idx in &order[i..j] {
+            ranks[idx] = rank;
+        }
+        i = j;
+    }
+    ranks
+}
+
+/// Pearson correlation; `None` when either series is constant.
+fn pearson(xs: &[f64], ys: &[f64]) -> Option<f64> {
+    let n = xs.len() as f64;
+    let mx = xs.iter().sum::<f64>() / n;
+    let my = ys.iter().sum::<f64>() / n;
+    let mut cov = 0.0;
+    let mut vx = 0.0;
+    let mut vy = 0.0;
+    for (&x, &y) in xs.iter().zip(ys) {
+        cov += (x - mx) * (y - my);
+        vx += (x - mx) * (x - mx);
+        vy += (y - my) * (y - my);
+    }
+    if vx <= 0.0 || vy <= 0.0 {
+        return None;
+    }
+    Some(cov / (vx * vy).sqrt())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_basics() {
+        assert_eq!(mean(&[]), None);
+        assert_eq!(mean(&[3.0]), Some(3.0));
+        assert!((mean(&[1.0, 2.0, 3.0]).unwrap() - 2.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn geometric_mean_basics() {
+        assert_eq!(geometric_mean(&[]), None);
+        assert!((geometric_mean(&[2.0, 8.0]).unwrap() - 4.0).abs() < 1e-12);
+        // Multiplicative: gmean of reciprocal gains is 1.
+        assert!((geometric_mean(&[0.5, 2.0]).unwrap() - 1.0).abs() < 1e-12);
+        // A zero gain collapses the mean.
+        assert_eq!(geometric_mean(&[0.0, 100.0]).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn spearman_detects_monotone_relations() {
+        let xs = [3.0, 1.0, 4.0, 1.5, 5.0];
+        let inc: Vec<f64> = xs.iter().map(|&x| f64::exp(x)).collect();
+        let dec: Vec<f64> = xs.iter().map(|&x| -f64::powi(x, 3)).collect();
+        assert!((spearman(&xs, &inc).unwrap() - 1.0).abs() < 1e-12);
+        assert!((spearman(&xs, &dec).unwrap() + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn spearman_handles_ties() {
+        let xs = [1.0, 1.0, 2.0, 3.0];
+        let ys = [5.0, 5.0, 6.0, 7.0];
+        assert!((spearman(&xs, &ys).unwrap() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn spearman_degenerate_cases() {
+        assert_eq!(spearman(&[1.0], &[2.0]), None);
+        assert_eq!(spearman(&[1.0, 2.0], &[1.0]), None);
+        assert_eq!(spearman(&[1.0, 1.0, 1.0], &[1.0, 2.0, 3.0]), None);
+    }
+
+    #[test]
+    fn spearman_is_scale_invariant() {
+        let xs = [0.1, 0.5, 0.9, 0.2];
+        let ys = [10.0, 50.0, 90.0, 20.0];
+        let scaled: Vec<f64> = ys.iter().map(|y| y * 1e6 + 7.0).collect();
+        let a = spearman(&xs, &ys).unwrap();
+        let b = spearman(&xs, &scaled).unwrap();
+        assert!((a - b).abs() < 1e-12);
+        assert!((a - 1.0).abs() < 1e-12);
+    }
+}

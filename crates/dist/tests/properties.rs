@@ -1,0 +1,215 @@
+//! Property-based tests for the data layer: bitstring round-trips,
+//! Hamming-metric laws, distribution normalization and the spectrum's
+//! strength-conservation invariant.
+
+use hammer_dist::{metrics, spectrum, BitString, Counts, Distribution, HammingSpectrum};
+use proptest::prelude::*;
+
+/// Strategy: a width and a packed value that fits it.
+fn sized_bits() -> impl Strategy<Value = (usize, u64)> {
+    (1usize..=64).prop_flat_map(|n| {
+        let max = if n == 64 { u64::MAX } else { (1u64 << n) - 1 };
+        (Just(n), 0..=max)
+    })
+}
+
+/// Strategy: a sparse distribution over n-bit outcomes (2..40 distinct
+/// outcomes, integer weights).
+fn distribution() -> impl Strategy<Value = Distribution> {
+    (2usize..=12)
+        .prop_flat_map(|n| {
+            let max = if n == 64 { u64::MAX } else { (1u64 << n) - 1 };
+            (
+                Just(n),
+                proptest::collection::btree_map(0..=max, 1u64..1000, 2..40),
+            )
+        })
+        .prop_map(|(n, map)| {
+            let pairs = map
+                .into_iter()
+                .map(|(k, w)| (BitString::new(k, n), w as f64));
+            Distribution::from_probs(n, pairs).expect("positive weights")
+        })
+}
+
+proptest! {
+    #[test]
+    fn parse_display_round_trip((n, bits) in sized_bits()) {
+        let x = BitString::new(bits, n);
+        let s = x.to_string();
+        prop_assert_eq!(s.len(), n);
+        prop_assert_eq!(BitString::parse(&s).expect("valid literal"), x);
+    }
+
+    #[test]
+    fn display_parse_round_trip((n, bits) in sized_bits()) {
+        // The other direction: a literal built from the bits.
+        let s: String = (0..n)
+            .rev()
+            .map(|q| if bits >> q & 1 == 1 { '1' } else { '0' })
+            .collect();
+        let x = BitString::parse(&s).expect("valid literal");
+        prop_assert_eq!(x.as_u64(), bits);
+        prop_assert_eq!(x.to_string(), s);
+    }
+
+    #[test]
+    fn hamming_distance_is_a_metric(
+        (n, a) in sized_bits(),
+        b_raw in 0u64..u64::MAX,
+        c_raw in 0u64..u64::MAX,
+    ) {
+        let mask = if n == 64 { u64::MAX } else { (1u64 << n) - 1 };
+        let x = BitString::new(a, n);
+        let y = BitString::new(b_raw & mask, n);
+        let z = BitString::new(c_raw & mask, n);
+        // Identity, symmetry, triangle inequality.
+        prop_assert_eq!(x.hamming_distance(x), 0);
+        prop_assert_eq!(x.hamming_distance(y), y.hamming_distance(x));
+        prop_assert!(x.hamming_distance(z) <= x.hamming_distance(y) + y.hamming_distance(z));
+        // Distance bounded by the width and consistent with weight.
+        prop_assert!(x.hamming_distance(y) as usize <= n);
+        prop_assert_eq!(x.hamming_distance(BitString::zeros(n)), x.weight());
+    }
+
+    #[test]
+    fn flips_move_distance_by_one((n, bits) in sized_bits(), q_frac in 0.0f64..1.0) {
+        let x = BitString::new(bits, n);
+        let q = ((q_frac * n as f64) as usize).min(n - 1);
+        let y = x.flip_bit(q);
+        prop_assert_eq!(x.hamming_distance(y), 1);
+        prop_assert_eq!(y.flip_bit(q), x);
+    }
+
+    #[test]
+    fn renormalization_sums_to_one(d in distribution()) {
+        prop_assert!((d.total_mass() - 1.0).abs() < 1e-9);
+        for (_, p) in d.iter() {
+            prop_assert!(p > 0.0 && p <= 1.0 + 1e-12);
+        }
+        // Renormalizing an already-normalized distribution is identity.
+        let again = Distribution::from_probs(d.n_bits(), d.iter()).expect("valid");
+        for (x, p) in d.iter() {
+            prop_assert!((again.prob(x) - p).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn most_probable_is_in_support_and_maximal(d in distribution()) {
+        let (top, p_top) = d.most_probable().expect("non-empty");
+        prop_assert!(d.prob(top) == p_top);
+        for (_, p) in d.iter() {
+            prop_assert!(p <= p_top);
+        }
+        // top_k(1) agrees with most_probable.
+        prop_assert_eq!(d.top_k(1)[0].0, top);
+    }
+
+    #[test]
+    fn counts_round_trip_through_distribution(d in distribution()) {
+        // Scale probabilities to integer counts and back.
+        let mut counts = Counts::new(d.n_bits()).expect("valid width");
+        for (x, p) in d.iter() {
+            counts.record_n(x, (p * 1e9).round() as u64);
+        }
+        let back = counts.to_distribution();
+        prop_assert_eq!(back.len(), d.len());
+        for (x, p) in d.iter() {
+            prop_assert!((back.prob(x) - p).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn spectrum_conserves_total_strength(d in distribution(), k_raw in 0u64..u64::MAX) {
+        let n = d.n_bits();
+        let mask = if n == 64 { u64::MAX } else { (1u64 << n) - 1 };
+        let correct = [BitString::new(k_raw & mask, n), BitString::zeros(n)];
+        let s = HammingSpectrum::new(&d, &correct);
+        // The paper's Σ_d CHS[d] invariant: binning partitions the mass.
+        prop_assert!((s.total_strength() - d.total_mass()).abs() < 1e-9);
+        prop_assert_eq!(s.bins().len(), n + 1);
+        // Counts partition the support, too.
+        let total_count: usize = s.bins().iter().map(|b| b.count).sum();
+        prop_assert_eq!(total_count, d.len());
+    }
+
+    #[test]
+    fn full_width_chs_conserves_mass(d in distribution()) {
+        let n = d.n_bits();
+        let (top, _) = d.most_probable().expect("non-empty");
+        let chs = spectrum::chs(&d, top, n + 1);
+        prop_assert!((chs.iter().sum::<f64>() - d.total_mass()).abs() < 1e-9);
+        // Bin 0 of a string's own CHS is its probability.
+        prop_assert!((chs[0] - d.prob(top)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn marginal_preserves_mass(d in distribution()) {
+        let keep: Vec<usize> = (0..d.n_bits()).step_by(2).collect();
+        let m = d.marginal(&keep);
+        prop_assert_eq!(m.n_bits(), keep.len());
+        prop_assert!((m.total_mass() - 1.0).abs() < 1e-9);
+        prop_assert!(m.len() <= d.len());
+    }
+
+    #[test]
+    fn pst_and_ehd_are_consistent(d in distribution()) {
+        let (top, _) = d.most_probable().expect("non-empty");
+        let correct = [top];
+        let pst = metrics::pst(&d, &correct);
+        prop_assert!((0.0..=1.0 + 1e-12).contains(&pst));
+        let e = metrics::ehd(&d, &correct);
+        prop_assert!(e >= 0.0);
+        prop_assert!(e <= d.n_bits() as f64);
+        // All mass on the correct answer <=> EHD = 0.
+        let pure = Distribution::point_mass(top);
+        prop_assert_eq!(metrics::ehd(&pure, &correct), 0.0);
+        prop_assert_eq!(metrics::pst(&pure, &correct), 1.0);
+    }
+
+    #[test]
+    fn tvd_and_fidelity_bound_each_other(a in distribution()) {
+        // Compare against a perturbed copy of the same support.
+        let pairs: Vec<(BitString, f64)> = a
+            .iter()
+            .enumerate()
+            .map(|(i, (x, p))| (x, p * (1.0 + 0.5 * (i % 3) as f64)))
+            .collect();
+        let b = Distribution::from_probs(a.n_bits(), pairs).expect("valid");
+        let t = metrics::tvd(&a, &b);
+        let f = metrics::hellinger_fidelity(&a, &b);
+        prop_assert!((0.0..=1.0 + 1e-12).contains(&t));
+        prop_assert!((0.0..=1.0 + 1e-12).contains(&f));
+        // Fidelity 1 iff TVD 0 (same distribution).
+        prop_assert!((metrics::tvd(&a, &a)).abs() < 1e-12);
+        prop_assert!((metrics::hellinger_fidelity(&a, &a) - 1.0).abs() < 1e-12);
+        // A perturbed distribution is strictly different or identical
+        // in both measures simultaneously.
+        prop_assert_eq!(t < 1e-12, f > 1.0 - 1e-9);
+    }
+}
+
+#[test]
+fn spectrum_matches_hand_computed_example() {
+    // The Fig. 3(a) bucketing example, checked end to end.
+    let dist = Distribution::from_probs(
+        2,
+        [
+            (BitString::parse("11").unwrap(), 0.60),
+            (BitString::parse("01").unwrap(), 0.20),
+            (BitString::parse("10").unwrap(), 0.12),
+            (BitString::parse("00").unwrap(), 0.08),
+        ],
+    )
+    .unwrap();
+    let s = HammingSpectrum::new(&dist, &[BitString::parse("11").unwrap()]);
+    assert_eq!(s.bins()[0].count, 1);
+    assert!((s.bins()[0].total - 0.60).abs() < 1e-12);
+    assert_eq!(s.bins()[1].count, 2);
+    assert!((s.bins()[1].total - 0.32).abs() < 1e-12);
+    assert!((s.bins()[1].max - 0.20).abs() < 1e-12);
+    assert!((s.bins()[1].mean() - 0.16).abs() < 1e-12);
+    assert_eq!(s.bins()[2].count, 1);
+    assert!((s.bins()[2].total - 0.08).abs() < 1e-12);
+    assert!((s.total_strength() - 1.0).abs() < 1e-12);
+}

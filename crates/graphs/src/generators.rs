@@ -37,7 +37,10 @@ pub fn erdos_renyi<R: Rng + ?Sized>(n: usize, p: f64, rng: &mut R) -> Graph {
 /// in 10 000 attempts (not observed for the paper's sizes).
 pub fn random_regular<R: Rng + ?Sized>(n: usize, d: usize, rng: &mut R) -> Graph {
     assert!(d < n, "degree {d} must be below node count {n}");
-    assert!((n * d).is_multiple_of(2), "n·d must be even for a {d}-regular graph");
+    assert!(
+        (n * d).is_multiple_of(2),
+        "n·d must be even for a {d}-regular graph"
+    );
     'attempt: for _ in 0..10_000 {
         // Stubs: d copies of each node, shuffled and paired.
         let mut stubs: Vec<usize> = (0..n).flat_map(|v| std::iter::repeat_n(v, d)).collect();

@@ -147,7 +147,9 @@ mod tests {
     #[test]
     fn construction_and_queries() {
         let mut g = Graph::new(4);
-        g.add_edge(0, 1, 1.0).add_edge(1, 2, -2.0).add_edge(2, 3, 0.5);
+        g.add_edge(0, 1, 1.0)
+            .add_edge(1, 2, -2.0)
+            .add_edge(2, 3, 0.5);
         assert_eq!(g.num_nodes(), 4);
         assert_eq!(g.num_edges(), 3);
         assert_eq!(g.degree(1), 2);

@@ -177,7 +177,9 @@ mod tests {
         assert!((curve.last().unwrap().cumulative_probability - 1.0).abs() < 1e-9);
         // The first point is the optimal mass.
         assert!((curve[0].ratio - 1.0).abs() < 1e-12);
-        assert!((curve[0].cumulative_probability - optimal_mass(&d, &problem, c_min)).abs() < 1e-12);
+        assert!(
+            (curve[0].cumulative_probability - optimal_mass(&d, &problem, c_min)).abs() < 1e-12
+        );
     }
 
     #[test]

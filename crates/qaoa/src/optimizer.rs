@@ -112,7 +112,11 @@ impl NelderMead {
                 continue;
             }
             // Contraction (outside if reflected beat the worst).
-            let xc = if fr < worst.1 { blend(0.5) } else { blend(-0.5) };
+            let xc = if fr < worst.1 {
+                blend(0.5)
+            } else {
+                blend(-0.5)
+            };
             let fc = eval(&xc, &mut evaluations);
             if fc < worst.1.min(fr) {
                 simplex[n] = (xc, fc);

@@ -60,23 +60,16 @@ impl QaoaParams {
     #[must_use]
     pub fn from_flat(flat: &[f64]) -> Self {
         assert!(
-            !flat.is_empty() && flat.len() % 2 == 0,
+            !flat.is_empty() && flat.len().is_multiple_of(2),
             "flat parameter vector must have positive even length"
         );
-        Self::new(
-            flat.chunks(2)
-                .map(|c| QaoaLayer::new(c[0], c[1]))
-                .collect(),
-        )
+        Self::new(flat.chunks(2).map(|c| QaoaLayer::new(c[0], c[1])).collect())
     }
 
     /// Flattens to `[γ₀, β₀, γ₁, β₁, …]`.
     #[must_use]
     pub fn to_flat(&self) -> Vec<f64> {
-        self.layers
-            .iter()
-            .flat_map(|l| [l.gamma, l.beta])
-            .collect()
+        self.layers.iter().flat_map(|l| [l.gamma, l.beta]).collect()
     }
 
     /// Number of layers `p`.

@@ -220,31 +220,29 @@ impl QaoaRunner {
         rng: &mut dyn RngCore,
     ) -> Result<Vec<QaoaOutcome>, SimError> {
         let circuit = qaoa_maxcut(self.problem.graph(), params.layers());
-        let sample = |c: &hammer_sim::Circuit,
-                      rng: &mut dyn RngCore|
-         -> Result<Distribution, SimError> {
-            match self.engine {
-                EngineKind::Propagation => {
-                    PropagationEngine::new(&self.device).noisy_distribution(c, self.trials, rng)
+        let sample =
+            |c: &hammer_sim::Circuit, rng: &mut dyn RngCore| -> Result<Distribution, SimError> {
+                match self.engine {
+                    EngineKind::Propagation => {
+                        PropagationEngine::new(&self.device).noisy_distribution(c, self.trials, rng)
+                    }
+                    EngineKind::Trajectory => {
+                        TrajectoryEngine::new(&self.device).noisy_distribution(c, self.trials, rng)
+                    }
                 }
-                EngineKind::Trajectory => {
-                    TrajectoryEngine::new(&self.device).noisy_distribution(c, self.trials, rng)
-                }
-            }
-        };
+            };
 
         // Execute on the physical register once; mitigation also runs at
         // physical width, before projection to logical outcomes.
         type Projector = Box<dyn Fn(&Distribution) -> Distribution>;
-        let (physical, to_logical): (Distribution, Projector) =
-            if self.route {
-                let routed = transpile(&circuit, self.device.coupling())?;
-                let dist = sample(routed.circuit(), rng)?;
-                (dist, Box::new(move |d| routed.logical_distribution(d)))
-            } else {
-                let dist = sample(&circuit, rng)?;
-                (dist, Box::new(|d| d.clone()))
-            };
+        let (physical, to_logical): (Distribution, Projector) = if self.route {
+            let routed = transpile(&circuit, self.device.coupling())?;
+            let dist = sample(routed.circuit(), rng)?;
+            (dist, Box::new(move |d| routed.logical_distribution(d)))
+        } else {
+            let dist = sample(&circuit, rng)?;
+            (dist, Box::new(|d| d.clone()))
+        };
 
         // Lazily computed shared intermediates.
         let mut mitigated: Option<Distribution> = None;
@@ -327,7 +325,11 @@ mod tests {
         let baseline = r.run(&params, &mut rng).unwrap();
         let mut rng = StdRng::seed_from_u64(7);
         let hammered = r
-            .run_with(&params, &PostProcess::Hammer(HammerConfig::paper()), &mut rng)
+            .run_with(
+                &params,
+                &PostProcess::Hammer(HammerConfig::paper()),
+                &mut rng,
+            )
             .unwrap();
         assert!(
             hammered.cost_ratio > baseline.cost_ratio,

@@ -311,7 +311,12 @@ impl Circuit {
 
 impl fmt::Display for Circuit {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "circuit({} qubits, {} gates):", self.num_qubits, self.gates.len())?;
+        writeln!(
+            f,
+            "circuit({} qubits, {} gates):",
+            self.num_qubits,
+            self.gates.len()
+        )?;
         for g in &self.gates {
             writeln!(f, "  {g}")?;
         }
@@ -431,10 +436,10 @@ mod tests {
         let d = c.decompose_to_cx();
         assert_eq!(d.cx_count(), 6);
         assert_eq!(d.two_qubit_count(), 6);
-        assert!(d.gates().iter().all(|g| !matches!(
-            g,
-            Gate::Swap(..) | Gate::Cz(..) | Gate::Zz(..)
-        )));
+        assert!(d
+            .gates()
+            .iter()
+            .all(|g| !matches!(g, Gate::Swap(..) | Gate::Cz(..) | Gate::Zz(..))));
     }
 
     #[test]

@@ -217,8 +217,9 @@ mod tests {
             let z = Complex::from_polar_unit(theta);
             assert!((z.norm_sqr() - 1.0).abs() < 1e-12);
         }
-        assert!(Complex::from_polar_unit(std::f64::consts::PI)
-            .approx_eq(Complex::real(-1.0), 1e-12));
+        assert!(
+            Complex::from_polar_unit(std::f64::consts::PI).approx_eq(Complex::real(-1.0), 1e-12)
+        );
     }
 
     #[test]

@@ -35,7 +35,10 @@ impl CouplingMap {
         assert!(num_qubits > 0, "coupling map needs at least one qubit");
         let mut adj = vec![Vec::new(); num_qubits];
         for &(a, b) in edges {
-            assert!(a < num_qubits && b < num_qubits, "edge ({a},{b}) out of range");
+            assert!(
+                a < num_qubits && b < num_qubits,
+                "edge ({a},{b}) out of range"
+            );
             assert!(a != b, "self-loop on qubit {a}");
             if !adj[a].contains(&b) {
                 adj[a].push(b);
@@ -238,7 +241,10 @@ impl CouplingMap {
     /// disconnected.
     #[must_use]
     pub fn bfs_prefix(&self, n: usize) -> CouplingMap {
-        assert!(n >= 1 && n <= self.num_qubits, "prefix size {n} out of range");
+        assert!(
+            n >= 1 && n <= self.num_qubits,
+            "prefix size {n} out of range"
+        );
         assert!(self.is_connected(), "bfs_prefix requires a connected map");
         // BFS order from qubit 0.
         let mut order = Vec::with_capacity(self.num_qubits);
@@ -348,9 +354,9 @@ mod tests {
     fn distance_matrix_matches_point_queries() {
         let m = CouplingMap::grid(2, 3);
         let dm = m.distance_matrix();
-        for a in 0..6 {
-            for b in 0..6 {
-                assert_eq!(dm[a][b], m.distance(a, b).unwrap());
+        for (a, row) in dm.iter().enumerate() {
+            for (b, &d) in row.iter().enumerate() {
+                assert_eq!(d, m.distance(a, b).unwrap());
             }
         }
     }

@@ -254,10 +254,6 @@ mod tests {
     #[test]
     #[should_panic(expected = "widths differ")]
     fn mismatched_parts_rejected() {
-        let _ = DeviceModel::new(
-            "bad",
-            CouplingMap::linear(3),
-            NoiseModel::noiseless(4),
-        );
+        let _ = DeviceModel::new("bad", CouplingMap::linear(3), NoiseModel::noiseless(4));
     }
 }

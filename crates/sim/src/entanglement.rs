@@ -39,7 +39,10 @@ pub fn entanglement_entropy(state: &StateVector, cut: usize) -> f64 {
     // Work with the smaller subsystem: S(A) = S(B) for pure states.
     let a = cut.min(n - cut);
     let trace_low_bits = a == cut;
-    assert!(a <= 12, "reduced density matrix of 2^{a} exceeds supported size");
+    assert!(
+        a <= 12,
+        "reduced density matrix of 2^{a} exceeds supported size"
+    );
 
     let dim_a = 1usize << a;
     let dim_b = 1usize << (n - a);
@@ -121,7 +124,14 @@ mod tests {
     #[test]
     fn entropy_is_symmetric_in_the_cut() {
         let mut c = Circuit::new(5);
-        c.h(0).cx(0, 1).ry(2, 0.4).cx(1, 2).cz(2, 3).cx(3, 4).t(4).cx(0, 4);
+        c.h(0)
+            .cx(0, 1)
+            .ry(2, 0.4)
+            .cx(1, 2)
+            .cz(2, 3)
+            .cx(3, 4)
+            .t(4)
+            .cx(0, 4);
         let sv = StateVector::from_circuit(&c);
         for cut in 1..5 {
             let s1 = entanglement_entropy(&sv, cut);

@@ -89,8 +89,19 @@ impl Gate {
     pub fn qubits(&self) -> GateQubits {
         use Gate::*;
         match *self {
-            H(q) | X(q) | Y(q) | Z(q) | S(q) | Sdg(q) | T(q) | Tdg(q) | SqrtX(q)
-            | SqrtXdg(q) | Rx(q, _) | Ry(q, _) | Rz(q, _) => GateQubits::One(q),
+            H(q)
+            | X(q)
+            | Y(q)
+            | Z(q)
+            | S(q)
+            | Sdg(q)
+            | T(q)
+            | Tdg(q)
+            | SqrtX(q)
+            | SqrtXdg(q)
+            | Rx(q, _)
+            | Ry(q, _)
+            | Rz(q, _) => GateQubits::One(q),
             Cx(a, b) | Cz(a, b) | Swap(a, b) | Zz(a, b, _) => GateQubits::Two(a, b),
         }
     }
@@ -110,7 +121,14 @@ impl Gate {
         use Gate::*;
         matches!(
             self,
-            H(_) | X(_) | Y(_) | Z(_) | S(_) | Sdg(_) | SqrtX(_) | SqrtXdg(_) | Cx(..)
+            H(_) | X(_)
+                | Y(_)
+                | Z(_)
+                | S(_)
+                | Sdg(_)
+                | SqrtX(_)
+                | SqrtXdg(_)
+                | Cx(..)
                 | Cz(..)
                 | Swap(..)
         )
@@ -121,7 +139,10 @@ impl Gate {
     #[must_use]
     pub fn is_diagonal(&self) -> bool {
         use Gate::*;
-        matches!(self, Z(_) | S(_) | Sdg(_) | T(_) | Tdg(_) | Rz(..) | Cz(..) | Zz(..))
+        matches!(
+            self,
+            Z(_) | S(_) | Sdg(_) | T(_) | Tdg(_) | Rz(..) | Cz(..) | Zz(..)
+        )
     }
 
     /// The inverse gate, used to build the `U_R†` halves of the Section 7
@@ -168,11 +189,17 @@ impl Gate {
             Sdg(_) => [[C_ONE, C_ZERO], [C_ZERO, -C_I]],
             T(_) => [
                 [C_ONE, C_ZERO],
-                [C_ZERO, Complex::from_polar_unit(std::f64::consts::FRAC_PI_4)],
+                [
+                    C_ZERO,
+                    Complex::from_polar_unit(std::f64::consts::FRAC_PI_4),
+                ],
             ],
             Tdg(_) => [
                 [C_ONE, C_ZERO],
-                [C_ZERO, Complex::from_polar_unit(-std::f64::consts::FRAC_PI_4)],
+                [
+                    C_ZERO,
+                    Complex::from_polar_unit(-std::f64::consts::FRAC_PI_4),
+                ],
             ],
             SqrtX(_) => [
                 [Complex::new(0.5, 0.5), Complex::new(0.5, -0.5)],
@@ -238,8 +265,9 @@ impl fmt::Display for Gate {
             Rx(q, t) | Ry(q, t) | Rz(q, t) => write!(f, "{}({t:.4}) q{q}", self.name()),
             Zz(a, b, g) => write!(f, "zz({g:.4}) q{a}, q{b}"),
             Cx(a, b) | Cz(a, b) | Swap(a, b) => write!(f, "{} q{a}, q{b}", self.name()),
-            H(q) | X(q) | Y(q) | Z(q) | S(q) | Sdg(q) | T(q) | Tdg(q) | SqrtX(q)
-            | SqrtXdg(q) => write!(f, "{} q{q}", self.name()),
+            H(q) | X(q) | Y(q) | Z(q) | S(q) | Sdg(q) | T(q) | Tdg(q) | SqrtX(q) | SqrtXdg(q) => {
+                write!(f, "{} q{q}", self.name())
+            }
         }
     }
 }

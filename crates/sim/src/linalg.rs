@@ -283,7 +283,11 @@ mod tests {
         assert!(h.is_hermitian(1e-12));
         let eigs = h.hermitian_eigenvalues();
         let sum: f64 = eigs.iter().sum();
-        assert!((sum - h.trace().re).abs() < 1e-8, "{sum} vs {}", h.trace().re);
+        assert!(
+            (sum - h.trace().re).abs() < 1e-8,
+            "{sum} vs {}",
+            h.trace().re
+        );
         // Frobenius norm² = Σ λ² for Hermitian matrices.
         let frob: f64 = (0..n)
             .flat_map(|i| (0..n).map(move |j| (i, j)))

@@ -51,7 +51,10 @@ impl ReadoutMitigator {
     /// singular (`p0→1 + p1→0 = 1`).
     #[must_use]
     pub fn new(calibrations: Vec<ReadoutError>) -> Self {
-        assert!(!calibrations.is_empty(), "mitigator needs at least one qubit");
+        assert!(
+            !calibrations.is_empty(),
+            "mitigator needs at least one qubit"
+        );
         for (q, r) in calibrations.iter().enumerate() {
             let det = 1.0 - r.p0_to_1 - r.p1_to_0;
             assert!(
@@ -95,11 +98,8 @@ impl ReadoutMitigator {
         // Sparse application qubit by qubit: applying the inverse of
         // M_q = [[1−p01, p10], [p01, 1−p10]] couples each outcome with
         // its bit-q neighbor.
-        let mut current: HashMap<u64, f64> = measured
-            .as_slice()
-            .iter()
-            .map(|&(k, p)| (k, p))
-            .collect();
+        let mut current: HashMap<u64, f64> =
+            measured.as_slice().iter().map(|&(k, p)| (k, p)).collect();
         for (q, r) in self.calibrations.iter().enumerate() {
             if r.p0_to_1 == 0.0 && r.p1_to_0 == 0.0 {
                 continue;
@@ -189,8 +189,7 @@ mod tests {
         // P(1) = 0.8, P(0) = 0.2. Mitigation must recover P(1) = 1.
         let noise = NoiseModel::uniform(1, 0.0, 0.0, ReadoutError::new(0.0, 0.2));
         let m = ReadoutMitigator::from_noise_model(&noise);
-        let measured =
-            Distribution::from_probs(1, [(bs("1"), 0.8), (bs("0"), 0.2)]).unwrap();
+        let measured = Distribution::from_probs(1, [(bs("1"), 0.8), (bs("0"), 0.2)]).unwrap();
         let out = m.mitigate(&measured).unwrap();
         assert!((out.prob(bs("1")) - 1.0).abs() < 1e-9);
     }
@@ -239,11 +238,7 @@ mod tests {
         let m = ReadoutMitigator::from_noise_model(&noise);
         // A distribution unlikely to be producible by this readout model
         // (forces negative quasi-probabilities → clipping path).
-        let d = Distribution::from_probs(
-            2,
-            [(bs("00"), 0.5), (bs("11"), 0.5)],
-        )
-        .unwrap();
+        let d = Distribution::from_probs(2, [(bs("00"), 0.5), (bs("11"), 0.5)]).unwrap();
         let out = m.mitigate(&d).unwrap();
         assert!((out.total_mass() - 1.0).abs() < 1e-9);
         for (_, p) in out.iter() {

@@ -217,10 +217,7 @@ impl NoiseModel {
         let mut model = Self::uniform(num_qubits, p1, p2, readout);
         for (q, r) in model.readout.iter_mut().enumerate() {
             let jitter = 1.0 + spread * (2.0 * unit_hash(seed, q as u64) - 1.0);
-            *r = ReadoutError::new(
-                (r.p0_to_1 * jitter).min(0.5),
-                (r.p1_to_0 * jitter).min(0.5),
-            );
+            *r = ReadoutError::new((r.p0_to_1 * jitter).min(0.5), (r.p1_to_0 * jitter).min(0.5));
         }
         // Gate-rate jitter: rates span roughly base·e^{-s}..base·e^{+s}
         // with s = 2·spread, giving the heavy-ish tail real calibration
@@ -434,7 +431,9 @@ mod tests {
         let b = BitString::zeros(8);
         // With 50% flip rates the expected Hamming weight after readout
         // is 4.
-        let total: u32 = (0..2000).map(|_| m.apply_readout(b, &mut rng).weight()).sum();
+        let total: u32 = (0..2000)
+            .map(|_| m.apply_readout(b, &mut rng).weight())
+            .sum();
         let mean = f64::from(total) / 2000.0;
         assert!((mean - 4.0).abs() < 0.2, "mean flips {mean}");
     }

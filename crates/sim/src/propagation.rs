@@ -258,9 +258,7 @@ impl<'a> PropagationEngine<'a> {
             if idle_rate > 0.0 {
                 for (q, &moments) in idle_trailing.iter().enumerate() {
                     for _ in 0..moments {
-                        if rng.gen::<f64>() < idle_rate
-                            && Pauli::random(rng).flips_measurement()
-                        {
+                        if rng.gen::<f64>() < idle_rate && Pauli::random(rng).flips_measurement() {
                             flips ^= 1u64 << q;
                         }
                     }
@@ -419,10 +417,7 @@ mod tests {
         let device = DeviceModel::noiseless(3);
         let engine = PropagationEngine::new(&device);
         let mut rng = StdRng::seed_from_u64(21);
-        let d = engine
-            .sample(&c, 4000, &mut rng)
-            .unwrap()
-            .to_distribution();
+        let d = engine.sample(&c, 4000, &mut rng).unwrap().to_distribution();
         assert_eq!(d.len(), 2);
         assert!((d.prob(BitString::zeros(3)) - 0.5).abs() < 0.05);
     }
@@ -448,10 +443,7 @@ mod tests {
                 }
             }
             let mut rng = StdRng::seed_from_u64(31);
-            let d = engine
-                .sample(&c, 6000, &mut rng)
-                .unwrap()
-                .to_distribution();
+            let d = engine.sample(&c, 6000, &mut rng).unwrap().to_distribution();
             ehds.push(metrics::ehd(&d, &correct));
         }
         assert!(
@@ -472,13 +464,9 @@ mod tests {
             c.x(0).x(0);
         }
         let coupling = crate::coupling::CouplingMap::full(2);
-        let noise = crate::noise::NoiseModel::uniform(
-            2,
-            0.0,
-            0.0,
-            crate::noise::ReadoutError::ideal(),
-        )
-        .with_idle_rate(0.01);
+        let noise =
+            crate::noise::NoiseModel::uniform(2, 0.0, 0.0, crate::noise::ReadoutError::ideal())
+                .with_idle_rate(0.01);
         let device = DeviceModel::new("idle-only", coupling, noise);
         let flip_rate = |dist: &hammer_dist::Distribution| -> f64 {
             dist.iter().filter(|(x, _)| x.bit(1)).map(|(_, p)| p).sum()
@@ -508,8 +496,12 @@ mod tests {
         c.h(0).cx(0, 1).cx(1, 2).cx(2, 3).cx(3, 4);
         let device = DeviceModel::ibm_paris(5);
         let engine = PropagationEngine::new(&device);
-        let a = engine.sample(&c, 800, &mut StdRng::seed_from_u64(1)).unwrap();
-        let b = engine.sample(&c, 800, &mut StdRng::seed_from_u64(1)).unwrap();
+        let a = engine
+            .sample(&c, 800, &mut StdRng::seed_from_u64(1))
+            .unwrap();
+        let b = engine
+            .sample(&c, 800, &mut StdRng::seed_from_u64(1))
+            .unwrap();
         assert_eq!(a, b);
     }
 

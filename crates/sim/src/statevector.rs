@@ -263,8 +263,7 @@ impl StateVector {
             let p = a.norm_sqr();
             (p >= tol).then(|| (BitString::new(i as u64, self.num_qubits), p))
         });
-        Distribution::from_probs(self.num_qubits, pairs)
-            .expect("state vector has probability mass")
+        Distribution::from_probs(self.num_qubits, pairs).expect("state vector has probability mass")
     }
 
     /// Samples one measurement outcome in the computational basis.
@@ -371,7 +370,14 @@ mod tests {
     #[test]
     fn circuit_dagger_returns_to_zero() {
         let mut u = Circuit::new(3);
-        u.h(0).t(1).cx(0, 1).ry(2, 0.77).cz(1, 2).rz(0, -0.4).s(2).zz(0, 2, 0.21);
+        u.h(0)
+            .t(1)
+            .cx(0, 1)
+            .ry(2, 0.77)
+            .cz(1, 2)
+            .rz(0, -0.4)
+            .s(2)
+            .zz(0, 2, 0.21);
         let mut full = Circuit::new(3);
         full.append(&u);
         full.append(&u.dagger());

@@ -99,8 +99,7 @@ impl<'a> TrajectoryEngine<'a> {
 
         // Ideal final state, reused by every fault-free trial.
         let ideal = StateVector::from_circuit(circuit);
-        let ideal_sampler =
-            AliasSampler::new(&ideal.probabilities()).expect("normalized state");
+        let ideal_sampler = AliasSampler::new(&ideal.probabilities()).expect("normalized state");
 
         // Idle periods only matter when the model has an idle rate.
         let idle_rate = noise.idle();
@@ -211,7 +210,11 @@ impl<'a> TrajectoryEngine<'a> {
 #[derive(Debug, Clone, Copy)]
 enum TrialFault {
     /// Idle-decoherence fault on `qubit` just before gate `idx`.
-    BeforeGate { idx: usize, qubit: usize, pauli: Pauli },
+    BeforeGate {
+        idx: usize,
+        qubit: usize,
+        pauli: Pauli,
+    },
     /// Depolarizing fault on the operands of gate `idx`.
     AfterGate { idx: usize, fault: PauliFault },
     /// Idle fault after a qubit's last gate, before measurement.
@@ -276,7 +279,10 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(0);
         assert!(matches!(
             engine.sample(&ghz(3), 16, &mut rng),
-            Err(SimError::CircuitTooWide { circuit: 3, device: 2 })
+            Err(SimError::CircuitTooWide {
+                circuit: 3,
+                device: 2
+            })
         ));
     }
 
@@ -350,29 +356,17 @@ mod tests {
         }
         c.x(2); // ideal outcome: bit 2 = 1
         let coupling = crate::coupling::CouplingMap::full(3);
-        let noise = crate::noise::NoiseModel::uniform(
-            3,
-            0.0,
-            0.0,
-            crate::noise::ReadoutError::ideal(),
-        )
-        .with_idle_rate(0.02);
+        let noise =
+            crate::noise::NoiseModel::uniform(3, 0.0, 0.0, crate::noise::ReadoutError::ideal())
+                .with_idle_rate(0.02);
         let device = DeviceModel::new("idle-only", coupling, noise);
         let engine = TrajectoryEngine::new(&device);
         let mut rng = StdRng::seed_from_u64(41);
         let dist = engine.sample(&c, 8000, &mut rng).unwrap().to_distribution();
         // Qubit 1 never runs a gate: it idles for the full depth and
         // should flip far more often than the always-busy qubit 0.
-        let p_q1_flipped: f64 = dist
-            .iter()
-            .filter(|(x, _)| x.bit(1))
-            .map(|(_, p)| p)
-            .sum();
-        let p_q0_flipped: f64 = dist
-            .iter()
-            .filter(|(x, _)| x.bit(0))
-            .map(|(_, p)| p)
-            .sum();
+        let p_q1_flipped: f64 = dist.iter().filter(|(x, _)| x.bit(1)).map(|(_, p)| p).sum();
+        let p_q0_flipped: f64 = dist.iter().filter(|(x, _)| x.bit(0)).map(|(_, p)| p).sum();
         assert!(
             p_q1_flipped > 5.0 * p_q0_flipped.max(1e-4),
             "idle qubit flip rate {p_q1_flipped} vs busy {p_q0_flipped}"

@@ -328,7 +328,14 @@ mod tests {
         // Compare ideal distributions: transpiled + unpermuted ==
         // original.
         let mut c = Circuit::new(4);
-        c.h(0).cx(0, 3).rz(3, 0.7).cx(1, 2).h(2).cx(0, 2).t(1).cx(3, 1);
+        c.h(0)
+            .cx(0, 3)
+            .rz(3, 0.7)
+            .cx(1, 2)
+            .h(2)
+            .cx(0, 2)
+            .t(1)
+            .cx(3, 1);
         let t = transpile(&c, &CouplingMap::linear(4)).unwrap();
         let original = simulate_ideal(&c);
         let routed = simulate_ideal(t.circuit());
@@ -337,8 +344,7 @@ mod tests {
         for (phys, p) in routed.iter() {
             pairs.push((t.logical_outcome(phys), p));
         }
-        let logical =
-            hammer_dist::Distribution::from_probs(4, pairs).expect("valid distribution");
+        let logical = hammer_dist::Distribution::from_probs(4, pairs).expect("valid distribution");
         for (x, p) in original.iter() {
             assert!(
                 (logical.prob(x) - p).abs() < 1e-9,
@@ -408,7 +414,10 @@ mod tests {
         let c = Circuit::new(5);
         assert!(matches!(
             transpile(&c, &CouplingMap::linear(3)),
-            Err(SimError::CircuitTooWide { circuit: 5, device: 3 })
+            Err(SimError::CircuitTooWide {
+                circuit: 5,
+                device: 3
+            })
         ));
     }
 

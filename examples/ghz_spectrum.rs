@@ -44,7 +44,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         );
     }
 
-    println!("\nEHD = {:.3} (uniform-error model would give {:.1})", ehd(&dist, &correct), n as f64 / 2.0);
+    println!(
+        "\nEHD = {:.3} (uniform-error model would give {:.1})",
+        ehd(&dist, &correct),
+        n as f64 / 2.0
+    );
 
     // Show the dominant incorrect outcomes and their distances.
     println!("\ntop outcomes:");

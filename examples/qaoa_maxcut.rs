@@ -27,7 +27,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Variational loop: Nelder–Mead over (γ, β) at p = 2, using the
     // noisy expectation as the objective.
-    let mut optimize = |post: PostProcess, tag: &str| -> Result<f64, Box<dyn std::error::Error>> {
+    let optimize = |post: PostProcess, tag: &str| -> Result<f64, Box<dyn std::error::Error>> {
         let mut rng = rand::rngs::StdRng::seed_from_u64(7);
         let mut evals = 0u32;
         let nm = NelderMead {

@@ -65,7 +65,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let (top_before, _) = noisy.most_probable().expect("non-empty");
     let (top_after, _) = recovered.most_probable().expect("non-empty");
     println!();
-    println!("most probable before: {top_before} (correct: {})", top_before == key);
-    println!("most probable after:  {top_after} (correct: {})", top_after == key);
+    println!(
+        "most probable before: {top_before} (correct: {})",
+        top_before == key
+    );
+    println!(
+        "most probable after:  {top_after} (correct: {})",
+        top_after == key
+    );
     Ok(())
 }

@@ -7,12 +7,7 @@ use hammer::sim::transpile;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
-fn run_bv(
-    bench: &BernsteinVazirani,
-    device: &DeviceModel,
-    trials: u64,
-    seed: u64,
-) -> Distribution {
+fn run_bv(bench: &BernsteinVazirani, device: &DeviceModel, trials: u64, seed: u64) -> Distribution {
     let routed = transpile(&bench.circuit(), device.coupling()).expect("routable");
     let mut rng = StdRng::seed_from_u64(seed);
     let physical = PropagationEngine::new(device)
@@ -84,8 +79,12 @@ fn engines_cross_validate_on_bv() {
         .sample(routed.circuit(), 16384, &mut rng)
         .expect("sampling");
 
-    let d_prop = bench.data_counts(&routed.logical_counts(&prop)).to_distribution();
-    let d_traj = bench.data_counts(&routed.logical_counts(&traj)).to_distribution();
+    let d_prop = bench
+        .data_counts(&routed.logical_counts(&prop))
+        .to_distribution();
+    let d_traj = bench
+        .data_counts(&routed.logical_counts(&traj))
+        .to_distribution();
 
     let (p1, p2) = (pst(&d_prop, &[key]), pst(&d_traj, &[key]));
     assert!((p1 - p2).abs() < 0.08, "PST disagreement: {p1} vs {p2}");
@@ -191,10 +190,8 @@ fn ghz_errors_cluster_in_hamming_space() {
 
     // Dominant incorrect outcomes sit within distance 2 of a correct
     // answer.
-    let mut incorrect: Vec<(BitString, f64)> = dist
-        .iter()
-        .filter(|(x, _)| !correct.contains(x))
-        .collect();
+    let mut incorrect: Vec<(BitString, f64)> =
+        dist.iter().filter(|(x, _)| !correct.contains(x)).collect();
     incorrect.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap());
     for (x, _) in incorrect.iter().take(5) {
         assert!(
@@ -239,10 +236,7 @@ fn full_pipeline_is_deterministic_per_seed() {
     let a = run_bv(&bench, &device, 2048, 1);
     let b = run_bv(&bench, &device, 2048, 1);
     assert_eq!(a, b);
-    assert_eq!(
-        Hammer::new().reconstruct(&a),
-        Hammer::new().reconstruct(&b)
-    );
+    assert_eq!(Hammer::new().reconstruct(&a), Hammer::new().reconstruct(&b));
 }
 
 #[test]

@@ -175,7 +175,11 @@ fn qaoa_runner_survives_uniform_output() {
             &mut rng,
         )
         .unwrap();
-    assert!(out.cost_ratio.abs() < 0.2, "uniform output CR ≈ 0, got {}", out.cost_ratio);
+    assert!(
+        out.cost_ratio.abs() < 0.2,
+        "uniform output CR ≈ 0, got {}",
+        out.cost_ratio
+    );
 }
 
 #[test]

@@ -1,0 +1,63 @@
+//! An offline stand-in for the `crossbeam` crate.
+//!
+//! The build environment has no crates.io access, so this vendored crate
+//! provides the one API the workspace uses — [`thread::scope`] — as a
+//! thin wrapper over [`std::thread::scope`] (stable since Rust 1.63),
+//! keeping crossbeam's calling convention: the spawn closure receives an
+//! (ignored) argument and `scope` returns a `Result`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+/// Scoped-thread support.
+pub mod thread {
+    /// A scope handle passed to the closure given to [`scope`].
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawns a scoped thread. Mirroring crossbeam, the closure
+        /// receives a (here unit, always ignored) scope argument.
+        pub fn spawn<F, T>(&self, f: F) -> std::thread::ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(()) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            self.inner.spawn(move || f(()))
+        }
+    }
+
+    /// Runs `f` with a scope in which borrowed data can be shared with
+    /// spawned threads; all threads are joined before returning.
+    ///
+    /// # Errors
+    ///
+    /// Never returns `Err`: `std::thread::scope` propagates child
+    /// panics by panicking in the parent, so the `Result` (kept for
+    /// crossbeam API compatibility) is always `Ok`.
+    pub fn scope<'env, F, T>(f: F) -> Result<T, Box<dyn std::any::Any + Send + 'static>>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> T,
+    {
+        Ok(std::thread::scope(|s| f(&Scope { inner: s })))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn scoped_threads_share_borrows() {
+        let data = [1u64, 2, 3, 4];
+        let mut out = vec![0u64; 4];
+        super::thread::scope(|scope| {
+            for (slot, &x) in out.iter_mut().zip(&data) {
+                scope.spawn(move |_| {
+                    *slot = x * 10;
+                });
+            }
+        })
+        .expect("no panics");
+        assert_eq!(out, vec![10, 20, 30, 40]);
+    }
+}

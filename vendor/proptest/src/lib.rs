@@ -1,0 +1,544 @@
+//! An offline stand-in for the `proptest` crate.
+//!
+//! The build environment has no crates.io access, so this vendored crate
+//! implements the subset of proptest's API the workspace's property
+//! tests use: the [`Strategy`] trait with `prop_map` / `prop_flat_map` /
+//! `boxed`, range and tuple strategies, [`Just`], [`prop_oneof!`],
+//! [`collection::vec`] and [`collection::btree_map`], the
+//! [`proptest!`] test macro (with optional
+//! `#![proptest_config(...)]`), and the `prop_assert*` macros.
+//!
+//! Differences from real proptest: inputs are drawn from a fixed,
+//! per-test deterministic seed (no `PROPTEST_` env handling) and there
+//! is **no shrinking** — a failure reports the case number and message
+//! and panics. Determinism keeps CI stable in exchange for less input
+//! variety across runs.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::ops::{Range, RangeInclusive};
+use std::rc::Rc;
+
+use rand::rngs::StdRng;
+use rand::{Rng, RngCore, SeedableRng};
+
+/// The deterministic generator handed to strategies.
+pub struct TestRng {
+    inner: StdRng,
+}
+
+impl TestRng {
+    /// A generator seeded from the test's name, so every test draws a
+    /// stable input sequence.
+    #[must_use]
+    pub fn deterministic(test_name: &str) -> Self {
+        let mut seed = 0xcbf2_9ce4_8422_2325u64; // FNV-1a offset basis
+        for byte in test_name.bytes() {
+            seed ^= u64::from(byte);
+            seed = seed.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        Self {
+            inner: StdRng::seed_from_u64(seed),
+        }
+    }
+}
+
+impl RngCore for TestRng {
+    fn next_u32(&mut self) -> u32 {
+        self.inner.next_u32()
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        self.inner.next_u64()
+    }
+}
+
+/// Runner configuration (only the case count is honoured).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ProptestConfig {
+    /// Number of random cases each property runs.
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        Self { cases: 256 }
+    }
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases per property.
+    #[must_use]
+    pub fn with_cases(cases: u32) -> Self {
+        Self { cases }
+    }
+}
+
+/// A recipe for generating random values of one type.
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+
+    /// Draws one value.
+    fn gen_value(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<U, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> U,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Generates a value, then generates from the strategy `f` builds
+    /// out of it.
+    fn prop_flat_map<S, F>(self, f: F) -> FlatMap<Self, F>
+    where
+        Self: Sized,
+        S: Strategy,
+        F: Fn(Self::Value) -> S,
+    {
+        FlatMap { inner: self, f }
+    }
+
+    /// Type-erases the strategy (needed by [`prop_oneof!`]).
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy {
+            sample: Rc::new(move |rng| self.gen_value(rng)),
+        }
+    }
+}
+
+/// A strategy that always yields a clone of one value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn gen_value(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// See [`Strategy::prop_map`].
+#[derive(Debug, Clone)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, F, U> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> U,
+{
+    type Value = U;
+
+    fn gen_value(&self, rng: &mut TestRng) -> U {
+        (self.f)(self.inner.gen_value(rng))
+    }
+}
+
+/// See [`Strategy::prop_flat_map`].
+#[derive(Debug, Clone)]
+pub struct FlatMap<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, F, S2> Strategy for FlatMap<S, F>
+where
+    S: Strategy,
+    S2: Strategy,
+    F: Fn(S::Value) -> S2,
+{
+    type Value = S2::Value;
+
+    fn gen_value(&self, rng: &mut TestRng) -> S2::Value {
+        (self.f)(self.inner.gen_value(rng)).gen_value(rng)
+    }
+}
+
+/// A type-erased strategy.
+pub struct BoxedStrategy<T> {
+    sample: Rc<dyn Fn(&mut TestRng) -> T>,
+}
+
+impl<T> Clone for BoxedStrategy<T> {
+    fn clone(&self) -> Self {
+        Self {
+            sample: Rc::clone(&self.sample),
+        }
+    }
+}
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+
+    fn gen_value(&self, rng: &mut TestRng) -> T {
+        (self.sample)(rng)
+    }
+}
+
+/// A uniform choice between several strategies of one value type
+/// (what [`prop_oneof!`] builds).
+pub struct Union<T> {
+    arms: Vec<BoxedStrategy<T>>,
+}
+
+impl<T> Union<T> {
+    /// Builds a union over the given arms.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `arms` is empty.
+    #[must_use]
+    pub fn new(arms: Vec<BoxedStrategy<T>>) -> Self {
+        assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+        Self { arms }
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+
+    fn gen_value(&self, rng: &mut TestRng) -> T {
+        let arm = rng.gen_range(0..self.arms.len());
+        self.arms[arm].gen_value(rng)
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {
+        $(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+
+                fn gen_value(&self, rng: &mut TestRng) -> $t {
+                    rng.gen_range(self.clone())
+                }
+            }
+
+            impl Strategy for RangeInclusive<$t> {
+                type Value = $t;
+
+                fn gen_value(&self, rng: &mut TestRng) -> $t {
+                    rng.gen_range(self.clone())
+                }
+            }
+        )*
+    };
+}
+
+impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f64);
+
+impl<A: Strategy, B: Strategy> Strategy for (A, B) {
+    type Value = (A::Value, B::Value);
+
+    fn gen_value(&self, rng: &mut TestRng) -> Self::Value {
+        (self.0.gen_value(rng), self.1.gen_value(rng))
+    }
+}
+
+impl<A: Strategy, B: Strategy, C: Strategy> Strategy for (A, B, C) {
+    type Value = (A::Value, B::Value, C::Value);
+
+    fn gen_value(&self, rng: &mut TestRng) -> Self::Value {
+        (
+            self.0.gen_value(rng),
+            self.1.gen_value(rng),
+            self.2.gen_value(rng),
+        )
+    }
+}
+
+impl<A: Strategy, B: Strategy, C: Strategy, D: Strategy> Strategy for (A, B, C, D) {
+    type Value = (A::Value, B::Value, C::Value, D::Value);
+
+    fn gen_value(&self, rng: &mut TestRng) -> Self::Value {
+        (
+            self.0.gen_value(rng),
+            self.1.gen_value(rng),
+            self.2.gen_value(rng),
+            self.3.gen_value(rng),
+        )
+    }
+}
+
+/// Collection strategies.
+pub mod collection {
+    use super::{Range, Strategy, TestRng};
+    use rand::Rng;
+    use std::collections::BTreeMap;
+
+    /// A strategy for `Vec`s with length drawn from `size` and elements
+    /// from `element`.
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: Range<usize>,
+    }
+
+    /// Vector strategy constructor, mirroring `proptest::collection::vec`.
+    pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+        assert!(size.start < size.end, "empty size range");
+        VecStrategy { element, size }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn gen_value(&self, rng: &mut TestRng) -> Self::Value {
+            let len = rng.gen_range(self.size.clone());
+            (0..len).map(|_| self.element.gen_value(rng)).collect()
+        }
+    }
+
+    /// A strategy for `BTreeMap`s with size drawn from `size` (collapsed
+    /// key collisions permitting) and entries from the given strategies.
+    #[derive(Debug, Clone)]
+    pub struct BTreeMapStrategy<K, V> {
+        keys: K,
+        values: V,
+        size: Range<usize>,
+    }
+
+    /// Map strategy constructor, mirroring
+    /// `proptest::collection::btree_map`.
+    pub fn btree_map<K: Strategy, V: Strategy>(
+        keys: K,
+        values: V,
+        size: Range<usize>,
+    ) -> BTreeMapStrategy<K, V> {
+        assert!(size.start < size.end, "empty size range");
+        BTreeMapStrategy { keys, values, size }
+    }
+
+    impl<K, V> Strategy for BTreeMapStrategy<K, V>
+    where
+        K: Strategy,
+        K::Value: Ord,
+        V: Strategy,
+    {
+        type Value = BTreeMap<K::Value, V::Value>;
+
+        fn gen_value(&self, rng: &mut TestRng) -> Self::Value {
+            let target = rng.gen_range(self.size.clone());
+            let mut map = BTreeMap::new();
+            // Key collisions shrink the map; retry a bounded number of
+            // times to respect the lower size bound when possible.
+            for _ in 0..target.max(1) * 20 {
+                if map.len() >= target {
+                    break;
+                }
+                map.insert(self.keys.gen_value(rng), self.values.gen_value(rng));
+            }
+            map
+        }
+    }
+}
+
+// Re-exported so `use proptest::prelude::*` provides everything the
+// tests name.
+pub use collection::{BTreeMapStrategy, VecStrategy};
+
+/// Everything a property test module needs.
+pub mod prelude {
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest, BoxedStrategy, Just,
+        ProptestConfig, Strategy, TestRng, Union,
+    };
+}
+
+/// Chooses uniformly between several strategies with the same value
+/// type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($arm:expr),+ $(,)?) => {
+        $crate::Union::new(vec![ $( $crate::Strategy::boxed($arm) ),+ ])
+    };
+}
+
+/// Property-test assertion: returns an error (failing the current case)
+/// instead of panicking directly.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !$cond {
+            return ::core::result::Result::Err(format!(
+                "assertion failed: {}",
+                stringify!($cond)
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::core::result::Result::Err(format!($($fmt)+));
+        }
+    };
+}
+
+/// Equality assertion for property tests.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        if !(left == right) {
+            return ::core::result::Result::Err(format!(
+                "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+                stringify!($left),
+                stringify!($right),
+                left,
+                right
+            ));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (left, right) = (&$left, &$right);
+        if !(left == right) {
+            return ::core::result::Result::Err(format!($($fmt)+));
+        }
+    }};
+}
+
+/// Inequality assertion for property tests.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        if left == right {
+            return ::core::result::Result::Err(format!(
+                "assertion failed: `{} != {}`\n  both: {:?}",
+                stringify!($left),
+                stringify!($right),
+                left
+            ));
+        }
+    }};
+}
+
+/// Declares property tests: each `fn name(arg in strategy, ...)` body
+/// runs against `cases` random inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { ($config) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { ($crate::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+/// Implementation detail of [`proptest!`].
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    ( ($config:expr)
+      $( $(#[$meta:meta])+ fn $name:ident ( $($arg:pat_param in $strategy:expr),* $(,)? ) $body:block )*
+    ) => {
+        $(
+            $(#[$meta])+
+            fn $name() {
+                let config: $crate::ProptestConfig = $config;
+                let mut rng = $crate::TestRng::deterministic(stringify!($name));
+                for case in 0..config.cases {
+                    $( let $arg = $crate::Strategy::gen_value(&($strategy), &mut rng); )*
+                    let outcome: ::core::result::Result<(), ::std::string::String> =
+                        (|| { $body Ok(()) })();
+                    if let Err(message) = outcome {
+                        panic!(
+                            "property `{}` failed at case {case}/{}:\n{message}",
+                            stringify!($name),
+                            config.cases,
+                        );
+                    }
+                }
+            }
+        )*
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn strategies_sample_within_bounds() {
+        let mut rng = TestRng::deterministic("bounds");
+        let s = (0usize..5).prop_map(|v| v * 2);
+        for _ in 0..100 {
+            let v = s.gen_value(&mut rng);
+            assert!(v % 2 == 0 && v < 10);
+        }
+    }
+
+    #[test]
+    fn flat_map_threads_values() {
+        let mut rng = TestRng::deterministic("flat_map");
+        let s =
+            (1usize..4).prop_flat_map(|n| (Just(n), crate::collection::vec(0u64..10, n..n + 1)));
+        for _ in 0..50 {
+            let (n, v) = s.gen_value(&mut rng);
+            assert_eq!(v.len(), n);
+        }
+    }
+
+    #[test]
+    fn oneof_covers_all_arms() {
+        let mut rng = TestRng::deterministic("oneof");
+        let s = prop_oneof![Just(1u8), Just(2u8), Just(3u8)];
+        let mut seen = [false; 3];
+        for _ in 0..200 {
+            seen[(s.gen_value(&mut rng) - 1) as usize] = true;
+        }
+        assert!(seen.iter().all(|&b| b));
+    }
+
+    #[test]
+    fn btree_map_respects_size_hint() {
+        let mut rng = TestRng::deterministic("btree");
+        let s = crate::collection::btree_map(0u64..1000, 0u64..5, 3..10);
+        for _ in 0..50 {
+            let m = s.gen_value(&mut rng);
+            assert!(m.len() >= 3 && m.len() < 10, "len {}", m.len());
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn the_macro_itself_works(x in 0u64..100, y in 0u64..100) {
+            prop_assert!(x < 100, "x out of range: {x}");
+            prop_assert_eq!(x + y, y + x);
+            prop_assert_ne!(x, x + y + 1);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        #[test]
+        fn configured_case_count_runs(v in crate::collection::vec(0i32..10, 1..5)) {
+            prop_assert!(!v.is_empty());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "property `failing_property` failed")]
+    fn failures_report_case_numbers() {
+        // Expand a failing property body manually via the macro.
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(4))]
+            #[allow(dead_code)]
+            fn failing_property(x in 0u8..10) {
+                prop_assert!(x > 200);
+            }
+        }
+        failing_property();
+    }
+}
