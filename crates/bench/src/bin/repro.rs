@@ -5,17 +5,31 @@
 //! ```text
 //! repro all [--quick]
 //! repro fig8b fig9a table3 [--quick]
+//! repro bench-kernel [--quick] [--out PATH]
 //! repro --list
 //! ```
 
 use std::process::ExitCode;
 
-use hammer_bench::experiments;
+use hammer_bench::{experiments, kernel_bench};
+
+/// Runs the kernel sweep and writes the `BENCH_kernel.json` artifact.
+fn bench_kernel(quick: bool, out_path: &str) -> ExitCode {
+    let report = kernel_bench::run(quick);
+    println!("{}", report.render());
+    if let Err(e) = std::fs::write(out_path, report.to_json()) {
+        eprintln!("failed to write {out_path}: {e}");
+        return ExitCode::FAILURE;
+    }
+    eprintln!("[bench-kernel wrote {out_path}]");
+    ExitCode::SUCCESS
+}
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.is_empty() || args.iter().any(|a| a == "--help" || a == "-h") {
         eprintln!("usage: repro <experiment-id>... | all [--quick]");
+        eprintln!("       repro bench-kernel [--quick] [--out PATH]");
         eprintln!("       repro --list");
         return ExitCode::FAILURE;
     }
@@ -26,6 +40,39 @@ fn main() -> ExitCode {
         return ExitCode::SUCCESS;
     }
     let quick = args.iter().any(|a| a == "--quick");
+    if args.iter().any(|a| a == "bench-kernel") {
+        let out_pos = args.iter().position(|a| a == "--out");
+        let out_path = match out_pos {
+            Some(i) => match args.get(i + 1) {
+                Some(v) if !v.starts_with("--") => v.as_str(),
+                _ => {
+                    eprintln!("--out requires a path argument");
+                    return ExitCode::FAILURE;
+                }
+            },
+            None => "BENCH_kernel.json",
+        };
+        // Refuse to silently drop experiment ids passed alongside the
+        // subcommand (the out path itself is not an id).
+        let stray: Vec<&str> = args
+            .iter()
+            .enumerate()
+            .filter(|(i, a)| {
+                !a.starts_with("--")
+                    && a.as_str() != "bench-kernel"
+                    && Some(*i) != out_pos.map(|p| p + 1)
+            })
+            .map(|(_, a)| a.as_str())
+            .collect();
+        if !stray.is_empty() {
+            eprintln!(
+                "bench-kernel cannot be combined with experiment ids (got: {})",
+                stray.join(", ")
+            );
+            return ExitCode::FAILURE;
+        }
+        return bench_kernel(quick, out_path);
+    }
     let ids: Vec<&str> = if args.iter().any(|a| a == "all") {
         experiments::ALL_IDS.to_vec()
     } else {

@@ -172,10 +172,11 @@ pub fn table3(quick: bool) -> String {
     // (one XOR+POPCNT per pair regardless of n), which is exactly the
     // paper's point about n = 100 vs n = 500.
     let n_bits = 64;
-    // Measuring beyond 64K unique outcomes takes tens of minutes on a
-    // small machine; for larger rows we report the exact op count and an
-    // O(N²) extrapolation from the largest measured throughput.
-    let measure_cap = 65_536usize;
+    // The blocked/branchless/work-stealing kernel makes every row —
+    // including the 256K-unique one the paper only extrapolates —
+    // cheap enough to measure outright.
+    let hammer = Hammer::new();
+    let threads = hammer.threads();
     let mut table = Table::new(&[
         "trials",
         "unique outcomes",
@@ -184,39 +185,27 @@ pub fn table3(quick: bool) -> String {
         "throughput (Mpairs/s)",
     ]);
     let mut rng = StdRng::seed_from_u64(0x7AB3);
-    let mut last_throughput = f64::NAN;
     for &(trials, frac) in rows {
         let unique = (trials as f64 * frac) as usize;
         let pairs = (unique as f64) * (unique as f64) * 2.0;
-        let (time_cell, throughput) = if unique <= measure_cap {
-            let dist = synthetic_distribution(unique, n_bits, &mut rng);
-            let hammer = Hammer::new();
-            let start = Instant::now();
-            let _ = hammer.reconstruct(&dist);
-            let secs = start.elapsed().as_secs_f64();
-            last_throughput = pairs / secs / 1e6;
-            (fnum(secs, 3), last_throughput)
-        } else {
-            // Extrapolate at the last measured throughput.
-            let secs = pairs / (last_throughput * 1e6);
-            (
-                format!("~{} (extrapolated)", fnum(secs, 0)),
-                last_throughput,
-            )
-        };
+        let dist = synthetic_distribution(unique, n_bits, &mut rng);
+        let start = Instant::now();
+        let _ = hammer.reconstruct(&dist);
+        let secs = start.elapsed().as_secs_f64();
         table.row_owned(vec![
             trials.to_string(),
             format!("{unique} ({:.0}%)", frac * 100.0),
             fnum(operation_count(unique as u64) as f64 / 1e9, 3),
-            time_cell,
-            fnum(throughput, 1),
+            fnum(secs, 3),
+            fnum(pairs / secs / 1e6, 1),
         ]);
     }
     let _ = write!(out, "{table}");
     let _ = writeln!(
         out,
-        "\nmemory: two O(n/2) vectors (CHS + weights) -> well under 1 MB even \
-         at 500 qubits; see also `cargo bench` target hammer_scaling"
+        "\nevery row measured (blocked kernel, {threads} workers); memory: two \
+         O(n/2) vectors (CHS + weights) -> well under 1 MB even at 500 qubits; \
+         see also `repro bench-kernel` and `cargo bench` target hammer_scaling"
     );
     out
 }

@@ -18,5 +18,6 @@
 pub mod angles;
 pub mod datasets;
 pub mod experiments;
+pub mod kernel_bench;
 pub mod pipeline;
 pub mod report;

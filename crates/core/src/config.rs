@@ -71,6 +71,39 @@ pub enum FilterRule {
     None,
 }
 
+/// Performance tuning of the `O(N²)` scoring kernel.
+///
+/// These knobs change *how fast* a reconstruction runs, never *what* it
+/// computes: every setting produces the same scores up to floating-point
+/// summation order (the oracle-equivalence property tests pin this to
+/// `≤ 1e-9`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct KernelTuning {
+    /// Support size at or above which the kernel fans out over worker
+    /// threads. Below it, thread spawn/join overhead dominates the
+    /// `O(N²)` work and the blocked serial path is used instead.
+    pub parallel_threshold: usize,
+    /// Entries per cache tile. One tile of the structure-of-arrays
+    /// layout costs `tile_size · (8 + 8)` bytes; the blocked loops keep
+    /// one key/probability tile resident in L1 while it is reused by
+    /// every outcome of the current outer tile. The tile is also the
+    /// unit the work-stealing scheduler hands to worker threads.
+    /// Values are clamped to at least 1.
+    pub tile_size: usize,
+}
+
+impl Default for KernelTuning {
+    fn default() -> Self {
+        Self {
+            // The PR 1 kernel hard-coded 2048; kept as the default.
+            parallel_threshold: 2048,
+            // 512 entries = 8 KiB of keys + probs each: two tiles plus
+            // accumulators fit comfortably in a 32 KiB L1d.
+            tile_size: 512,
+        }
+    }
+}
+
 /// Full configuration of a [`crate::Hammer`] instance.
 ///
 /// `HammerConfig::default()` is the paper's Algorithm 1.
@@ -82,6 +115,8 @@ pub struct HammerConfig {
     pub weights: WeightScheme,
     /// Neighbor filter.
     pub filter: FilterRule,
+    /// Kernel performance tuning (results are unaffected).
+    pub kernel: KernelTuning,
 }
 
 impl HammerConfig {
@@ -122,5 +157,15 @@ mod tests {
         assert_eq!(d.neighborhood, NeighborhoodLimit::HalfWidth);
         assert_eq!(d.weights, WeightScheme::InverseAverageChs);
         assert_eq!(d.filter, FilterRule::LowerProbabilityOnly);
+        assert_eq!(d.kernel, KernelTuning::default());
+    }
+
+    #[test]
+    fn kernel_tuning_defaults_are_sensible() {
+        let t = KernelTuning::default();
+        assert_eq!(t.parallel_threshold, 2048);
+        assert!(t.tile_size >= 64, "tile must amortize loop overhead");
+        // Two SoA tiles (keys + probs for x and y) must fit in a 32 KiB L1d.
+        assert!(2 * t.tile_size * 16 <= 32 * 1024);
     }
 }

@@ -1,7 +1,13 @@
-//! The `O(N²)` scoring kernel, single-threaded and crossbeam-parallel.
+//! The PR 1 scalar `O(N²)` kernel, kept verbatim as the **reference
+//! oracle**.
 //!
-//! Operating on raw `(u64, f64)` entry slices keeps the hot loop at one
-//! XOR + POPCNT + branch per pair.
+//! This is the simplest correct statement of Algorithm 1's pairwise
+//! pass: array-of-structs `(u64, f64)` entries, one XOR + POPCNT +
+//! branch per pair, static `chunks_mut` parallelism. The optimized
+//! kernel in the parent module is property-tested against it
+//! (`crates/core/tests/kernel_oracle.rs`), and `repro bench-kernel` records
+//! speedups relative to it — so it must stay untouched by further
+//! optimization work.
 
 use crate::config::FilterRule;
 

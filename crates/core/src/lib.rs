@@ -54,11 +54,12 @@
 #![warn(missing_docs)]
 
 mod config;
-mod kernel;
+pub mod kernel;
 mod reconstruct;
 mod trace;
 
-pub use config::{FilterRule, HammerConfig, NeighborhoodLimit, WeightScheme};
-pub use kernel::{global_chs, score_one, scores, scores_parallel};
+pub use config::{FilterRule, HammerConfig, KernelTuning, NeighborhoodLimit, WeightScheme};
+pub use kernel::reference::score_one;
+pub use kernel::{global_chs, global_chs_parallel, scores, scores_parallel, PaddedWeights};
 pub use reconstruct::{operation_count, Hammer};
 pub use trace::{HammerTrace, ScoreBreakdown};

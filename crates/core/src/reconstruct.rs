@@ -72,15 +72,34 @@ impl Hammer {
 
     /// A reconstructor with an explicit (possibly ablated)
     /// configuration.
+    ///
+    /// Defaults to one worker per available core, but never fewer than
+    /// two: `threads == 1` is reserved for explicitly pinning the
+    /// scalar reference oracle (see
+    /// [`with_threads`](Hammer::with_threads)), and a single-core
+    /// machine should still get the blocked/branchless kernel by
+    /// default — it is ~5× faster than the oracle at the same thread
+    /// count.
     #[must_use]
     pub fn with_config(config: HammerConfig) -> Self {
         let threads = std::thread::available_parallelism()
             .map(std::num::NonZeroUsize::get)
-            .unwrap_or(1);
+            .unwrap_or(1)
+            .max(2);
         Self { config, threads }
     }
 
-    /// Overrides the worker-thread count (1 forces the serial kernel).
+    /// Overrides the worker-thread count.
+    ///
+    /// `with_threads(1)` deliberately pins the **serial reference
+    /// kernel** — the scalar PR 1 oracle in
+    /// [`kernel::reference`](crate::kernel::reference) — rather than
+    /// the blocked single-threaded path, so tests and A/B comparisons
+    /// can hold the oracle and the optimized schedules side by side
+    /// through the same `Hammer` API. Any count ≥ 2 uses the blocked,
+    /// branchless, work-stealing kernel (which itself drops to its
+    /// blocked serial path below
+    /// [`KernelTuning::parallel_threshold`](crate::KernelTuning)).
     ///
     /// # Panics
     ///
@@ -98,28 +117,67 @@ impl Hammer {
         self.config
     }
 
+    /// The worker-thread count this reconstructor will use
+    /// (1 means the serial reference kernel).
+    #[must_use]
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// The distribution-wide CHS through the kernel selected by the
+    /// thread count: the scalar reference oracle at `threads == 1`, the
+    /// blocked/work-stealing kernel otherwise.
+    fn global_chs_dispatch(&self, dist: &Distribution, max_d: usize) -> Vec<f64> {
+        if self.threads == 1 {
+            kernel::reference::global_chs(dist.as_slice(), max_d)
+        } else {
+            kernel::global_chs_parallel(
+                dist.keys(),
+                dist.probs(),
+                max_d,
+                self.threads,
+                &self.config.kernel,
+            )
+        }
+    }
+
     /// Derives the per-distance weight vector for a distribution
     /// (Algorithm 1 lines 10–13, or an ablation variant).
     #[must_use]
     pub fn weights(&self, dist: &Distribution) -> Vec<f64> {
+        let max_d = self.config.neighborhood.max_distance(dist.n_bits());
+        // The measured global CHS is an O(N²) pass — only schemes that
+        // invert it pay for it.
+        let chs = match self.config.weights {
+            WeightScheme::InverseAverageChs | WeightScheme::InverseGlobalChs => {
+                self.global_chs_dispatch(dist, max_d)
+            }
+            WeightScheme::Uniform | WeightScheme::InverseBinomial => Vec::new(),
+        };
+        self.weights_from_chs(dist, max_d, &chs)
+    }
+
+    /// Weight derivation from an already-computed global CHS (ignored
+    /// by the schemes that do not invert a measured CHS), so callers
+    /// like [`trace`](Hammer::trace) that need both never run the
+    /// `O(N²)` CHS pass twice.
+    fn weights_from_chs(&self, dist: &Distribution, max_d: usize, chs: &[f64]) -> Vec<f64> {
         let n = dist.n_bits();
-        let max_d = self.config.neighborhood.max_distance(n);
         match self.config.weights {
             WeightScheme::InverseAverageChs => {
                 let n_unique = dist.len().max(1) as f64;
-                kernel::global_chs(dist.as_slice(), max_d)
-                    .into_iter()
-                    .map(|total| if total > 0.0 { n_unique / total } else { 0.0 })
+                chs.iter()
+                    .map(|&total| if total > 0.0 { n_unique / total } else { 0.0 })
                     .collect()
             }
-            WeightScheme::InverseGlobalChs => invert(&kernel::global_chs(dist.as_slice(), max_d)),
+            WeightScheme::InverseGlobalChs => invert(chs),
             WeightScheme::Uniform => vec![1.0; max_d],
             WeightScheme::InverseBinomial => {
                 // Theoretical average CHS under the uniform-error model:
                 // a string sees C(n,d)/2^n of the mass at distance d.
                 let denom = 2f64.powi(n as i32);
-                let chs: Vec<f64> = (0..max_d).map(|d| binomial_f(n, d) / denom).collect();
-                invert(&chs)
+                let theoretical: Vec<f64> = (0..max_d).map(|d| binomial_f(n, d) / denom).collect();
+                invert(&theoretical)
             }
         }
     }
@@ -145,10 +203,21 @@ impl Hammer {
         if dist.len() < 2 {
             return dist.clone();
         }
-        let entries = dist.as_slice();
-        let scores = kernel::scores_parallel(entries, weights, self.config.filter, self.threads);
+        let scores = if self.threads == 1 {
+            kernel::reference::scores(dist.as_slice(), weights, self.config.filter)
+        } else {
+            kernel::scores_parallel(
+                dist.keys(),
+                dist.probs(),
+                weights,
+                self.config.filter,
+                self.threads,
+                &self.config.kernel,
+            )
+        };
         let n = dist.n_bits();
-        let pairs = entries
+        let pairs = dist
+            .as_slice()
             .iter()
             .zip(&scores)
             .map(|(&(k, p), &s)| (BitString::new(k, n), p * s));
@@ -187,8 +256,8 @@ impl Hammer {
     pub fn trace(&self, dist: &Distribution) -> HammerTrace {
         let n = dist.n_bits();
         let max_d = self.config.neighborhood.max_distance(n);
-        let global_chs = kernel::global_chs(dist.as_slice(), max_d);
-        let weights = self.weights(dist);
+        let global_chs = self.global_chs_dispatch(dist, max_d);
+        let weights = self.weights_from_chs(dist, max_d, &global_chs);
         let output = self.reconstruct_with_weights(dist, &weights);
         HammerTrace {
             n_bits: n,
@@ -374,7 +443,7 @@ mod tests {
         let d = fig4();
         let h = Hammer::new();
         let w = h.weights(&d);
-        let chs = kernel::global_chs(d.as_slice(), 2);
+        let chs = kernel::global_chs(d.keys(), d.probs(), 2);
         assert_eq!(w.len(), 2); // n=3 → d < 1.5 → bins {0, 1}
                                 // W[d] · (CHS_total[d] / N) = 1.
         for (wi, ci) in w.iter().zip(&chs) {
@@ -390,7 +459,7 @@ mod tests {
             ..HammerConfig::paper()
         });
         let w = h.weights(&d);
-        let chs = kernel::global_chs(d.as_slice(), 2);
+        let chs = kernel::global_chs(d.keys(), d.probs(), 2);
         for (wi, ci) in w.iter().zip(&chs) {
             assert!((wi * ci - 1.0).abs() < 1e-12);
         }
@@ -472,6 +541,7 @@ mod tests {
             neighborhood: NeighborhoodLimit::Unbounded,
             weights: WeightScheme::Uniform,
             filter: FilterRule::None,
+            ..HammerConfig::paper()
         });
         let spread = |h: &Hammer| {
             let scores: Vec<f64> = d

@@ -1,0 +1,109 @@
+//! Property tests pinning the blocked/branchless/work-stealing kernel
+//! to the PR 1 scalar reference oracle.
+//!
+//! Every schedule — blocked serial, and work-stealing with 1, 2 and 7
+//! workers — must agree with `kernel::reference` to `≤ 1e-9` on random
+//! supports, for both filter rules and for degenerate weight tables
+//! (empty, all-zero, and a full 65-slot table covering every possible
+//! Hamming distance of 64-bit keys).
+
+use hammer_core::kernel::{self, reference};
+use hammer_core::{FilterRule, KernelTuning};
+use proptest::prelude::*;
+
+const TOLERANCE: f64 = 1e-9;
+
+/// A random SoA support over up-to-64-bit keys, as both layouts.
+#[allow(clippy::type_complexity)]
+fn support() -> impl Strategy<Value = (Vec<(u64, f64)>, Vec<u64>, Vec<f64>)> {
+    (1usize..=64)
+        .prop_flat_map(|n| {
+            let max = if n == 64 { u64::MAX } else { (1u64 << n) - 1 };
+            proptest::collection::btree_map(0..=max, 1u64..5000, 1..90)
+        })
+        .prop_map(|map| {
+            let entries: Vec<(u64, f64)> = map
+                .into_iter()
+                .map(|(k, w)| (k, w as f64 / 5000.0))
+                .collect();
+            let keys = entries.iter().map(|&(k, _)| k).collect();
+            let probs = entries.iter().map(|&(_, p)| p).collect();
+            (entries, keys, probs)
+        })
+}
+
+/// Weight tables including every degenerate shape the issue calls out.
+fn weight_table() -> impl Strategy<Value = Vec<f64>> {
+    prop_oneof![
+        // Empty: max_d = 0, every score collapses to its seed.
+        Just(Vec::new()),
+        // All-zero (the "no mass in any bin" shape of zero-CHS weights).
+        (1usize..=65).prop_map(|len| vec![0.0; len]),
+        // A full 65-slot table: every representable distance weighted.
+        proptest::collection::vec(0.0f64..2.0, 65..66),
+        // Ordinary random tables of arbitrary cutoff.
+        proptest::collection::vec(0.0f64..2.0, 1..40),
+    ]
+}
+
+/// Tile sizes that exercise remainder handling (tiles that do not
+/// divide the support) alongside the default.
+fn tuning() -> impl Strategy<Value = KernelTuning> {
+    prop_oneof![
+        Just(KernelTuning::default()),
+        (1usize..90).prop_map(|tile_size| KernelTuning {
+            // Forces the work-stealing path regardless of support size.
+            parallel_threshold: 0,
+            tile_size,
+        }),
+    ]
+}
+
+proptest! {
+    #[test]
+    fn blocked_kernel_matches_oracle_across_schedules(
+        (entries, keys, probs) in support(),
+        weights in weight_table(),
+        tuning in tuning(),
+    ) {
+        for filter in [FilterRule::LowerProbabilityOnly, FilterRule::None] {
+            let oracle = reference::scores(&entries, &weights, filter);
+            let serial = kernel::scores(&keys, &probs, &weights, filter, &tuning);
+            prop_assert_eq!(serial.len(), oracle.len());
+            for (a, b) in oracle.iter().zip(&serial) {
+                prop_assert!((a - b).abs() < TOLERANCE, "serial: {} vs {}", a, b);
+            }
+            for threads in [1usize, 2, 7] {
+                let got = kernel::scores_parallel(
+                    &keys, &probs, &weights, filter, threads, &tuning,
+                );
+                prop_assert_eq!(got.len(), oracle.len());
+                for (a, b) in oracle.iter().zip(&got) {
+                    prop_assert!(
+                        (a - b).abs() < TOLERANCE,
+                        "threads {}: {} vs {}", threads, a, b
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn global_chs_matches_oracle_across_schedules(
+        (entries, keys, probs) in support(),
+        max_d in 0usize..70,
+        tuning in tuning(),
+    ) {
+        let oracle = reference::global_chs(&entries, max_d);
+        let serial = kernel::global_chs(&keys, &probs, max_d);
+        prop_assert_eq!(serial.len(), max_d);
+        for threads in [1usize, 2, 7] {
+            let got = kernel::global_chs_parallel(&keys, &probs, max_d, threads, &tuning);
+            prop_assert_eq!(got.len(), max_d);
+            for ((a, b), c) in oracle.iter().zip(&serial).zip(&got) {
+                prop_assert!((a - b).abs() < TOLERANCE);
+                prop_assert!((a - c).abs() < TOLERANCE);
+            }
+        }
+    }
+}

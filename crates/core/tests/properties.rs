@@ -45,6 +45,7 @@ fn config() -> impl Strategy<Value = HammerConfig> {
             neighborhood,
             weights,
             filter,
+            ..HammerConfig::paper()
         })
 }
 

@@ -43,6 +43,15 @@ pub struct Distribution {
     /// Sorted by packed outcome; probabilities strictly positive and
     /// summing to 1 (up to rounding).
     entries: Vec<(u64, f64)>,
+    /// Structure-of-arrays mirror of `entries` (same order): the packed
+    /// outcomes alone. Kept alongside the AoS view so the `O(N²)` kernel
+    /// can stream keys and probabilities as two dense arrays
+    /// ([`keys`](Distribution::keys) / [`probs`](Distribution::probs))
+    /// without a per-call copy or gather.
+    keys: Vec<u64>,
+    /// Structure-of-arrays mirror of `entries`: the probabilities alone,
+    /// index-aligned with `keys`.
+    probs: Vec<f64>,
 }
 
 impl Distribution {
@@ -91,7 +100,20 @@ impl Distribution {
             .filter(|&(_, w)| w > 0.0)
             .map(|(k, w)| (k, w / total))
             .collect();
-        Ok(Self { n_bits, entries })
+        Ok(Self::from_entries(n_bits, entries))
+    }
+
+    /// Builds the struct from already-sorted, normalized entries,
+    /// deriving the SoA mirrors.
+    fn from_entries(n_bits: usize, entries: Vec<(u64, f64)>) -> Self {
+        let keys = entries.iter().map(|&(k, _)| k).collect();
+        let probs = entries.iter().map(|&(_, p)| p).collect();
+        Self {
+            n_bits,
+            entries,
+            keys,
+            probs,
+        }
     }
 
     /// The uniform distribution over all `2^n` outcomes.
@@ -109,19 +131,13 @@ impl Distribution {
         );
         let size = 1usize << n_bits;
         let p = 1.0 / size as f64;
-        Self {
-            n_bits,
-            entries: (0..size as u64).map(|k| (k, p)).collect(),
-        }
+        Self::from_entries(n_bits, (0..size as u64).map(|k| (k, p)).collect())
     }
 
     /// The distribution placing all mass on one outcome.
     #[must_use]
     pub fn point_mass(outcome: BitString) -> Self {
-        Self {
-            n_bits: outcome.len(),
-            entries: vec![(outcome.as_u64(), 1.0)],
-        }
+        Self::from_entries(outcome.len(), vec![(outcome.as_u64(), 1.0)])
     }
 
     /// Register width in bits.
@@ -144,10 +160,32 @@ impl Distribution {
     }
 
     /// The raw `(packed outcome, probability)` support, sorted by
-    /// outcome — the flat view HAMMER's XOR+POPCNT kernel consumes.
+    /// outcome — the array-of-structs view, kept for lockstep merges
+    /// (metrics) and as the input of the reference scoring kernel.
     #[must_use]
     pub fn as_slice(&self) -> &[(u64, f64)] {
         &self.entries
+    }
+
+    /// The packed outcomes in ascending order — the structure-of-arrays
+    /// twin of [`as_slice`](Distribution::as_slice), index-aligned with
+    /// [`probs`](Distribution::probs).
+    ///
+    /// This is a zero-copy view: the SoA mirrors are materialized once
+    /// at construction, so the blocked `O(N²)` kernel can stream keys
+    /// and probabilities as two dense, independently-prefetchable
+    /// arrays.
+    #[must_use]
+    pub fn keys(&self) -> &[u64] {
+        &self.keys
+    }
+
+    /// The probabilities in the same (ascending-outcome) order as
+    /// [`keys`](Distribution::keys). Zero-copy, strictly positive,
+    /// summing to 1 up to rounding.
+    #[must_use]
+    pub fn probs(&self) -> &[f64] {
+        &self.probs
     }
 
     /// Probability of one outcome (0 when outside the support).
@@ -183,18 +221,37 @@ impl Distribution {
         self.entries.iter().map(|&(_, p)| p).sum()
     }
 
-    /// The most probable outcome (ties broken toward the smallest
-    /// packed value, deterministically). `None` only for the empty
-    /// distribution, which public constructors cannot produce.
+    /// The mode: the most probable outcome of the distribution.
+    ///
+    /// **Tie-break guarantee:** when several outcomes share the maximum
+    /// probability exactly, the one with the smallest packed key wins.
+    /// The comparison is explicit (`p > best` or `p == best` with a
+    /// smaller key), so the result does not depend on scan order,
+    /// storage layout, or which kernel produced the probabilities —
+    /// re-running a reconstruction always reports the same winner.
+    /// `None` only for the empty distribution, which public
+    /// constructors cannot produce.
     #[must_use]
-    pub fn most_probable(&self) -> Option<(BitString, f64)> {
+    pub fn mode(&self) -> Option<(BitString, f64)> {
         let mut best: Option<(u64, f64)> = None;
         for &(k, p) in &self.entries {
-            if best.is_none_or(|(_, bp)| p > bp) {
+            let better = match best {
+                None => true,
+                Some((bk, bp)) => p > bp || (p == bp && k < bk),
+            };
+            if better {
                 best = Some((k, p));
             }
         }
         best.map(|(k, p)| (BitString::new(k, self.n_bits), p))
+    }
+
+    /// Alias for [`mode`](Distribution::mode), kept for readability at
+    /// call sites phrased around probability ("the most probable
+    /// outcome"). Same deterministic tie-break.
+    #[must_use]
+    pub fn most_probable(&self) -> Option<(BitString, f64)> {
+        self.mode()
     }
 
     /// The `k` most probable outcomes, descending by probability (ties
@@ -346,6 +403,38 @@ mod tests {
     fn most_probable_breaks_ties_deterministically() {
         let d = Distribution::from_probs(2, [(bs("11"), 0.5), (bs("00"), 0.5)]).unwrap();
         assert_eq!(d.most_probable().unwrap().0, bs("00"));
+    }
+
+    #[test]
+    fn mode_ties_go_to_smallest_key_regardless_of_insertion_order() {
+        // Same support fed in both orders: the winner must not change.
+        let forward =
+            Distribution::from_probs(3, [(bs("010"), 1.0), (bs("110"), 1.0), (bs("001"), 0.5)])
+                .unwrap();
+        let reverse =
+            Distribution::from_probs(3, [(bs("110"), 1.0), (bs("001"), 0.5), (bs("010"), 1.0)])
+                .unwrap();
+        assert_eq!(forward.mode().unwrap().0, bs("010"));
+        assert_eq!(reverse.mode().unwrap().0, bs("010"));
+        assert_eq!(forward.mode(), forward.most_probable());
+    }
+
+    #[test]
+    fn soa_view_mirrors_as_slice() {
+        let d = Distribution::from_probs(2, [(bs("11"), 0.2), (bs("00"), 0.5), (bs("10"), 0.3)])
+            .unwrap();
+        assert_eq!(d.keys().len(), d.len());
+        assert_eq!(d.probs().len(), d.len());
+        for (i, &(k, p)) in d.as_slice().iter().enumerate() {
+            assert_eq!(d.keys()[i], k);
+            assert!((d.probs()[i] - p).abs() < 1e-15);
+        }
+        // The SoA mirrors survive every constructor.
+        let u = Distribution::uniform(3);
+        assert_eq!(u.keys(), (0..8).collect::<Vec<u64>>().as_slice());
+        let pm = Distribution::point_mass(bs("101"));
+        assert_eq!(pm.keys(), &[0b101]);
+        assert_eq!(pm.probs(), &[1.0]);
     }
 
     #[test]

@@ -10,8 +10,10 @@
 //! * [`Counts`] — the raw trial histogram a (simulated) quantum job
 //!   returns;
 //! * [`Distribution`] — a normalized sparse distribution whose sorted
-//!   [`as_slice`](Distribution::as_slice) view feeds HAMMER's `O(N²)`
-//!   kernel;
+//!   structure-of-arrays views ([`keys`](Distribution::keys) /
+//!   [`probs`](Distribution::probs), with
+//!   [`as_slice`](Distribution::as_slice) as the AoS twin) feed HAMMER's
+//!   `O(N²)` kernel;
 //! * [`HammingSpectrum`] / [`spectrum::chs`] — the §3.2 bucketing of
 //!   outcomes by distance to the correct answers, and the §4.1
 //!   Cumulative Hamming Strength;

@@ -69,6 +69,7 @@ fn hammer_with_every_ablation_combination_stays_valid() {
                     neighborhood,
                     weights,
                     filter,
+                    ..HammerConfig::paper()
                 };
                 let out = Hammer::with_config(cfg).reconstruct(&d);
                 assert!(

@@ -9,6 +9,13 @@
 //! median batch time is reported on stdout. No statistics, plots or
 //! baselines — just honest wall-clock numbers so `cargo bench` works
 //! offline.
+//!
+//! Like real criterion, passing `--test` on the bench binary's command
+//! line (`cargo bench -- --test`) switches to **smoke mode**: every
+//! benchmark closure runs exactly once with no calibration, so CI can
+//! prove the benches still execute without paying for measurement.
+//! Bench functions can also consult [`Criterion::smoke`] to shrink
+//! their parameter sweeps in that mode.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -21,20 +28,32 @@ pub struct Bencher {
     samples: Vec<Duration>,
     iters_per_sample: u64,
     sample_size: usize,
+    smoke: bool,
 }
 
 impl Bencher {
-    fn new(sample_size: usize) -> Self {
+    fn new(sample_size: usize, smoke: bool) -> Self {
         Self {
             samples: Vec::with_capacity(sample_size),
             iters_per_sample: 1,
             sample_size,
+            smoke,
         }
     }
 
     /// Times `f`, first calibrating how many iterations fit in a few
     /// milliseconds, then collecting `sample_size` timed batches.
+    ///
+    /// In smoke mode (`--test`), runs `f` exactly once and records that
+    /// single timing — no calibration, no repetition.
     pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        if self.smoke {
+            self.iters_per_sample = 1;
+            let start = Instant::now();
+            std::hint::black_box(f());
+            self.samples.push(start.elapsed());
+            return;
+        }
         // Calibrate: aim for batches of at least ~5 ms.
         let target = Duration::from_millis(5);
         let mut iters = 1u64;
@@ -126,7 +145,7 @@ impl BenchmarkGroup<'_> {
     where
         F: FnMut(&mut Bencher, &I),
     {
-        let mut bencher = Bencher::new(self.criterion.sample_size);
+        let mut bencher = Bencher::new(self.criterion.sample_size, self.criterion.smoke);
         f(&mut bencher, input);
         self.report(&id.label, &bencher);
         self
@@ -137,7 +156,7 @@ impl BenchmarkGroup<'_> {
     where
         F: FnMut(&mut Bencher),
     {
-        let mut bencher = Bencher::new(self.criterion.sample_size);
+        let mut bencher = Bencher::new(self.criterion.sample_size, self.criterion.smoke);
         f(&mut bencher);
         self.report(&name.to_string(), &bencher);
         self
@@ -171,11 +190,17 @@ impl BenchmarkGroup<'_> {
 /// The benchmark harness configuration and entry point.
 pub struct Criterion {
     sample_size: usize,
+    smoke: bool,
 }
 
 impl Default for Criterion {
     fn default() -> Self {
-        Self { sample_size: 10 }
+        Self {
+            sample_size: 10,
+            // Mirrors real criterion: `cargo bench -- --test` runs each
+            // benchmark once as a smoke test instead of measuring.
+            smoke: std::env::args().any(|a| a == "--test"),
+        }
     }
 }
 
@@ -186,6 +211,14 @@ impl Criterion {
         assert!(n >= 2, "need at least two samples");
         self.sample_size = n;
         self
+    }
+
+    /// True when running in `--test` smoke mode (each benchmark runs
+    /// once, unmeasured). Bench functions can consult this to shrink
+    /// expensive parameter sweeps.
+    #[must_use]
+    pub fn smoke(&self) -> bool {
+        self.smoke
     }
 
     /// Opens a named benchmark group.
@@ -202,7 +235,7 @@ impl Criterion {
     where
         F: FnMut(&mut Bencher),
     {
-        let mut bencher = Bencher::new(self.sample_size);
+        let mut bencher = Bencher::new(self.sample_size, self.smoke);
         f(&mut bencher);
         let per_iter = bencher.median_per_iter();
         println!("{name}: {per_iter:?} / iter");
@@ -241,6 +274,24 @@ macro_rules! criterion_main {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn smoke_mode_runs_each_closure_exactly_once() {
+        let mut c = Criterion {
+            sample_size: 10,
+            smoke: true,
+        };
+        assert!(c.smoke());
+        let mut runs = 0u32;
+        let mut group = c.benchmark_group("smoke-mode");
+        group.bench_function("counted", |b| {
+            b.iter(|| {
+                runs += 1;
+            });
+        });
+        group.finish();
+        assert_eq!(runs, 1, "smoke mode must skip calibration and sampling");
+    }
 
     #[test]
     fn bencher_collects_samples() {
