@@ -1,16 +1,35 @@
-//! Simulator throughput: state-vector gate application and the two
-//! noise engines on a representative BV workload.
+//! Simulator throughput: specialized vs reference gate kernels, the
+//! staged trajectory-engine configurations (kernels / +checkpoint /
+//! +threads) across register widths, and the two noise engines on a
+//! representative BV workload.
+//!
+//! `cargo bench --bench simulator -- --test` runs everything once in
+//! smoke mode and shrinks the sweep — that is what CI exercises.
+//! `repro bench-sim` is the canonical artifact emitter for the measured
+//! trajectory (`BENCH_sim.json`).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hammer_bench::sim_bench::bench_circuit;
 use hammer_circuits::BernsteinVazirani;
 use hammer_dist::BitString;
-use hammer_sim::{Circuit, DeviceModel, PropagationEngine, StateVector, TrajectoryEngine};
+use hammer_sim::{
+    Circuit, DeviceModel, PropagationEngine, SimTuning, StateVector, TrajectoryEngine,
+};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
+fn widths(c: &Criterion) -> &'static [usize] {
+    if c.smoke() {
+        &[10]
+    } else {
+        &[10, 14, 18]
+    }
+}
+
 fn bench_statevector_gates(c: &mut Criterion) {
+    let sizes = widths(c);
     let mut group = c.benchmark_group("statevector_layer");
-    for &n in &[10usize, 14, 18] {
+    for &n in sizes {
         // One H layer + one CX ladder.
         let mut circuit = Circuit::new(n);
         for q in 0..n {
@@ -19,9 +38,39 @@ fn bench_statevector_gates(c: &mut Criterion) {
         for q in 0..n - 1 {
             circuit.cx(q, q + 1);
         }
-        group.bench_with_input(BenchmarkId::from_parameter(n), &circuit, |b, circ| {
-            b.iter(|| StateVector::from_circuit(circ));
+        group.bench_with_input(BenchmarkId::new("reference", n), &circuit, |b, circ| {
+            b.iter(|| StateVector::from_circuit_with(circ, &SimTuning::reference()));
         });
+        group.bench_with_input(BenchmarkId::new("specialized", n), &circuit, |b, circ| {
+            b.iter(|| StateVector::from_circuit_with(circ, &SimTuning::serial()));
+        });
+    }
+    group.finish();
+}
+
+fn bench_trajectory_stages(c: &mut Criterion) {
+    let (sizes, trials): (&[usize], u64) = if c.smoke() {
+        (&[10], 64)
+    } else {
+        (&[10, 13, 16], 256)
+    };
+    let stages = hammer_bench::sim_bench::stage_tunings();
+    let mut group = c.benchmark_group("trajectory_stages");
+    for &n in sizes {
+        let circuit = bench_circuit(n);
+        let device = DeviceModel::ibm_paris(n);
+        group.bench_with_input(BenchmarkId::new("reference", n), &circuit, |b, circ| {
+            let engine = TrajectoryEngine::new(&device);
+            let mut rng = StdRng::seed_from_u64(3);
+            b.iter(|| engine.sample_reference(circ, trials, &mut rng).unwrap());
+        });
+        for (name, tuning) in &stages {
+            group.bench_with_input(BenchmarkId::new(*name, n), &circuit, |b, circ| {
+                let engine = TrajectoryEngine::new(&device).with_tuning(*tuning);
+                let mut rng = StdRng::seed_from_u64(3);
+                b.iter(|| engine.sample(circ, trials, &mut rng).unwrap());
+            });
+        }
     }
     group.finish();
 }
@@ -48,6 +97,6 @@ fn bench_engines(c: &mut Criterion) {
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(10);
-    targets = bench_statevector_gates, bench_engines
+    targets = bench_statevector_gates, bench_trajectory_stages, bench_engines
 }
 criterion_main!(benches);

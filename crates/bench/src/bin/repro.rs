@@ -3,33 +3,121 @@
 //! Usage:
 //!
 //! ```text
-//! repro all [--quick]
+//! repro all [--quick] [--jobs N]
 //! repro fig8b fig9a table3 [--quick]
 //! repro bench-kernel [--quick] [--out PATH]
+//! repro bench-sim [--quick] [--out PATH]
 //! repro --list
 //! ```
+//!
+//! `repro all` runs independent experiment instances concurrently:
+//! `--jobs N` sets the worker count. The default divides the cores by
+//! the trajectory engine's own per-experiment thread count so the two
+//! levels of parallelism multiply out to roughly the machine, not its
+//! square. Reports are printed in experiment order regardless of
+//! completion order.
 
 use std::process::ExitCode;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
 
-use hammer_bench::{experiments, kernel_bench};
+use hammer_bench::{experiments, kernel_bench, sim_bench};
 
-/// Runs the kernel sweep and writes the `BENCH_kernel.json` artifact.
-fn bench_kernel(quick: bool, out_path: &str) -> ExitCode {
-    let report = kernel_bench::run(quick);
-    println!("{}", report.render());
-    if let Err(e) = std::fs::write(out_path, report.to_json()) {
+/// Runs one of the JSON-artifact bench subcommands and writes its
+/// output file.
+fn run_bench_artifact(name: &str, quick: bool, out_path: &str) -> ExitCode {
+    let (rendered, json) = match name {
+        "bench-kernel" => {
+            let report = kernel_bench::run(quick);
+            (report.render(), report.to_json())
+        }
+        "bench-sim" => {
+            let report = sim_bench::run(quick);
+            (report.render(), report.to_json())
+        }
+        other => unreachable!("unknown bench subcommand {other}"),
+    };
+    println!("{rendered}");
+    if let Err(e) = std::fs::write(out_path, json) {
         eprintln!("failed to write {out_path}: {e}");
         return ExitCode::FAILURE;
     }
-    eprintln!("[bench-kernel wrote {out_path}]");
+    eprintln!("[{name} wrote {out_path}]");
     ExitCode::SUCCESS
+}
+
+/// Parses the value following a `--flag` argument.
+fn flag_value<'a>(args: &'a [String], flag: &str) -> Result<Option<&'a str>, String> {
+    match args.iter().position(|a| a == flag) {
+        None => Ok(None),
+        Some(i) => match args.get(i + 1) {
+            Some(v) if !v.starts_with("--") => Ok(Some(v.as_str())),
+            _ => Err(format!("{flag} requires a value argument")),
+        },
+    }
+}
+
+/// Runs `ids` across `jobs` workers (work-stealing over an atomic
+/// cursor), printing each report in id order as soon as it and all its
+/// predecessors are done.
+fn run_experiments(ids: &[&str], quick: bool, jobs: usize) -> bool {
+    let cursor = AtomicUsize::new(0);
+    let results: Vec<Mutex<Option<Option<String>>>> =
+        ids.iter().map(|_| Mutex::new(None)).collect();
+    let jobs = jobs.clamp(1, ids.len().max(1));
+    let any_failed = AtomicUsize::new(0);
+    crossbeam::thread::scope(|scope| {
+        for _ in 0..jobs {
+            scope.spawn(|_| loop {
+                let i = cursor.fetch_add(1, Ordering::Relaxed);
+                let Some(&id) = ids.get(i) else { break };
+                let start = std::time::Instant::now();
+                // Catch per-experiment panics: an unfilled result slot
+                // would leave the ordered printer below waiting
+                // forever, hanging the whole run instead of failing it.
+                let report = match std::panic::catch_unwind(|| experiments::run(id, quick)) {
+                    Ok(Some(text)) => {
+                        eprintln!("[{id} finished in {:.1}s]", start.elapsed().as_secs_f64());
+                        Some(text)
+                    }
+                    Ok(None) => {
+                        eprintln!("unknown experiment id: {id} (try --list)");
+                        any_failed.fetch_add(1, Ordering::Relaxed);
+                        None
+                    }
+                    Err(_) => {
+                        eprintln!("[{id} panicked]");
+                        any_failed.fetch_add(1, Ordering::Relaxed);
+                        None
+                    }
+                };
+                *results[i].lock().expect("no poisoned result slot") = Some(report);
+            });
+        }
+        // The main thread is the ordered printer: emit report i as soon
+        // as every report before it has been emitted.
+        for slot in &results {
+            loop {
+                if let Some(report) = slot.lock().expect("no poisoned result slot").take() {
+                    if let Some(text) = report {
+                        println!("{text}");
+                    }
+                    break;
+                }
+                std::thread::sleep(std::time::Duration::from_millis(20));
+            }
+        }
+    })
+    .expect("experiment worker does not panic");
+    any_failed.load(Ordering::Relaxed) > 0
 }
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.is_empty() || args.iter().any(|a| a == "--help" || a == "-h") {
-        eprintln!("usage: repro <experiment-id>... | all [--quick]");
+        eprintln!("usage: repro <experiment-id>... | all [--quick] [--jobs N]");
         eprintln!("       repro bench-kernel [--quick] [--out PATH]");
+        eprintln!("       repro bench-sim [--quick] [--out PATH]");
         eprintln!("       repro --list");
         return ExitCode::FAILURE;
     }
@@ -40,62 +128,71 @@ fn main() -> ExitCode {
         return ExitCode::SUCCESS;
     }
     let quick = args.iter().any(|a| a == "--quick");
-    if args.iter().any(|a| a == "bench-kernel") {
-        let out_pos = args.iter().position(|a| a == "--out");
-        let out_path = match out_pos {
-            Some(i) => match args.get(i + 1) {
-                Some(v) if !v.starts_with("--") => v.as_str(),
-                _ => {
-                    eprintln!("--out requires a path argument");
-                    return ExitCode::FAILURE;
-                }
-            },
-            None => "BENCH_kernel.json",
+    if let Some(bench) = args
+        .iter()
+        .find(|a| a.as_str() == "bench-kernel" || a.as_str() == "bench-sim")
+    {
+        let out_value = match flag_value(&args, "--out") {
+            Ok(v) => v,
+            Err(e) => {
+                eprintln!("{e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let default_out = if bench == "bench-kernel" {
+            "BENCH_kernel.json"
+        } else {
+            "BENCH_sim.json"
         };
         // Refuse to silently drop experiment ids passed alongside the
         // subcommand (the out path itself is not an id).
         let stray: Vec<&str> = args
             .iter()
-            .enumerate()
-            .filter(|(i, a)| {
-                !a.starts_with("--")
-                    && a.as_str() != "bench-kernel"
-                    && Some(*i) != out_pos.map(|p| p + 1)
+            .filter(|a| {
+                !a.starts_with("--") && a.as_str() != bench && Some(a.as_str()) != out_value
             })
-            .map(|(_, a)| a.as_str())
+            .map(String::as_str)
             .collect();
         if !stray.is_empty() {
             eprintln!(
-                "bench-kernel cannot be combined with experiment ids (got: {})",
+                "{bench} cannot be combined with experiment ids (got: {})",
                 stray.join(", ")
             );
             return ExitCode::FAILURE;
         }
-        return bench_kernel(quick, out_path);
+        return run_bench_artifact(bench, quick, out_value.unwrap_or(default_out));
     }
+    let jobs = match flag_value(&args, "--jobs") {
+        Ok(None) => {
+            // Each experiment's TrajectoryEngine already fans its trial
+            // budget out over SimTuning::default().threads workers;
+            // divide that out so jobs × engine-threads ≈ cores instead
+            // of cores².
+            let cores = std::thread::available_parallelism().map_or(1, std::num::NonZero::get);
+            (cores / hammer_sim::SimTuning::default().threads).max(1)
+        }
+        Ok(Some(v)) => match v.parse::<usize>() {
+            Ok(j) if j >= 1 => j,
+            _ => {
+                eprintln!("--jobs requires a positive integer, got {v}");
+                return ExitCode::FAILURE;
+            }
+        },
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let jobs_value = flag_value(&args, "--jobs").expect("validated above");
     let ids: Vec<&str> = if args.iter().any(|a| a == "all") {
         experiments::ALL_IDS.to_vec()
     } else {
         args.iter()
-            .filter(|a| !a.starts_with("--"))
+            .filter(|a| !a.starts_with("--") && Some(a.as_str()) != jobs_value)
             .map(String::as_str)
             .collect()
     };
-    let mut failed = false;
-    for id in ids {
-        let start = std::time::Instant::now();
-        match experiments::run(id, quick) {
-            Some(report) => {
-                println!("{report}");
-                eprintln!("[{id} finished in {:.1}s]", start.elapsed().as_secs_f64());
-            }
-            None => {
-                eprintln!("unknown experiment id: {id} (try --list)");
-                failed = true;
-            }
-        }
-    }
-    if failed {
+    if run_experiments(&ids, quick, jobs) {
         ExitCode::FAILURE
     } else {
         ExitCode::SUCCESS

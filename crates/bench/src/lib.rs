@@ -21,3 +21,4 @@ pub mod experiments;
 pub mod kernel_bench;
 pub mod pipeline;
 pub mod report;
+pub mod sim_bench;

@@ -1,0 +1,321 @@
+//! The `repro bench-sim` measurement harness: sweeps the Monte-Carlo
+//! trajectory engine over register widths and emits the
+//! `BENCH_sim.json` trajectory artifact.
+//!
+//! Every figure/table sweep of the reproduction runs thousands of
+//! trajectory trials, so simulator throughput bounds every scenario we
+//! can reproduce. This harness measures the three stages of the kernel
+//! subsystem separately against the pre-subsystem baseline
+//! ([`hammer_sim::TrajectoryEngine::sample_reference`]):
+//!
+//! 1. **gate kernels** — specialized passes, full re-simulation per
+//!    faulty trial, one thread;
+//! 2. **+ checkpointing** — prefix states shared/forked at fault sites;
+//! 3. **+ trial parallelism** — the trial budget split across worker
+//!    threads.
+
+use std::time::Instant;
+
+use hammer_sim::{Circuit, DeviceModel, GateKernels, SimTuning, TrajectoryEngine};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Trials per measured width (scaled down by `--quick`).
+const SEED: u64 = 0x51B7;
+
+/// One measured register width.
+#[derive(Debug, Clone)]
+pub struct SimBenchRow {
+    /// Register width (qubits); the state holds `2^qubits` amplitudes.
+    pub qubits: usize,
+    /// Gate count of the benchmark circuit.
+    pub gates: usize,
+    /// Monte-Carlo trials per configuration.
+    pub trials: u64,
+    /// Wall-clock seconds of the pre-subsystem baseline
+    /// (`sample_reference`: scalar kernels, full re-simulation per
+    /// faulty trial, per-moment idle draws, one thread).
+    pub secs_reference: f64,
+    /// Stage 1: specialized gate kernels only (no checkpointing, one
+    /// thread).
+    pub secs_kernels: f64,
+    /// Stage 2: + prefix checkpointing (one thread).
+    pub secs_checkpoint: f64,
+    /// Stage 3: + trial parallelism at [`SimBenchReport::threads`]
+    /// workers.
+    pub secs_parallel: f64,
+}
+
+impl SimBenchRow {
+    /// Speedup of the specialized kernels alone.
+    #[must_use]
+    pub fn speedup_kernels(&self) -> f64 {
+        self.secs_reference / self.secs_kernels
+    }
+
+    /// Speedup of kernels + checkpointing (single-threaded — the same
+    /// thread count as the baseline).
+    #[must_use]
+    pub fn speedup_checkpoint(&self) -> f64 {
+        self.secs_reference / self.secs_checkpoint
+    }
+
+    /// End-to-end speedup of the full fast path.
+    #[must_use]
+    pub fn speedup_end_to_end(&self) -> f64 {
+        self.secs_reference / self.secs_parallel
+    }
+
+    /// Trial throughput of the full fast path, in trials/second.
+    #[must_use]
+    pub fn trials_per_sec(&self) -> f64 {
+        self.trials as f64 / self.secs_parallel
+    }
+}
+
+/// The full sweep.
+#[derive(Debug, Clone)]
+pub struct SimBenchReport {
+    /// Worker threads used by the trial-parallel stage.
+    pub threads: usize,
+    /// True when run with `--quick` (CI smoke: small sweep).
+    pub quick: bool,
+    /// One row per register width, ascending.
+    pub rows: Vec<SimBenchRow>,
+}
+
+/// The benchmark workload: a layered circuit in the shape of the
+/// paper's benchmarks (Hadamard walls, CX ladders, parametric phase
+/// layers), shallow enough that trials carry the ~1 fault typical of
+/// the NISQ regime the paper evaluates.
+#[must_use]
+pub fn bench_circuit(n: usize) -> Circuit {
+    let mut c = Circuit::new(n);
+    for layer in 0..3 {
+        for q in 0..n {
+            c.h(q);
+        }
+        for q in 0..n - 1 {
+            c.cx(q, q + 1);
+        }
+        for q in 0..n {
+            c.rz(q, 0.17 + 0.31 * (layer as f64) + 0.05 * q as f64);
+        }
+    }
+    c
+}
+
+/// The cumulative stage configurations measured against the
+/// `sample_reference` baseline, in measurement order: specialized
+/// kernels only, + prefix checkpointing, + trial parallelism. Shared
+/// with the criterion `simulator` bench so the two harnesses can never
+/// measure different stages.
+#[must_use]
+pub fn stage_tunings() -> [(&'static str, SimTuning); 3] {
+    let kernels_only = SimTuning {
+        kernels: GateKernels::Specialized,
+        checkpoint: false,
+        threads: 1,
+        gate_parallel_threshold: usize::MAX,
+    };
+    [
+        ("kernels", kernels_only),
+        ("checkpoint", SimTuning::serial()),
+        ("parallel", SimTuning::default()),
+    ]
+}
+
+/// Runs the sweep. Quick mode covers 10 and 12 qubits with small trial
+/// budgets (CI smoke); the full sweep covers {10, 13, 16} qubits —
+/// the 16-qubit row is the issue's ≥ 4x checkpoint.
+#[must_use]
+pub fn run(quick: bool) -> SimBenchReport {
+    let sizes: &[(usize, u64)] = if quick {
+        &[(10, 300), (12, 200)]
+    } else {
+        &[(10, 3000), (13, 1200), (16, 600)]
+    };
+    run_sizes(sizes, quick)
+}
+
+/// The measurement loop behind [`run`], parameterized so tests can
+/// sweep tiny instances without paying for benchmark-scale timings.
+fn run_sizes(sizes: &[(usize, u64)], quick: bool) -> SimBenchReport {
+    let threads = SimTuning::default().threads;
+    let [(_, kernels_only), (_, checkpointed), (_, parallel)] = stage_tunings();
+
+    let mut rows = Vec::new();
+    for &(n, trials) in sizes {
+        let circuit = bench_circuit(n);
+        let device = DeviceModel::ibm_paris(n);
+        let engine = TrajectoryEngine::new(&device);
+
+        let time_sample = |tuning: &SimTuning| {
+            let engine = engine.clone().with_tuning(*tuning);
+            let start = Instant::now();
+            let counts = engine
+                .sample(&circuit, trials, &mut StdRng::seed_from_u64(SEED))
+                .expect("benchmark instance is simulable");
+            assert_eq!(counts.total(), trials);
+            start.elapsed().as_secs_f64()
+        };
+
+        let start = Instant::now();
+        let reference_counts = engine
+            .sample_reference(&circuit, trials, &mut StdRng::seed_from_u64(SEED))
+            .expect("benchmark instance is simulable");
+        let secs_reference = start.elapsed().as_secs_f64();
+        assert_eq!(reference_counts.total(), trials);
+
+        let secs_kernels = time_sample(&kernels_only);
+        let secs_checkpoint = time_sample(&checkpointed);
+        let secs_parallel = time_sample(&parallel);
+
+        rows.push(SimBenchRow {
+            qubits: n,
+            gates: circuit.gate_count(),
+            trials,
+            secs_reference,
+            secs_kernels,
+            secs_checkpoint,
+            secs_parallel,
+        });
+        let r = rows.last().unwrap();
+        eprintln!(
+            "[bench-sim] {n} qubits × {trials} trials: reference {secs_reference:.3} s, \
+             kernels {secs_kernels:.3} s ({:.2}x), +checkpoint {secs_checkpoint:.3} s ({:.2}x), \
+             +threads({threads}) {secs_parallel:.3} s ({:.2}x)",
+            r.speedup_kernels(),
+            r.speedup_checkpoint(),
+            r.speedup_end_to_end(),
+        );
+    }
+    SimBenchReport {
+        threads,
+        quick,
+        rows,
+    }
+}
+
+impl SimBenchReport {
+    /// The end-to-end speedup at the issue's checkpoint width
+    /// (16 qubits), when that row was measured.
+    #[must_use]
+    pub fn speedup_at_16q(&self) -> Option<f64> {
+        self.rows
+            .iter()
+            .find(|r| r.qubits == 16)
+            .map(SimBenchRow::speedup_end_to_end)
+    }
+
+    /// Serializes the sweep as the `BENCH_sim.json` artifact
+    /// (hand-rolled: the workspace has no serde).
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let mut rows = String::new();
+        for (i, r) in self.rows.iter().enumerate() {
+            if i > 0 {
+                rows.push_str(",\n");
+            }
+            rows.push_str(&format!(
+                "    {{\"qubits\": {}, \"gates\": {}, \"trials\": {}, \
+                 \"secs_reference\": {:.6}, \"secs_gate_kernels\": {:.6}, \
+                 \"secs_checkpoint\": {:.6}, \"secs_parallel\": {:.6}, \
+                 \"speedup_gate_kernels\": {:.3}, \"speedup_checkpoint\": {:.3}, \
+                 \"speedup_end_to_end\": {:.3}, \"trials_per_sec\": {:.1}, \
+                 \"measured\": true}}",
+                r.qubits,
+                r.gates,
+                r.trials,
+                r.secs_reference,
+                r.secs_kernels,
+                r.secs_checkpoint,
+                r.secs_parallel,
+                r.speedup_kernels(),
+                r.speedup_checkpoint(),
+                r.speedup_end_to_end(),
+                r.trials_per_sec(),
+            ));
+        }
+        let speedup_16q = self
+            .speedup_at_16q()
+            .map_or_else(|| "null".into(), |s| format!("{s:.3}"));
+        format!(
+            "{{\n  \"artifact\": \"BENCH_sim\",\n  \
+             \"description\": \"TrajectoryEngine::sample trajectory: pre-subsystem baseline \
+             (scalar kernels, full re-simulation per faulty trial) vs the staged fast path \
+             (specialized gate kernels, prefix checkpointing, trial parallelism). Every timed \
+             cell is measured wall clock on the layered benchmark circuit under the ibm_paris \
+             noise model; stage columns are cumulative and stages 1-2 run on one thread, the \
+             same thread count as the baseline.\",\n  \
+             \"device\": \"ibm_paris\",\n  \"threads\": {},\n  \"quick\": {},\n  \
+             \"rows\": [\n{}\n  ],\n  \"speedup_end_to_end_at_16_qubits\": {}\n}}\n",
+            self.threads, self.quick, rows, speedup_16q,
+        )
+    }
+
+    /// A human-readable summary table for the terminal.
+    #[must_use]
+    pub fn render(&self) -> String {
+        use crate::report::{fnum, Table};
+        let mut table = Table::new(&[
+            "qubits",
+            "gates",
+            "trials",
+            "reference (s)",
+            "kernels (s)",
+            "+checkpoint (s)",
+            "+threads (s)",
+            "speedup",
+            "trials/s",
+        ]);
+        for r in &self.rows {
+            table.row_owned(vec![
+                r.qubits.to_string(),
+                r.gates.to_string(),
+                r.trials.to_string(),
+                fnum(r.secs_reference, 3),
+                fnum(r.secs_kernels, 3),
+                fnum(r.secs_checkpoint, 3),
+                fnum(r.secs_parallel, 3),
+                format!("{:.2}x", r.speedup_end_to_end()),
+                fnum(r.trials_per_sec(), 0),
+            ]);
+        }
+        format!(
+            "\n=== bench-sim: trajectory-engine sweep (threads = {}) ===\n{table}",
+            self.threads
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tiny_sweep_measures_and_serializes() {
+        // Benchmark-scale timings belong to the CI `bench-sim --quick`
+        // step; the unit test sweeps tiny instances through the same
+        // loop to guard the measurement + serialization paths.
+        let report = run_sizes(&[(4, 40), (5, 30)], true);
+        assert_eq!(report.rows.len(), 2);
+        assert!(report.rows.iter().all(|r| r.secs_reference > 0.0));
+        let json = report.to_json();
+        assert!(json.contains("\"artifact\": \"BENCH_sim\""));
+        assert!(json.contains("\"qubits\": 4"));
+        // No 16-qubit row in the tiny sweep.
+        assert!(json.contains("\"speedup_end_to_end_at_16_qubits\": null"));
+        let text = report.render();
+        assert!(text.contains("bench-sim") && text.contains('4') && text.contains('5'));
+    }
+
+    #[test]
+    fn bench_circuit_is_representative() {
+        let c = bench_circuit(10);
+        // Mixed gate set: butterflies, permutations and diagonals.
+        assert!(c.cx_count() > 0);
+        assert!(c.gate_count() > 3 * c.cx_count());
+        assert_eq!(c.num_qubits(), 10);
+    }
+}

@@ -6,12 +6,18 @@
 //! * [`Circuit`] / [`Gate`] — the circuit IR (terminal Z-basis
 //!   measurement implied).
 //! * [`StateVector`] — dense ideal simulation up to 24 qubits.
+//! * [`simkernel`] / [`SimTuning`] — the gate-kernel subsystem:
+//!   specialized index-permutation/butterfly passes (threaded above a
+//!   tunable amplitude threshold), with the original scalar loops kept
+//!   as `simkernel::reference`, the correctness oracle.
 //! * [`NoiseModel`] / [`DeviceModel`] — depolarizing gate faults +
 //!   asymmetric readout error, with presets mirroring the paper's
 //!   machines (`ibm_paris`, `ibm_manhattan`, `ibm_casablanca`,
 //!   `google_sycamore`).
 //! * [`TrajectoryEngine`] — exact Monte-Carlo fault injection (gold
-//!   standard, ≈ 14 qubits max in practice).
+//!   standard), with prefix-checkpointed faulty trials and
+//!   thread-parallel trial batches under deterministic per-trial RNG
+//!   streams.
 //! * [`PropagationEngine`] — Clifford-skeleton Pauli propagation, the
 //!   scalable engine behind the 20-qubit sweeps; validated against the
 //!   trajectory engine.
@@ -64,6 +70,7 @@ mod mitigation;
 mod noise;
 mod propagation;
 mod sampler;
+pub mod simkernel;
 mod statevector;
 mod trajectory;
 mod transpile;
@@ -81,6 +88,7 @@ pub use mitigation::ReadoutMitigator;
 pub use noise::{NoiseModel, Pauli, PauliFault, ReadoutError};
 pub use propagation::{PauliMask, PropagationEngine};
 pub use sampler::AliasSampler;
+pub use simkernel::{GateKernels, SimTuning};
 pub use statevector::{simulate_ideal, StateVector, MAX_DENSE_QUBITS};
 pub use trajectory::TrajectoryEngine;
 pub use transpile::{transpile, transpile_with_layout, Transpiled};

@@ -35,19 +35,39 @@ impl AliasSampler {
     /// non-finite value, or sums to zero.
     #[must_use]
     pub fn new(weights: &[f64]) -> Option<Self> {
-        if weights.is_empty() {
+        Self::from_weights_iter(weights.iter().copied())
+    }
+
+    /// Builds the table by streaming weights straight into the
+    /// sampler's own probability buffer — no intermediate weight `Vec`.
+    /// This is what lets the noise engines construct the ideal-outcome
+    /// sampler directly from `2^n` state-vector amplitudes without
+    /// materializing a second `2^n` array first.
+    ///
+    /// Returns `None` under the same conditions as
+    /// [`AliasSampler::new`].
+    #[must_use]
+    pub fn from_weights_iter<I>(weights: I) -> Option<Self>
+    where
+        I: IntoIterator<Item = f64>,
+    {
+        let weights = weights.into_iter();
+        let mut prob: Vec<f64> = Vec::with_capacity(weights.size_hint().0);
+        let mut total = 0.0f64;
+        let mut valid = true;
+        for w in weights {
+            valid &= w.is_finite() && w >= 0.0;
+            total += w;
+            prob.push(w);
+        }
+        if prob.is_empty() || !valid || !total.is_finite() || total <= 0.0 {
             return None;
         }
-        let total: f64 = weights.iter().sum();
-        if !total.is_finite() || total <= 0.0 {
-            return None;
-        }
-        if weights.iter().any(|&w| !w.is_finite() || w < 0.0) {
-            return None;
-        }
-        let n = weights.len();
+        let n = prob.len();
         let scale = n as f64 / total;
-        let mut prob: Vec<f64> = weights.iter().map(|&w| w * scale).collect();
+        for p in &mut prob {
+            *p *= scale;
+        }
         let mut alias = vec![0usize; n];
         let mut small: Vec<usize> = Vec::new();
         let mut large: Vec<usize> = Vec::new();
@@ -143,6 +163,25 @@ mod tests {
             let freq = f64::from(hits[i]) / n as f64;
             assert!((freq - w).abs() < 0.01, "category {i}: {freq} vs {w}");
         }
+    }
+
+    #[test]
+    fn streamed_construction_matches_slice_construction() {
+        let weights = [0.25, 0.5, 0.0, 1.25];
+        let a = AliasSampler::new(&weights).unwrap();
+        let b = AliasSampler::from_weights_iter(weights.iter().copied()).unwrap();
+        let mut r1 = StdRng::seed_from_u64(6);
+        let mut r2 = StdRng::seed_from_u64(6);
+        for _ in 0..1000 {
+            assert_eq!(a.sample(&mut r1), b.sample(&mut r2));
+        }
+    }
+
+    #[test]
+    fn streamed_construction_rejects_degenerate_input() {
+        assert!(AliasSampler::from_weights_iter(std::iter::empty()).is_none());
+        assert!(AliasSampler::from_weights_iter([0.0, 0.0].into_iter()).is_none());
+        assert!(AliasSampler::from_weights_iter([1.0, f64::NAN].into_iter()).is_none());
     }
 
     #[test]

@@ -7,6 +7,7 @@ use rand::Rng;
 use crate::circuit::Circuit;
 use crate::complex::{Complex, C_ONE, C_ZERO};
 use crate::gates::Gate;
+use crate::simkernel::{self, SimTuning};
 
 /// Maximum register width for dense simulation (`2^24` amplitudes ≈
 /// 256 MiB). The paper's largest instance uses 24 qubits.
@@ -64,10 +65,37 @@ impl StateVector {
         sv
     }
 
+    /// Runs `circuit` on `|00…0⟩` under an explicit kernel
+    /// configuration (see [`SimTuning`]).
+    #[must_use]
+    pub fn from_circuit_with(circuit: &Circuit, tuning: &SimTuning) -> Self {
+        let mut sv = Self::new(circuit.num_qubits());
+        sv.apply_circuit_with(circuit, tuning);
+        sv
+    }
+
     /// Number of qubits.
     #[must_use]
     pub fn num_qubits(&self) -> usize {
         self.num_qubits
+    }
+
+    /// Resets to `|00…0⟩` in place, reusing the amplitude buffer.
+    pub fn reset(&mut self) {
+        self.amps.fill(C_ZERO);
+        self.amps[0] = C_ONE;
+    }
+
+    /// Copies another state's amplitudes into this one's buffer —
+    /// the allocation-free `clone` the trajectory engine uses to fork a
+    /// checkpointed prefix per faulty trial.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the widths differ.
+    pub fn copy_from(&mut self, other: &StateVector) {
+        assert_eq!(self.num_qubits, other.num_qubits, "state width mismatch");
+        self.amps.copy_from_slice(&other.amps);
     }
 
     /// Raw amplitudes, index = basis state.
@@ -125,6 +153,15 @@ impl StateVector {
     ///
     /// Panics if the circuit register is wider than the state.
     pub fn apply_circuit(&mut self, circuit: &Circuit) {
+        self.apply_circuit_with(circuit, &SimTuning::serial());
+    }
+
+    /// Applies a whole circuit under an explicit kernel configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the circuit register is wider than the state.
+    pub fn apply_circuit_with(&mut self, circuit: &Circuit, tuning: &SimTuning) {
         assert!(
             circuit.num_qubits() <= self.num_qubits,
             "circuit of {} qubits applied to {}-qubit state",
@@ -132,115 +169,32 @@ impl StateVector {
             self.num_qubits
         );
         for &g in circuit.gates() {
-            self.apply_gate(g);
+            self.apply_gate_with(g, tuning);
         }
     }
 
-    /// Applies a single gate.
+    /// Applies a single gate with the default serial specialized
+    /// kernels.
     pub fn apply_gate(&mut self, gate: Gate) {
-        match gate {
-            Gate::X(q) => self.apply_x(q),
-            Gate::Z(q) => self.apply_phase_flip(q),
-            Gate::Cx(c, t) => self.apply_cx(c, t),
-            Gate::Cz(a, b) => self.apply_cz(a, b),
-            Gate::Swap(a, b) => self.apply_swap(a, b),
-            Gate::Zz(a, b, g) => self.apply_zz(a, b, g),
-            other => {
-                let m = other
-                    .single_qubit_matrix()
-                    .expect("all remaining gates are single-qubit");
-                let q = match other.qubits() {
-                    crate::gates::GateQubits::One(q) => q,
-                    crate::gates::GateQubits::Two(..) => unreachable!("handled above"),
-                };
-                self.apply_single_qubit(q, m);
-            }
-        }
+        self.apply_gate_with(gate, &SimTuning::serial());
     }
 
-    /// Applies a 2×2 unitary to qubit `q`.
+    /// Applies a single gate under an explicit kernel configuration:
+    /// reference or specialized kernels, threaded above
+    /// [`SimTuning::gate_parallel_threshold`].
+    pub fn apply_gate_with(&mut self, gate: Gate, tuning: &SimTuning) {
+        simkernel::apply_gate(&mut self.amps, gate, tuning);
+    }
+
+    /// Applies a 2×2 unitary to qubit `q` (the generic dense butterfly —
+    /// gates with specialized kernels go through [`Self::apply_gate`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is out of range.
     pub fn apply_single_qubit(&mut self, q: usize, m: [[Complex; 2]; 2]) {
         assert!(q < self.num_qubits, "qubit {q} out of range");
-        let step = 1usize << q;
-        let low_mask = step - 1;
-        let half = self.amps.len() / 2;
-        for k in 0..half {
-            let i0 = ((k & !low_mask) << 1) | (k & low_mask);
-            let i1 = i0 | step;
-            let a0 = self.amps[i0];
-            let a1 = self.amps[i1];
-            self.amps[i0] = m[0][0] * a0 + m[0][1] * a1;
-            self.amps[i1] = m[1][0] * a0 + m[1][1] * a1;
-        }
-    }
-
-    fn apply_x(&mut self, q: usize) {
-        assert!(q < self.num_qubits, "qubit {q} out of range");
-        let step = 1usize << q;
-        let low_mask = step - 1;
-        let half = self.amps.len() / 2;
-        for k in 0..half {
-            let i0 = ((k & !low_mask) << 1) | (k & low_mask);
-            self.amps.swap(i0, i0 | step);
-        }
-    }
-
-    fn apply_phase_flip(&mut self, q: usize) {
-        assert!(q < self.num_qubits, "qubit {q} out of range");
-        let bit = 1usize << q;
-        for (i, a) in self.amps.iter_mut().enumerate() {
-            if i & bit != 0 {
-                *a = -*a;
-            }
-        }
-    }
-
-    fn apply_cx(&mut self, c: usize, t: usize) {
-        assert!(c < self.num_qubits && t < self.num_qubits && c != t);
-        let cbit = 1usize << c;
-        let tbit = 1usize << t;
-        for i in 0..self.amps.len() {
-            if i & cbit != 0 && i & tbit == 0 {
-                self.amps.swap(i, i | tbit);
-            }
-        }
-    }
-
-    fn apply_cz(&mut self, a: usize, b: usize) {
-        assert!(a < self.num_qubits && b < self.num_qubits && a != b);
-        let mask = (1usize << a) | (1usize << b);
-        for (i, amp) in self.amps.iter_mut().enumerate() {
-            if i & mask == mask {
-                *amp = -*amp;
-            }
-        }
-    }
-
-    fn apply_swap(&mut self, a: usize, b: usize) {
-        assert!(a < self.num_qubits && b < self.num_qubits && a != b);
-        let abit = 1usize << a;
-        let bbit = 1usize << b;
-        for i in 0..self.amps.len() {
-            // Swap |…a=1…b=0…⟩ with |…a=0…b=1…⟩ once.
-            if i & abit != 0 && i & bbit == 0 {
-                let j = (i & !abit) | bbit;
-                self.amps.swap(i, j);
-            }
-        }
-    }
-
-    /// `exp(−i γ Z⊗Z)`: phase `e^{−iγ}` on even-parity pairs, `e^{+iγ}`
-    /// on odd-parity pairs.
-    fn apply_zz(&mut self, a: usize, b: usize, gamma: f64) {
-        assert!(a < self.num_qubits && b < self.num_qubits && a != b);
-        let abit = 1usize << a;
-        let bbit = 1usize << b;
-        let even = Complex::from_polar_unit(-gamma);
-        let odd = Complex::from_polar_unit(gamma);
-        for (i, amp) in self.amps.iter_mut().enumerate() {
-            let parity = ((i & abit != 0) as u8) ^ ((i & bbit != 0) as u8);
-            *amp *= if parity == 0 { even } else { odd };
-        }
+        simkernel::reference::apply_single_qubit(&mut self.amps, q, m);
     }
 
     /// Measurement probabilities of every basis state (dense, length

@@ -2,22 +2,46 @@
 //! stochastic Pauli fault injection.
 //!
 //! Each trial samples a fault configuration (per-gate depolarizing
-//! events); fault-free trials sample from the cached ideal state, faulty
-//! trials re-simulate the circuit with the sampled Paulis injected after
-//! the faulty gates. Readout errors are applied to every measured
-//! outcome. This is the gold-standard engine: it makes no approximation
-//! beyond the noise model itself.
+//! events plus idle decoherence); fault-free trials sample from the
+//! cached ideal state, faulty trials evolve the circuit with the
+//! sampled Paulis injected. This is the gold-standard engine: it makes
+//! no approximation beyond the noise model itself.
+//!
+//! # The fast path
+//!
+//! The engine no longer re-simulates the whole circuit per faulty
+//! trial. Under the default [`SimTuning`] it:
+//!
+//! * applies gates through the specialized `simkernel` passes
+//!   (index-permutation Paulis, real-coefficient butterflies) instead
+//!   of the generic dense matmul;
+//! * **checkpoints the noise-free prefix**: each batch of faulty trials
+//!   is sorted by first-fault gate index, the shared prefix state is
+//!   evolved once and forked (buffer-reusing copy) per trial, so only
+//!   the suffix after the first fault is simulated per trial;
+//! * draws one geometric/binomial sample per idle period instead of one
+//!   Bernoulli draw per idle moment;
+//! * splits the trial budget across worker threads, each trial owning a
+//!   deterministically-derived RNG stream, so a fixed seed yields
+//!   identical [`Counts`] at any thread count.
+//!
+//! The pre-subsystem path survives as
+//! [`TrajectoryEngine::sample_reference`] (the `repro bench-sim`
+//! baseline); `tests/simkernel_oracle.rs` pins the checkpointed
+//! trajectories to it at the amplitude level.
 
 use hammer_dist::{BitString, Counts};
-use rand::{Rng, RngCore};
+use rand::rngs::StdRng;
+use rand::{Rng, RngCore, SeedableRng};
 
 use crate::circuit::Circuit;
 use crate::device::DeviceModel;
 use crate::engine::NoiseEngine;
 use crate::error::SimError;
 use crate::gates::{Gate, GateQubits};
-use crate::noise::{Pauli, PauliFault};
+use crate::noise::{NoiseModel, Pauli, PauliFault};
 use crate::sampler::AliasSampler;
+use crate::simkernel::SimTuning;
 use crate::statevector::{StateVector, MAX_DENSE_QUBITS};
 
 /// The exact Monte-Carlo noise engine.
@@ -41,13 +65,34 @@ use crate::statevector::{StateVector, MAX_DENSE_QUBITS};
 #[derive(Debug, Clone)]
 pub struct TrajectoryEngine<'a> {
     device: &'a DeviceModel,
+    tuning: SimTuning,
 }
 
 impl<'a> TrajectoryEngine<'a> {
-    /// Creates an engine bound to a device model.
+    /// Creates an engine bound to a device model, with the default
+    /// [`SimTuning`] (specialized kernels, checkpointing, all cores).
     #[must_use]
     pub fn new(device: &'a DeviceModel) -> Self {
-        Self { device }
+        Self {
+            device,
+            tuning: SimTuning::default(),
+        }
+    }
+
+    /// Replaces the performance tuning (kernel tier, checkpointing,
+    /// worker threads). Results are unaffected: a fixed seed yields the
+    /// same [`Counts`] under every tuning with the same fault-sampling
+    /// strategy.
+    #[must_use]
+    pub fn with_tuning(mut self, tuning: SimTuning) -> Self {
+        self.tuning = tuning;
+        self
+    }
+
+    /// The engine's current tuning.
+    #[must_use]
+    pub fn tuning(&self) -> &SimTuning {
+        &self.tuning
     }
 
     /// The device this engine executes on.
@@ -74,6 +119,11 @@ impl<'a> TrajectoryEngine<'a> {
 
     /// Executes `circuit` for `trials` trials.
     ///
+    /// Draws one `u64` from `rng` to derive an independent,
+    /// deterministic RNG stream per trial; everything after that is a
+    /// pure function of the per-trial streams, so the returned
+    /// histogram is identical at any [`SimTuning::threads`] setting.
+    ///
     /// # Errors
     ///
     /// See [`NoiseEngine::sample_counts`].
@@ -87,18 +137,68 @@ impl<'a> TrajectoryEngine<'a> {
         let n = circuit.num_qubits();
         let noise = self.device.noise();
 
+        let workers = (self.tuning.threads.max(1) as u64).min(trials) as usize;
+        let ctx = TrialContext::new(circuit, noise, &self.tuning, workers);
+        let base_seed = rng.next_u64();
+
+        if workers <= 1 {
+            return Ok(run_trial_block(&ctx, base_seed, 0..trials));
+        }
+        let per = trials.div_ceil(workers as u64);
+        let mut merged = Counts::new(n).expect("validated width");
+        crossbeam::thread::scope(|scope| {
+            let ctx = &ctx;
+            let handles: Vec<_> = (0..workers as u64)
+                .map(|w| {
+                    let lo = w * per;
+                    let hi = ((w + 1) * per).min(trials);
+                    scope.spawn(move |_| run_trial_block(ctx, base_seed, lo..hi))
+                })
+                .collect();
+            for handle in handles {
+                let counts = handle.join().expect("trial worker does not panic");
+                for (outcome, c) in counts.iter() {
+                    merged.record_n(outcome, c);
+                }
+            }
+        })
+        .expect("trial worker does not panic");
+        Ok(merged)
+    }
+
+    /// The pre-kernel-subsystem sampling loop, kept verbatim: generic
+    /// scalar gate kernels, a fresh full-circuit re-simulation per
+    /// faulty trial, one Bernoulli draw per idle moment, and a dense
+    /// probability vector for the ideal sampler. This is the `repro
+    /// bench-sim` baseline and the statistical cross-check for the fast
+    /// path.
+    ///
+    /// # Errors
+    ///
+    /// See [`NoiseEngine::sample_counts`].
+    pub fn sample_reference<R: Rng + ?Sized>(
+        &self,
+        circuit: &Circuit,
+        trials: u64,
+        rng: &mut R,
+    ) -> Result<Counts, SimError> {
+        self.validate(circuit, trials)?;
+        let n = circuit.num_qubits();
+        let noise = self.device.noise();
+        let reference = SimTuning::reference();
+
         // Fault probability per gate location.
         let gate_ps: Vec<f64> = circuit
             .gates()
             .iter()
             .map(|g| match g.qubits() {
-                crate::gates::GateQubits::One(q) => noise.p1_for(q),
-                crate::gates::GateQubits::Two(a, b) => noise.p2_for(a, b),
+                GateQubits::One(q) => noise.p1_for(q),
+                GateQubits::Two(a, b) => noise.p2_for(a, b),
             })
             .collect();
 
         // Ideal final state, reused by every fault-free trial.
-        let ideal = StateVector::from_circuit(circuit);
+        let ideal = StateVector::from_circuit_with(circuit, &reference);
         let ideal_sampler = AliasSampler::new(&ideal.probabilities()).expect("normalized state");
 
         // Idle periods only matter when the model has an idle rate.
@@ -152,57 +252,403 @@ impl<'a> TrajectoryEngine<'a> {
             let outcome = if faults.is_empty() {
                 BitString::new(ideal_sampler.sample(rng) as u64, n)
             } else {
-                self.faulty_trajectory(circuit, &faults).sample(rng)
+                let mut sv = StateVector::new(n);
+                evolve_with_faults(&mut sv, circuit, &faults, 0, &reference);
+                sv.sample(rng)
             };
             counts.record(noise.apply_readout(outcome, rng));
         }
         Ok(counts)
     }
+}
 
-    /// Re-simulates the circuit with the given faults injected at their
-    /// recorded positions (idle faults before their gate, gate faults
-    /// after, end faults before measurement). `faults` must be ordered
-    /// by gate index with `End` faults last, which the sampling loop
-    /// guarantees.
-    fn faulty_trajectory(&self, circuit: &Circuit, faults: &[TrialFault]) -> StateVector {
-        let mut sv = StateVector::new(circuit.num_qubits());
-        let mut next = 0usize;
-        for (gi, &g) in circuit.gates().iter().enumerate() {
-            while next < faults.len() {
-                match faults[next] {
-                    TrialFault::BeforeGate { idx, qubit, pauli } if idx == gi => {
-                        sv.apply_gate(pauli_gate(pauli, qubit));
-                        next += 1;
-                    }
-                    _ => break,
-                }
+/// Everything a trial worker needs, borrowed once per `sample` call.
+struct TrialContext<'c> {
+    circuit: &'c Circuit,
+    noise: &'c NoiseModel,
+    /// Checkpointing toggle for the trial workers (from the engine's
+    /// tuning).
+    checkpoint: bool,
+    /// The tuning trial workers evolve states with. When the trial
+    /// budget is already split across multiple workers, per-gate
+    /// threading is disabled here (threshold pushed to `usize::MAX`) —
+    /// the trial-level split saturates the cores, and nesting another
+    /// `threads`-way fan-out per gate per worker would only pay
+    /// spawn/join cost.
+    evolve_tuning: SimTuning,
+    /// Fault probability per gate location.
+    gate_ps: Vec<f64>,
+    /// Per-gate `(qubit, idle_moments)` waits (empty without idle noise).
+    idle_before: Vec<Vec<(usize, usize)>>,
+    /// Trailing idle moments per qubit before measurement.
+    idle_trailing: Vec<usize>,
+    idle_rate: f64,
+    /// Ideal output sampler for fault-free trials, streamed straight
+    /// from the final amplitudes (no dense probability vector).
+    ideal_sampler: AliasSampler,
+    /// Length of the shortest gate prefix whose suffix is entirely
+    /// diagonal. Diagonal gates commute with Z-basis measurement, so
+    /// trajectories stop evolving here; faults in the diagonal tail
+    /// reduce to an outcome bit-flip mask, and trials whose *first*
+    /// fault lands in the tail skip state evolution entirely (ideal
+    /// sample XOR mask).
+    meas_cut: usize,
+}
+
+impl<'c> TrialContext<'c> {
+    fn new(
+        circuit: &'c Circuit,
+        noise: &'c NoiseModel,
+        tuning: &SimTuning,
+        workers: usize,
+    ) -> Self {
+        let gate_ps = circuit
+            .gates()
+            .iter()
+            .map(|g| match g.qubits() {
+                GateQubits::One(q) => noise.p1_for(q),
+                GateQubits::Two(a, b) => noise.p2_for(a, b),
+            })
+            .collect();
+        let ideal = StateVector::from_circuit_with(circuit, tuning);
+        let ideal_sampler =
+            AliasSampler::from_weights_iter(ideal.amplitudes().iter().map(|a| a.norm_sqr()))
+                .expect("normalized state");
+        let idle_rate = noise.idle();
+        let (idle_before, idle_trailing) = if idle_rate > 0.0 {
+            circuit.idle_periods()
+        } else {
+            (Vec::new(), Vec::new())
+        };
+        let gates = circuit.gates();
+        let meas_cut = gates.len() - gates.iter().rev().take_while(|g| g.is_diagonal()).count();
+        let evolve_tuning = if workers > 1 {
+            SimTuning {
+                gate_parallel_threshold: usize::MAX,
+                ..*tuning
             }
-            sv.apply_gate(g);
-            while next < faults.len() {
-                match faults[next] {
-                    TrialFault::AfterGate { idx, fault } if idx == gi => {
-                        let (qa, qb) = match g.qubits() {
-                            GateQubits::One(a) => (a, None),
-                            GateQubits::Two(a, b) => (a, Some(b)),
-                        };
-                        if let Some(p) = fault.first {
-                            sv.apply_gate(pauli_gate(p, qa));
-                        }
-                        if let (Some(p), Some(b)) = (fault.second, qb) {
-                            sv.apply_gate(pauli_gate(p, b));
-                        }
-                        next += 1;
+        } else {
+            *tuning
+        };
+        Self {
+            circuit,
+            noise,
+            checkpoint: tuning.checkpoint,
+            evolve_tuning,
+            gate_ps,
+            idle_before,
+            idle_trailing,
+            idle_rate,
+            ideal_sampler,
+            meas_cut,
+        }
+    }
+}
+
+/// A faulty trial carried from the sampling phase to the simulation
+/// phase: its fault set, the prefix length it can share, and its RNG
+/// stream (resumed for outcome sampling and readout).
+struct FaultyTrial {
+    /// Gates `0..fork` are noise-free and shareable with other trials.
+    fork: usize,
+    faults: Vec<TrialFault>,
+    rng: StdRng,
+}
+
+/// The per-trial RNG stream: independent of thread count by
+/// construction (`trial` indexes the stream, not the worker).
+fn trial_rng(base_seed: u64, trial: u64) -> StdRng {
+    StdRng::seed_from_u64(base_seed ^ trial.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+}
+
+/// Runs one contiguous block of trials and tallies its outcomes.
+///
+/// Phase A samples every trial's fault configuration (resolving
+/// fault-free trials immediately off the ideal sampler); phase B sorts
+/// the faulty trials by first-fault site and simulates them off a
+/// shared, incrementally-advanced prefix state.
+fn run_trial_block(ctx: &TrialContext<'_>, base_seed: u64, range: std::ops::Range<u64>) -> Counts {
+    let n = ctx.circuit.num_qubits();
+    let gate_count = ctx.circuit.gate_count();
+    let mut counts = Counts::new(n).expect("validated width");
+
+    // Phase A: fault sampling.
+    let mut faulty: Vec<FaultyTrial> = Vec::new();
+    let mut scratch_faults: Vec<TrialFault> = Vec::new();
+    for t in range {
+        let mut rng = trial_rng(base_seed, t);
+        scratch_faults.clear();
+        sample_faults(ctx, &mut scratch_faults, &mut rng);
+        if scratch_faults.is_empty() {
+            let outcome = BitString::new(ctx.ideal_sampler.sample(&mut rng) as u64, n);
+            counts.record(ctx.noise.apply_readout(outcome, &mut rng));
+        } else {
+            let fork = match scratch_faults[0] {
+                TrialFault::BeforeGate { idx, .. } | TrialFault::AfterGate { idx, .. } => idx,
+                TrialFault::End { .. } => gate_count,
+            };
+            faulty.push(FaultyTrial {
+                fork,
+                faults: std::mem::take(&mut scratch_faults),
+                rng,
+            });
+        }
+    }
+
+    // Phase B: faulty-trial simulation.
+    let checkpoint = ctx.checkpoint;
+    if checkpoint {
+        // Sort by fork point so the shared prefix only ever advances.
+        faulty.sort_by_key(|f| f.fork);
+    }
+    let mut prefix = StateVector::new(n);
+    let mut prefix_len = 0usize;
+    let mut scratch = StateVector::new(n);
+    for trial in &mut faulty {
+        // Trials whose first fault lands in the diagonal tail need no
+        // state evolution at all: the pre-tail state has the ideal
+        // measurement distribution, and tail faults only flip bits.
+        if trial.fork >= ctx.meas_cut {
+            let mask = tail_flip_mask(ctx.circuit, &trial.faults, 0);
+            let raw = ctx.ideal_sampler.sample(&mut trial.rng) as u64 ^ mask;
+            let outcome = BitString::new(raw, n);
+            counts.record(ctx.noise.apply_readout(outcome, &mut trial.rng));
+            continue;
+        }
+        let fork = if checkpoint { trial.fork } else { 0 };
+        if checkpoint {
+            for &g in &ctx.circuit.gates()[prefix_len..fork] {
+                prefix.apply_gate_with(g, &ctx.evolve_tuning);
+            }
+            prefix_len = fork;
+            scratch.copy_from(&prefix);
+        } else {
+            scratch.reset();
+        }
+        let mask = evolve_window_masked(
+            &mut scratch,
+            ctx.circuit,
+            &trial.faults,
+            fork,
+            ctx.meas_cut,
+            &ctx.evolve_tuning,
+        );
+        let raw = scratch.sample(&mut trial.rng).as_u64() ^ mask;
+        let outcome = BitString::new(raw, n);
+        counts.record(ctx.noise.apply_readout(outcome, &mut trial.rng));
+    }
+    counts
+}
+
+/// Samples one trial's fault configuration, ordered by gate index with
+/// `End` faults last.
+///
+/// Idle periods draw a single geometric/binomial sample per period
+/// (one RNG draw per *fault* plus one, instead of one per idle
+/// *moment*), which is the distribution-preserving replacement for the
+/// old per-moment Bernoulli loop — see the RNG-stream note on the
+/// seeded-determinism test.
+fn sample_faults(ctx: &TrialContext<'_>, faults: &mut Vec<TrialFault>, rng: &mut StdRng) {
+    for (i, (&p, g)) in ctx.gate_ps.iter().zip(ctx.circuit.gates()).enumerate() {
+        if ctx.idle_rate > 0.0 {
+            for &(q, moments) in &ctx.idle_before[i] {
+                for_each_geometric_hit(rng, moments, ctx.idle_rate, |rng| {
+                    faults.push(TrialFault::BeforeGate {
+                        idx: i,
+                        qubit: q,
+                        pauli: Pauli::random(rng),
+                    });
+                });
+            }
+        }
+        if p > 0.0 && rng.gen::<f64>() < p {
+            let fault = if g.is_two_qubit() {
+                PauliFault::random_double(rng)
+            } else {
+                PauliFault::random_single(rng)
+            };
+            faults.push(TrialFault::AfterGate { idx: i, fault });
+        }
+    }
+    if ctx.idle_rate > 0.0 {
+        for (q, &moments) in ctx.idle_trailing.iter().enumerate() {
+            for_each_geometric_hit(rng, moments, ctx.idle_rate, |rng| {
+                faults.push(TrialFault::End {
+                    qubit: q,
+                    pauli: Pauli::random(rng),
+                });
+            });
+        }
+    }
+}
+
+/// Calls `hit` once per fault in an idle period of `moments` slots with
+/// per-moment fault probability `rate`, skipping fault-free moments
+/// with geometric jumps: `floor(ln(1−u) / ln(1−rate))` failures precede
+/// each success, so the total count is exactly `Binomial(moments,
+/// rate)`-distributed at a cost of one uniform draw per fault plus one.
+fn for_each_geometric_hit<R, F>(rng: &mut R, moments: usize, rate: f64, mut hit: F)
+where
+    R: Rng + ?Sized,
+    F: FnMut(&mut R),
+{
+    if moments == 0 || rate <= 0.0 {
+        return;
+    }
+    if rate >= 1.0 {
+        for _ in 0..moments {
+            hit(rng);
+        }
+        return;
+    }
+    let denom = (1.0 - rate).ln();
+    let mut pos = 0usize;
+    loop {
+        let u: f64 = rng.gen();
+        // (1 − u) ∈ (0, 1]: the ratio is a finite non-negative float;
+        // the saturating `as` cast handles the enormous-skip tail.
+        let skip = ((1.0 - u).ln() / denom) as usize;
+        match pos.checked_add(skip) {
+            Some(p) if p < moments => {
+                hit(rng);
+                pos = p + 1;
+            }
+            _ => break,
+        }
+    }
+}
+
+/// Evolves `sv` through `circuit.gates()[start..meas_cut]` with the
+/// given faults injected at their recorded positions, and returns the
+/// measurement bit-flip mask of every fault at or beyond `meas_cut`.
+///
+/// Gates past `meas_cut` are diagonal, so they never change the
+/// measurement distribution; a Pauli fault landing among them only
+/// matters through its bit-flip action (X/Y) on the sampled outcome.
+/// `faults` must be ordered by gate index with `End` faults last and
+/// contain no fault site before `start`.
+fn evolve_window_masked(
+    sv: &mut StateVector,
+    circuit: &Circuit,
+    faults: &[TrialFault],
+    start: usize,
+    meas_cut: usize,
+    tuning: &SimTuning,
+) -> u64 {
+    let mut next = 0usize;
+    for (gi, &g) in circuit.gates()[..meas_cut].iter().enumerate().skip(start) {
+        while next < faults.len() {
+            match faults[next] {
+                TrialFault::BeforeGate { idx, qubit, pauli } if idx == gi => {
+                    sv.apply_gate_with(pauli_gate(pauli, qubit), tuning);
+                    next += 1;
+                }
+                _ => break,
+            }
+        }
+        sv.apply_gate_with(g, tuning);
+        while next < faults.len() {
+            match faults[next] {
+                TrialFault::AfterGate { idx, fault } if idx == gi => {
+                    let (qa, qb) = match g.qubits() {
+                        GateQubits::One(a) => (a, None),
+                        GateQubits::Two(a, b) => (a, Some(b)),
+                    };
+                    if let Some(p) = fault.first {
+                        sv.apply_gate_with(pauli_gate(p, qa), tuning);
                     }
-                    _ => break,
+                    if let (Some(p), Some(b)) = (fault.second, qb) {
+                        sv.apply_gate_with(pauli_gate(p, b), tuning);
+                    }
+                    next += 1;
+                }
+                _ => break,
+            }
+        }
+    }
+    tail_flip_mask(circuit, faults, next)
+}
+
+/// The measurement bit-flip mask of the faults `faults[from..]`, all of
+/// which sit in the diagonal tail (or after the last gate): X and Y
+/// flip their qubit's outcome bit, Z leaves it unchanged.
+fn tail_flip_mask(circuit: &Circuit, faults: &[TrialFault], from: usize) -> u64 {
+    let mut mask = 0u64;
+    let mut flip = |pauli: Pauli, qubit: usize| {
+        if pauli.flips_measurement() {
+            mask ^= 1u64 << qubit;
+        }
+    };
+    for f in &faults[from..] {
+        match *f {
+            TrialFault::BeforeGate { qubit, pauli, .. } | TrialFault::End { qubit, pauli } => {
+                flip(pauli, qubit);
+            }
+            TrialFault::AfterGate { idx, fault } => {
+                let (qa, qb) = match circuit.gates()[idx].qubits() {
+                    GateQubits::One(a) => (a, None),
+                    GateQubits::Two(a, b) => (a, Some(b)),
+                };
+                if let Some(p) = fault.first {
+                    flip(p, qa);
+                }
+                if let (Some(p), Some(b)) = (fault.second, qb) {
+                    flip(p, b);
                 }
             }
         }
-        for f in &faults[next..] {
-            if let TrialFault::End { qubit, pauli } = *f {
-                sv.apply_gate(pauli_gate(pauli, qubit));
+    }
+    mask
+}
+
+/// Evolves `sv` through `circuit.gates()[start..]` with the given
+/// faults injected at their recorded positions (idle faults before
+/// their gate, gate faults after, end faults before measurement) —
+/// the original full-evolution loop, kept verbatim for
+/// [`TrajectoryEngine::sample_reference`]. `faults` must be ordered by
+/// gate index with `End` faults last.
+fn evolve_with_faults(
+    sv: &mut StateVector,
+    circuit: &Circuit,
+    faults: &[TrialFault],
+    start: usize,
+    tuning: &SimTuning,
+) {
+    let mut next = 0usize;
+    for (gi, &g) in circuit.gates().iter().enumerate().skip(start) {
+        while next < faults.len() {
+            match faults[next] {
+                TrialFault::BeforeGate { idx, qubit, pauli } if idx == gi => {
+                    sv.apply_gate_with(pauli_gate(pauli, qubit), tuning);
+                    next += 1;
+                }
+                _ => break,
             }
         }
-        sv
+        sv.apply_gate_with(g, tuning);
+        while next < faults.len() {
+            match faults[next] {
+                TrialFault::AfterGate { idx, fault } if idx == gi => {
+                    let (qa, qb) = match g.qubits() {
+                        GateQubits::One(a) => (a, None),
+                        GateQubits::Two(a, b) => (a, Some(b)),
+                    };
+                    if let Some(p) = fault.first {
+                        sv.apply_gate_with(pauli_gate(p, qa), tuning);
+                    }
+                    if let (Some(p), Some(b)) = (fault.second, qb) {
+                        sv.apply_gate_with(pauli_gate(p, b), tuning);
+                    }
+                    next += 1;
+                }
+                _ => break,
+            }
+        }
+    }
+    for f in &faults[next..] {
+        if let TrialFault::End { qubit, pauli } = *f {
+            sv.apply_gate_with(pauli_gate(pauli, qubit), tuning);
+        }
     }
 }
 
@@ -374,6 +820,14 @@ mod tests {
         assert!(p_q1_flipped > 0.05, "idle noise should be visible");
     }
 
+    /// RNG-stream note: since the kernel-subsystem rewrite the engine
+    /// derives one independent stream per trial from a single draw off
+    /// the caller's generator, and idle periods consume one draw per
+    /// *fault* (geometric skips) instead of one per idle *moment*. The
+    /// sampled noise distribution is unchanged, but the concrete
+    /// histogram for a given seed differs from the pre-rewrite engine —
+    /// this test pins determinism (same seed ⇒ same counts), not any
+    /// particular stream.
     #[test]
     fn deterministic_under_fixed_seed() {
         let device = DeviceModel::ibm_paris(4);
@@ -385,6 +839,59 @@ mod tests {
             .sample(&ghz(4), 500, &mut StdRng::seed_from_u64(7))
             .unwrap();
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn thread_count_does_not_change_counts() {
+        let device = DeviceModel::ibm_paris(5);
+        let circuit = ghz(5);
+        let reference = TrajectoryEngine::new(&device)
+            .with_tuning(SimTuning::default().with_threads(1))
+            .sample(&circuit, 600, &mut StdRng::seed_from_u64(9))
+            .unwrap();
+        for threads in [2, 3, 7] {
+            let got = TrajectoryEngine::new(&device)
+                .with_tuning(SimTuning::default().with_threads(threads))
+                .sample(&circuit, 600, &mut StdRng::seed_from_u64(9))
+                .unwrap();
+            assert_eq!(got, reference, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn checkpointing_does_not_change_counts() {
+        let device = DeviceModel::ibm_paris(4);
+        let circuit = ghz(4);
+        let mut no_ckpt = SimTuning::serial();
+        no_ckpt.checkpoint = false;
+        let a = TrajectoryEngine::new(&device)
+            .with_tuning(SimTuning::serial())
+            .sample(&circuit, 800, &mut StdRng::seed_from_u64(13))
+            .unwrap();
+        let b = TrajectoryEngine::new(&device)
+            .with_tuning(no_ckpt)
+            .sample(&circuit, 800, &mut StdRng::seed_from_u64(13))
+            .unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn reference_and_fast_paths_agree_statistically() {
+        let device = DeviceModel::ibm_paris(5);
+        let engine = TrajectoryEngine::new(&device);
+        let circuit = ghz(5);
+        let fast = engine
+            .sample(&circuit, 6000, &mut StdRng::seed_from_u64(17))
+            .unwrap()
+            .to_distribution();
+        let slow = engine
+            .sample_reference(&circuit, 6000, &mut StdRng::seed_from_u64(17))
+            .unwrap()
+            .to_distribution();
+        let correct = [BitString::zeros(5), BitString::ones(5)];
+        let pf = metrics::pst(&fast, &correct);
+        let ps = metrics::pst(&slow, &correct);
+        assert!((pf - ps).abs() < 0.05, "fast {pf} vs reference {ps}");
     }
 
     #[test]
