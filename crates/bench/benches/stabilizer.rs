@@ -1,0 +1,85 @@
+//! Stabilizer-subsystem throughput: tableau construction, closed-form
+//! support extraction, and noisy wide-register sampling across widths
+//! no dense engine can touch.
+//!
+//! `cargo bench --bench stabilizer -- --test` runs everything once in
+//! smoke mode and shrinks the sweep — that is what CI exercises.
+//! `repro bench-stab` is the canonical artifact emitter for the
+//! measured wide-register trajectory (`BENCH_stab.json`).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hammer_bench::stab_bench::wide_bv_key;
+use hammer_circuits::BernsteinVazirani;
+use hammer_sim::stabilizer::Tableau;
+use hammer_sim::{DeviceModel, StabilizerEngine, TrajectoryEngine};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn widths(c: &Criterion) -> &'static [usize] {
+    if c.smoke() {
+        &[64]
+    } else {
+        &[32, 64, 96, 127]
+    }
+}
+
+/// Tableau evolution + support extraction for wide BV circuits.
+fn bench_tableau(c: &mut Criterion) {
+    let sizes = widths(c);
+    let mut group = c.benchmark_group("tableau");
+    for &w in sizes {
+        let circuit = BernsteinVazirani::new(wide_bv_key(w)).circuit();
+        group.bench_with_input(BenchmarkId::new("evolve", w), &circuit, |b, circ| {
+            b.iter(|| Tableau::from_circuit(circ));
+        });
+        let tableau = Tableau::from_circuit(&circuit);
+        group.bench_with_input(BenchmarkId::new("support", w), &tableau, |b, t| {
+            b.iter(|| t.output_support());
+        });
+    }
+    group.finish();
+}
+
+/// Noisy end-to-end sampling throughput on the stabilizer engine.
+fn bench_sampling(c: &mut Criterion) {
+    let (sizes, trials): (&[usize], u64) = if c.smoke() {
+        (&[64], 256)
+    } else {
+        (&[32, 64, 96, 127], 2048)
+    };
+    let mut group = c.benchmark_group("stabilizer_sampling");
+    for &w in sizes {
+        let circuit = BernsteinVazirani::new(wide_bv_key(w)).circuit();
+        let device = DeviceModel::google_sycamore(circuit.num_qubits());
+        group.bench_with_input(BenchmarkId::new("bv", w), &circuit, |b, circ| {
+            let engine = StabilizerEngine::new(&device);
+            let mut rng = StdRng::seed_from_u64(0x57AB);
+            b.iter(|| engine.sample(circ, trials, &mut rng).unwrap());
+        });
+    }
+    group.finish();
+}
+
+/// Head-to-head at a dense-simulable width: the tableau path vs the
+/// dense trajectory engine on the identical (seed-compatible) workload.
+fn bench_vs_dense(c: &mut Criterion) {
+    let trials: u64 = if c.smoke() { 128 } else { 1024 };
+    let n = 14usize;
+    let circuit = BernsteinVazirani::new(wide_bv_key(n - 1)).circuit();
+    let device = DeviceModel::google_sycamore(n);
+    let mut group = c.benchmark_group("stabilizer_vs_dense_bv14");
+    group.bench_function("stabilizer", |b| {
+        let engine = StabilizerEngine::new(&device);
+        let mut rng = StdRng::seed_from_u64(0xD0E);
+        b.iter(|| engine.sample(&circuit, trials, &mut rng).unwrap());
+    });
+    group.bench_function("dense", |b| {
+        let engine = TrajectoryEngine::new(&device);
+        let mut rng = StdRng::seed_from_u64(0xD0E);
+        b.iter(|| engine.sample(&circuit, trials, &mut rng).unwrap());
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_tableau, bench_sampling, bench_vs_dense);
+criterion_main!(benches);

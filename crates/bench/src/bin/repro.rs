@@ -7,6 +7,7 @@
 //! repro fig8b fig9a table3 [--quick]
 //! repro bench-kernel [--quick] [--out PATH]
 //! repro bench-sim [--quick] [--out PATH]
+//! repro bench-stab [--quick] [--out PATH]
 //! repro --list
 //! ```
 //!
@@ -21,7 +22,7 @@ use std::process::ExitCode;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
-use hammer_bench::{experiments, kernel_bench, sim_bench};
+use hammer_bench::{experiments, kernel_bench, sim_bench, stab_bench};
 
 /// Runs one of the JSON-artifact bench subcommands and writes its
 /// output file.
@@ -33,6 +34,10 @@ fn run_bench_artifact(name: &str, quick: bool, out_path: &str) -> ExitCode {
         }
         "bench-sim" => {
             let report = sim_bench::run(quick);
+            (report.render(), report.to_json())
+        }
+        "bench-stab" => {
+            let report = stab_bench::run(quick);
             (report.render(), report.to_json())
         }
         other => unreachable!("unknown bench subcommand {other}"),
@@ -118,6 +123,7 @@ fn main() -> ExitCode {
         eprintln!("usage: repro <experiment-id>... | all [--quick] [--jobs N]");
         eprintln!("       repro bench-kernel [--quick] [--out PATH]");
         eprintln!("       repro bench-sim [--quick] [--out PATH]");
+        eprintln!("       repro bench-stab [--quick] [--out PATH]");
         eprintln!("       repro --list");
         return ExitCode::FAILURE;
     }
@@ -128,10 +134,9 @@ fn main() -> ExitCode {
         return ExitCode::SUCCESS;
     }
     let quick = args.iter().any(|a| a == "--quick");
-    if let Some(bench) = args
-        .iter()
-        .find(|a| a.as_str() == "bench-kernel" || a.as_str() == "bench-sim")
-    {
+    if let Some(bench) = args.iter().find(|a| {
+        a.as_str() == "bench-kernel" || a.as_str() == "bench-sim" || a.as_str() == "bench-stab"
+    }) {
         let out_value = match flag_value(&args, "--out") {
             Ok(v) => v,
             Err(e) => {
@@ -139,10 +144,10 @@ fn main() -> ExitCode {
                 return ExitCode::FAILURE;
             }
         };
-        let default_out = if bench == "bench-kernel" {
-            "BENCH_kernel.json"
-        } else {
-            "BENCH_sim.json"
+        let default_out = match bench.as_str() {
+            "bench-kernel" => "BENCH_kernel.json",
+            "bench-sim" => "BENCH_sim.json",
+            _ => "BENCH_stab.json",
         };
         // Refuse to silently drop experiment ids passed alongside the
         // subcommand (the out path itself is not an id).

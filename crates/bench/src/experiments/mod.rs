@@ -51,6 +51,7 @@ pub const ALL_IDS: &[&str] = &[
     "sec64-ibm-qaoa",
     "ext-edm",
     "ext-idle",
+    "ext-wide",
 ];
 
 /// Runs one experiment by id; `quick` shrinks instance counts, sizes and
@@ -92,6 +93,7 @@ pub fn run(id: &str, quick: bool) -> Option<String> {
         "sec64-ibm-qaoa" => extensions::sec64_ibm_qaoa(quick),
         "ext-edm" => extensions::ext_edm(quick),
         "ext-idle" => extensions::ext_idle(quick),
+        "ext-wide" => extensions::ext_wide(quick),
         _ => return None,
     };
     Some(report)

@@ -125,7 +125,11 @@ fn run_sizes(
     let mut rows = Vec::new();
     for &n in sizes {
         let (keys, probs) = synthetic_soa(n, &mut rng);
-        let entries: Vec<(u64, f64)> = keys.iter().copied().zip(probs.iter().copied()).collect();
+        let entries: Vec<(u128, f64)> = keys
+            .iter()
+            .map(|&k| u128::from(k))
+            .zip(probs.iter().copied())
+            .collect();
 
         let start = Instant::now();
         let blocked = kernel::scores(&keys, &probs, &weights, filter, &tuning);

@@ -22,3 +22,4 @@ pub mod kernel_bench;
 pub mod pipeline;
 pub mod report;
 pub mod sim_bench;
+pub mod stab_bench;

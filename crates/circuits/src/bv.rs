@@ -42,12 +42,13 @@ impl BernsteinVazirani {
     ///
     /// # Panics
     ///
-    /// Panics if the key is wider than 63 bits (one qubit is reserved
-    /// for the ancilla).
+    /// Panics if the key is wider than 127 bits (one qubit is reserved
+    /// for the ancilla; keys past 63 bits run on the stabilizer path —
+    /// the whole circuit is Clifford).
     #[must_use]
     pub fn new(key: BitString) -> Self {
         assert!(
-            key.len() <= 63,
+            key.len() <= 127,
             "key of {} bits leaves no room for the ancilla",
             key.len()
         );
@@ -105,7 +106,7 @@ impl BernsteinVazirani {
     #[must_use]
     pub fn expected_full_outcome(&self) -> BitString {
         let n = self.key.len();
-        BitString::new(self.key.as_u64() | (1 << n), n + 1)
+        BitString::from_u128(self.key.as_u128() | (1 << n), n + 1)
     }
 
     /// Indices of the data qubits, for marginalizing out the ancilla.
@@ -197,5 +198,27 @@ mod tests {
         full.record_n(bs("011"), 3); // ancilla 0, data 11
         let data = bench.data_counts(&full);
         assert_eq!(data.count(bs("11")), 10);
+    }
+
+    #[test]
+    fn wide_keys_build_clifford_circuits() {
+        // A 100-bit key: the circuit spans 101 qubits and stays
+        // Clifford end to end (the stabilizer engine's precondition).
+        let key = BitString::ones(100).flip_bit(7).flip_bit(93);
+        let bench = BernsteinVazirani::new(key);
+        assert_eq!(bench.num_qubits(), 101);
+        let c = bench.circuit();
+        assert!(c.is_clifford());
+        assert_eq!(c.cx_count(), 98);
+        let expected = bench.expected_full_outcome();
+        assert_eq!(expected.len(), 101);
+        assert!(expected.bit(100), "ancilla bit set");
+        assert!(!expected.bit(7) && !expected.bit(93) && expected.bit(40));
+    }
+
+    #[test]
+    #[should_panic(expected = "no room for the ancilla")]
+    fn key_cap_is_127() {
+        let _ = BernsteinVazirani::new(BitString::ones(128));
     }
 }

@@ -5,10 +5,12 @@ use hammer_sim::Circuit;
 
 /// The `n`-qubit GHZ preparation circuit: `H` on qubit 0 followed by a
 /// CX ladder. Ideal output: an equal mixture of `00…0` and `11…1`.
+/// Clifford-only, so any width up to 128 samples exactly on the
+/// stabilizer path.
 ///
 /// # Panics
 ///
-/// Panics if `n` is zero or exceeds 64.
+/// Panics if `n` is zero or exceeds 128.
 ///
 /// # Example
 ///

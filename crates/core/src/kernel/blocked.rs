@@ -188,8 +188,11 @@ mod tests {
         (keys, probs)
     }
 
-    fn entries(keys: &[u64], probs: &[f64]) -> Vec<(u64, f64)> {
-        keys.iter().copied().zip(probs.iter().copied()).collect()
+    fn entries(keys: &[u64], probs: &[f64]) -> Vec<(u128, f64)> {
+        keys.iter()
+            .map(|&k| u128::from(k))
+            .zip(probs.iter().copied())
+            .collect()
     }
 
     #[test]

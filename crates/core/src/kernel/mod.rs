@@ -37,9 +37,14 @@
 //!    threads, bounding load imbalance by one tile where the PR 1
 //!    static `chunks_mut` split was bounded by `N / threads`.
 //!
-//! The PR 1 scalar kernel survives unchanged in [`reference`] as the
-//! correctness oracle (property-tested to `≤ 1e-9` agreement) and the
-//! speedup baseline recorded by `repro bench-kernel`.
+//! The PR 1 scalar kernel survives in [`reference`] (keys widened to
+//! `u128` when the workspace grew 64–128-qubit registers, loop
+//! structure untouched) as the correctness oracle (property-tested to
+//! `≤ 1e-9` agreement) and the speedup baseline recorded by `repro
+//! bench-kernel`. Registers wider than 64 bits run through the
+//! two-limb twin of this kernel in [`wide`]; the functions in this
+//! module keep the single-`u64` fast path for everything the dense
+//! simulator can produce.
 
 use crate::config::{FilterRule, KernelTuning};
 
@@ -47,6 +52,7 @@ mod blocked;
 pub mod reference;
 mod schedule;
 mod weights;
+pub mod wide;
 
 pub use weights::PaddedWeights;
 
@@ -184,8 +190,11 @@ mod tests {
         (keys, probs)
     }
 
-    fn entries(keys: &[u64], probs: &[f64]) -> Vec<(u64, f64)> {
-        keys.iter().copied().zip(probs.iter().copied()).collect()
+    fn entries(keys: &[u64], probs: &[f64]) -> Vec<(u128, f64)> {
+        keys.iter()
+            .map(|&k| u128::from(k))
+            .zip(probs.iter().copied())
+            .collect()
     }
 
     #[test]

@@ -2,8 +2,11 @@
 //! oracle**.
 //!
 //! This is the simplest correct statement of Algorithm 1's pairwise
-//! pass: array-of-structs `(u64, f64)` entries, one XOR + POPCNT +
-//! branch per pair, static `chunks_mut` parallelism. The optimized
+//! pass: array-of-structs `(u128, f64)` entries, one XOR + POPCNT +
+//! branch per pair, static `chunks_mut` parallelism. (The keys widened
+//! from `u64` to `u128` when the workspace grew 64–128-qubit registers;
+//! the loop structure is otherwise the PR 1 kernel, and it doubles as
+//! the oracle for both the narrow and the wide blocked kernels.) The optimized
 //! kernel in the parent module is property-tested against it
 //! (`crates/core/tests/kernel_oracle.rs`), and `repro bench-kernel` records
 //! speedups relative to it — so it must stay untouched by further
@@ -14,7 +17,7 @@ use crate::config::FilterRule;
 /// Computes the distribution-wide CHS of Algorithm 1 (lines 3–8):
 /// `chs[d] = Σ_x Σ_y [hamming(x,y) = d] · P(y)` for `d < max_d`.
 #[must_use]
-pub fn global_chs(entries: &[(u64, f64)], max_d: usize) -> Vec<f64> {
+pub fn global_chs(entries: &[(u128, f64)], max_d: usize) -> Vec<f64> {
     let mut out = vec![0.0; max_d];
     for &(xk, _) in entries {
         for &(yk, py) in entries {
@@ -31,7 +34,7 @@ pub fn global_chs(entries: &[(u64, f64)], max_d: usize) -> Vec<f64> {
 /// (Algorithm 1 lines 16–21): for each `x`,
 /// `score(x) = P(x) + Σ_y [hd(x,y) < max_d ∧ filter(x,y)] · W[d] · P(y)`.
 #[must_use]
-pub fn scores(entries: &[(u64, f64)], weights: &[f64], filter: FilterRule) -> Vec<f64> {
+pub fn scores(entries: &[(u128, f64)], weights: &[f64], filter: FilterRule) -> Vec<f64> {
     entries
         .iter()
         .map(|&(xk, px)| score_one(xk, px, entries, weights, filter))
@@ -41,9 +44,9 @@ pub fn scores(entries: &[(u64, f64)], weights: &[f64], filter: FilterRule) -> Ve
 /// Score of a single string against the whole distribution.
 #[must_use]
 pub fn score_one(
-    xk: u64,
+    xk: u128,
     px: f64,
-    entries: &[(u64, f64)],
+    entries: &[(u128, f64)],
     weights: &[f64],
     filter: FilterRule,
 ) -> f64 {
@@ -75,7 +78,7 @@ pub fn score_one(
 /// for small inputs where spawning would dominate.
 #[must_use]
 pub fn scores_parallel(
-    entries: &[(u64, f64)],
+    entries: &[(u128, f64)],
     weights: &[f64],
     filter: FilterRule,
     threads: usize,
@@ -104,7 +107,7 @@ pub fn scores_parallel(
 mod tests {
     use super::*;
 
-    fn entries() -> Vec<(u64, f64)> {
+    fn entries() -> Vec<(u128, f64)> {
         vec![
             (0b111, 0.30),
             (0b101, 0.40),
@@ -168,13 +171,13 @@ mod tests {
     #[test]
     fn parallel_matches_serial() {
         // Build a larger synthetic distribution to cross the threshold.
-        let mut e = Vec::new();
+        let mut e: Vec<(u128, f64)> = Vec::new();
         let mut state = 12345u64;
         for i in 0..4096u64 {
             state = state
                 .wrapping_mul(6_364_136_223_846_793_005)
                 .wrapping_add(1);
-            e.push((state % (1 << 12), 1.0 + (i % 7) as f64));
+            e.push((u128::from(state % (1 << 12)), 1.0 + (i % 7) as f64));
         }
         let w = vec![0.9, 0.5, 0.25, 0.1, 0.05, 0.02];
         for filter in [FilterRule::LowerProbabilityOnly, FilterRule::None] {

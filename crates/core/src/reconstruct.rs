@@ -130,6 +130,15 @@ impl Hammer {
     fn global_chs_dispatch(&self, dist: &Distribution, max_d: usize) -> Vec<f64> {
         if self.threads == 1 {
             kernel::reference::global_chs(dist.as_slice(), max_d)
+        } else if dist.n_bits() > 64 {
+            kernel::wide::global_chs_parallel(
+                dist.keys(),
+                dist.keys_hi(),
+                dist.probs(),
+                max_d,
+                self.threads,
+                &self.config.kernel,
+            )
         } else {
             kernel::global_chs_parallel(
                 dist.keys(),
@@ -205,6 +214,16 @@ impl Hammer {
         }
         let scores = if self.threads == 1 {
             kernel::reference::scores(dist.as_slice(), weights, self.config.filter)
+        } else if dist.n_bits() > 64 {
+            kernel::wide::scores_parallel(
+                dist.keys(),
+                dist.keys_hi(),
+                dist.probs(),
+                weights,
+                self.config.filter,
+                self.threads,
+                &self.config.kernel,
+            )
         } else {
             kernel::scores_parallel(
                 dist.keys(),
@@ -220,7 +239,7 @@ impl Hammer {
             .as_slice()
             .iter()
             .zip(&scores)
-            .map(|(&(k, p), &s)| (BitString::new(k, n), p * s));
+            .map(|(&(k, p), &s)| (BitString::from_u128(k, n), p * s));
         Distribution::from_probs(n, pairs).expect("scores are positive: every score ≥ P(x) > 0")
     }
 
@@ -290,13 +309,13 @@ impl Hammer {
         // Filtered per-bin contributions.
         let mut contributions = vec![0.0; max_d];
         for &(yk, py) in dist.as_slice() {
-            let d = (x.as_u64() ^ yk).count_ones() as usize;
+            let d = (x.as_u128() ^ yk).count_ones() as usize;
             if d >= max_d {
                 continue;
             }
             let passes = match self.config.filter {
                 FilterRule::LowerProbabilityOnly => px > py,
-                FilterRule::None => yk != x.as_u64(),
+                FilterRule::None => yk != x.as_u128(),
             };
             if passes {
                 contributions[d] += weights[d] * py;
@@ -328,7 +347,8 @@ fn invert(chs: &[f64]) -> Vec<f64> {
         .collect()
 }
 
-/// Binomial coefficient as f64 (n ≤ 64).
+/// Binomial coefficient as f64 (n ≤ 128; `C(128, 64) ≈ 2.4e37` is well
+/// inside the f64 range).
 fn binomial_f(n: usize, k: usize) -> f64 {
     if k > n {
         return 0.0;
@@ -484,6 +504,45 @@ mod tests {
         let parallel = Hammer::new().with_threads(4).reconstruct(&d);
         for (x, p) in serial.iter() {
             assert!((parallel.prob(x) - p).abs() < 1e-12);
+        }
+    }
+
+    /// The §4.5 halo structure at 100 qubits: the wide (two-limb) kernel
+    /// must re-rank exactly like the narrow one does at small widths,
+    /// and agree with the u128 reference oracle pinned by `threads(1)`.
+    #[test]
+    fn wide_reconstruction_boosts_the_correct_answer() {
+        let n = 100;
+        let correct = BitString::ones(n);
+        let dominant = BitString::zeros(n).flip_bit(70).flip_bit(3);
+        let mut pairs = vec![(correct, 0.15), (dominant, 0.25)];
+        // A rich single-flip halo around the correct answer, straddling
+        // the limb boundary.
+        for q in [0usize, 31, 63, 64, 90, 99] {
+            pairs.push((correct.flip_bit(q), 0.08));
+        }
+        // Scattered double-flip errors.
+        for (a, b) in [(1usize, 65usize), (2, 80), (40, 70)] {
+            pairs.push((correct.flip_bit(a).flip_bit(b), 0.04));
+        }
+        let d = Distribution::from_probs(n, pairs).unwrap();
+        assert_eq!(d.most_probable().unwrap().0, dominant);
+        // Force the parallel (wide blocked) kernel even on this small
+        // support.
+        let config = HammerConfig {
+            kernel: crate::KernelTuning {
+                parallel_threshold: 0,
+                tile_size: 4,
+            },
+            ..HammerConfig::paper()
+        };
+        let out = Hammer::with_config(config).with_threads(4).reconstruct(&d);
+        assert_eq!(out.most_probable().unwrap().0, correct);
+        assert!((out.total_mass() - 1.0).abs() < 1e-9);
+        // The scalar u128 oracle path agrees.
+        let oracle = Hammer::with_config(config).with_threads(1).reconstruct(&d);
+        for (x, p) in oracle.iter() {
+            assert!((out.prob(x) - p).abs() < 1e-9);
         }
     }
 

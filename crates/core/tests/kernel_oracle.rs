@@ -15,20 +15,53 @@ const TOLERANCE: f64 = 1e-9;
 
 /// A random SoA support over up-to-64-bit keys, as both layouts.
 #[allow(clippy::type_complexity)]
-fn support() -> impl Strategy<Value = (Vec<(u64, f64)>, Vec<u64>, Vec<f64>)> {
+fn support() -> impl Strategy<Value = (Vec<(u128, f64)>, Vec<u64>, Vec<f64>)> {
     (1usize..=64)
         .prop_flat_map(|n| {
             let max = if n == 64 { u64::MAX } else { (1u64 << n) - 1 };
             proptest::collection::btree_map(0..=max, 1u64..5000, 1..90)
         })
         .prop_map(|map| {
-            let entries: Vec<(u64, f64)> = map
+            let entries: Vec<(u128, f64)> = map
                 .into_iter()
-                .map(|(k, w)| (k, w as f64 / 5000.0))
+                .map(|(k, w)| (u128::from(k), w as f64 / 5000.0))
                 .collect();
-            let keys = entries.iter().map(|&(k, _)| k).collect();
+            let keys = entries.iter().map(|&(k, _)| k as u64).collect();
             let probs = entries.iter().map(|&(_, p)| p).collect();
             (entries, keys, probs)
+        })
+}
+
+/// A random SoA support over 65–128-bit keys, with the high limb
+/// populated, as both layouts. (The vendored proptest has no `u128`
+/// range strategy, so the high limb derives from a SplitMix-style hash
+/// of the distinct low limbs — keys stay distinct and both limbs vary.)
+#[allow(clippy::type_complexity)]
+fn wide_support() -> impl Strategy<Value = (Vec<(u128, f64)>, Vec<u64>, Vec<u64>, Vec<f64>)> {
+    (
+        65usize..=128,
+        proptest::collection::btree_map(0u64..=u64::MAX, 1u64..5000, 1..70),
+    )
+        .prop_map(|(n, map)| {
+            let hi_mask = if n == 128 {
+                u64::MAX
+            } else {
+                (1u64 << (n - 64)) - 1
+            };
+            let mut entries: Vec<(u128, f64)> = map
+                .into_iter()
+                .map(|(lo, w)| {
+                    let mut z = lo.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+                    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                    let hi = z & hi_mask;
+                    (u128::from(lo) | (u128::from(hi) << 64), w as f64 / 5000.0)
+                })
+                .collect();
+            entries.sort_by_key(|&(k, _)| k);
+            let lo = entries.iter().map(|&(k, _)| k as u64).collect();
+            let hi = entries.iter().map(|&(k, _)| (k >> 64) as u64).collect();
+            let probs = entries.iter().map(|&(_, p)| p).collect();
+            (entries, lo, hi, probs)
         })
 }
 
@@ -39,8 +72,11 @@ fn weight_table() -> impl Strategy<Value = Vec<f64>> {
         Just(Vec::new()),
         // All-zero (the "no mass in any bin" shape of zero-CHS weights).
         (1usize..=65).prop_map(|len| vec![0.0; len]),
-        // A full 65-slot table: every representable distance weighted.
+        // A full 65-slot table: every representable distance of 64-bit
+        // keys weighted (the wide tests stretch this to 129 slots).
         proptest::collection::vec(0.0f64..2.0, 65..66),
+        // A full 129-slot table: every representable two-limb distance.
+        proptest::collection::vec(0.0f64..2.0, 129..130),
         // Ordinary random tables of arbitrary cutoff.
         proptest::collection::vec(0.0f64..2.0, 1..40),
     ]
@@ -103,6 +139,49 @@ proptest! {
             for ((a, b), c) in oracle.iter().zip(&serial).zip(&got) {
                 prop_assert!((a - b).abs() < TOLERANCE);
                 prop_assert!((a - c).abs() < TOLERANCE);
+            }
+        }
+    }
+}
+
+proptest! {
+    #[test]
+    fn wide_kernel_matches_oracle_across_schedules(
+        (entries, lo, hi, probs) in wide_support(),
+        weights in weight_table(),
+        tuning in tuning(),
+    ) {
+        for filter in [FilterRule::LowerProbabilityOnly, FilterRule::None] {
+            let oracle = reference::scores(&entries, &weights, filter);
+            for threads in [1usize, 2, 7] {
+                let got = kernel::wide::scores_parallel(
+                    &lo, &hi, &probs, &weights, filter, threads, &tuning,
+                );
+                prop_assert_eq!(got.len(), oracle.len());
+                for (a, b) in oracle.iter().zip(&got) {
+                    prop_assert!(
+                        (a - b).abs() < TOLERANCE,
+                        "threads {}: {} vs {}", threads, a, b
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn wide_global_chs_matches_oracle_across_schedules(
+        (entries, lo, hi, probs) in wide_support(),
+        max_d in 0usize..135,
+        tuning in tuning(),
+    ) {
+        let oracle = reference::global_chs(&entries, max_d);
+        for threads in [1usize, 2, 7] {
+            let got = kernel::wide::global_chs_parallel(
+                &lo, &hi, &probs, max_d, threads, &tuning,
+            );
+            prop_assert_eq!(got.len(), max_d);
+            for (a, b) in oracle.iter().zip(&got) {
+                prop_assert!((a - b).abs() < TOLERANCE);
             }
         }
     }

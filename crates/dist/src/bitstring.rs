@@ -1,23 +1,30 @@
-//! Fixed-width measurement outcomes packed into a `u64`.
+//! Fixed-width measurement outcomes packed into two 64-bit limbs.
 
 use std::fmt;
 
 use crate::error::DistError;
 
-/// The widest register a [`BitString`] can represent.
-pub const MAX_BITS: usize = 64;
+/// The widest register a [`BitString`] can represent: two 64-bit limbs.
+pub const MAX_BITS: usize = 128;
 
-/// A measurement outcome: `n` bits packed into a `u64`.
+/// Bits per storage limb.
+pub const LIMB_BITS: usize = 64;
+
+/// A measurement outcome: `n` bits packed into two `u64` limbs
+/// (equivalently one `u128`).
 ///
-/// Bit `q` of the packed word is the value of qubit `q`, so qubit 0 is
+/// Bit `q` of the packed value is the value of qubit `q`, so qubit 0 is
 /// the **least significant** bit. [`Display`](fmt::Display) and
 /// [`parse`](BitString::parse) use the conventional string order with
 /// the highest qubit first: `BitString::parse("10")` has bit 1 set and
 /// bit 0 clear.
 ///
 /// Hamming-space operations (distance, neighborhoods) compile down to
-/// one XOR + POPCNT on the packed word, which is what keeps HAMMER's
-/// `O(N²)` kernel fast and width-independent.
+/// one XOR + POPCNT per limb, which is what keeps HAMMER's `O(N²)`
+/// kernel fast and width-independent. Registers up to 64 qubits fit in
+/// the low limb alone and keep the single-`u64` fast paths of the
+/// scoring kernel; wider registers (the stabilizer path's 64–128-qubit
+/// sweeps) use both limbs.
 ///
 /// # Example
 ///
@@ -32,24 +39,42 @@ pub const MAX_BITS: usize = 64;
 /// assert!(x.bit(0) && x.bit(1) && !x.bit(2) && x.bit(3));
 /// assert_eq!(x.to_string(), "1011");
 /// assert_eq!(x.hamming_distance(BitString::parse("1000")?), 2);
+///
+/// // Wide registers cross the 64-bit limb boundary transparently.
+/// let wide = BitString::zeros(100).flip_bit(99).flip_bit(3);
+/// assert_eq!(wide.weight(), 2);
+/// assert_eq!(wide.limbs(), [0b1000, 1 << (99 - 64)]);
 /// # Ok(())
 /// # }
 /// ```
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct BitString {
-    bits: u64,
+    bits: u128,
     n: u8,
 }
 
 impl BitString {
-    /// Builds an `n`-bit string from a packed word.
+    /// Builds an `n`-bit string from a packed word (the value occupies
+    /// the low limb; widths above 64 leave the high limb zero — use
+    /// [`BitString::from_u128`] to set high-limb bits).
     ///
     /// # Panics
     ///
-    /// Panics if `n` is outside `1..=64` or `bits` has a bit set at or
+    /// Panics if `n` is outside `1..=128` or `bits` has a bit set at or
     /// above position `n`.
     #[must_use]
     pub fn new(bits: u64, n: usize) -> Self {
+        Self::from_u128(u128::from(bits), n)
+    }
+
+    /// Builds an `n`-bit string from a full 128-bit packed value.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is outside `1..=128` or `bits` has a bit set at or
+    /// above position `n`.
+    #[must_use]
+    pub fn from_u128(bits: u128, n: usize) -> Self {
         assert!(
             (1..=MAX_BITS).contains(&n),
             "bitstring width {n} outside 1..={MAX_BITS}"
@@ -61,21 +86,35 @@ impl BitString {
         Self { bits, n: n as u8 }
     }
 
+    /// Builds an `n`-bit string from `[low, high]` limbs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is outside `1..=128` or a limb has a bit set at or
+    /// above position `n`.
+    #[must_use]
+    pub fn from_limbs(limbs: [u64; 2], n: usize) -> Self {
+        Self::from_u128(
+            u128::from(limbs[0]) | (u128::from(limbs[1]) << LIMB_BITS),
+            n,
+        )
+    }
+
     /// The all-zeros string of width `n`.
     ///
     /// # Panics
     ///
-    /// Panics if `n` is outside `1..=64`.
+    /// Panics if `n` is outside `1..=128`.
     #[must_use]
     pub fn zeros(n: usize) -> Self {
-        Self::new(0, n)
+        Self::from_u128(0, n)
     }
 
     /// The all-ones string of width `n`.
     ///
     /// # Panics
     ///
-    /// Panics if `n` is outside `1..=64`.
+    /// Panics if `n` is outside `1..=128`.
     #[must_use]
     pub fn ones(n: usize) -> Self {
         assert!(
@@ -83,11 +122,11 @@ impl BitString {
             "bitstring width {n} outside 1..={MAX_BITS}"
         );
         let bits = if n == MAX_BITS {
-            u64::MAX
+            u128::MAX
         } else {
-            (1u64 << n) - 1
+            (1u128 << n) - 1
         };
-        Self::new(bits, n)
+        Self::from_u128(bits, n)
     }
 
     /// Parses a binary literal such as `"10110"`, highest qubit first.
@@ -95,14 +134,14 @@ impl BitString {
     /// # Errors
     ///
     /// * [`DistError::WidthOutOfRange`] if the literal is empty or
-    ///   longer than 64 characters;
+    ///   longer than 128 characters;
     /// * [`DistError::InvalidBitChar`] on any character besides `0`/`1`.
     pub fn parse(s: &str) -> Result<Self, DistError> {
         let n = s.chars().count();
         if !(1..=MAX_BITS).contains(&n) {
             return Err(DistError::WidthOutOfRange(n));
         }
-        let mut bits = 0u64;
+        let mut bits = 0u128;
         for c in s.chars() {
             bits <<= 1;
             match c {
@@ -111,7 +150,7 @@ impl BitString {
                 other => return Err(DistError::InvalidBitChar(other)),
             }
         }
-        Ok(Self::new(bits, n))
+        Ok(Self::from_u128(bits, n))
     }
 
     /// Width in bits.
@@ -121,10 +160,34 @@ impl BitString {
         usize::from(self.n)
     }
 
-    /// The packed word (bit `q` = qubit `q`).
+    /// The packed word for registers of at most 64 bits (bit `q` =
+    /// qubit `q`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the width exceeds 64 — wide strings must go through
+    /// [`BitString::as_u128`] or [`BitString::limbs`].
     #[must_use]
     pub fn as_u64(self) -> u64 {
+        assert!(
+            self.len() <= LIMB_BITS,
+            "as_u64 on a {}-bit string; use as_u128/limbs for widths above 64",
+            self.n
+        );
+        self.bits as u64
+    }
+
+    /// The full 128-bit packed value (bit `q` = qubit `q`).
+    #[must_use]
+    pub fn as_u128(self) -> u128 {
         self.bits
+    }
+
+    /// The `[low, high]` storage limbs. The high limb is zero for
+    /// widths of at most 64.
+    #[must_use]
+    pub fn limbs(self) -> [u64; 2] {
+        [self.bits as u64, (self.bits >> LIMB_BITS) as u64]
     }
 
     /// Value of bit `q`.
@@ -155,18 +218,19 @@ impl BitString {
             self.n
         );
         Self {
-            bits: self.bits ^ (1u64 << q),
+            bits: self.bits ^ (1u128 << q),
             n: self.n,
         }
     }
 
-    /// Hamming weight (number of set bits).
+    /// Hamming weight: one POPCNT per limb.
     #[must_use]
     pub fn weight(self) -> u32 {
-        self.bits.count_ones()
+        let [lo, hi] = self.limbs();
+        lo.count_ones() + hi.count_ones()
     }
 
-    /// Hamming distance to `other`: one XOR + POPCNT.
+    /// Hamming distance to `other`: one XOR + POPCNT per limb.
     ///
     /// # Panics
     ///
@@ -178,7 +242,8 @@ impl BitString {
             "hamming distance between widths {} and {}",
             self.n, other.n
         );
-        (self.bits ^ other.bits).count_ones()
+        let x = self.bits ^ other.bits;
+        (x as u64).count_ones() + ((x >> LIMB_BITS) as u64).count_ones()
     }
 
     /// The smallest Hamming distance from `self` to any string in
@@ -253,7 +318,7 @@ impl Iterator for NeighborsAt {
 
     fn next(&mut self) -> Option<BitString> {
         let positions = self.positions.as_mut()?;
-        let mask = positions.iter().fold(0u64, |m, &i| m | 1u64 << i);
+        let mask = positions.iter().fold(0u128, |m, &i| m | 1u128 << i);
         let result = BitString {
             bits: self.base.bits ^ mask,
             n: self.base.n,
@@ -300,8 +365,8 @@ mod tests {
     fn parse_rejects_bad_input() {
         assert_eq!(BitString::parse(""), Err(DistError::WidthOutOfRange(0)));
         assert_eq!(
-            BitString::parse(&"1".repeat(65)),
-            Err(DistError::WidthOutOfRange(65))
+            BitString::parse(&"1".repeat(129)),
+            Err(DistError::WidthOutOfRange(129))
         );
         assert_eq!(
             BitString::parse("10x1"),
@@ -321,13 +386,66 @@ mod tests {
     }
 
     #[test]
+    fn hundred_twenty_eight_bit_boundary() {
+        let ones = BitString::ones(128);
+        assert_eq!(ones.as_u128(), u128::MAX);
+        assert_eq!(ones.limbs(), [u64::MAX, u64::MAX]);
+        assert_eq!(ones.weight(), 128);
+        assert_eq!(ones.hamming_distance(BitString::zeros(128)), 128);
+        assert_eq!(ones.flip_bit(127).weight(), 127);
+        assert_eq!(ones.to_string(), "1".repeat(128));
+        assert_eq!(BitString::parse(&"1".repeat(128)).unwrap(), ones);
+    }
+
+    #[test]
+    fn wide_parse_display_round_trips() {
+        // Widths straddling the limb boundary, with set bits on both
+        // sides of it.
+        for n in [65usize, 100, 127, 128] {
+            let mut s = "0".repeat(n);
+            s.replace_range(0..1, "1"); // highest qubit
+            s.replace_range(n - 1..n, "1"); // qubit 0
+            s.replace_range(n - 64..n - 63, "1"); // qubit 63
+            let x = BitString::parse(&s).unwrap();
+            assert_eq!(x.len(), n);
+            assert_eq!(x.to_string(), s, "width {n}");
+            assert!(x.bit(0) && x.bit(63) && x.bit(n - 1));
+            assert_eq!(x.weight(), 3);
+        }
+    }
+
+    #[test]
+    fn wide_distance_crosses_the_limb_boundary() {
+        let a = BitString::zeros(100).flip_bit(2).flip_bit(70);
+        let b = BitString::zeros(100).flip_bit(2).flip_bit(99);
+        assert_eq!(a.hamming_distance(b), 2);
+        assert_eq!(a.hamming_distance(a), 0);
+        assert_eq!(a.min_distance_to(&[b, BitString::zeros(100)]), 2);
+        // Limb split is as documented: low limb first.
+        assert_eq!(a.limbs(), [0b100, 1 << (70 - 64)]);
+        assert_eq!(BitString::from_limbs(a.limbs(), 100), a);
+    }
+
+    #[test]
+    #[should_panic(expected = "use as_u128")]
+    fn as_u64_rejects_wide_strings() {
+        let _ = BitString::zeros(65).as_u64();
+    }
+
+    #[test]
     #[should_panic(expected = "does not fit")]
     fn new_rejects_out_of_width_bits() {
         let _ = BitString::new(0b100, 2);
     }
 
     #[test]
-    #[should_panic(expected = "outside 1..=64")]
+    #[should_panic(expected = "does not fit")]
+    fn from_u128_rejects_out_of_width_bits() {
+        let _ = BitString::from_u128(1u128 << 100, 100);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside 1..=128")]
     fn new_rejects_zero_width() {
         let _ = BitString::new(0, 0);
     }
@@ -401,10 +519,13 @@ mod tests {
 
     #[test]
     fn neighbors_at_full_width() {
-        let x = BitString::zeros(64);
+        let x = BitString::zeros(128);
         let far: Vec<BitString> = x.neighbors_at(1).collect();
-        assert_eq!(far.len(), 64);
-        assert!(far.iter().any(|nb| nb.bit(63)));
+        assert_eq!(far.len(), 128);
+        assert!(far.iter().any(|nb| nb.bit(127)));
+        for nb in &far {
+            assert_eq!(nb.hamming_distance(x), 1);
+        }
     }
 
     #[test]
@@ -417,5 +538,9 @@ mod tests {
         v.sort();
         assert_eq!(v[0].to_string(), "00");
         assert_eq!(v[2].to_string(), "11");
+        // Wide strings order by packed value too.
+        let lo = BitString::zeros(100).flip_bit(3);
+        let hi = BitString::zeros(100).flip_bit(80);
+        assert!(lo < hi);
     }
 }

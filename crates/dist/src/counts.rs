@@ -10,9 +10,9 @@ use crate::error::DistError;
 /// A histogram of measured outcomes over a fixed register width — the
 /// raw result of running a circuit for some number of trials (shots).
 ///
-/// Outcomes are keyed by their packed `u64` form in a sorted map, so
-/// iteration order, equality and [`Counts::to_distribution`] are all
-/// deterministic.
+/// Outcomes are keyed by their packed form (up to 128 bits) in a sorted
+/// map, so iteration order, equality and [`Counts::to_distribution`]
+/// are all deterministic.
 ///
 /// # Example
 ///
@@ -34,7 +34,7 @@ use crate::error::DistError;
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Counts {
     n_bits: usize,
-    counts: BTreeMap<u64, u64>,
+    counts: BTreeMap<u128, u64>,
     total: u64,
 }
 
@@ -44,7 +44,7 @@ impl Counts {
     /// # Errors
     ///
     /// Returns [`DistError::WidthOutOfRange`] if `n_bits` is outside
-    /// `1..=64`.
+    /// `1..=128`.
     pub fn new(n_bits: usize) -> Result<Self, DistError> {
         if !(1..=MAX_BITS).contains(&n_bits) {
             return Err(DistError::WidthOutOfRange(n_bits));
@@ -87,7 +87,7 @@ impl Counts {
         if n == 0 {
             return;
         }
-        *self.counts.entry(outcome.as_u64()).or_insert(0) += n;
+        *self.counts.entry(outcome.as_u128()).or_insert(0) += n;
         self.total += n;
     }
 
@@ -105,7 +105,7 @@ impl Counts {
             outcome.len(),
             self.n_bits
         );
-        self.counts.get(&outcome.as_u64()).copied().unwrap_or(0)
+        self.counts.get(&outcome.as_u128()).copied().unwrap_or(0)
     }
 
     /// Total trials recorded.
@@ -131,7 +131,7 @@ impl Counts {
     pub fn iter(&self) -> impl Iterator<Item = (BitString, u64)> + '_ {
         self.counts
             .iter()
-            .map(|(&k, &c)| (BitString::new(k, self.n_bits), c))
+            .map(|(&k, &c)| (BitString::from_u128(k, self.n_bits), c))
     }
 
     /// Projects the histogram onto a sub-register: output bit `i` is
@@ -145,8 +145,8 @@ impl Counts {
     /// bit outside the register.
     #[must_use]
     pub fn marginal(&self, qubits: &[usize]) -> Counts {
-        let mut out = Counts::new(qubits.len()).expect("1..=64 selected qubits");
-        let mut seen = 0u64;
+        let mut out = Counts::new(qubits.len()).expect("1..=128 selected qubits");
+        let mut seen = 0u128;
         for &q in qubits {
             assert!(
                 q < self.n_bits,
@@ -157,11 +157,11 @@ impl Counts {
             seen |= 1 << q;
         }
         for (&k, &c) in &self.counts {
-            let mut projected = 0u64;
+            let mut projected = 0u128;
             for (i, &q) in qubits.iter().enumerate() {
                 projected |= (k >> q & 1) << i;
             }
-            out.record_n(BitString::new(projected, qubits.len()), c);
+            out.record_n(BitString::from_u128(projected, qubits.len()), c);
         }
         out
     }
@@ -193,8 +193,29 @@ mod tests {
     fn new_validates_width() {
         assert!(Counts::new(1).is_ok());
         assert!(Counts::new(64).is_ok());
+        assert!(Counts::new(128).is_ok());
         assert_eq!(Counts::new(0), Err(DistError::WidthOutOfRange(0)));
-        assert_eq!(Counts::new(65), Err(DistError::WidthOutOfRange(65)));
+        assert_eq!(Counts::new(129), Err(DistError::WidthOutOfRange(129)));
+    }
+
+    #[test]
+    fn wide_histograms_accumulate_and_marginalize() {
+        // 100-qubit outcomes with set bits in both limbs.
+        let a = BitString::zeros(100).flip_bit(99).flip_bit(1);
+        let b = BitString::zeros(100).flip_bit(99);
+        let mut c = Counts::new(100).unwrap();
+        c.record_n(a, 3);
+        c.record_n(b, 7);
+        assert_eq!(c.count(a), 3);
+        assert_eq!(c.total(), 10);
+        // Marginal onto {1, 99}: a → "11", b → "10" (bit 99 is output
+        // bit 1).
+        let m = c.marginal(&[1, 99]);
+        assert_eq!(m.count(bs("11")), 3);
+        assert_eq!(m.count(bs("10")), 7);
+        // Normalization survives wide keys.
+        let d = c.to_distribution();
+        assert!((d.prob(b) - 0.7).abs() < 1e-12);
     }
 
     #[test]

@@ -16,7 +16,12 @@ const MAX_UNIFORM_BITS: usize = 24;
 /// The support is stored as a vector of `(packed outcome, probability)`
 /// pairs sorted by outcome, which makes iteration deterministic,
 /// equality exact, and hands HAMMER's `O(N²)` kernel a flat
-/// [`as_slice`](Distribution::as_slice) to stream over. Every
+/// [`as_slice`](Distribution::as_slice) to stream over. Outcomes pack
+/// into `u128` keys (two 64-bit limbs); registers of at most 64 bits
+/// keep their whole key in the low limb, which the blocked kernel
+/// streams as a dense `u64` array ([`keys`](Distribution::keys)), and
+/// wider registers additionally expose the high limbs
+/// ([`keys_hi`](Distribution::keys_hi)) for the wide kernel. Every
 /// constructor renormalizes, so `total_mass() ≈ 1` always holds and
 /// every stored probability is strictly positive.
 ///
@@ -42,13 +47,17 @@ pub struct Distribution {
     n_bits: usize,
     /// Sorted by packed outcome; probabilities strictly positive and
     /// summing to 1 (up to rounding).
-    entries: Vec<(u64, f64)>,
-    /// Structure-of-arrays mirror of `entries` (same order): the packed
-    /// outcomes alone. Kept alongside the AoS view so the `O(N²)` kernel
-    /// can stream keys and probabilities as two dense arrays
-    /// ([`keys`](Distribution::keys) / [`probs`](Distribution::probs))
-    /// without a per-call copy or gather.
+    entries: Vec<(u128, f64)>,
+    /// Structure-of-arrays mirror of `entries` (same order): the low
+    /// 64-bit limbs of the packed outcomes. Kept alongside the AoS view
+    /// so the `O(N²)` kernel can stream keys and probabilities as dense
+    /// arrays ([`keys`](Distribution::keys) /
+    /// [`probs`](Distribution::probs)) without a per-call copy or
+    /// gather. For registers of at most 64 bits this IS the full key.
     keys: Vec<u64>,
+    /// High 64-bit limbs of the packed outcomes, index-aligned with
+    /// `keys` (all zero for registers of at most 64 bits).
+    keys_hi: Vec<u64>,
     /// Structure-of-arrays mirror of `entries`: the probabilities alone,
     /// index-aligned with `keys`.
     probs: Vec<f64>,
@@ -63,7 +72,7 @@ impl Distribution {
     ///
     /// # Errors
     ///
-    /// * [`DistError::WidthOutOfRange`] if `n_bits` is outside `1..=64`;
+    /// * [`DistError::WidthOutOfRange`] if `n_bits` is outside `1..=128`;
     /// * [`DistError::WidthMismatch`] if any outcome's width differs
     ///   from `n_bits`;
     /// * [`DistError::InvalidProbability`] on a negative or non-finite
@@ -76,7 +85,7 @@ impl Distribution {
         if !(1..=MAX_BITS).contains(&n_bits) {
             return Err(DistError::WidthOutOfRange(n_bits));
         }
-        let mut merged: BTreeMap<u64, f64> = BTreeMap::new();
+        let mut merged: BTreeMap<u128, f64> = BTreeMap::new();
         for (outcome, weight) in pairs {
             if outcome.len() != n_bits {
                 return Err(DistError::WidthMismatch {
@@ -87,7 +96,7 @@ impl Distribution {
             if !weight.is_finite() || weight < 0.0 {
                 return Err(DistError::InvalidProbability(weight));
             }
-            *merged.entry(outcome.as_u64()).or_insert(0.0) += weight;
+            *merged.entry(outcome.as_u128()).or_insert(0.0) += weight;
         }
         let total: f64 = merged.values().sum();
         // Weights are validated finite and non-negative, so the sum is
@@ -95,7 +104,7 @@ impl Distribution {
         if total <= 0.0 {
             return Err(DistError::EmptyDistribution);
         }
-        let entries: Vec<(u64, f64)> = merged
+        let entries: Vec<(u128, f64)> = merged
             .into_iter()
             .filter(|&(_, w)| w > 0.0)
             .map(|(k, w)| (k, w / total))
@@ -105,13 +114,15 @@ impl Distribution {
 
     /// Builds the struct from already-sorted, normalized entries,
     /// deriving the SoA mirrors.
-    fn from_entries(n_bits: usize, entries: Vec<(u64, f64)>) -> Self {
-        let keys = entries.iter().map(|&(k, _)| k).collect();
+    fn from_entries(n_bits: usize, entries: Vec<(u128, f64)>) -> Self {
+        let keys = entries.iter().map(|&(k, _)| k as u64).collect();
+        let keys_hi = entries.iter().map(|&(k, _)| (k >> 64) as u64).collect();
         let probs = entries.iter().map(|&(_, p)| p).collect();
         Self {
             n_bits,
             entries,
             keys,
+            keys_hi,
             probs,
         }
     }
@@ -131,13 +142,13 @@ impl Distribution {
         );
         let size = 1usize << n_bits;
         let p = 1.0 / size as f64;
-        Self::from_entries(n_bits, (0..size as u64).map(|k| (k, p)).collect())
+        Self::from_entries(n_bits, (0..size as u128).map(|k| (k, p)).collect())
     }
 
     /// The distribution placing all mass on one outcome.
     #[must_use]
     pub fn point_mass(outcome: BitString) -> Self {
-        Self::from_entries(outcome.len(), vec![(outcome.as_u64(), 1.0)])
+        Self::from_entries(outcome.len(), vec![(outcome.as_u128(), 1.0)])
     }
 
     /// Register width in bits.
@@ -163,21 +174,32 @@ impl Distribution {
     /// outcome — the array-of-structs view, kept for lockstep merges
     /// (metrics) and as the input of the reference scoring kernel.
     #[must_use]
-    pub fn as_slice(&self) -> &[(u64, f64)] {
+    pub fn as_slice(&self) -> &[(u128, f64)] {
         &self.entries
     }
 
-    /// The packed outcomes in ascending order — the structure-of-arrays
-    /// twin of [`as_slice`](Distribution::as_slice), index-aligned with
-    /// [`probs`](Distribution::probs).
+    /// The low 64-bit limbs of the packed outcomes in ascending key
+    /// order — the structure-of-arrays twin of
+    /// [`as_slice`](Distribution::as_slice), index-aligned with
+    /// [`probs`](Distribution::probs). For registers of at most 64 bits
+    /// this is the complete key; wider registers pair it with
+    /// [`keys_hi`](Distribution::keys_hi).
     ///
     /// This is a zero-copy view: the SoA mirrors are materialized once
     /// at construction, so the blocked `O(N²)` kernel can stream keys
-    /// and probabilities as two dense, independently-prefetchable
-    /// arrays.
+    /// and probabilities as dense, independently-prefetchable arrays.
     #[must_use]
     pub fn keys(&self) -> &[u64] {
         &self.keys
+    }
+
+    /// The high 64-bit limbs of the packed outcomes, index-aligned with
+    /// [`keys`](Distribution::keys). All zero for registers of at most
+    /// 64 bits; the wide (`n > 64`) scoring kernel streams both limb
+    /// arrays.
+    #[must_use]
+    pub fn keys_hi(&self) -> &[u64] {
+        &self.keys_hi
     }
 
     /// The probabilities in the same (ascending-outcome) order as
@@ -203,7 +225,7 @@ impl Distribution {
             self.n_bits
         );
         self.entries
-            .binary_search_by_key(&outcome.as_u64(), |&(k, _)| k)
+            .binary_search_by_key(&outcome.as_u128(), |&(k, _)| k)
             .map_or(0.0, |i| self.entries[i].1)
     }
 
@@ -212,7 +234,7 @@ impl Distribution {
     pub fn iter(&self) -> impl Iterator<Item = (BitString, f64)> + '_ {
         self.entries
             .iter()
-            .map(|&(k, p)| (BitString::new(k, self.n_bits), p))
+            .map(|&(k, p)| (BitString::from_u128(k, self.n_bits), p))
     }
 
     /// Sum of all stored probabilities (1 up to rounding).
@@ -233,7 +255,7 @@ impl Distribution {
     /// constructors cannot produce.
     #[must_use]
     pub fn mode(&self) -> Option<(BitString, f64)> {
-        let mut best: Option<(u64, f64)> = None;
+        let mut best: Option<(u128, f64)> = None;
         for &(k, p) in &self.entries {
             let better = match best {
                 None => true,
@@ -243,7 +265,7 @@ impl Distribution {
                 best = Some((k, p));
             }
         }
-        best.map(|(k, p)| (BitString::new(k, self.n_bits), p))
+        best.map(|(k, p)| (BitString::from_u128(k, self.n_bits), p))
     }
 
     /// Alias for [`mode`](Distribution::mode), kept for readability at
@@ -268,7 +290,7 @@ impl Distribution {
         sorted
             .into_iter()
             .take(k)
-            .map(|(key, p)| (BitString::new(key, self.n_bits), p))
+            .map(|(key, p)| (BitString::from_u128(key, self.n_bits), p))
             .collect()
     }
 
@@ -276,7 +298,7 @@ impl Distribution {
     pub fn expectation<F: FnMut(BitString) -> f64>(&self, mut f: F) -> f64 {
         self.entries
             .iter()
-            .map(|&(k, p)| p * f(BitString::new(k, self.n_bits)))
+            .map(|&(k, p)| p * f(BitString::from_u128(k, self.n_bits)))
             .sum()
     }
 
@@ -289,7 +311,7 @@ impl Distribution {
     /// bit outside the register.
     #[must_use]
     pub fn marginal(&self, qubits: &[usize]) -> Distribution {
-        let mut seen = 0u64;
+        let mut seen = 0u128;
         for &q in qubits {
             assert!(
                 q < self.n_bits,
@@ -301,11 +323,11 @@ impl Distribution {
         }
         let width = qubits.len();
         let pairs = self.entries.iter().map(|&(k, p)| {
-            let mut projected = 0u64;
+            let mut projected = 0u128;
             for (i, &q) in qubits.iter().enumerate() {
                 projected |= (k >> q & 1) << i;
             }
-            (BitString::new(projected, width), p)
+            (BitString::from_u128(projected, width), p)
         });
         Distribution::from_probs(width, pairs).expect("projection preserves probability mass")
     }
@@ -315,12 +337,12 @@ impl Distribution {
         let mut u: f64 = rng.gen::<f64>() * self.total_mass();
         for &(k, p) in &self.entries {
             if u < p {
-                return BitString::new(k, self.n_bits);
+                return BitString::from_u128(k, self.n_bits);
             }
             u -= p;
         }
         let (k, _) = *self.entries.last().expect("non-empty support");
-        BitString::new(k, self.n_bits)
+        BitString::from_u128(k, self.n_bits)
     }
 }
 
@@ -379,7 +401,7 @@ mod tests {
     fn entries_are_sorted_by_outcome() {
         let d = Distribution::from_probs(2, [(bs("11"), 0.2), (bs("00"), 0.5), (bs("10"), 0.3)])
             .unwrap();
-        let keys: Vec<u64> = d.as_slice().iter().map(|&(k, _)| k).collect();
+        let keys: Vec<u128> = d.as_slice().iter().map(|&(k, _)| k).collect();
         assert_eq!(keys, vec![0b00, 0b10, 0b11]);
     }
 
@@ -426,7 +448,8 @@ mod tests {
         assert_eq!(d.keys().len(), d.len());
         assert_eq!(d.probs().len(), d.len());
         for (i, &(k, p)) in d.as_slice().iter().enumerate() {
-            assert_eq!(d.keys()[i], k);
+            assert_eq!(d.keys()[i], k as u64);
+            assert_eq!(d.keys_hi()[i], 0);
             assert!((d.probs()[i] - p).abs() < 1e-15);
         }
         // The SoA mirrors survive every constructor.
@@ -489,5 +512,28 @@ mod tests {
         let d = Distribution::from_probs(64, [(base, 0.5), (base.flip_bit(63), 0.5)]).unwrap();
         assert_eq!(d.len(), 2);
         assert!((d.prob(base) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn wide_support_round_trips_through_limbs() {
+        // 100-bit outcomes: high-limb bits must survive construction,
+        // lookup, iteration, marginals and the SoA limb views.
+        let a = BitString::zeros(100).flip_bit(99).flip_bit(2);
+        let b = BitString::zeros(100).flip_bit(70);
+        let d = Distribution::from_probs(100, [(a, 0.25), (b, 0.75)]).unwrap();
+        assert_eq!(d.n_bits(), 100);
+        assert!((d.prob(a) - 0.25).abs() < 1e-12);
+        assert_eq!(d.mode().unwrap().0, b);
+        // SoA limbs split as documented.
+        let i = d.iter().position(|(x, _)| x == a).unwrap();
+        assert_eq!(d.keys()[i], a.limbs()[0]);
+        assert_eq!(d.keys_hi()[i], a.limbs()[1]);
+        // Marginal across the limb boundary merges correctly.
+        let m = d.marginal(&[2, 99]);
+        assert!((m.prob(bs("11")) - 0.25).abs() < 1e-12);
+        assert!((m.prob(bs("00")) - 0.75).abs() < 1e-12);
+        // Expectation sees the wide weight.
+        let mean_weight = d.expectation(|x| f64::from(x.weight()));
+        assert!((mean_weight - (0.25 * 2.0 + 0.75 * 1.0)).abs() < 1e-12);
     }
 }

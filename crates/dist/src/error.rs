@@ -15,7 +15,7 @@ pub enum DistError {
     },
     /// A distribution was built with no positive probability mass.
     EmptyDistribution,
-    /// A register width outside the supported `1..=64` range.
+    /// A register width outside the supported `1..=128` range.
     WidthOutOfRange(usize),
     /// A bitstring literal contained a character other than `0` or `1`.
     InvalidBitChar(char),
@@ -33,7 +33,7 @@ impl fmt::Display for DistError {
                 write!(f, "distribution has no positive probability mass")
             }
             Self::WidthOutOfRange(n) => {
-                write!(f, "register width {n} outside the supported 1..=64 range")
+                write!(f, "register width {n} outside the supported 1..=128 range")
             }
             Self::InvalidBitChar(c) => {
                 write!(

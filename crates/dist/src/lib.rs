@@ -5,8 +5,8 @@
 //! Everything downstream — the simulator, the benchmark circuits and
 //! Hamming Reconstruction itself — composes over these types:
 //!
-//! * [`BitString`] — an `n ≤ 64`-bit measurement outcome packed into a
-//!   `u64`, giving XOR+POPCNT Hamming distances;
+//! * [`BitString`] — an `n ≤ 128`-bit measurement outcome packed into
+//!   two `u64` limbs, giving per-limb XOR+POPCNT Hamming distances;
 //! * [`Counts`] — the raw trial histogram a (simulated) quantum job
 //!   returns;
 //! * [`Distribution`] — a normalized sparse distribution whose sorted

@@ -163,7 +163,7 @@ pub fn chs(dist: &Distribution, x: BitString, max_d: usize) -> Vec<f64> {
         x.len(),
         dist.n_bits()
     );
-    let key = x.as_u64();
+    let key = x.as_u128();
     let mut out = vec![0.0; max_d];
     for &(yk, py) in dist.as_slice() {
         let d = (key ^ yk).count_ones() as usize;

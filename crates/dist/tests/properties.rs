@@ -13,6 +13,20 @@ fn sized_bits() -> impl Strategy<Value = (usize, u64)> {
     })
 }
 
+/// Strategy: a wide (65–128-bit) width and a packed `u128` that fits it
+/// (two independent `u64` draws — the vendored proptest has no `u128`
+/// range strategy).
+fn sized_wide_bits() -> impl Strategy<Value = (usize, u128)> {
+    (65usize..=128, 0u64..=u64::MAX, 0u64..=u64::MAX).prop_map(|(n, lo, hi)| {
+        let hi_mask = if n == 128 {
+            u64::MAX
+        } else {
+            (1u64 << (n - 64)) - 1
+        };
+        (n, u128::from(lo) | (u128::from(hi & hi_mask) << 64))
+    })
+}
+
 /// Strategy: a sparse distribution over n-bit outcomes (2..40 distinct
 /// outcomes, integer weights).
 fn distribution() -> impl Strategy<Value = Distribution> {
@@ -51,6 +65,60 @@ proptest! {
         let x = BitString::parse(&s).expect("valid literal");
         prop_assert_eq!(x.as_u64(), bits);
         prop_assert_eq!(x.to_string(), s);
+    }
+
+    #[test]
+    fn wide_parse_display_round_trip((n, bits) in sized_wide_bits()) {
+        let x = BitString::from_u128(bits, n);
+        let s = x.to_string();
+        prop_assert_eq!(s.len(), n);
+        prop_assert_eq!(BitString::parse(&s).expect("valid literal"), x);
+        // Limb split is consistent with the packed value.
+        let [lo, hi] = x.limbs();
+        prop_assert_eq!(u128::from(lo) | (u128::from(hi) << 64), bits);
+        prop_assert_eq!(BitString::from_limbs([lo, hi], n), x);
+    }
+
+    #[test]
+    fn wide_hamming_ops_match_scalar_model(
+        (n, a) in sized_wide_bits(),
+        b_raw in 0u64..=u64::MAX,
+        q_frac in 0.0f64..1.0,
+    ) {
+        let x = BitString::from_u128(a, n);
+        // A second string: flip the low limb by b_raw.
+        let y = BitString::from_u128(a ^ u128::from(b_raw), n);
+        // XOR/POPCNT across both limbs equals the bit-loop model.
+        let manual = (0..n).filter(|&q| x.bit(q) != y.bit(q)).count() as u32;
+        prop_assert_eq!(x.hamming_distance(y), manual);
+        prop_assert_eq!(x.hamming_distance(y), y.hamming_distance(x));
+        // weight == distance to zero; flip toggles exactly one bit.
+        prop_assert_eq!(x.weight(), x.hamming_distance(BitString::zeros(n)));
+        let q = ((q_frac * n as f64) as usize).min(n - 1);
+        prop_assert_eq!(x.flip_bit(q).hamming_distance(x), 1);
+        prop_assert_eq!(x.flip_bit(q).flip_bit(q), x);
+    }
+
+    #[test]
+    fn wide_counts_round_trip_through_distribution(
+        (n, a) in sized_wide_bits(),
+        (reps_a, reps_b) in (1u64..200, 1u64..200),
+    ) {
+        let x = BitString::from_u128(a, n);
+        let y = x.flip_bit(n - 1); // differs in the top (high-limb) bit
+        let mut counts = Counts::new(n).expect("wide width supported");
+        counts.record_n(x, reps_a);
+        counts.record_n(y, reps_b);
+        prop_assert_eq!(counts.total(), reps_a + reps_b);
+        let d = counts.to_distribution();
+        let expect = reps_a as f64 / (reps_a + reps_b) as f64;
+        prop_assert!((d.prob(x) - expect).abs() < 1e-12);
+        prop_assert!((d.total_mass() - 1.0).abs() < 1e-12);
+        // SoA limb views agree with the members.
+        for (i, (m, _)) in d.iter().enumerate() {
+            prop_assert_eq!(d.keys()[i], m.limbs()[0]);
+            prop_assert_eq!(d.keys_hi()[i], m.limbs()[1]);
+        }
     }
 
     #[test]

@@ -35,13 +35,15 @@ impl Circuit {
     ///
     /// # Panics
     ///
-    /// Panics if `num_qubits` is zero or exceeds 64 (the bitstring width
-    /// limit of the rest of the workspace).
+    /// Panics if `num_qubits` is zero or exceeds 128 (the bitstring
+    /// width limit of the rest of the workspace). Dense simulation caps
+    /// out far earlier ([`crate::MAX_DENSE_QUBITS`]); widths beyond it
+    /// are the stabilizer engine's territory.
     #[must_use]
     pub fn new(num_qubits: usize) -> Self {
         assert!(
-            (1..=64).contains(&num_qubits),
-            "circuit width {num_qubits} outside 1..=64"
+            (1..=128).contains(&num_qubits),
+            "circuit width {num_qubits} outside 1..=128"
         );
         Self {
             num_qubits,
@@ -81,6 +83,17 @@ impl Circuit {
             .iter()
             .filter(|g| matches!(g, Gate::Cx(..)))
             .count()
+    }
+
+    /// True when every gate is a Clifford operation (see
+    /// [`Gate::is_clifford`]; `Rz` at multiples of `π/2` counts). Such
+    /// circuits — BV, GHZ, the Clifford skeletons of §7 — admit exact
+    /// Aaronson–Gottesman tableau simulation at `O(n²)` per gate, which
+    /// is how the stabilizer engine lifts the dense
+    /// [`crate::MAX_DENSE_QUBITS`] cap. The empty circuit is Clifford.
+    #[must_use]
+    pub fn is_clifford(&self) -> bool {
+        self.gates.iter().all(Gate::is_clifford)
     }
 
     /// Circuit depth under greedy as-soon-as-possible scheduling: the
@@ -440,6 +453,55 @@ mod tests {
             .gates()
             .iter()
             .all(|g| !matches!(g, Gate::Swap(..) | Gate::Cz(..) | Gate::Zz(..))));
+    }
+
+    #[test]
+    fn is_clifford_classifies_whole_circuits() {
+        // GHZ: H + CX ladder — Clifford.
+        let mut ghz = Circuit::new(3);
+        ghz.h(0).cx(0, 1).cx(1, 2);
+        assert!(ghz.is_clifford());
+        // The empty circuit is Clifford.
+        assert!(Circuit::new(2).is_clifford());
+        // S/X/Z/CZ/SWAP and Rz at π/2 multiples stay Clifford.
+        let mut c = Circuit::new(3);
+        c.s(0)
+            .x(1)
+            .z(2)
+            .cz(0, 2)
+            .swap(1, 2)
+            .rz(0, std::f64::consts::PI)
+            .rz(1, -std::f64::consts::FRAC_PI_2);
+        assert!(c.is_clifford());
+        // One T gate breaks it.
+        c.t(0);
+        assert!(!c.is_clifford());
+        // A generic rotation breaks it too.
+        let mut r = Circuit::new(2);
+        r.h(0).rz(0, 0.3);
+        assert!(!r.is_clifford());
+        // ZZ is conservatively non-Clifford.
+        let mut z = Circuit::new(2);
+        z.zz(0, 1, std::f64::consts::FRAC_PI_2);
+        assert!(!z.is_clifford());
+    }
+
+    #[test]
+    fn wide_circuits_construct_and_schedule() {
+        let mut c = Circuit::new(128);
+        c.h(0);
+        for q in 0..127 {
+            c.cx(q, q + 1);
+        }
+        assert_eq!(c.num_qubits(), 128);
+        assert_eq!(c.depth(), 128);
+        assert!(c.is_clifford());
+    }
+
+    #[test]
+    #[should_panic(expected = "outside 1..=128")]
+    fn width_cap_is_128() {
+        let _ = Circuit::new(129);
     }
 
     #[test]

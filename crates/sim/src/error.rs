@@ -18,6 +18,9 @@ pub enum SimError {
     Unroutable,
     /// Dense simulation was requested beyond the supported width.
     TooManyQubitsForDense(usize),
+    /// The stabilizer (tableau) engine was handed a circuit containing a
+    /// non-Clifford gate; the payload names the first offending gate.
+    NotClifford(String),
 }
 
 impl fmt::Display for SimError {
@@ -31,6 +34,12 @@ impl fmt::Display for SimError {
             Self::Unroutable => write!(f, "coupling map is disconnected; circuit cannot be routed"),
             Self::TooManyQubitsForDense(n) => {
                 write!(f, "dense simulation limited to 24 qubits, got {n}")
+            }
+            Self::NotClifford(gate) => {
+                write!(
+                    f,
+                    "stabilizer simulation requires a Clifford-only circuit; found {gate}"
+                )
             }
         }
     }

@@ -113,25 +113,43 @@ impl Gate {
     }
 
     /// True when the gate is (exactly) a Clifford operation, i.e. it maps
-    /// Pauli errors to Pauli errors under conjugation. Rotations are
-    /// Clifford only at special angles; we conservatively report `false`
-    /// for all parametric rotations and for `T`.
+    /// Pauli errors to Pauli errors under conjugation. `Rz(θ)` is
+    /// Clifford at multiples of `π/2` (where it equals `I`/`S`/`Z`/`S†`
+    /// up to global phase — see [`Gate::rz_half_pi_steps`]); the other
+    /// rotations, `T`, and `Zz` conservatively report `false`.
     #[must_use]
     pub fn is_clifford(&self) -> bool {
         use Gate::*;
-        matches!(
-            self,
-            H(_) | X(_)
-                | Y(_)
-                | Z(_)
-                | S(_)
-                | Sdg(_)
-                | SqrtX(_)
-                | SqrtXdg(_)
-                | Cx(..)
-                | Cz(..)
-                | Swap(..)
-        )
+        match self {
+            H(_) | X(_) | Y(_) | Z(_) | S(_) | Sdg(_) | SqrtX(_) | SqrtXdg(_) | Cx(..) | Cz(..)
+            | Swap(..) => true,
+            Rz(_, theta) => Self::rz_half_pi_steps(*theta).is_some(),
+            T(_) | Tdg(_) | Rx(..) | Ry(..) | Zz(..) => false,
+        }
+    }
+
+    /// Classifies an `Rz` angle as a Clifford phase gate: returns the
+    /// number of `S` gates (mod 4) that realize `Rz(θ)` up to global
+    /// phase when `θ` is a multiple of `π/2` (within `1e-9` absolute
+    /// tolerance on the step count), and `None` otherwise.
+    ///
+    /// `Rz(θ) = diag(e^{−iθ/2}, e^{iθ/2}) ≅ diag(1, e^{iθ})`, so
+    /// `θ = k·π/2` maps to `S^k`: `0 → I`, `1 → S`, `2 → Z`, `3 → S†`.
+    #[must_use]
+    pub fn rz_half_pi_steps(theta: f64) -> Option<u8> {
+        if !theta.is_finite() {
+            return None;
+        }
+        let steps = theta / std::f64::consts::FRAC_PI_2;
+        let rounded = steps.round();
+        // Past ~1e6 half-turns an f64's spacing approaches the 1e-9
+        // tolerance, so "within 1e-9 of an integer" stops being
+        // informative (every float above 2^52 is an integer); such
+        // angles are rejected rather than misclassified.
+        if rounded.abs() > 1e6 || (steps - rounded).abs() > 1e-9 {
+            return None;
+        }
+        Some((rounded.rem_euclid(4.0)) as u8 % 4)
     }
 
     /// True when the gate is diagonal in the computational basis (commutes
@@ -384,6 +402,41 @@ mod tests {
         assert!(Gate::Zz(0, 1, 0.5).is_diagonal());
         assert!(Gate::Rz(0, 0.5).is_diagonal());
         assert!(!Gate::H(0).is_diagonal());
+    }
+
+    #[test]
+    fn rz_clifford_angles() {
+        use std::f64::consts::{FRAC_PI_2, PI};
+        // Multiples of π/2 are Clifford, with the right S-power.
+        assert_eq!(Gate::rz_half_pi_steps(0.0), Some(0));
+        assert_eq!(Gate::rz_half_pi_steps(FRAC_PI_2), Some(1));
+        assert_eq!(Gate::rz_half_pi_steps(PI), Some(2));
+        assert_eq!(Gate::rz_half_pi_steps(3.0 * FRAC_PI_2), Some(3));
+        assert_eq!(Gate::rz_half_pi_steps(2.0 * PI), Some(0));
+        assert_eq!(Gate::rz_half_pi_steps(-FRAC_PI_2), Some(3));
+        assert_eq!(Gate::rz_half_pi_steps(-PI), Some(2));
+        assert!(Gate::Rz(0, PI).is_clifford());
+        assert!(Gate::Rz(0, -7.0 * FRAC_PI_2).is_clifford());
+        // Everything else is not.
+        assert_eq!(Gate::rz_half_pi_steps(0.3), None);
+        // Huge angles where every f64 is an integer number of steps
+        // must be rejected, not misclassified (1e16 rad is ~2.64 rad
+        // mod 2π, nowhere near a π/2 multiple).
+        assert_eq!(Gate::rz_half_pi_steps(1e16), None);
+        assert_eq!(Gate::rz_half_pi_steps(-7.3e15), None);
+        assert!(!Gate::Rz(0, 1e16).is_clifford());
+        assert_eq!(Gate::rz_half_pi_steps(std::f64::consts::FRAC_PI_4), None);
+        assert_eq!(Gate::rz_half_pi_steps(f64::NAN), None);
+        assert!(!Gate::Rz(0, 0.3).is_clifford());
+        // The Rz(π/2) matrix really is S up to global phase e^{−iπ/4}.
+        let rz = Gate::Rz(0, FRAC_PI_2).single_qubit_matrix().unwrap();
+        let s = Gate::S(0).single_qubit_matrix().unwrap();
+        let phase = Complex::from_polar_unit(std::f64::consts::FRAC_PI_4);
+        for i in 0..2 {
+            for j in 0..2 {
+                assert!((phase * rz[i][j]).approx_eq(s[i][j], 1e-12));
+            }
+        }
     }
 
     #[test]

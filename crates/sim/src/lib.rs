@@ -18,9 +18,14 @@
 //!   standard), with prefix-checkpointed faulty trials and
 //!   thread-parallel trial batches under deterministic per-trial RNG
 //!   streams.
+//! * [`stabilizer`] / [`StabilizerEngine`] — the Aaronson–Gottesman
+//!   tableau subsystem: exact noisy sampling of Clifford circuits (BV,
+//!   GHZ) at 64–128 qubits, seed-compatible with the trajectory
+//!   engine; [`AutoEngine`] dispatches per circuit via
+//!   [`Circuit::is_clifford`].
 //! * [`PropagationEngine`] — Clifford-skeleton Pauli propagation, the
-//!   scalable engine behind the 20-qubit sweeps; validated against the
-//!   trajectory engine.
+//!   scalable approximate engine for non-Clifford wide sweeps;
+//!   validated against the trajectory engine.
 //! * [`transpile`] / [`CouplingMap`] — SWAP routing onto heavy-hex,
 //!   grid, linear, ring or full connectivity.
 //! * [`entanglement_entropy`] — the §7 entanglement measure (dense
@@ -71,6 +76,7 @@ mod noise;
 mod propagation;
 mod sampler;
 pub mod simkernel;
+pub mod stabilizer;
 mod statevector;
 mod trajectory;
 mod transpile;
@@ -79,7 +85,7 @@ pub use circuit::Circuit;
 pub use complex::{Complex, C_I, C_ONE, C_ZERO};
 pub use coupling::CouplingMap;
 pub use device::DeviceModel;
-pub use engine::NoiseEngine;
+pub use engine::{AutoEngine, NoiseEngine};
 pub use entanglement::entanglement_entropy;
 pub use error::SimError;
 pub use gates::{Gate, GateQubits};
@@ -87,8 +93,9 @@ pub use linalg::CMatrix;
 pub use mitigation::ReadoutMitigator;
 pub use noise::{NoiseModel, Pauli, PauliFault, ReadoutError};
 pub use propagation::{PauliMask, PropagationEngine};
-pub use sampler::AliasSampler;
+pub use sampler::{AliasSampler, CdfSampler};
 pub use simkernel::{GateKernels, SimTuning};
+pub use stabilizer::{StabilizerEngine, Tableau};
 pub use statevector::{simulate_ideal, StateVector, MAX_DENSE_QUBITS};
 pub use trajectory::TrajectoryEngine;
 pub use transpile::{transpile, transpile_with_layout, Transpiled};

@@ -98,7 +98,7 @@ impl ReadoutMitigator {
         // Sparse application qubit by qubit: applying the inverse of
         // M_q = [[1−p01, p10], [p01, 1−p10]] couples each outcome with
         // its bit-q neighbor.
-        let mut current: HashMap<u64, f64> =
+        let mut current: HashMap<u128, f64> =
             measured.as_slice().iter().map(|&(k, p)| (k, p)).collect();
         for (q, r) in self.calibrations.iter().enumerate() {
             if r.p0_to_1 == 0.0 && r.p1_to_0 == 0.0 {
@@ -111,8 +111,8 @@ impl ReadoutMitigator {
                 [(1.0 - r.p1_to_0) / det, -r.p1_to_0 / det],
                 [-r.p0_to_1 / det, (1.0 - r.p0_to_1) / det],
             ];
-            let bit = 1u64 << q;
-            let mut next: HashMap<u64, f64> = HashMap::with_capacity(current.len() * 2);
+            let bit = 1u128 << q;
+            let mut next: HashMap<u128, f64> = HashMap::with_capacity(current.len() * 2);
             for (&k, &v) in &current {
                 let b = usize::from(k & bit != 0);
                 let k0 = k & !bit;
@@ -128,7 +128,7 @@ impl ReadoutMitigator {
         let pairs = current
             .into_iter()
             .filter(|&(_, v)| v > 0.0)
-            .map(|(k, v)| (BitString::new(k, n), v));
+            .map(|(k, v)| (BitString::from_u128(k, n), v));
         Distribution::from_probs(n, pairs)
     }
 

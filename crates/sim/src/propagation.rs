@@ -2,10 +2,11 @@
 //!
 //! A sampled Pauli fault at gate location `i` is conjugated *classically*
 //! through the remaining gates: Clifford gates (`H`, `S`, `√X`, `CX`,
-//! `CZ`, `SWAP`) transform Paulis exactly; non-Clifford rotations
-//! (`Rx/Ry/Rz/T/ZZ(γ)`) are approximated as identity for fault
-//! transport. At measurement, the accumulated X-component of all faults
-//! is XORed onto a sample drawn from the *ideal* output distribution.
+//! `CZ`, `SWAP`, and `Rz` at multiples of `π/2`) transform Paulis
+//! exactly; non-Clifford rotations (`Rx/Ry`, other `Rz` angles, `T`,
+//! `ZZ(γ)`) are approximated as identity for fault transport. At
+//! measurement, the accumulated X-component of all faults is XORed onto
+//! a sample drawn from the *ideal* output distribution.
 //!
 //! This is the textbook Pauli-propagation approximation. It preserves
 //! exactly the two mechanisms the paper's Hamming-behavior observations
@@ -27,14 +28,16 @@ use crate::sampler::AliasSampler;
 use crate::statevector::{StateVector, MAX_DENSE_QUBITS};
 
 /// A Pauli operator on the whole register, tracked as X/Z bit masks
-/// (`Y` on qubit `q` sets bit `q` in both masks). Phases are irrelevant
-/// for measurement statistics and are not tracked.
+/// (`Y` on qubit `q` sets bit `q` in both masks; 128-bit masks cover
+/// the full [`hammer_dist::BitString`] width range, so the stabilizer
+/// engine's wide fault trajectories reuse this type). Phases are
+/// irrelevant for measurement statistics and are not tracked.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct PauliMask {
     /// Qubits carrying an X component (these flip Z-basis outcomes).
-    pub x: u64,
+    pub x: u128,
     /// Qubits carrying a Z component.
-    pub z: u64,
+    pub z: u128,
 }
 
 impl PauliMask {
@@ -47,7 +50,7 @@ impl PauliMask {
     /// A single-qubit Pauli on `q`.
     #[must_use]
     pub fn single(p: Pauli, q: usize) -> Self {
-        let bit = 1u64 << q;
+        let bit = 1u128 << q;
         match p {
             Pauli::X => Self { x: bit, z: 0 },
             Pauli::Y => Self { x: bit, z: bit },
@@ -65,14 +68,16 @@ impl PauliMask {
     }
 
     /// Conjugates the mask through one gate: `P ← G P G†` (up to phase).
-    /// Non-Clifford gates are approximated as identity.
+    /// Non-Clifford gates are approximated as identity; `Rz` at
+    /// multiples of `π/2` (a Clifford phase gate, see
+    /// [`Gate::rz_half_pi_steps`]) is transported exactly.
     #[must_use]
     pub fn conjugate_through(self, gate: Gate) -> Self {
         let Self { mut x, mut z } = self;
         match gate {
             Gate::H(q) => {
                 // H: X ↔ Z.
-                let bit = 1u64 << q;
+                let bit = 1u128 << q;
                 let xb = x & bit;
                 let zb = z & bit;
                 x = (x & !bit) | zb;
@@ -80,16 +85,16 @@ impl PauliMask {
             }
             Gate::S(q) | Gate::Sdg(q) => {
                 // S: X → ±Y, Y → ∓X, Z → Z ⇒ z ^= x on q.
-                z ^= x & (1u64 << q);
+                z ^= x & (1u128 << q);
             }
             Gate::SqrtX(q) | Gate::SqrtXdg(q) => {
                 // √X: Z → ∓Y, Y → ±Z, X → X ⇒ x ^= z on q.
-                x ^= z & (1u64 << q);
+                x ^= z & (1u128 << q);
             }
             Gate::Cx(c, t) => {
                 // X_c → X_c X_t ; Z_t → Z_c Z_t.
-                let cbit = 1u64 << c;
-                let tbit = 1u64 << t;
+                let cbit = 1u128 << c;
+                let tbit = 1u128 << t;
                 if x & cbit != 0 {
                     x ^= tbit;
                 }
@@ -99,8 +104,8 @@ impl PauliMask {
             }
             Gate::Cz(a, b) => {
                 // X_a → X_a Z_b ; X_b → Z_a X_b.
-                let abit = 1u64 << a;
-                let bbit = 1u64 << b;
+                let abit = 1u128 << a;
+                let bbit = 1u128 << b;
                 if x & abit != 0 {
                     z ^= bbit;
                 }
@@ -109,8 +114,8 @@ impl PauliMask {
                 }
             }
             Gate::Swap(a, b) => {
-                let abit = 1u64 << a;
-                let bbit = 1u64 << b;
+                let abit = 1u128 << a;
+                let bbit = 1u128 << b;
                 let xa = x & abit != 0;
                 let xb = x & bbit != 0;
                 if xa != xb {
@@ -122,15 +127,20 @@ impl PauliMask {
                     z ^= abit | bbit;
                 }
             }
+            // Rz at an odd multiple of π/2 is S or S† up to phase; even
+            // multiples are Z or the identity (no Pauli transport either
+            // way).
+            Gate::Rz(q, theta) => {
+                if let Some(steps) = Gate::rz_half_pi_steps(theta) {
+                    if steps % 2 == 1 {
+                        z ^= x & (1u128 << q);
+                    }
+                }
+            }
             // Paulis commute with Paulis up to phase.
             Gate::X(_) | Gate::Y(_) | Gate::Z(_) => {}
             // Non-Clifford: identity approximation for fault transport.
-            Gate::T(_)
-            | Gate::Tdg(_)
-            | Gate::Rx(..)
-            | Gate::Ry(..)
-            | Gate::Rz(..)
-            | Gate::Zz(..) => {}
+            Gate::T(_) | Gate::Tdg(_) | Gate::Rx(..) | Gate::Ry(..) | Gate::Zz(..) => {}
         }
         Self { x, z }
     }
@@ -230,7 +240,7 @@ impl<'a> PropagationEngine<'a> {
         let mut counts = Counts::new(n).expect("validated width");
         for _ in 0..trials {
             // Accumulated X-flip mask from all faults of this trial.
-            let mut flips = 0u64;
+            let mut flips = 0u128;
             for (i, (&p, g)) in gate_ps.iter().zip(gates).enumerate() {
                 // Idle faults propagate through this gate too.
                 if idle_rate > 0.0 {
@@ -259,13 +269,13 @@ impl<'a> PropagationEngine<'a> {
                 for (q, &moments) in idle_trailing.iter().enumerate() {
                     for _ in 0..moments {
                         if rng.gen::<f64>() < idle_rate && Pauli::random(rng).flips_measurement() {
-                            flips ^= 1u64 << q;
+                            flips ^= 1u128 << q;
                         }
                     }
                 }
             }
             let ideal_key = entries[ideal_sampler.sample(rng)].0;
-            let outcome = BitString::new(ideal_key ^ flips, n);
+            let outcome = BitString::from_u128(ideal_key ^ flips, n);
             counts.record(noise.apply_readout(outcome, rng));
         }
         Ok(counts)

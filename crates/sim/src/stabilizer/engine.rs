@@ -1,0 +1,453 @@
+//! The stabilizer Monte-Carlo noise engine: exact noisy sampling of
+//! Clifford circuits at any width the workspace can express.
+//!
+//! [`StabilizerEngine`] is [`crate::TrajectoryEngine`]'s wide-register
+//! twin. It reuses the trajectory layer's machinery wholesale — the
+//! same per-trial RNG-stream derivation ([`trial_rng`]), the same
+//! [`FaultPlan`] fault sampling, the same thread-split trial budget —
+//! and replaces only the *state representation*: instead of `2^n` dense
+//! amplitudes, a [`Tableau`] computed **once** per call plus one
+//! O(gate-count) Pauli-frame walk per faulty trial.
+//!
+//! Per trial the engines are bit-for-bit interchangeable on Clifford
+//! circuits:
+//!
+//! * fault sampling consumes the identical RNG prefix (shared code);
+//! * the single outcome draw resolves through the ideal state's
+//!   [`OutputSupport`]: a stabilizer state measures to a uniform
+//!   distribution over an affine subspace of `2^k` outcomes, so the
+//!   dense engine's inverse-CDF walk lands on the `⌊u·2^k⌋`-th support
+//!   member in ascending basis order — exactly what
+//!   [`OutputSupport::sample_with`] computes in closed form. Faults
+//!   only shift the subspace: the sampled Pauli frame conjugates
+//!   classically to the measurement cut ([`PauliMask`], exact for
+//!   Clifford gates), its X component re-bases the coset, and faults in
+//!   the diagonal tail reduce to the same outcome bit-flip mask the
+//!   dense engine applies;
+//! * readout errors apply through the identical `NoiseModel` code.
+//!
+//! The `stabilizer_oracle` test suite pins `StabilizerEngine` counts to
+//! `TrajectoryEngine::sample` **exactly** (same seed, any thread
+//! count) on Clifford circuits at dense-simulable widths; past the
+//! dense cap the tableau path is the only game in town, and the per-gate
+//! cost is `O(n)` bit operations instead of `O(2^n)` amplitude passes.
+
+use hammer_dist::{BitString, Counts};
+use rand::{Rng, RngCore};
+
+use crate::circuit::Circuit;
+use crate::device::DeviceModel;
+use crate::engine::NoiseEngine;
+use crate::error::SimError;
+use crate::gates::GateQubits;
+use crate::noise::NoiseModel;
+use crate::propagation::PauliMask;
+use crate::simkernel::SimTuning;
+use crate::trajectory::{
+    run_trial_blocks, tail_flip_mask, trial_rng, trial_workers, FaultPlan, TrialFault,
+};
+
+use super::tableau::{OutputSupport, Tableau};
+
+/// The wide-register exact Monte-Carlo engine for Clifford circuits.
+///
+/// # Example
+///
+/// ```
+/// use hammer_sim::{Circuit, DeviceModel, StabilizerEngine};
+/// use rand::SeedableRng;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// // An 80-qubit GHZ experiment — far beyond the dense cap.
+/// let mut ghz = Circuit::new(80);
+/// ghz.h(0);
+/// for q in 0..79 {
+///     ghz.cx(q, q + 1);
+/// }
+/// let device = DeviceModel::google_sycamore(80);
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+/// let counts = StabilizerEngine::new(&device).sample(&ghz, 2048, &mut rng)?;
+/// assert_eq!(counts.total(), 2048);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct StabilizerEngine<'a> {
+    device: &'a DeviceModel,
+    threads: usize,
+}
+
+impl<'a> StabilizerEngine<'a> {
+    /// Creates an engine bound to a device model, with the trial budget
+    /// split across all cores (the same default as
+    /// [`SimTuning::default`]).
+    #[must_use]
+    pub fn new(device: &'a DeviceModel) -> Self {
+        Self {
+            device,
+            threads: SimTuning::default().threads,
+        }
+    }
+
+    /// Overrides the worker-thread count. Results are unaffected: a
+    /// fixed seed yields the same [`Counts`] at any thread count (and
+    /// the same counts as the dense trajectory engine, where that can
+    /// run at all).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threads` is zero.
+    #[must_use]
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        assert!(threads >= 1, "need at least one thread");
+        self.threads = threads;
+        self
+    }
+
+    /// The worker-thread count.
+    #[must_use]
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// The device this engine executes on.
+    #[must_use]
+    pub fn device(&self) -> &DeviceModel {
+        self.device
+    }
+
+    fn validate(&self, circuit: &Circuit, trials: u64) -> Result<(), SimError> {
+        if trials == 0 {
+            return Err(SimError::ZeroTrials);
+        }
+        if circuit.num_qubits() > self.device.num_qubits() {
+            return Err(SimError::CircuitTooWide {
+                circuit: circuit.num_qubits(),
+                device: self.device.num_qubits(),
+            });
+        }
+        if let Some(bad) = circuit.gates().iter().find(|g| !g.is_clifford()) {
+            return Err(SimError::NotClifford(bad.to_string()));
+        }
+        Ok(())
+    }
+
+    /// Executes `circuit` for `trials` trials.
+    ///
+    /// Draws one `u64` from `rng` to derive an independent,
+    /// deterministic RNG stream per trial — the same derivation as
+    /// [`crate::TrajectoryEngine::sample`], so on circuits both engines
+    /// accept, the same seed produces the same histogram from either.
+    ///
+    /// # Errors
+    ///
+    /// * [`SimError::ZeroTrials`] / [`SimError::CircuitTooWide`] as for
+    ///   the dense engine;
+    /// * [`SimError::NotClifford`] when any gate falls outside the
+    ///   tableau's reach — route those circuits to the dense engine
+    ///   (or let [`crate::AutoEngine`] dispatch for you).
+    pub fn sample<R: Rng + ?Sized>(
+        &self,
+        circuit: &Circuit,
+        trials: u64,
+        rng: &mut R,
+    ) -> Result<Counts, SimError> {
+        self.validate(circuit, trials)?;
+        let n = circuit.num_qubits();
+        let noise = self.device.noise();
+
+        let workers = trial_workers(self.threads, trials);
+        let ctx = StabContext::new(circuit, noise);
+        let base_seed = rng.next_u64();
+        Ok(run_trial_blocks(n, workers, trials, |range| {
+            run_trial_block(&ctx, base_seed, range)
+        }))
+    }
+}
+
+/// Everything a trial worker needs, computed once per `sample` call.
+struct StabContext<'c> {
+    circuit: &'c Circuit,
+    noise: &'c NoiseModel,
+    /// Where faults strike and how likely (shared with the trajectory
+    /// engine — identical RNG consumption per trial).
+    faults: FaultPlan,
+    /// The ideal output support, extracted from the final tableau once;
+    /// every trial samples through it.
+    support: OutputSupport,
+    /// Length of the shortest gate prefix whose suffix is entirely
+    /// diagonal — the same measurement cut the dense engine uses:
+    /// faults at or past it act as outcome bit flips, not frame
+    /// conjugations.
+    meas_cut: usize,
+}
+
+impl<'c> StabContext<'c> {
+    fn new(circuit: &'c Circuit, noise: &'c NoiseModel) -> Self {
+        let gates = circuit.gates();
+        let meas_cut = gates.len() - gates.iter().rev().take_while(|g| g.is_diagonal()).count();
+        Self {
+            circuit,
+            noise,
+            faults: FaultPlan::new(circuit, noise),
+            support: Tableau::from_circuit(circuit).output_support(),
+            meas_cut,
+        }
+    }
+}
+
+/// Runs one contiguous block of trials and tallies its outcomes —
+/// the tableau twin of the trajectory engine's trial block, consuming
+/// each trial's RNG stream in the identical order: fault sampling, one
+/// outcome draw, readout draws.
+fn run_trial_block(ctx: &StabContext<'_>, base_seed: u64, range: std::ops::Range<u64>) -> Counts {
+    let n = ctx.circuit.num_qubits();
+    let mut counts = Counts::new(n).expect("validated width");
+    let mut faults: Vec<TrialFault> = Vec::new();
+    for t in range {
+        let mut rng = trial_rng(base_seed, t);
+        faults.clear();
+        ctx.faults.sample_faults(&mut faults, &mut rng);
+        let (reduced_offset, tail_mask) = if faults.is_empty() {
+            (ctx.support.offset(), 0)
+        } else {
+            let (frame, tail_mask) = frame_to_cut(ctx.circuit, ctx.meas_cut, &faults);
+            (
+                ctx.support.reduce(ctx.support.offset() ^ frame.x),
+                tail_mask,
+            )
+        };
+        let raw = ctx.support.sample_outcome(reduced_offset, &mut rng) ^ tail_mask;
+        let outcome = BitString::from_u128(raw, n);
+        counts.record(ctx.noise.apply_readout(outcome, &mut rng));
+    }
+    counts
+}
+
+/// Walks the sampled faults through `circuit.gates()[..meas_cut]` as a
+/// Pauli frame (idle faults compose before their gate, depolarizing
+/// faults after — the same injection points as the dense
+/// `evolve_window_masked`) and returns `(frame at the cut, bit-flip
+/// mask of the diagonal-tail faults)`.
+///
+/// Only the frame's X component matters downstream (it shifts the
+/// measurement support); the Z component rides along because H-type
+/// gates rotate it into X.
+fn frame_to_cut(circuit: &Circuit, meas_cut: usize, faults: &[TrialFault]) -> (PauliMask, u128) {
+    let gates = circuit.gates();
+    let fork = match faults[0] {
+        TrialFault::BeforeGate { idx, .. } | TrialFault::AfterGate { idx, .. } => idx,
+        TrialFault::End { .. } => gates.len(),
+    };
+    let mut frame = PauliMask::identity();
+    let mut next = 0usize;
+    for (gi, &g) in gates[..meas_cut]
+        .iter()
+        .enumerate()
+        .skip(fork.min(meas_cut))
+    {
+        while next < faults.len() {
+            match faults[next] {
+                TrialFault::BeforeGate { idx, qubit, pauli } if idx == gi => {
+                    frame = frame.compose(PauliMask::single(pauli, qubit));
+                    next += 1;
+                }
+                _ => break,
+            }
+        }
+        frame = frame.conjugate_through(g);
+        while next < faults.len() {
+            match faults[next] {
+                TrialFault::AfterGate { idx, fault } if idx == gi => {
+                    let (qa, qb) = match g.qubits() {
+                        GateQubits::One(a) => (a, None),
+                        GateQubits::Two(a, b) => (a, Some(b)),
+                    };
+                    if let Some(p) = fault.first {
+                        frame = frame.compose(PauliMask::single(p, qa));
+                    }
+                    if let (Some(p), Some(b)) = (fault.second, qb) {
+                        frame = frame.compose(PauliMask::single(p, b));
+                    }
+                    next += 1;
+                }
+                _ => break,
+            }
+        }
+    }
+    // Faults at or past the measurement cut (and trailing idle faults):
+    // diagonal gates commute with Z-basis measurement, so X and Y
+    // components flip outcome bits directly — the dense engine's
+    // `tail_flip_mask`, shared.
+    (frame, tail_flip_mask(circuit, faults, next))
+}
+
+impl NoiseEngine for StabilizerEngine<'_> {
+    fn engine_name(&self) -> &'static str {
+        "stabilizer"
+    }
+
+    fn sample_counts(
+        &self,
+        circuit: &Circuit,
+        trials: u64,
+        rng: &mut dyn RngCore,
+    ) -> Result<Counts, SimError> {
+        self.sample(circuit, trials, rng)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hammer_dist::metrics;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn ghz(n: usize) -> Circuit {
+        let mut c = Circuit::new(n);
+        c.h(0);
+        for q in 0..n - 1 {
+            c.cx(q, q + 1);
+        }
+        c
+    }
+
+    #[test]
+    fn zero_trials_rejected() {
+        let device = DeviceModel::noiseless(2);
+        let engine = StabilizerEngine::new(&device);
+        let mut rng = StdRng::seed_from_u64(0);
+        assert_eq!(
+            engine.sample(&ghz(2), 0, &mut rng),
+            Err(SimError::ZeroTrials)
+        );
+    }
+
+    #[test]
+    fn non_clifford_circuit_rejected() {
+        let device = DeviceModel::noiseless(2);
+        let engine = StabilizerEngine::new(&device);
+        let mut c = Circuit::new(2);
+        c.h(0).t(1);
+        let mut rng = StdRng::seed_from_u64(0);
+        assert_eq!(
+            engine.sample(&c, 16, &mut rng),
+            Err(SimError::NotClifford("t q1".into()))
+        );
+    }
+
+    #[test]
+    fn wide_circuit_rejected_by_device() {
+        let device = DeviceModel::noiseless(2);
+        let engine = StabilizerEngine::new(&device);
+        let mut rng = StdRng::seed_from_u64(0);
+        assert!(matches!(
+            engine.sample(&ghz(3), 16, &mut rng),
+            Err(SimError::CircuitTooWide {
+                circuit: 3,
+                device: 2
+            })
+        ));
+    }
+
+    #[test]
+    fn noiseless_wide_ghz_has_only_the_two_branches() {
+        let n = 96;
+        let device = DeviceModel::noiseless(n);
+        let engine = StabilizerEngine::new(&device);
+        let mut rng = StdRng::seed_from_u64(5);
+        let counts = engine.sample(&ghz(n), 4000, &mut rng).unwrap();
+        assert_eq!(counts.total(), 4000);
+        let dist = counts.to_distribution();
+        assert_eq!(dist.len(), 2);
+        let p0 = dist.prob(BitString::zeros(n));
+        assert!((p0 - 0.5).abs() < 0.05, "branch probability {p0}");
+    }
+
+    #[test]
+    fn noisy_wide_ghz_errors_cluster_near_correct() {
+        let n = 100;
+        let device = DeviceModel::google_sycamore(n);
+        let engine = StabilizerEngine::new(&device);
+        let mut rng = StdRng::seed_from_u64(11);
+        let dist = engine
+            .sample(&ghz(n), 4000, &mut rng)
+            .unwrap()
+            .to_distribution();
+        let correct = [BitString::zeros(n), BitString::ones(n)];
+        let p = metrics::pst(&dist, &correct);
+        assert!(p < 0.999, "expected some errors, pst = {p}");
+        assert!(p > 0.01, "unexpectedly destructive noise, pst = {p}");
+        // The defining Hamming behavior: EHD far below the uniform n/2.
+        let e = metrics::ehd(&dist, &correct);
+        assert!(e < 25.0, "ehd {e} should be far below {}", n / 2);
+    }
+
+    #[test]
+    fn deterministic_under_fixed_seed() {
+        let device = DeviceModel::ibm_paris(6);
+        let engine = StabilizerEngine::new(&device);
+        let a = engine
+            .sample(&ghz(6), 700, &mut StdRng::seed_from_u64(7))
+            .unwrap();
+        let b = engine
+            .sample(&ghz(6), 700, &mut StdRng::seed_from_u64(7))
+            .unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn thread_count_does_not_change_counts() {
+        let device = DeviceModel::ibm_paris(8);
+        let circuit = ghz(8);
+        let reference = StabilizerEngine::new(&device)
+            .with_threads(1)
+            .sample(&circuit, 600, &mut StdRng::seed_from_u64(9))
+            .unwrap();
+        for threads in [2, 3, 7] {
+            let got = StabilizerEngine::new(&device)
+                .with_threads(threads)
+                .sample(&circuit, 600, &mut StdRng::seed_from_u64(9))
+                .unwrap();
+            assert_eq!(got, reference, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn idle_noise_degrades_waiting_qubits() {
+        // The trajectory engine's idle experiment, on the tableau path:
+        // qubit 1 idles for the whole schedule while qubit 0 works.
+        let mut c = Circuit::new(3);
+        for _ in 0..10 {
+            c.x(0).x(0);
+        }
+        c.x(2);
+        let coupling = crate::coupling::CouplingMap::full(3);
+        let noise =
+            crate::noise::NoiseModel::uniform(3, 0.0, 0.0, crate::noise::ReadoutError::ideal())
+                .with_idle_rate(0.02);
+        let device = DeviceModel::new("idle-only", coupling, noise);
+        let engine = StabilizerEngine::new(&device);
+        let mut rng = StdRng::seed_from_u64(41);
+        let dist = engine.sample(&c, 8000, &mut rng).unwrap().to_distribution();
+        let p_q1: f64 = dist.iter().filter(|(x, _)| x.bit(1)).map(|(_, p)| p).sum();
+        let p_q0: f64 = dist.iter().filter(|(x, _)| x.bit(0)).map(|(_, p)| p).sum();
+        assert!(
+            p_q1 > 5.0 * p_q0.max(1e-4),
+            "idle qubit flip rate {p_q1} vs busy {p_q0}"
+        );
+        assert!(p_q1 > 0.05, "idle noise should be visible");
+    }
+
+    #[test]
+    fn trait_object_usable() {
+        let device = DeviceModel::ibm_paris(5);
+        let engine = StabilizerEngine::new(&device);
+        let dynamic: &dyn NoiseEngine = &engine;
+        let mut rng = StdRng::seed_from_u64(8);
+        let d = dynamic.noisy_distribution(&ghz(5), 256, &mut rng).unwrap();
+        assert!((d.total_mass() - 1.0).abs() < 1e-9);
+        assert_eq!(dynamic.engine_name(), "stabilizer");
+    }
+}

@@ -1,0 +1,1036 @@
+//! The Aaronson–Gottesman (CHP) stabilizer tableau.
+//!
+//! A stabilizer state on `n` qubits is represented by `2n` Pauli rows —
+//! `n` destabilizers and `n` stabilizers — plus one scratch row for
+//! deterministic measurement. Row `j`'s X and Z components are packed
+//! into `⌈n/64⌉` `u64` limbs each, and the `2n+1` phase bits into one
+//! packed bitset, so a gate touches one bit column of every row and a
+//! row operation ([`Tableau::rowsum`] internally) is a handful of limb
+//! XORs plus a bit-parallel mod-4 phase accumulation — no
+//! per-qubit `swap`s or branches in the inner loops.
+//!
+//! Gates cost `O(n)` bit operations, measurement `O(n²/64)` limb
+//! operations, which is what lifts the dense `2^n` cap: a 128-qubit
+//! Clifford circuit runs in microseconds where the dense layer would
+//! need `2^128` amplitudes.
+//!
+//! Conventions: row `(x, z)` with phase bit `r` represents the
+//! Hermitian Pauli `(−1)^r · i^{x·z} · X^x Z^z` (so `(1,1)` with `r=0`
+//! is `Y`). Phases compose through the CHP `g` exponent, evaluated
+//! limb-parallel via the mask identities derived in
+//! [`Tableau::rowsum`].
+
+use hammer_dist::BitString;
+use rand::Rng;
+
+use crate::circuit::Circuit;
+use crate::gates::Gate;
+use crate::propagation::PauliMask;
+
+/// Bits per storage limb.
+const LIMB_BITS: usize = 64;
+
+/// One measured bit, tagged with whether the CHP measurement was
+/// deterministic (the qubit was in a Z eigenstate) or a fresh coin
+/// flip.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Measurement {
+    /// The outcome was fixed by the state; no randomness consumed.
+    Deterministic(bool),
+    /// The outcome was uniformly random; the tableau collapsed onto it.
+    Random(bool),
+}
+
+impl Measurement {
+    /// The measured bit, however it was obtained.
+    #[must_use]
+    pub fn value(self) -> bool {
+        match self {
+            Self::Deterministic(b) | Self::Random(b) => b,
+        }
+    }
+
+    /// True when the outcome was a coin flip.
+    #[must_use]
+    pub fn was_random(self) -> bool {
+        matches!(self, Self::Random(_))
+    }
+}
+
+/// A CHP-style stabilizer tableau over `n ≤ 128` qubits.
+///
+/// # Example
+///
+/// ```
+/// use hammer_sim::{stabilizer::Tableau, Circuit};
+/// use rand::SeedableRng;
+///
+/// // A 100-qubit GHZ state — far beyond the dense 24-qubit cap.
+/// let mut ghz = Circuit::new(100);
+/// ghz.h(0);
+/// for q in 0..99 {
+///     ghz.cx(q, q + 1);
+/// }
+/// let t = Tableau::from_circuit(&ghz);
+/// let support = t.output_support();
+/// assert_eq!(support.rank(), 1); // two outcomes: all-zeros, all-ones
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+/// let outcome = t.clone().measure_all(&mut rng);
+/// assert!(outcome.weight() == 0 || outcome.weight() == 100);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Tableau {
+    n: usize,
+    /// Limbs per row: `⌈n/64⌉`.
+    limbs: usize,
+    /// X bit-rows, row-major: `xs[row * limbs + l]` is limb `l` of row
+    /// `row`. Rows `0..n` are destabilizers, `n..2n` stabilizers, `2n`
+    /// the measurement scratch row.
+    xs: Vec<u64>,
+    /// Z bit-rows, same layout.
+    zs: Vec<u64>,
+    /// Phase bits of the `2n+1` rows, packed.
+    phases: Vec<u64>,
+}
+
+impl Tableau {
+    /// The tableau of `|00…0⟩`: destabilizer `i` is `X_i`, stabilizer
+    /// `i` is `Z_i`, all phases `+1`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero or exceeds 128 (the [`BitString`] width
+    /// cap of the workspace).
+    #[must_use]
+    pub fn new(n: usize) -> Self {
+        assert!((1..=128).contains(&n), "tableau width {n} outside 1..=128");
+        let limbs = n.div_ceil(LIMB_BITS);
+        let rows = 2 * n + 1;
+        let mut t = Self {
+            n,
+            limbs,
+            xs: vec![0; rows * limbs],
+            zs: vec![0; rows * limbs],
+            phases: vec![0; rows.div_ceil(LIMB_BITS)],
+        };
+        for i in 0..n {
+            let (l, b) = (i / LIMB_BITS, 1u64 << (i % LIMB_BITS));
+            t.xs[i * limbs + l] = b; // destabilizer i = X_i
+            t.zs[(n + i) * limbs + l] = b; // stabilizer i = Z_i
+        }
+        t
+    }
+
+    /// Runs a Clifford circuit on `|00…0⟩` and returns the final
+    /// tableau.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the circuit contains a non-Clifford gate (validate
+    /// with [`Circuit::is_clifford`] first).
+    #[must_use]
+    pub fn from_circuit(circuit: &Circuit) -> Self {
+        let mut t = Self::new(circuit.num_qubits());
+        t.apply_circuit(circuit);
+        t
+    }
+
+    /// Number of qubits.
+    #[must_use]
+    pub fn num_qubits(&self) -> usize {
+        self.n
+    }
+
+    // --- bit plumbing -----------------------------------------------
+
+    #[inline]
+    fn x_bit(&self, row: usize, q: usize) -> bool {
+        self.xs[row * self.limbs + q / LIMB_BITS] >> (q % LIMB_BITS) & 1 == 1
+    }
+
+    #[inline]
+    fn phase_bit(&self, row: usize) -> bool {
+        self.phases[row / LIMB_BITS] >> (row % LIMB_BITS) & 1 == 1
+    }
+
+    #[inline]
+    fn flip_phase(&mut self, row: usize) {
+        self.phases[row / LIMB_BITS] ^= 1u64 << (row % LIMB_BITS);
+    }
+
+    #[inline]
+    fn set_phase(&mut self, row: usize, value: bool) {
+        let (l, b) = (row / LIMB_BITS, 1u64 << (row % LIMB_BITS));
+        if value {
+            self.phases[l] |= b;
+        } else {
+            self.phases[l] &= !b;
+        }
+    }
+
+    /// Row `h` ← row `i` · row `h` (Pauli product with exact phase):
+    /// the CHP `rowsum`. The X/Z updates are plain limb XORs; the phase
+    /// exponent `2r_h + 2r_i + Σ_j g_j (mod 4)` accumulates
+    /// limb-parallel through two popcounted masks:
+    ///
+    /// * `g = +1` at qubits where (row i, row h) is one of
+    ///   `(Y, Z), (X, Y), (Z, X)`;
+    /// * `g = −1` where it is one of `(Y, X), (X, Z), (Z, Y)`;
+    /// * `g = 0` everywhere else.
+    fn rowsum(&mut self, h: usize, i: usize) {
+        debug_assert_ne!(h, i);
+        let mut cnt = 2 * i64::from(self.phase_bit(h)) + 2 * i64::from(self.phase_bit(i));
+        for l in 0..self.limbs {
+            let (hi, ii) = (h * self.limbs + l, i * self.limbs + l);
+            let (x1, z1) = (self.xs[ii], self.zs[ii]);
+            let (x2, z2) = (self.xs[hi], self.zs[hi]);
+            let plus = (x1 & z1 & !x2 & z2) | (x1 & !z1 & x2 & z2) | (!x1 & z1 & x2 & !z2);
+            let minus = (x1 & z1 & x2 & !z2) | (x1 & !z1 & !x2 & z2) | (!x1 & z1 & x2 & z2);
+            cnt += i64::from(plus.count_ones()) - i64::from(minus.count_ones());
+            self.xs[hi] ^= x1;
+            self.zs[hi] ^= z1;
+        }
+        let m = cnt.rem_euclid(4);
+        debug_assert_eq!(m % 2, 0, "rowsum produced a non-Hermitian product");
+        self.set_phase(h, m == 2);
+    }
+
+    /// Copies row `src` over row `dst` (limbs + phase).
+    fn copy_row(&mut self, dst: usize, src: usize) {
+        for l in 0..self.limbs {
+            self.xs[dst * self.limbs + l] = self.xs[src * self.limbs + l];
+            self.zs[dst * self.limbs + l] = self.zs[src * self.limbs + l];
+        }
+        let p = self.phase_bit(src);
+        self.set_phase(dst, p);
+    }
+
+    fn zero_row(&mut self, row: usize) {
+        for l in 0..self.limbs {
+            self.xs[row * self.limbs + l] = 0;
+            self.zs[row * self.limbs + l] = 0;
+        }
+        self.set_phase(row, false);
+    }
+
+    // --- gates -------------------------------------------------------
+
+    /// Hadamard on `q`: swaps the X and Z columns, phases pick up
+    /// `x·z`.
+    pub fn h(&mut self, q: usize) {
+        let (lq, bit) = (q / LIMB_BITS, 1u64 << (q % LIMB_BITS));
+        for row in 0..2 * self.n {
+            let idx = row * self.limbs + lq;
+            let x = self.xs[idx] & bit;
+            let z = self.zs[idx] & bit;
+            if x != 0 && z != 0 {
+                self.flip_phase(row);
+            }
+            self.xs[idx] = (self.xs[idx] & !bit) | z;
+            self.zs[idx] = (self.zs[idx] & !bit) | x;
+        }
+    }
+
+    /// Phase gate on `q`: `X → Y`, phases pick up `x·z`.
+    pub fn s(&mut self, q: usize) {
+        let (lq, bit) = (q / LIMB_BITS, 1u64 << (q % LIMB_BITS));
+        for row in 0..2 * self.n {
+            let idx = row * self.limbs + lq;
+            let x = self.xs[idx] & bit;
+            if x != 0 && self.zs[idx] & bit != 0 {
+                self.flip_phase(row);
+            }
+            self.zs[idx] ^= x;
+        }
+    }
+
+    /// Inverse phase gate on `q` (`S† = S³`).
+    pub fn sdg(&mut self, q: usize) {
+        self.s(q);
+        self.s(q);
+        self.s(q);
+    }
+
+    /// Pauli-X on `q`: flips the phase of every row anticommuting with
+    /// `X_q` (those carrying `Z` or `Y` there).
+    pub fn x(&mut self, q: usize) {
+        let (lq, bit) = (q / LIMB_BITS, 1u64 << (q % LIMB_BITS));
+        for row in 0..2 * self.n {
+            if self.zs[row * self.limbs + lq] & bit != 0 {
+                self.flip_phase(row);
+            }
+        }
+    }
+
+    /// Pauli-Y on `q`: flips phases where the row carries `X` or `Z`
+    /// (but not `Y`) on `q`.
+    pub fn y(&mut self, q: usize) {
+        let (lq, bit) = (q / LIMB_BITS, 1u64 << (q % LIMB_BITS));
+        for row in 0..2 * self.n {
+            let idx = row * self.limbs + lq;
+            if (self.xs[idx] ^ self.zs[idx]) & bit != 0 {
+                self.flip_phase(row);
+            }
+        }
+    }
+
+    /// Pauli-Z on `q`: flips phases where the row carries `X` or `Y`.
+    pub fn z(&mut self, q: usize) {
+        let (lq, bit) = (q / LIMB_BITS, 1u64 << (q % LIMB_BITS));
+        for row in 0..2 * self.n {
+            if self.xs[row * self.limbs + lq] & bit != 0 {
+                self.flip_phase(row);
+            }
+        }
+    }
+
+    /// CNOT with control `c` and target `t` (CHP update rules).
+    pub fn cx(&mut self, c: usize, t: usize) {
+        assert_ne!(c, t, "cx control and target coincide");
+        let (lc, cbit) = (c / LIMB_BITS, 1u64 << (c % LIMB_BITS));
+        let (lt, tbit) = (t / LIMB_BITS, 1u64 << (t % LIMB_BITS));
+        for row in 0..2 * self.n {
+            let (ci, ti) = (row * self.limbs + lc, row * self.limbs + lt);
+            let xc = self.xs[ci] & cbit != 0;
+            let zc = self.zs[ci] & cbit != 0;
+            let xt = self.xs[ti] & tbit != 0;
+            let zt = self.zs[ti] & tbit != 0;
+            if xc && zt && (xt == zc) {
+                self.flip_phase(row);
+            }
+            if xc {
+                self.xs[ti] ^= tbit;
+            }
+            if zt {
+                self.zs[ci] ^= cbit;
+            }
+        }
+    }
+
+    /// Controlled-Z on `a`, `b` (`H_b · CX(a,b) · H_b`).
+    pub fn cz(&mut self, a: usize, b: usize) {
+        self.h(b);
+        self.cx(a, b);
+        self.h(b);
+    }
+
+    /// SWAP on `a`, `b` (three CNOTs).
+    pub fn swap(&mut self, a: usize, b: usize) {
+        self.cx(a, b);
+        self.cx(b, a);
+        self.cx(a, b);
+    }
+
+    /// `√X` on `q` (`H · S · H`).
+    pub fn sx(&mut self, q: usize) {
+        self.h(q);
+        self.s(q);
+        self.h(q);
+    }
+
+    /// `√X†` on `q` (`H · S† · H`).
+    pub fn sxdg(&mut self, q: usize) {
+        self.h(q);
+        self.sdg(q);
+        self.h(q);
+    }
+
+    /// Applies one Clifford gate.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a non-Clifford gate (`T`, `Rx/Ry`, `Rz` away from
+    /// `π/2` multiples, `Zz`).
+    pub fn apply_gate(&mut self, gate: Gate) {
+        match gate {
+            Gate::H(q) => self.h(q),
+            Gate::X(q) => self.x(q),
+            Gate::Y(q) => self.y(q),
+            Gate::Z(q) => self.z(q),
+            Gate::S(q) => self.s(q),
+            Gate::Sdg(q) => self.sdg(q),
+            Gate::SqrtX(q) => self.sx(q),
+            Gate::SqrtXdg(q) => self.sxdg(q),
+            Gate::Cx(c, t) => self.cx(c, t),
+            Gate::Cz(a, b) => self.cz(a, b),
+            Gate::Swap(a, b) => self.swap(a, b),
+            Gate::Rz(q, theta) => match Gate::rz_half_pi_steps(theta) {
+                Some(0) => {}
+                Some(1) => self.s(q),
+                Some(2) => self.z(q),
+                Some(3) => self.sdg(q),
+                _ => panic!("tableau cannot apply non-Clifford gate {gate}"),
+            },
+            other => panic!("tableau cannot apply non-Clifford gate {other}"),
+        }
+    }
+
+    /// Applies a whole Clifford circuit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the register is wider than the tableau or any gate is
+    /// non-Clifford.
+    pub fn apply_circuit(&mut self, circuit: &Circuit) {
+        assert!(
+            circuit.num_qubits() <= self.n,
+            "circuit of {} qubits applied to {}-qubit tableau",
+            circuit.num_qubits(),
+            self.n
+        );
+        for &g in circuit.gates() {
+            self.apply_gate(g);
+        }
+    }
+
+    /// Injects a whole-register Pauli error (phases flip on every row
+    /// anticommuting with it) — how `NoiseModel`'s sampled
+    /// [`crate::PauliFault`]s act on a stabilizer state.
+    pub fn apply_pauli(&mut self, mask: PauliMask) {
+        let xl = [mask.x as u64, (mask.x >> 64) as u64];
+        let zl = [mask.z as u64, (mask.z >> 64) as u64];
+        for row in 0..2 * self.n {
+            let mut acc = 0u32;
+            for l in 0..self.limbs {
+                // Symplectic product: the row anticommutes with the
+                // mask iff x_row·z_mask + z_row·x_mask is odd.
+                acc ^= (self.xs[row * self.limbs + l] & zl[l]).count_ones()
+                    ^ (self.zs[row * self.limbs + l] & xl[l]).count_ones();
+            }
+            if acc & 1 == 1 {
+                self.flip_phase(row);
+            }
+        }
+    }
+
+    // --- measurement -------------------------------------------------
+
+    /// Z-basis measurement of qubit `q` per Aaronson–Gottesman,
+    /// collapsing the state in place.
+    ///
+    /// If some stabilizer anticommutes with `Z_q` the outcome is a coin
+    /// flip (one `gen_bool` draw) and the tableau collapses onto it;
+    /// otherwise the outcome is deterministic, computed on the scratch
+    /// row without consuming randomness.
+    pub fn measure<R: Rng + ?Sized>(&mut self, q: usize, rng: &mut R) -> Measurement {
+        assert!(q < self.n, "qubit {q} out of range");
+        let n = self.n;
+        match (n..2 * n).find(|&p| self.x_bit(p, q)) {
+            Some(p) => {
+                // Random outcome: reduce every other row with an X at q,
+                // demote row p to the destabilizer bank, and install
+                // ±Z_q as the new stabilizer. Row p−n is skipped — it
+                // may anticommute with row p (its stabilizer partner),
+                // and it is overwritten below regardless.
+                for i in 0..2 * n {
+                    if i != p && i != p - n && self.x_bit(i, q) {
+                        self.rowsum(i, p);
+                    }
+                }
+                self.copy_row(p - n, p);
+                self.zero_row(p);
+                let (lq, bit) = (q / LIMB_BITS, 1u64 << (q % LIMB_BITS));
+                self.zs[p * self.limbs + lq] = bit;
+                let outcome = rng.gen_bool(0.5);
+                self.set_phase(p, outcome);
+                Measurement::Random(outcome)
+            }
+            None => {
+                // Deterministic outcome: accumulate the stabilizers
+                // selected by the destabilizer X bits into the scratch
+                // row; its phase is the answer.
+                let scratch = 2 * n;
+                self.zero_row(scratch);
+                for i in 0..n {
+                    if self.x_bit(i, q) {
+                        self.rowsum(scratch, i + n);
+                    }
+                }
+                Measurement::Deterministic(self.phase_bit(scratch))
+            }
+        }
+    }
+
+    /// Measures every qubit (ascending order), collapsing the state,
+    /// and returns the outcome.
+    pub fn measure_all<R: Rng + ?Sized>(mut self, rng: &mut R) -> BitString {
+        let mut bits = 0u128;
+        for q in 0..self.n {
+            if self.measure(q, rng).value() {
+                bits |= 1u128 << q;
+            }
+        }
+        BitString::from_u128(bits, self.n)
+    }
+
+    // --- output support ----------------------------------------------
+
+    /// The measurement support of the state in closed form: Gaussian
+    /// elimination over the stabilizer rows (XOR-limb row products with
+    /// exact phases) splits them into `k` X-carrying generators and
+    /// `n − k` Z-only generators; the latter's `z·x = r` parity
+    /// constraints cut the computational basis down to an affine
+    /// subspace of `2^k` equiprobable outcomes, returned in a
+    /// canonical (sorted-enumeration) form.
+    #[must_use]
+    pub fn output_support(&self) -> OutputSupport {
+        let n = self.n;
+        // Stabilizer rows as (x, z, sign) triples over u128 masks.
+        let mut rows: Vec<PauliRow> = (n..2 * n).map(|r| self.row_u128(r)).collect();
+
+        // Phase 1: X-part elimination (column order = qubit order).
+        let mut r = 0usize;
+        for q in 0..n {
+            if let Some(pivot) = (r..n).find(|&i| rows[i].x >> q & 1 == 1) {
+                rows.swap(pivot, r);
+                for j in 0..n {
+                    if j != r && rows[j].x >> q & 1 == 1 {
+                        rows[j] = rows[r].mul(rows[j]);
+                    }
+                }
+                r += 1;
+            }
+        }
+
+        // Phase 2: the Z-only rows are parity constraints z·x = sign.
+        let mut cons: Vec<(u128, bool)> = rows[r..]
+            .iter()
+            .map(|w| {
+                debug_assert_eq!(w.x, 0, "elimination left an X component");
+                (w.z, w.neg)
+            })
+            .collect();
+        let mut pivots: Vec<usize> = Vec::new();
+        let mut cr = 0usize;
+        for q in 0..n {
+            if let Some(i) = (cr..cons.len()).find(|&i| cons[i].0 >> q & 1 == 1) {
+                cons.swap(i, cr);
+                for j in 0..cons.len() {
+                    if j != cr && cons[j].0 >> q & 1 == 1 {
+                        let (zc, sc) = cons[cr];
+                        cons[j].0 ^= zc;
+                        cons[j].1 ^= sc;
+                    }
+                }
+                pivots.push(q);
+                cr += 1;
+            }
+        }
+        debug_assert_eq!(
+            cr,
+            cons.len(),
+            "stabilizer group must have independent Z-only generators"
+        );
+
+        // Particular solution: free qubits 0, pivot qubits = the signs.
+        let mut offset = 0u128;
+        let mut pivot_mask = 0u128;
+        for (j, &p) in pivots.iter().enumerate() {
+            pivot_mask |= 1u128 << p;
+            if cons[j].1 {
+                offset |= 1u128 << p;
+            }
+        }
+
+        // Nullspace basis: one vector per free qubit, pivot bits set to
+        // cancel its constraint contributions.
+        let mut vectors: Vec<u128> = Vec::with_capacity(n - pivots.len());
+        for f in 0..n {
+            if pivot_mask >> f & 1 == 1 {
+                continue;
+            }
+            let mut v = 1u128 << f;
+            for (j, &(z, _)) in cons.iter().enumerate() {
+                if z >> f & 1 == 1 {
+                    v |= 1u128 << pivots[j];
+                }
+            }
+            vectors.push(v);
+        }
+        debug_assert_eq!(vectors.len(), r, "nullspace dimension must equal X-rank");
+
+        OutputSupport::canonicalize(n, offset, vectors)
+    }
+
+    /// Row `row` as `u128` masks plus its sign bit.
+    fn row_u128(&self, row: usize) -> PauliRow {
+        let mut x = 0u128;
+        let mut z = 0u128;
+        for l in 0..self.limbs {
+            x |= u128::from(self.xs[row * self.limbs + l]) << (l * LIMB_BITS);
+            z |= u128::from(self.zs[row * self.limbs + l]) << (l * LIMB_BITS);
+        }
+        PauliRow {
+            x,
+            z,
+            neg: self.phase_bit(row),
+        }
+    }
+}
+
+/// A Pauli row in `u128`-mask form with its sign, used by the support
+/// elimination.
+#[derive(Debug, Clone, Copy)]
+struct PauliRow {
+    x: u128,
+    z: u128,
+    neg: bool,
+}
+
+impl PauliRow {
+    /// The product `self · other` with exact sign — the `u128` twin of
+    /// the tableau's limb `rowsum`.
+    fn mul(self, other: PauliRow) -> PauliRow {
+        let (x1, z1, x2, z2) = (self.x, self.z, other.x, other.z);
+        let plus = (x1 & z1 & !x2 & z2) | (x1 & !z1 & x2 & z2) | (!x1 & z1 & x2 & !z2);
+        let minus = (x1 & z1 & x2 & !z2) | (x1 & !z1 & !x2 & z2) | (!x1 & z1 & x2 & z2);
+        let cnt = 2 * i64::from(self.neg) + 2 * i64::from(other.neg) + i64::from(plus.count_ones())
+            - i64::from(minus.count_ones());
+        let m = cnt.rem_euclid(4);
+        debug_assert_eq!(m % 2, 0, "row product is not Hermitian");
+        PauliRow {
+            x: x1 ^ x2,
+            z: z1 ^ z2,
+            neg: m == 2,
+        }
+    }
+}
+
+/// The Z-basis measurement support of a stabilizer state: an affine
+/// subspace `offset ⊕ span(basis)` of `2^k` equiprobable outcomes, in
+/// canonical form — basis vectors in reduced row-echelon form by
+/// *leading* (most significant) bit, descending, with the offset
+/// reduced against them.
+///
+/// Canonical form makes [`OutputSupport::element`] a **monotone** map
+/// from rank to packed outcome: element `r` is the `(r+1)`-th smallest
+/// member of the support in ascending basis order. That is exactly the
+/// order a dense inverse-CDF walk visits the support in, so one uniform
+/// draw `u` resolves to the same outcome here (`rank = ⌊u·2^k⌋`) as in
+/// the dense engine — the keystone of the stabilizer/dense
+/// exact-equality guarantee.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OutputSupport {
+    n: usize,
+    /// Canonical coset representative (zero at every basis lead bit).
+    offset: u128,
+    /// RREF basis, descending by leading bit.
+    basis: Vec<u128>,
+    /// Leading bit position of each basis vector.
+    leads: Vec<u32>,
+}
+
+impl OutputSupport {
+    /// Builds the canonical form from any spanning set of independent
+    /// vectors plus any coset representative.
+    fn canonicalize(n: usize, offset: u128, vectors: Vec<u128>) -> Self {
+        // Reduce to distinct leading bits.
+        let mut basis: Vec<u128> = Vec::with_capacity(vectors.len());
+        for mut v in vectors {
+            loop {
+                debug_assert_ne!(v, 0, "dependent vector in support basis");
+                let lead = 127 - v.leading_zeros();
+                match basis.iter().find(|w| 127 - w.leading_zeros() == lead) {
+                    Some(&w) => v ^= w,
+                    None => {
+                        basis.push(v);
+                        break;
+                    }
+                }
+            }
+        }
+        basis.sort_unstable_by(|a, b| b.cmp(a)); // descending lead
+        let leads: Vec<u32> = basis.iter().map(|v| 127 - v.leading_zeros()).collect();
+        // Back-substitute to full RREF: smallest lead first, so every
+        // vector XORed in is itself already fully reduced.
+        for i in (0..basis.len()).rev() {
+            for j in i + 1..basis.len() {
+                if basis[i] >> leads[j] & 1 == 1 {
+                    basis[i] ^= basis[j];
+                }
+            }
+        }
+        let mut support = Self {
+            n,
+            offset: 0,
+            basis,
+            leads,
+        };
+        support.offset = support.reduce(offset);
+        support
+    }
+
+    /// Dimension `k` of the support: the state spreads over `2^k`
+    /// equiprobable outcomes.
+    #[must_use]
+    pub fn rank(&self) -> usize {
+        self.basis.len()
+    }
+
+    /// Register width.
+    #[must_use]
+    pub fn num_qubits(&self) -> usize {
+        self.n
+    }
+
+    /// The canonical coset representative (the smallest member of the
+    /// support).
+    #[must_use]
+    pub fn offset(&self) -> u128 {
+        self.offset
+    }
+
+    /// The canonical (RREF, descending-lead) basis.
+    #[must_use]
+    pub fn basis(&self) -> &[u128] {
+        &self.basis
+    }
+
+    /// Reduces an arbitrary member (or shifted offset) to the canonical
+    /// coset representative of its coset: clears every basis lead bit.
+    #[must_use]
+    pub fn reduce(&self, mut x: u128) -> u128 {
+        for (v, &lead) in self.basis.iter().zip(&self.leads) {
+            if x >> lead & 1 == 1 {
+                x ^= v;
+            }
+        }
+        x
+    }
+
+    /// The `(rank+1)`-th smallest member of the support (packed). Bit
+    /// `k−1−i` of `rank` selects basis vector `i` (descending lead), so
+    /// the map is monotone in `rank`.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if `rank ≥ 2^k`.
+    #[must_use]
+    pub fn element(&self, rank: u128) -> u128 {
+        self.element_from(self.offset, rank)
+    }
+
+    /// [`OutputSupport::element`] against an alternative (already
+    /// [`reduce`](OutputSupport::reduce)d) offset — how faulty trials
+    /// sample from the X-frame-shifted support without re-eliminating.
+    #[must_use]
+    pub fn element_from(&self, reduced_offset: u128, rank: u128) -> u128 {
+        let k = self.basis.len();
+        debug_assert!(k >= 128 || rank < 1u128 << k, "rank out of range");
+        let mut x = reduced_offset;
+        for (i, &v) in self.basis.iter().enumerate() {
+            if rank >> (k - 1 - i) & 1 == 1 {
+                x ^= v;
+            }
+        }
+        x
+    }
+
+    /// Maps one uniform draw `u ∈ [0, 1)` to a support member: rank
+    /// `⌊u · 2^k⌋` (the scaling is exact — a power-of-two multiply),
+    /// then the monotone rank map. This is the closed-form counterpart
+    /// of a dense inverse-CDF walk over the state's probability vector.
+    ///
+    /// An `f64` carries 53 mantissa bits, so this resolves at most
+    /// 2^53 distinct ranks; for support ranks `k > 53` use
+    /// [`OutputSupport::sample_outcome`], which supplements the low
+    /// rank bits from additional integer draws.
+    #[must_use]
+    pub fn sample_with(&self, reduced_offset: u128, u: f64) -> u128 {
+        let k = self.basis.len();
+        if k == 0 {
+            return reduced_offset;
+        }
+        let scaled = u * (2.0f64).powi(k as i32);
+        // Float→int casts saturate; clamp handles the (unreachable for
+        // u < 1) top edge exactly.
+        let max_rank = if k >= 128 {
+            u128::MAX
+        } else {
+            (1u128 << k) - 1
+        };
+        let rank = (scaled as u128).min(max_rank);
+        self.element_from(reduced_offset, rank)
+    }
+
+    /// Draws one support member uniformly — the engines' sampling entry
+    /// point.
+    ///
+    /// Always consumes one `f64` first. For support ranks `k ≤ 53`
+    /// that single draw resolves the rank exactly as
+    /// [`OutputSupport::sample_with`] does — the discipline that keeps
+    /// the stabilizer engine bit-compatible with the dense inverse-CDF
+    /// walk (dense states cap at 24 qubits, so a dense-reachable rank
+    /// never exceeds 24). For `k > 53` the `f64` provides the top 53
+    /// rank bits (its exact 53-bit mantissa draw) and the remaining
+    /// low bits come from extra `u64` draws, so every one of the `2^k`
+    /// support members stays reachable — unreachable densely, hence no
+    /// compatibility cost.
+    pub fn sample_outcome<R: Rng + ?Sized>(&self, reduced_offset: u128, rng: &mut R) -> u128 {
+        let k = self.basis.len();
+        let u: f64 = rng.gen();
+        if k <= 53 {
+            return self.sample_with(reduced_offset, u);
+        }
+        // u = m / 2^53 with m the generator's 53-bit draw; scaling by
+        // 2^53 recovers m exactly.
+        let top = (u * (2.0f64).powi(53)) as u128;
+        let extra_bits = k - 53; // 1..=75
+        let mut low = 0u128;
+        let mut filled = 0usize;
+        while filled < extra_bits {
+            low = (low << 64) | u128::from(rng.next_u64());
+            filled += 64;
+        }
+        low &= (1u128 << extra_bits) - 1;
+        self.element_from(reduced_offset, (top << extra_bits) | low)
+    }
+
+    /// All support members in ascending order — test/diagnostic helper,
+    /// materializes `2^k` values.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k > 20` (over a million outcomes).
+    #[must_use]
+    pub fn enumerate(&self) -> Vec<u128> {
+        let k = self.basis.len();
+        assert!(k <= 20, "support of 2^{k} outcomes is too large to list");
+        (0..1u128 << k).map(|r| self.element(r)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn ghz(n: usize) -> Circuit {
+        let mut c = Circuit::new(n);
+        c.h(0);
+        for q in 0..n - 1 {
+            c.cx(q, q + 1);
+        }
+        c
+    }
+
+    #[test]
+    fn zero_state_measures_all_zeros_deterministically() {
+        let mut t = Tableau::new(5);
+        let mut rng = StdRng::seed_from_u64(0);
+        for q in 0..5 {
+            let m = t.measure(q, &mut rng);
+            assert_eq!(m, Measurement::Deterministic(false));
+        }
+    }
+
+    #[test]
+    fn x_gate_flips_the_measured_bit() {
+        let mut t = Tableau::new(3);
+        t.x(1);
+        let mut rng = StdRng::seed_from_u64(0);
+        assert!(!t.measure(0, &mut rng).value());
+        assert!(t.measure(1, &mut rng).value());
+        assert!(!t.measure(2, &mut rng).value());
+    }
+
+    #[test]
+    fn hadamard_measurement_is_random_then_sticky() {
+        let mut found = [false; 2];
+        for seed in 0..32 {
+            let mut t = Tableau::new(1);
+            t.h(0);
+            let mut rng = StdRng::seed_from_u64(seed);
+            let m = t.measure(0, &mut rng);
+            assert!(m.was_random());
+            found[usize::from(m.value())] = true;
+            // Re-measuring after collapse is deterministic and equal.
+            assert_eq!(
+                t.measure(0, &mut rng),
+                Measurement::Deterministic(m.value())
+            );
+        }
+        assert!(found[0] && found[1], "both outcomes must occur");
+    }
+
+    #[test]
+    fn ghz_measures_to_correlated_branches() {
+        let mut zeros = 0u32;
+        let trials = 400u64;
+        for seed in 0..trials {
+            let t = Tableau::from_circuit(&ghz(7));
+            let outcome = t.measure_all(&mut StdRng::seed_from_u64(seed));
+            assert!(
+                outcome.weight() == 0 || outcome.weight() == 7,
+                "GHZ branch broken: {outcome}"
+            );
+            if outcome.weight() == 0 {
+                zeros += 1;
+            }
+        }
+        let frac = f64::from(zeros) / trials as f64;
+        assert!((frac - 0.5).abs() < 0.1, "branch frequency {frac}");
+    }
+
+    #[test]
+    fn s_is_not_z_but_s_squared_is() {
+        // |+⟩ → S² |+⟩ = Z|+⟩ = |−⟩: H then measure gives 1.
+        let mut t = Tableau::new(1);
+        t.h(0);
+        t.s(0);
+        t.s(0);
+        t.h(0);
+        let mut rng = StdRng::seed_from_u64(1);
+        assert_eq!(t.measure(0, &mut rng), Measurement::Deterministic(true));
+        // Whereas S†S = identity.
+        let mut t = Tableau::new(1);
+        t.h(0);
+        t.s(0);
+        t.sdg(0);
+        t.h(0);
+        assert_eq!(t.measure(0, &mut rng), Measurement::Deterministic(false));
+    }
+
+    #[test]
+    fn sx_squared_is_x() {
+        let mut t = Tableau::new(2);
+        t.sx(1);
+        t.sx(1);
+        let mut rng = StdRng::seed_from_u64(2);
+        assert_eq!(t.measure(1, &mut rng), Measurement::Deterministic(true));
+        assert_eq!(t.measure(0, &mut rng), Measurement::Deterministic(false));
+    }
+
+    #[test]
+    fn cz_and_swap_compose_correctly() {
+        // X(0); SWAP(0,1) moves the excitation; CZ phases don't touch
+        // Z-basis outcomes here.
+        let mut t = Tableau::new(2);
+        t.x(0);
+        t.swap(0, 1);
+        t.cz(0, 1);
+        let mut rng = StdRng::seed_from_u64(3);
+        assert!(!t.measure(0, &mut rng).value());
+        assert!(t.measure(1, &mut rng).value());
+    }
+
+    #[test]
+    fn rz_clifford_steps_apply() {
+        // Rz(π) ≅ Z: |+⟩ → |−⟩.
+        let mut t = Tableau::new(1);
+        t.apply_gate(Gate::H(0));
+        t.apply_gate(Gate::Rz(0, std::f64::consts::PI));
+        t.apply_gate(Gate::H(0));
+        let mut rng = StdRng::seed_from_u64(4);
+        assert_eq!(t.measure(0, &mut rng), Measurement::Deterministic(true));
+    }
+
+    #[test]
+    #[should_panic(expected = "non-Clifford")]
+    fn non_clifford_gate_rejected() {
+        let mut t = Tableau::new(1);
+        t.apply_gate(Gate::T(0));
+    }
+
+    #[test]
+    fn ghz_support_is_the_two_branch_line() {
+        let t = Tableau::from_circuit(&ghz(6));
+        let s = t.output_support();
+        assert_eq!(s.rank(), 1);
+        assert_eq!(s.offset(), 0);
+        assert_eq!(s.basis(), &[(1u128 << 6) - 1]);
+        assert_eq!(s.enumerate(), vec![0, (1u128 << 6) - 1]);
+    }
+
+    #[test]
+    fn pauli_injection_shifts_the_support() {
+        // An X error on qubit 2 of a computational state shifts the
+        // (single-element) support.
+        let mut t = Tableau::new(4);
+        t.apply_pauli(PauliMask::single(crate::noise::Pauli::X, 2));
+        let s = t.output_support();
+        assert_eq!(s.rank(), 0);
+        assert_eq!(s.offset(), 0b0100);
+        // A Z error leaves the support alone.
+        let mut t = Tableau::new(4);
+        t.apply_pauli(PauliMask::single(crate::noise::Pauli::Z, 1));
+        assert_eq!(t.output_support().offset(), 0);
+        // X on a GHZ state maps the support onto itself (flip one leg,
+        // the basis absorbs it).
+        let mut t = Tableau::from_circuit(&ghz(5));
+        let before = t.output_support();
+        t.apply_pauli(PauliMask::single(crate::noise::Pauli::X, 0));
+        let after = t.output_support();
+        assert_eq!(after.rank(), 1);
+        // Support sets: {00000, 11111} vs {00001, 11110}.
+        assert_ne!(before.enumerate(), after.enumerate());
+        assert_eq!(after.enumerate().len(), 2);
+    }
+
+    #[test]
+    fn support_elements_are_sorted_and_rank_map_is_monotone() {
+        // A state with a 3-dimensional support spread across qubits.
+        let mut c = Circuit::new(6);
+        c.h(0).h(3).h(5).cx(0, 1).cx(3, 4).x(2);
+        let s = Tableau::from_circuit(&c).output_support();
+        assert_eq!(s.rank(), 3);
+        let members = s.enumerate();
+        for w in members.windows(2) {
+            assert!(w[0] < w[1], "support enumeration must ascend");
+        }
+        // sample_with visits members by exact dyadic rank.
+        let k = s.rank();
+        for (r, &m) in members.iter().enumerate() {
+            let u = (r as f64 + 0.5) / (1u64 << k) as f64;
+            assert_eq!(s.sample_with(s.offset(), u), m);
+        }
+    }
+
+    #[test]
+    fn wide_tableau_crosses_limb_boundaries() {
+        // 100-qubit GHZ: support = {0, all-ones}, with the basis vector
+        // spanning both limbs.
+        let t = Tableau::from_circuit(&ghz(100));
+        let s = t.output_support();
+        assert_eq!(s.rank(), 1);
+        assert_eq!(s.offset(), 0);
+        assert_eq!(s.basis(), &[(1u128 << 100) - 1]);
+        // Measurement agrees.
+        let outcome = t.measure_all(&mut StdRng::seed_from_u64(9));
+        assert!(outcome.weight() == 0 || outcome.weight() == 100);
+        // An entangling chain crossing the 64-bit boundary behaves.
+        let mut c = Circuit::new(80);
+        c.h(60);
+        for q in 60..75 {
+            c.cx(q, q + 1);
+        }
+        let s = Tableau::from_circuit(&c).output_support();
+        assert_eq!(s.rank(), 1);
+        let line: u128 = ((1u128 << 76) - 1) ^ ((1u128 << 60) - 1);
+        assert_eq!(s.basis(), &[line]);
+    }
+
+    #[test]
+    fn measure_all_matches_support_membership() {
+        // Any sampled outcome must be a support member.
+        let mut c = Circuit::new(9);
+        c.h(0)
+            .cx(0, 4)
+            .h(7)
+            .cz(7, 8)
+            .s(4)
+            .cx(4, 2)
+            .push(Gate::SqrtX(5));
+        let support = Tableau::from_circuit(&c).output_support();
+        let members = support.enumerate();
+        for seed in 0..50 {
+            let t = Tableau::from_circuit(&c);
+            let outcome = t.measure_all(&mut StdRng::seed_from_u64(seed));
+            assert!(
+                members.contains(&outcome.as_u128()),
+                "sampled {outcome} outside the support"
+            );
+        }
+    }
+}

@@ -23,7 +23,21 @@
 //!   Bernoulli draw per idle moment;
 //! * splits the trial budget across worker threads, each trial owning a
 //!   deterministically-derived RNG stream, so a fixed seed yields
-//!   identical [`Counts`] at any thread count.
+//!   identical [`Counts`] at any thread count;
+//! * resolves every per-trial outcome with **one** uniform draw through
+//!   an inverse-CDF sampler ([`crate::CdfSampler`] for fault-free and
+//!   diagonal-tail trials, the state-vector walk for evolved trials).
+//!
+//! The single-draw discipline is shared with
+//! [`crate::StabilizerEngine`]: both engines derive the same per-trial
+//! streams, sample the same fault configurations through the shared
+//! [`FaultPlan`], and map the same uniform draw onto the same ranked
+//! support element — which is why a fixed seed yields *identical*
+//! counts from either engine on Clifford circuits (the
+//! `stabilizer_oracle` suite pins this exactly). RNG-stream note: the
+//! outcome draw changed from the PR 3 alias sampler (two draws) to the
+//! CDF sampler (one draw), so concrete histograms for a given seed
+//! differ from PR 3; the sampled distribution is unchanged.
 //!
 //! The pre-subsystem path survives as
 //! [`TrajectoryEngine::sample_reference`] (the `repro bench-sim`
@@ -40,7 +54,7 @@ use crate::engine::NoiseEngine;
 use crate::error::SimError;
 use crate::gates::{Gate, GateQubits};
 use crate::noise::{NoiseModel, Pauli, PauliFault};
-use crate::sampler::AliasSampler;
+use crate::sampler::{AliasSampler, CdfSampler};
 use crate::simkernel::SimTuning;
 use crate::statevector::{StateVector, MAX_DENSE_QUBITS};
 
@@ -137,33 +151,12 @@ impl<'a> TrajectoryEngine<'a> {
         let n = circuit.num_qubits();
         let noise = self.device.noise();
 
-        let workers = (self.tuning.threads.max(1) as u64).min(trials) as usize;
+        let workers = trial_workers(self.tuning.threads, trials);
         let ctx = TrialContext::new(circuit, noise, &self.tuning, workers);
         let base_seed = rng.next_u64();
-
-        if workers <= 1 {
-            return Ok(run_trial_block(&ctx, base_seed, 0..trials));
-        }
-        let per = trials.div_ceil(workers as u64);
-        let mut merged = Counts::new(n).expect("validated width");
-        crossbeam::thread::scope(|scope| {
-            let ctx = &ctx;
-            let handles: Vec<_> = (0..workers as u64)
-                .map(|w| {
-                    let lo = w * per;
-                    let hi = ((w + 1) * per).min(trials);
-                    scope.spawn(move |_| run_trial_block(ctx, base_seed, lo..hi))
-                })
-                .collect();
-            for handle in handles {
-                let counts = handle.join().expect("trial worker does not panic");
-                for (outcome, c) in counts.iter() {
-                    merged.record_n(outcome, c);
-                }
-            }
-        })
-        .expect("trial worker does not panic");
-        Ok(merged)
+        Ok(run_trial_blocks(n, workers, trials, |range| {
+            run_trial_block(&ctx, base_seed, range)
+        }))
     }
 
     /// The pre-kernel-subsystem sampling loop, kept verbatim: generic
@@ -262,6 +255,94 @@ impl<'a> TrajectoryEngine<'a> {
     }
 }
 
+/// The per-location fault model of one circuit on one device: where
+/// faults can strike and how likely they are. Shared verbatim between
+/// [`TrajectoryEngine`] and [`crate::StabilizerEngine`] so the two
+/// engines draw **identical** fault configurations from identical
+/// per-trial RNG streams — the foundation of their exact-counts
+/// agreement on Clifford circuits.
+pub(crate) struct FaultPlan {
+    /// Fault probability per gate location.
+    gate_ps: Vec<f64>,
+    /// Whether the gate at each location is two-qubit (a two-qubit
+    /// depolarizing fault draws from 15 Paulis instead of 3).
+    two_qubit: Vec<bool>,
+    /// Per-gate `(qubit, idle_moments)` waits (empty without idle noise).
+    idle_before: Vec<Vec<(usize, usize)>>,
+    /// Trailing idle moments per qubit before measurement.
+    idle_trailing: Vec<usize>,
+    idle_rate: f64,
+}
+
+impl FaultPlan {
+    pub(crate) fn new(circuit: &Circuit, noise: &NoiseModel) -> Self {
+        let gate_ps = circuit
+            .gates()
+            .iter()
+            .map(|g| match g.qubits() {
+                GateQubits::One(q) => noise.p1_for(q),
+                GateQubits::Two(a, b) => noise.p2_for(a, b),
+            })
+            .collect();
+        let two_qubit = circuit.gates().iter().map(Gate::is_two_qubit).collect();
+        let idle_rate = noise.idle();
+        let (idle_before, idle_trailing) = if idle_rate > 0.0 {
+            circuit.idle_periods()
+        } else {
+            (Vec::new(), Vec::new())
+        };
+        Self {
+            gate_ps,
+            two_qubit,
+            idle_before,
+            idle_trailing,
+            idle_rate,
+        }
+    }
+
+    /// Samples one trial's fault configuration into `faults`, ordered by
+    /// gate index with `End` faults last.
+    ///
+    /// Idle periods draw a single geometric/binomial sample per period
+    /// (one RNG draw per *fault* plus one, instead of one per idle
+    /// *moment*), which is the distribution-preserving replacement for
+    /// the old per-moment Bernoulli loop — see the RNG-stream note on
+    /// the seeded-determinism test.
+    pub(crate) fn sample_faults(&self, faults: &mut Vec<TrialFault>, rng: &mut StdRng) {
+        for (i, (&p, &two)) in self.gate_ps.iter().zip(&self.two_qubit).enumerate() {
+            if self.idle_rate > 0.0 {
+                for &(q, moments) in &self.idle_before[i] {
+                    for_each_geometric_hit(rng, moments, self.idle_rate, |rng| {
+                        faults.push(TrialFault::BeforeGate {
+                            idx: i,
+                            qubit: q,
+                            pauli: Pauli::random(rng),
+                        });
+                    });
+                }
+            }
+            if p > 0.0 && rng.gen::<f64>() < p {
+                let fault = if two {
+                    PauliFault::random_double(rng)
+                } else {
+                    PauliFault::random_single(rng)
+                };
+                faults.push(TrialFault::AfterGate { idx: i, fault });
+            }
+        }
+        if self.idle_rate > 0.0 {
+            for (q, &moments) in self.idle_trailing.iter().enumerate() {
+                for_each_geometric_hit(rng, moments, self.idle_rate, |rng| {
+                    faults.push(TrialFault::End {
+                        qubit: q,
+                        pauli: Pauli::random(rng),
+                    });
+                });
+            }
+        }
+    }
+}
+
 /// Everything a trial worker needs, borrowed once per `sample` call.
 struct TrialContext<'c> {
     circuit: &'c Circuit,
@@ -276,16 +357,14 @@ struct TrialContext<'c> {
     /// `threads`-way fan-out per gate per worker would only pay
     /// spawn/join cost.
     evolve_tuning: SimTuning,
-    /// Fault probability per gate location.
-    gate_ps: Vec<f64>,
-    /// Per-gate `(qubit, idle_moments)` waits (empty without idle noise).
-    idle_before: Vec<Vec<(usize, usize)>>,
-    /// Trailing idle moments per qubit before measurement.
-    idle_trailing: Vec<usize>,
-    idle_rate: f64,
+    /// Where faults strike and how likely (shared with the stabilizer
+    /// engine).
+    faults: FaultPlan,
     /// Ideal output sampler for fault-free trials, streamed straight
-    /// from the final amplitudes (no dense probability vector).
-    ideal_sampler: AliasSampler,
+    /// from the final amplitudes (no dense probability vector). One
+    /// uniform draw per sample, mapped onto the support in ascending
+    /// basis order — the discipline the stabilizer engine mirrors.
+    ideal_sampler: CdfSampler,
     /// Length of the shortest gate prefix whose suffix is entirely
     /// diagonal. Diagonal gates commute with Z-basis measurement, so
     /// trajectories stop evolving here; faults in the diagonal tail
@@ -302,24 +381,10 @@ impl<'c> TrialContext<'c> {
         tuning: &SimTuning,
         workers: usize,
     ) -> Self {
-        let gate_ps = circuit
-            .gates()
-            .iter()
-            .map(|g| match g.qubits() {
-                GateQubits::One(q) => noise.p1_for(q),
-                GateQubits::Two(a, b) => noise.p2_for(a, b),
-            })
-            .collect();
         let ideal = StateVector::from_circuit_with(circuit, tuning);
         let ideal_sampler =
-            AliasSampler::from_weights_iter(ideal.amplitudes().iter().map(|a| a.norm_sqr()))
+            CdfSampler::from_weights_iter(ideal.amplitudes().iter().map(|a| a.norm_sqr()))
                 .expect("normalized state");
-        let idle_rate = noise.idle();
-        let (idle_before, idle_trailing) = if idle_rate > 0.0 {
-            circuit.idle_periods()
-        } else {
-            (Vec::new(), Vec::new())
-        };
         let gates = circuit.gates();
         let meas_cut = gates.len() - gates.iter().rev().take_while(|g| g.is_diagonal()).count();
         let evolve_tuning = if workers > 1 {
@@ -335,10 +400,7 @@ impl<'c> TrialContext<'c> {
             noise,
             checkpoint: tuning.checkpoint,
             evolve_tuning,
-            gate_ps,
-            idle_before,
-            idle_trailing,
-            idle_rate,
+            faults: FaultPlan::new(circuit, noise),
             ideal_sampler,
             meas_cut,
         }
@@ -355,9 +417,54 @@ struct FaultyTrial {
     rng: StdRng,
 }
 
+/// Number of trial workers a sampling call actually spawns: the
+/// configured thread count, but never more than one worker per trial.
+pub(crate) fn trial_workers(threads: usize, trials: u64) -> usize {
+    (threads.max(1) as u64).min(trials) as usize
+}
+
+/// Splits `trials` into one contiguous block per worker, runs
+/// `run_block` on each (crossbeam scoped threads above one worker), and
+/// merges the per-worker histograms. Shared by the trajectory and
+/// stabilizer engines so their trial partitioning — part of the
+/// engines' bit-for-bit seed-compatibility story, since both must hand
+/// the same trial indices to the same per-trial streams — can never
+/// drift apart. (The merge itself is order-insensitive: per-trial
+/// streams make each block independent of its worker.)
+pub(crate) fn run_trial_blocks<F>(n: usize, workers: usize, trials: u64, run_block: F) -> Counts
+where
+    F: Fn(std::ops::Range<u64>) -> Counts + Sync,
+{
+    if workers <= 1 {
+        return run_block(0..trials);
+    }
+    let per = trials.div_ceil(workers as u64);
+    let mut merged = Counts::new(n).expect("validated width");
+    crossbeam::thread::scope(|scope| {
+        let run_block = &run_block;
+        let handles: Vec<_> = (0..workers as u64)
+            .map(|w| {
+                let lo = w * per;
+                let hi = ((w + 1) * per).min(trials);
+                scope.spawn(move |_| run_block(lo..hi))
+            })
+            .collect();
+        for handle in handles {
+            let counts = handle.join().expect("trial worker does not panic");
+            for (outcome, c) in counts.iter() {
+                merged.record_n(outcome, c);
+            }
+        }
+    })
+    .expect("trial worker does not panic");
+    merged
+}
+
 /// The per-trial RNG stream: independent of thread count by
-/// construction (`trial` indexes the stream, not the worker).
-fn trial_rng(base_seed: u64, trial: u64) -> StdRng {
+/// construction (`trial` indexes the stream, not the worker). Shared
+/// with the stabilizer engine — same seed, same trial, same stream,
+/// whichever engine runs it.
+pub(crate) fn trial_rng(base_seed: u64, trial: u64) -> StdRng {
     StdRng::seed_from_u64(base_seed ^ trial.wrapping_mul(0x9E37_79B9_7F4A_7C15))
 }
 
@@ -378,7 +485,7 @@ fn run_trial_block(ctx: &TrialContext<'_>, base_seed: u64, range: std::ops::Rang
     for t in range {
         let mut rng = trial_rng(base_seed, t);
         scratch_faults.clear();
-        sample_faults(ctx, &mut scratch_faults, &mut rng);
+        ctx.faults.sample_faults(&mut scratch_faults, &mut rng);
         if scratch_faults.is_empty() {
             let outcome = BitString::new(ctx.ideal_sampler.sample(&mut rng) as u64, n);
             counts.record(ctx.noise.apply_readout(outcome, &mut rng));
@@ -409,7 +516,7 @@ fn run_trial_block(ctx: &TrialContext<'_>, base_seed: u64, range: std::ops::Rang
         // state evolution at all: the pre-tail state has the ideal
         // measurement distribution, and tail faults only flip bits.
         if trial.fork >= ctx.meas_cut {
-            let mask = tail_flip_mask(ctx.circuit, &trial.faults, 0);
+            let mask = tail_flip_mask(ctx.circuit, &trial.faults, 0) as u64;
             let raw = ctx.ideal_sampler.sample(&mut trial.rng) as u64 ^ mask;
             let outcome = BitString::new(raw, n);
             counts.record(ctx.noise.apply_readout(outcome, &mut trial.rng));
@@ -438,48 +545,6 @@ fn run_trial_block(ctx: &TrialContext<'_>, base_seed: u64, range: std::ops::Rang
         counts.record(ctx.noise.apply_readout(outcome, &mut trial.rng));
     }
     counts
-}
-
-/// Samples one trial's fault configuration, ordered by gate index with
-/// `End` faults last.
-///
-/// Idle periods draw a single geometric/binomial sample per period
-/// (one RNG draw per *fault* plus one, instead of one per idle
-/// *moment*), which is the distribution-preserving replacement for the
-/// old per-moment Bernoulli loop — see the RNG-stream note on the
-/// seeded-determinism test.
-fn sample_faults(ctx: &TrialContext<'_>, faults: &mut Vec<TrialFault>, rng: &mut StdRng) {
-    for (i, (&p, g)) in ctx.gate_ps.iter().zip(ctx.circuit.gates()).enumerate() {
-        if ctx.idle_rate > 0.0 {
-            for &(q, moments) in &ctx.idle_before[i] {
-                for_each_geometric_hit(rng, moments, ctx.idle_rate, |rng| {
-                    faults.push(TrialFault::BeforeGate {
-                        idx: i,
-                        qubit: q,
-                        pauli: Pauli::random(rng),
-                    });
-                });
-            }
-        }
-        if p > 0.0 && rng.gen::<f64>() < p {
-            let fault = if g.is_two_qubit() {
-                PauliFault::random_double(rng)
-            } else {
-                PauliFault::random_single(rng)
-            };
-            faults.push(TrialFault::AfterGate { idx: i, fault });
-        }
-    }
-    if ctx.idle_rate > 0.0 {
-        for (q, &moments) in ctx.idle_trailing.iter().enumerate() {
-            for_each_geometric_hit(rng, moments, ctx.idle_rate, |rng| {
-                faults.push(TrialFault::End {
-                    qubit: q,
-                    pauli: Pauli::random(rng),
-                });
-            });
-        }
-    }
 }
 
 /// Calls `hit` once per fault in an idle period of `moments` slots with
@@ -566,17 +631,20 @@ fn evolve_window_masked(
             }
         }
     }
-    tail_flip_mask(circuit, faults, next)
+    // Dense registers cap at MAX_DENSE_QUBITS, far inside u64.
+    tail_flip_mask(circuit, faults, next) as u64
 }
 
 /// The measurement bit-flip mask of the faults `faults[from..]`, all of
 /// which sit in the diagonal tail (or after the last gate): X and Y
-/// flip their qubit's outcome bit, Z leaves it unchanged.
-fn tail_flip_mask(circuit: &Circuit, faults: &[TrialFault], from: usize) -> u64 {
-    let mut mask = 0u64;
+/// flip their qubit's outcome bit, Z leaves it unchanged. Shared with
+/// the stabilizer engine (whose registers run past 64 bits — dense
+/// callers truncate to their `u64` width).
+pub(crate) fn tail_flip_mask(circuit: &Circuit, faults: &[TrialFault], from: usize) -> u128 {
+    let mut mask = 0u128;
     let mut flip = |pauli: Pauli, qubit: usize| {
         if pauli.flips_measurement() {
-            mask ^= 1u64 << qubit;
+            mask ^= 1u128 << qubit;
         }
     };
     for f in &faults[from..] {
@@ -652,9 +720,11 @@ fn evolve_with_faults(
     }
 }
 
-/// One fault event within a trial.
+/// One fault event within a trial. Shared with the stabilizer engine,
+/// which realizes the same events as Pauli-frame updates instead of
+/// state-vector gate applications.
 #[derive(Debug, Clone, Copy)]
-enum TrialFault {
+pub(crate) enum TrialFault {
     /// Idle-decoherence fault on `qubit` just before gate `idx`.
     BeforeGate {
         idx: usize,

@@ -90,7 +90,7 @@ fn clifford_circuit() -> impl Strategy<Value = Circuit> {
 /// Applies a Pauli mask (X/Z bit masks) to a state as explicit gates.
 fn apply_mask(sv: &mut StateVector, mask: PauliMask) {
     for q in 0..sv.num_qubits() {
-        let bit = 1u64 << q;
+        let bit = 1u128 << q;
         match (mask.x & bit != 0, mask.z & bit != 0) {
             (true, false) => sv.apply_gate(Gate::X(q)),
             (false, true) => sv.apply_gate(Gate::Z(q)),

@@ -70,7 +70,7 @@ pub mod prelude {
     pub use hammer_graphs::{generators, Graph, MaxCut};
     pub use hammer_qaoa::{EngineKind, PostProcess, QaoaOutcome, QaoaParams, QaoaRunner};
     pub use hammer_sim::{
-        Circuit, DeviceModel, Gate, NoiseEngine, NoiseModel, PropagationEngine, StateVector,
-        TrajectoryEngine,
+        AutoEngine, Circuit, DeviceModel, Gate, NoiseEngine, NoiseModel, PropagationEngine,
+        StabilizerEngine, StateVector, TrajectoryEngine,
     };
 }
