@@ -22,7 +22,7 @@ use std::process::ExitCode;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
-use hammer_bench::{experiments, kernel_bench, sim_bench, stab_bench};
+use hammer_bench::{experiments, kernel_bench, serve_bench, sim_bench, stab_bench};
 
 /// Runs one of the JSON-artifact bench subcommands and writes its
 /// output file.
@@ -40,6 +40,10 @@ fn run_bench_artifact(name: &str, quick: bool, out_path: &str) -> ExitCode {
             let report = stab_bench::run(quick);
             (report.render(), report.to_json())
         }
+        "bench-serve" => {
+            let report = serve_bench::run(quick);
+            (report.render(), report.to_json())
+        }
         other => unreachable!("unknown bench subcommand {other}"),
     };
     println!("{rendered}");
@@ -48,6 +52,128 @@ fn run_bench_artifact(name: &str, quick: bool, out_path: &str) -> ExitCode {
         return ExitCode::FAILURE;
     }
     eprintln!("[{name} wrote {out_path}]");
+    ExitCode::SUCCESS
+}
+
+/// `repro serve [--addr A] [--workers N] [--cache-mb MB]`: run the
+/// serving subsystem in the foreground until a client sends `Shutdown`.
+fn run_serve(args: &[String]) -> ExitCode {
+    /// `--flag N` as a usize, with a readable failure.
+    fn usize_flag(args: &[String], flag: &str) -> Result<Option<usize>, String> {
+        match flag_value(args, flag)? {
+            None => Ok(None),
+            Some(v) => v
+                .parse::<usize>()
+                .map(Some)
+                .map_err(|_| format!("{flag} requires a non-negative integer, got {v}")),
+        }
+    }
+    let mut config = hammer_serve::ServeConfig::default();
+    let parsed = usize_flag(args, "--workers")
+        .map(|v| {
+            if let Some(n) = v {
+                config.workers = n;
+            }
+        })
+        .and_then(|()| usize_flag(args, "--cache-mb"))
+        .map(|v| {
+            if let Some(n) = v {
+                config.cache_mb = n;
+            }
+        })
+        .and_then(|()| flag_value(args, "--addr").map(|v| v.map(String::from)));
+    match parsed {
+        Ok(Some(addr)) => config.addr = addr,
+        Ok(None) => {}
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    }
+    let server = match hammer_serve::serve(&config) {
+        Ok(server) => server,
+        Err(e) => {
+            eprintln!("failed to bind {}: {e}", config.addr);
+            return ExitCode::FAILURE;
+        }
+    };
+    eprintln!(
+        "[serve] listening on {} ({} workers, {} MiB cache); send Shutdown to stop",
+        server.local_addr(),
+        config.workers,
+        config.cache_mb,
+    );
+    let stats = server.wait();
+    eprintln!(
+        "[serve] shut down after {} requests ({} hits, {} misses, {} coalesced, {} busy)",
+        stats.requests,
+        stats.cache_hits,
+        stats.cache_misses,
+        stats.coalesced,
+        stats.busy_rejections,
+    );
+    ExitCode::SUCCESS
+}
+
+/// `repro serve-smoke [--addr A] [--shutdown]`: one client round trip —
+/// Ping, a small Reconstruct (checked against the direct library
+/// call), Stats, and optionally Shutdown. The CI workflow runs this
+/// against a backgrounded `repro serve`.
+fn run_serve_smoke(args: &[String]) -> ExitCode {
+    use hammer_dist::BitString;
+    let addr = match flag_value(args, "--addr") {
+        Ok(addr) => addr.unwrap_or("127.0.0.1:7878").to_string(),
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let mut client = match hammer_serve::ServeClient::connect(&addr) {
+        Ok(client) => client,
+        Err(e) => {
+            eprintln!("serve-smoke: cannot connect to {addr}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let fail = |what: &str, e: hammer_serve::WireError| {
+        eprintln!("serve-smoke: {what} failed: {e}");
+        ExitCode::FAILURE
+    };
+    if let Err(e) = client.ping() {
+        return fail("ping", e);
+    }
+    let mut counts = hammer_dist::Counts::new(5).expect("valid width");
+    let bs = |s: &str| BitString::parse(s).expect("valid literal");
+    counts.record_n(bs("11111"), 150);
+    counts.record_n(bs("00100"), 250);
+    for s in ["11110", "11101", "11011", "10111", "01111"] {
+        counts.record_n(bs(s), 80);
+    }
+    let config = hammer_core::HammerConfig::paper();
+    let served = match client.reconstruct(&counts, &config) {
+        Ok(d) => d,
+        Err(e) => return fail("reconstruct", e),
+    };
+    let direct = hammer_core::Hammer::with_config(config).reconstruct_counts(&counts);
+    if served != direct {
+        eprintln!("serve-smoke: served reconstruction differs from the direct library call");
+        return ExitCode::FAILURE;
+    }
+    let stats = match client.stats() {
+        Ok(stats) => stats,
+        Err(e) => return fail("stats", e),
+    };
+    eprintln!(
+        "[serve-smoke] ok: ping + reconstruct round-tripped; server stats: {} requests, \
+         {} hits, {} misses",
+        stats.requests, stats.cache_hits, stats.cache_misses,
+    );
+    if args.iter().any(|a| a == "--shutdown") {
+        if let Err(e) = client.shutdown() {
+            return fail("shutdown", e);
+        }
+        eprintln!("[serve-smoke] shutdown acknowledged");
+    }
     ExitCode::SUCCESS
 }
 
@@ -124,8 +250,17 @@ fn main() -> ExitCode {
         eprintln!("       repro bench-kernel [--quick] [--out PATH]");
         eprintln!("       repro bench-sim [--quick] [--out PATH]");
         eprintln!("       repro bench-stab [--quick] [--out PATH]");
+        eprintln!("       repro bench-serve [--quick] [--out PATH]");
+        eprintln!("       repro serve [--addr A] [--workers N] [--cache-mb MB]");
+        eprintln!("       repro serve-smoke [--addr A] [--shutdown]");
         eprintln!("       repro --list");
         return ExitCode::FAILURE;
+    }
+    if args.first().map(String::as_str) == Some("serve") {
+        return run_serve(&args[1..]);
+    }
+    if args.first().map(String::as_str) == Some("serve-smoke") {
+        return run_serve_smoke(&args[1..]);
     }
     if args.iter().any(|a| a == "--list") {
         for id in experiments::ALL_IDS {
@@ -135,7 +270,10 @@ fn main() -> ExitCode {
     }
     let quick = args.iter().any(|a| a == "--quick");
     if let Some(bench) = args.iter().find(|a| {
-        a.as_str() == "bench-kernel" || a.as_str() == "bench-sim" || a.as_str() == "bench-stab"
+        matches!(
+            a.as_str(),
+            "bench-kernel" | "bench-sim" | "bench-stab" | "bench-serve"
+        )
     }) {
         let out_value = match flag_value(&args, "--out") {
             Ok(v) => v,
@@ -147,6 +285,7 @@ fn main() -> ExitCode {
         let default_out = match bench.as_str() {
             "bench-kernel" => "BENCH_kernel.json",
             "bench-sim" => "BENCH_sim.json",
+            "bench-serve" => "BENCH_serve.json",
             _ => "BENCH_stab.json",
         };
         // Refuse to silently drop experiment ids passed alongside the

@@ -21,5 +21,6 @@ pub mod experiments;
 pub mod kernel_bench;
 pub mod pipeline;
 pub mod report;
+pub mod serve_bench;
 pub mod sim_bench;
 pub mod stab_bench;

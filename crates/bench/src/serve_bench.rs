@@ -1,0 +1,398 @@
+//! The `repro bench-serve` measurement harness: an in-process
+//! `hammer_serve` server driven by N concurrent client threads through
+//! mixed hot/cold workloads, emitting the `BENCH_serve.json` artifact
+//! (throughput, p50/p99 latency, cache hit rate — all measured wall
+//! clock, never extrapolated).
+//!
+//! Three scenarios ladder the compute-per-request up:
+//!
+//! * `reconstruct-small` — the §4.5 halo histogram (11 unique
+//!   outcomes): latency is dominated by the RPC itself, so this row
+//!   measures protocol + runtime overhead;
+//! * `reconstruct-large` — a synthetic 4096-unique 16-bit histogram:
+//!   the `O(N²)` kernel dominates, so the cache hit/miss split shows;
+//! * `sample-reconstruct` — a noisy 16-qubit GHZ sampled for 20K trials
+//!   then reconstructed: the full pipeline behind one opcode.
+//!
+//! "Hot" requests repeat one fingerprint (cache hits after the first);
+//! "cold" requests salt the payload so every one computes. The hot
+//! fraction is 80%.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Barrier};
+use std::time::Instant;
+
+use hammer_core::HammerConfig;
+use hammer_dist::{BitString, Counts};
+use hammer_serve::{serve, DeviceSpec, SampleJob, ServeClient, ServeConfig, WireError};
+use hammer_sim::Circuit;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Client threads driving the server.
+const CLIENTS: usize = 4;
+/// Fraction of requests that share the hot fingerprint (per mille to
+/// keep the schedule integer-deterministic).
+const HOT_PER_10: u64 = 8;
+
+/// One measured serving scenario.
+#[derive(Debug, Clone)]
+pub struct ServeBenchRow {
+    /// Scenario id.
+    pub scenario: &'static str,
+    /// Concurrent client threads.
+    pub clients: usize,
+    /// Total requests completed (excludes busy retries).
+    pub requests: u64,
+    /// Wall-clock seconds for the whole scenario.
+    pub secs: f64,
+    /// Median request latency in microseconds.
+    pub p50_us: f64,
+    /// 99th-percentile request latency in microseconds.
+    pub p99_us: f64,
+    /// Cache hit rate over cacheable requests (hits / (hits + misses +
+    /// coalesced)).
+    pub hit_rate: f64,
+    /// Requests that coalesced onto an in-flight computation.
+    pub coalesced: u64,
+    /// Busy rejections observed (each retried until served).
+    pub busy: u64,
+}
+
+impl ServeBenchRow {
+    /// Requests per second.
+    #[must_use]
+    pub fn req_per_sec(&self) -> f64 {
+        self.requests as f64 / self.secs
+    }
+}
+
+/// The full sweep.
+#[derive(Debug, Clone)]
+pub struct ServeBenchReport {
+    /// Request-pool workers of the server under test.
+    pub workers: usize,
+    /// True when run with `--quick` (CI smoke: smaller sweep).
+    pub quick: bool,
+    /// One row per scenario.
+    pub rows: Vec<ServeBenchRow>,
+}
+
+/// The §4.5 halo histogram, salted for cold requests.
+fn halo_counts(salt: u64) -> Counts {
+    let mut counts = Counts::new(5).expect("valid width");
+    let bs = |s: &str| BitString::parse(s).expect("valid literal");
+    counts.record_n(bs("11111"), 150);
+    counts.record_n(bs("00100"), 250 + salt);
+    for s in ["11110", "11101", "11011", "10111", "01111"] {
+        counts.record_n(bs(s), 80);
+    }
+    for s in ["11100", "11010", "00111", "01011"] {
+        counts.record_n(bs(s), 50);
+    }
+    counts
+}
+
+/// A synthetic 16-bit histogram with `unique` distinct outcomes,
+/// deterministic in `salt`.
+fn large_counts(unique: usize, salt: u64) -> Counts {
+    let mut rng = StdRng::seed_from_u64(0xC0FFEE);
+    let mut counts = Counts::new(16).expect("valid width");
+    for _ in 0..unique {
+        let key = rng.gen::<u64>() & 0xFFFF;
+        counts.record_n(BitString::new(key, 16), 1 + rng.gen::<u64>() % 100);
+    }
+    // The salt perturbs one deterministic outcome so cold requests get
+    // fresh fingerprints without changing the support size.
+    counts.record_n(BitString::new(salt & 0xFFFF, 16), 1 + salt);
+    counts
+}
+
+fn ghz_job(n: usize, trials: u64, seed: u64) -> SampleJob {
+    let mut circuit = Circuit::new(n);
+    circuit.h(0);
+    for q in 0..n - 1 {
+        circuit.cx(q, q + 1);
+    }
+    SampleJob {
+        circuit,
+        device: DeviceSpec::IbmParis(n.min(27)),
+        trials,
+        seed,
+        config: HammerConfig::paper(),
+    }
+}
+
+/// What one client thread sends for request `i` of a scenario.
+enum Work {
+    Reconstruct(Counts),
+    Sample(SampleJob),
+}
+
+fn percentile(sorted_us: &[u64], q: f64) -> f64 {
+    if sorted_us.is_empty() {
+        return 0.0;
+    }
+    let idx = ((sorted_us.len() - 1) as f64 * q).round() as usize;
+    sorted_us[idx] as f64
+}
+
+/// Runs one scenario against a fresh server and measures it.
+fn run_scenario<F>(
+    scenario: &'static str,
+    workers: usize,
+    per_client: u64,
+    make_work: F,
+) -> ServeBenchRow
+where
+    F: Fn(u64, u64) -> Work + Send + Sync + 'static,
+{
+    let server = serve(&ServeConfig {
+        addr: "127.0.0.1:0".into(),
+        workers,
+        queue_limit: 4096,
+        cache_mb: 128,
+        ..ServeConfig::default()
+    })
+    .expect("bind an ephemeral port");
+    let addr = server.local_addr().to_string();
+
+    let make_work = Arc::new(make_work);
+    let barrier = Arc::new(Barrier::new(CLIENTS + 1));
+    let busy = Arc::new(AtomicU64::new(0));
+    let threads: Vec<_> = (0..CLIENTS as u64)
+        .map(|client_id| {
+            let addr = addr.clone();
+            let barrier = Arc::clone(&barrier);
+            let busy = Arc::clone(&busy);
+            let make_work = Arc::clone(&make_work);
+            std::thread::spawn(move || {
+                let mut client = ServeClient::connect(addr).expect("connect");
+                let mut latencies = Vec::with_capacity(per_client as usize);
+                barrier.wait();
+                for i in 0..per_client {
+                    let work = make_work(client_id, i);
+                    let start = Instant::now();
+                    loop {
+                        let result = match &work {
+                            Work::Reconstruct(counts) => client
+                                .reconstruct(counts, &HammerConfig::paper())
+                                .map(|_| ()),
+                            Work::Sample(job) => client.sample_and_reconstruct(job).map(|_| ()),
+                        };
+                        match result {
+                            Ok(()) => break,
+                            Err(WireError::Busy) => {
+                                busy.fetch_add(1, Ordering::Relaxed);
+                                std::thread::sleep(std::time::Duration::from_micros(200));
+                            }
+                            Err(e) => panic!("bench request failed: {e}"),
+                        }
+                    }
+                    latencies.push(start.elapsed().as_micros() as u64);
+                }
+                latencies
+            })
+        })
+        .collect();
+
+    barrier.wait();
+    let start = Instant::now();
+    let mut latencies: Vec<u64> = Vec::new();
+    for t in threads {
+        latencies.extend(t.join().expect("client thread"));
+    }
+    let secs = start.elapsed().as_secs_f64();
+    latencies.sort_unstable();
+
+    let stats = server.stats();
+    let cacheable = stats.cache_hits + stats.cache_misses + stats.coalesced;
+    let row = ServeBenchRow {
+        scenario,
+        clients: CLIENTS,
+        requests: latencies.len() as u64,
+        secs,
+        p50_us: percentile(&latencies, 0.50),
+        p99_us: percentile(&latencies, 0.99),
+        hit_rate: if cacheable > 0 {
+            stats.cache_hits as f64 / cacheable as f64
+        } else {
+            0.0
+        },
+        coalesced: stats.coalesced,
+        busy: busy.load(Ordering::Relaxed),
+    };
+    server.shutdown();
+    let _ = server.wait();
+    eprintln!(
+        "[bench-serve] {}: {} reqs in {:.3} s ({:.0} req/s), p50 {:.0} µs, p99 {:.0} µs, \
+         hit rate {:.3}, coalesced {}, busy {}",
+        row.scenario,
+        row.requests,
+        row.secs,
+        row.req_per_sec(),
+        row.p50_us,
+        row.p99_us,
+        row.hit_rate,
+        row.coalesced,
+        row.busy,
+    );
+    row
+}
+
+/// Runs the sweep. Quick mode shrinks the request budgets (CI smoke).
+#[must_use]
+pub fn run(quick: bool) -> ServeBenchReport {
+    let workers = ServeConfig::default().workers;
+    let (small_n, large_n, sample_n) = if quick { (50, 8, 6) } else { (2000, 150, 100) };
+
+    // Hot requests share salt 0; cold requests get a unique salt per
+    // (client, index) pair, offset to never collide with the hot key.
+    let salt_of = |client: u64, i: u64| 1 + client * 1_000_000 + i;
+    let rows = vec![
+        run_scenario("reconstruct-small", workers, small_n, move |c, i| {
+            let salt = if i % 10 < HOT_PER_10 {
+                0
+            } else {
+                salt_of(c, i)
+            };
+            Work::Reconstruct(halo_counts(salt))
+        }),
+        run_scenario("reconstruct-large", workers, large_n, move |c, i| {
+            let salt = if i % 10 < HOT_PER_10 {
+                0
+            } else {
+                salt_of(c, i)
+            };
+            Work::Reconstruct(large_counts(4096, salt))
+        }),
+        run_scenario("sample-reconstruct", workers, sample_n, move |c, i| {
+            let seed = if i % 10 < HOT_PER_10 {
+                0
+            } else {
+                salt_of(c, i)
+            };
+            Work::Sample(ghz_job(16, 20_000, seed))
+        }),
+    ];
+    ServeBenchReport {
+        workers,
+        quick,
+        rows,
+    }
+}
+
+impl ServeBenchReport {
+    /// Serializes the sweep as the `BENCH_serve.json` artifact
+    /// (hand-rolled: the workspace has no serde).
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let mut rows = String::new();
+        for (i, r) in self.rows.iter().enumerate() {
+            if i > 0 {
+                rows.push_str(",\n");
+            }
+            rows.push_str(&format!(
+                "    {{\"scenario\": \"{}\", \"clients\": {}, \"requests\": {}, \
+                 \"secs\": {:.6}, \"req_per_sec\": {:.1}, \"p50_us\": {:.1}, \
+                 \"p99_us\": {:.1}, \"cache_hit_rate\": {:.4}, \"coalesced\": {}, \
+                 \"busy_retries\": {}, \"measured\": true}}",
+                r.scenario,
+                r.clients,
+                r.requests,
+                r.secs,
+                r.req_per_sec(),
+                r.p50_us,
+                r.p99_us,
+                r.hit_rate,
+                r.coalesced,
+                r.busy,
+            ));
+        }
+        format!(
+            "{{\n  \"artifact\": \"BENCH_serve\",\n  \
+             \"description\": \"hammer_serve under concurrent load: an in-process TCP server \
+             (binary wire protocol, bounded worker-pool queue, request coalescing, sharded LRU \
+             distribution cache) driven by {} client threads through mixed 80/20 hot/cold \
+             workloads. Every cell is measured wall clock (not extrapolated).\",\n  \
+             \"workers\": {},\n  \"quick\": {},\n  \"rows\": [\n{}\n  ]\n}}\n",
+            CLIENTS, self.workers, self.quick, rows,
+        )
+    }
+
+    /// A human-readable summary table for the terminal.
+    #[must_use]
+    pub fn render(&self) -> String {
+        use crate::report::{fnum, Table};
+        let mut table = Table::new(&[
+            "scenario",
+            "clients",
+            "requests",
+            "secs",
+            "req/s",
+            "p50 (µs)",
+            "p99 (µs)",
+            "hit rate",
+            "coalesced",
+        ]);
+        for r in &self.rows {
+            table.row_owned(vec![
+                r.scenario.to_string(),
+                r.clients.to_string(),
+                r.requests.to_string(),
+                fnum(r.secs, 3),
+                fnum(r.req_per_sec(), 0),
+                fnum(r.p50_us, 0),
+                fnum(r.p99_us, 0),
+                fnum(r.hit_rate, 3),
+                r.coalesced.to_string(),
+            ]);
+        }
+        format!(
+            "bench-serve: {} workers, {} client threads, 80% hot / 20% cold\n{table}",
+            self.workers, CLIENTS
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentiles_pick_sane_elements() {
+        let sorted: Vec<u64> = (1..=100).collect();
+        assert_eq!(percentile(&sorted, 0.0), 1.0);
+        assert_eq!(percentile(&sorted, 1.0), 100.0);
+        assert!((percentile(&sorted, 0.5) - 51.0).abs() < 1.5);
+        assert_eq!(percentile(&[], 0.5), 0.0);
+    }
+
+    #[test]
+    fn hot_and_cold_counts_have_stable_distinct_fingerprints() {
+        assert_eq!(halo_counts(0).fingerprint(), halo_counts(0).fingerprint());
+        assert_ne!(halo_counts(0).fingerprint(), halo_counts(1).fingerprint());
+        assert_eq!(
+            large_counts(512, 0).fingerprint(),
+            large_counts(512, 0).fingerprint()
+        );
+        assert_ne!(
+            large_counts(512, 0).fingerprint(),
+            large_counts(512, 9).fingerprint()
+        );
+    }
+
+    #[test]
+    fn quick_sweep_runs_end_to_end() {
+        let report = run(true);
+        assert_eq!(report.rows.len(), 3);
+        for row in &report.rows {
+            assert!(row.requests > 0);
+            assert!(row.secs > 0.0);
+            assert!(row.hit_rate > 0.0, "hot requests must hit: {row:?}");
+        }
+        let json = report.to_json();
+        assert!(json.contains("\"artifact\": \"BENCH_serve\""));
+        assert!(report.render().contains("req/s"));
+    }
+}

@@ -125,6 +125,39 @@ impl HammerConfig {
     pub fn paper() -> Self {
         Self::default()
     }
+
+    /// A stable FNV-1a fingerprint of the *algorithmic* configuration:
+    /// neighborhood limit, weight scheme and filter rule. The
+    /// [`KernelTuning`] knobs are deliberately **excluded** — they
+    /// change how fast a reconstruction runs, never what it computes,
+    /// so two configs that differ only in tuning must share cache
+    /// entries in the serving layer (which keys its distribution cache
+    /// with this). Not a cryptographic hash — see
+    /// [`hammer_dist::fingerprint`].
+    #[must_use]
+    pub fn fingerprint(&self) -> u64 {
+        let mut h = hammer_dist::fingerprint::Fnv1a::new();
+        h.write_bytes(b"hammer-config/v1");
+        match self.neighborhood {
+            NeighborhoodLimit::HalfWidth => h.write_u8(0),
+            NeighborhoodLimit::Fixed(k) => {
+                h.write_u8(1);
+                h.write_usize(k);
+            }
+            NeighborhoodLimit::Unbounded => h.write_u8(2),
+        }
+        h.write_u8(match self.weights {
+            WeightScheme::InverseAverageChs => 0,
+            WeightScheme::InverseGlobalChs => 1,
+            WeightScheme::Uniform => 2,
+            WeightScheme::InverseBinomial => 3,
+        });
+        h.write_u8(match self.filter {
+            FilterRule::LowerProbabilityOnly => 0,
+            FilterRule::None => 1,
+        });
+        h.finish()
+    }
 }
 
 #[cfg(test)]
@@ -158,6 +191,45 @@ mod tests {
         assert_eq!(d.weights, WeightScheme::InverseAverageChs);
         assert_eq!(d.filter, FilterRule::LowerProbabilityOnly);
         assert_eq!(d.kernel, KernelTuning::default());
+    }
+
+    #[test]
+    fn fingerprint_covers_algorithm_but_not_tuning() {
+        let base = HammerConfig::paper();
+        assert_eq!(base.fingerprint(), HammerConfig::paper().fingerprint());
+        // Kernel tuning is performance-only: same fingerprint.
+        let tuned = HammerConfig {
+            kernel: KernelTuning {
+                parallel_threshold: 1,
+                tile_size: 64,
+            },
+            ..base
+        };
+        assert_eq!(base.fingerprint(), tuned.fingerprint());
+        // Every algorithmic knob moves it.
+        let neighborhood = HammerConfig {
+            neighborhood: NeighborhoodLimit::Fixed(3),
+            ..base
+        };
+        assert_ne!(base.fingerprint(), neighborhood.fingerprint());
+        assert_ne!(
+            neighborhood.fingerprint(),
+            HammerConfig {
+                neighborhood: NeighborhoodLimit::Fixed(4),
+                ..base
+            }
+            .fingerprint()
+        );
+        let weights = HammerConfig {
+            weights: WeightScheme::Uniform,
+            ..base
+        };
+        assert_ne!(base.fingerprint(), weights.fingerprint());
+        let filter = HammerConfig {
+            filter: FilterRule::None,
+            ..base
+        };
+        assert_ne!(base.fingerprint(), filter.fingerprint());
     }
 
     #[test]

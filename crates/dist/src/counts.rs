@@ -4,8 +4,9 @@
 use std::collections::BTreeMap;
 
 use crate::bitstring::{BitString, MAX_BITS};
-use crate::distribution::Distribution;
+use crate::distribution::{validate_raw_keys, Distribution};
 use crate::error::DistError;
+use crate::fingerprint::Fnv1a;
 
 /// A histogram of measured outcomes over a fixed register width — the
 /// raw result of running a circuit for some number of trials (shots).
@@ -54,6 +55,80 @@ impl Counts {
             counts: BTreeMap::new(),
             total: 0,
         })
+    }
+
+    /// Rebuilds a histogram from sorted structure-of-arrays parts — the
+    /// decode half of the serving layer's wire codec (the encode half
+    /// streams [`iter`](Counts::iter), which yields ascending keys).
+    /// Every invariant is validated instead of trusted, so a corrupt or
+    /// hostile frame surfaces as a [`DistError`] rather than a panic. An
+    /// all-empty set of arrays decodes to the empty histogram.
+    ///
+    /// # Errors
+    ///
+    /// * [`DistError::WidthOutOfRange`] if `n_bits` is outside `1..=128`;
+    /// * [`DistError::RaggedRawParts`] if the arrays disagree on length;
+    /// * [`DistError::KeyOutOfRange`] if a key has bits beyond `n_bits`;
+    /// * [`DistError::UnsortedKeys`] if the packed keys are not strictly
+    ///   ascending;
+    /// * [`DistError::ZeroCount`] on a zero trial count (zero entries
+    ///   are never stored, so they cannot round-trip);
+    /// * [`DistError::CountOverflow`] if the total exceeds `u64`.
+    pub fn from_raw_parts(
+        n_bits: usize,
+        keys: Vec<u64>,
+        keys_hi: Vec<u64>,
+        counts: Vec<u64>,
+    ) -> Result<Self, DistError> {
+        if !(1..=MAX_BITS).contains(&n_bits) {
+            return Err(DistError::WidthOutOfRange(n_bits));
+        }
+        if keys.len() != keys_hi.len() || keys.len() != counts.len() {
+            return Err(DistError::RaggedRawParts {
+                keys: keys.len(),
+                keys_hi: keys_hi.len(),
+                values: counts.len(),
+            });
+        }
+        validate_raw_keys(n_bits, &keys, &keys_hi)?;
+        let mut total = 0u64;
+        for (i, &c) in counts.iter().enumerate() {
+            if c == 0 {
+                return Err(DistError::ZeroCount(i));
+            }
+            total = total.checked_add(c).ok_or(DistError::CountOverflow)?;
+        }
+        let map = keys
+            .iter()
+            .zip(&keys_hi)
+            .zip(&counts)
+            .map(|((&lo, &hi), &c)| (u128::from(lo) | (u128::from(hi) << 64), c))
+            .collect();
+        Ok(Self {
+            n_bits,
+            counts: map,
+            total,
+        })
+    }
+
+    /// A stable FNV-1a fingerprint of the histogram's semantic content
+    /// (width plus every sorted `(outcome, count)` pair): equal
+    /// histograms fingerprint equal in every process, and any change to
+    /// a count or outcome changes the fingerprint (up to hash
+    /// collisions — see [`crate::fingerprint`], this is not a
+    /// cryptographic hash). The serving layer keys its reconstruction
+    /// cache with this.
+    #[must_use]
+    pub fn fingerprint(&self) -> u64 {
+        let mut h = Fnv1a::new();
+        h.write_usize(self.n_bits);
+        h.write_usize(self.counts.len());
+        for (&k, &c) in &self.counts {
+            h.write_u64(k as u64);
+            h.write_u64((k >> 64) as u64);
+            h.write_u64(c);
+        }
+        h.finish()
     }
 
     /// Register width in bits.
@@ -216,6 +291,83 @@ mod tests {
         // Normalization survives wide keys.
         let d = c.to_distribution();
         assert!((d.prob(b) - 0.7).abs() < 1e-12);
+    }
+
+    #[test]
+    fn from_raw_parts_round_trips_iter_order() {
+        let mut c = Counts::new(100).unwrap();
+        c.record_n(BitString::zeros(100).flip_bit(99), 7);
+        c.record_n(BitString::zeros(100).flip_bit(1), 3);
+        let (mut keys, mut keys_hi, mut counts) = (Vec::new(), Vec::new(), Vec::new());
+        for (x, n) in c.iter() {
+            let [lo, hi] = x.limbs();
+            keys.push(lo);
+            keys_hi.push(hi);
+            counts.push(n);
+        }
+        let back = Counts::from_raw_parts(100, keys, keys_hi, counts).unwrap();
+        assert_eq!(back, c);
+        // The empty histogram round-trips too.
+        let empty = Counts::from_raw_parts(4, vec![], vec![], vec![]).unwrap();
+        assert_eq!(empty, Counts::new(4).unwrap());
+        assert_eq!(empty.total(), 0);
+    }
+
+    #[test]
+    fn from_raw_parts_validates_every_invariant() {
+        assert_eq!(
+            Counts::from_raw_parts(129, vec![], vec![], vec![]),
+            Err(DistError::WidthOutOfRange(129))
+        );
+        assert_eq!(
+            Counts::from_raw_parts(2, vec![0], vec![0, 0], vec![1]),
+            Err(DistError::RaggedRawParts {
+                keys: 1,
+                keys_hi: 2,
+                values: 1
+            })
+        );
+        assert_eq!(
+            Counts::from_raw_parts(2, vec![5], vec![0], vec![1]),
+            Err(DistError::KeyOutOfRange(0))
+        );
+        assert_eq!(
+            Counts::from_raw_parts(2, vec![1, 0], vec![0, 0], vec![1, 1]),
+            Err(DistError::UnsortedKeys(1))
+        );
+        assert_eq!(
+            Counts::from_raw_parts(2, vec![0, 1], vec![0, 0], vec![1, 0]),
+            Err(DistError::ZeroCount(1))
+        );
+        assert_eq!(
+            Counts::from_raw_parts(2, vec![0, 1], vec![0, 0], vec![u64::MAX, 1]),
+            Err(DistError::CountOverflow)
+        );
+    }
+
+    #[test]
+    fn fingerprint_tracks_semantic_content() {
+        let mut a = Counts::new(3).unwrap();
+        a.record_n(bs("101"), 5);
+        a.record_n(bs("010"), 2);
+        // Same content, different insertion order: same fingerprint.
+        let mut b = Counts::new(3).unwrap();
+        b.record_n(bs("010"), 2);
+        b.record_n(bs("101"), 5);
+        assert_eq!(a.fingerprint(), b.fingerprint());
+        // A count change, an outcome change, or a width change each
+        // move the fingerprint.
+        let mut c = a.clone();
+        c.record(bs("101"));
+        assert_ne!(a.fingerprint(), c.fingerprint());
+        let mut d = Counts::new(3).unwrap();
+        d.record_n(bs("100"), 5);
+        d.record_n(bs("010"), 2);
+        assert_ne!(a.fingerprint(), d.fingerprint());
+        assert_ne!(
+            Counts::new(3).unwrap().fingerprint(),
+            Counts::new(4).unwrap().fingerprint()
+        );
     }
 
     #[test]

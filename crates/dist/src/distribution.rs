@@ -11,6 +11,42 @@ use crate::error::DistError;
 /// `2^n` outcomes.
 const MAX_UNIFORM_BITS: usize = 24;
 
+/// How far the total mass handed to [`Distribution::from_raw_parts`]
+/// may drift from 1. Wire round-trips of an in-range distribution are
+/// exact (the codec moves IEEE-754 bit patterns), so the tolerance only
+/// absorbs rounding in *producers* that assemble probabilities
+/// incrementally.
+const RAW_MASS_TOLERANCE: f64 = 1e-6;
+
+/// Shared key validation for the `from_raw_parts` constructors: every
+/// `(lo, hi)` limb pair must fit in `n_bits` and the packed keys must be
+/// strictly ascending. `n_bits` is assumed already range-checked.
+pub(crate) fn validate_raw_keys(
+    n_bits: usize,
+    keys: &[u64],
+    keys_hi: &[u64],
+) -> Result<(), DistError> {
+    let mask = if n_bits == MAX_BITS {
+        u128::MAX
+    } else {
+        (1u128 << n_bits) - 1
+    };
+    let mut prev: Option<u128> = None;
+    for (i, (&lo, &hi)) in keys.iter().zip(keys_hi).enumerate() {
+        let k = u128::from(lo) | (u128::from(hi) << 64);
+        if k & !mask != 0 {
+            return Err(DistError::KeyOutOfRange(i));
+        }
+        if let Some(p) = prev {
+            if k <= p {
+                return Err(DistError::UnsortedKeys(i));
+            }
+        }
+        prev = Some(k);
+    }
+    Ok(())
+}
+
 /// A normalized, sparse probability distribution over `n`-bit outcomes.
 ///
 /// The support is stored as a vector of `(packed outcome, probability)`
@@ -110,6 +146,74 @@ impl Distribution {
             .map(|(k, w)| (k, w / total))
             .collect();
         Ok(Self::from_entries(n_bits, entries))
+    }
+
+    /// Rebuilds a distribution from its structure-of-arrays parts — the
+    /// exact arrays [`keys`](Distribution::keys) /
+    /// [`keys_hi`](Distribution::keys_hi) /
+    /// [`probs`](Distribution::probs) expose — validating every
+    /// invariant instead of trusting the caller. This is the decode half
+    /// of the serving layer's wire codec: a well-formed frame
+    /// round-trips **byte-identically** (probabilities are stored as
+    /// given, never renormalized), and a corrupt or hostile frame comes
+    /// back as a [`DistError`] instead of a panic or a silently broken
+    /// distribution.
+    ///
+    /// # Errors
+    ///
+    /// * [`DistError::WidthOutOfRange`] if `n_bits` is outside `1..=128`;
+    /// * [`DistError::RaggedRawParts`] if the arrays disagree on length;
+    /// * [`DistError::EmptyDistribution`] if the arrays are empty;
+    /// * [`DistError::KeyOutOfRange`] if a key has bits beyond `n_bits`;
+    /// * [`DistError::UnsortedKeys`] if the packed keys are not strictly
+    ///   ascending;
+    /// * [`DistError::InvalidProbability`] on a non-finite or
+    ///   non-positive probability;
+    /// * [`DistError::NotNormalized`] if the probabilities do not sum to
+    ///   1 within `1e-6`.
+    pub fn from_raw_parts(
+        n_bits: usize,
+        keys: Vec<u64>,
+        keys_hi: Vec<u64>,
+        probs: Vec<f64>,
+    ) -> Result<Self, DistError> {
+        if !(1..=MAX_BITS).contains(&n_bits) {
+            return Err(DistError::WidthOutOfRange(n_bits));
+        }
+        if keys.len() != keys_hi.len() || keys.len() != probs.len() {
+            return Err(DistError::RaggedRawParts {
+                keys: keys.len(),
+                keys_hi: keys_hi.len(),
+                values: probs.len(),
+            });
+        }
+        if keys.is_empty() {
+            return Err(DistError::EmptyDistribution);
+        }
+        validate_raw_keys(n_bits, &keys, &keys_hi)?;
+        let mut total = 0.0f64;
+        for &p in &probs {
+            if !p.is_finite() || p <= 0.0 {
+                return Err(DistError::InvalidProbability(p));
+            }
+            total += p;
+        }
+        if (total - 1.0).abs() > RAW_MASS_TOLERANCE {
+            return Err(DistError::NotNormalized(total));
+        }
+        let entries = keys
+            .iter()
+            .zip(&keys_hi)
+            .zip(&probs)
+            .map(|((&lo, &hi), &p)| (u128::from(lo) | (u128::from(hi) << 64), p))
+            .collect();
+        Ok(Self {
+            n_bits,
+            entries,
+            keys,
+            keys_hi,
+            probs,
+        })
     }
 
     /// Builds the struct from already-sorted, normalized entries,
@@ -504,6 +608,89 @@ mod tests {
             .filter(|_| d.sample(&mut rng) == bs("11"))
             .count();
         assert!((ones as f64 / f64::from(trials) - 0.8).abs() < 0.01);
+    }
+
+    #[test]
+    fn from_raw_parts_round_trips_the_soa_views() {
+        let d = Distribution::from_probs(2, [(bs("11"), 0.2), (bs("00"), 0.5), (bs("10"), 0.3)])
+            .unwrap();
+        let back = Distribution::from_raw_parts(
+            d.n_bits(),
+            d.keys().to_vec(),
+            d.keys_hi().to_vec(),
+            d.probs().to_vec(),
+        )
+        .unwrap();
+        // Byte-identical: probabilities are stored as given.
+        assert_eq!(back, d);
+        // Wide keys split across both limbs survive too.
+        let a = BitString::zeros(100).flip_bit(99).flip_bit(2);
+        let b = BitString::zeros(100).flip_bit(70);
+        let w = Distribution::from_probs(100, [(a, 0.25), (b, 0.75)]).unwrap();
+        let back = Distribution::from_raw_parts(
+            100,
+            w.keys().to_vec(),
+            w.keys_hi().to_vec(),
+            w.probs().to_vec(),
+        )
+        .unwrap();
+        assert_eq!(back, w);
+    }
+
+    #[test]
+    fn from_raw_parts_validates_every_invariant() {
+        // Width range.
+        assert_eq!(
+            Distribution::from_raw_parts(0, vec![], vec![], vec![]),
+            Err(DistError::WidthOutOfRange(0))
+        );
+        // Ragged arrays.
+        assert_eq!(
+            Distribution::from_raw_parts(2, vec![0, 1], vec![0], vec![0.5, 0.5]),
+            Err(DistError::RaggedRawParts {
+                keys: 2,
+                keys_hi: 1,
+                values: 2
+            })
+        );
+        // Empty support.
+        assert_eq!(
+            Distribution::from_raw_parts(2, vec![], vec![], vec![]),
+            Err(DistError::EmptyDistribution)
+        );
+        // Key with bits beyond the width (low limb, and high limb at
+        // narrow widths).
+        assert_eq!(
+            Distribution::from_raw_parts(2, vec![4], vec![0], vec![1.0]),
+            Err(DistError::KeyOutOfRange(0))
+        );
+        assert_eq!(
+            Distribution::from_raw_parts(2, vec![1], vec![1], vec![1.0]),
+            Err(DistError::KeyOutOfRange(0))
+        );
+        // Unsorted and duplicated keys.
+        assert_eq!(
+            Distribution::from_raw_parts(2, vec![2, 1], vec![0, 0], vec![0.5, 0.5]),
+            Err(DistError::UnsortedKeys(1))
+        );
+        assert_eq!(
+            Distribution::from_raw_parts(2, vec![1, 1], vec![0, 0], vec![0.5, 0.5]),
+            Err(DistError::UnsortedKeys(1))
+        );
+        // Non-positive and non-finite probabilities.
+        assert_eq!(
+            Distribution::from_raw_parts(2, vec![0, 1], vec![0, 0], vec![0.0, 1.0]),
+            Err(DistError::InvalidProbability(0.0))
+        );
+        assert!(matches!(
+            Distribution::from_raw_parts(2, vec![0], vec![0], vec![f64::NAN]),
+            Err(DistError::InvalidProbability(p)) if p.is_nan()
+        ));
+        // Mass far from 1.
+        assert_eq!(
+            Distribution::from_raw_parts(2, vec![0, 1], vec![0, 0], vec![0.5, 0.1]),
+            Err(DistError::NotNormalized(0.6))
+        );
     }
 
     #[test]

@@ -21,6 +21,29 @@ pub enum DistError {
     InvalidBitChar(char),
     /// A probability weight was negative or not finite.
     InvalidProbability(f64),
+    /// Raw SoA arrays disagree on their length
+    /// (`from_raw_parts`-style constructors).
+    RaggedRawParts {
+        /// Length of the low-limb key array.
+        keys: usize,
+        /// Length of the high-limb key array.
+        keys_hi: usize,
+        /// Length of the probability / count array.
+        values: usize,
+    },
+    /// Raw keys are not strictly ascending at the given index
+    /// (out of order or duplicated).
+    UnsortedKeys(usize),
+    /// A raw key at the given index has bits set beyond the register
+    /// width.
+    KeyOutOfRange(usize),
+    /// Raw probabilities do not sum to 1 within tolerance; carries the
+    /// offending total mass.
+    NotNormalized(f64),
+    /// A raw histogram entry at the given index has a zero count.
+    ZeroCount(usize),
+    /// A raw histogram's total count overflows `u64`.
+    CountOverflow,
 }
 
 impl fmt::Display for DistError {
@@ -44,6 +67,32 @@ impl fmt::Display for DistError {
             Self::InvalidProbability(p) => {
                 write!(f, "probability weight {p} is negative or not finite")
             }
+            Self::RaggedRawParts {
+                keys,
+                keys_hi,
+                values,
+            } => {
+                write!(
+                    f,
+                    "raw SoA arrays disagree on length: {keys} keys, {keys_hi} high limbs, \
+                     {values} values"
+                )
+            }
+            Self::UnsortedKeys(i) => {
+                write!(f, "raw keys not strictly ascending at index {i}")
+            }
+            Self::KeyOutOfRange(i) => {
+                write!(f, "raw key at index {i} has bits beyond the register width")
+            }
+            Self::NotNormalized(total) => {
+                write!(f, "raw probabilities sum to {total}, not 1")
+            }
+            Self::ZeroCount(i) => {
+                write!(f, "raw histogram entry at index {i} has a zero count")
+            }
+            Self::CountOverflow => {
+                write!(f, "raw histogram total overflows u64")
+            }
         }
     }
 }
@@ -66,6 +115,18 @@ mod tests {
         assert!(DistError::InvalidProbability(-0.5)
             .to_string()
             .contains("-0.5"));
+        assert!(DistError::RaggedRawParts {
+            keys: 3,
+            keys_hi: 2,
+            values: 3
+        }
+        .to_string()
+        .contains("2 high limbs"));
+        assert!(DistError::UnsortedKeys(4).to_string().contains("index 4"));
+        assert!(DistError::KeyOutOfRange(1).to_string().contains("index 1"));
+        assert!(DistError::NotNormalized(0.5).to_string().contains("0.5"));
+        assert!(DistError::ZeroCount(2).to_string().contains("index 2"));
+        assert!(DistError::CountOverflow.to_string().contains("overflows"));
     }
 
     #[test]

@@ -19,7 +19,9 @@
 //!   Cumulative Hamming Strength;
 //! * [`metrics`] — PST, IST, EHD, TVD, Hellinger fidelity, Cost Ratio;
 //! * [`stats`] — means and Spearman correlations for the experiment
-//!   harness.
+//!   harness;
+//! * [`fingerprint`] — stable (process-independent) FNV-1a hashing, the
+//!   cache-key discipline of the serving layer.
 //!
 //! # Example
 //!
@@ -56,6 +58,7 @@ mod bitstring;
 mod counts;
 mod distribution;
 mod error;
+pub mod fingerprint;
 pub mod metrics;
 pub mod spectrum;
 pub mod stats;

@@ -27,6 +27,16 @@ fn sized_wide_bits() -> impl Strategy<Value = (usize, u128)> {
     })
 }
 
+/// Packs two limb draws into a `u128` masked down to `n` bits.
+fn mask_to_width(lo: u64, hi: u64, n: usize) -> u128 {
+    let bits = u128::from(lo) | (u128::from(hi) << 64);
+    if n == 128 {
+        bits
+    } else {
+        bits & ((1u128 << n) - 1)
+    }
+}
+
 /// Strategy: a sparse distribution over n-bit outcomes (2..40 distinct
 /// outcomes, integer weights).
 fn distribution() -> impl Strategy<Value = Distribution> {
@@ -185,6 +195,51 @@ proptest! {
         for (x, p) in d.iter() {
             prop_assert!((back.prob(x) - p).abs() < 1e-6);
         }
+    }
+
+    #[test]
+    fn raw_parts_round_trip_distribution(
+        n in 1usize..=128,
+        seeds in proptest::collection::btree_map((0u64..=u64::MAX, 0u64..=u64::MAX), 1u64..1000, 1..24),
+    ) {
+        // Random support at any width 1..=128: mask two independent
+        // limb draws down to the register.
+        let pairs = seeds.into_iter().map(|((lo, hi), w)| {
+            let bits = mask_to_width(lo, hi, n);
+            (BitString::from_u128(bits, n), w as f64)
+        });
+        let d = Distribution::from_probs(n, pairs).expect("positive weights");
+        let back = Distribution::from_raw_parts(
+            n,
+            d.keys().to_vec(),
+            d.keys_hi().to_vec(),
+            d.probs().to_vec(),
+        )
+        .expect("the SoA views satisfy every invariant");
+        // Byte-identical, not just approximately equal.
+        prop_assert_eq!(back, d);
+    }
+
+    #[test]
+    fn raw_parts_round_trip_counts(
+        n in 1usize..=128,
+        seeds in proptest::collection::btree_map((0u64..=u64::MAX, 0u64..=u64::MAX), 1u64..1000, 1..24),
+    ) {
+        let mut c = Counts::new(n).expect("valid width");
+        for ((lo, hi), reps) in seeds {
+            c.record_n(BitString::from_u128(mask_to_width(lo, hi, n), n), reps);
+        }
+        let (mut keys, mut keys_hi, mut counts) = (Vec::new(), Vec::new(), Vec::new());
+        for (x, reps) in c.iter() {
+            let [lo, hi] = x.limbs();
+            keys.push(lo);
+            keys_hi.push(hi);
+            counts.push(reps);
+        }
+        let back = Counts::from_raw_parts(n, keys, keys_hi, counts)
+            .expect("iter() yields strictly ascending keys and positive counts");
+        prop_assert_eq!(&back, &c);
+        prop_assert_eq!(back.fingerprint(), c.fingerprint());
     }
 
     #[test]

@@ -1,0 +1,385 @@
+//! The batching + caching core: a sharded LRU cache of completed
+//! [`Distribution`]s plus an in-flight map that coalesces concurrent
+//! identical requests onto one computation.
+//!
+//! Both structures key on the stable `u64` fingerprints of the request
+//! content (see [`hammer_dist::fingerprint`]): `Reconstruct` keys on
+//! `(counts, config)`, `SampleAndReconstruct` on
+//! `(circuit, device, trials, seed, config)`. The flow per request:
+//!
+//! 1. probe the cache — a hit returns immediately;
+//! 2. claim the key in the in-flight map — the **leader** (first
+//!    claimant) computes, inserts into the cache, and publishes the
+//!    result; **followers** block on the leader's slot and receive the
+//!    published value without computing (`coalesced` counter);
+//! 3. eviction is per-shard LRU under an approximate byte budget.
+//!
+//! Every counter the `Stats` opcode reports lives here (plus the
+//! request/busy tallies kept by the server runtime).
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+
+use hammer_dist::Distribution;
+
+/// Shard count: fingerprints are well-mixed, so a modest fixed fan-out
+/// removes lock contention without a tuning knob.
+const SHARDS: usize = 16;
+
+/// Approximate heap footprint of a cached distribution: the AoS entries
+/// (16 B) plus the three SoA mirror arrays (8 B each) per element, plus
+/// a fixed struct overhead.
+fn approx_bytes(d: &Distribution) -> usize {
+    96 + d.len() * (16 + 8 + 8 + 8)
+}
+
+/// One LRU shard: the value map plus a recency index keyed by a
+/// monotone per-shard tick.
+#[derive(Default)]
+struct Shard {
+    /// key → (value, last-touch tick, approximate bytes).
+    map: HashMap<u64, (Arc<Distribution>, u64, usize)>,
+    /// last-touch tick → key (unique: ticks only move forward).
+    recency: std::collections::BTreeMap<u64, u64>,
+    tick: u64,
+    bytes: usize,
+}
+
+impl Shard {
+    fn touch(&mut self, key: u64) -> Option<Arc<Distribution>> {
+        let next_tick = self.tick + 1;
+        let (value, tick, _) = self.map.get_mut(&key)?;
+        let old = std::mem::replace(tick, next_tick);
+        self.tick = next_tick;
+        self.recency.remove(&old);
+        self.recency.insert(next_tick, key);
+        Some(Arc::clone(value))
+    }
+
+    fn insert(&mut self, key: u64, value: Arc<Distribution>, budget: usize) -> u64 {
+        let bytes = approx_bytes(&value);
+        self.tick += 1;
+        if let Some((_, old_tick, old_bytes)) = self.map.insert(key, (value, self.tick, bytes)) {
+            self.recency.remove(&old_tick);
+            self.bytes -= old_bytes;
+        }
+        self.recency.insert(self.tick, key);
+        self.bytes += bytes;
+        // Evict least-recently-used entries until we fit, but never the
+        // entry just inserted (a budget smaller than one entry would
+        // otherwise thrash forever).
+        let mut evicted = 0u64;
+        while self.bytes > budget && self.map.len() > 1 {
+            let (&lru_tick, &lru_key) = self.recency.iter().next().expect("non-empty recency");
+            if lru_key == key {
+                break;
+            }
+            self.recency.remove(&lru_tick);
+            let (_, _, freed) = self.map.remove(&lru_key).expect("recency maps into map");
+            self.bytes -= freed;
+            evicted += 1;
+        }
+        evicted
+    }
+}
+
+/// The sharded LRU cache with hit/miss/eviction counters.
+pub struct DistCache {
+    shards: Vec<Mutex<Shard>>,
+    /// Per-shard byte budget (total budget / shard count).
+    shard_budget: usize,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    evictions: AtomicU64,
+}
+
+impl DistCache {
+    /// A cache bounded by `capacity_bytes` (approximate, split evenly
+    /// across shards; at least one entry per shard always fits).
+    #[must_use]
+    pub fn new(capacity_bytes: usize) -> Self {
+        Self {
+            shards: (0..SHARDS).map(|_| Mutex::new(Shard::default())).collect(),
+            shard_budget: capacity_bytes / SHARDS,
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+        }
+    }
+
+    fn shard(&self, key: u64) -> &Mutex<Shard> {
+        // High bits: FNV mixes low bytes last, the high bits are stable.
+        &self.shards[(key >> 60) as usize % SHARDS]
+    }
+
+    /// Looks a key up, counting a hit and refreshing recency.
+    ///
+    /// Probe misses are **not** counted here: with request coalescing,
+    /// several concurrent requests can probe-miss the same key while
+    /// only one computes. The miss counter tracks *computations*, which
+    /// only the in-flight leader knows — it calls
+    /// [`note_miss`](DistCache::note_miss) when it actually starts one,
+    /// so `misses == underlying computations` holds exactly.
+    #[must_use]
+    pub fn get(&self, key: u64) -> Option<Arc<Distribution>> {
+        let found = self.shard(key).lock().expect("shard unpoisoned").touch(key);
+        if found.is_some() {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+        }
+        found
+    }
+
+    /// Records one cache miss (= one underlying computation started).
+    pub fn note_miss(&self) {
+        self.misses.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Inserts a completed distribution, evicting LRU entries past the
+    /// shard budget.
+    pub fn insert(&self, key: u64, value: Arc<Distribution>) {
+        let evicted =
+            self.shard(key)
+                .lock()
+                .expect("shard unpoisoned")
+                .insert(key, value, self.shard_budget);
+        if evicted > 0 {
+            self.evictions.fetch_add(evicted, Ordering::Relaxed);
+        }
+    }
+
+    /// `(hits, misses, evictions, entries, bytes)` snapshot.
+    #[must_use]
+    pub fn stats(&self) -> (u64, u64, u64, u64, u64) {
+        let (mut entries, mut bytes) = (0u64, 0u64);
+        for shard in &self.shards {
+            let s = shard.lock().expect("shard unpoisoned");
+            entries += s.map.len() as u64;
+            bytes += s.bytes as u64;
+        }
+        (
+            self.hits.load(Ordering::Relaxed),
+            self.misses.load(Ordering::Relaxed),
+            self.evictions.load(Ordering::Relaxed),
+            entries,
+            bytes,
+        )
+    }
+}
+
+/// The value published through an in-flight slot: the computed
+/// distribution, or the leader's error message (relayed to every
+/// coalesced follower).
+pub type ComputeResult = Result<Arc<Distribution>, String>;
+
+/// One in-flight computation: followers block on the condvar until the
+/// leader publishes.
+pub struct Slot {
+    done: Mutex<Option<ComputeResult>>,
+    ready: Condvar,
+}
+
+/// What [`InFlight::claim`] hands back.
+pub enum Claim {
+    /// This caller computes; it **must** call [`InFlight::publish`]
+    /// exactly once (even on failure) or followers hang.
+    Leader,
+    /// Another caller is already computing the same key; wait on it.
+    Follower(Arc<Slot>),
+}
+
+/// The in-flight request-coalescing map.
+#[derive(Default)]
+pub struct InFlight {
+    slots: Mutex<HashMap<u64, Arc<Slot>>>,
+    coalesced: AtomicU64,
+}
+
+impl InFlight {
+    /// An empty map.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Requests that found a leader to ride on instead of computing.
+    #[must_use]
+    pub fn coalesced(&self) -> u64 {
+        self.coalesced.load(Ordering::Relaxed)
+    }
+
+    /// Claims a key: the first claimant becomes the leader, everyone
+    /// else a follower of its slot.
+    #[must_use]
+    pub fn claim(&self, key: u64) -> Claim {
+        let mut slots = self.slots.lock().expect("in-flight map unpoisoned");
+        if let Some(slot) = slots.get(&key) {
+            self.coalesced.fetch_add(1, Ordering::Relaxed);
+            return Claim::Follower(Arc::clone(slot));
+        }
+        slots.insert(
+            key,
+            Arc::new(Slot {
+                done: Mutex::new(None),
+                ready: Condvar::new(),
+            }),
+        );
+        Claim::Leader
+    }
+
+    /// Publishes the leader's result: wakes every follower and retires
+    /// the slot (later requests probe the cache or start fresh).
+    pub fn publish(&self, key: u64, result: ComputeResult) {
+        let slot = self
+            .slots
+            .lock()
+            .expect("in-flight map unpoisoned")
+            .remove(&key)
+            .expect("publish pairs with a leader claim");
+        *slot.done.lock().expect("slot unpoisoned") = Some(result);
+        slot.ready.notify_all();
+    }
+}
+
+impl Claim {
+    /// Follower side: blocks until the leader publishes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called on a [`Claim::Leader`].
+    pub fn wait(self) -> ComputeResult {
+        let Claim::Follower(slot) = self else {
+            panic!("wait() is the follower path; leaders compute and publish");
+        };
+        let mut done = slot.done.lock().expect("slot unpoisoned");
+        loop {
+            if let Some(result) = done.clone() {
+                return result;
+            }
+            done = slot
+                .ready
+                .wait(done)
+                .expect("slot unpoisoned while waiting");
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hammer_dist::BitString;
+
+    fn dist(tag: u64) -> Arc<Distribution> {
+        Arc::new(
+            Distribution::from_probs(
+                8,
+                [
+                    (BitString::new(tag % 251, 8), 0.5),
+                    (BitString::new((tag + 1) % 251, 8), 0.5),
+                ],
+            )
+            .unwrap(),
+        )
+    }
+
+    #[test]
+    fn get_miss_then_hit() {
+        let cache = DistCache::new(1 << 20);
+        assert!(cache.get(42).is_none());
+        cache.note_miss();
+        cache.insert(42, dist(0));
+        let hit = cache.get(42).expect("present");
+        assert_eq!(*hit, *dist(0));
+        let (hits, misses, evictions, entries, bytes) = cache.stats();
+        assert_eq!((hits, misses, evictions, entries), (1, 1, 0, 1));
+        assert!(bytes > 0);
+    }
+
+    #[test]
+    fn lru_evicts_the_coldest_key_under_pressure() {
+        // Budget fits ~2 entries per shard; keys chosen to land in ONE
+        // shard (identical top bits) so the LRU order is observable.
+        let per_entry = approx_bytes(&dist(0));
+        let cache = DistCache::new(per_entry * 2 * SHARDS + SHARDS);
+        let key = |i: u64| i; // top nibble 0 → all in shard 0
+        cache.insert(key(1), dist(1));
+        cache.insert(key(2), dist(2));
+        // Touch 1 so 2 becomes the LRU.
+        assert!(cache.get(key(1)).is_some());
+        cache.insert(key(3), dist(3));
+        assert!(cache.get(key(2)).is_none(), "LRU key evicted");
+        assert!(cache.get(key(1)).is_some(), "recently-touched key kept");
+        assert!(cache.get(key(3)).is_some(), "new key kept");
+        let (_, _, evictions, entries, _) = cache.stats();
+        assert_eq!(evictions, 1);
+        assert_eq!(entries, 2);
+    }
+
+    #[test]
+    fn tiny_budget_never_evicts_the_entry_just_inserted() {
+        let cache = DistCache::new(1); // less than one entry
+        cache.insert(7, dist(7));
+        assert!(cache.get(7).is_some(), "sole entry survives");
+        cache.insert(9, dist(9));
+        assert!(cache.get(9).is_some(), "newest entry survives");
+    }
+
+    #[test]
+    fn reinserting_a_key_replaces_without_leaking_bytes() {
+        let cache = DistCache::new(1 << 20);
+        cache.insert(5, dist(1));
+        let (_, _, _, _, bytes_once) = cache.stats();
+        cache.insert(5, dist(2));
+        let (_, _, _, entries, bytes_twice) = cache.stats();
+        assert_eq!(entries, 1);
+        assert_eq!(bytes_once, bytes_twice);
+    }
+
+    #[test]
+    fn followers_receive_the_leaders_result() {
+        let inflight = Arc::new(InFlight::new());
+        let Claim::Leader = inflight.claim(11) else {
+            panic!("first claim leads");
+        };
+        let followers: Vec<_> = (0..4)
+            .map(|_| {
+                let inflight = Arc::clone(&inflight);
+                std::thread::spawn(move || match inflight.claim(11) {
+                    Claim::Leader => panic!("key already claimed"),
+                    follower @ Claim::Follower(_) => follower.wait(),
+                })
+            })
+            .collect();
+        // Give followers time to park, then publish.
+        while inflight.coalesced() < 4 {
+            std::thread::yield_now();
+        }
+        inflight.publish(11, Ok(dist(11)));
+        for f in followers {
+            let result = f.join().unwrap().expect("leader succeeded");
+            assert_eq!(*result, *dist(11));
+        }
+        assert_eq!(inflight.coalesced(), 4);
+        // The slot retired: the next claim leads again.
+        assert!(matches!(inflight.claim(11), Claim::Leader));
+        inflight.publish(11, Err("cleanup".into()));
+    }
+
+    #[test]
+    fn leader_errors_propagate_to_followers() {
+        let inflight = Arc::new(InFlight::new());
+        assert!(matches!(inflight.claim(3), Claim::Leader));
+        let follower = {
+            let inflight = Arc::clone(&inflight);
+            std::thread::spawn(move || match inflight.claim(3) {
+                Claim::Leader => panic!("key already claimed"),
+                follower @ Claim::Follower(_) => follower.wait(),
+            })
+        };
+        while inflight.coalesced() < 1 {
+            std::thread::yield_now();
+        }
+        inflight.publish(3, Err("boom".into()));
+        assert_eq!(follower.join().unwrap(), Err("boom".into()));
+    }
+}

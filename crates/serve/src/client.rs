@@ -1,0 +1,212 @@
+//! `ServeClient`: the synchronous, reconnecting client.
+//!
+//! One client owns one connection and issues one request at a time
+//! (replies are matched by request id regardless, so a future pipelined
+//! client can share the wire format unchanged). On a transport error
+//! the client transparently reconnects **once** and retries the request
+//! — every opcode is semantically idempotent (reconstruction is a pure
+//! function of its payload; `SampleAndReconstruct` is seeded), so a
+//! retry can change latency but never the answer.
+
+use std::net::TcpStream;
+
+use hammer_core::HammerConfig;
+use hammer_dist::{BitString, Counts, Distribution};
+
+use crate::codec::{MetricsReply, Reply, Request, SampleJob, ServeStats};
+use crate::protocol::{read_frame, write_frame, WireError};
+
+/// A synchronous client for a `hammer_serve` endpoint.
+///
+/// # Example
+///
+/// ```no_run
+/// use hammer_serve::ServeClient;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut client = ServeClient::connect("127.0.0.1:7878")?;
+/// client.ping()?;
+/// # Ok(())
+/// # }
+/// ```
+pub struct ServeClient {
+    addr: String,
+    stream: Option<TcpStream>,
+    next_id: u64,
+}
+
+impl ServeClient {
+    /// Connects to a serving endpoint.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the connection failure.
+    pub fn connect(addr: impl Into<String>) -> std::io::Result<Self> {
+        let addr = addr.into();
+        let stream = TcpStream::connect(&addr)?;
+        stream.set_nodelay(true).ok();
+        Ok(Self {
+            addr,
+            stream: Some(stream),
+            next_id: 1,
+        })
+    }
+
+    /// The endpoint address.
+    #[must_use]
+    pub fn addr(&self) -> &str {
+        &self.addr
+    }
+
+    fn ensure_stream(&mut self) -> Result<&mut TcpStream, WireError> {
+        if self.stream.is_none() {
+            let stream = TcpStream::connect(&self.addr)?;
+            stream.set_nodelay(true).ok();
+            self.stream = Some(stream);
+        }
+        Ok(self.stream.as_mut().expect("just ensured"))
+    }
+
+    fn call_once(&mut self, id: u64, request: &Request) -> Result<Reply, WireError> {
+        let opcode = request.opcode();
+        let payload = request.encode();
+        let stream = self.ensure_stream()?;
+        write_frame(stream, id, opcode, &payload)?;
+        loop {
+            let (reply_id, op, body) = read_frame(stream)?;
+            // A sync client has exactly one request outstanding; anything
+            // else (e.g. an id-0 framing report) ends the exchange.
+            if reply_id == id || reply_id == 0 {
+                return Reply::decode(op, &body);
+            }
+        }
+    }
+
+    /// Sends one request and reads its reply, reconnecting and retrying
+    /// once on a transport failure.
+    ///
+    /// # Errors
+    ///
+    /// The final [`WireError`] after the retry.
+    pub fn call(&mut self, request: &Request) -> Result<Reply, WireError> {
+        let id = self.next_id;
+        self.next_id += 1;
+        match self.call_once(id, request) {
+            Err(WireError::Io(_)) => {
+                // The connection died (server restart, idle timeout…):
+                // rebuild it and retry the idempotent request once.
+                self.stream = None;
+                self.call_once(id, request)
+            }
+            other => other,
+        }
+    }
+
+    /// In-band replies that abort a typed helper.
+    fn unexpected(reply: Reply) -> WireError {
+        match reply {
+            Reply::Busy => WireError::Busy,
+            Reply::Error(msg) => WireError::Remote(msg),
+            other => WireError::UnexpectedReply(other.opcode()),
+        }
+    }
+
+    /// Liveness probe.
+    ///
+    /// # Errors
+    ///
+    /// Transport/protocol failures.
+    pub fn ping(&mut self) -> Result<(), WireError> {
+        match self.call(&Request::Ping)? {
+            Reply::Pong => Ok(()),
+            other => Err(Self::unexpected(other)),
+        }
+    }
+
+    /// Reconstructs a measured histogram on the server.
+    ///
+    /// # Errors
+    ///
+    /// [`WireError::Busy`] under backpressure, [`WireError::Remote`]
+    /// on a server-side failure, transport/protocol failures otherwise.
+    pub fn reconstruct(
+        &mut self,
+        counts: &Counts,
+        config: &HammerConfig,
+    ) -> Result<Distribution, WireError> {
+        let request = Request::Reconstruct {
+            config: *config,
+            counts: counts.clone(),
+        };
+        match self.call(&request)? {
+            Reply::Distribution(d) => Ok(d),
+            other => Err(Self::unexpected(other)),
+        }
+    }
+
+    /// Scores a distribution against a correct-outcome set.
+    ///
+    /// # Errors
+    ///
+    /// As for [`reconstruct`](ServeClient::reconstruct).
+    pub fn metrics(
+        &mut self,
+        dist: &Distribution,
+        correct: &[BitString],
+    ) -> Result<MetricsReply, WireError> {
+        // Outcome widths are implicit on the wire (the distribution's
+        // width governs the limb layout), so a mismatch must be caught
+        // here — encoding it would silently reinterpret the bits.
+        if let Some(bad) = correct.iter().find(|x| x.len() != dist.n_bits()) {
+            return Err(WireError::Malformed(format!(
+                "correct outcome width {} does not match distribution width {}",
+                bad.len(),
+                dist.n_bits()
+            )));
+        }
+        let request = Request::Metrics {
+            dist: dist.clone(),
+            correct: correct.to_vec(),
+        };
+        match self.call(&request)? {
+            Reply::Metrics(m) => Ok(m),
+            other => Err(Self::unexpected(other)),
+        }
+    }
+
+    /// Runs the full simulate-then-reconstruct pipeline on the server.
+    ///
+    /// # Errors
+    ///
+    /// As for [`reconstruct`](ServeClient::reconstruct).
+    pub fn sample_and_reconstruct(&mut self, job: &SampleJob) -> Result<Distribution, WireError> {
+        match self.call(&Request::SampleAndReconstruct(job.clone()))? {
+            Reply::Distribution(d) => Ok(d),
+            other => Err(Self::unexpected(other)),
+        }
+    }
+
+    /// Snapshots the serving counters.
+    ///
+    /// # Errors
+    ///
+    /// Transport/protocol failures.
+    pub fn stats(&mut self) -> Result<ServeStats, WireError> {
+        match self.call(&Request::Stats)? {
+            Reply::Stats(s) => Ok(s),
+            other => Err(Self::unexpected(other)),
+        }
+    }
+
+    /// Requests graceful shutdown.
+    ///
+    /// # Errors
+    ///
+    /// Transport/protocol failures.
+    pub fn shutdown(&mut self) -> Result<(), WireError> {
+        match self.call(&Request::Shutdown)? {
+            Reply::ShutdownAck => Ok(()),
+            other => Err(Self::unexpected(other)),
+        }
+    }
+}

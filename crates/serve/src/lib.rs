@@ -1,0 +1,77 @@
+//! `hammer_serve` — the production-style serving subsystem of the
+//! HAMMER reproduction.
+//!
+//! HAMMER is a pure post-processing step: noisy counts in,
+//! reconstructed distribution out. That is exactly the shape of a
+//! stateless RPC with cacheable inputs, and this crate turns the
+//! library into one:
+//!
+//! * [`protocol`] — length-prefixed binary framing (`b"HAMR"` magic,
+//!   version, opcode, request id, payload) with opcodes for `Ping`,
+//!   `Reconstruct`, `Metrics`, `SampleAndReconstruct`, `Stats` and
+//!   `Shutdown`;
+//! * [`codec`] — std-only payload codecs that stream
+//!   [`hammer_dist::Counts`] / [`hammer_dist::Distribution`] directly
+//!   from their structure-of-arrays limb views and re-validate every
+//!   invariant on decode ([`Distribution::from_raw_parts`]
+//!   (hammer_dist::Distribution::from_raw_parts)), so hostile bytes
+//!   surface as [`WireError`]s, never panics;
+//! * [`serve`] / [`ServerHandle`] — a `std::net` TCP runtime: acceptor,
+//!   per-connection framed reader/writer threads, a **bounded** request
+//!   queue on a persistent [`hammer_sim::WorkerPool`] (503-style
+//!   [`Reply::Busy`] backpressure when full), a second shared pool for
+//!   engine trial blocks, and graceful shutdown that drains in-flight
+//!   work;
+//! * the **batching + caching core** — concurrent identical requests
+//!   coalesce onto one computation via an in-flight map keyed by stable
+//!   `u64` fingerprints, backed by a sharded LRU cache of completed
+//!   distributions with hit/miss/eviction/coalesce counters exposed
+//!   through the `Stats` opcode;
+//! * [`ServeClient`] — the synchronous, reconnecting client.
+//!
+//! Related mitigators (Q-BEEP and friends) share HAMMER's
+//! counts-to-distribution contract, so the wire format is deliberately
+//! mitigator-agnostic: only the config payload names HAMMER's knobs.
+//!
+//! # Example: in-process round trip
+//!
+//! ```
+//! use hammer_core::HammerConfig;
+//! use hammer_dist::{BitString, Counts};
+//! use hammer_serve::{serve, ServeClient, ServeConfig};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let server = serve(&ServeConfig {
+//!     addr: "127.0.0.1:0".into(), // ephemeral port
+//!     ..ServeConfig::default()
+//! })?;
+//!
+//! let mut client = ServeClient::connect(server.local_addr().to_string())?;
+//! client.ping()?;
+//!
+//! let mut counts = Counts::new(5)?;
+//! counts.record_n(BitString::parse("11111")?, 300);
+//! counts.record_n(BitString::parse("11110")?, 120);
+//! counts.record_n(BitString::parse("00100")?, 250);
+//! let reconstructed = client.reconstruct(&counts, &HammerConfig::paper())?;
+//! assert!((reconstructed.total_mass() - 1.0).abs() < 1e-9);
+//!
+//! client.shutdown()?;
+//! server.wait();
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod cache;
+mod client;
+pub mod codec;
+pub mod protocol;
+mod server;
+
+pub use client::ServeClient;
+pub use codec::{DeviceSpec, MetricsReply, Reply, Request, SampleJob, ServeStats};
+pub use protocol::WireError;
+pub use server::{serve, ServeConfig, ServerHandle};

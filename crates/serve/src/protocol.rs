@@ -1,0 +1,251 @@
+//! The wire protocol: length-prefixed binary framing and the
+//! request/reply message set.
+//!
+//! # Framing
+//!
+//! Every message travels in one frame:
+//!
+//! ```text
+//! offset  size  field
+//! 0       4     magic       b"HAMR"
+//! 4       2     version     u16 LE, currently 1
+//! 6       1     opcode      message discriminant
+//! 7       8     request id  u64 LE, echoed verbatim in the reply
+//! 15      4     payload len u32 LE, bytes that follow (≤ 64 MiB)
+//! 19      …     payload     opcode-specific (see [`crate::codec`])
+//! ```
+//!
+//! The request id is an opaque client token: the server echoes it so a
+//! client may pipeline requests and match replies arriving out of order
+//! (worker-pool execution does not preserve submission order).
+//!
+//! Everything is hand-rolled over `std::io` — no serde, no external
+//! dependencies — and every decoder treats its input as untrusted:
+//! malformed frames surface as [`WireError`], never as panics.
+
+use std::fmt;
+use std::io::{Read, Write};
+
+use hammer_dist::DistError;
+
+/// Frame magic: `b"HAMR"`.
+pub const MAGIC: [u8; 4] = *b"HAMR";
+/// Current protocol version.
+pub const VERSION: u16 = 1;
+/// Upper bound on a frame payload; larger length prefixes are rejected
+/// before any allocation happens.
+pub const MAX_PAYLOAD: u32 = 64 * 1024 * 1024;
+/// Frame header size in bytes.
+pub const HEADER_LEN: usize = 19;
+
+/// Request opcodes (client → server).
+pub mod opcode {
+    /// Liveness probe.
+    pub const PING: u8 = 0x01;
+    /// Counts + config in, reconstructed distribution out.
+    pub const RECONSTRUCT: u8 = 0x02;
+    /// Distribution + correct set in, figures of merit out.
+    pub const METRICS: u8 = 0x03;
+    /// Circuit + device + trials + seed + config in, reconstructed
+    /// distribution out (the full simulate-then-HAMMER pipeline).
+    pub const SAMPLE_AND_RECONSTRUCT: u8 = 0x04;
+    /// Cache/serving counters snapshot.
+    pub const STATS: u8 = 0x05;
+    /// Graceful shutdown: stop accepting, drain in-flight work.
+    pub const SHUTDOWN: u8 = 0x06;
+
+    /// Reply opcodes (server → client) set the high bit.
+    pub const PONG: u8 = 0x81;
+    /// A [`hammer_dist::Distribution`] payload.
+    pub const DISTRIBUTION: u8 = 0x82;
+    /// A metrics payload (see [`crate::MetricsReply`]).
+    pub const METRICS_REPLY: u8 = 0x83;
+    /// A stats payload (see [`crate::ServeStats`]).
+    pub const STATS_REPLY: u8 = 0x85;
+    /// Shutdown acknowledged; the connection stays usable until closed.
+    pub const SHUTDOWN_ACK: u8 = 0x86;
+    /// 503-style backpressure: the request queue is full, retry later.
+    pub const BUSY: u8 = 0xF0;
+    /// Request-level failure; payload is a UTF-8 message.
+    pub const ERROR: u8 = 0xFF;
+}
+
+/// Everything that can go wrong on the wire (or in a decoded payload).
+#[derive(Debug)]
+pub enum WireError {
+    /// Transport failure.
+    Io(std::io::Error),
+    /// The frame did not start with `b"HAMR"`.
+    BadMagic([u8; 4]),
+    /// Protocol version mismatch.
+    BadVersion(u16),
+    /// Unknown opcode byte.
+    UnknownOpcode(u8),
+    /// Length prefix beyond [`MAX_PAYLOAD`].
+    PayloadTooLarge(u32),
+    /// Payload ended before its declared content.
+    Truncated,
+    /// Payload continued past its declared content.
+    TrailingBytes,
+    /// A structurally invalid payload field.
+    Malformed(String),
+    /// A decoded `Counts`/`Distribution` violated a data-layer
+    /// invariant.
+    Dist(DistError),
+    /// The server refused the request under load (in-band `Busy`
+    /// reply, surfaced as an error by the typed client helpers).
+    Busy,
+    /// The server reported a request-level failure.
+    Remote(String),
+    /// The reply opcode did not match the request (client side).
+    UnexpectedReply(u8),
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Io(e) => write!(f, "i/o error: {e}"),
+            Self::BadMagic(m) => write!(f, "bad frame magic {m:02x?} (want \"HAMR\")"),
+            Self::BadVersion(v) => write!(f, "unsupported protocol version {v} (want {VERSION})"),
+            Self::UnknownOpcode(op) => write!(f, "unknown opcode 0x{op:02x}"),
+            Self::PayloadTooLarge(n) => {
+                write!(f, "payload of {n} bytes exceeds the {MAX_PAYLOAD}-byte cap")
+            }
+            Self::Truncated => write!(f, "payload truncated"),
+            Self::TrailingBytes => write!(f, "payload has trailing bytes"),
+            Self::Malformed(what) => write!(f, "malformed payload: {what}"),
+            Self::Dist(e) => write!(f, "invalid distribution data: {e}"),
+            Self::Busy => write!(f, "server busy (request queue full)"),
+            Self::Remote(msg) => write!(f, "server error: {msg}"),
+            Self::UnexpectedReply(op) => write!(f, "unexpected reply opcode 0x{op:02x}"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+impl From<std::io::Error> for WireError {
+    fn from(e: std::io::Error) -> Self {
+        Self::Io(e)
+    }
+}
+
+impl From<DistError> for WireError {
+    fn from(e: DistError) -> Self {
+        Self::Dist(e)
+    }
+}
+
+/// Writes one frame: header plus payload, in a single buffered write so
+/// concurrent writers on a shared stream could never interleave
+/// mid-frame.
+///
+/// # Errors
+///
+/// Propagates transport errors.
+pub fn write_frame<W: Write>(
+    w: &mut W,
+    request_id: u64,
+    opcode: u8,
+    payload: &[u8],
+) -> std::io::Result<()> {
+    debug_assert!(payload.len() <= MAX_PAYLOAD as usize, "oversized payload");
+    let mut frame = Vec::with_capacity(HEADER_LEN + payload.len());
+    frame.extend_from_slice(&MAGIC);
+    frame.extend_from_slice(&VERSION.to_le_bytes());
+    frame.push(opcode);
+    frame.extend_from_slice(&request_id.to_le_bytes());
+    frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    frame.extend_from_slice(payload);
+    w.write_all(&frame)?;
+    w.flush()
+}
+
+/// Reads one frame and returns `(request_id, opcode, payload)`.
+///
+/// # Errors
+///
+/// [`WireError::Io`] on transport failure (including a clean EOF before
+/// the header, which surfaces as `UnexpectedEof`), and the framing
+/// variants on a corrupt header.
+pub fn read_frame<R: Read>(r: &mut R) -> Result<(u64, u8, Vec<u8>), WireError> {
+    let mut header = [0u8; HEADER_LEN];
+    r.read_exact(&mut header)?;
+    if header[0..4] != MAGIC {
+        return Err(WireError::BadMagic([
+            header[0], header[1], header[2], header[3],
+        ]));
+    }
+    let version = u16::from_le_bytes([header[4], header[5]]);
+    if version != VERSION {
+        return Err(WireError::BadVersion(version));
+    }
+    let op = header[6];
+    let request_id = u64::from_le_bytes(header[7..15].try_into().expect("8 header bytes"));
+    let len = u32::from_le_bytes(header[15..19].try_into().expect("4 header bytes"));
+    if len > MAX_PAYLOAD {
+        return Err(WireError::PayloadTooLarge(len));
+    }
+    let mut payload = vec![0u8; len as usize];
+    r.read_exact(&mut payload)?;
+    Ok((request_id, op, payload))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frame_round_trips() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, 0xDEAD_BEEF, opcode::PING, b"xyz").unwrap();
+        let (id, op, payload) = read_frame(&mut buf.as_slice()).unwrap();
+        assert_eq!(id, 0xDEAD_BEEF);
+        assert_eq!(op, opcode::PING);
+        assert_eq!(payload, b"xyz");
+    }
+
+    #[test]
+    fn bad_magic_is_rejected() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, 1, opcode::PING, b"").unwrap();
+        buf[0] = b'X';
+        assert!(matches!(
+            read_frame(&mut buf.as_slice()),
+            Err(WireError::BadMagic(_))
+        ));
+    }
+
+    #[test]
+    fn bad_version_is_rejected() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, 1, opcode::PING, b"").unwrap();
+        buf[4] = 99;
+        assert!(matches!(
+            read_frame(&mut buf.as_slice()),
+            Err(WireError::BadVersion(99))
+        ));
+    }
+
+    #[test]
+    fn oversized_length_prefix_is_rejected_before_allocation() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, 1, opcode::PING, b"").unwrap();
+        buf[15..19].copy_from_slice(&u32::MAX.to_le_bytes());
+        assert!(matches!(
+            read_frame(&mut buf.as_slice()),
+            Err(WireError::PayloadTooLarge(u32::MAX))
+        ));
+    }
+
+    #[test]
+    fn truncated_stream_is_an_io_error() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, 1, opcode::PING, b"abcdef").unwrap();
+        buf.truncate(buf.len() - 2);
+        assert!(matches!(
+            read_frame(&mut buf.as_slice()),
+            Err(WireError::Io(_))
+        ));
+    }
+}

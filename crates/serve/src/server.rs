@@ -1,0 +1,461 @@
+//! The server runtime: TCP acceptor, per-connection framed
+//! reader/writer threads, a bounded worker-pool request queue with
+//! `Busy` backpressure, and graceful shutdown that drains in-flight
+//! work.
+//!
+//! # Thread anatomy
+//!
+//! ```text
+//! acceptor ──► per-connection reader ──► request pool (WorkerPool,
+//!     │             │    ▲                bounded queue) ──┐
+//!     │             │    └── Busy reply when full          │ compute
+//!     │             ▼                                      ▼
+//!     │        per-connection writer ◄──── mpsc ◄──── reply (id, frame)
+//!     └── engine pool (WorkerPool, shared): trial blocks of every
+//!         SampleAndReconstruct, amortized across requests
+//! ```
+//!
+//! Two pools on purpose: request jobs block on cache coalescing and on
+//! engine fan-out, so running engine trial blocks on the *same* pool
+//! could deadlock (every worker waiting on work only that pool could
+//! run). The request pool is bounded (backpressure); the engine pool is
+//! fed only by request workers, so it needs no bound of its own.
+
+use std::io::BufWriter;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{mpsc, Arc};
+use std::thread::JoinHandle;
+
+use hammer_core::Hammer;
+use hammer_dist::fingerprint::Fnv1a;
+use hammer_dist::{metrics, Distribution};
+use hammer_sim::{AutoEngine, WorkerPool};
+
+use crate::cache::{Claim, ComputeResult, DistCache, InFlight};
+use crate::codec::{Reply, Request, SampleJob, ServeStats};
+use crate::protocol::{read_frame, write_frame, WireError};
+
+/// Serving configuration (the `repro serve` flags).
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Bind address; port 0 picks an ephemeral port (tests).
+    pub addr: String,
+    /// Request-execution workers.
+    pub workers: usize,
+    /// Queued (not yet running) requests beyond which the server
+    /// replies `Busy`.
+    pub queue_limit: usize,
+    /// Distribution-cache budget in mebibytes.
+    pub cache_mb: usize,
+    /// Worker threads for the shared engine pool (trial blocks of
+    /// `SampleAndReconstruct` jobs).
+    pub engine_threads: usize,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        let cores = std::thread::available_parallelism().map_or(1, std::num::NonZero::get);
+        Self {
+            addr: "127.0.0.1:7878".into(),
+            workers: cores.max(2),
+            queue_limit: 256,
+            cache_mb: 64,
+            engine_threads: cores,
+        }
+    }
+}
+
+/// Counters owned by the runtime (cache counters live in [`DistCache`] /
+/// [`InFlight`]).
+#[derive(Default)]
+struct RuntimeCounters {
+    requests: AtomicU64,
+    busy: AtomicU64,
+    active_jobs: AtomicUsize,
+    /// Replies queued to a connection writer but not yet written to the
+    /// socket. Graceful shutdown waits for this to reach zero, so the
+    /// final acknowledgements are flushed before `wait` returns (and
+    /// before a hosting process exits, killing the detached writers).
+    pending_replies: AtomicUsize,
+}
+
+/// Shared server state.
+struct ServerState {
+    request_pool: WorkerPool,
+    engine_pool: Arc<WorkerPool>,
+    cache: DistCache,
+    inflight: InFlight,
+    counters: RuntimeCounters,
+    shutting_down: AtomicBool,
+}
+
+impl ServerState {
+    fn stats(&self) -> ServeStats {
+        let (hits, misses, evictions, entries, bytes) = self.cache.stats();
+        ServeStats {
+            requests: self.counters.requests.load(Ordering::Relaxed),
+            busy_rejections: self.counters.busy.load(Ordering::Relaxed),
+            cache_hits: hits,
+            cache_misses: misses,
+            coalesced: self.inflight.coalesced(),
+            evictions,
+            cache_entries: entries,
+            cache_bytes: bytes,
+        }
+    }
+}
+
+/// A running server. Obtained from [`serve`]; dropped or
+/// [`wait`](ServerHandle::wait)ed to completion.
+pub struct ServerHandle {
+    local_addr: SocketAddr,
+    acceptor: Option<JoinHandle<()>>,
+    state: Arc<ServerState>,
+}
+
+impl ServerHandle {
+    /// The bound address (resolves port 0).
+    #[must_use]
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// A snapshot of the serving counters (the `Stats` opcode, without
+    /// a round trip — used by the in-process bench harness).
+    #[must_use]
+    pub fn stats(&self) -> ServeStats {
+        self.state.stats()
+    }
+
+    /// Triggers shutdown from the hosting process (equivalent to a
+    /// `Shutdown` frame).
+    pub fn shutdown(&self) {
+        begin_shutdown(&self.state, self.local_addr);
+    }
+
+    /// Blocks until the server has shut down: the acceptor has exited
+    /// and every accepted request has been answered. Returns the final
+    /// counters.
+    #[must_use]
+    pub fn wait(mut self) -> ServeStats {
+        if let Some(acceptor) = self.acceptor.take() {
+            acceptor.join().expect("acceptor does not panic");
+        }
+        // Drain: every accepted job decrements `active_jobs` after its
+        // reply is queued, and every queued reply decrements
+        // `pending_replies` once written to the socket — so when both
+        // are zero, all accepted work is answered AND flushed.
+        while self.state.counters.active_jobs.load(Ordering::SeqCst) > 0
+            || self.state.counters.pending_replies.load(Ordering::SeqCst) > 0
+        {
+            std::thread::sleep(std::time::Duration::from_millis(2));
+        }
+        self.state.stats()
+    }
+}
+
+/// Flags shutdown and unblocks the acceptor with a wake-up connection.
+fn begin_shutdown(state: &ServerState, addr: SocketAddr) {
+    if !state.shutting_down.swap(true, Ordering::SeqCst) {
+        // The acceptor blocks in `accept`; a throwaway connection makes
+        // it re-check the flag. Failure is fine (acceptor already gone).
+        let _ = TcpStream::connect(addr);
+    }
+}
+
+/// Binds and starts the serving runtime.
+///
+/// # Errors
+///
+/// Propagates the bind failure.
+pub fn serve(config: &ServeConfig) -> std::io::Result<ServerHandle> {
+    let listener = TcpListener::bind(&config.addr)?;
+    let local_addr = listener.local_addr()?;
+    let state = Arc::new(ServerState {
+        request_pool: WorkerPool::with_queue_limit(config.workers.max(1), config.queue_limit),
+        engine_pool: Arc::new(WorkerPool::new(config.engine_threads.max(1))),
+        cache: DistCache::new(config.cache_mb.saturating_mul(1024 * 1024)),
+        inflight: InFlight::new(),
+        counters: RuntimeCounters::default(),
+        shutting_down: AtomicBool::new(false),
+    });
+    let acceptor = {
+        let state = Arc::clone(&state);
+        std::thread::Builder::new()
+            .name("hammer-serve-accept".into())
+            .spawn(move || accept_loop(&listener, &state))
+            .expect("acceptor thread spawns")
+    };
+    Ok(ServerHandle {
+        local_addr,
+        acceptor: Some(acceptor),
+        state,
+    })
+}
+
+fn accept_loop(listener: &TcpListener, state: &Arc<ServerState>) {
+    loop {
+        if state.shutting_down.load(Ordering::SeqCst) {
+            return;
+        }
+        match listener.accept() {
+            Ok((stream, _)) => {
+                if state.shutting_down.load(Ordering::SeqCst) {
+                    return; // the wake-up connection, or a late client
+                }
+                let state = Arc::clone(state);
+                let addr = listener
+                    .local_addr()
+                    .expect("bound listener has an address");
+                // Readers are detached: they exit on client EOF (or
+                // after relaying Shutdown). `wait` tracks *jobs*, not
+                // connections, so an idle open connection never blocks
+                // shutdown.
+                let _ = std::thread::Builder::new()
+                    .name("hammer-serve-conn".into())
+                    .spawn(move || connection_loop(stream, &state, addr));
+            }
+            Err(_) => {
+                // Transient accept failure; keep serving.
+                std::thread::sleep(std::time::Duration::from_millis(5));
+            }
+        }
+    }
+}
+
+/// The per-connection reader: parses frames, answers cheap opcodes
+/// inline, and queues compute opcodes onto the bounded request pool.
+/// Replies flow through an mpsc channel to a dedicated writer thread,
+/// so slow computations never block the read side and out-of-order
+/// completion is fine (the request id disambiguates).
+fn connection_loop(stream: TcpStream, state: &Arc<ServerState>, addr: SocketAddr) {
+    let Ok(write_half) = stream.try_clone() else {
+        return;
+    };
+    let (raw_tx, reply_rx) = mpsc::channel::<(u64, Reply)>();
+    let writer = {
+        let state = Arc::clone(state);
+        std::thread::Builder::new()
+            .name("hammer-serve-write".into())
+            .spawn(move || {
+                let mut w = BufWriter::new(write_half);
+                let mut broken = false;
+                // Keep draining after a write failure: every queued
+                // reply must still decrement `pending_replies` or
+                // shutdown would wait forever on a dead client.
+                while let Ok((id, reply)) = reply_rx.recv() {
+                    if !broken && write_frame(&mut w, id, reply.opcode(), &reply.encode()).is_err()
+                    {
+                        broken = true;
+                    }
+                    state
+                        .counters
+                        .pending_replies
+                        .fetch_sub(1, Ordering::SeqCst);
+                }
+            })
+            .expect("writer thread spawns")
+    };
+    // Every queued reply is pre-counted so `wait` can see it before the
+    // writer picks it up.
+    let reply_tx = {
+        let state = Arc::clone(state);
+        move |message: (u64, Reply)| {
+            state
+                .counters
+                .pending_replies
+                .fetch_add(1, Ordering::SeqCst);
+            if raw_tx.send(message).is_err() {
+                // Writer gone (unreachable while a sender lives, but do
+                // not leak the pre-count if it ever happens).
+                state
+                    .counters
+                    .pending_replies
+                    .fetch_sub(1, Ordering::SeqCst);
+            }
+        }
+    };
+
+    let mut read_half = stream;
+    loop {
+        let (id, op, payload) = match read_frame(&mut read_half) {
+            Ok(frame) => frame,
+            Err(WireError::Io(_)) => break, // EOF or dead peer
+            Err(_) => {
+                // Framing is unrecoverable mid-stream: report and drop.
+                reply_tx((0, Reply::Error("malformed frame".into())));
+                break;
+            }
+        };
+        // A shut-down server closes surviving connections instead of
+        // answering on them: the peer sees EOF and (re)connects
+        // elsewhere. In-flight replies still drain through the writer.
+        if state.shutting_down.load(Ordering::SeqCst) {
+            break;
+        }
+        let request = match Request::decode(op, &payload) {
+            Ok(request) => request,
+            Err(e) => {
+                reply_tx((id, Reply::Error(e.to_string())));
+                continue;
+            }
+        };
+        match request {
+            Request::Ping => {
+                reply_tx((id, Reply::Pong));
+            }
+            Request::Stats => {
+                reply_tx((id, Reply::Stats(state.stats())));
+            }
+            Request::Shutdown => {
+                reply_tx((id, Reply::ShutdownAck));
+                begin_shutdown(state, addr);
+                break;
+            }
+            compute @ (Request::Reconstruct { .. }
+            | Request::Metrics { .. }
+            | Request::SampleAndReconstruct(_)) => {
+                // Count the job BEFORE re-checking the shutdown flag:
+                // `wait` trusts `active_jobs`, so the increment must be
+                // visible before a concurrent `wait` could observe
+                // "nothing pending". If shutdown began in the meantime,
+                // back the count out and refuse — never submit work a
+                // completed `wait` would no longer cover.
+                state.counters.active_jobs.fetch_add(1, Ordering::SeqCst);
+                if state.shutting_down.load(Ordering::SeqCst) {
+                    state.counters.active_jobs.fetch_sub(1, Ordering::SeqCst);
+                    state.counters.busy.fetch_add(1, Ordering::Relaxed);
+                    reply_tx((id, Reply::Busy));
+                    continue;
+                }
+                let job_state = Arc::clone(state);
+                let job_tx = reply_tx.clone();
+                let submitted = state.request_pool.try_submit(move || {
+                    let reply = handle_compute(&job_state, compute);
+                    job_tx((id, reply));
+                    job_state
+                        .counters
+                        .active_jobs
+                        .fetch_sub(1, Ordering::SeqCst);
+                });
+                if submitted.is_err() {
+                    state.counters.active_jobs.fetch_sub(1, Ordering::SeqCst);
+                    state.counters.busy.fetch_add(1, Ordering::Relaxed);
+                    reply_tx((id, Reply::Busy));
+                }
+            }
+        }
+    }
+    drop(reply_tx);
+    // Jobs still in flight hold their own senders; the writer exits
+    // once the last one completes. Join so the writer cannot outlive
+    // the data it flushes.
+    let _ = writer.join();
+}
+
+/// Executes one compute request on a pool worker.
+fn handle_compute(state: &Arc<ServerState>, request: Request) -> Reply {
+    state.counters.requests.fetch_add(1, Ordering::Relaxed);
+    match request {
+        Request::Reconstruct { config, counts } => {
+            if counts.is_empty() {
+                return Reply::Error("empty histogram has no distribution".into());
+            }
+            let mut key = Fnv1a::new();
+            key.write_bytes(b"reconstruct/v1");
+            key.write_u64(counts.fingerprint());
+            key.write_u64(config.fingerprint());
+            cached_compute(state, key.finish(), move || {
+                Ok(Hammer::with_config(config).reconstruct_counts(&counts))
+            })
+        }
+        Request::SampleAndReconstruct(job) => {
+            let key = job.fingerprint();
+            let engine_pool = Arc::clone(&state.engine_pool);
+            cached_compute(state, key, move || run_sample_job(&job, &engine_pool))
+        }
+        Request::Metrics { dist, correct } => {
+            if correct.is_empty() {
+                return Reply::Error("empty correct-outcome set".into());
+            }
+            if let Some(bad) = correct.iter().find(|x| x.len() != dist.n_bits()) {
+                return Reply::Error(format!(
+                    "correct outcome width {} does not match distribution width {}",
+                    bad.len(),
+                    dist.n_bits()
+                ));
+            }
+            Reply::Metrics(crate::codec::MetricsReply {
+                pst: metrics::pst(&dist, &correct),
+                ist: metrics::ist(&dist, &correct),
+                ehd: metrics::ehd(&dist, &correct),
+                uniform_ehd: metrics::uniform_ehd(dist.n_bits()),
+            })
+        }
+        Request::Ping | Request::Stats | Request::Shutdown => {
+            unreachable!("cheap opcodes are answered inline by the reader")
+        }
+    }
+}
+
+/// The cache + coalescing discipline around one computation.
+fn cached_compute<F>(state: &Arc<ServerState>, key: u64, compute: F) -> Reply
+where
+    F: FnOnce() -> Result<Distribution, String>,
+{
+    if let Some(hit) = state.cache.get(key) {
+        return Reply::Distribution((*hit).clone());
+    }
+    match state.inflight.claim(key) {
+        Claim::Leader => {
+            // A racing leader may have completed between our cache probe
+            // and our claim; serve its entry rather than recompute.
+            // (`get` counted our probe as the miss; this probe would
+            // count a hit, which is accurate — the entry IS there.)
+            let result: ComputeResult = if let Some(hit) = state.cache.get(key) {
+                Ok(hit)
+            } else {
+                state.cache.note_miss();
+                match catch_unwind(AssertUnwindSafe(compute)) {
+                    Ok(Ok(dist)) => {
+                        let dist = Arc::new(dist);
+                        state.cache.insert(key, Arc::clone(&dist));
+                        Ok(dist)
+                    }
+                    Ok(Err(msg)) => Err(msg),
+                    Err(_) => Err("computation panicked".into()),
+                }
+            };
+            state.inflight.publish(key, result.clone());
+            reply_of(result)
+        }
+        follower @ Claim::Follower(_) => reply_of(follower.wait()),
+    }
+}
+
+fn reply_of(result: ComputeResult) -> Reply {
+    match result {
+        Ok(dist) => Reply::Distribution((*dist).clone()),
+        Err(msg) => Reply::Error(msg),
+    }
+}
+
+/// Runs one simulate-then-reconstruct job on the shared engine pool.
+fn run_sample_job(job: &SampleJob, engine_pool: &Arc<WorkerPool>) -> Result<Distribution, String> {
+    use rand::SeedableRng;
+    let device = job.device.to_device()?;
+    if job.trials == 0 {
+        return Err("zero trials".into());
+    }
+    if job.trials > 10_000_000 {
+        return Err(format!("trial budget {} exceeds the 10M cap", job.trials));
+    }
+    let mut rng = rand::rngs::StdRng::seed_from_u64(job.seed);
+    let counts = AutoEngine::new(&device)
+        .with_pool(Arc::clone(engine_pool))
+        .sample(&job.circuit, job.trials, &mut rng)
+        .map_err(|e| e.to_string())?;
+    Ok(Hammer::with_config(job.config).reconstruct_counts(&counts))
+}

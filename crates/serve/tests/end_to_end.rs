@@ -1,0 +1,389 @@
+//! End-to-end serving tests: a real TCP server in-process, concurrent
+//! clients, byte-identical replies versus direct library calls, cache
+//! and coalescing behavior, backpressure, and graceful shutdown.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Barrier};
+
+use hammer_core::{Hammer, HammerConfig};
+use hammer_dist::{BitString, Counts, Distribution};
+use hammer_serve::{
+    serve, DeviceSpec, Reply, SampleJob, ServeClient, ServeConfig, ServeStats, WireError,
+};
+use hammer_sim::{AutoEngine, Circuit};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bs(s: &str) -> BitString {
+    BitString::parse(s).unwrap()
+}
+
+/// A server on an ephemeral port with the given cache budget.
+fn start(cache_mb: usize, workers: usize, queue_limit: usize) -> hammer_serve::ServerHandle {
+    serve(&ServeConfig {
+        addr: "127.0.0.1:0".into(),
+        workers,
+        queue_limit,
+        cache_mb,
+        ..ServeConfig::default()
+    })
+    .expect("bind an ephemeral port")
+}
+
+/// The §4.5 halo histogram: correct answer out-gunned by an isolated
+/// dominant error, revealed by reconstruction. `salt` perturbs one
+/// count so distinct salts produce distinct cache keys.
+fn halo_counts(salt: u64) -> Counts {
+    let mut counts = Counts::new(5).unwrap();
+    counts.record_n(bs("11111"), 150);
+    counts.record_n(bs("00100"), 250 + salt);
+    for s in ["11110", "11101", "11011", "10111", "01111"] {
+        counts.record_n(bs(s), 80);
+    }
+    for s in ["11100", "11010", "00111", "01011"] {
+        counts.record_n(bs(s), 50);
+    }
+    counts
+}
+
+/// The reply bytes a distribution travels as — the byte-identical
+/// comparison the acceptance criteria ask for.
+fn wire_bytes(d: &Distribution) -> Vec<u8> {
+    Reply::Distribution(d.clone()).encode()
+}
+
+fn ghz_job(n: usize, trials: u64, seed: u64) -> SampleJob {
+    let mut circuit = Circuit::new(n);
+    circuit.h(0);
+    for q in 0..n - 1 {
+        circuit.cx(q, q + 1);
+    }
+    SampleJob {
+        circuit,
+        device: DeviceSpec::IbmParis(n),
+        trials,
+        seed,
+        config: HammerConfig::paper(),
+    }
+}
+
+/// What the server is expected to compute for a job, via direct library
+/// calls (same engine dispatch, same seed discipline, same Hammer).
+fn direct_sample_and_reconstruct(job: &SampleJob) -> Distribution {
+    let device = job.device.to_device().expect("valid preset");
+    let mut rng = StdRng::seed_from_u64(job.seed);
+    let counts = AutoEngine::new(&device)
+        .sample(&job.circuit, job.trials, &mut rng)
+        .expect("valid job");
+    Hammer::with_config(job.config).reconstruct_counts(&counts)
+}
+
+#[test]
+fn concurrent_clients_get_byte_identical_replies_and_cache_hits() {
+    let server = start(64, 4, 256);
+    let addr = server.local_addr().to_string();
+
+    // Direct library results to compare against.
+    let expected_reconstruct =
+        Hammer::with_config(HammerConfig::paper()).reconstruct_counts(&halo_counts(0));
+    let job = ghz_job(6, 2000, 0xAB);
+    let expected_job = direct_sample_and_reconstruct(&job);
+    let noisy = halo_counts(0).to_distribution();
+
+    // ≥ 2 concurrent clients, each driving all three compute opcodes
+    // twice (the second pass hits the cache).
+    let barrier = Arc::new(Barrier::new(3));
+    let workers: Vec<_> = (0..3u64)
+        .map(|_| {
+            let addr = addr.clone();
+            let barrier = Arc::clone(&barrier);
+            let expected_reconstruct = expected_reconstruct.clone();
+            let expected_job = expected_job.clone();
+            let job = job.clone();
+            let noisy = noisy.clone();
+            std::thread::spawn(move || {
+                let mut client = ServeClient::connect(addr).expect("connect");
+                client.ping().expect("ping");
+                barrier.wait();
+                for _ in 0..2 {
+                    let got = client
+                        .reconstruct(&halo_counts(0), &HammerConfig::paper())
+                        .expect("reconstruct");
+                    assert_eq!(wire_bytes(&got), wire_bytes(&expected_reconstruct));
+                    assert_eq!(got.most_probable().unwrap().0, bs("11111"));
+
+                    let got = client.sample_and_reconstruct(&job).expect("sample job");
+                    assert_eq!(wire_bytes(&got), wire_bytes(&expected_job));
+
+                    let m = client.metrics(&noisy, &[bs("11111")]).expect("metrics");
+                    let pst = hammer_dist::metrics::pst(&noisy, &[bs("11111")]);
+                    assert!((m.pst - pst).abs() < 1e-15);
+                    assert!((m.uniform_ehd - hammer_dist::metrics::uniform_ehd(5)).abs() < 1e-15);
+                }
+            })
+        })
+        .collect();
+    for w in workers {
+        w.join().expect("client thread");
+    }
+
+    let stats = server.stats();
+    // 3 clients × 2 rounds × 3 compute opcodes.
+    assert_eq!(stats.requests, 18);
+    // Two distinct cacheable keys; every later identical request hit
+    // the cache or coalesced onto the in-flight leader.
+    assert_eq!(stats.cache_misses, 2, "{stats:?}");
+    assert!(stats.cache_hits > 0, "{stats:?}");
+    assert_eq!(stats.cache_hits + stats.coalesced, 10, "{stats:?}");
+    assert_eq!(stats.busy_rejections, 0);
+
+    // Graceful shutdown: acknowledged, then the port actually closes.
+    let mut client = ServeClient::connect(&addr).expect("connect for shutdown");
+    client.shutdown().expect("shutdown ack");
+    let final_stats = server.wait();
+    assert_eq!(final_stats.requests, 18);
+    assert!(
+        std::net::TcpStream::connect(&addr).is_err(),
+        "listener must be closed after graceful shutdown"
+    );
+}
+
+#[test]
+fn k_concurrent_identical_requests_compute_once() {
+    let server = start(64, 8, 256);
+    let addr = server.local_addr().to_string();
+    const K: usize = 8;
+
+    // A job heavy enough that the followers arrive while the leader is
+    // still computing (coalescing), but the assertion only relies on
+    // the miss counter: K identical requests, ONE underlying
+    // computation, regardless of timing.
+    let job = ghz_job(10, 60_000, 0x5EED);
+    let barrier = Arc::new(Barrier::new(K));
+    let reply_fingerprints: Vec<_> = (0..K)
+        .map(|_| {
+            let addr = addr.clone();
+            let barrier = Arc::clone(&barrier);
+            let job = job.clone();
+            std::thread::spawn(move || {
+                let mut client = ServeClient::connect(addr).expect("connect");
+                barrier.wait();
+                let d = client.sample_and_reconstruct(&job).expect("job");
+                wire_bytes(&d)
+            })
+        })
+        .collect();
+    let replies: Vec<Vec<u8>> = reply_fingerprints
+        .into_iter()
+        .map(|h| h.join().expect("client thread"))
+        .collect();
+    // Byte-identical replies across every client.
+    for r in &replies[1..] {
+        assert_eq!(r, &replies[0]);
+    }
+    let stats = server.stats();
+    assert_eq!(stats.requests, K as u64);
+    assert_eq!(
+        stats.cache_misses, 1,
+        "K identical requests must compute once: {stats:?}"
+    );
+    assert_eq!(stats.cache_hits + stats.coalesced, (K - 1) as u64);
+
+    server.shutdown();
+    let _ = server.wait();
+}
+
+#[test]
+fn tiny_cache_evicts_but_stays_correct() {
+    // cache_mb = 0 → per-shard budget 0: each shard keeps at most the
+    // entry just inserted, so distinct requests force evictions.
+    let server = start(0, 2, 64);
+    let addr = server.local_addr().to_string();
+    let mut client = ServeClient::connect(&addr).expect("connect");
+
+    let mut expected = Vec::new();
+    for salt in 0..12u64 {
+        let counts = halo_counts(salt);
+        let direct = Hammer::with_config(HammerConfig::paper()).reconstruct_counts(&counts);
+        let got = client
+            .reconstruct(&counts, &HammerConfig::paper())
+            .expect("reconstruct");
+        assert_eq!(wire_bytes(&got), wire_bytes(&direct));
+        expected.push((counts, direct));
+    }
+    // Re-request everything: evicted entries recompute, and recompute
+    // to the same bytes.
+    for (counts, direct) in &expected {
+        let got = client
+            .reconstruct(counts, &HammerConfig::paper())
+            .expect("reconstruct again");
+        assert_eq!(wire_bytes(&got), wire_bytes(direct));
+    }
+    let stats = server.stats();
+    assert!(stats.evictions > 0, "tiny cache must evict: {stats:?}");
+    assert!(stats.cache_bytes <= 16 * 1024, "budget enforced: {stats:?}");
+
+    server.shutdown();
+    let _ = server.wait();
+}
+
+#[test]
+fn wide_registers_round_trip_through_the_service() {
+    let server = start(16, 2, 64);
+    let mut client = ServeClient::connect(server.local_addr().to_string()).expect("connect");
+
+    // A 100-bit histogram: halo around the all-ones answer straddling
+    // the limb boundary.
+    let n = 100;
+    let correct = BitString::ones(n);
+    let mut counts = Counts::new(n).unwrap();
+    counts.record_n(correct, 150);
+    counts.record_n(BitString::zeros(n).flip_bit(70).flip_bit(3), 250);
+    for q in [0usize, 31, 63, 64, 90, 99] {
+        counts.record_n(correct.flip_bit(q), 80);
+    }
+    let direct = Hammer::with_config(HammerConfig::paper()).reconstruct_counts(&counts);
+    let got = client
+        .reconstruct(&counts, &HammerConfig::paper())
+        .expect("wide reconstruct");
+    assert_eq!(wire_bytes(&got), wire_bytes(&direct));
+    assert_eq!(got.most_probable().unwrap().0, correct);
+
+    let m = client
+        .metrics(&counts.to_distribution(), &[correct])
+        .expect("wide metrics");
+    assert!(m.pst > 0.0 && m.ehd > 0.0);
+
+    server.shutdown();
+    let _ = server.wait();
+}
+
+#[test]
+fn zero_queue_limit_replies_busy() {
+    let server = start(16, 1, 0);
+    let mut client = ServeClient::connect(server.local_addr().to_string()).expect("connect");
+    // Cheap opcodes bypass the queue and still work…
+    client.ping().expect("ping bypasses the queue");
+    // …but every compute submission is refused up front.
+    match client.reconstruct(&halo_counts(0), &HammerConfig::paper()) {
+        Err(WireError::Busy) => {}
+        other => panic!("expected Busy, got {other:?}"),
+    }
+    let stats = server.stats();
+    assert_eq!(stats.busy_rejections, 1);
+    assert_eq!(stats.requests, 0);
+    server.shutdown();
+    let _ = server.wait();
+}
+
+#[test]
+fn server_side_failures_are_error_replies_not_panics() {
+    let server = start(16, 2, 64);
+    let mut client = ServeClient::connect(server.local_addr().to_string()).expect("connect");
+
+    // Width-bound violation in a device spec.
+    let job = SampleJob {
+        device: DeviceSpec::IbmParis(40),
+        ..ghz_job(6, 100, 1)
+    };
+    match client.sample_and_reconstruct(&job) {
+        Err(WireError::Remote(msg)) => assert!(msg.contains("27"), "{msg}"),
+        other => panic!("expected a remote error, got {other:?}"),
+    }
+    // Zero trials.
+    let job = ghz_job(6, 0, 1);
+    assert!(matches!(
+        client.sample_and_reconstruct(&job),
+        Err(WireError::Remote(_))
+    ));
+    // Metrics width mismatch is caught client-side (widths are
+    // implicit in the wire layout; sending would reinterpret bits).
+    let noisy = halo_counts(0).to_distribution();
+    assert!(matches!(
+        client.metrics(&noisy, &[bs("111")]),
+        Err(WireError::Malformed(_))
+    ));
+    // The connection (and server) survive all of it.
+    client.ping().expect("still alive");
+
+    // A failed job must not be cached: the counters show no hit when
+    // the same bad job is retried.
+    let before = server.stats();
+    let job = SampleJob {
+        device: DeviceSpec::IbmParis(40),
+        ..ghz_job(6, 100, 1)
+    };
+    let _ = client.sample_and_reconstruct(&job);
+    let after: ServeStats = server.stats();
+    assert_eq!(
+        after.cache_hits, before.cache_hits,
+        "failures are not cached"
+    );
+
+    server.shutdown();
+    let _ = server.wait();
+}
+
+/// The reconnect story: a client built before a server restart keeps
+/// working against the new instance (same address).
+#[test]
+fn client_reconnects_after_server_restart() {
+    let first = start(16, 2, 64);
+    let addr = first.local_addr();
+    let mut client = ServeClient::connect(addr.to_string()).expect("connect");
+    client.ping().expect("first server alive");
+
+    first.shutdown();
+    let _ = first.wait();
+
+    // Rebind on the SAME port (released by the graceful shutdown).
+    let second = serve(&ServeConfig {
+        addr: addr.to_string(),
+        workers: 2,
+        queue_limit: 64,
+        cache_mb: 16,
+        ..ServeConfig::default()
+    })
+    .expect("rebind the released port");
+    // The old connection is dead; the client reconnects and retries.
+    client.ping().expect("reconnected to the second server");
+    let d = client
+        .reconstruct(&halo_counts(3), &HammerConfig::paper())
+        .expect("compute on the second server");
+    assert!((d.total_mass() - 1.0).abs() < 1e-9);
+
+    second.shutdown();
+    let _ = second.wait();
+}
+
+/// Requests queued at shutdown time are drained, not dropped: their
+/// replies arrive before `wait` returns.
+#[test]
+fn graceful_shutdown_drains_in_flight_work() {
+    let server = start(16, 1, 64);
+    let addr = server.local_addr().to_string();
+
+    // One slow job in flight from a background client…
+    let job = ghz_job(10, 60_000, 7);
+    let expected = direct_sample_and_reconstruct(&job);
+    let done = Arc::new(AtomicU64::new(0));
+    let worker = {
+        let addr = addr.clone();
+        let job = job.clone();
+        let done = Arc::clone(&done);
+        std::thread::spawn(move || {
+            let mut client = ServeClient::connect(addr).expect("connect");
+            let d = client.sample_and_reconstruct(&job).expect("drained reply");
+            done.store(1, Ordering::SeqCst);
+            d
+        })
+    };
+    // …while the main thread requests shutdown "concurrently".
+    std::thread::sleep(std::time::Duration::from_millis(30));
+    let mut client = ServeClient::connect(&addr).expect("connect");
+    client.shutdown().expect("ack");
+    let _ = server.wait();
+    let got = worker.join().expect("worker");
+    assert_eq!(done.load(Ordering::SeqCst), 1, "reply arrived");
+    assert_eq!(wire_bytes(&got), wire_bytes(&expected));
+}

@@ -106,6 +106,7 @@ pub trait NoiseEngine {
 pub struct AutoEngine<'a> {
     device: &'a DeviceModel,
     tuning: SimTuning,
+    pool: Option<std::sync::Arc<crate::pool::WorkerPool>>,
 }
 
 impl<'a> AutoEngine<'a> {
@@ -116,6 +117,7 @@ impl<'a> AutoEngine<'a> {
         Self {
             device,
             tuning: SimTuning::default(),
+            pool: None,
         }
     }
 
@@ -124,6 +126,15 @@ impl<'a> AutoEngine<'a> {
     #[must_use]
     pub fn with_tuning(mut self, tuning: SimTuning) -> Self {
         self.tuning = tuning;
+        self
+    }
+
+    /// Runs trial blocks on a persistent [`crate::WorkerPool`]
+    /// (forwarded to whichever engine the circuit dispatches to).
+    /// Results are bit-identical with or without a pool.
+    #[must_use]
+    pub fn with_pool(mut self, pool: std::sync::Arc<crate::pool::WorkerPool>) -> Self {
+        self.pool = Some(pool);
         self
     }
 
@@ -159,13 +170,18 @@ impl<'a> AutoEngine<'a> {
         rng: &mut R,
     ) -> Result<Counts, SimError> {
         if circuit.is_clifford() {
-            StabilizerEngine::new(self.device)
-                .with_threads(self.tuning.threads.max(1))
-                .sample(circuit, trials, rng)
+            let mut engine =
+                StabilizerEngine::new(self.device).with_threads(self.tuning.threads.max(1));
+            if let Some(pool) = &self.pool {
+                engine = engine.with_pool(std::sync::Arc::clone(pool));
+            }
+            engine.sample(circuit, trials, rng)
         } else {
-            TrajectoryEngine::new(self.device)
-                .with_tuning(self.tuning)
-                .sample(circuit, trials, rng)
+            let mut engine = TrajectoryEngine::new(self.device).with_tuning(self.tuning);
+            if let Some(pool) = &self.pool {
+                engine = engine.with_pool(std::sync::Arc::clone(pool));
+            }
+            engine.sample(circuit, trials, rng)
         }
     }
 }

@@ -10,6 +10,10 @@
 //!   specialized index-permutation/butterfly passes (threaded above a
 //!   tunable amplitude threshold), with the original scalar loops kept
 //!   as `simkernel::reference`, the correctness oracle.
+//! * [`pool`] / [`WorkerPool`] — a persistent worker-thread pool: the
+//!   engines run their trial blocks on it (amortizing per-call scoped
+//!   thread spawns, bit-identical results) and the serving layer reuses
+//!   it as its request-execution pool.
 //! * [`NoiseModel`] / [`DeviceModel`] — depolarizing gate faults +
 //!   asymmetric readout error, with presets mirroring the paper's
 //!   machines (`ibm_paris`, `ibm_manhattan`, `ibm_casablanca`,
@@ -73,6 +77,7 @@ mod gates;
 mod linalg;
 mod mitigation;
 mod noise;
+pub mod pool;
 mod propagation;
 mod sampler;
 pub mod simkernel;
@@ -92,6 +97,7 @@ pub use gates::{Gate, GateQubits};
 pub use linalg::CMatrix;
 pub use mitigation::ReadoutMitigator;
 pub use noise::{NoiseModel, Pauli, PauliFault, ReadoutError};
+pub use pool::WorkerPool;
 pub use propagation::{PauliMask, PropagationEngine};
 pub use sampler::{AliasSampler, CdfSampler};
 pub use simkernel::{GateKernels, SimTuning};

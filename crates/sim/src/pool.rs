@@ -1,0 +1,363 @@
+//! A persistent worker-thread pool shared by the noise engines and the
+//! serving runtime.
+//!
+//! Before this module, every `TrajectoryEngine::sample` /
+//! `StabilizerEngine::sample` call spawned (and joined) one scoped
+//! thread per trial block. One-shot CLI experiments never notice, but a
+//! serving process answering thousands of small requests pays the
+//! spawn/join cost on every one. [`WorkerPool`] amortizes it: threads
+//! are spawned once, jobs flow through a queue, and the same pool type
+//! doubles as the serving layer's request-execution pool (bounded
+//! submissions + [`WorkerPool::try_submit`] give the 503-style
+//! backpressure path).
+//!
+//! Determinism is preserved by construction: the pool only changes
+//! *where* a trial block runs, never how blocks are cut or which
+//! per-trial RNG stream each trial consumes, so engines produce
+//! bit-identical [`hammer_dist::Counts`] with or without a pool (the
+//! engine test suites pin this exactly).
+//!
+//! Jobs must be `'static` (they travel through a queue that outlives
+//! any caller's stack frame), so engine contexts are `Arc`-shared
+//! rather than borrowed. The per-*gate* amplitude fan-out in
+//! `simkernel::threaded` still uses scoped threads: its workers borrow
+//! disjoint `&mut` slices of one state vector, which a queue of owned
+//! jobs cannot express without `unsafe` — see the ROADMAP headroom
+//! note.
+
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{mpsc, Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+
+/// A queued unit of work.
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+/// State behind the pool's mutex: the job queue and the shutdown latch.
+struct QueueState {
+    jobs: VecDeque<Job>,
+    shutdown: bool,
+}
+
+/// Everything the worker threads share.
+struct Shared {
+    state: Mutex<QueueState>,
+    /// Signaled when a job is queued or shutdown begins.
+    wake: Condvar,
+    /// Jobs whose closure panicked (the worker survives; the count is
+    /// surfaced so callers can notice silently failing fire-and-forget
+    /// jobs).
+    panics: AtomicU64,
+}
+
+/// A persistent pool of worker threads executing boxed jobs.
+///
+/// * [`submit`](WorkerPool::submit) — unbounded fire-and-forget;
+/// * [`try_submit`](WorkerPool::try_submit) — bounded, refusing instead
+///   of blocking when the queue is at the configured limit (the serving
+///   layer's backpressure primitive);
+/// * [`fan_out`](WorkerPool::fan_out) — submit a batch, block until all
+///   results arrive, return them in submission order (the engines'
+///   trial-block primitive).
+///
+/// Dropping the pool drains every queued job, then joins the workers.
+///
+/// # Example
+///
+/// ```
+/// use hammer_sim::WorkerPool;
+///
+/// let pool = WorkerPool::new(4);
+/// let squares = pool.fan_out((0u64..8).map(|i| move || i * i));
+/// assert_eq!(squares, vec![0, 1, 4, 9, 16, 25, 36, 49]);
+/// ```
+pub struct WorkerPool {
+    shared: Arc<Shared>,
+    workers: Vec<JoinHandle<()>>,
+    threads: usize,
+    queue_limit: usize,
+}
+
+impl std::fmt::Debug for WorkerPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WorkerPool")
+            .field("threads", &self.threads)
+            .field("queue_limit", &self.queue_limit)
+            .field("panics", &self.panicked_jobs())
+            .finish()
+    }
+}
+
+impl WorkerPool {
+    /// Spawns a pool of `threads` workers with an unbounded queue
+    /// ([`try_submit`](WorkerPool::try_submit) never refuses).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threads` is zero.
+    #[must_use]
+    pub fn new(threads: usize) -> Self {
+        Self::with_queue_limit(threads, usize::MAX)
+    }
+
+    /// Spawns a pool whose [`try_submit`](WorkerPool::try_submit)
+    /// refuses once `queue_limit` jobs are waiting (jobs already
+    /// *running* on workers do not count against the limit).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threads` is zero.
+    #[must_use]
+    pub fn with_queue_limit(threads: usize, queue_limit: usize) -> Self {
+        assert!(threads >= 1, "need at least one worker thread");
+        let shared = Arc::new(Shared {
+            state: Mutex::new(QueueState {
+                jobs: VecDeque::new(),
+                shutdown: false,
+            }),
+            wake: Condvar::new(),
+            panics: AtomicU64::new(0),
+        });
+        let workers = (0..threads)
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("hammer-pool-{i}"))
+                    .spawn(move || worker_loop(&shared))
+                    .expect("worker thread spawns")
+            })
+            .collect();
+        Self {
+            shared,
+            workers,
+            threads,
+            queue_limit,
+        }
+    }
+
+    /// Number of worker threads.
+    #[must_use]
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Number of jobs whose closure panicked (workers survive panics).
+    #[must_use]
+    pub fn panicked_jobs(&self) -> u64 {
+        self.shared.panics.load(Ordering::Relaxed)
+    }
+
+    /// Enqueues a fire-and-forget job, ignoring the queue limit.
+    pub fn submit<F: FnOnce() + Send + 'static>(&self, job: F) {
+        let mut state = self.shared.state.lock().expect("pool mutex unpoisoned");
+        state.jobs.push_back(Box::new(job));
+        drop(state);
+        self.shared.wake.notify_one();
+    }
+
+    /// Enqueues a job unless `queue_limit` jobs are already waiting, in
+    /// which case the job is handed back — the caller decides what
+    /// "busy" means (the serving layer replies 503-style `Busy`).
+    ///
+    /// # Errors
+    ///
+    /// Returns `Err(job)` when the queue is full.
+    pub fn try_submit<F: FnOnce() + Send + 'static>(&self, job: F) -> Result<(), F> {
+        let mut state = self.shared.state.lock().expect("pool mutex unpoisoned");
+        if state.jobs.len() >= self.queue_limit {
+            return Err(job);
+        }
+        state.jobs.push_back(Box::new(job));
+        drop(state);
+        self.shared.wake.notify_one();
+        Ok(())
+    }
+
+    /// Runs a batch of jobs across the pool and returns their results
+    /// **in submission order**, blocking until the whole batch is done.
+    ///
+    /// Must not be called from inside one of this pool's own jobs: with
+    /// every worker blocked in a nested `fan_out`, no worker is left to
+    /// run the nested batch. (The serving runtime therefore keeps two
+    /// pools: one for requests, one — passed to the engines — for trial
+    /// blocks.)
+    ///
+    /// # Panics
+    ///
+    /// Panics if any job panics (mirroring scoped-thread join
+    /// behavior).
+    pub fn fan_out<T, F, I>(&self, jobs: I) -> Vec<T>
+    where
+        T: Send + 'static,
+        F: FnOnce() -> T + Send + 'static,
+        I: IntoIterator<Item = F>,
+    {
+        let (tx, rx) = mpsc::channel::<(usize, std::thread::Result<T>)>();
+        let mut submitted = 0usize;
+        for (idx, job) in jobs.into_iter().enumerate() {
+            let tx = tx.clone();
+            self.submit(move || {
+                let result = catch_unwind(AssertUnwindSafe(job));
+                // The receiver may have panicked and gone away; nothing
+                // useful to do with the send error.
+                let _ = tx.send((idx, result));
+            });
+            submitted += 1;
+        }
+        drop(tx);
+        let mut slots: Vec<Option<T>> = (0..submitted).map(|_| None).collect();
+        for _ in 0..submitted {
+            let (idx, result) = rx.recv().expect("pool workers outlive the batch");
+            match result {
+                Ok(value) => slots[idx] = Some(value),
+                Err(payload) => std::panic::resume_unwind(payload),
+            }
+        }
+        slots
+            .into_iter()
+            .map(|s| s.expect("every index reported exactly once"))
+            .collect()
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        {
+            let mut state = self.shared.state.lock().expect("pool mutex unpoisoned");
+            state.shutdown = true;
+        }
+        self.shared.wake.notify_all();
+        for handle in self.workers.drain(..) {
+            // Worker bodies catch job panics, so join only fails if the
+            // loop itself panicked; propagate that.
+            handle.join().expect("pool worker does not panic");
+        }
+    }
+}
+
+/// The worker body: pop-run until shutdown *and* the queue is drained
+/// (graceful shutdown finishes queued work instead of dropping it).
+fn worker_loop(shared: &Shared) {
+    loop {
+        let job = {
+            let mut state = shared.state.lock().expect("pool mutex unpoisoned");
+            loop {
+                if let Some(job) = state.jobs.pop_front() {
+                    break job;
+                }
+                if state.shutdown {
+                    return;
+                }
+                state = shared
+                    .wake
+                    .wait(state)
+                    .expect("pool mutex unpoisoned while waiting");
+            }
+        };
+        if catch_unwind(AssertUnwindSafe(job)).is_err() {
+            shared.panics.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    #[test]
+    fn fan_out_returns_results_in_submission_order() {
+        let pool = WorkerPool::new(3);
+        // Jobs finishing out of order (later jobs sleep less) must
+        // still land in submission order.
+        let results = pool.fan_out((0..16u64).map(|i| {
+            move || {
+                std::thread::sleep(std::time::Duration::from_micros(200 - 10 * i));
+                i * 2
+            }
+        }));
+        assert_eq!(results, (0..16).map(|i| i * 2).collect::<Vec<u64>>());
+    }
+
+    #[test]
+    fn more_jobs_than_threads_all_complete() {
+        let pool = WorkerPool::new(2);
+        let counter = Arc::new(AtomicUsize::new(0));
+        let results = pool.fan_out((0..64).map(|i| {
+            let counter = Arc::clone(&counter);
+            move || {
+                counter.fetch_add(1, Ordering::Relaxed);
+                i
+            }
+        }));
+        assert_eq!(results.len(), 64);
+        assert_eq!(counter.load(Ordering::Relaxed), 64);
+    }
+
+    #[test]
+    fn try_submit_refuses_beyond_the_queue_limit() {
+        // One worker, parked on a gate, so queued jobs pile up
+        // deterministically.
+        let pool = WorkerPool::with_queue_limit(1, 2);
+        let gate = Arc::new((Mutex::new(false), Condvar::new()));
+        {
+            let gate = Arc::clone(&gate);
+            pool.submit(move || {
+                let (lock, cv) = &*gate;
+                let mut open = lock.lock().unwrap();
+                while !*open {
+                    open = cv.wait(open).unwrap();
+                }
+            });
+        }
+        // Wait until the worker has *dequeued* the blocker.
+        loop {
+            let queued = pool.shared.state.lock().unwrap().jobs.len();
+            if queued == 0 {
+                break;
+            }
+            std::thread::yield_now();
+        }
+        assert!(pool.try_submit(|| {}).is_ok());
+        assert!(pool.try_submit(|| {}).is_ok());
+        // Queue now holds 2 waiting jobs = the limit.
+        assert!(pool.try_submit(|| {}).is_err());
+        // Open the gate; drop drains the rest.
+        let (lock, cv) = &*gate;
+        *lock.lock().unwrap() = true;
+        cv.notify_all();
+    }
+
+    #[test]
+    fn drop_drains_queued_jobs() {
+        let counter = Arc::new(AtomicUsize::new(0));
+        {
+            let pool = WorkerPool::new(1);
+            for _ in 0..32 {
+                let counter = Arc::clone(&counter);
+                pool.submit(move || {
+                    counter.fetch_add(1, Ordering::Relaxed);
+                });
+            }
+        }
+        assert_eq!(counter.load(Ordering::Relaxed), 32);
+    }
+
+    #[test]
+    fn workers_survive_panicking_jobs() {
+        let pool = WorkerPool::new(1);
+        pool.submit(|| panic!("job panic"));
+        // The same single worker must still run later jobs.
+        let results = pool.fan_out([|| 7u32]);
+        assert_eq!(results, vec![7]);
+        assert_eq!(pool.panicked_jobs(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "fan_out job panic")]
+    fn fan_out_propagates_job_panics() {
+        let pool = WorkerPool::new(2);
+        let _ = pool.fan_out([|| panic!("fan_out job panic")]);
+    }
+}

@@ -32,6 +32,8 @@
 //! dense cap the tableau path is the only game in town, and the per-gate
 //! cost is `O(n)` bit operations instead of `O(2^n)` amplitude passes.
 
+use std::sync::Arc;
+
 use hammer_dist::{BitString, Counts};
 use rand::{Rng, RngCore};
 
@@ -41,6 +43,7 @@ use crate::engine::NoiseEngine;
 use crate::error::SimError;
 use crate::gates::GateQubits;
 use crate::noise::NoiseModel;
+use crate::pool::WorkerPool;
 use crate::propagation::PauliMask;
 use crate::simkernel::SimTuning;
 use crate::trajectory::{
@@ -75,6 +78,7 @@ use super::tableau::{OutputSupport, Tableau};
 pub struct StabilizerEngine<'a> {
     device: &'a DeviceModel,
     threads: usize,
+    pool: Option<Arc<WorkerPool>>,
 }
 
 impl<'a> StabilizerEngine<'a> {
@@ -86,7 +90,19 @@ impl<'a> StabilizerEngine<'a> {
         Self {
             device,
             threads: SimTuning::default().threads,
+            pool: None,
         }
+    }
+
+    /// Runs trial blocks on a persistent [`WorkerPool`] instead of
+    /// spawning scoped threads per `sample` call. Results are
+    /// bit-identical with or without a pool: the block cuts depend only
+    /// on [`with_threads`](StabilizerEngine::with_threads), never on
+    /// the pool's size.
+    #[must_use]
+    pub fn with_pool(mut self, pool: Arc<WorkerPool>) -> Self {
+        self.pool = Some(pool);
+        self
     }
 
     /// Overrides the worker-thread count. Results are unaffected: a
@@ -157,18 +173,26 @@ impl<'a> StabilizerEngine<'a> {
         let noise = self.device.noise();
 
         let workers = trial_workers(self.threads, trials);
-        let ctx = StabContext::new(circuit, noise);
+        let ctx = Arc::new(StabContext::new(circuit, noise));
         let base_seed = rng.next_u64();
-        Ok(run_trial_blocks(n, workers, trials, |range| {
-            run_trial_block(&ctx, base_seed, range)
-        }))
+        Ok(run_trial_blocks(
+            n,
+            workers,
+            trials,
+            self.pool.as_deref(),
+            &ctx,
+            move |ctx, range| run_trial_block(ctx, base_seed, range),
+        ))
     }
 }
 
 /// Everything a trial worker needs, computed once per `sample` call.
-struct StabContext<'c> {
-    circuit: &'c Circuit,
-    noise: &'c NoiseModel,
+/// Owns its data (circuit and noise model cloned in) so it can be
+/// `Arc`-shared with persistent pool workers, whose jobs must be
+/// `'static`.
+struct StabContext {
+    circuit: Circuit,
+    noise: NoiseModel,
     /// Where faults strike and how likely (shared with the trajectory
     /// engine — identical RNG consumption per trial).
     faults: FaultPlan,
@@ -182,16 +206,16 @@ struct StabContext<'c> {
     meas_cut: usize,
 }
 
-impl<'c> StabContext<'c> {
-    fn new(circuit: &'c Circuit, noise: &'c NoiseModel) -> Self {
+impl StabContext {
+    fn new(circuit: &Circuit, noise: &NoiseModel) -> Self {
         let gates = circuit.gates();
         let meas_cut = gates.len() - gates.iter().rev().take_while(|g| g.is_diagonal()).count();
         Self {
-            circuit,
-            noise,
             faults: FaultPlan::new(circuit, noise),
             support: Tableau::from_circuit(circuit).output_support(),
             meas_cut,
+            circuit: circuit.clone(),
+            noise: noise.clone(),
         }
     }
 }
@@ -200,7 +224,7 @@ impl<'c> StabContext<'c> {
 /// the tableau twin of the trajectory engine's trial block, consuming
 /// each trial's RNG stream in the identical order: fault sampling, one
 /// outcome draw, readout draws.
-fn run_trial_block(ctx: &StabContext<'_>, base_seed: u64, range: std::ops::Range<u64>) -> Counts {
+fn run_trial_block(ctx: &StabContext, base_seed: u64, range: std::ops::Range<u64>) -> Counts {
     let n = ctx.circuit.num_qubits();
     let mut counts = Counts::new(n).expect("validated width");
     let mut faults: Vec<TrialFault> = Vec::new();
@@ -211,7 +235,7 @@ fn run_trial_block(ctx: &StabContext<'_>, base_seed: u64, range: std::ops::Range
         let (reduced_offset, tail_mask) = if faults.is_empty() {
             (ctx.support.offset(), 0)
         } else {
-            let (frame, tail_mask) = frame_to_cut(ctx.circuit, ctx.meas_cut, &faults);
+            let (frame, tail_mask) = frame_to_cut(&ctx.circuit, ctx.meas_cut, &faults);
             (
                 ctx.support.reduce(ctx.support.offset() ^ frame.x),
                 tail_mask,
@@ -408,6 +432,25 @@ mod tests {
         for threads in [2, 3, 7] {
             let got = StabilizerEngine::new(&device)
                 .with_threads(threads)
+                .sample(&circuit, 600, &mut StdRng::seed_from_u64(9))
+                .unwrap();
+            assert_eq!(got, reference, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn worker_pool_does_not_change_counts() {
+        let device = DeviceModel::ibm_paris(8);
+        let circuit = ghz(8);
+        for threads in [1usize, 2, 7] {
+            let reference = StabilizerEngine::new(&device)
+                .with_threads(threads)
+                .sample(&circuit, 600, &mut StdRng::seed_from_u64(9))
+                .unwrap();
+            let pool = Arc::new(WorkerPool::new(4));
+            let got = StabilizerEngine::new(&device)
+                .with_threads(threads)
+                .with_pool(pool)
                 .sample(&circuit, 600, &mut StdRng::seed_from_u64(9))
                 .unwrap();
             assert_eq!(got, reference, "threads={threads}");

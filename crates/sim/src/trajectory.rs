@@ -44,6 +44,8 @@
 //! baseline); `tests/simkernel_oracle.rs` pins the checkpointed
 //! trajectories to it at the amplitude level.
 
+use std::sync::Arc;
+
 use hammer_dist::{BitString, Counts};
 use rand::rngs::StdRng;
 use rand::{Rng, RngCore, SeedableRng};
@@ -54,6 +56,7 @@ use crate::engine::NoiseEngine;
 use crate::error::SimError;
 use crate::gates::{Gate, GateQubits};
 use crate::noise::{NoiseModel, Pauli, PauliFault};
+use crate::pool::WorkerPool;
 use crate::sampler::{AliasSampler, CdfSampler};
 use crate::simkernel::SimTuning;
 use crate::statevector::{StateVector, MAX_DENSE_QUBITS};
@@ -80,6 +83,7 @@ use crate::statevector::{StateVector, MAX_DENSE_QUBITS};
 pub struct TrajectoryEngine<'a> {
     device: &'a DeviceModel,
     tuning: SimTuning,
+    pool: Option<Arc<WorkerPool>>,
 }
 
 impl<'a> TrajectoryEngine<'a> {
@@ -90,6 +94,7 @@ impl<'a> TrajectoryEngine<'a> {
         Self {
             device,
             tuning: SimTuning::default(),
+            pool: None,
         }
     }
 
@@ -100,6 +105,18 @@ impl<'a> TrajectoryEngine<'a> {
     #[must_use]
     pub fn with_tuning(mut self, tuning: SimTuning) -> Self {
         self.tuning = tuning;
+        self
+    }
+
+    /// Runs trial blocks on a persistent [`WorkerPool`] instead of
+    /// spawning scoped threads per `sample` call — the serving layer's
+    /// amortization. Results are bit-identical with or without a pool:
+    /// trial blocks are cut by [`SimTuning::threads`] (not by the
+    /// pool's size) and per-trial RNG streams are indexed by trial, so
+    /// only the threads that run the blocks change.
+    #[must_use]
+    pub fn with_pool(mut self, pool: Arc<WorkerPool>) -> Self {
+        self.pool = Some(pool);
         self
     }
 
@@ -152,11 +169,16 @@ impl<'a> TrajectoryEngine<'a> {
         let noise = self.device.noise();
 
         let workers = trial_workers(self.tuning.threads, trials);
-        let ctx = TrialContext::new(circuit, noise, &self.tuning, workers);
+        let ctx = Arc::new(TrialContext::new(circuit, noise, &self.tuning, workers));
         let base_seed = rng.next_u64();
-        Ok(run_trial_blocks(n, workers, trials, |range| {
-            run_trial_block(&ctx, base_seed, range)
-        }))
+        Ok(run_trial_blocks(
+            n,
+            workers,
+            trials,
+            self.pool.as_deref(),
+            &ctx,
+            move |ctx, range| run_trial_block(ctx, base_seed, range),
+        ))
     }
 
     /// The pre-kernel-subsystem sampling loop, kept verbatim: generic
@@ -343,10 +365,13 @@ impl FaultPlan {
     }
 }
 
-/// Everything a trial worker needs, borrowed once per `sample` call.
-struct TrialContext<'c> {
-    circuit: &'c Circuit,
-    noise: &'c NoiseModel,
+/// Everything a trial worker needs, assembled once per `sample` call.
+/// Owns its data (the circuit and noise model are cloned in — both are
+/// small next to the trial work) so it can be `Arc`-shared with
+/// persistent pool workers, whose jobs must be `'static`.
+struct TrialContext {
+    circuit: Circuit,
+    noise: NoiseModel,
     /// Checkpointing toggle for the trial workers (from the engine's
     /// tuning).
     checkpoint: bool,
@@ -374,13 +399,8 @@ struct TrialContext<'c> {
     meas_cut: usize,
 }
 
-impl<'c> TrialContext<'c> {
-    fn new(
-        circuit: &'c Circuit,
-        noise: &'c NoiseModel,
-        tuning: &SimTuning,
-        workers: usize,
-    ) -> Self {
+impl TrialContext {
+    fn new(circuit: &Circuit, noise: &NoiseModel, tuning: &SimTuning, workers: usize) -> Self {
         let ideal = StateVector::from_circuit_with(circuit, tuning);
         let ideal_sampler =
             CdfSampler::from_weights_iter(ideal.amplitudes().iter().map(|a| a.norm_sqr()))
@@ -396,8 +416,8 @@ impl<'c> TrialContext<'c> {
             *tuning
         };
         Self {
-            circuit,
-            noise,
+            circuit: circuit.clone(),
+            noise: noise.clone(),
             checkpoint: tuning.checkpoint,
             evolve_tuning,
             faults: FaultPlan::new(circuit, noise),
@@ -424,39 +444,63 @@ pub(crate) fn trial_workers(threads: usize, trials: u64) -> usize {
 }
 
 /// Splits `trials` into one contiguous block per worker, runs
-/// `run_block` on each (crossbeam scoped threads above one worker), and
-/// merges the per-worker histograms. Shared by the trajectory and
-/// stabilizer engines so their trial partitioning — part of the
-/// engines' bit-for-bit seed-compatibility story, since both must hand
-/// the same trial indices to the same per-trial streams — can never
-/// drift apart. (The merge itself is order-insensitive: per-trial
-/// streams make each block independent of its worker.)
-pub(crate) fn run_trial_blocks<F>(n: usize, workers: usize, trials: u64, run_block: F) -> Counts
+/// `run_block` on each, and merges the per-worker histograms. Shared by
+/// the trajectory and stabilizer engines so their trial partitioning —
+/// part of the engines' bit-for-bit seed-compatibility story, since
+/// both must hand the same trial indices to the same per-trial streams
+/// — can never drift apart.
+///
+/// Above one worker the blocks run either on a caller-supplied
+/// persistent [`WorkerPool`] (the serving layer's amortization) or on
+/// crossbeam scoped threads (the one-shot CLI default). The block cuts
+/// depend only on `workers`, never on the pool's thread count, and the
+/// merge is order-insensitive (per-trial streams make each block
+/// independent of its worker), so both execution modes produce
+/// identical [`Counts`].
+pub(crate) fn run_trial_blocks<C, F>(
+    n: usize,
+    workers: usize,
+    trials: u64,
+    pool: Option<&WorkerPool>,
+    ctx: &Arc<C>,
+    run_block: F,
+) -> Counts
 where
-    F: Fn(std::ops::Range<u64>) -> Counts + Sync,
+    C: Send + Sync + 'static,
+    F: Fn(&C, std::ops::Range<u64>) -> Counts + Send + Sync + Clone + 'static,
 {
     if workers <= 1 {
-        return run_block(0..trials);
+        return run_block(ctx, 0..trials);
     }
     let per = trials.div_ceil(workers as u64);
+    let blocks = (0..workers as u64).map(|w| (w * per)..(((w + 1) * per).min(trials)));
+    let block_counts: Vec<Counts> = match pool {
+        Some(pool) => pool.fan_out(blocks.map(|range| {
+            let ctx = Arc::clone(ctx);
+            let run_block = run_block.clone();
+            move || run_block(&ctx, range)
+        })),
+        None => crossbeam::thread::scope(|scope| {
+            let run_block = &run_block;
+            let handles: Vec<_> = blocks
+                .map(|range| {
+                    let ctx = Arc::clone(ctx);
+                    scope.spawn(move |_| run_block(&ctx, range))
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("trial worker does not panic"))
+                .collect()
+        })
+        .expect("trial worker does not panic"),
+    };
     let mut merged = Counts::new(n).expect("validated width");
-    crossbeam::thread::scope(|scope| {
-        let run_block = &run_block;
-        let handles: Vec<_> = (0..workers as u64)
-            .map(|w| {
-                let lo = w * per;
-                let hi = ((w + 1) * per).min(trials);
-                scope.spawn(move |_| run_block(lo..hi))
-            })
-            .collect();
-        for handle in handles {
-            let counts = handle.join().expect("trial worker does not panic");
-            for (outcome, c) in counts.iter() {
-                merged.record_n(outcome, c);
-            }
+    for counts in block_counts {
+        for (outcome, c) in counts.iter() {
+            merged.record_n(outcome, c);
         }
-    })
-    .expect("trial worker does not panic");
+    }
     merged
 }
 
@@ -474,7 +518,7 @@ pub(crate) fn trial_rng(base_seed: u64, trial: u64) -> StdRng {
 /// fault-free trials immediately off the ideal sampler); phase B sorts
 /// the faulty trials by first-fault site and simulates them off a
 /// shared, incrementally-advanced prefix state.
-fn run_trial_block(ctx: &TrialContext<'_>, base_seed: u64, range: std::ops::Range<u64>) -> Counts {
+fn run_trial_block(ctx: &TrialContext, base_seed: u64, range: std::ops::Range<u64>) -> Counts {
     let n = ctx.circuit.num_qubits();
     let gate_count = ctx.circuit.gate_count();
     let mut counts = Counts::new(n).expect("validated width");
@@ -516,7 +560,7 @@ fn run_trial_block(ctx: &TrialContext<'_>, base_seed: u64, range: std::ops::Rang
         // state evolution at all: the pre-tail state has the ideal
         // measurement distribution, and tail faults only flip bits.
         if trial.fork >= ctx.meas_cut {
-            let mask = tail_flip_mask(ctx.circuit, &trial.faults, 0) as u64;
+            let mask = tail_flip_mask(&ctx.circuit, &trial.faults, 0) as u64;
             let raw = ctx.ideal_sampler.sample(&mut trial.rng) as u64 ^ mask;
             let outcome = BitString::new(raw, n);
             counts.record(ctx.noise.apply_readout(outcome, &mut trial.rng));
@@ -534,7 +578,7 @@ fn run_trial_block(ctx: &TrialContext<'_>, base_seed: u64, range: std::ops::Rang
         }
         let mask = evolve_window_masked(
             &mut scratch,
-            ctx.circuit,
+            &ctx.circuit,
             &trial.faults,
             fork,
             ctx.meas_cut,
@@ -925,6 +969,53 @@ mod tests {
                 .sample(&circuit, 600, &mut StdRng::seed_from_u64(9))
                 .unwrap();
             assert_eq!(got, reference, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn worker_pool_does_not_change_counts() {
+        // The persistent-pool path must be bit-identical to the scoped
+        // path at every (engine threads × pool threads) combination —
+        // block cuts follow the tuning, not the pool.
+        let device = DeviceModel::ibm_paris(5);
+        let circuit = ghz(5);
+        for engine_threads in [1usize, 2, 3, 7] {
+            let reference = TrajectoryEngine::new(&device)
+                .with_tuning(SimTuning::default().with_threads(engine_threads))
+                .sample(&circuit, 600, &mut StdRng::seed_from_u64(21))
+                .unwrap();
+            for pool_threads in [1usize, 4] {
+                let pool = Arc::new(crate::pool::WorkerPool::new(pool_threads));
+                let got = TrajectoryEngine::new(&device)
+                    .with_tuning(SimTuning::default().with_threads(engine_threads))
+                    .with_pool(Arc::clone(&pool))
+                    .sample(&circuit, 600, &mut StdRng::seed_from_u64(21))
+                    .unwrap();
+                assert_eq!(
+                    got, reference,
+                    "engine_threads={engine_threads} pool_threads={pool_threads}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn pool_is_reusable_across_sample_calls() {
+        // The amortization story: one pool, many requests.
+        let device = DeviceModel::ibm_paris(4);
+        let circuit = ghz(4);
+        let pool = Arc::new(crate::pool::WorkerPool::new(3));
+        let engine = TrajectoryEngine::new(&device)
+            .with_tuning(SimTuning::default().with_threads(3))
+            .with_pool(Arc::clone(&pool));
+        let a = engine
+            .sample(&circuit, 300, &mut StdRng::seed_from_u64(5))
+            .unwrap();
+        for _ in 0..3 {
+            let b = engine
+                .sample(&circuit, 300, &mut StdRng::seed_from_u64(5))
+                .unwrap();
+            assert_eq!(a, b);
         }
     }
 

@@ -18,6 +18,9 @@
 //!   configurable variants for ablation studies.
 //! * [`qaoa`] — the variational QAOA workflow (expectation, landscape
 //!   scans, Nelder–Mead optimization) with pluggable post-processing.
+//! * [`serve`] — the production-style serving subsystem: a TCP service
+//!   with a binary wire protocol, request batching/coalescing and a
+//!   distribution cache over reconstruct/metrics/sample pipelines.
 //!
 //! # Quickstart
 //!
@@ -54,6 +57,7 @@ pub use hammer_core as core;
 pub use hammer_dist as dist;
 pub use hammer_graphs as graphs;
 pub use hammer_qaoa as qaoa;
+pub use hammer_serve as serve;
 pub use hammer_sim as sim;
 
 /// Convenience re-exports covering the most common entry points.
@@ -69,8 +73,9 @@ pub mod prelude {
     };
     pub use hammer_graphs::{generators, Graph, MaxCut};
     pub use hammer_qaoa::{EngineKind, PostProcess, QaoaOutcome, QaoaParams, QaoaRunner};
+    pub use hammer_serve::{serve, DeviceSpec, SampleJob, ServeClient, ServeConfig};
     pub use hammer_sim::{
         AutoEngine, Circuit, DeviceModel, Gate, NoiseEngine, NoiseModel, PropagationEngine,
-        StabilizerEngine, StateVector, TrajectoryEngine,
+        StabilizerEngine, StateVector, TrajectoryEngine, WorkerPool,
     };
 }
