@@ -8,6 +8,7 @@
 //! repro bench-kernel [--quick] [--out PATH]
 //! repro bench-sim [--quick] [--out PATH]
 //! repro bench-stab [--quick] [--out PATH]
+//! repro bench-ann [--quick] [--out PATH]
 //! repro --list
 //! ```
 //!
@@ -22,7 +23,7 @@ use std::process::ExitCode;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
-use hammer_bench::{experiments, kernel_bench, serve_bench, sim_bench, stab_bench};
+use hammer_bench::{ann_bench, experiments, kernel_bench, serve_bench, sim_bench, stab_bench};
 
 /// Runs one of the JSON-artifact bench subcommands and writes its
 /// output file.
@@ -42,6 +43,10 @@ fn run_bench_artifact(name: &str, quick: bool, out_path: &str) -> ExitCode {
         }
         "bench-serve" => {
             let report = serve_bench::run(quick);
+            (report.render(), report.to_json())
+        }
+        "bench-ann" => {
+            let report = ann_bench::run(quick);
             (report.render(), report.to_json())
         }
         other => unreachable!("unknown bench subcommand {other}"),
@@ -251,6 +256,7 @@ fn main() -> ExitCode {
         eprintln!("       repro bench-sim [--quick] [--out PATH]");
         eprintln!("       repro bench-stab [--quick] [--out PATH]");
         eprintln!("       repro bench-serve [--quick] [--out PATH]");
+        eprintln!("       repro bench-ann [--quick] [--out PATH]");
         eprintln!("       repro serve [--addr A] [--workers N] [--cache-mb MB]");
         eprintln!("       repro serve-smoke [--addr A] [--shutdown]");
         eprintln!("       repro --list");
@@ -272,7 +278,7 @@ fn main() -> ExitCode {
     if let Some(bench) = args.iter().find(|a| {
         matches!(
             a.as_str(),
-            "bench-kernel" | "bench-sim" | "bench-stab" | "bench-serve"
+            "bench-kernel" | "bench-sim" | "bench-stab" | "bench-serve" | "bench-ann"
         )
     }) {
         let out_value = match flag_value(&args, "--out") {
@@ -286,6 +292,7 @@ fn main() -> ExitCode {
             "bench-kernel" => "BENCH_kernel.json",
             "bench-sim" => "BENCH_sim.json",
             "bench-serve" => "BENCH_serve.json",
+            "bench-ann" => "BENCH_ann.json",
             _ => "BENCH_stab.json",
         };
         // Refuse to silently drop experiment ids passed alongside the

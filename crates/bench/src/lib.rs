@@ -16,6 +16,7 @@
 #![warn(missing_docs)]
 
 pub mod angles;
+pub mod ann_bench;
 pub mod datasets;
 pub mod experiments;
 pub mod kernel_bench;

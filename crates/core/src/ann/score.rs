@@ -1,0 +1,298 @@
+//! The approximate scoring/CHS pass: Algorithm 1's neighborhood sums
+//! evaluated over the forest's candidate pairs only.
+//!
+//! Semantically this is the exact kernel restricted to the sparse pair
+//! graph the forest surfaces: every visited pair contributes exactly
+//! what the blocked kernel would have given it (same per-distance
+//! weight gather, same π filter), and unvisited pairs contribute
+//! nothing. Because the weight schemes invert the *measured* CHS, using
+//! the same candidate sets for both the CHS pass and the scoring pass
+//! keeps the two self-consistent: a bin's aggregate contribution stays
+//! `≈ N` whether its pairs were fully or partially covered, and the
+//! recall loss shows up only as a (measured, bounded) perturbation of
+//! the relative scores.
+//!
+//! Work is tiled over outcomes with the same work-stealing scheduler as
+//! the blocked kernel; each tile reuses one candidate buffer. Candidate
+//! ids arrive sorted, so per-outcome accumulation order is fixed by the
+//! forest alone — results are bit-identical across thread counts.
+
+use crate::config::FilterRule;
+use crate::kernel::schedule;
+
+use super::AnnIndex;
+
+/// Zero-padded 129-slot weight table (every possible two-limb
+/// distance), so candidate pairs beyond `max_d` vanish without a
+/// branch.
+fn padded(weights: &[f64]) -> [f64; 129] {
+    let mut table = [0.0; 129];
+    for (slot, &w) in table.iter_mut().zip(weights) {
+        *slot = w;
+    }
+    table
+}
+
+/// Approximate [`crate::kernel::scores_parallel`]: every outcome's
+/// neighborhood sum over its forest candidates only.
+///
+/// `probs` must be index-aligned with the support the index was built
+/// from; `weights[d]` weighs distance `d` (shorter than 129 entries is
+/// zero-padded, the `d < max_d` cutoff).
+///
+/// # Panics
+///
+/// Panics if `probs` length differs from the indexed support, or
+/// `threads` is 0.
+#[must_use]
+pub fn scores_with_index(
+    index: &AnnIndex,
+    probs: &[f64],
+    weights: &[f64],
+    filter: FilterRule,
+    threads: usize,
+    tile_size: usize,
+) -> Vec<f64> {
+    assert_eq!(
+        probs.len(),
+        index.len(),
+        "probabilities must align with the indexed support"
+    );
+    let table = padded(weights);
+    let keys = index.keys();
+    let keys_hi = index.keys_hi();
+    let n = probs.len();
+    let tile = tile_size.max(1);
+    let score_tile = |t: usize| {
+        let start = t * tile;
+        let end = (start + tile).min(n);
+        let mut cands: Vec<u32> = Vec::new();
+        let mut out = Vec::with_capacity(end - start);
+        for i in start..end {
+            index.candidates_of_into(i, &mut cands);
+            let (xlo, xhi, px) = (keys[i], keys_hi[i], probs[i]);
+            // Seed with the outcome's own probability (line 17), then
+            // add every candidate that survives the filter. Candidates
+            // include `i` itself: at d = 0 the π filter rejects it
+            // (px > px is false) and the unfiltered rule excludes self.
+            let mut acc = px;
+            match filter {
+                FilterRule::LowerProbabilityOnly => {
+                    for &id in &cands {
+                        let j = id as usize;
+                        let d = ((xlo ^ keys[j]).count_ones() + (xhi ^ keys_hi[j]).count_ones())
+                            as usize;
+                        let py = probs[j];
+                        acc += table[d] * if px > py { py } else { 0.0 };
+                    }
+                }
+                FilterRule::None => {
+                    for &id in &cands {
+                        let j = id as usize;
+                        if j == i {
+                            continue;
+                        }
+                        let d = ((xlo ^ keys[j]).count_ones() + (xhi ^ keys_hi[j]).count_ones())
+                            as usize;
+                        acc += table[d] * probs[j];
+                    }
+                }
+            }
+            out.push(acc);
+        }
+        out
+    };
+    if threads <= 1 {
+        let mut out = Vec::with_capacity(n);
+        for t in 0..n.div_ceil(tile) {
+            out.extend(score_tile(t));
+        }
+        out
+    } else {
+        schedule::run_tiles(n.div_ceil(tile), threads, score_tile).concat()
+    }
+}
+
+/// Approximate [`crate::kernel::global_chs_parallel`]: the Hamming
+/// histogram accumulated over forest candidate pairs only, truncated or
+/// zero-padded to `max_d` bins. The diagonal (each outcome with itself)
+/// is always covered — an outcome's own bucket is always probed — so
+/// bin 0 matches the exact kernel exactly.
+///
+/// # Panics
+///
+/// Panics if `probs` length differs from the indexed support, or
+/// `threads` is 0.
+#[must_use]
+pub fn global_chs_with_index(
+    index: &AnnIndex,
+    probs: &[f64],
+    max_d: usize,
+    threads: usize,
+    tile_size: usize,
+) -> Vec<f64> {
+    assert_eq!(
+        probs.len(),
+        index.len(),
+        "probabilities must align with the indexed support"
+    );
+    let keys = index.keys();
+    let keys_hi = index.keys_hi();
+    let n = probs.len();
+    let tile = tile_size.max(1);
+    let chs_tile = |t: usize| {
+        let start = t * tile;
+        let end = (start + tile).min(n);
+        let mut cands: Vec<u32> = Vec::new();
+        let mut bins = vec![0.0f64; 129];
+        for i in start..end {
+            index.candidates_of_into(i, &mut cands);
+            let (xlo, xhi) = (keys[i], keys_hi[i]);
+            for &id in &cands {
+                let j = id as usize;
+                let d = ((xlo ^ keys[j]).count_ones() + (xhi ^ keys_hi[j]).count_ones()) as usize;
+                bins[d] += probs[j];
+            }
+        }
+        bins
+    };
+    let n_tiles = n.div_ceil(tile);
+    let mut full = vec![0.0f64; 129];
+    if threads <= 1 {
+        for t in 0..n_tiles {
+            for (acc, v) in full.iter_mut().zip(chs_tile(t)) {
+                *acc += v;
+            }
+        }
+    } else {
+        for partial in schedule::run_tiles(n_tiles, threads, chs_tile) {
+            for (acc, v) in full.iter_mut().zip(partial) {
+                *acc += v;
+            }
+        }
+    }
+    full.truncate(max_d);
+    full.resize(max_d, 0.0);
+    full
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::{AnnIndex, AnnParams, DEFAULT_SEED};
+    use super::*;
+    use crate::kernel::reference;
+    use hammer_dist::{BitString, Distribution};
+
+    /// A mid-size pseudo-random support (64-bit keys, skewed probs).
+    fn support(n: usize, n_bits: usize) -> Distribution {
+        let mut state = 0xC0FF_EE11u64;
+        let mut step = || {
+            state = state
+                .wrapping_mul(6_364_136_223_846_793_005)
+                .wrapping_add(1_442_695_040_888_963_407);
+            state
+        };
+        let mask = |v: u128| {
+            if n_bits == 128 {
+                v
+            } else {
+                v & ((1u128 << n_bits) - 1)
+            }
+        };
+        let pairs = (0..n).map(|i| {
+            let key = mask(u128::from(step()) | (u128::from(step()) << 64));
+            (BitString::from_u128(key, n_bits), 1.0 + (i % 17) as f64)
+        });
+        Distribution::from_probs(n_bits, pairs).expect("positive weights")
+    }
+
+    fn exhaustive_params() -> AnnParams {
+        // k = 1 + radius 1 probes every bucket: full recall by
+        // construction, so the candidate path must match the exact
+        // reference oracle.
+        AnnParams {
+            trees: 1,
+            bits_per_hash: 1,
+            probe_radius: 1,
+            seed: DEFAULT_SEED,
+        }
+    }
+
+    #[test]
+    fn exhaustive_forest_matches_the_reference_oracle() {
+        for n_bits in [64usize, 100] {
+            let d = support(400, n_bits);
+            let index = AnnIndex::build(&d, &exhaustive_params(), 2);
+            let weights: Vec<f64> = (0..24).map(|dd| 1.0 / (1.0 + dd as f64)).collect();
+            for filter in [FilterRule::LowerProbabilityOnly, FilterRule::None] {
+                let oracle = reference::scores(d.as_slice(), &weights, filter);
+                for threads in [1usize, 3] {
+                    let got = scores_with_index(&index, d.probs(), &weights, filter, threads, 64);
+                    for (a, b) in oracle.iter().zip(&got) {
+                        assert!((a - b).abs() < 1e-9, "n_bits={n_bits} {a} vs {b}");
+                    }
+                }
+            }
+            for max_d in [0usize, 5, 40] {
+                let oracle = reference::global_chs(d.as_slice(), max_d);
+                let got = global_chs_with_index(&index, d.probs(), max_d, 3, 64);
+                assert_eq!(got.len(), max_d);
+                for (a, b) in oracle.iter().zip(&got) {
+                    assert!((a - b).abs() < 1e-9);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn results_are_identical_across_thread_counts() {
+        let d = support(600, 64);
+        let p = AnnParams {
+            trees: 4,
+            bits_per_hash: 5,
+            probe_radius: 1,
+            seed: DEFAULT_SEED,
+        };
+        let index = AnnIndex::build(&d, &p, 2);
+        let weights: Vec<f64> = (0..16).map(|dd| (16 - dd) as f64).collect();
+        let base = scores_with_index(
+            &index,
+            d.probs(),
+            &weights,
+            FilterRule::LowerProbabilityOnly,
+            1,
+            48,
+        );
+        for threads in [2usize, 5] {
+            let got = scores_with_index(
+                &index,
+                d.probs(),
+                &weights,
+                FilterRule::LowerProbabilityOnly,
+                threads,
+                48,
+            );
+            assert_eq!(base, got, "threads={threads} diverged bit-for-bit");
+        }
+        let chs1 = global_chs_with_index(&index, d.probs(), 16, 1, 48);
+        let chs4 = global_chs_with_index(&index, d.probs(), 16, 4, 48);
+        for (a, b) in chs1.iter().zip(&chs4) {
+            assert!((a - b).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn diagonal_bin_is_exact() {
+        let d = support(300, 64);
+        let p = AnnParams {
+            trees: 2,
+            bits_per_hash: 8,
+            probe_radius: 0,
+            seed: DEFAULT_SEED,
+        };
+        let index = AnnIndex::build(&d, &p, 1);
+        let chs = global_chs_with_index(&index, d.probs(), 4, 1, 64);
+        // Bin 0 = Σ P(x) = 1: every outcome finds itself.
+        assert!((chs[0] - 1.0).abs() < 1e-9);
+    }
+}

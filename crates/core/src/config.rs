@@ -71,12 +71,79 @@ pub enum FilterRule {
     None,
 }
 
+/// Tuning of the approximate (bit-sampling LSH forest) scoring path —
+/// see [`crate::ann`].
+///
+/// Unlike the cache/threading knobs on [`KernelTuning`], these **can
+/// change results**: above the crossover the kernel only visits
+/// candidate pairs surfaced by the forest, trading a bounded recall loss
+/// for sub-quadratic scoring (the `BENCH_ann.json` sweep quantifies the
+/// trade at every knob setting). [`HammerConfig::fingerprint`] therefore
+/// covers these fields.
+///
+/// The approximate path only engages when **all** of the following hold
+/// (otherwise the exact blocked kernel runs, bit-identical to a config
+/// with `enabled: false`):
+///
+/// * `enabled` is true and the reconstructor uses ≥ 2 threads
+///   (`threads == 1` pins the scalar reference oracle);
+/// * the support has at least [`crossover`](AnnTuning::crossover)
+///   outcomes — below that the exact kernel is faster anyway;
+/// * the neighborhood is *local*: `4 · max_d ≤ n_bits`. At the paper's
+///   `HalfWidth` cutoff nearly half of all random pairs are in range,
+///   so no index can beat the dense sweep — locality is what an LSH
+///   forest monetizes. Default `HalfWidth` configs therefore never
+///   change behavior.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AnnTuning {
+    /// Master switch for the approximate path.
+    pub enabled: bool,
+    /// Number of hash tables ("trees") in the forest. More trees raise
+    /// recall (independent chances to catch each neighbor) and cost
+    /// proportionally more build time and candidates per query.
+    pub trees: usize,
+    /// Bits sampled per hash; `0` picks `log2(N / oversample)` clamped
+    /// to `4..=20`. Fewer bits mean bigger buckets: higher recall,
+    /// slower queries.
+    pub bits_per_hash: usize,
+    /// Target bucket occupancy for the automatic `bits_per_hash` — the
+    /// oversampling knob: raising it widens every bucket by the same
+    /// factor, trading query time for recall.
+    pub oversample: usize,
+    /// Multi-probe radius in *hash* space: also visit buckets whose
+    /// hash differs in up to this many sampled bits (0 = exact bucket
+    /// only; clamped to 2). Radius 1 turns each table into `k + 1`
+    /// probes and sharply lifts recall for mid-distance neighbors.
+    pub probe_radius: usize,
+    /// Support size below which the exact blocked kernel is used
+    /// unconditionally.
+    pub crossover: usize,
+}
+
+impl Default for AnnTuning {
+    fn default() -> Self {
+        Self {
+            enabled: true,
+            trees: 8,
+            bits_per_hash: 0,
+            oversample: 16,
+            probe_radius: 1,
+            // Measured on the BENCH_kernel box: the exact kernel clears
+            // a 32K support in about a second — below that the forest's
+            // build + query constant costs more than it saves.
+            crossover: 32 * 1024,
+        }
+    }
+}
+
 /// Performance tuning of the `O(N²)` scoring kernel.
 ///
-/// These knobs change *how fast* a reconstruction runs, never *what* it
-/// computes: every setting produces the same scores up to floating-point
-/// summation order (the oracle-equivalence property tests pin this to
-/// `≤ 1e-9`).
+/// The cache/threading knobs (`parallel_threshold`, `tile_size`) change
+/// *how fast* a reconstruction runs, never *what* it computes: every
+/// setting produces the same scores up to floating-point summation order
+/// (the oracle-equivalence property tests pin this to `≤ 1e-9`). The
+/// nested [`AnnTuning`] knobs are the exception — above their crossover
+/// they switch scoring to the approximate candidate-pair path.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct KernelTuning {
     /// Support size at or above which the kernel fans out over worker
@@ -90,6 +157,8 @@ pub struct KernelTuning {
     /// unit the work-stealing scheduler hands to worker threads.
     /// Values are clamped to at least 1.
     pub tile_size: usize,
+    /// The approximate (LSH forest) scoring path and its crossover.
+    pub ann: AnnTuning,
 }
 
 impl Default for KernelTuning {
@@ -100,6 +169,7 @@ impl Default for KernelTuning {
             // 512 entries = 8 KiB of keys + probs each: two tiles plus
             // accumulators fit comfortably in a 32 KiB L1d.
             tile_size: 512,
+            ann: AnnTuning::default(),
         }
     }
 }
@@ -126,18 +196,20 @@ impl HammerConfig {
         Self::default()
     }
 
-    /// A stable FNV-1a fingerprint of the *algorithmic* configuration:
-    /// neighborhood limit, weight scheme and filter rule. The
-    /// [`KernelTuning`] knobs are deliberately **excluded** — they
-    /// change how fast a reconstruction runs, never what it computes,
-    /// so two configs that differ only in tuning must share cache
-    /// entries in the serving layer (which keys its distribution cache
-    /// with this). Not a cryptographic hash — see
-    /// [`hammer_dist::fingerprint`].
+    /// A stable FNV-1a fingerprint of the *result-determining*
+    /// configuration: neighborhood limit, weight scheme, filter rule,
+    /// and the [`AnnTuning`] knobs (which select and shape the
+    /// approximate scoring path above its crossover). The performance
+    /// [`KernelTuning`] knobs (`parallel_threshold`, `tile_size`) are
+    /// deliberately **excluded** — they change how fast a
+    /// reconstruction runs, never what it computes, so two configs that
+    /// differ only in those must share cache entries in the serving
+    /// layer (which keys its distribution cache with this). Not a
+    /// cryptographic hash — see [`hammer_dist::fingerprint`].
     #[must_use]
     pub fn fingerprint(&self) -> u64 {
         let mut h = hammer_dist::fingerprint::Fnv1a::new();
-        h.write_bytes(b"hammer-config/v1");
+        h.write_bytes(b"hammer-config/v2");
         match self.neighborhood {
             NeighborhoodLimit::HalfWidth => h.write_u8(0),
             NeighborhoodLimit::Fixed(k) => {
@@ -156,6 +228,13 @@ impl HammerConfig {
             FilterRule::LowerProbabilityOnly => 0,
             FilterRule::None => 1,
         });
+        let ann = &self.kernel.ann;
+        h.write_u8(u8::from(ann.enabled));
+        h.write_usize(ann.trees);
+        h.write_usize(ann.bits_per_hash);
+        h.write_usize(ann.oversample);
+        h.write_usize(ann.probe_radius);
+        h.write_usize(ann.crossover);
         h.finish()
     }
 }
@@ -197,15 +276,45 @@ mod tests {
     fn fingerprint_covers_algorithm_but_not_tuning() {
         let base = HammerConfig::paper();
         assert_eq!(base.fingerprint(), HammerConfig::paper().fingerprint());
-        // Kernel tuning is performance-only: same fingerprint.
+        // Cache/threading tuning is performance-only: same fingerprint.
         let tuned = HammerConfig {
             kernel: KernelTuning {
                 parallel_threshold: 1,
                 tile_size: 64,
+                ..KernelTuning::default()
             },
             ..base
         };
         assert_eq!(base.fingerprint(), tuned.fingerprint());
+        // The ANN knobs shape results above the crossover, so they must
+        // move the fingerprint (the serving cache keys on it).
+        for ann in [
+            AnnTuning {
+                enabled: false,
+                ..AnnTuning::default()
+            },
+            AnnTuning {
+                trees: 4,
+                ..AnnTuning::default()
+            },
+            AnnTuning {
+                oversample: 64,
+                ..AnnTuning::default()
+            },
+            AnnTuning {
+                crossover: 1024,
+                ..AnnTuning::default()
+            },
+        ] {
+            let approx = HammerConfig {
+                kernel: KernelTuning {
+                    ann,
+                    ..KernelTuning::default()
+                },
+                ..base
+            };
+            assert_ne!(base.fingerprint(), approx.fingerprint(), "{ann:?}");
+        }
         // Every algorithmic knob moves it.
         let neighborhood = HammerConfig {
             neighborhood: NeighborhoodLimit::Fixed(3),

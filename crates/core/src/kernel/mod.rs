@@ -50,7 +50,7 @@ use crate::config::{FilterRule, KernelTuning};
 
 mod blocked;
 pub mod reference;
-mod schedule;
+pub(crate) mod schedule;
 mod weights;
 pub mod wide;
 
@@ -207,6 +207,7 @@ mod tests {
         let tuning = KernelTuning {
             parallel_threshold: 0,
             tile_size: 48,
+            ..KernelTuning::default()
         };
         for filter in [FilterRule::LowerProbabilityOnly, FilterRule::None] {
             let oracle = reference::scores(&e, &w, filter);
@@ -230,6 +231,7 @@ mod tests {
             let tuning = KernelTuning {
                 parallel_threshold: 0,
                 tile_size: 33,
+                ..KernelTuning::default()
             };
             let parallel = global_chs_parallel(&keys, &probs, max_d, 3, &tuning);
             assert_eq!(serial.len(), max_d);

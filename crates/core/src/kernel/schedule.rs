@@ -25,7 +25,7 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 ///
 /// Panics if a worker panics (propagated by the scoped-thread join) or
 /// if `threads` is zero.
-pub(super) fn run_tiles<T, F>(n_tiles: usize, threads: usize, work: F) -> Vec<T>
+pub(crate) fn run_tiles<T, F>(n_tiles: usize, threads: usize, work: F) -> Vec<T>
 where
     T: Send,
     F: Fn(usize) -> T + Sync,

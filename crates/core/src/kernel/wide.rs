@@ -366,6 +366,7 @@ mod tests {
         let tuning = KernelTuning {
             parallel_threshold: 0,
             tile_size: 37,
+            ..KernelTuning::default()
         };
         for filter in [FilterRule::LowerProbabilityOnly, FilterRule::None] {
             let oracle = reference::scores(&e, &w, filter);
@@ -388,6 +389,7 @@ mod tests {
             let tuning = KernelTuning {
                 parallel_threshold: 0,
                 tile_size: 19,
+                ..KernelTuning::default()
             };
             let serial = global_chs_parallel(&lo, &hi, &probs, max_d, 1, &tuning);
             let parallel = global_chs_parallel(&lo, &hi, &probs, max_d, 3, &tuning);

@@ -53,12 +53,16 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod ann;
 mod config;
 pub mod kernel;
 mod reconstruct;
 mod trace;
 
-pub use config::{FilterRule, HammerConfig, KernelTuning, NeighborhoodLimit, WeightScheme};
+pub use ann::{AnnIndex, AnnParams};
+pub use config::{
+    AnnTuning, FilterRule, HammerConfig, KernelTuning, NeighborhoodLimit, WeightScheme,
+};
 pub use kernel::reference::score_one;
 pub use kernel::{global_chs, global_chs_parallel, scores, scores_parallel, PaddedWeights};
 pub use reconstruct::{operation_count, Hammer};

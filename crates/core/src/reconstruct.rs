@@ -1,7 +1,11 @@
 //! Hamming Reconstruction — Algorithm 1 of the paper.
 
-use hammer_dist::{spectrum, BitString, Distribution};
+use std::sync::Arc;
 
+use hammer_dist::{spectrum, BitString, Distribution};
+use hammer_pool::WorkerPool;
+
+use crate::ann::{self, AnnIndex, AnnParams};
 use crate::config::{FilterRule, HammerConfig, WeightScheme};
 use crate::kernel;
 use crate::trace::{HammerTrace, ScoreBreakdown};
@@ -51,11 +55,26 @@ use crate::trace::{HammerTrace, ScoreBreakdown};
 /// # Ok(())
 /// # }
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone)]
 pub struct Hammer {
     config: HammerConfig,
     threads: usize,
+    /// Optional persistent pool for ANN tree builds (see
+    /// [`with_pool`](Hammer::with_pool)); `None` falls back to scoped
+    /// work-stealing threads. Never changes results.
+    pool: Option<Arc<WorkerPool>>,
 }
+
+/// Two reconstructors are equal when they would compute the same thing
+/// the same way: configuration and thread count. Pool placement is an
+/// execution detail (like which cores run the kernel) and is ignored.
+impl PartialEq for Hammer {
+    fn eq(&self, other: &Self) -> bool {
+        self.config == other.config && self.threads == other.threads
+    }
+}
+
+impl Eq for Hammer {}
 
 impl Default for Hammer {
     fn default() -> Self {
@@ -86,7 +105,11 @@ impl Hammer {
             .map(std::num::NonZeroUsize::get)
             .unwrap_or(1)
             .max(2);
-        Self { config, threads }
+        Self {
+            config,
+            threads,
+            pool: None,
+        }
     }
 
     /// Overrides the worker-thread count.
@@ -111,6 +134,21 @@ impl Hammer {
         self
     }
 
+    /// Hands this reconstructor a persistent [`WorkerPool`] to fan ANN
+    /// tree builds onto ([`AnnIndex::build_on`]) instead of spinning up
+    /// scoped threads per build. Results are unchanged — the forest is a
+    /// pure function of `(support, params)` — so this is purely an
+    /// execution-placement knob for serving processes that already own
+    /// a pool.
+    ///
+    /// Must not be a pool this reconstructor will itself run *on* (a
+    /// nested `fan_out` deadlocks — see [`WorkerPool::fan_out`]).
+    #[must_use]
+    pub fn with_pool(mut self, pool: Arc<WorkerPool>) -> Self {
+        self.pool = Some(pool);
+        self
+    }
+
     /// The active configuration.
     #[must_use]
     pub fn config(&self) -> HammerConfig {
@@ -124,10 +162,58 @@ impl Hammer {
         self.threads
     }
 
+    /// Decides whether the ANN path replaces the exact kernel for this
+    /// distribution, and resolves its build parameters if so.
+    ///
+    /// The gate requires *all* of:
+    ///
+    /// * the tuning enables it ([`AnnTuning::enabled`]);
+    /// * `threads != 1` — one thread pins the scalar reference oracle,
+    ///   which doubles as the ANN path's recall oracle;
+    /// * the support is at least [`AnnTuning::crossover`] outcomes —
+    ///   below it the exact blocked kernel wins outright (and stays
+    ///   bit-identical to earlier releases);
+    /// * the neighborhood is *local*: `4 · max_d ≤ n_bits`. Bit-sampling
+    ///   LSH separates pairs by `(1 − d/n)^k`; at the paper's half-width
+    ///   default (`max_d = n/2`) nearly half of all random pairs are
+    ///   in range and no hashing scheme can prune the sweep, so the
+    ///   default configuration never takes this path.
+    fn ann_params(&self, dist: &Distribution) -> Option<AnnParams> {
+        let tuning = &self.config.kernel.ann;
+        let n_bits = dist.n_bits();
+        let max_d = self.config.neighborhood.max_distance(n_bits);
+        let engaged = tuning.enabled
+            && self.threads != 1
+            && dist.len() >= tuning.crossover.max(2)
+            && max_d * 4 <= n_bits;
+        engaged.then(|| AnnParams::resolve(tuning, dist.len(), n_bits))
+    }
+
+    /// Builds the LSH forest — on the attached persistent pool if one
+    /// was provided, over scoped threads otherwise. Bit-identical either
+    /// way.
+    fn build_index(&self, dist: &Distribution, params: &AnnParams) -> AnnIndex {
+        match &self.pool {
+            Some(pool) => AnnIndex::build_on(dist, params, pool),
+            None => AnnIndex::build(dist, params, self.threads),
+        }
+    }
+
     /// The distribution-wide CHS through the kernel selected by the
     /// thread count: the scalar reference oracle at `threads == 1`, the
-    /// blocked/work-stealing kernel otherwise.
+    /// ANN candidate pass when the [`ann_params`](Hammer::ann_params)
+    /// gate opens, the blocked/work-stealing kernel otherwise.
     fn global_chs_dispatch(&self, dist: &Distribution, max_d: usize) -> Vec<f64> {
+        if let Some(params) = self.ann_params(dist) {
+            let index = self.build_index(dist, &params);
+            return ann::global_chs_with_index(
+                &index,
+                dist.probs(),
+                max_d,
+                self.threads,
+                self.config.kernel.tile_size,
+            );
+        }
         if self.threads == 1 {
             kernel::reference::global_chs(dist.as_slice(), max_d)
         } else if dist.n_bits() > 64 {
@@ -201,6 +287,31 @@ impl Hammer {
         if dist.len() < 2 {
             return dist.clone();
         }
+        // ANN fast path: build the forest once and reuse it for both
+        // O(N·candidates) passes (CHS → weights, then scores). The
+        // dispatch in `weights`/`reconstruct_with_weights` would land on
+        // the same results, but would build the index twice.
+        if let Some(params) = self.ann_params(dist) {
+            let index = self.build_index(dist, &params);
+            let max_d = self.config.neighborhood.max_distance(dist.n_bits());
+            let tile = self.config.kernel.tile_size;
+            let chs = match self.config.weights {
+                WeightScheme::InverseAverageChs | WeightScheme::InverseGlobalChs => {
+                    ann::global_chs_with_index(&index, dist.probs(), max_d, self.threads, tile)
+                }
+                WeightScheme::Uniform | WeightScheme::InverseBinomial => Vec::new(),
+            };
+            let weights = self.weights_from_chs(dist, max_d, &chs);
+            let scores = ann::scores_with_index(
+                &index,
+                dist.probs(),
+                &weights,
+                self.config.filter,
+                self.threads,
+                tile,
+            );
+            return self.apply_scores(dist, &scores);
+        }
         let weights = self.weights(dist);
         self.reconstruct_with_weights(dist, &weights)
     }
@@ -211,6 +322,18 @@ impl Hammer {
     pub fn reconstruct_with_weights(&self, dist: &Distribution, weights: &[f64]) -> Distribution {
         if dist.len() < 2 {
             return dist.clone();
+        }
+        if let Some(params) = self.ann_params(dist) {
+            let index = self.build_index(dist, &params);
+            let scores = ann::scores_with_index(
+                &index,
+                dist.probs(),
+                weights,
+                self.config.filter,
+                self.threads,
+                self.config.kernel.tile_size,
+            );
+            return self.apply_scores(dist, &scores);
         }
         let scores = if self.threads == 1 {
             kernel::reference::scores(dist.as_slice(), weights, self.config.filter)
@@ -234,11 +357,18 @@ impl Hammer {
                 &self.config.kernel,
             )
         };
+        self.apply_scores(dist, &scores)
+    }
+
+    /// The likelihood update + renormalization tail of Algorithm 1:
+    /// `L(x) = P(x) · S(x)`, renormalized by `Distribution`'s
+    /// constructor.
+    fn apply_scores(&self, dist: &Distribution, scores: &[f64]) -> Distribution {
         let n = dist.n_bits();
         let pairs = dist
             .as_slice()
             .iter()
-            .zip(&scores)
+            .zip(scores)
             .map(|(&(k, p), &s)| (BitString::from_u128(k, n), p * s));
         Distribution::from_probs(n, pairs).expect("scores are positive: every score ≥ P(x) > 0")
     }
@@ -533,6 +663,7 @@ mod tests {
             kernel: crate::KernelTuning {
                 parallel_threshold: 0,
                 tile_size: 4,
+                ..crate::KernelTuning::default()
             },
             ..HammerConfig::paper()
         };
@@ -544,6 +675,113 @@ mod tests {
         for (x, p) in oracle.iter() {
             assert!((out.prob(x) - p).abs() < 1e-9);
         }
+    }
+
+    #[test]
+    fn ann_gate_opens_only_for_local_neighborhoods_at_scale() {
+        use crate::config::AnnTuning;
+        // 64 single-bit outcomes at 64 bits: wide enough for a Fixed(8)
+        // neighborhood to be "local" (4·8 ≤ 64).
+        let d = Distribution::from_probs(
+            64,
+            (0..64u32).map(|i| (BitString::from_u128(1u128 << i, 64), 1.0 + f64::from(i))),
+        )
+        .unwrap();
+        let local = |crossover: usize| HammerConfig {
+            neighborhood: NeighborhoodLimit::Fixed(8),
+            kernel: crate::KernelTuning {
+                ann: AnnTuning {
+                    crossover,
+                    ..AnnTuning::default()
+                },
+                ..crate::KernelTuning::default()
+            },
+            ..HammerConfig::paper()
+        };
+        let h = Hammer::with_config(local(4)).with_threads(2);
+        assert!(h.ann_params(&d).is_some(), "local + at scale must engage");
+        // threads == 1 pins the exact scalar oracle.
+        assert!(h.clone().with_threads(1).ann_params(&d).is_none());
+        // Below the crossover the exact blocked kernel stays in charge.
+        let below = Hammer::with_config(local(1000)).with_threads(2);
+        assert!(below.ann_params(&d).is_none());
+        // Explicitly disabled tuning never engages.
+        let off = HammerConfig {
+            kernel: crate::KernelTuning {
+                ann: AnnTuning {
+                    enabled: false,
+                    crossover: 4,
+                    ..AnnTuning::default()
+                },
+                ..crate::KernelTuning::default()
+            },
+            ..local(4)
+        };
+        assert!(Hammer::with_config(off)
+            .with_threads(2)
+            .ann_params(&d)
+            .is_none());
+        // The paper's half-width default is never local enough for LSH,
+        // so default configs keep the exact kernel at any scale.
+        assert!(Hammer::new().with_threads(8).ann_params(&d).is_none());
+    }
+
+    #[test]
+    fn ann_path_matches_the_exact_kernel_on_an_exhaustive_forest() {
+        use crate::config::AnnTuning;
+        // Force the ANN dispatch (tiny crossover) with a single 4-bit
+        // hash at probe radius 1 over a clustered-ish support; compare
+        // against the identical config with ANN disabled.
+        let d = Distribution::from_probs(
+            64,
+            (0..200u64).map(|i| {
+                let key = ((i / 4) * 257) ^ (1u64 << (i % 4));
+                (BitString::from_u128(u128::from(key), 64), 1.0 + i as f64)
+            }),
+        )
+        .unwrap();
+        let base = HammerConfig {
+            neighborhood: NeighborhoodLimit::Fixed(10),
+            ..HammerConfig::paper()
+        };
+        let ann_cfg = HammerConfig {
+            kernel: crate::KernelTuning {
+                ann: AnnTuning {
+                    crossover: 2,
+                    trees: 3,
+                    ..AnnTuning::default()
+                },
+                ..crate::KernelTuning::default()
+            },
+            ..base
+        };
+        let exact_cfg = HammerConfig {
+            kernel: crate::KernelTuning {
+                ann: AnnTuning {
+                    enabled: false,
+                    ..AnnTuning::default()
+                },
+                ..crate::KernelTuning::default()
+            },
+            ..base
+        };
+        let approx = Hammer::with_config(ann_cfg).with_threads(3);
+        assert!(approx.ann_params(&d).is_some());
+        let exact = Hammer::with_config(exact_cfg).with_threads(3);
+        let (a, e) = (approx.reconstruct(&d), exact.reconstruct(&d));
+        // The auto-resolved forest over this tiny support (k = 4,
+        // radius 1, 3 trees) reaches high-but-not-necessarily-perfect
+        // recall; the distributions must agree closely.
+        let tvd: f64 = e.iter().map(|(x, p)| (p - a.prob(x)).abs()).sum::<f64>() / 2.0;
+        assert!(tvd < 0.02, "ANN path drifted from exact: TVD = {tvd}");
+        assert_eq!(
+            a.most_probable().unwrap().0,
+            e.most_probable().unwrap().0,
+            "top outcome must survive the approximation"
+        );
+        // And the ANN path is bit-identical across thread counts.
+        let again = Hammer::with_config(ann_cfg).with_threads(7).reconstruct(&d);
+        assert_eq!(a, again);
     }
 
     #[test]

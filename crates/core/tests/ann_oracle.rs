@@ -1,0 +1,155 @@
+//! The ANN recall oracle: the exact blocked kernel is the ground truth
+//! the LSH forest is measured against.
+//!
+//! * at default knobs over a clustered error-halo workload, in-range
+//!   *pair-mass* recall must clear 0.95 and the reconstructed
+//!   distribution must stay close to the exact one;
+//! * below the crossover (or whenever the gate stays closed) the exact
+//!   path must run and be bit-identical to an ANN-disabled config.
+
+use hammer_core::{
+    AnnIndex, AnnParams, AnnTuning, Hammer, HammerConfig, KernelTuning, NeighborhoodLimit,
+};
+use hammer_dist::{BitString, Distribution};
+
+/// SplitMix64, locally: the tests must not depend on the crate's
+/// internal RNG staying put.
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+}
+
+/// A clustered error-halo support at 64 bits: random cluster centers,
+/// each with a halo of 1–3-flip neighbors — the §4.5 structure HAMMER
+/// exploits and the locality LSH monetizes.
+fn clustered(clusters: usize, halo: usize, seed: u64) -> Distribution {
+    let mut rng = Rng(seed);
+    let mut pairs = Vec::new();
+    for c in 0..clusters {
+        let center = u128::from(rng.next());
+        pairs.push((BitString::from_u128(center, 64), 4.0 + c as f64));
+        for _ in 0..halo {
+            let mut member = center;
+            for _ in 0..1 + (rng.next() as usize) % 3 {
+                member ^= 1u128 << ((rng.next() as usize) % 64);
+            }
+            pairs.push((BitString::from_u128(member, 64), 1.0));
+        }
+    }
+    Distribution::from_probs(64, pairs).expect("positive weights")
+}
+
+fn config(ann: AnnTuning) -> HammerConfig {
+    HammerConfig {
+        neighborhood: NeighborhoodLimit::Fixed(12),
+        kernel: KernelTuning {
+            ann,
+            ..KernelTuning::default()
+        },
+        ..HammerConfig::paper()
+    }
+}
+
+#[test]
+fn default_knobs_reach_recall_095_against_the_exact_oracle() {
+    let d = clustered(300, 12, 17); // ~3.9K outcomes
+    let max_d = 12usize;
+    let params = AnnParams::resolve(&AnnTuning::default(), d.len(), 64);
+    let index = AnnIndex::build(&d, &params, 2);
+
+    // In-range pair-mass recall: of the probability mass the exact
+    // kernel would gather across all ordered in-range pairs, how much
+    // does the forest surface?
+    let (mut found, mut truth) = (0.0f64, 0.0f64);
+    for i in 0..d.len() {
+        let xi = d.key(i);
+        for &(id, _) in &index.range_query(d.keys()[i], d.keys_hi()[i], max_d) {
+            found += d.probs()[id as usize];
+        }
+        for j in 0..d.len() {
+            if (xi ^ d.key(j)).count_ones() as usize <= max_d {
+                truth += d.probs()[j];
+            }
+        }
+    }
+    let recall = found / truth;
+    assert!(
+        recall >= 0.95,
+        "pair-mass recall {recall:.4} below 0.95 at default knobs"
+    );
+
+    // End-to-end: the ANN reconstruction tracks the exact one.
+    let approx = Hammer::with_config(config(AnnTuning {
+        crossover: 1024,
+        ..AnnTuning::default()
+    }))
+    .with_threads(2);
+    let exact = Hammer::with_config(config(AnnTuning {
+        enabled: false,
+        ..AnnTuning::default()
+    }))
+    .with_threads(2);
+    let (a, e) = (approx.reconstruct(&d), exact.reconstruct(&d));
+    let tvd: f64 = e.iter().map(|(x, p)| (p - a.prob(x)).abs()).sum::<f64>() / 2.0;
+    assert!(tvd < 0.05, "TVD vs exact reconstruction = {tvd:.4}");
+    assert_eq!(
+        a.most_probable().unwrap().0,
+        e.most_probable().unwrap().0,
+        "the reconstructed top outcome must survive the approximation"
+    );
+}
+
+#[test]
+fn below_the_crossover_the_exact_path_is_bit_identical() {
+    let d = clustered(40, 8, 23); // ~360 outcomes, well below 32K
+    for threads in [2usize, 4] {
+        let with_ann = Hammer::with_config(config(AnnTuning::default())).with_threads(threads);
+        let without = Hammer::with_config(config(AnnTuning {
+            enabled: false,
+            ..AnnTuning::default()
+        }))
+        .with_threads(threads);
+        // Below the crossover the gate stays closed, so enabling ANN
+        // must not perturb a single bit of the output.
+        assert_eq!(with_ann.reconstruct(&d), without.reconstruct(&d));
+        assert_eq!(with_ann.weights(&d), without.weights(&d));
+    }
+}
+
+#[test]
+fn paper_default_config_never_engages_ann() {
+    // HalfWidth neighborhoods have no locality for LSH to exploit; the
+    // gate requires 4·max_d ≤ n_bits, so the paper configuration keeps
+    // the exact kernel at any support size — ann tuning knobs included.
+    let d = clustered(60, 6, 31);
+    let on = Hammer::with_config(HammerConfig {
+        kernel: KernelTuning {
+            ann: AnnTuning {
+                crossover: 2,
+                ..AnnTuning::default()
+            },
+            ..KernelTuning::default()
+        },
+        ..HammerConfig::paper()
+    })
+    .with_threads(2);
+    let off = Hammer::with_config(HammerConfig {
+        kernel: KernelTuning {
+            ann: AnnTuning {
+                enabled: false,
+                ..AnnTuning::default()
+            },
+            ..KernelTuning::default()
+        },
+        ..HammerConfig::paper()
+    })
+    .with_threads(2);
+    assert_eq!(on.reconstruct(&d), off.reconstruct(&d));
+}

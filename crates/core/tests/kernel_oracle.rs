@@ -91,6 +91,7 @@ fn tuning() -> impl Strategy<Value = KernelTuning> {
             // Forces the work-stealing path regardless of support size.
             parallel_threshold: 0,
             tile_size,
+            ..KernelTuning::default()
         }),
     ]
 }

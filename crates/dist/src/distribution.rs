@@ -314,6 +314,38 @@ impl Distribution {
         &self.probs
     }
 
+    /// The packed `u128` key of the `i`-th support entry (ascending key
+    /// order, index-aligned with [`probs`](Distribution::probs)) —
+    /// both limbs of the SoA mirrors reassembled, for callers that need
+    /// whole keys by index (the ANN recall oracles, spot checks) without
+    /// walking [`as_slice`](Distribution::as_slice).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of bounds.
+    #[must_use]
+    pub fn key(&self, i: usize) -> u128 {
+        u128::from(self.keys[i]) | (u128::from(self.keys_hi[i]) << 64)
+    }
+
+    /// Gathers one bit of the `i`-th support entry's key straight from
+    /// the SoA limbs: bit `q` counts from the least-significant end,
+    /// crossing into [`keys_hi`](Distribution::keys_hi) at `q >= 64`.
+    /// This is the primitive the bit-sampling ANN hash leans on.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of bounds or `q >= 128`.
+    #[must_use]
+    pub fn key_bit(&self, i: usize, q: usize) -> bool {
+        assert!(q < MAX_BITS, "bit index {q} out of the 128-bit register");
+        if q < 64 {
+            (self.keys[i] >> q) & 1 == 1
+        } else {
+            (self.keys_hi[i] >> (q - 64)) & 1 == 1
+        }
+    }
+
     /// Probability of one outcome (0 when outside the support).
     ///
     /// # Panics
@@ -468,6 +500,31 @@ mod tests {
         assert!((d.prob(bs("10")) - 0.5).abs() < 1e-12);
         assert!((d.prob(bs("01")) - 0.5).abs() < 1e-12);
         assert!((d.total_mass() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn key_and_key_bit_reassemble_the_limbs() {
+        // A 100-bit support straddling the limb boundary.
+        let hi = (0b1011u128 << 96) | (1u128 << 64);
+        let lo = (1u128 << 63) | 0b101;
+        let d = Distribution::from_probs(
+            100,
+            [
+                (BitString::from_u128(lo, 100), 1.0),
+                (BitString::from_u128(hi, 100), 1.0),
+            ],
+        )
+        .unwrap();
+        for i in 0..d.len() {
+            let key = d.key(i);
+            assert_eq!(
+                key,
+                u128::from(d.keys()[i]) | (u128::from(d.keys_hi()[i]) << 64)
+            );
+            for q in 0..128 {
+                assert_eq!(d.key_bit(i, q), (key >> q) & 1 == 1, "entry {i} bit {q}");
+            }
+        }
     }
 
     #[test]

@@ -27,6 +27,15 @@ fn sized_wide_bits() -> impl Strategy<Value = (usize, u128)> {
     })
 }
 
+/// n-choose-k for the tiny `k` the neighbor-sphere tests sweep.
+fn binomial(n: usize, k: usize) -> u64 {
+    let mut acc = 1u64;
+    for i in 0..k {
+        acc = acc * (n - i) as u64 / (i + 1) as u64;
+    }
+    acc
+}
+
 /// Packs two limb draws into a `u128` masked down to `n` bits.
 fn mask_to_width(lo: u64, hi: u64, n: usize) -> u128 {
     let bits = u128::from(lo) | (u128::from(hi) << 64);
@@ -129,6 +138,25 @@ proptest! {
             prop_assert_eq!(d.keys()[i], m.limbs()[0]);
             prop_assert_eq!(d.keys_hi()[i], m.limbs()[1]);
         }
+    }
+
+    #[test]
+    fn wide_neighbors_at_enumerates_the_exact_sphere(
+        (n, bits) in sized_wide_bits(),
+        d in 0usize..=2,
+    ) {
+        // The ANN range queries lean on wide neighbor spheres, which
+        // the ≤64-bit properties above never exercise: pin the count to
+        // C(n, d), distinctness, and the exact distance, across the
+        // 65–128-bit widths where the sphere straddles both limbs.
+        let x = BitString::from_u128(bits, n);
+        let mut seen = std::collections::BTreeSet::new();
+        for y in x.neighbors_at(d) {
+            prop_assert_eq!(y.len(), n);
+            prop_assert_eq!(x.hamming_distance(y), d as u32);
+            prop_assert!(seen.insert(y.as_u128()), "duplicate neighbor");
+        }
+        prop_assert_eq!(seen.len() as u64, binomial(n, d));
     }
 
     #[test]
@@ -309,6 +337,29 @@ proptest! {
         // A perturbed distribution is strictly different or identical
         // in both measures simultaneously.
         prop_assert_eq!(t < 1e-12, f > 1.0 - 1e-9);
+    }
+}
+
+#[test]
+fn wide_neighbor_spheres_cross_the_limb_boundary() {
+    // A 100-bit string with set bits hugging the bit-63/64 seam, so
+    // d ≥ 2 spheres must contain neighbors flipped in *both* limbs.
+    let x = BitString::from_u128((0b1011u128 << 62) | 0x5, 100);
+    for d in [1usize, 2, 3] {
+        let mut seen = std::collections::BTreeSet::new();
+        let mut crossed = false;
+        for y in x.neighbors_at(d) {
+            assert_eq!(x.hamming_distance(y), d as u32, "sphere d={d}");
+            assert!(seen.insert(y.as_u128()), "duplicate neighbor at d={d}");
+            let diff = y.as_u128() ^ x.as_u128();
+            if diff >> 64 != 0 && diff & u128::from(u64::MAX) != 0 {
+                crossed = true;
+            }
+        }
+        assert_eq!(seen.len() as u64, binomial(100, d), "count at d={d}");
+        if d >= 2 {
+            assert!(crossed, "no d={d} neighbor flipped bits in both limbs");
+        }
     }
 }
 

@@ -1,7 +1,7 @@
-//! A persistent worker-thread pool shared by the noise engines and the
-//! serving runtime.
+//! A persistent worker-thread pool shared by the noise engines, the
+//! ANN index builder and the serving runtime.
 //!
-//! Before this module, every `TrajectoryEngine::sample` /
+//! Before this pool existed, every `TrajectoryEngine::sample` /
 //! `StabilizerEngine::sample` call spawned (and joined) one scoped
 //! thread per trial block. One-shot CLI experiments never notice, but a
 //! serving process answering thousands of small requests pays the
@@ -11,11 +11,18 @@
 //! submissions + [`WorkerPool::try_submit`] give the 503-style
 //! backpressure path).
 //!
+//! The pool originally lived in `hammer_sim` (which still re-exports it
+//! under the old path); it moved into this dependency-free leaf crate
+//! once `hammer_core`'s ANN forest needed the same fan-out primitive
+//! for parallel tree builds — the core crate must not pull in the whole
+//! simulator for that.
+//!
 //! Determinism is preserved by construction: the pool only changes
-//! *where* a trial block runs, never how blocks are cut or which
-//! per-trial RNG stream each trial consumes, so engines produce
-//! bit-identical [`hammer_dist::Counts`] with or without a pool (the
-//! engine test suites pin this exactly).
+//! *where* a job runs, never how batches are cut or which per-job RNG
+//! stream each job consumes, so engines produce bit-identical
+//! `hammer_dist::Counts` — and the ANN builder bit-identical forests —
+//! with or without a pool (the engine and ANN test suites pin this
+//! exactly).
 //!
 //! Jobs must be `'static` (they travel through a queue that outlives
 //! any caller's stack frame), so engine contexts are `Arc`-shared
@@ -66,7 +73,7 @@ struct Shared {
 /// # Example
 ///
 /// ```
-/// use hammer_sim::WorkerPool;
+/// use hammer_pool::WorkerPool;
 ///
 /// let pool = WorkerPool::new(4);
 /// let squares = pool.fan_out((0u64..8).map(|i| move || i * i));

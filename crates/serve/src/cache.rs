@@ -109,8 +109,7 @@ impl DistCache {
     }
 
     fn shard(&self, key: u64) -> &Mutex<Shard> {
-        // High bits: FNV mixes low bytes last, the high bits are stable.
-        &self.shards[(key >> 60) as usize % SHARDS]
+        &self.shards[fold(key) % SHARDS]
     }
 
     /// Looks a key up, counting a hit and refreshing recency.
@@ -165,6 +164,25 @@ impl DistCache {
             bytes,
         )
     }
+}
+
+/// XOR-folds a fingerprint down to a small shard selector.
+///
+/// Selecting on `key >> 60` alone looked safe ("FNV's high bits are
+/// stable") but FNV-1a's *avalanche is weakest in the high bits* — its
+/// multiply only carries entropy upward, and over real request streams
+/// the top nibble is measurably skewed, concentrating entries (and lock
+/// contention, and LRU pressure) on a few shards. Folding every bit of
+/// the fingerprint into the selector restores the near-uniform spread
+/// the per-shard byte budget assumes; the balance test below pins it.
+#[inline]
+fn fold(key: u64) -> usize {
+    let mut x = key;
+    x ^= x >> 32;
+    x ^= x >> 16;
+    x ^= x >> 8;
+    x ^= x >> 4;
+    x as usize
 }
 
 /// The value published through an in-flight slot: the computed
@@ -298,10 +316,14 @@ mod tests {
     #[test]
     fn lru_evicts_the_coldest_key_under_pressure() {
         // Budget fits ~2 entries per shard; keys chosen to land in ONE
-        // shard (identical top bits) so the LRU order is observable.
+        // shard so the LRU order is observable.
         let per_entry = approx_bytes(&dist(0));
         let cache = DistCache::new(per_entry * 2 * SHARDS + SHARDS);
-        let key = |i: u64| i; // top nibble 0 → all in shard 0
+        let same_shard: Vec<u64> = (0u64..)
+            .filter(|&k| fold(k) % SHARDS == fold(0) % SHARDS)
+            .take(4)
+            .collect();
+        let key = |i: u64| same_shard[i as usize];
         cache.insert(key(1), dist(1));
         cache.insert(key(2), dist(2));
         // Touch 1 so 2 becomes the LRU.
@@ -313,6 +335,34 @@ mod tests {
         let (_, _, evictions, entries, _) = cache.stats();
         assert_eq!(evictions, 1);
         assert_eq!(entries, 2);
+    }
+
+    #[test]
+    fn shard_selection_spreads_real_fingerprints_evenly() {
+        use hammer_dist::fingerprint::Fnv1a;
+        // 16K distinct request-shaped FNV-1a fingerprints (the exact
+        // hasher every request key goes through). A balanced selector
+        // keeps every shard within ±25% of the uniform share; the old
+        // top-nibble selector concentrated the same stream onto a few
+        // shards.
+        const N: usize = 16_384;
+        let mut counts = [0usize; SHARDS];
+        for i in 0..N {
+            let mut h = Fnv1a::new();
+            h.write_u8(1); // opcode tag, as real request keys do
+            h.write_usize(i);
+            h.write_u64(0xC0DE ^ i as u64);
+            h.write_f64(i as f64 * 0.125);
+            counts[fold(h.finish()) % SHARDS] += 1;
+        }
+        let share = N / SHARDS;
+        let (lo, hi) = (share * 3 / 4, share * 5 / 4);
+        for (s, &c) in counts.iter().enumerate() {
+            assert!(
+                (lo..=hi).contains(&c),
+                "shard {s} holds {c} of {N} keys (uniform share {share}): {counts:?}"
+            );
+        }
     }
 
     #[test]

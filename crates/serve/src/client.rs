@@ -7,8 +7,15 @@
 //! — every opcode is semantically idempotent (reconstruction is a pure
 //! function of its payload; `SampleAndReconstruct` is seeded), so a
 //! retry can change latency but never the answer.
+//!
+//! [`Reply::Busy`] (the server's admission queue is full) is likewise
+//! retried, with a bounded linear backoff: backpressure is transient by
+//! design, and surfacing the very first `Busy` as a hard
+//! [`WireError::Busy`] forced every caller to hand-roll the same retry
+//! loop. [`ServeClient::with_busy_retries`] tunes or disables it.
 
 use std::net::TcpStream;
+use std::time::Duration;
 
 use hammer_core::HammerConfig;
 use hammer_dist::{BitString, Counts, Distribution};
@@ -33,6 +40,10 @@ pub struct ServeClient {
     addr: String,
     stream: Option<TcpStream>,
     next_id: u64,
+    /// Additional attempts after a [`Reply::Busy`] before giving up.
+    busy_retries: u32,
+    /// Backoff before busy retry `i` (1-based): `i × busy_backoff`.
+    busy_backoff: Duration,
 }
 
 impl ServeClient {
@@ -49,7 +60,21 @@ impl ServeClient {
             addr,
             stream: Some(stream),
             next_id: 1,
+            busy_retries: 3,
+            busy_backoff: Duration::from_millis(10),
         })
+    }
+
+    /// Tunes the bounded `Busy` retry: up to `retries` additional
+    /// attempts after a busy reply, sleeping `i × backoff` before the
+    /// `i`-th retry (linear backoff). `retries = 0` restores the old
+    /// fail-fast behavior where the first busy reply surfaces as
+    /// [`WireError::Busy`].
+    #[must_use]
+    pub fn with_busy_retries(mut self, retries: u32, backoff: Duration) -> Self {
+        self.busy_retries = retries;
+        self.busy_backoff = backoff;
+        self
     }
 
     /// The endpoint address.
@@ -83,22 +108,39 @@ impl ServeClient {
     }
 
     /// Sends one request and reads its reply, reconnecting and retrying
-    /// once on a transport failure.
+    /// once on a transport failure, and retrying up to
+    /// [`with_busy_retries`](ServeClient::with_busy_retries) further
+    /// times (with linear backoff) when the server answers `Busy`.
     ///
     /// # Errors
     ///
-    /// The final [`WireError`] after the retry.
+    /// The final [`WireError`] after the retries; a `Busy` reply that
+    /// outlives every retry is returned as-is for the typed helpers to
+    /// surface as [`WireError::Busy`].
     pub fn call(&mut self, request: &Request) -> Result<Reply, WireError> {
-        let id = self.next_id;
-        self.next_id += 1;
-        match self.call_once(id, request) {
-            Err(WireError::Io(_)) => {
-                // The connection died (server restart, idle timeout…):
-                // rebuild it and retry the idempotent request once.
-                self.stream = None;
-                self.call_once(id, request)
+        let mut busy_attempts = 0u32;
+        loop {
+            let id = self.next_id;
+            self.next_id += 1;
+            let result = match self.call_once(id, request) {
+                Err(WireError::Io(_)) => {
+                    // The connection died (server restart, idle
+                    // timeout…): rebuild it and retry the idempotent
+                    // request once.
+                    self.stream = None;
+                    self.call_once(id, request)
+                }
+                other => other,
+            };
+            match result {
+                Ok(Reply::Busy) if busy_attempts < self.busy_retries => {
+                    // Backpressure is transient: give the admission
+                    // queue `i × backoff` to drain, then re-ask.
+                    busy_attempts += 1;
+                    std::thread::sleep(self.busy_backoff * busy_attempts);
+                }
+                other => return other,
             }
-            other => other,
         }
     }
 

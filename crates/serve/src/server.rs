@@ -367,8 +367,14 @@ fn handle_compute(state: &Arc<ServerState>, request: Request) -> Reply {
             key.write_bytes(b"reconstruct/v1");
             key.write_u64(counts.fingerprint());
             key.write_u64(config.fingerprint());
+            // The job itself runs on the *request* pool; the engine
+            // pool is distinct, so handing it to Hammer for ANN tree
+            // builds cannot nest a fan_out on the pool we run on.
+            let engine_pool = Arc::clone(&state.engine_pool);
             cached_compute(state, key.finish(), move || {
-                Ok(Hammer::with_config(config).reconstruct_counts(&counts))
+                Ok(Hammer::with_config(config)
+                    .with_pool(engine_pool)
+                    .reconstruct_counts(&counts))
             })
         }
         Request::SampleAndReconstruct(job) => {
@@ -457,5 +463,7 @@ fn run_sample_job(job: &SampleJob, engine_pool: &Arc<WorkerPool>) -> Result<Dist
         .with_pool(Arc::clone(engine_pool))
         .sample(&job.circuit, job.trials, &mut rng)
         .map_err(|e| e.to_string())?;
-    Ok(Hammer::with_config(job.config).reconstruct_counts(&counts))
+    Ok(Hammer::with_config(job.config)
+        .with_pool(Arc::clone(engine_pool))
+        .reconstruct_counts(&counts))
 }

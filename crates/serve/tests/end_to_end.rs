@@ -4,6 +4,7 @@
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Barrier};
+use std::time::Duration;
 
 use hammer_core::{Hammer, HammerConfig};
 use hammer_dist::{BitString, Counts, Distribution};
@@ -261,7 +262,10 @@ fn wide_registers_round_trip_through_the_service() {
 #[test]
 fn zero_queue_limit_replies_busy() {
     let server = start(16, 1, 0);
-    let mut client = ServeClient::connect(server.local_addr().to_string()).expect("connect");
+    // Retries disabled: the first refusal must surface immediately.
+    let mut client = ServeClient::connect(server.local_addr().to_string())
+        .expect("connect")
+        .with_busy_retries(0, Duration::ZERO);
     // Cheap opcodes bypass the queue and still work…
     client.ping().expect("ping bypasses the queue");
     // …but every compute submission is refused up front.
@@ -272,6 +276,32 @@ fn zero_queue_limit_replies_busy() {
     let stats = server.stats();
     assert_eq!(stats.busy_rejections, 1);
     assert_eq!(stats.requests, 0);
+    server.shutdown();
+    let _ = server.wait();
+}
+
+/// The bounded `Busy` retry: against a server that refuses every
+/// compute submission (queue limit 0), a client configured for `r`
+/// retries must be seen asking exactly `1 + r` times before it finally
+/// surfaces [`WireError::Busy`].
+#[test]
+fn busy_replies_are_retried_a_bounded_number_of_times() {
+    let server = start(16, 1, 0);
+    let mut client = ServeClient::connect(server.local_addr().to_string())
+        .expect("connect")
+        .with_busy_retries(2, Duration::from_millis(1));
+    match client.reconstruct(&halo_counts(0), &HammerConfig::paper()) {
+        Err(WireError::Busy) => {}
+        other => panic!("expected Busy after exhausted retries, got {other:?}"),
+    }
+    let stats = server.stats();
+    assert_eq!(
+        stats.busy_rejections, 3,
+        "1 initial attempt + 2 retries must reach the server"
+    );
+    assert_eq!(stats.requests, 0);
+    // The connection survives the refusals.
+    client.ping().expect("still alive");
     server.shutdown();
     let _ = server.wait();
 }
