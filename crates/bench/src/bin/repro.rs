@@ -9,6 +9,7 @@
 //! repro bench-sim [--quick] [--out PATH]
 //! repro bench-stab [--quick] [--out PATH]
 //! repro bench-ann [--quick] [--out PATH]
+//! repro chaos-smoke [--quick]
 //! repro --list
 //! ```
 //!
@@ -182,6 +183,140 @@ fn run_serve_smoke(args: &[String]) -> ExitCode {
     ExitCode::SUCCESS
 }
 
+/// `repro chaos-smoke [--quick]`: an in-process robustness drill. Boots
+/// a server on an ephemeral port, drives reconstructions through a
+/// [`hammer_serve::chaos::ChaosProxy`] under each fault class, checks
+/// that every completed reply is byte-identical to the direct library
+/// call, exercises the deadline path against an artificially slowed
+/// compute, and verifies shutdown stays bounded. `--quick` runs one
+/// pass over the fault matrix instead of three.
+fn run_chaos_smoke(args: &[String]) -> ExitCode {
+    use hammer_serve::chaos::{ChaosProxy, Fault};
+    use hammer_serve::WireError;
+    use std::time::{Duration, Instant};
+
+    let quick = args.iter().any(|a| a == "--quick");
+    let rounds = if quick { 1 } else { 3 };
+
+    let server = match hammer_serve::serve(&hammer_serve::ServeConfig {
+        addr: "127.0.0.1:0".into(),
+        workers: 2,
+        cache_mb: 16,
+        io_timeout: Some(Duration::from_millis(400)),
+        ..hammer_serve::ServeConfig::default()
+    }) {
+        Ok(server) => server,
+        Err(e) => {
+            eprintln!("chaos-smoke: cannot start server: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let mut counts = hammer_dist::Counts::new(6).expect("valid width");
+    let bs = |s: &str| hammer_dist::BitString::parse(s).expect("valid literal");
+    counts.record_n(bs("111111"), 400);
+    counts.record_n(bs("001000"), 220);
+    for s in ["111110", "111101", "111011", "110111", "101111", "011111"] {
+        counts.record_n(bs(s), 70);
+    }
+    let config = hammer_core::HammerConfig::paper();
+    let direct = hammer_core::Hammer::with_config(config).reconstruct_counts(&counts);
+
+    // Fault matrix: completed replies must be byte-identical; failures
+    // must be typed errors, promptly. Never a hang, never a wrong answer.
+    let faults = [
+        Fault::None,
+        Fault::DelayMs(5),
+        Fault::CorruptRequestByte(2),
+        Fault::DropRequestAfter(8),
+        Fault::TruncateReplyAfter(10),
+        Fault::HalfCloseRequestAfter(6),
+    ];
+    let (mut completed, mut refused) = (0usize, 0usize);
+    for round in 0..rounds {
+        for fault in faults {
+            let proxy = match ChaosProxy::spawn(server.local_addr(), vec![fault]) {
+                Ok(proxy) => proxy,
+                Err(e) => {
+                    eprintln!("chaos-smoke: proxy spawn failed: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            let started = Instant::now();
+            let result = hammer_serve::ServeClient::connect(proxy.local_addr().to_string())
+                .map(|c| {
+                    c.with_io_timeout(Some(Duration::from_millis(700)))
+                        .with_busy_retries(0, Duration::ZERO)
+                })
+                .ok()
+                .map(|mut client| client.reconstruct(&counts, &config));
+            match result {
+                Some(Ok(got)) if got == direct => completed += 1,
+                Some(Ok(_)) => {
+                    eprintln!("chaos-smoke: CORRUPTED reply under {fault:?} (round {round})");
+                    return ExitCode::FAILURE;
+                }
+                Some(Err(_)) | None => refused += 1,
+            }
+            if started.elapsed() > Duration::from_secs(5) {
+                eprintln!(
+                    "chaos-smoke: fault {fault:?} stalled for {:?}",
+                    started.elapsed()
+                );
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    eprintln!(
+        "[chaos-smoke] fault matrix: {completed} byte-identical completions, \
+         {refused} typed refusals, 0 corruptions, 0 hangs"
+    );
+
+    // Deadline drill: a 120 ms budget against a compute slowed to 1.2 s
+    // must come back DeadlineExceeded fast. Fresh counts — the fault
+    // matrix already cached `counts`, and cache hits skip the compute.
+    let mut fresh = counts.clone();
+    fresh.record_n(bs("010101"), 33);
+    hammer_serve::fault::set_slow_compute_ms(1200);
+    let deadline_ok = (|| {
+        let mut client = hammer_serve::ServeClient::connect(server.local_addr().to_string())
+            .ok()?
+            .with_deadline(Some(Duration::from_millis(120)));
+        let started = Instant::now();
+        let outcome = client.reconstruct(&fresh, &config);
+        let elapsed = started.elapsed();
+        matches!(outcome, Err(WireError::DeadlineExceeded))
+            .then_some(elapsed < Duration::from_millis(800))?
+            .then_some(())
+    })();
+    hammer_serve::fault::reset();
+    if deadline_ok.is_none() {
+        eprintln!("chaos-smoke: deadline drill failed (no prompt DeadlineExceeded)");
+        return ExitCode::FAILURE;
+    }
+    eprintln!("[chaos-smoke] deadline drill: slow compute cut short with DeadlineExceeded");
+
+    // Bounded shutdown: the drain must finish within a watchdog budget.
+    server.shutdown();
+    let (done_tx, done_rx) = std::sync::mpsc::channel();
+    std::thread::spawn(move || {
+        let _ = done_tx.send(server.wait());
+    });
+    match done_rx.recv_timeout(Duration::from_secs(10)) {
+        Ok(stats) => {
+            eprintln!(
+                "[chaos-smoke] ok: bounded shutdown after {} requests ({} busy rejections)",
+                stats.requests, stats.busy_rejections
+            );
+            ExitCode::SUCCESS
+        }
+        Err(_) => {
+            eprintln!("chaos-smoke: shutdown exceeded the 10 s watchdog");
+            ExitCode::FAILURE
+        }
+    }
+}
+
 /// Parses the value following a `--flag` argument.
 fn flag_value<'a>(args: &'a [String], flag: &str) -> Result<Option<&'a str>, String> {
     match args.iter().position(|a| a == flag) {
@@ -259,6 +394,7 @@ fn main() -> ExitCode {
         eprintln!("       repro bench-ann [--quick] [--out PATH]");
         eprintln!("       repro serve [--addr A] [--workers N] [--cache-mb MB]");
         eprintln!("       repro serve-smoke [--addr A] [--shutdown]");
+        eprintln!("       repro chaos-smoke [--quick]");
         eprintln!("       repro --list");
         return ExitCode::FAILURE;
     }
@@ -267,6 +403,9 @@ fn main() -> ExitCode {
     }
     if args.first().map(String::as_str) == Some("serve-smoke") {
         return run_serve_smoke(&args[1..]);
+    }
+    if args.first().map(String::as_str) == Some("chaos-smoke") {
+        return run_chaos_smoke(&args[1..]);
     }
     if args.iter().any(|a| a == "--list") {
         for id in experiments::ALL_IDS {

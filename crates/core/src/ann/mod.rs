@@ -48,7 +48,9 @@ use crate::kernel::schedule;
 
 mod score;
 
-pub use score::{global_chs_with_index, scores_with_index};
+pub use score::{
+    global_chs_with_index, scores_with_index, try_global_chs_with_index, try_scores_with_index,
+};
 
 /// Default seed for the forest's bit-sampling streams. Fixed so that a
 /// given `(support, params)` always yields the same forest — the

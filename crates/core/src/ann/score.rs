@@ -19,6 +19,7 @@
 
 use crate::config::FilterRule;
 use crate::kernel::schedule;
+use hammer_pool::{CancelToken, Cancelled};
 
 use super::AnnIndex;
 
@@ -113,6 +114,87 @@ pub fn scores_with_index(
     }
 }
 
+/// Cancellable [`scores_with_index`]: the token is checked before every
+/// tile (serial path) or tile claim (work-stealing path). Per-outcome
+/// accumulation order is fixed by the forest alone, so tiling — and
+/// therefore cancellation checks — never perturbs uncancelled results.
+///
+/// # Errors
+///
+/// Returns [`Cancelled`] when the token fires before the pass finishes.
+///
+/// # Panics
+///
+/// Panics if `probs` length differs from the indexed support, or
+/// `threads` is 0.
+pub fn try_scores_with_index(
+    index: &AnnIndex,
+    probs: &[f64],
+    weights: &[f64],
+    filter: FilterRule,
+    threads: usize,
+    tile_size: usize,
+    cancel: &CancelToken,
+) -> Result<Vec<f64>, Cancelled> {
+    assert_eq!(
+        probs.len(),
+        index.len(),
+        "probabilities must align with the indexed support"
+    );
+    cancel.check()?;
+    let table = padded(weights);
+    let keys = index.keys();
+    let keys_hi = index.keys_hi();
+    let n = probs.len();
+    let tile = tile_size.max(1);
+    let score_tile = |t: usize| {
+        let start = t * tile;
+        let end = (start + tile).min(n);
+        let mut cands: Vec<u32> = Vec::new();
+        let mut out = Vec::with_capacity(end - start);
+        for i in start..end {
+            index.candidates_of_into(i, &mut cands);
+            let (xlo, xhi, px) = (keys[i], keys_hi[i], probs[i]);
+            let mut acc = px;
+            match filter {
+                FilterRule::LowerProbabilityOnly => {
+                    for &id in &cands {
+                        let j = id as usize;
+                        let d = ((xlo ^ keys[j]).count_ones() + (xhi ^ keys_hi[j]).count_ones())
+                            as usize;
+                        let py = probs[j];
+                        acc += table[d] * if px > py { py } else { 0.0 };
+                    }
+                }
+                FilterRule::None => {
+                    for &id in &cands {
+                        let j = id as usize;
+                        if j == i {
+                            continue;
+                        }
+                        let d = ((xlo ^ keys[j]).count_ones() + (xhi ^ keys_hi[j]).count_ones())
+                            as usize;
+                        acc += table[d] * probs[j];
+                    }
+                }
+            }
+            out.push(acc);
+        }
+        out
+    };
+    if threads <= 1 {
+        let mut out = Vec::with_capacity(n);
+        for t in 0..n.div_ceil(tile) {
+            cancel.check()?;
+            out.extend(score_tile(t));
+        }
+        Ok(out)
+    } else {
+        schedule::run_tiles_cancellable(n.div_ceil(tile), threads, Some(cancel), score_tile)
+            .map(|tiles| tiles.concat())
+    }
+}
+
 /// Approximate [`crate::kernel::global_chs_parallel`]: the Hamming
 /// histogram accumulated over forest candidate pairs only, truncated or
 /// zero-padded to `max_d` bins. The diagonal (each outcome with itself)
@@ -174,6 +256,73 @@ pub fn global_chs_with_index(
     full.truncate(max_d);
     full.resize(max_d, 0.0);
     full
+}
+
+/// Cancellable [`global_chs_with_index`]: per-tile checks on both the
+/// serial and work-stealing paths (both merge per-tile bin partials in
+/// tile order, so the check sites cannot change summation order).
+///
+/// # Errors
+///
+/// Returns [`Cancelled`] when the token fires before the pass finishes.
+///
+/// # Panics
+///
+/// Panics if `probs` length differs from the indexed support, or
+/// `threads` is 0.
+pub fn try_global_chs_with_index(
+    index: &AnnIndex,
+    probs: &[f64],
+    max_d: usize,
+    threads: usize,
+    tile_size: usize,
+    cancel: &CancelToken,
+) -> Result<Vec<f64>, Cancelled> {
+    assert_eq!(
+        probs.len(),
+        index.len(),
+        "probabilities must align with the indexed support"
+    );
+    cancel.check()?;
+    let keys = index.keys();
+    let keys_hi = index.keys_hi();
+    let n = probs.len();
+    let tile = tile_size.max(1);
+    let chs_tile = |t: usize| {
+        let start = t * tile;
+        let end = (start + tile).min(n);
+        let mut cands: Vec<u32> = Vec::new();
+        let mut bins = vec![0.0f64; 129];
+        for i in start..end {
+            index.candidates_of_into(i, &mut cands);
+            let (xlo, xhi) = (keys[i], keys_hi[i]);
+            for &id in &cands {
+                let j = id as usize;
+                let d = ((xlo ^ keys[j]).count_ones() + (xhi ^ keys_hi[j]).count_ones()) as usize;
+                bins[d] += probs[j];
+            }
+        }
+        bins
+    };
+    let n_tiles = n.div_ceil(tile);
+    let mut full = vec![0.0f64; 129];
+    if threads <= 1 {
+        for t in 0..n_tiles {
+            cancel.check()?;
+            for (acc, v) in full.iter_mut().zip(chs_tile(t)) {
+                *acc += v;
+            }
+        }
+    } else {
+        for partial in schedule::run_tiles_cancellable(n_tiles, threads, Some(cancel), chs_tile)? {
+            for (acc, v) in full.iter_mut().zip(partial) {
+                *acc += v;
+            }
+        }
+    }
+    full.truncate(max_d);
+    full.resize(max_d, 0.0);
+    Ok(full)
 }
 
 #[cfg(test)]

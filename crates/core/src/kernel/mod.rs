@@ -47,6 +47,7 @@
 //! simulator can produce.
 
 use crate::config::{FilterRule, KernelTuning};
+use hammer_pool::{CancelToken, Cancelled};
 
 mod blocked;
 pub mod reference;
@@ -110,6 +111,56 @@ pub fn global_chs_parallel(
     out
 }
 
+/// Cancellable [`global_chs_parallel`]: the work-stealing path checks
+/// the token before every tile claim, so a fired token stops the pass
+/// within one tile of work per worker. The sub-threshold serial path
+/// (small supports that finish in microseconds) checks only on entry —
+/// splitting its single accumulator pass would change floating-point
+/// summation order and break the bit-identity contract. Uncancelled
+/// runs produce bit-identical output to [`global_chs_parallel`].
+///
+/// # Errors
+///
+/// Returns [`Cancelled`] when the token fires before the pass finishes.
+///
+/// # Panics
+///
+/// Panics if `keys` and `probs` differ in length.
+pub fn try_global_chs_parallel(
+    keys: &[u64],
+    probs: &[f64],
+    max_d: usize,
+    threads: usize,
+    tuning: &KernelTuning,
+    cancel: &CancelToken,
+) -> Result<Vec<f64>, Cancelled> {
+    assert_eq!(keys.len(), probs.len(), "SoA arrays must be index-aligned");
+    cancel.check()?;
+    let n = keys.len();
+    let tile = tuning.tile_size.max(1);
+    let full = if threads <= 1 || n < tuning.parallel_threshold {
+        blocked::chs_tile(keys, probs, 0..n, tile)
+    } else {
+        let n_tiles = n.div_ceil(tile);
+        let partials = schedule::run_tiles_cancellable(n_tiles, threads, Some(cancel), |t| {
+            let start = t * tile;
+            let end = (start + tile).min(n);
+            blocked::chs_tile(keys, probs, start..end, tile)
+        })?;
+        let mut sum = vec![0.0; PaddedWeights::SLOTS];
+        for partial in partials {
+            for (acc, v) in sum.iter_mut().zip(&partial) {
+                *acc += v;
+            }
+        }
+        sum
+    };
+    let mut out = full;
+    out.truncate(max_d);
+    out.resize(max_d, 0.0);
+    Ok(out)
+}
+
 /// Computes every outcome's neighborhood score (Algorithm 1 lines
 /// 16–21) over the SoA support: for each `x`,
 /// `score(x) = P(x) + Σ_y [hd(x,y) < max_d ∧ filter(x,y)] · W[d] · P(y)`
@@ -170,6 +221,61 @@ pub fn scores_parallel(
         blocked::scores_tile(keys, probs, start..end, &padded, filter, tile)
     });
     per_tile.concat()
+}
+
+/// Cancellable [`scores_parallel`]: token checked before every tile
+/// claim on the work-stealing path and between outer tiles on the
+/// serial path (per-outcome score sums are independent, so outer-range
+/// splitting composes bit-identically — pinned by the blocked kernel's
+/// composition test). Uncancelled runs are bit-identical to
+/// [`scores_parallel`].
+///
+/// # Errors
+///
+/// Returns [`Cancelled`] when the token fires before the pass finishes.
+///
+/// # Panics
+///
+/// Panics if `keys` and `probs` differ in length.
+pub fn try_scores_parallel(
+    keys: &[u64],
+    probs: &[f64],
+    weights: &[f64],
+    filter: FilterRule,
+    threads: usize,
+    tuning: &KernelTuning,
+    cancel: &CancelToken,
+) -> Result<Vec<f64>, Cancelled> {
+    assert_eq!(keys.len(), probs.len(), "SoA arrays must be index-aligned");
+    cancel.check()?;
+    let n = keys.len();
+    let padded = PaddedWeights::new(weights);
+    let tile = tuning.tile_size.max(1);
+    if threads <= 1 || n < tuning.parallel_threshold {
+        let mut out = Vec::with_capacity(n);
+        let mut start = 0usize;
+        while start < n {
+            cancel.check()?;
+            let end = (start + tile).min(n);
+            out.extend(blocked::scores_tile(
+                keys,
+                probs,
+                start..end,
+                &padded,
+                filter,
+                tile,
+            ));
+            start = end;
+        }
+        return Ok(out);
+    }
+    let n_tiles = n.div_ceil(tile);
+    let per_tile = schedule::run_tiles_cancellable(n_tiles, threads, Some(cancel), |t| {
+        let start = t * tile;
+        let end = (start + tile).min(n);
+        blocked::scores_tile(keys, probs, start..end, &padded, filter, tile)
+    })?;
+    Ok(per_tile.concat())
 }
 
 #[cfg(test)]

@@ -11,6 +11,8 @@
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 
+use hammer_pool::{CancelToken, Cancelled};
+
 /// Runs `work(tile_index)` for every tile in `0..n_tiles` across
 /// `threads` workers and returns the results in tile order.
 ///
@@ -30,36 +32,70 @@ where
     T: Send,
     F: Fn(usize) -> T + Sync,
 {
+    run_tiles_cancellable(n_tiles, threads, None, work)
+        .expect("no token, so the run cannot be cancelled")
+}
+
+/// [`run_tiles`] with a cancellation check before every tile claim.
+///
+/// A fired token makes every worker stop claiming; tiles already in
+/// flight finish (bounding cancellation latency to one tile of work per
+/// worker) and the whole call returns `Err(Cancelled)`. An *uncancelled*
+/// run takes exactly the same path as [`run_tiles`] — same claim order
+/// discipline, same per-worker collection, same tile-order stitching —
+/// so results stay bit-identical whether or not a token is supplied.
+pub(crate) fn run_tiles_cancellable<T, F>(
+    n_tiles: usize,
+    threads: usize,
+    cancel: Option<&CancelToken>,
+    work: F,
+) -> Result<Vec<T>, Cancelled>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
     assert!(threads >= 1, "need at least one worker");
     let cursor = AtomicUsize::new(0);
     let mut slots: Vec<Option<T>> = (0..n_tiles).map(|_| None).collect();
+    let mut cancelled = false;
     crossbeam::thread::scope(|scope| {
         let handles: Vec<_> = (0..threads)
             .map(|_| {
                 scope.spawn(|_| {
                     let mut claimed: Vec<(usize, T)> = Vec::new();
                     loop {
+                        if cancel.is_some_and(CancelToken::is_cancelled) {
+                            return Err(Cancelled);
+                        }
                         let t = cursor.fetch_add(1, Ordering::Relaxed);
                         if t >= n_tiles {
                             break;
                         }
                         claimed.push((t, work(t)));
                     }
-                    claimed
+                    Ok(claimed)
                 })
             })
             .collect();
         for handle in handles {
-            for (t, result) in handle.join().expect("kernel worker does not panic") {
-                slots[t] = Some(result);
+            match handle.join().expect("kernel worker does not panic") {
+                Ok(claimed) => {
+                    for (t, result) in claimed {
+                        slots[t] = Some(result);
+                    }
+                }
+                Err(Cancelled) => cancelled = true,
             }
         }
     })
     .expect("kernel worker does not panic");
-    slots
+    if cancelled {
+        return Err(Cancelled);
+    }
+    Ok(slots
         .into_iter()
         .map(|slot| slot.expect("every tile is claimed exactly once"))
-        .collect()
+        .collect())
 }
 
 #[cfg(test)]
@@ -79,6 +115,48 @@ mod tests {
     fn zero_tiles_is_empty() {
         let got: Vec<usize> = run_tiles(0, 4, |t| t);
         assert!(got.is_empty());
+    }
+
+    #[test]
+    fn cancellable_run_without_a_token_matches_run_tiles() {
+        for threads in [1, 3] {
+            let got = run_tiles_cancellable(17, threads, None, |t| t * 7).unwrap();
+            assert_eq!(got, run_tiles(17, threads, |t| t * 7));
+        }
+    }
+
+    #[test]
+    fn pre_cancelled_token_stops_before_any_tile_runs() {
+        let token = CancelToken::new();
+        token.cancel();
+        let ran = AtomicUsize::new(0);
+        let got = run_tiles_cancellable(100, 4, Some(&token), |t| {
+            ran.fetch_add(1, Ordering::Relaxed);
+            t
+        });
+        assert_eq!(got, Err(Cancelled));
+        assert_eq!(ran.load(Ordering::Relaxed), 0);
+    }
+
+    #[test]
+    fn mid_run_cancel_skips_remaining_tiles() {
+        let token = CancelToken::new();
+        let ran = AtomicUsize::new(0);
+        let got = {
+            let token = &token;
+            let ran = &ran;
+            run_tiles_cancellable(1000, 2, Some(token), move |t| {
+                // Trip the token early; later claims must be refused.
+                if t == 3 {
+                    token.cancel();
+                }
+                ran.fetch_add(1, Ordering::Relaxed);
+                t
+            })
+        };
+        assert_eq!(got, Err(Cancelled));
+        let executed = ran.load(Ordering::Relaxed);
+        assert!(executed < 1000, "ran all {executed} tiles despite cancel");
     }
 
     #[test]

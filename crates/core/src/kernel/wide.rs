@@ -19,6 +19,7 @@
 use std::ops::Range;
 
 use crate::config::{FilterRule, KernelTuning};
+use hammer_pool::{CancelToken, Cancelled};
 
 use super::schedule;
 
@@ -148,6 +149,61 @@ pub fn scores_parallel(
     per_tile.concat()
 }
 
+/// Cancellable [`scores_parallel`] — the two-limb twin of
+/// [`super::try_scores_parallel`], same per-tile check discipline and
+/// the same uncancelled bit-identity guarantee.
+///
+/// # Errors
+///
+/// Returns [`Cancelled`] when the token fires before the pass finishes.
+///
+/// # Panics
+///
+/// Panics if the SoA arrays differ in length.
+#[allow(clippy::too_many_arguments)]
+pub fn try_scores_parallel(
+    keys_lo: &[u64],
+    keys_hi: &[u64],
+    probs: &[f64],
+    weights: &[f64],
+    filter: FilterRule,
+    threads: usize,
+    tuning: &KernelTuning,
+    cancel: &CancelToken,
+) -> Result<Vec<f64>, Cancelled> {
+    check_aligned(keys_lo, keys_hi, probs);
+    cancel.check()?;
+    let n = keys_lo.len();
+    let padded = PaddedWeightsWide::new(weights);
+    let tile = tuning.tile_size.max(1);
+    if threads <= 1 || n < tuning.parallel_threshold {
+        let mut out = Vec::with_capacity(n);
+        let mut start = 0usize;
+        while start < n {
+            cancel.check()?;
+            let end = (start + tile).min(n);
+            out.extend(scores_tile(
+                keys_lo,
+                keys_hi,
+                probs,
+                start..end,
+                &padded,
+                filter,
+                tile,
+            ));
+            start = end;
+        }
+        return Ok(out);
+    }
+    let n_tiles = n.div_ceil(tile);
+    let per_tile = schedule::run_tiles_cancellable(n_tiles, threads, Some(cancel), |t| {
+        let start = t * tile;
+        let end = (start + tile).min(n);
+        scores_tile(keys_lo, keys_hi, probs, start..end, &padded, filter, tile)
+    })?;
+    Ok(per_tile.concat())
+}
+
 /// Wide [`super::global_chs_parallel`]: the 129-bin Hamming histogram
 /// over two-limb keys, truncated/padded to `max_d` bins.
 ///
@@ -187,6 +243,55 @@ pub fn global_chs_parallel(
     out.truncate(max_d);
     out.resize(max_d, 0.0);
     out
+}
+
+/// Cancellable [`global_chs_parallel`] — the two-limb twin of
+/// [`super::try_global_chs_parallel`]: per-tile-claim checks on the
+/// work-stealing path, entry-only on the sub-threshold serial path
+/// (whose single accumulator pass must not be split — floating-point
+/// summation order is part of the bit-identity contract).
+///
+/// # Errors
+///
+/// Returns [`Cancelled`] when the token fires before the pass finishes.
+///
+/// # Panics
+///
+/// Panics if the SoA arrays differ in length.
+pub fn try_global_chs_parallel(
+    keys_lo: &[u64],
+    keys_hi: &[u64],
+    probs: &[f64],
+    max_d: usize,
+    threads: usize,
+    tuning: &KernelTuning,
+    cancel: &CancelToken,
+) -> Result<Vec<f64>, Cancelled> {
+    check_aligned(keys_lo, keys_hi, probs);
+    cancel.check()?;
+    let n = keys_lo.len();
+    let tile = tuning.tile_size.max(1);
+    let full = if threads <= 1 || n < tuning.parallel_threshold {
+        chs_tile(keys_lo, keys_hi, probs, 0..n, tile)
+    } else {
+        let n_tiles = n.div_ceil(tile);
+        let partials = schedule::run_tiles_cancellable(n_tiles, threads, Some(cancel), |t| {
+            let start = t * tile;
+            let end = (start + tile).min(n);
+            chs_tile(keys_lo, keys_hi, probs, start..end, tile)
+        })?;
+        let mut sum = vec![0.0; WIDE_SLOTS];
+        for partial in partials {
+            for (acc, v) in sum.iter_mut().zip(&partial) {
+                *acc += v;
+            }
+        }
+        sum
+    };
+    let mut out = full;
+    out.truncate(max_d);
+    out.resize(max_d, 0.0);
+    Ok(out)
 }
 
 fn check_aligned(keys_lo: &[u64], keys_hi: &[u64], probs: &[f64]) {

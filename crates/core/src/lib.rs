@@ -63,7 +63,11 @@ pub use ann::{AnnIndex, AnnParams};
 pub use config::{
     AnnTuning, FilterRule, HammerConfig, KernelTuning, NeighborhoodLimit, WeightScheme,
 };
+pub use hammer_pool::{CancelToken, Cancelled};
 pub use kernel::reference::score_one;
-pub use kernel::{global_chs, global_chs_parallel, scores, scores_parallel, PaddedWeights};
+pub use kernel::{
+    global_chs, global_chs_parallel, scores, scores_parallel, try_global_chs_parallel,
+    try_scores_parallel, PaddedWeights,
+};
 pub use reconstruct::{operation_count, Hammer};
 pub use trace::{HammerTrace, ScoreBreakdown};

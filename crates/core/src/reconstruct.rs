@@ -3,7 +3,7 @@
 use std::sync::Arc;
 
 use hammer_dist::{spectrum, BitString, Distribution};
-use hammer_pool::WorkerPool;
+use hammer_pool::{CancelToken, Cancelled, WorkerPool};
 
 use crate::ann::{self, AnnIndex, AnnParams};
 use crate::config::{FilterRule, HammerConfig, WeightScheme};
@@ -396,6 +396,146 @@ impl Hammer {
     #[must_use]
     pub fn reconstruct_counts(&self, counts: &hammer_dist::Counts) -> Distribution {
         self.reconstruct(&counts.to_distribution())
+    }
+
+    /// Cancellable [`reconstruct`](Hammer::reconstruct): the token is
+    /// checked at tile granularity inside both `O(N²)` passes (CHS and
+    /// scoring), so a fired token — explicit cancel or deadline expiry —
+    /// stops the kernel within one tile of work per worker instead of
+    /// burning the rest of the sweep. The serving tier threads each
+    /// request's deadline through here.
+    ///
+    /// The token is a per-call value, not reconstructor state: the
+    /// infallible entry points are untouched, and an uncancelled
+    /// `try_reconstruct` is bit-identical to `reconstruct` (pinned by
+    /// the cancellation test suite).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Cancelled`] when the token fires before reconstruction
+    /// completes.
+    pub fn try_reconstruct(
+        &self,
+        dist: &Distribution,
+        cancel: &CancelToken,
+    ) -> Result<Distribution, Cancelled> {
+        cancel.check()?;
+        if dist.len() < 2 {
+            return Ok(dist.clone());
+        }
+        let max_d = self.config.neighborhood.max_distance(dist.n_bits());
+        if let Some(params) = self.ann_params(dist) {
+            let index = self.build_index(dist, &params);
+            cancel.check()?;
+            let tile = self.config.kernel.tile_size;
+            let chs = match self.config.weights {
+                WeightScheme::InverseAverageChs | WeightScheme::InverseGlobalChs => {
+                    ann::try_global_chs_with_index(
+                        &index,
+                        dist.probs(),
+                        max_d,
+                        self.threads,
+                        tile,
+                        cancel,
+                    )?
+                }
+                WeightScheme::Uniform | WeightScheme::InverseBinomial => Vec::new(),
+            };
+            let weights = self.weights_from_chs(dist, max_d, &chs);
+            let scores = ann::try_scores_with_index(
+                &index,
+                dist.probs(),
+                &weights,
+                self.config.filter,
+                self.threads,
+                tile,
+                cancel,
+            )?;
+            return Ok(self.apply_scores(dist, &scores));
+        }
+        let chs = match self.config.weights {
+            WeightScheme::InverseAverageChs | WeightScheme::InverseGlobalChs => {
+                self.try_global_chs_dispatch(dist, max_d, cancel)?
+            }
+            WeightScheme::Uniform | WeightScheme::InverseBinomial => Vec::new(),
+        };
+        let weights = self.weights_from_chs(dist, max_d, &chs);
+        let scores = if self.threads == 1 {
+            // The scalar oracle has no tile structure to hook; honor the
+            // token at entry (serving always runs threads ≥ 2).
+            cancel.check()?;
+            kernel::reference::scores(dist.as_slice(), &weights, self.config.filter)
+        } else if dist.n_bits() > 64 {
+            kernel::wide::try_scores_parallel(
+                dist.keys(),
+                dist.keys_hi(),
+                dist.probs(),
+                &weights,
+                self.config.filter,
+                self.threads,
+                &self.config.kernel,
+                cancel,
+            )?
+        } else {
+            kernel::try_scores_parallel(
+                dist.keys(),
+                dist.probs(),
+                &weights,
+                self.config.filter,
+                self.threads,
+                &self.config.kernel,
+                cancel,
+            )?
+        };
+        Ok(self.apply_scores(dist, &scores))
+    }
+
+    /// Cancellable CHS dispatch: the non-ANN twin of
+    /// [`global_chs_dispatch`](Hammer::global_chs_dispatch).
+    fn try_global_chs_dispatch(
+        &self,
+        dist: &Distribution,
+        max_d: usize,
+        cancel: &CancelToken,
+    ) -> Result<Vec<f64>, Cancelled> {
+        if self.threads == 1 {
+            cancel.check()?;
+            Ok(kernel::reference::global_chs(dist.as_slice(), max_d))
+        } else if dist.n_bits() > 64 {
+            kernel::wide::try_global_chs_parallel(
+                dist.keys(),
+                dist.keys_hi(),
+                dist.probs(),
+                max_d,
+                self.threads,
+                &self.config.kernel,
+                cancel,
+            )
+        } else {
+            kernel::try_global_chs_parallel(
+                dist.keys(),
+                dist.probs(),
+                max_d,
+                self.threads,
+                &self.config.kernel,
+                cancel,
+            )
+        }
+    }
+
+    /// Cancellable [`reconstruct_counts`](Hammer::reconstruct_counts).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Cancelled`] when the token fires before reconstruction
+    /// completes.
+    pub fn try_reconstruct_counts(
+        &self,
+        counts: &hammer_dist::Counts,
+        cancel: &CancelToken,
+    ) -> Result<Distribution, Cancelled> {
+        cancel.check()?;
+        self.try_reconstruct(&counts.to_distribution(), cancel)
     }
 
     /// Runs reconstruction while capturing every intermediate quantity

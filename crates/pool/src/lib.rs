@@ -38,6 +38,10 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{mpsc, Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 
+pub mod cancel;
+
+pub use cancel::{CancelToken, Cancelled};
+
 /// A queued unit of work.
 type Job = Box<dyn FnOnce() + Send + 'static>;
 
@@ -155,6 +159,31 @@ impl WorkerPool {
         self.shared.panics.load(Ordering::Relaxed)
     }
 
+    /// Number of jobs currently waiting in the queue (not counting jobs
+    /// already running on workers). The serving layer's saturation
+    /// signal for graceful degradation.
+    #[must_use]
+    pub fn queued_jobs(&self) -> usize {
+        self.shared
+            .state
+            .lock()
+            .expect("pool mutex unpoisoned")
+            .jobs
+            .len()
+    }
+
+    /// Flips the shutdown latch without joining the workers: queued
+    /// jobs still drain, but every later
+    /// [`try_submit`](WorkerPool::try_submit) is refused. Lets a server
+    /// reject late arrivals with `Busy` during its drain window instead
+    /// of queueing work that will never be answered.
+    pub fn begin_shutdown(&self) {
+        let mut state = self.shared.state.lock().expect("pool mutex unpoisoned");
+        state.shutdown = true;
+        drop(state);
+        self.shared.wake.notify_all();
+    }
+
     /// Enqueues a fire-and-forget job, ignoring the queue limit.
     pub fn submit<F: FnOnce() + Send + 'static>(&self, job: F) {
         let mut state = self.shared.state.lock().expect("pool mutex unpoisoned");
@@ -163,16 +192,20 @@ impl WorkerPool {
         self.shared.wake.notify_one();
     }
 
-    /// Enqueues a job unless `queue_limit` jobs are already waiting, in
-    /// which case the job is handed back — the caller decides what
-    /// "busy" means (the serving layer replies 503-style `Busy`).
+    /// Enqueues a job unless `queue_limit` jobs are already waiting —
+    /// or shutdown has begun — in which case the job is handed back;
+    /// the caller decides what "busy" means (the serving layer replies
+    /// 503-style `Busy`). The shutdown check closes a hang: a job
+    /// accepted after the workers decided to exit would sit in the
+    /// queue forever.
     ///
     /// # Errors
     ///
-    /// Returns `Err(job)` when the queue is full.
+    /// Returns `Err(job)` when the queue is full or the pool is
+    /// shutting down.
     pub fn try_submit<F: FnOnce() + Send + 'static>(&self, job: F) -> Result<(), F> {
         let mut state = self.shared.state.lock().expect("pool mutex unpoisoned");
-        if state.jobs.len() >= self.queue_limit {
+        if state.shutdown || state.jobs.len() >= self.queue_limit {
             return Err(job);
         }
         state.jobs.push_back(Box::new(job));
@@ -225,6 +258,68 @@ impl WorkerPool {
             .into_iter()
             .map(|s| s.expect("every index reported exactly once"))
             .collect()
+    }
+
+    /// [`fan_out`](WorkerPool::fan_out) that survives panicking jobs:
+    /// every slot comes back in submission order, panicked slots as
+    /// `Err(JobPanicked)` instead of re-raising. The chaos harness uses
+    /// this to assert a mid-batch panic cannot reorder or lose the
+    /// surviving results.
+    pub fn try_fan_out<T, F, I>(&self, jobs: I) -> Vec<Result<T, JobPanicked>>
+    where
+        T: Send + 'static,
+        F: FnOnce() -> T + Send + 'static,
+        I: IntoIterator<Item = F>,
+    {
+        let (tx, rx) = mpsc::channel::<(usize, std::thread::Result<T>)>();
+        let mut submitted = 0usize;
+        for (idx, job) in jobs.into_iter().enumerate() {
+            let tx = tx.clone();
+            self.submit(move || {
+                let result = catch_unwind(AssertUnwindSafe(job));
+                let _ = tx.send((idx, result));
+            });
+            submitted += 1;
+        }
+        drop(tx);
+        let mut slots: Vec<Option<Result<T, JobPanicked>>> = (0..submitted).map(|_| None).collect();
+        for _ in 0..submitted {
+            let (idx, result) = rx.recv().expect("pool workers outlive the batch");
+            slots[idx] = Some(result.map_err(|payload| JobPanicked {
+                message: panic_message(payload.as_ref()),
+            }));
+        }
+        slots
+            .into_iter()
+            .map(|s| s.expect("every index reported exactly once"))
+            .collect()
+    }
+}
+
+/// A [`WorkerPool::try_fan_out`] slot whose job panicked.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JobPanicked {
+    /// The panic payload when it was a string, else a placeholder.
+    pub message: String,
+}
+
+impl std::fmt::Display for JobPanicked {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "job panicked: {}", self.message)
+    }
+}
+
+impl std::error::Error for JobPanicked {}
+
+/// Renders a panic payload for error reporting.
+#[must_use]
+pub fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
     }
 }
 
@@ -366,5 +461,103 @@ mod tests {
     fn fan_out_propagates_job_panics() {
         let pool = WorkerPool::new(2);
         let _ = pool.fan_out([|| panic!("fan_out job panic")]);
+    }
+
+    #[test]
+    fn try_fan_out_preserves_order_of_survivors_around_a_panic() {
+        let pool = WorkerPool::new(3);
+        let results = pool.try_fan_out((0..10u64).map(|i| {
+            move || {
+                // Stagger completion so survivors finish out of order.
+                std::thread::sleep(std::time::Duration::from_micros(100 - 9 * i));
+                assert!(i != 4, "chaos panic at index 4");
+                i * 3
+            }
+        }));
+        assert_eq!(results.len(), 10);
+        for (i, slot) in results.iter().enumerate() {
+            if i == 4 {
+                let err = slot.as_ref().expect_err("index 4 panicked");
+                assert!(err.message.contains("chaos panic"), "{err}");
+            } else {
+                assert_eq!(*slot.as_ref().expect("survivor"), i as u64 * 3);
+            }
+        }
+    }
+
+    #[test]
+    fn try_submit_during_shutdown_is_refused_not_hung() {
+        let pool = WorkerPool::new(1);
+        pool.begin_shutdown();
+        let ran = Arc::new(AtomicUsize::new(0));
+        let job = {
+            let ran = Arc::clone(&ran);
+            move || {
+                ran.fetch_add(1, Ordering::Relaxed);
+            }
+        };
+        // Refused immediately — before this check a post-shutdown job
+        // would sit in the queue forever with the workers gone.
+        assert!(pool.try_submit(job).is_err());
+        drop(pool);
+        assert_eq!(ran.load(Ordering::Relaxed), 0);
+    }
+
+    #[test]
+    fn drop_drain_is_bounded_with_a_slow_job_in_flight() {
+        let counter = Arc::new(AtomicUsize::new(0));
+        let start = std::time::Instant::now();
+        {
+            let pool = WorkerPool::new(1);
+            let counter_slow = Arc::clone(&counter);
+            pool.submit(move || {
+                std::thread::sleep(std::time::Duration::from_millis(150));
+                counter_slow.fetch_add(1, Ordering::Relaxed);
+            });
+            for _ in 0..8 {
+                let counter = Arc::clone(&counter);
+                pool.submit(move || {
+                    counter.fetch_add(1, Ordering::Relaxed);
+                });
+            }
+        }
+        // Drop drained everything — including behind the slow job — and
+        // came back within the slow job's duration plus slack, not a
+        // deadlock-shaped forever.
+        assert_eq!(counter.load(Ordering::Relaxed), 9);
+        assert!(
+            start.elapsed() < std::time::Duration::from_secs(10),
+            "drain took {:?}",
+            start.elapsed()
+        );
+    }
+
+    #[test]
+    fn queued_jobs_reports_waiting_depth() {
+        let pool = WorkerPool::with_queue_limit(1, 8);
+        assert_eq!(pool.queued_jobs(), 0);
+        let gate = Arc::new((Mutex::new(false), Condvar::new()));
+        {
+            let gate = Arc::clone(&gate);
+            pool.submit(move || {
+                let (lock, cv) = &*gate;
+                let mut open = lock.lock().unwrap();
+                while !*open {
+                    open = cv.wait(open).unwrap();
+                }
+            });
+        }
+        loop {
+            if pool.queued_jobs() == 0 {
+                break;
+            }
+            std::thread::yield_now();
+        }
+        assert!(pool.try_submit(|| {}).is_ok());
+        assert!(pool.try_submit(|| {}).is_ok());
+        assert_eq!(pool.queued_jobs(), 2);
+        let (lock, cv) = &*gate;
+        *lock.lock().unwrap() = true;
+        cv.notify_all();
     }
 }

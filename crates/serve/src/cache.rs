@@ -185,10 +185,37 @@ fn fold(key: u64) -> usize {
     x as usize
 }
 
+/// Why a leader failed to produce a distribution.
+///
+/// The distinction matters to followers: a [`Failed`](Self::Failed)
+/// request is deterministically bad (same inputs would fail again), but
+/// [`Cancelled`](Self::Cancelled) and [`Panicked`](Self::Panicked) are
+/// leader-specific misfortunes — the *leader's* deadline fired, or the
+/// *leader's* worker died — so a follower with time left re-claims the
+/// key and computes for itself instead of inheriting the failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ComputeError {
+    /// The request itself is bad; retrying cannot help.
+    Failed(String),
+    /// The leader's cancel token (deadline) fired mid-compute.
+    Cancelled,
+    /// The leader panicked (or died before publishing).
+    Panicked(String),
+}
+
+impl ComputeError {
+    /// Whether a follower should re-claim and compute for itself
+    /// rather than inherit this failure.
+    #[must_use]
+    pub fn is_leader_specific(&self) -> bool {
+        matches!(self, Self::Cancelled | Self::Panicked(_))
+    }
+}
+
 /// The value published through an in-flight slot: the computed
-/// distribution, or the leader's error message (relayed to every
-/// coalesced follower).
-pub type ComputeResult = Result<Arc<Distribution>, String>;
+/// distribution, or the leader's failure (relayed to every coalesced
+/// follower).
+pub type ComputeResult = Result<Arc<Distribution>, ComputeError>;
 
 /// One in-flight computation: followers block on the condvar until the
 /// leader publishes.
@@ -257,6 +284,55 @@ impl InFlight {
         *slot.done.lock().expect("slot unpoisoned") = Some(result);
         slot.ready.notify_all();
     }
+
+    /// Arms a publish-on-drop guard for a freshly claimed leadership.
+    ///
+    /// The central liveness invariant of coalescing is "a leader always
+    /// publishes": any exit path that skips [`publish`](Self::publish)
+    /// — a panic between claim and publish, an early return — leaves
+    /// every follower parked on the condvar forever. The guard makes
+    /// that impossible: if it drops without an explicit
+    /// [`PublishGuard::publish`], it publishes
+    /// [`ComputeError::Panicked`] on the leader's behalf, so followers
+    /// always wake (and then typically re-lead).
+    #[must_use]
+    pub fn publish_guard(&self, key: u64) -> PublishGuard<'_> {
+        PublishGuard {
+            inflight: self,
+            key,
+            published: false,
+        }
+    }
+}
+
+/// The leader's publish-exactly-once obligation as an RAII object; see
+/// [`InFlight::publish_guard`].
+pub struct PublishGuard<'a> {
+    inflight: &'a InFlight,
+    key: u64,
+    published: bool,
+}
+
+impl PublishGuard<'_> {
+    /// Publishes the leader's result (consuming the guard, so the drop
+    /// fallback cannot double-publish).
+    pub fn publish(mut self, result: ComputeResult) {
+        self.published = true;
+        self.inflight.publish(self.key, result);
+    }
+}
+
+impl Drop for PublishGuard<'_> {
+    fn drop(&mut self) {
+        if !self.published {
+            self.inflight.publish(
+                self.key,
+                Err(ComputeError::Panicked(
+                    "leader died before publishing".into(),
+                )),
+            );
+        }
+    }
 }
 
 impl Claim {
@@ -278,6 +354,41 @@ impl Claim {
                 .ready
                 .wait(done)
                 .expect("slot unpoisoned while waiting");
+        }
+    }
+
+    /// Follower side with a deadline: blocks until the leader publishes
+    /// or `deadline` passes, whichever is first. `None` means the
+    /// follower's own time budget ran out (the leader keeps computing —
+    /// its result still lands in the cache for everyone else).
+    ///
+    /// With no deadline this is exactly [`wait`](Claim::wait).
+    ///
+    /// # Panics
+    ///
+    /// Panics if called on a [`Claim::Leader`].
+    #[must_use]
+    pub fn wait_until(self, deadline: Option<std::time::Instant>) -> Option<ComputeResult> {
+        let Some(deadline) = deadline else {
+            return Some(self.wait());
+        };
+        let Claim::Follower(slot) = self else {
+            panic!("wait_until() is the follower path; leaders compute and publish");
+        };
+        let mut done = slot.done.lock().expect("slot unpoisoned");
+        loop {
+            if let Some(result) = done.clone() {
+                return Some(result);
+            }
+            let budget = deadline.checked_duration_since(std::time::Instant::now())?;
+            let (guard, timeout) = slot
+                .ready
+                .wait_timeout(done, budget)
+                .expect("slot unpoisoned while waiting");
+            done = guard;
+            if timeout.timed_out() && done.is_none() {
+                return None;
+            }
         }
     }
 }
@@ -412,7 +523,7 @@ mod tests {
         assert_eq!(inflight.coalesced(), 4);
         // The slot retired: the next claim leads again.
         assert!(matches!(inflight.claim(11), Claim::Leader));
-        inflight.publish(11, Err("cleanup".into()));
+        inflight.publish(11, Err(ComputeError::Failed("cleanup".into())));
     }
 
     #[test]
@@ -429,7 +540,51 @@ mod tests {
         while inflight.coalesced() < 1 {
             std::thread::yield_now();
         }
-        inflight.publish(3, Err("boom".into()));
-        assert_eq!(follower.join().unwrap(), Err("boom".into()));
+        inflight.publish(3, Err(ComputeError::Failed("boom".into())));
+        assert_eq!(
+            follower.join().unwrap(),
+            Err(ComputeError::Failed("boom".into()))
+        );
+    }
+
+    #[test]
+    fn a_dropped_publish_guard_wakes_followers_with_panicked() {
+        let inflight = Arc::new(InFlight::new());
+        assert!(matches!(inflight.claim(17), Claim::Leader));
+        let follower = {
+            let inflight = Arc::clone(&inflight);
+            std::thread::spawn(move || match inflight.claim(17) {
+                Claim::Leader => panic!("key already claimed"),
+                follower @ Claim::Follower(_) => follower.wait(),
+            })
+        };
+        while inflight.coalesced() < 1 {
+            std::thread::yield_now();
+        }
+        // The leader "dies": its guard drops without publishing.
+        drop(inflight.publish_guard(17));
+        let got = follower.join().unwrap();
+        assert!(
+            matches!(got, Err(ComputeError::Panicked(_))),
+            "follower saw {got:?}"
+        );
+        // The slot retired, so the follower could now re-lead.
+        assert!(matches!(inflight.claim(17), Claim::Leader));
+        inflight.publish(17, Err(ComputeError::Failed("cleanup".into())));
+    }
+
+    #[test]
+    fn wait_until_times_out_while_the_leader_is_still_computing() {
+        use std::time::{Duration, Instant};
+        let inflight = Arc::new(InFlight::new());
+        assert!(matches!(inflight.claim(23), Claim::Leader));
+        let follower @ Claim::Follower(_) = inflight.claim(23) else {
+            panic!("second claim follows");
+        };
+        let start = Instant::now();
+        let got = follower.wait_until(Some(Instant::now() + Duration::from_millis(30)));
+        assert!(got.is_none(), "timed-out wait yields None");
+        assert!(start.elapsed() >= Duration::from_millis(25));
+        inflight.publish(23, Err(ComputeError::Failed("cleanup".into())));
     }
 }

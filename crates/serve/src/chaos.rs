@@ -1,0 +1,244 @@
+//! A fault-injecting TCP proxy for chaos-testing the serving tier.
+//!
+//! [`ChaosProxy`] sits between a client and a real server and mangles
+//! the byte stream according to a per-connection [`Fault`] schedule:
+//! added latency, dropped or truncated streams, flipped bytes,
+//! half-closed sockets. The chaos suite drives clients through it and
+//! asserts the *server-side* invariants — no deadlock, no panic escape,
+//! no stuck follower, byte-identical replies for whatever completes —
+//! while the proxy plays the hostile network.
+//!
+//! The proxy is deliberately dumb: it neither parses frames nor knows
+//! the protocol, so every fault it injects is one the real world can
+//! produce (a NAT timeout, a dying switch, a buggy middlebox).
+
+use std::io::{Read, Write};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// What the proxy does to one proxied connection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Fault {
+    /// Pass bytes through untouched.
+    None,
+    /// Delay every request-direction chunk by this many milliseconds
+    /// (a slow, but honest, network).
+    DelayMs(u64),
+    /// Forward only the first `n` request bytes, then go silent while
+    /// holding the connection open (slow-loris from the server's view).
+    DropRequestAfter(usize),
+    /// Forward only the first `n` reply bytes, then sever both sides
+    /// (the client sees a truncated reply).
+    TruncateReplyAfter(usize),
+    /// Flip the byte at request offset `n` (header or payload
+    /// corruption, depending on `n`).
+    CorruptRequestByte(usize),
+    /// Forward the first `n` request bytes, then half-close the
+    /// client→server direction (FIN with the reply path still open).
+    HalfCloseRequestAfter(usize),
+}
+
+/// A running chaos proxy; dropping it severs every proxied connection.
+pub struct ChaosProxy {
+    local_addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    accepted: Arc<AtomicUsize>,
+    acceptor: Option<JoinHandle<()>>,
+}
+
+impl ChaosProxy {
+    /// Starts a proxy on an ephemeral local port, forwarding to
+    /// `upstream`. Connection `i` (0-based, in accept order) gets
+    /// `schedule[i % schedule.len()]`; an empty schedule means
+    /// [`Fault::None`] for everyone.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the bind failure.
+    pub fn spawn(upstream: SocketAddr, schedule: Vec<Fault>) -> std::io::Result<Self> {
+        let listener = TcpListener::bind("127.0.0.1:0")?;
+        let local_addr = listener.local_addr()?;
+        // Polling accept so `stop` is honored promptly.
+        listener.set_nonblocking(true)?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let accepted = Arc::new(AtomicUsize::new(0));
+        let acceptor = {
+            let stop = Arc::clone(&stop);
+            let accepted = Arc::clone(&accepted);
+            std::thread::Builder::new()
+                .name("chaos-proxy-accept".into())
+                .spawn(move || {
+                    while !stop.load(Ordering::SeqCst) {
+                        match listener.accept() {
+                            Ok((client, _)) => {
+                                let n = accepted.fetch_add(1, Ordering::SeqCst);
+                                let fault = if schedule.is_empty() {
+                                    Fault::None
+                                } else {
+                                    schedule[n % schedule.len()]
+                                };
+                                let stop = Arc::clone(&stop);
+                                let _ = std::thread::Builder::new()
+                                    .name("chaos-proxy-conn".into())
+                                    .spawn(move || proxy_connection(client, upstream, fault, stop));
+                            }
+                            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                                std::thread::sleep(Duration::from_millis(2));
+                            }
+                            Err(_) => break,
+                        }
+                    }
+                })
+                .expect("proxy acceptor spawns")
+        };
+        Ok(Self {
+            local_addr,
+            stop,
+            accepted,
+            acceptor: Some(acceptor),
+        })
+    }
+
+    /// The address clients should connect to.
+    #[must_use]
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// How many connections the proxy has accepted so far.
+    #[must_use]
+    pub fn accepted(&self) -> usize {
+        self.accepted.load(Ordering::SeqCst)
+    }
+}
+
+impl Drop for ChaosProxy {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        if let Some(acceptor) = self.acceptor.take() {
+            let _ = acceptor.join();
+        }
+    }
+}
+
+/// Pumps one proxied connection, applying `fault` to the two
+/// directions. Request direction = client→upstream.
+fn proxy_connection(client: TcpStream, upstream: SocketAddr, fault: Fault, stop: Arc<AtomicBool>) {
+    let Ok(server) = TcpStream::connect(upstream) else {
+        return;
+    };
+    client.set_nodelay(true).ok();
+    server.set_nodelay(true).ok();
+    // Short read timeouts keep both pumps responsive to `stop`.
+    let tick = Some(Duration::from_millis(20));
+    client.set_read_timeout(tick).ok();
+    server.set_read_timeout(tick).ok();
+
+    let (Ok(client_r), Ok(server_r)) = (client.try_clone(), server.try_clone()) else {
+        return;
+    };
+    let request_fault = match fault {
+        Fault::TruncateReplyAfter(_) => Fault::None,
+        f => f,
+    };
+    let reply_fault = match fault {
+        Fault::TruncateReplyAfter(n) => Fault::TruncateReplyAfter(n),
+        Fault::DelayMs(_) => fault, // symmetric latency
+        _ => Fault::None,
+    };
+    let up = {
+        let stop = Arc::clone(&stop);
+        std::thread::Builder::new()
+            .name("chaos-pump-up".into())
+            .spawn(move || pump(client_r, server, request_fault, true, &stop))
+    };
+    // Reply direction runs on this thread.
+    pump(server_r, client, reply_fault, false, &stop);
+    if let Ok(handle) = up {
+        let _ = handle.join();
+    }
+}
+
+/// Copies bytes `src → dst`, applying one fault, until EOF/stop/error.
+fn pump(mut src: TcpStream, mut dst: TcpStream, fault: Fault, is_request: bool, stop: &AtomicBool) {
+    let mut buf = [0u8; 4096];
+    let mut forwarded = 0usize;
+    loop {
+        if stop.load(Ordering::SeqCst) {
+            return;
+        }
+        let n = match src.read(&mut buf) {
+            Ok(0) => {
+                // Propagate the EOF as a half-close, keeping the other
+                // direction alive (real TCP semantics).
+                let _ = dst.shutdown(Shutdown::Write);
+                return;
+            }
+            Ok(n) => n,
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                ) =>
+            {
+                continue;
+            }
+            Err(_) => return,
+        };
+        let chunk = &mut buf[..n];
+        match fault {
+            Fault::None => {}
+            Fault::DelayMs(ms) => std::thread::sleep(Duration::from_millis(ms)),
+            Fault::DropRequestAfter(limit) | Fault::TruncateReplyAfter(limit) => {
+                if forwarded >= limit {
+                    if matches!(fault, Fault::TruncateReplyAfter(_)) {
+                        // Sever: the client must see a hard truncation,
+                        // not a stall.
+                        let _ = dst.shutdown(Shutdown::Both);
+                        let _ = src.shutdown(Shutdown::Both);
+                        return;
+                    }
+                    // Drop: swallow bytes silently, keep the socket up.
+                    forwarded += n;
+                    continue;
+                }
+                let allowed = (limit - forwarded).min(n);
+                if write_all(&mut dst, &chunk[..allowed]).is_err() {
+                    return;
+                }
+                forwarded += n;
+                if matches!(fault, Fault::TruncateReplyAfter(_)) && forwarded >= limit {
+                    let _ = dst.shutdown(Shutdown::Both);
+                    let _ = src.shutdown(Shutdown::Both);
+                    return;
+                }
+                continue;
+            }
+            Fault::CorruptRequestByte(offset) => {
+                if is_request && (forwarded..forwarded + n).contains(&offset) {
+                    chunk[offset - forwarded] ^= 0xFF;
+                }
+            }
+            Fault::HalfCloseRequestAfter(limit) => {
+                if is_request && forwarded + n >= limit {
+                    let allowed = limit.saturating_sub(forwarded).min(n);
+                    let _ = write_all(&mut dst, &chunk[..allowed]);
+                    let _ = dst.shutdown(Shutdown::Write);
+                    return;
+                }
+            }
+        }
+        if write_all(&mut dst, chunk).is_err() {
+            return;
+        }
+        forwarded += n;
+    }
+}
+
+fn write_all(dst: &mut TcpStream, bytes: &[u8]) -> std::io::Result<()> {
+    dst.write_all(bytes)?;
+    dst.flush()
+}

@@ -15,13 +15,23 @@
 //! loop. [`ServeClient::with_busy_retries`] tunes or disables it.
 
 use std::net::TcpStream;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use hammer_core::HammerConfig;
 use hammer_dist::{BitString, Counts, Distribution};
 
 use crate::codec::{MetricsReply, Reply, Request, SampleJob, ServeStats};
-use crate::protocol::{read_frame, write_frame, WireError};
+use crate::protocol::{read_frame, write_frame_with_deadline, WireError};
+
+/// The floor for a deadline-derived socket timeout: a budget of a few
+/// milliseconds still deserves one real read attempt.
+const MIN_SOCKET_WAIT: Duration = Duration::from_millis(5);
+
+/// `set_read_timeout(Some(ZERO))` is an error, not "no timeout" — map a
+/// zero duration (and `None`) to blocking I/O.
+fn nonzero(timeout: Option<Duration>) -> Option<Duration> {
+    timeout.filter(|t| !t.is_zero())
+}
 
 /// A synchronous client for a `hammer_serve` endpoint.
 ///
@@ -44,6 +54,13 @@ pub struct ServeClient {
     busy_retries: u32,
     /// Backoff before busy retry `i` (1-based): `i × busy_backoff`.
     busy_backoff: Duration,
+    /// Socket read/write timeout; `None` blocks forever (a dead server
+    /// mid-reply then hangs the caller — see
+    /// [`with_io_timeout`](ServeClient::with_io_timeout)).
+    io_timeout: Option<Duration>,
+    /// Per-call time budget; stamped into every request frame so the
+    /// server can cancel work the client stopped waiting for.
+    deadline: Option<Duration>,
 }
 
 impl ServeClient {
@@ -62,7 +79,36 @@ impl ServeClient {
             next_id: 1,
             busy_retries: 3,
             busy_backoff: Duration::from_millis(10),
+            io_timeout: None,
+            deadline: None,
         })
+    }
+
+    /// Bounds every socket read and write. Without one, a server that
+    /// dies mid-reply (or a network that silently drops the connection)
+    /// hangs the caller forever; with one, the stalled call surfaces as
+    /// a retryable [`WireError::Io`] timeout. `None` restores blocking
+    /// I/O.
+    #[must_use]
+    pub fn with_io_timeout(mut self, timeout: Option<Duration>) -> Self {
+        self.io_timeout = timeout;
+        if let Some(stream) = &self.stream {
+            let _ = stream.set_read_timeout(nonzero(timeout));
+            let _ = stream.set_write_timeout(nonzero(timeout));
+        }
+        self
+    }
+
+    /// Gives every subsequent call a time budget. The remaining budget
+    /// is stamped into each request frame (so the server can refuse or
+    /// cancel work the client will no longer wait for), bounds the
+    /// socket wait, and cuts the busy-retry loop short: once it runs
+    /// out the call fails with [`WireError::DeadlineExceeded`]. `None`
+    /// removes the budget.
+    #[must_use]
+    pub fn with_deadline(mut self, budget: Option<Duration>) -> Self {
+        self.deadline = budget;
+        self
     }
 
     /// Tunes the bounded `Busy` retry: up to `retries` additional
@@ -87,16 +133,48 @@ impl ServeClient {
         if self.stream.is_none() {
             let stream = TcpStream::connect(&self.addr)?;
             stream.set_nodelay(true).ok();
+            stream.set_read_timeout(nonzero(self.io_timeout))?;
+            stream.set_write_timeout(nonzero(self.io_timeout))?;
             self.stream = Some(stream);
         }
         Ok(self.stream.as_mut().expect("just ensured"))
     }
 
-    fn call_once(&mut self, id: u64, request: &Request) -> Result<Reply, WireError> {
+    fn call_once(
+        &mut self,
+        id: u64,
+        request: &Request,
+        deadline: Option<Instant>,
+    ) -> Result<Reply, WireError> {
         let opcode = request.opcode();
         let payload = request.encode();
+        // The wire carries the *remaining* budget: milliseconds the
+        // client is still willing to wait, re-measured per attempt.
+        let deadline_ms = match deadline {
+            None => 0,
+            Some(dl) => {
+                let rem = dl.saturating_duration_since(Instant::now());
+                if rem.is_zero() {
+                    return Err(WireError::DeadlineExceeded);
+                }
+                u32::try_from(rem.as_millis()).unwrap_or(u32::MAX).max(1)
+            }
+        };
+        let io_timeout = self.io_timeout;
         let stream = self.ensure_stream()?;
-        write_frame(stream, id, opcode, &payload)?;
+        if deadline.is_some() {
+            // Never wait on the socket past the budget, even when the
+            // configured i/o timeout is longer (or absent).
+            let budget = Duration::from_millis(u64::from(deadline_ms)).max(MIN_SOCKET_WAIT);
+            let capped = io_timeout.map_or(budget, |t| t.min(budget));
+            stream.set_read_timeout(Some(capped))?;
+            stream.set_write_timeout(Some(capped))?;
+        } else {
+            // Undo any budget-derived cap a previous call left behind.
+            stream.set_read_timeout(nonzero(io_timeout))?;
+            stream.set_write_timeout(nonzero(io_timeout))?;
+        }
+        write_frame_with_deadline(stream, id, opcode, deadline_ms, &payload)?;
         loop {
             let (reply_id, op, body) = read_frame(stream)?;
             // A sync client has exactly one request outstanding; anything
@@ -111,6 +189,9 @@ impl ServeClient {
     /// once on a transport failure, and retrying up to
     /// [`with_busy_retries`](ServeClient::with_busy_retries) further
     /// times (with linear backoff) when the server answers `Busy`.
+    /// Under a [`with_deadline`](ServeClient::with_deadline) budget the
+    /// retries stop — and the call fails with
+    /// [`WireError::DeadlineExceeded`] — as soon as the budget is gone.
     ///
     /// # Errors
     ///
@@ -118,26 +199,55 @@ impl ServeClient {
     /// outlives every retry is returned as-is for the typed helpers to
     /// surface as [`WireError::Busy`].
     pub fn call(&mut self, request: &Request) -> Result<Reply, WireError> {
+        let deadline = self.deadline.map(|budget| Instant::now() + budget);
         let mut busy_attempts = 0u32;
         loop {
             let id = self.next_id;
             self.next_id += 1;
-            let result = match self.call_once(id, request) {
-                Err(WireError::Io(_)) => {
-                    // The connection died (server restart, idle
-                    // timeout…): rebuild it and retry the idempotent
-                    // request once.
+            let result = match self.call_once(id, request, deadline) {
+                Err(WireError::Io(e)) => {
+                    // Out of budget is a final verdict, not a dead
+                    // connection; everything else (server restart, idle
+                    // timeout…) gets one rebuild-and-retry of the
+                    // idempotent request. A timed-out socket may hold a
+                    // half-read reply, so it must be rebuilt too.
+                    let timed_out = matches!(
+                        e.kind(),
+                        std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                    );
                     self.stream = None;
-                    self.call_once(id, request)
+                    if timed_out && deadline.is_some_and(|dl| Instant::now() >= dl) {
+                        return Err(WireError::DeadlineExceeded);
+                    }
+                    self.call_once(id, request, deadline)
+                }
+                Ok(Reply::ShuttingDown) => {
+                    // The server said, in-band, that it is going away: a
+                    // replacement may already own the address. Rebuild
+                    // the connection once and re-ask; if nothing answers
+                    // there (yet), the honest verdict is still
+                    // `ShuttingDown`, not a transport error.
+                    self.stream = None;
+                    match self.call_once(id, request, deadline) {
+                        Err(WireError::Io(_)) => Ok(Reply::ShuttingDown),
+                        other => other,
+                    }
                 }
                 other => other,
             };
             match result {
                 Ok(Reply::Busy) if busy_attempts < self.busy_retries => {
                     // Backpressure is transient: give the admission
-                    // queue `i × backoff` to drain, then re-ask.
+                    // queue `i × backoff` to drain, then re-ask — unless
+                    // the wait would outlive the budget.
                     busy_attempts += 1;
-                    std::thread::sleep(self.busy_backoff * busy_attempts);
+                    let backoff = self.busy_backoff * busy_attempts;
+                    if let Some(dl) = deadline {
+                        if Instant::now() + backoff >= dl {
+                            return Err(WireError::DeadlineExceeded);
+                        }
+                    }
+                    std::thread::sleep(backoff);
                 }
                 other => return other,
             }
@@ -148,6 +258,8 @@ impl ServeClient {
     fn unexpected(reply: Reply) -> WireError {
         match reply {
             Reply::Busy => WireError::Busy,
+            Reply::DeadlineExceeded => WireError::DeadlineExceeded,
+            Reply::ShuttingDown => WireError::ShuttingDown,
             Reply::Error(msg) => WireError::Remote(msg),
             other => WireError::UnexpectedReply(other.opcode()),
         }
@@ -176,12 +288,28 @@ impl ServeClient {
         counts: &Counts,
         config: &HammerConfig,
     ) -> Result<Distribution, WireError> {
+        self.reconstruct_flagged(counts, config).map(|(d, _)| d)
+    }
+
+    /// [`reconstruct`](ServeClient::reconstruct), also reporting whether
+    /// the server took the degraded (ANN-approximate) path under load —
+    /// `true` means the distribution is approximate.
+    ///
+    /// # Errors
+    ///
+    /// As for [`reconstruct`](ServeClient::reconstruct).
+    pub fn reconstruct_flagged(
+        &mut self,
+        counts: &Counts,
+        config: &HammerConfig,
+    ) -> Result<(Distribution, bool), WireError> {
         let request = Request::Reconstruct {
             config: *config,
             counts: counts.clone(),
         };
         match self.call(&request)? {
-            Reply::Distribution(d) => Ok(d),
+            Reply::Distribution(d) => Ok((d, false)),
+            Reply::ApproxDistribution(d) => Ok((d, true)),
             other => Err(Self::unexpected(other)),
         }
     }
@@ -223,7 +351,7 @@ impl ServeClient {
     /// As for [`reconstruct`](ServeClient::reconstruct).
     pub fn sample_and_reconstruct(&mut self, job: &SampleJob) -> Result<Distribution, WireError> {
         match self.call(&Request::SampleAndReconstruct(job.clone()))? {
-            Reply::Distribution(d) => Ok(d),
+            Reply::Distribution(d) | Reply::ApproxDistribution(d) => Ok(d),
             other => Err(Self::unexpected(other)),
         }
     }

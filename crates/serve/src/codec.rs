@@ -680,6 +680,10 @@ pub enum Reply {
     Pong,
     /// A reconstructed distribution.
     Distribution(Distribution),
+    /// A distribution computed by the degraded (ANN-approximate) path
+    /// under load — same payload as [`Reply::Distribution`], flagged so
+    /// the client can tell it got the fallback.
+    ApproxDistribution(Distribution),
     /// Figures of merit.
     Metrics(MetricsReply),
     /// Serving counters.
@@ -688,6 +692,10 @@ pub enum Reply {
     ShutdownAck,
     /// Backpressure: retry later.
     Busy,
+    /// The request's deadline expired before a result was produced.
+    DeadlineExceeded,
+    /// The server is draining for shutdown and refused the request.
+    ShuttingDown,
     /// Request-level failure.
     Error(String),
 }
@@ -699,10 +707,13 @@ impl Reply {
         match self {
             Self::Pong => opcode::PONG,
             Self::Distribution(_) => opcode::DISTRIBUTION,
+            Self::ApproxDistribution(_) => opcode::DISTRIBUTION_APPROX,
             Self::Metrics(_) => opcode::METRICS_REPLY,
             Self::Stats(_) => opcode::STATS_REPLY,
             Self::ShutdownAck => opcode::SHUTDOWN_ACK,
             Self::Busy => opcode::BUSY,
+            Self::DeadlineExceeded => opcode::DEADLINE_EXCEEDED,
+            Self::ShuttingDown => opcode::SHUTTING_DOWN,
             Self::Error(_) => opcode::ERROR,
         }
     }
@@ -712,8 +723,12 @@ impl Reply {
     pub fn encode(&self) -> Vec<u8> {
         let mut out = Vec::new();
         match self {
-            Self::Pong | Self::ShutdownAck | Self::Busy => {}
-            Self::Distribution(d) => put_distribution(&mut out, d),
+            Self::Pong
+            | Self::ShutdownAck
+            | Self::Busy
+            | Self::DeadlineExceeded
+            | Self::ShuttingDown => {}
+            Self::Distribution(d) | Self::ApproxDistribution(d) => put_distribution(&mut out, d),
             Self::Metrics(m) => {
                 put_f64(&mut out, m.pst);
                 put_f64(&mut out, m.ist);
@@ -753,7 +768,10 @@ impl Reply {
             opcode::PONG => Self::Pong,
             opcode::SHUTDOWN_ACK => Self::ShutdownAck,
             opcode::BUSY => Self::Busy,
+            opcode::DEADLINE_EXCEEDED => Self::DeadlineExceeded,
+            opcode::SHUTTING_DOWN => Self::ShuttingDown,
             opcode::DISTRIBUTION => Self::Distribution(get_distribution(&mut cur)?),
+            opcode::DISTRIBUTION_APPROX => Self::ApproxDistribution(get_distribution(&mut cur)?),
             opcode::METRICS_REPLY => Self::Metrics(MetricsReply {
                 pst: cur.f64()?,
                 ist: cur.f64()?,
@@ -805,7 +823,13 @@ mod tests {
         for req in [Request::Ping, Request::Stats, Request::Shutdown] {
             assert_eq!(round_trip_request(&req), req);
         }
-        for reply in [Reply::Pong, Reply::ShutdownAck, Reply::Busy] {
+        for reply in [
+            Reply::Pong,
+            Reply::ShutdownAck,
+            Reply::Busy,
+            Reply::DeadlineExceeded,
+            Reply::ShuttingDown,
+        ] {
             assert_eq!(round_trip_reply(&reply), reply);
         }
     }

@@ -1,0 +1,63 @@
+//! In-process fault points for the chaos suite (feature
+//! `fault-points`, on by default and **inert until armed**).
+//!
+//! The TCP-level faults ([`crate::chaos::ChaosProxy`]) exercise the
+//! wire; these exercise the compute path from the inside: a panic in
+//! the middle of a leader's computation, or a computation that dawdles
+//! long enough for deadlines to fire. Both are process-wide globals —
+//! chaos tests that arm them serialize on a lock and [`reset`] when
+//! done.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+use hammer_core::CancelToken;
+
+/// Panic on the Nth compute after arming (1-based); 0 = disarmed.
+static PANIC_ON_NTH: AtomicU64 = AtomicU64::new(0);
+/// Computes observed since the panic fault was last armed.
+static COMPUTES_SEEN: AtomicU64 = AtomicU64::new(0);
+/// Extra latency injected into every compute, in milliseconds.
+static SLOW_MS: AtomicU64 = AtomicU64::new(0);
+
+/// Arms a panic on the `n`-th compute from now (1 = the very next one).
+pub fn arm_panic_on_nth_compute(n: u64) {
+    COMPUTES_SEEN.store(0, Ordering::SeqCst);
+    PANIC_ON_NTH.store(n, Ordering::SeqCst);
+}
+
+/// Injects `ms` milliseconds of extra latency into every compute. The
+/// sleep is taken in small slices that honor the request's cancel
+/// token, so a deadline still cuts a slowed compute short.
+pub fn set_slow_compute_ms(ms: u64) {
+    SLOW_MS.store(ms, Ordering::SeqCst);
+}
+
+/// Disarms every fault point.
+pub fn reset() {
+    PANIC_ON_NTH.store(0, Ordering::SeqCst);
+    COMPUTES_SEEN.store(0, Ordering::SeqCst);
+    SLOW_MS.store(0, Ordering::SeqCst);
+}
+
+/// The hook the server calls at the start of every leader compute.
+pub(crate) fn on_compute(cancel: Option<&CancelToken>) {
+    let armed = PANIC_ON_NTH.load(Ordering::SeqCst);
+    if armed > 0 && COMPUTES_SEEN.fetch_add(1, Ordering::SeqCst) + 1 == armed {
+        PANIC_ON_NTH.store(0, Ordering::SeqCst);
+        panic!("fault point: armed compute panic");
+    }
+    let slow = SLOW_MS.load(Ordering::SeqCst);
+    if slow > 0 {
+        let mut left = Duration::from_millis(slow);
+        let slice = Duration::from_millis(2);
+        while !left.is_zero() {
+            if cancel.is_some_and(CancelToken::is_cancelled) {
+                return; // the compute proper will observe the token
+            }
+            let nap = left.min(slice);
+            std::thread::sleep(nap);
+            left -= nap;
+        }
+    }
+}

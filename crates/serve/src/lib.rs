@@ -66,12 +66,15 @@
 #![warn(missing_docs)]
 
 mod cache;
+pub mod chaos;
 mod client;
 pub mod codec;
+#[cfg(feature = "fault-points")]
+pub mod fault;
 pub mod protocol;
 mod server;
 
 pub use client::ServeClient;
 pub use codec::{DeviceSpec, MetricsReply, Reply, Request, SampleJob, ServeStats};
 pub use protocol::WireError;
-pub use server::{serve, ServeConfig, ServerHandle};
+pub use server::{serve, DegradeConfig, ServeConfig, ServerHandle};

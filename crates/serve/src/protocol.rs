@@ -8,12 +8,19 @@
 //! ```text
 //! offset  size  field
 //! 0       4     magic       b"HAMR"
-//! 4       2     version     u16 LE, currently 1
+//! 4       2     version     u16 LE, currently 2
 //! 6       1     opcode      message discriminant
 //! 7       8     request id  u64 LE, echoed verbatim in the reply
-//! 15      4     payload len u32 LE, bytes that follow (≤ 64 MiB)
-//! 19      …     payload     opcode-specific (see [`crate::codec`])
+//! 15      4     deadline    u32 LE milliseconds, 0 = none (v2 only)
+//! 19      4     payload len u32 LE, bytes that follow (≤ 64 MiB)
+//! 23      …     payload     opcode-specific (see [`crate::codec`])
 //! ```
+//!
+//! Version 2 added the `deadline` field — the sender's remaining time
+//! budget in milliseconds, propagated so the server can refuse or
+//! cancel work the client will no longer wait for (zero means
+//! "no deadline"). Readers still accept version-1 frames, whose 19-byte
+//! header simply lacks the field; v1 senders get deadline 0.
 //!
 //! The request id is an opaque client token: the server echoes it so a
 //! client may pipeline requests and match replies arriving out of order
@@ -30,13 +37,18 @@ use hammer_dist::DistError;
 
 /// Frame magic: `b"HAMR"`.
 pub const MAGIC: [u8; 4] = *b"HAMR";
-/// Current protocol version.
-pub const VERSION: u16 = 1;
+/// Current protocol version (v2 added the deadline header field).
+pub const VERSION: u16 = 2;
+/// The previous protocol version, still accepted on read: identical
+/// framing minus the deadline field.
+pub const LEGACY_VERSION: u16 = 1;
 /// Upper bound on a frame payload; larger length prefixes are rejected
 /// before any allocation happens.
 pub const MAX_PAYLOAD: u32 = 64 * 1024 * 1024;
-/// Frame header size in bytes.
-pub const HEADER_LEN: usize = 19;
+/// Version-2 frame header size in bytes.
+pub const HEADER_LEN: usize = 23;
+/// Version-1 frame header size in bytes (no deadline field).
+pub const LEGACY_HEADER_LEN: usize = 19;
 
 /// Request opcodes (client → server).
 pub mod opcode {
@@ -64,8 +76,16 @@ pub mod opcode {
     pub const STATS_REPLY: u8 = 0x85;
     /// Shutdown acknowledged; the connection stays usable until closed.
     pub const SHUTDOWN_ACK: u8 = 0x86;
+    /// A [`hammer_dist::Distribution`] payload computed by the
+    /// degraded (ANN-approximate) path under load — same encoding as
+    /// [`DISTRIBUTION`], flagged so clients can tell.
+    pub const DISTRIBUTION_APPROX: u8 = 0x84;
     /// 503-style backpressure: the request queue is full, retry later.
     pub const BUSY: u8 = 0xF0;
+    /// The request's deadline expired before (or while) computing.
+    pub const DEADLINE_EXCEEDED: u8 = 0xF1;
+    /// The server is draining for shutdown; it will not take new work.
+    pub const SHUTTING_DOWN: u8 = 0xF2;
     /// Request-level failure; payload is a UTF-8 message.
     pub const ERROR: u8 = 0xFF;
 }
@@ -95,6 +115,12 @@ pub enum WireError {
     /// The server refused the request under load (in-band `Busy`
     /// reply, surfaced as an error by the typed client helpers).
     Busy,
+    /// The request's deadline expired before a result was produced
+    /// (in-band `DeadlineExceeded` reply, or the client-side budget ran
+    /// out first).
+    DeadlineExceeded,
+    /// The server is draining for shutdown and refused the request.
+    ShuttingDown,
     /// The server reported a request-level failure.
     Remote(String),
     /// The reply opcode did not match the request (client side).
@@ -106,7 +132,10 @@ impl fmt::Display for WireError {
         match self {
             Self::Io(e) => write!(f, "i/o error: {e}"),
             Self::BadMagic(m) => write!(f, "bad frame magic {m:02x?} (want \"HAMR\")"),
-            Self::BadVersion(v) => write!(f, "unsupported protocol version {v} (want {VERSION})"),
+            Self::BadVersion(v) => write!(
+                f,
+                "unsupported protocol version {v} (want {LEGACY_VERSION} or {VERSION})"
+            ),
             Self::UnknownOpcode(op) => write!(f, "unknown opcode 0x{op:02x}"),
             Self::PayloadTooLarge(n) => {
                 write!(f, "payload of {n} bytes exceeds the {MAX_PAYLOAD}-byte cap")
@@ -116,6 +145,8 @@ impl fmt::Display for WireError {
             Self::Malformed(what) => write!(f, "malformed payload: {what}"),
             Self::Dist(e) => write!(f, "invalid distribution data: {e}"),
             Self::Busy => write!(f, "server busy (request queue full)"),
+            Self::DeadlineExceeded => write!(f, "deadline exceeded before a reply was produced"),
+            Self::ShuttingDown => write!(f, "server is shutting down"),
             Self::Remote(msg) => write!(f, "server error: {msg}"),
             Self::UnexpectedReply(op) => write!(f, "unexpected reply opcode 0x{op:02x}"),
         }
@@ -136,9 +167,23 @@ impl From<DistError> for WireError {
     }
 }
 
-/// Writes one frame: header plus payload, in a single buffered write so
-/// concurrent writers on a shared stream could never interleave
-/// mid-frame.
+/// One decoded frame: the header fields plus the raw payload.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Frame {
+    /// The sender's opaque request token, echoed in replies.
+    pub request_id: u64,
+    /// Message discriminant.
+    pub opcode: u8,
+    /// Sender's remaining time budget in milliseconds; 0 = none.
+    /// Always 0 for version-1 frames.
+    pub deadline_ms: u32,
+    /// Opcode-specific bytes.
+    pub payload: Vec<u8>,
+}
+
+/// Writes one frame with no deadline: header plus payload, in a single
+/// buffered write so concurrent writers on a shared stream could never
+/// interleave mid-frame.
 ///
 /// # Errors
 ///
@@ -149,27 +194,61 @@ pub fn write_frame<W: Write>(
     opcode: u8,
     payload: &[u8],
 ) -> std::io::Result<()> {
+    write_frame_with_deadline(w, request_id, opcode, 0, payload)
+}
+
+/// [`write_frame`] carrying an explicit deadline budget (milliseconds
+/// the sender is still willing to wait; 0 = no deadline).
+///
+/// # Errors
+///
+/// Propagates transport errors.
+pub fn write_frame_with_deadline<W: Write>(
+    w: &mut W,
+    request_id: u64,
+    opcode: u8,
+    deadline_ms: u32,
+    payload: &[u8],
+) -> std::io::Result<()> {
     debug_assert!(payload.len() <= MAX_PAYLOAD as usize, "oversized payload");
     let mut frame = Vec::with_capacity(HEADER_LEN + payload.len());
     frame.extend_from_slice(&MAGIC);
     frame.extend_from_slice(&VERSION.to_le_bytes());
     frame.push(opcode);
     frame.extend_from_slice(&request_id.to_le_bytes());
+    frame.extend_from_slice(&deadline_ms.to_le_bytes());
     frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
     frame.extend_from_slice(payload);
     w.write_all(&frame)?;
     w.flush()
 }
 
-/// Reads one frame and returns `(request_id, opcode, payload)`.
+/// Reads one frame and returns `(request_id, opcode, payload)`,
+/// discarding any deadline field — the compatibility shim over
+/// [`read_frame_full`] for callers that never look at deadlines
+/// (replies, tests).
+///
+/// # Errors
+///
+/// See [`read_frame_full`].
+pub fn read_frame<R: Read>(r: &mut R) -> Result<(u64, u8, Vec<u8>), WireError> {
+    let frame = read_frame_full(r)?;
+    Ok((frame.request_id, frame.opcode, frame.payload))
+}
+
+/// Reads one frame, accepting both the current (v2, 23-byte header
+/// with deadline) and legacy (v1, 19-byte header) framings.
 ///
 /// # Errors
 ///
 /// [`WireError::Io`] on transport failure (including a clean EOF before
 /// the header, which surfaces as `UnexpectedEof`), and the framing
 /// variants on a corrupt header.
-pub fn read_frame<R: Read>(r: &mut R) -> Result<(u64, u8, Vec<u8>), WireError> {
-    let mut header = [0u8; HEADER_LEN];
+pub fn read_frame_full<R: Read>(r: &mut R) -> Result<Frame, WireError> {
+    // Both versions share the first 19 bytes up through the field at
+    // offset 15 — which is the deadline in v2 and the payload length in
+    // v1 — so one fixed-size read covers the common prefix.
+    let mut header = [0u8; LEGACY_HEADER_LEN];
     r.read_exact(&mut header)?;
     if header[0..4] != MAGIC {
         return Err(WireError::BadMagic([
@@ -177,18 +256,29 @@ pub fn read_frame<R: Read>(r: &mut R) -> Result<(u64, u8, Vec<u8>), WireError> {
         ]));
     }
     let version = u16::from_le_bytes([header[4], header[5]]);
-    if version != VERSION {
-        return Err(WireError::BadVersion(version));
-    }
-    let op = header[6];
+    let opcode = header[6];
     let request_id = u64::from_le_bytes(header[7..15].try_into().expect("8 header bytes"));
-    let len = u32::from_le_bytes(header[15..19].try_into().expect("4 header bytes"));
+    let at_15 = u32::from_le_bytes(header[15..19].try_into().expect("4 header bytes"));
+    let (deadline_ms, len) = match version {
+        VERSION => {
+            let mut rest = [0u8; 4];
+            r.read_exact(&mut rest)?;
+            (at_15, u32::from_le_bytes(rest))
+        }
+        LEGACY_VERSION => (0, at_15),
+        other => return Err(WireError::BadVersion(other)),
+    };
     if len > MAX_PAYLOAD {
         return Err(WireError::PayloadTooLarge(len));
     }
     let mut payload = vec![0u8; len as usize];
     r.read_exact(&mut payload)?;
-    Ok((request_id, op, payload))
+    Ok(Frame {
+        request_id,
+        opcode,
+        deadline_ms,
+        payload,
+    })
 }
 
 #[cfg(test)]
@@ -231,11 +321,39 @@ mod tests {
     fn oversized_length_prefix_is_rejected_before_allocation() {
         let mut buf = Vec::new();
         write_frame(&mut buf, 1, opcode::PING, b"").unwrap();
-        buf[15..19].copy_from_slice(&u32::MAX.to_le_bytes());
+        buf[19..23].copy_from_slice(&u32::MAX.to_le_bytes());
         assert!(matches!(
             read_frame(&mut buf.as_slice()),
             Err(WireError::PayloadTooLarge(u32::MAX))
         ));
+    }
+
+    #[test]
+    fn deadline_round_trips_through_the_full_reader() {
+        let mut buf = Vec::new();
+        write_frame_with_deadline(&mut buf, 7, opcode::RECONSTRUCT, 1500, b"pay").unwrap();
+        let frame = read_frame_full(&mut buf.as_slice()).unwrap();
+        assert_eq!(frame.request_id, 7);
+        assert_eq!(frame.opcode, opcode::RECONSTRUCT);
+        assert_eq!(frame.deadline_ms, 1500);
+        assert_eq!(frame.payload, b"pay");
+    }
+
+    #[test]
+    fn legacy_v1_frames_still_read_with_deadline_zero() {
+        // Hand-rolled v1 frame: 19-byte header, no deadline field.
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&MAGIC);
+        buf.extend_from_slice(&LEGACY_VERSION.to_le_bytes());
+        buf.push(opcode::PING);
+        buf.extend_from_slice(&42u64.to_le_bytes());
+        buf.extend_from_slice(&3u32.to_le_bytes());
+        buf.extend_from_slice(b"xyz");
+        let frame = read_frame_full(&mut buf.as_slice()).unwrap();
+        assert_eq!(frame.request_id, 42);
+        assert_eq!(frame.opcode, opcode::PING);
+        assert_eq!(frame.deadline_ms, 0);
+        assert_eq!(frame.payload, b"xyz");
     }
 
     #[test]

@@ -21,21 +21,50 @@
 //! run). The request pool is bounded (backpressure); the engine pool is
 //! fed only by request workers, so it needs no bound of its own.
 
-use std::io::BufWriter;
+use std::io::{BufWriter, Read};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{mpsc, Arc};
 use std::thread::JoinHandle;
+use std::time::Duration;
 
-use hammer_core::Hammer;
+use hammer_core::{CancelToken, Cancelled, Hammer, NeighborhoodLimit};
 use hammer_dist::fingerprint::Fnv1a;
 use hammer_dist::{metrics, Distribution};
 use hammer_sim::{AutoEngine, WorkerPool};
 
-use crate::cache::{Claim, ComputeResult, DistCache, InFlight};
+use crate::cache::{Claim, ComputeError, ComputeResult, DistCache, InFlight};
 use crate::codec::{Reply, Request, SampleJob, ServeStats};
-use crate::protocol::{read_frame, write_frame, WireError};
+use crate::protocol::{read_frame_full, write_frame, Frame, WireError};
+
+/// Graceful-degradation knobs: under queue pressure, large
+/// reconstructions fall back to the ANN-approximate scoring path
+/// (answered as `ApproxDistribution` so clients can tell) instead of
+/// being refused outright. Off by default — exactness is the default
+/// contract.
+#[derive(Debug, Clone, Copy)]
+pub struct DegradeConfig {
+    /// Master switch.
+    pub enabled: bool,
+    /// Queued (not yet running) requests at or above which degradation
+    /// kicks in.
+    pub queue_threshold: usize,
+    /// Minimum support size (distinct outcomes) for a request to be
+    /// eligible — small reconstructions are cheap enough to do exactly
+    /// even under load.
+    pub min_support: usize,
+}
+
+impl Default for DegradeConfig {
+    fn default() -> Self {
+        Self {
+            enabled: false,
+            queue_threshold: 16,
+            min_support: 4096,
+        }
+    }
+}
 
 /// Serving configuration (the `repro serve` flags).
 #[derive(Debug, Clone)]
@@ -52,6 +81,16 @@ pub struct ServeConfig {
     /// Worker threads for the shared engine pool (trial blocks of
     /// `SampleAndReconstruct` jobs).
     pub engine_threads: usize,
+    /// Per-connection socket timeout for mid-frame reads and all
+    /// writes. A client that starts a frame must finish it within this
+    /// window (slow-loris defense); *idle* connections — no frame in
+    /// progress — are never timed out. `None` disables.
+    pub io_timeout: Option<Duration>,
+    /// Concurrent-connection cap; connections over the limit get one
+    /// `Busy` frame and are dropped.
+    pub max_connections: usize,
+    /// Graceful degradation under queue pressure.
+    pub degrade: DegradeConfig,
 }
 
 impl Default for ServeConfig {
@@ -63,6 +102,9 @@ impl Default for ServeConfig {
             queue_limit: 256,
             cache_mb: 64,
             engine_threads: cores,
+            io_timeout: Some(Duration::from_secs(30)),
+            max_connections: 1024,
+            degrade: DegradeConfig::default(),
         }
     }
 }
@@ -89,6 +131,10 @@ struct ServerState {
     inflight: InFlight,
     counters: RuntimeCounters,
     shutting_down: AtomicBool,
+    io_timeout: Option<Duration>,
+    max_connections: usize,
+    connections: AtomicUsize,
+    degrade: DegradeConfig,
 }
 
 impl ServerState {
@@ -159,6 +205,9 @@ impl ServerHandle {
 /// Flags shutdown and unblocks the acceptor with a wake-up connection.
 fn begin_shutdown(state: &ServerState, addr: SocketAddr) {
     if !state.shutting_down.swap(true, Ordering::SeqCst) {
+        // Already-queued jobs drain; new submissions are refused at the
+        // pool too (belt and braces under the reader-side flag check).
+        state.request_pool.begin_shutdown();
         // The acceptor blocks in `accept`; a throwaway connection makes
         // it re-check the flag. Failure is fine (acceptor already gone).
         let _ = TcpStream::connect(addr);
@@ -180,6 +229,10 @@ pub fn serve(config: &ServeConfig) -> std::io::Result<ServerHandle> {
         inflight: InFlight::new(),
         counters: RuntimeCounters::default(),
         shutting_down: AtomicBool::new(false),
+        io_timeout: config.io_timeout.filter(|t| !t.is_zero()),
+        max_connections: config.max_connections.max(1),
+        connections: AtomicUsize::new(0),
+        degrade: config.degrade,
     });
     let acceptor = {
         let state = Arc::clone(&state);
@@ -205,7 +258,19 @@ fn accept_loop(listener: &TcpListener, state: &Arc<ServerState>) {
                 if state.shutting_down.load(Ordering::SeqCst) {
                     return; // the wake-up connection, or a late client
                 }
-                let state = Arc::clone(state);
+                // Admission control: a connection over the cap gets one
+                // Busy frame (request id 0 — nothing was read) and is
+                // dropped, so a connection flood degrades into fast
+                // refusals instead of unbounded reader threads.
+                if state.connections.load(Ordering::SeqCst) >= state.max_connections {
+                    state.counters.busy.fetch_add(1, Ordering::Relaxed);
+                    let mut w = BufWriter::new(stream);
+                    let busy = Reply::Busy;
+                    let _ = write_frame(&mut w, 0, busy.opcode(), &busy.encode());
+                    continue;
+                }
+                state.connections.fetch_add(1, Ordering::SeqCst);
+                let conn_state = Arc::clone(state);
                 let addr = listener
                     .local_addr()
                     .expect("bound listener has an address");
@@ -213,9 +278,17 @@ fn accept_loop(listener: &TcpListener, state: &Arc<ServerState>) {
                 // after relaying Shutdown). `wait` tracks *jobs*, not
                 // connections, so an idle open connection never blocks
                 // shutdown.
-                let _ = std::thread::Builder::new()
+                let spawned = std::thread::Builder::new()
                     .name("hammer-serve-conn".into())
-                    .spawn(move || connection_loop(stream, &state, addr));
+                    .spawn(move || {
+                        connection_loop(stream, &conn_state, addr);
+                        conn_state.connections.fetch_sub(1, Ordering::SeqCst);
+                    });
+                if spawned.is_err() {
+                    // OS thread exhaustion: the closure never ran, so
+                    // back the slot out here.
+                    state.connections.fetch_sub(1, Ordering::SeqCst);
+                }
             }
             Err(_) => {
                 // Transient accept failure; keep serving.
@@ -278,22 +351,33 @@ fn connection_loop(stream: TcpStream, state: &Arc<ServerState>, addr: SocketAddr
         }
     };
 
+    // Writes are always bounded; reads are bounded per-frame by the
+    // idle-tolerant loop below.
+    let _ = read_half_timeouts(&stream, state.io_timeout);
     let mut read_half = stream;
     loop {
-        let (id, op, payload) = match read_frame(&mut read_half) {
-            Ok(frame) => frame,
-            Err(WireError::Io(_)) => break, // EOF or dead peer
-            Err(_) => {
+        let frame = match read_one_frame(&mut read_half, state) {
+            FrameOutcome::Frame(frame) => frame,
+            FrameOutcome::Closed => break, // EOF, dead peer, slow-loris
+            FrameOutcome::Malformed => {
                 // Framing is unrecoverable mid-stream: report and drop.
                 reply_tx((0, Reply::Error("malformed frame".into())));
                 break;
             }
         };
-        // A shut-down server closes surviving connections instead of
-        // answering on them: the peer sees EOF and (re)connects
-        // elsewhere. In-flight replies still drain through the writer.
+        let Frame {
+            request_id: id,
+            opcode: op,
+            deadline_ms,
+            payload,
+        } = frame;
+        // A draining server answers surviving connections in-band —
+        // `ShuttingDown`, not a silent close — so clients distinguish
+        // "server going away" from a network failure and do not burn
+        // their transport retry re-sending work it will never take.
         if state.shutting_down.load(Ordering::SeqCst) {
-            break;
+            reply_tx((id, Reply::ShuttingDown));
+            continue;
         }
         let request = match Request::decode(op, &payload) {
             Ok(request) => request,
@@ -301,6 +385,13 @@ fn connection_loop(stream: TcpStream, state: &Arc<ServerState>, addr: SocketAddr
                 reply_tx((id, Reply::Error(e.to_string())));
                 continue;
             }
+        };
+        // The deadline clock starts at frame arrival: time the request
+        // spent queued behind the admission queue counts against it.
+        let cancel = if deadline_ms > 0 {
+            CancelToken::after(Duration::from_millis(u64::from(deadline_ms)))
+        } else {
+            CancelToken::new()
         };
         match request {
             Request::Ping => {
@@ -317,6 +408,16 @@ fn connection_loop(stream: TcpStream, state: &Arc<ServerState>, addr: SocketAddr
             compute @ (Request::Reconstruct { .. }
             | Request::Metrics { .. }
             | Request::SampleAndReconstruct(_)) => {
+                // Degradation is decided at admission time, from the
+                // queue depth the request actually experienced.
+                let degraded = state.degrade.enabled
+                    && state.request_pool.queued_jobs() >= state.degrade.queue_threshold
+                    && match &compute {
+                        Request::Reconstruct { counts, .. } => {
+                            counts.len() >= state.degrade.min_support
+                        }
+                        _ => false,
+                    };
                 // Count the job BEFORE re-checking the shutdown flag:
                 // `wait` trusts `active_jobs`, so the increment must be
                 // visible before a concurrent `wait` could observe
@@ -327,13 +428,19 @@ fn connection_loop(stream: TcpStream, state: &Arc<ServerState>, addr: SocketAddr
                 if state.shutting_down.load(Ordering::SeqCst) {
                     state.counters.active_jobs.fetch_sub(1, Ordering::SeqCst);
                     state.counters.busy.fetch_add(1, Ordering::Relaxed);
-                    reply_tx((id, Reply::Busy));
+                    reply_tx((id, Reply::ShuttingDown));
                     continue;
                 }
                 let job_state = Arc::clone(state);
                 let job_tx = reply_tx.clone();
                 let submitted = state.request_pool.try_submit(move || {
-                    let reply = handle_compute(&job_state, compute);
+                    // The cheapest cancellation point: the deadline may
+                    // have expired while the job sat in the queue.
+                    let reply = if cancel.is_cancelled() {
+                        Reply::DeadlineExceeded
+                    } else {
+                        handle_compute(&job_state, compute, &cancel, degraded)
+                    };
                     job_tx((id, reply));
                     job_state
                         .counters
@@ -343,7 +450,12 @@ fn connection_loop(stream: TcpStream, state: &Arc<ServerState>, addr: SocketAddr
                 if submitted.is_err() {
                     state.counters.active_jobs.fetch_sub(1, Ordering::SeqCst);
                     state.counters.busy.fetch_add(1, Ordering::Relaxed);
-                    reply_tx((id, Reply::Busy));
+                    let refusal = if state.shutting_down.load(Ordering::SeqCst) {
+                        Reply::ShuttingDown
+                    } else {
+                        Reply::Busy
+                    };
+                    reply_tx((id, refusal));
                 }
             }
         }
@@ -355,32 +467,109 @@ fn connection_loop(stream: TcpStream, state: &Arc<ServerState>, addr: SocketAddr
     let _ = writer.join();
 }
 
+/// How long an idle connection waits between polls for a frame's first
+/// byte.
+const IDLE_TICK: Duration = Duration::from_millis(100);
+
+/// What [`read_one_frame`] produced.
+enum FrameOutcome {
+    /// A complete frame.
+    Frame(Frame),
+    /// EOF, a dead peer, or a slow-loris mid-frame stall — in every
+    /// case, stop serving the connection.
+    Closed,
+    /// A corrupt header or oversized payload: unrecoverable mid-stream.
+    Malformed,
+}
+
+/// Reads one frame with the two-speed timeout discipline: *idle* time
+/// (waiting for a frame to start) is unbounded — a parked persistent
+/// connection is healthy — while *mid-frame* time is bounded by the
+/// configured i/o timeout, so a peer that starts a header and stalls
+/// (slow-loris) is reaped instead of pinning a reader thread forever.
+fn read_one_frame(stream: &mut TcpStream, state: &ServerState) -> FrameOutcome {
+    let first = loop {
+        let _ = stream.set_read_timeout(Some(IDLE_TICK));
+        let mut byte = [0u8; 1];
+        match stream.read(&mut byte) {
+            Ok(0) => return FrameOutcome::Closed,
+            Ok(_) => break byte[0],
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                ) => {}
+            Err(_) => return FrameOutcome::Closed,
+        }
+    };
+    let _ = stream.set_read_timeout(state.io_timeout);
+    let mut framed = std::io::Cursor::new([first]).chain(stream);
+    match read_frame_full(&mut framed) {
+        Ok(frame) => FrameOutcome::Frame(frame),
+        Err(WireError::Io(_)) => FrameOutcome::Closed,
+        Err(_) => FrameOutcome::Malformed,
+    }
+}
+
+/// Sets the write timeout for a connection (reads are managed
+/// per-frame by [`read_one_frame`]; socket options are shared across
+/// the cloned halves).
+fn read_half_timeouts(stream: &TcpStream, timeout: Option<Duration>) -> std::io::Result<()> {
+    stream.set_write_timeout(timeout)
+}
+
 /// Executes one compute request on a pool worker.
-fn handle_compute(state: &Arc<ServerState>, request: Request) -> Reply {
+fn handle_compute(
+    state: &Arc<ServerState>,
+    request: Request,
+    cancel: &CancelToken,
+    degraded: bool,
+) -> Reply {
     state.counters.requests.fetch_add(1, Ordering::Relaxed);
     match request {
         Request::Reconstruct { config, counts } => {
             if counts.is_empty() {
                 return Reply::Error("empty histogram has no distribution".into());
             }
+            let config = if degraded {
+                degrade_config(config, counts.n_bits())
+            } else {
+                config
+            };
             let mut key = Fnv1a::new();
-            key.write_bytes(b"reconstruct/v1");
+            // Degraded results live under their own namespace: an
+            // approximate answer must never be served to (or cached
+            // for) a request that asked for the exact one.
+            key.write_bytes(if degraded {
+                b"reconstruct/degraded/v1".as_slice()
+            } else {
+                b"reconstruct/v1".as_slice()
+            });
             key.write_u64(counts.fingerprint());
             key.write_u64(config.fingerprint());
             // The job itself runs on the *request* pool; the engine
             // pool is distinct, so handing it to Hammer for ANN tree
             // builds cannot nest a fan_out on the pool we run on.
             let engine_pool = Arc::clone(&state.engine_pool);
-            cached_compute(state, key.finish(), move || {
-                Ok(Hammer::with_config(config)
+            let job_cancel = cancel.clone();
+            let reply = cached_compute(state, key.finish(), cancel, move || {
+                Hammer::with_config(config)
                     .with_pool(engine_pool)
-                    .reconstruct_counts(&counts))
-            })
+                    .try_reconstruct_counts(&counts, &job_cancel)
+                    .map_err(|Cancelled| ComputeError::Cancelled)
+            });
+            match reply {
+                Reply::Distribution(d) if degraded => Reply::ApproxDistribution(d),
+                other => other,
+            }
         }
         Request::SampleAndReconstruct(job) => {
             let key = job.fingerprint();
             let engine_pool = Arc::clone(&state.engine_pool);
-            cached_compute(state, key, move || run_sample_job(&job, &engine_pool))
+            let job_cancel = cancel.clone();
+            cached_compute(state, key, cancel, move || {
+                run_sample_job(&job, &engine_pool, &job_cancel)
+            })
         }
         Request::Metrics { dist, correct } => {
             if correct.is_empty() {
@@ -406,64 +595,143 @@ fn handle_compute(state: &Arc<ServerState>, request: Request) -> Reply {
     }
 }
 
+/// The ANN-approximate configuration a degraded request runs under:
+/// force the LSH-forest scoring path (and a neighborhood it can engage
+/// at this width) so a saturated queue drains with cheap approximate
+/// answers instead of refusals.
+fn degrade_config(
+    mut config: hammer_core::HammerConfig,
+    n_bits: usize,
+) -> hammer_core::HammerConfig {
+    let cap = (n_bits / 4).max(1);
+    let max_d = config.neighborhood.max_distance(n_bits).clamp(1, cap);
+    config.neighborhood = NeighborhoodLimit::Fixed(max_d);
+    config.kernel.ann.enabled = true;
+    config.kernel.ann.crossover = 2;
+    config
+}
+
 /// The cache + coalescing discipline around one computation.
-fn cached_compute<F>(state: &Arc<ServerState>, key: u64, compute: F) -> Reply
+///
+/// The leader computes under a publish-on-drop guard, so **every** exit
+/// — success, failure, cancellation, panic — wakes the followers.
+/// Followers wait no longer than their own deadline, and when the
+/// leader's failure was leader-specific (its deadline fired, its worker
+/// panicked) they re-claim the key and compute for themselves rather
+/// than inherit a failure their budget did not earn.
+fn cached_compute<F>(state: &Arc<ServerState>, key: u64, cancel: &CancelToken, compute: F) -> Reply
 where
-    F: FnOnce() -> Result<Distribution, String>,
+    F: FnOnce() -> Result<Distribution, ComputeError>,
 {
     if let Some(hit) = state.cache.get(key) {
         return Reply::Distribution((*hit).clone());
     }
-    match state.inflight.claim(key) {
-        Claim::Leader => {
-            // A racing leader may have completed between our cache probe
-            // and our claim; serve its entry rather than recompute.
-            // (`get` counted our probe as the miss; this probe would
-            // count a hit, which is accurate — the entry IS there.)
-            let result: ComputeResult = if let Some(hit) = state.cache.get(key) {
-                Ok(hit)
-            } else {
-                state.cache.note_miss();
-                match catch_unwind(AssertUnwindSafe(compute)) {
-                    Ok(Ok(dist)) => {
-                        let dist = Arc::new(dist);
-                        state.cache.insert(key, Arc::clone(&dist));
-                        Ok(dist)
+    let mut compute = Some(compute);
+    // Bounded re-lead: a follower whose leader was cancelled or
+    // panicked retries leadership a few times, but a pathological run
+    // of dying leaders must not loop forever.
+    for _ in 0..3 {
+        match state.inflight.claim(key) {
+            Claim::Leader => {
+                let guard = state.inflight.publish_guard(key);
+                // A racing leader may have completed between our cache
+                // probe and our claim; serve its entry rather than
+                // recompute. (`get` counted our probe as the miss; this
+                // probe would count a hit, which is accurate — the
+                // entry IS there.)
+                let result: ComputeResult = if let Some(hit) = state.cache.get(key) {
+                    Ok(hit)
+                } else if cancel.is_cancelled() {
+                    // Do not burn a compute the requester stopped
+                    // waiting for; followers re-lead under their own
+                    // budgets.
+                    Err(ComputeError::Cancelled)
+                } else {
+                    state.cache.note_miss();
+                    let job = compute.take().expect("leader computes at most once");
+                    #[cfg(feature = "fault-points")]
+                    let fault_cancel = cancel.clone();
+                    match catch_unwind(AssertUnwindSafe(move || {
+                        #[cfg(feature = "fault-points")]
+                        crate::fault::on_compute(Some(&fault_cancel));
+                        job()
+                    })) {
+                        Ok(Ok(dist)) => {
+                            let dist = Arc::new(dist);
+                            state.cache.insert(key, Arc::clone(&dist));
+                            Ok(dist)
+                        }
+                        Ok(Err(e)) => Err(e),
+                        Err(payload) => Err(ComputeError::Panicked(
+                            hammer_sim::pool::panic_message(payload.as_ref()),
+                        )),
                     }
-                    Ok(Err(msg)) => Err(msg),
-                    Err(_) => Err("computation panicked".into()),
+                };
+                guard.publish(result.clone());
+                return reply_of(result);
+            }
+            follower @ Claim::Follower(_) => {
+                let Some(result) = follower.wait_until(cancel.deadline()) else {
+                    return Reply::DeadlineExceeded;
+                };
+                match result {
+                    Err(e) if e.is_leader_specific() => {
+                        // The *leader's* deadline fired or its worker
+                        // died; our budget may still be live. Probe the
+                        // cache (a racing re-leader may have finished)
+                        // and try to lead ourselves.
+                        if let Some(hit) = state.cache.get(key) {
+                            return Reply::Distribution((*hit).clone());
+                        }
+                        if cancel.is_cancelled() {
+                            return Reply::DeadlineExceeded;
+                        }
+                    }
+                    other => return reply_of(other),
                 }
-            };
-            state.inflight.publish(key, result.clone());
-            reply_of(result)
+            }
         }
-        follower @ Claim::Follower(_) => reply_of(follower.wait()),
     }
+    Reply::Error("computation failed repeatedly (leaders kept dying)".into())
 }
 
 fn reply_of(result: ComputeResult) -> Reply {
     match result {
         Ok(dist) => Reply::Distribution((*dist).clone()),
-        Err(msg) => Reply::Error(msg),
+        Err(ComputeError::Cancelled) => Reply::DeadlineExceeded,
+        Err(ComputeError::Failed(msg)) => Reply::Error(msg),
+        Err(ComputeError::Panicked(msg)) => Reply::Error(format!("computation panicked: {msg}")),
     }
 }
 
 /// Runs one simulate-then-reconstruct job on the shared engine pool.
-fn run_sample_job(job: &SampleJob, engine_pool: &Arc<WorkerPool>) -> Result<Distribution, String> {
+fn run_sample_job(
+    job: &SampleJob,
+    engine_pool: &Arc<WorkerPool>,
+    cancel: &CancelToken,
+) -> Result<Distribution, ComputeError> {
     use rand::SeedableRng;
-    let device = job.device.to_device()?;
+    let fail = |msg: String| ComputeError::Failed(msg);
+    let device = job.device.to_device().map_err(fail)?;
     if job.trials == 0 {
-        return Err("zero trials".into());
+        return Err(ComputeError::Failed("zero trials".into()));
     }
     if job.trials > 10_000_000 {
-        return Err(format!("trial budget {} exceeds the 10M cap", job.trials));
+        return Err(ComputeError::Failed(format!(
+            "trial budget {} exceeds the 10M cap",
+            job.trials
+        )));
     }
     let mut rng = rand::rngs::StdRng::seed_from_u64(job.seed);
     let counts = AutoEngine::new(&device)
         .with_pool(Arc::clone(engine_pool))
-        .sample(&job.circuit, job.trials, &mut rng)
-        .map_err(|e| e.to_string())?;
-    Ok(Hammer::with_config(job.config)
+        .sample_with_cancel(&job.circuit, job.trials, &mut rng, cancel)
+        .map_err(|e| match e {
+            hammer_sim::SimError::Cancelled => ComputeError::Cancelled,
+            other => ComputeError::Failed(other.to_string()),
+        })?;
+    Hammer::with_config(job.config)
         .with_pool(Arc::clone(engine_pool))
-        .reconstruct_counts(&counts))
+        .try_reconstruct_counts(&counts, cancel)
+        .map_err(|Cancelled| ComputeError::Cancelled)
 }

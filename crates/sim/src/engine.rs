@@ -184,6 +184,36 @@ impl<'a> AutoEngine<'a> {
             engine.sample(circuit, trials, rng)
         }
     }
+
+    /// Cancellable [`sample`](AutoEngine::sample): forwards the token
+    /// to whichever engine the circuit dispatches to.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::Cancelled`] when the token fires mid-run, plus
+    /// everything [`sample`](AutoEngine::sample) can return.
+    pub fn sample_with_cancel<R: Rng + ?Sized>(
+        &self,
+        circuit: &Circuit,
+        trials: u64,
+        rng: &mut R,
+        cancel: &hammer_pool::CancelToken,
+    ) -> Result<Counts, SimError> {
+        if circuit.is_clifford() {
+            let mut engine =
+                StabilizerEngine::new(self.device).with_threads(self.tuning.threads.max(1));
+            if let Some(pool) = &self.pool {
+                engine = engine.with_pool(std::sync::Arc::clone(pool));
+            }
+            engine.sample_with_cancel(circuit, trials, rng, cancel)
+        } else {
+            let mut engine = TrajectoryEngine::new(self.device).with_tuning(self.tuning);
+            if let Some(pool) = &self.pool {
+                engine = engine.with_pool(std::sync::Arc::clone(pool));
+            }
+            engine.sample_with_cancel(circuit, trials, rng, cancel)
+        }
+    }
 }
 
 impl NoiseEngine for AutoEngine<'_> {

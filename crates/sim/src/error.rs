@@ -21,6 +21,9 @@ pub enum SimError {
     /// The stabilizer (tableau) engine was handed a circuit containing a
     /// non-Clifford gate; the payload names the first offending gate.
     NotClifford(String),
+    /// A cancellable sampling call was stopped by its
+    /// [`CancelToken`](hammer_pool::CancelToken) before completion.
+    Cancelled,
 }
 
 impl fmt::Display for SimError {
@@ -41,6 +44,7 @@ impl fmt::Display for SimError {
                     "stabilizer simulation requires a Clifford-only circuit; found {gate}"
                 )
             }
+            Self::Cancelled => write!(f, "sampling cancelled before completion"),
         }
     }
 }

@@ -49,6 +49,7 @@ use crate::simkernel::SimTuning;
 use crate::trajectory::{
     run_trial_blocks, tail_flip_mask, trial_rng, trial_workers, FaultPlan, TrialFault,
 };
+use hammer_pool::{CancelToken, Cancelled};
 
 use super::tableau::{OutputSupport, Tableau};
 
@@ -168,21 +169,50 @@ impl<'a> StabilizerEngine<'a> {
         trials: u64,
         rng: &mut R,
     ) -> Result<Counts, SimError> {
+        self.sample_inner(circuit, trials, rng, None)
+    }
+
+    /// Cancellable [`sample`](StabilizerEngine::sample): the token is
+    /// polled between trial batches inside every worker's block.
+    /// Uncancelled runs are bit-identical to the infallible path.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::Cancelled`] when the token fires mid-run, plus
+    /// everything [`sample`](StabilizerEngine::sample) can return.
+    pub fn sample_with_cancel<R: Rng + ?Sized>(
+        &self,
+        circuit: &Circuit,
+        trials: u64,
+        rng: &mut R,
+        cancel: &CancelToken,
+    ) -> Result<Counts, SimError> {
+        self.sample_inner(circuit, trials, rng, Some(cancel.clone()))
+    }
+
+    fn sample_inner<R: Rng + ?Sized>(
+        &self,
+        circuit: &Circuit,
+        trials: u64,
+        rng: &mut R,
+        cancel: Option<CancelToken>,
+    ) -> Result<Counts, SimError> {
         self.validate(circuit, trials)?;
+        if let Some(token) = &cancel {
+            if token.is_cancelled() {
+                return Err(SimError::Cancelled);
+            }
+        }
         let n = circuit.num_qubits();
         let noise = self.device.noise();
 
         let workers = trial_workers(self.threads, trials);
         let ctx = Arc::new(StabContext::new(circuit, noise));
         let base_seed = rng.next_u64();
-        Ok(run_trial_blocks(
-            n,
-            workers,
-            trials,
-            self.pool.as_deref(),
-            &ctx,
-            move |ctx, range| run_trial_block(ctx, base_seed, range),
-        ))
+        run_trial_blocks(n, workers, trials, self.pool.as_deref(), &ctx, {
+            move |ctx, range| run_trial_block(ctx, base_seed, range, cancel.as_ref())
+        })
+        .map_err(|Cancelled| SimError::Cancelled)
     }
 }
 
@@ -224,11 +254,25 @@ impl StabContext {
 /// the tableau twin of the trajectory engine's trial block, consuming
 /// each trial's RNG stream in the identical order: fault sampling, one
 /// outcome draw, readout draws.
-fn run_trial_block(ctx: &StabContext, base_seed: u64, range: std::ops::Range<u64>) -> Counts {
+fn run_trial_block(
+    ctx: &StabContext,
+    base_seed: u64,
+    range: std::ops::Range<u64>,
+    cancel: Option<&CancelToken>,
+) -> Result<Counts, Cancelled> {
+    // Tableau trials are cheap; poll the token every batch of trials
+    // (per-trial RNG streams make the check sites invisible to
+    // uncancelled results).
+    const CHECK_EVERY: u64 = 64;
     let n = ctx.circuit.num_qubits();
     let mut counts = Counts::new(n).expect("validated width");
     let mut faults: Vec<TrialFault> = Vec::new();
     for t in range {
+        if t % CHECK_EVERY == 0 {
+            if let Some(token) = cancel {
+                token.check()?;
+            }
+        }
         let mut rng = trial_rng(base_seed, t);
         faults.clear();
         ctx.faults.sample_faults(&mut faults, &mut rng);
@@ -245,7 +289,7 @@ fn run_trial_block(ctx: &StabContext, base_seed: u64, range: std::ops::Range<u64
         let outcome = BitString::from_u128(raw, n);
         counts.record(ctx.noise.apply_readout(outcome, &mut rng));
     }
-    counts
+    Ok(counts)
 }
 
 /// Walks the sampled faults through `circuit.gates()[..meas_cut]` as a

@@ -60,6 +60,7 @@ use crate::pool::WorkerPool;
 use crate::sampler::{AliasSampler, CdfSampler};
 use crate::simkernel::SimTuning;
 use crate::statevector::{StateVector, MAX_DENSE_QUBITS};
+use hammer_pool::{CancelToken, Cancelled};
 
 /// The exact Monte-Carlo noise engine.
 ///
@@ -164,21 +165,52 @@ impl<'a> TrajectoryEngine<'a> {
         trials: u64,
         rng: &mut R,
     ) -> Result<Counts, SimError> {
+        self.sample_inner(circuit, trials, rng, None)
+    }
+
+    /// Cancellable [`sample`](TrajectoryEngine::sample): the token is
+    /// polled between trial batches inside every worker's block, so a
+    /// fired token stops a long sampling job within a few dozen trials.
+    /// Uncancelled runs consume identical per-trial RNG streams and
+    /// return bit-identical [`Counts`].
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::Cancelled`] when the token fires mid-run, plus
+    /// everything [`sample`](TrajectoryEngine::sample) can return.
+    pub fn sample_with_cancel<R: Rng + ?Sized>(
+        &self,
+        circuit: &Circuit,
+        trials: u64,
+        rng: &mut R,
+        cancel: &CancelToken,
+    ) -> Result<Counts, SimError> {
+        self.sample_inner(circuit, trials, rng, Some(cancel.clone()))
+    }
+
+    fn sample_inner<R: Rng + ?Sized>(
+        &self,
+        circuit: &Circuit,
+        trials: u64,
+        rng: &mut R,
+        cancel: Option<CancelToken>,
+    ) -> Result<Counts, SimError> {
         self.validate(circuit, trials)?;
+        if let Some(token) = &cancel {
+            if token.is_cancelled() {
+                return Err(SimError::Cancelled);
+            }
+        }
         let n = circuit.num_qubits();
         let noise = self.device.noise();
 
         let workers = trial_workers(self.tuning.threads, trials);
         let ctx = Arc::new(TrialContext::new(circuit, noise, &self.tuning, workers));
         let base_seed = rng.next_u64();
-        Ok(run_trial_blocks(
-            n,
-            workers,
-            trials,
-            self.pool.as_deref(),
-            &ctx,
-            move |ctx, range| run_trial_block(ctx, base_seed, range),
-        ))
+        run_trial_blocks(n, workers, trials, self.pool.as_deref(), &ctx, {
+            move |ctx, range| run_trial_block(ctx, base_seed, range, cancel.as_ref())
+        })
+        .map_err(|Cancelled| SimError::Cancelled)
     }
 
     /// The pre-kernel-subsystem sampling loop, kept verbatim: generic
@@ -464,17 +496,17 @@ pub(crate) fn run_trial_blocks<C, F>(
     pool: Option<&WorkerPool>,
     ctx: &Arc<C>,
     run_block: F,
-) -> Counts
+) -> Result<Counts, Cancelled>
 where
     C: Send + Sync + 'static,
-    F: Fn(&C, std::ops::Range<u64>) -> Counts + Send + Sync + Clone + 'static,
+    F: Fn(&C, std::ops::Range<u64>) -> Result<Counts, Cancelled> + Send + Sync + Clone + 'static,
 {
     if workers <= 1 {
         return run_block(ctx, 0..trials);
     }
     let per = trials.div_ceil(workers as u64);
     let blocks = (0..workers as u64).map(|w| (w * per)..(((w + 1) * per).min(trials)));
-    let block_counts: Vec<Counts> = match pool {
+    let block_counts: Vec<Result<Counts, Cancelled>> = match pool {
         Some(pool) => pool.fan_out(blocks.map(|range| {
             let ctx = Arc::clone(ctx);
             let run_block = run_block.clone();
@@ -495,13 +527,16 @@ where
         })
         .expect("trial worker does not panic"),
     };
+    // Merge in block order (deterministic); any cancelled block cancels
+    // the whole call — a partial histogram would be statistically
+    // biased toward the fast blocks.
     let mut merged = Counts::new(n).expect("validated width");
     for counts in block_counts {
-        for (outcome, c) in counts.iter() {
+        for (outcome, c) in counts?.iter() {
             merged.record_n(outcome, c);
         }
     }
-    merged
+    Ok(merged)
 }
 
 /// The per-trial RNG stream: independent of thread count by
@@ -518,15 +553,28 @@ pub(crate) fn trial_rng(base_seed: u64, trial: u64) -> StdRng {
 /// fault-free trials immediately off the ideal sampler); phase B sorts
 /// the faulty trials by first-fault site and simulates them off a
 /// shared, incrementally-advanced prefix state.
-fn run_trial_block(ctx: &TrialContext, base_seed: u64, range: std::ops::Range<u64>) -> Counts {
+fn run_trial_block(
+    ctx: &TrialContext,
+    base_seed: u64,
+    range: std::ops::Range<u64>,
+    cancel: Option<&CancelToken>,
+) -> Result<Counts, Cancelled> {
     let n = ctx.circuit.num_qubits();
     let gate_count = ctx.circuit.gate_count();
     let mut counts = Counts::new(n).expect("validated width");
 
-    // Phase A: fault sampling.
+    // Phase A: fault sampling. The token is polled every CHECK_EVERY
+    // trials — RNG streams are per-trial, so the check sites cannot
+    // perturb an uncancelled histogram.
+    const CHECK_EVERY: u64 = 64;
     let mut faulty: Vec<FaultyTrial> = Vec::new();
     let mut scratch_faults: Vec<TrialFault> = Vec::new();
     for t in range {
+        if t % CHECK_EVERY == 0 {
+            if let Some(token) = cancel {
+                token.check()?;
+            }
+        }
         let mut rng = trial_rng(base_seed, t);
         scratch_faults.clear();
         ctx.faults.sample_faults(&mut scratch_faults, &mut rng);
@@ -555,7 +603,14 @@ fn run_trial_block(ctx: &TrialContext, base_seed: u64, range: std::ops::Range<u6
     let mut prefix = StateVector::new(n);
     let mut prefix_len = 0usize;
     let mut scratch = StateVector::new(n);
-    for trial in &mut faulty {
+    for (fi, trial) in faulty.iter_mut().enumerate() {
+        // Faulty trials cost a state-vector window each — poll more
+        // often than phase A.
+        if fi % 16 == 0 {
+            if let Some(token) = cancel {
+                token.check()?;
+            }
+        }
         // Trials whose first fault lands in the diagonal tail need no
         // state evolution at all: the pre-tail state has the ideal
         // measurement distribution, and tail faults only flip bits.
@@ -588,7 +643,7 @@ fn run_trial_block(ctx: &TrialContext, base_seed: u64, range: std::ops::Range<u6
         let outcome = BitString::new(raw, n);
         counts.record(ctx.noise.apply_readout(outcome, &mut trial.rng));
     }
-    counts
+    Ok(counts)
 }
 
 /// Calls `hit` once per fault in an idle period of `moments` slots with
@@ -844,6 +899,57 @@ mod tests {
                 device: 2
             })
         ));
+    }
+
+    #[test]
+    fn uncancelled_sample_with_cancel_is_bit_identical() {
+        let device = DeviceModel::ibm_paris(6);
+        let circuit = ghz(6);
+        let token = CancelToken::new();
+        for threads in [1usize, 4] {
+            let engine = TrajectoryEngine::new(&device)
+                .with_tuning(SimTuning::default().with_threads(threads));
+            let plain = engine
+                .sample(&circuit, 900, &mut StdRng::seed_from_u64(3))
+                .unwrap();
+            let tried = engine
+                .sample_with_cancel(&circuit, 900, &mut StdRng::seed_from_u64(3), &token)
+                .unwrap();
+            assert_eq!(plain, tried, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn pre_cancelled_sample_returns_cancelled() {
+        let device = DeviceModel::ibm_paris(6);
+        let engine = TrajectoryEngine::new(&device);
+        let token = CancelToken::new();
+        token.cancel();
+        let mut rng = StdRng::seed_from_u64(3);
+        assert_eq!(
+            engine.sample_with_cancel(&ghz(6), 50_000, &mut rng, &token),
+            Err(SimError::Cancelled)
+        );
+    }
+
+    #[test]
+    fn mid_flight_cancel_stops_sampling() {
+        let device = DeviceModel::ibm_paris(10);
+        let engine =
+            TrajectoryEngine::new(&device).with_tuning(SimTuning::default().with_threads(2));
+        let token = CancelToken::new();
+        let watchdog = {
+            let token = token.clone();
+            std::thread::spawn(move || {
+                std::thread::sleep(std::time::Duration::from_millis(30));
+                token.cancel();
+            })
+        };
+        // A trial budget that would take far longer than 30 ms.
+        let mut rng = StdRng::seed_from_u64(3);
+        let got = engine.sample_with_cancel(&ghz(10), 50_000_000, &mut rng, &token);
+        watchdog.join().unwrap();
+        assert_eq!(got, Err(SimError::Cancelled));
     }
 
     #[test]
