@@ -10,6 +10,7 @@
 //! repro bench-stab [--quick] [--out PATH]
 //! repro bench-ann [--quick] [--out PATH]
 //! repro chaos-smoke [--quick]
+//! repro persist-smoke [--quick]
 //! repro --list
 //! ```
 //!
@@ -61,8 +62,15 @@ fn run_bench_artifact(name: &str, quick: bool, out_path: &str) -> ExitCode {
     ExitCode::SUCCESS
 }
 
-/// `repro serve [--addr A] [--workers N] [--cache-mb MB]`: run the
+/// `repro serve [--addr A] [--workers N] [--cache-mb MB]
+/// [--store-dir D] [--store-mb MB] [--store-fault KIND:N]`: run the
 /// serving subsystem in the foreground until a client sends `Shutdown`.
+///
+/// `--store-fault` arms a crash-injection point for the persist-smoke
+/// drill: `append:N` aborts mid-way through the Nth store append
+/// (leaving a torn record), `fsync:N` aborts after the Nth record is
+/// written but before its fsync commit point, and `recovery:N` aborts
+/// during the Nth torn-tail truncation of startup recovery.
 fn run_serve(args: &[String]) -> ExitCode {
     /// `--flag N` as a usize, with a readable failure.
     fn usize_flag(args: &[String], flag: &str) -> Result<Option<usize>, String> {
@@ -87,10 +95,47 @@ fn run_serve(args: &[String]) -> ExitCode {
                 config.cache_mb = n;
             }
         })
+        .and_then(|()| usize_flag(args, "--store-mb"))
+        .map(|v| {
+            if let Some(n) = v {
+                config.store_mb = n;
+            }
+        })
+        .and_then(|()| flag_value(args, "--store-dir"))
+        .map(|v| {
+            if let Some(dir) = v {
+                config.store_dir = Some(std::path::PathBuf::from(dir));
+            }
+        })
         .and_then(|()| flag_value(args, "--addr").map(|v| v.map(String::from)));
     match parsed {
         Ok(Some(addr)) => config.addr = addr,
         Ok(None) => {}
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    }
+    // Fault points must be armed before `serve` opens the store: the
+    // recovery fault fires during that open.
+    match flag_value(args, "--store-fault") {
+        Ok(None) => {}
+        Ok(Some(spec)) => {
+            let parsed = spec
+                .split_once(':')
+                .and_then(|(kind, n)| n.parse::<u64>().ok().map(|n| (kind, n)));
+            match parsed {
+                Some(("append", n)) => hammer_serve::fault::arm_abort_on_nth_store_append(n),
+                Some(("fsync", n)) => hammer_serve::fault::arm_abort_on_nth_store_fsync(n),
+                Some(("recovery", n)) => {
+                    hammer_serve::fault::arm_abort_on_nth_recovery_truncate(n);
+                }
+                _ => {
+                    eprintln!("--store-fault requires append:N, fsync:N or recovery:N, got {spec}");
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
         Err(e) => {
             eprintln!("{e}");
             return ExitCode::FAILURE;
@@ -104,19 +149,27 @@ fn run_serve(args: &[String]) -> ExitCode {
         }
     };
     eprintln!(
-        "[serve] listening on {} ({} workers, {} MiB cache); send Shutdown to stop",
+        "[serve] listening on {} ({} workers, {} MiB cache{}); send Shutdown to stop",
         server.local_addr(),
         config.workers,
         config.cache_mb,
+        config
+            .store_dir
+            .as_ref()
+            .map(|d| format!(", store {} @ {} MiB", d.display(), config.store_mb))
+            .unwrap_or_default(),
     );
     let stats = server.wait();
     eprintln!(
-        "[serve] shut down after {} requests ({} hits, {} misses, {} coalesced, {} busy)",
+        "[serve] shut down after {} requests ({} hits, {} misses, {} coalesced, {} busy, \
+         {} spills, {} loads)",
         stats.requests,
         stats.cache_hits,
         stats.cache_misses,
         stats.coalesced,
         stats.busy_rejections,
+        stats.store_spills,
+        stats.store_loads,
     );
     ExitCode::SUCCESS
 }
@@ -317,6 +370,318 @@ fn run_chaos_smoke(args: &[String]) -> ExitCode {
     }
 }
 
+/// `repro persist-smoke [--quick]`: the crash drill for the persistent
+/// distribution store, run against real `repro serve` subprocesses over
+/// a shared store directory:
+///
+/// 1. **kill -9**: populate a store-backed server past its cache
+///    budget (every eviction spills, fsync'd), SIGKILL it, restart over
+///    the same directory, and assert every reply is byte-identical to
+///    the pre-crash reply, with the spilled majority served from the
+///    store (not recomputed).
+/// 2. **torn write**: a fault point aborts the process between a
+///    record's header and body; the restart must truncate the torn
+///    tail (visible as `store_corrupt_dropped` in `Stats`), keep every
+///    committed record, and serve byte-identical replies.
+/// 3. **pre-fsync crash**: abort after a record's write but before its
+///    fsync commit point; the restart must come up clean either way —
+///    fsync is a durability floor, not a ceiling.
+/// 4. **double crash**: abort *during recovery* (right after the
+///    torn-tail truncation); a further restart must converge to a
+///    healthy store.
+///
+/// `--quick` shrinks the kill -9 hot set.
+fn run_persist_smoke(args: &[String]) -> ExitCode {
+    /// Deterministic, sizable request content: 1750 distinct 16-bit
+    /// outcomes reconstruct to a ~70 KB cache entry — larger than the
+    /// 1 MiB cache's 64 KiB shard budget, so every same-shard collision
+    /// evicts (and therefore spills) deterministically. The salt varies
+    /// the counts, giving each key a distinct fingerprint and a
+    /// distinct distribution.
+    fn smoke_counts(salt: u64) -> hammer_dist::Counts {
+        let mut counts = hammer_dist::Counts::new(16).expect("valid width");
+        for i in 0..1750u64 {
+            counts.record_n(
+                hammer_dist::BitString::new(i, 16),
+                1 + (salt + 1) * (i % 97 + 1),
+            );
+        }
+        counts
+    }
+
+    /// Boots a `repro serve` child over `dir` (1 MiB cache, store
+    /// attached, optional crash fault armed) and parses its bound
+    /// address off stderr. `None` address = the child died before
+    /// listening, the expected outcome for a recovery-fault child.
+    fn spawn_store_server(
+        dir: &std::path::Path,
+        fault: Option<&str>,
+    ) -> Result<(std::process::Child, Option<String>), String> {
+        use std::io::BufRead;
+        let exe = std::env::current_exe().map_err(|e| format!("current_exe: {e}"))?;
+        let mut cmd = std::process::Command::new(exe);
+        cmd.args([
+            "serve",
+            "--addr",
+            "127.0.0.1:0",
+            "--workers",
+            "2",
+            "--cache-mb",
+            "1",
+            "--store-mb",
+            "64",
+            "--store-dir",
+        ])
+        .arg(dir)
+        .stdin(std::process::Stdio::null())
+        .stdout(std::process::Stdio::null())
+        .stderr(std::process::Stdio::piped());
+        if let Some(spec) = fault {
+            cmd.args(["--store-fault", spec]);
+        }
+        let mut child = cmd.spawn().map_err(|e| format!("spawn serve child: {e}"))?;
+        let stderr = child.stderr.take().expect("stderr piped");
+        let mut reader = std::io::BufReader::new(stderr);
+        let mut addr = None;
+        let mut line = String::new();
+        loop {
+            line.clear();
+            match reader.read_line(&mut line) {
+                Ok(0) | Err(_) => break,
+                Ok(_) => {
+                    if let Some(rest) = line.split("listening on ").nth(1) {
+                        addr = rest.split_whitespace().next().map(str::to_string);
+                        break;
+                    }
+                }
+            }
+        }
+        // Keep draining in the background so the child can never block
+        // on a full stderr pipe.
+        std::thread::spawn(move || {
+            let _ = std::io::copy(&mut reader, &mut std::io::sink());
+        });
+        Ok((child, addr))
+    }
+
+    /// Issues one Reconstruct per salt and returns the canonical wire
+    /// encoding of each reply — the byte-identity currency of the
+    /// drill. `None` entries mark requests after the child died (the
+    /// expected end of a crash-fault phase).
+    fn drive(addr: &str, salts: &[u64]) -> Vec<Option<Vec<u8>>> {
+        let config = hammer_core::HammerConfig::paper();
+        let Ok(mut client) = hammer_serve::ServeClient::connect(addr) else {
+            return salts.iter().map(|_| None).collect();
+        };
+        let mut out = Vec::new();
+        for &salt in salts {
+            if out.last().is_some_and(Option::is_none) {
+                out.push(None); // child already dead; stop hammering
+                continue;
+            }
+            match client.reconstruct(&smoke_counts(salt), &config) {
+                Ok(d) => {
+                    let mut bytes = Vec::new();
+                    hammer_serve::codec::put_distribution(&mut bytes, &d);
+                    out.push(Some(bytes));
+                }
+                Err(_) => out.push(None),
+            }
+        }
+        out
+    }
+
+    /// Waits (bounded) for a child to exit.
+    fn wait_exit(child: &mut std::process::Child, what: &str) -> Result<(), String> {
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(30);
+        loop {
+            match child.try_wait() {
+                Ok(Some(_)) => return Ok(()),
+                Ok(None) if std::time::Instant::now() < deadline => {
+                    std::thread::sleep(std::time::Duration::from_millis(20));
+                }
+                Ok(None) => {
+                    let _ = child.kill();
+                    return Err(format!("{what}: child did not exit within 30 s"));
+                }
+                Err(e) => return Err(format!("{what}: {e}")),
+            }
+        }
+    }
+
+    /// Asks a running child for its `Stats`, then shuts it down
+    /// gracefully.
+    fn stats_and_shutdown(
+        addr: &str,
+        child: &mut std::process::Child,
+        what: &str,
+    ) -> Result<hammer_serve::ServeStats, String> {
+        let mut client = hammer_serve::ServeClient::connect(addr)
+            .map_err(|e| format!("{what}: stats connect: {e}"))?;
+        let stats = client.stats().map_err(|e| format!("{what}: stats: {e}"))?;
+        client
+            .shutdown()
+            .map_err(|e| format!("{what}: shutdown: {e}"))?;
+        wait_exit(child, what)?;
+        Ok(stats)
+    }
+
+    let quick = args.iter().any(|a| a == "--quick");
+    let hot_set: u64 = if quick { 24 } else { 40 };
+    let root = std::env::temp_dir().join(format!("hammer-persist-smoke-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&root);
+
+    let outcome = (|| -> Result<(), String> {
+        // ---- Drill 1: kill -9, restart, byte-identical warm serve ----
+        let dir = root.join("kill9");
+        let salts: Vec<u64> = (0..hot_set).collect();
+        let (mut child, addr) = spawn_store_server(&dir, None)?;
+        let addr = addr.ok_or("kill -9 drill: server did not come up")?;
+        let before = drive(&addr, &salts);
+        if before.iter().any(Option::is_none) {
+            return Err("kill -9 drill: a populate request failed".into());
+        }
+        child.kill().map_err(|e| format!("kill: {e}"))?;
+        let _ = child.wait();
+
+        let (mut child, addr) = spawn_store_server(&dir, None)?;
+        let addr = addr.ok_or("kill -9 drill: restart did not come up")?;
+        let after = drive(&addr, &salts);
+        for (salt, (a, b)) in salts.iter().zip(before.iter().zip(&after)) {
+            if b.is_none() || a != b {
+                return Err(format!(
+                    "kill -9 drill: reply for salt {salt} not byte-identical after restart"
+                ));
+            }
+        }
+        let stats = stats_and_shutdown(&addr, &mut child, "kill -9 drill")?;
+        // At most one entry per 16 shards was resident (and lost) at
+        // the kill; everything else had been spilled and fsync'd.
+        let floor = hot_set - 16;
+        if stats.store_recovered < floor {
+            return Err(format!(
+                "kill -9 drill: recovered {} records, expected >= {floor}",
+                stats.store_recovered
+            ));
+        }
+        if stats.store_loads < floor {
+            return Err(format!(
+                "kill -9 drill: only {} store loads, expected >= {floor}",
+                stats.store_loads
+            ));
+        }
+        if stats.cache_misses > 16 {
+            return Err(format!(
+                "kill -9 drill: {} recomputes after restart, expected <= 16",
+                stats.cache_misses
+            ));
+        }
+        eprintln!(
+            "[persist-smoke] kill -9: {} replies byte-identical after restart \
+             ({} recovered, {} store loads, {} recomputes)",
+            hot_set, stats.store_recovered, stats.store_loads, stats.cache_misses
+        );
+
+        // ---- Drills 2 + 3: abort mid-append / before fsync ----
+        for (spec, expect_torn) in [("append:2", true), ("fsync:2", false)] {
+            let dir = root.join(spec.replace(':', "-"));
+            let salts: Vec<u64> = (100..148).collect();
+            let (mut child, addr) = spawn_store_server(&dir, Some(spec))?;
+            let addr = addr.ok_or(format!("{spec} drill: server did not come up"))?;
+            let before = drive(&addr, &salts);
+            if before.iter().all(Option::is_some) {
+                return Err(format!("{spec} drill: fault never fired in 48 requests"));
+            }
+            wait_exit(&mut child, spec)?;
+
+            let (mut child, addr) = spawn_store_server(&dir, None)?;
+            let addr = addr.ok_or(format!("{spec} drill: restart did not come up"))?;
+            let survivors: Vec<u64> = salts
+                .iter()
+                .zip(&before)
+                .filter(|(_, r)| r.is_some())
+                .map(|(&s, _)| s)
+                .collect();
+            let after = drive(&addr, &survivors);
+            let matched = survivors
+                .iter()
+                .zip(&after)
+                .all(|(&s, b)| b.as_deref() == before[(s - 100) as usize].as_deref());
+            if !matched {
+                return Err(format!("{spec} drill: a reply changed across the crash"));
+            }
+            let stats = stats_and_shutdown(&addr, &mut child, spec)?;
+            if expect_torn && stats.store_corrupt_dropped == 0 {
+                return Err(format!(
+                    "{spec} drill: expected a torn tail in store_corrupt_dropped"
+                ));
+            }
+            eprintln!(
+                "[persist-smoke] {spec}: {} pre-crash replies stable across restart \
+                 ({} recovered, {} corrupt dropped)",
+                survivors.len(),
+                stats.store_recovered,
+                stats.store_corrupt_dropped
+            );
+        }
+
+        // ---- Drill 4: crash during recovery, then converge ----
+        let dir = root.join("double-crash");
+        let salts: Vec<u64> = (200..248).collect();
+        let (mut child, addr) = spawn_store_server(&dir, Some("append:2"))?;
+        let addr = addr.ok_or("double-crash drill: server did not come up")?;
+        let before = drive(&addr, &salts);
+        if before.iter().all(Option::is_some) {
+            return Err("double-crash drill: fault never fired in 48 requests".into());
+        }
+        wait_exit(&mut child, "double-crash drill (first crash)")?;
+        // Second crash: abort during recovery's torn-tail truncation.
+        let (mut child, addr) = spawn_store_server(&dir, Some("recovery:1"))?;
+        if addr.is_some() {
+            let _ = child.kill();
+            return Err("double-crash drill: recovery fault never fired".into());
+        }
+        wait_exit(&mut child, "double-crash drill (crash during recovery)")?;
+        // Third start: must converge to a healthy store.
+        let (mut child, addr) = spawn_store_server(&dir, None)?;
+        let addr = addr.ok_or("double-crash drill: store did not converge")?;
+        let survivors: Vec<u64> = salts
+            .iter()
+            .zip(&before)
+            .filter(|(_, r)| r.is_some())
+            .map(|(&s, _)| s)
+            .collect();
+        let after = drive(&addr, &survivors);
+        let matched = survivors
+            .iter()
+            .zip(&after)
+            .all(|(&s, b)| b.as_deref() == before[(s - 200) as usize].as_deref());
+        if !matched {
+            return Err("double-crash drill: a reply changed across the crashes".into());
+        }
+        let stats = stats_and_shutdown(&addr, &mut child, "double-crash drill")?;
+        eprintln!(
+            "[persist-smoke] double crash: converged after crash-during-recovery \
+             ({} recovered, {} replies stable)",
+            stats.store_recovered,
+            survivors.len()
+        );
+        Ok(())
+    })();
+
+    let _ = std::fs::remove_dir_all(&root);
+    match outcome {
+        Ok(()) => {
+            eprintln!("[persist-smoke] ok: committed records survive kill -9, torn tails drop, recovery converges");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("persist-smoke: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
 /// Parses the value following a `--flag` argument.
 fn flag_value<'a>(args: &'a [String], flag: &str) -> Result<Option<&'a str>, String> {
     match args.iter().position(|a| a == flag) {
@@ -393,8 +758,10 @@ fn main() -> ExitCode {
         eprintln!("       repro bench-serve [--quick] [--out PATH]");
         eprintln!("       repro bench-ann [--quick] [--out PATH]");
         eprintln!("       repro serve [--addr A] [--workers N] [--cache-mb MB]");
+        eprintln!("                   [--store-dir D] [--store-mb MB] [--store-fault SPEC]");
         eprintln!("       repro serve-smoke [--addr A] [--shutdown]");
         eprintln!("       repro chaos-smoke [--quick]");
+        eprintln!("       repro persist-smoke [--quick]");
         eprintln!("       repro --list");
         return ExitCode::FAILURE;
     }
@@ -406,6 +773,9 @@ fn main() -> ExitCode {
     }
     if args.first().map(String::as_str) == Some("chaos-smoke") {
         return run_chaos_smoke(&args[1..]);
+    }
+    if args.first().map(String::as_str) == Some("persist-smoke") {
+        return run_persist_smoke(&args[1..]);
     }
     if args.iter().any(|a| a == "--list") {
         for id in experiments::ALL_IDS {

@@ -17,6 +17,12 @@
 //! "Hot" requests repeat one fingerprint (cache hits after the first);
 //! "cold" requests salt the payload so every one computes. The hot
 //! fraction is 80%.
+//!
+//! Two further rows measure the persistent spill store across a
+//! restart: `restart-warm` replays a populated key set against a
+//! server warm-started over the same store directory (served by
+//! decode, not recompute), while `restart-cold` replays it against an
+//! empty store and pays the full reconstruction per key.
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Barrier};
@@ -57,6 +63,11 @@ pub struct ServeBenchRow {
     pub coalesced: u64,
     /// Busy rejections observed (each retried until served).
     pub busy: u64,
+    /// Cache misses served from the persistent store instead of
+    /// recomputed (zero when no store is attached).
+    pub store_loads: u64,
+    /// Cache evictions spilled to the persistent store.
+    pub store_spills: u64,
 }
 
 impl ServeBenchRow {
@@ -221,6 +232,8 @@ where
         },
         coalesced: stats.coalesced,
         busy: busy.load(Ordering::Relaxed),
+        store_loads: stats.store_loads,
+        store_spills: stats.store_spills,
     };
     server.shutdown();
     let _ = server.wait();
@@ -240,16 +253,116 @@ where
     row
 }
 
+/// Measures what the persistent spill store buys across a restart:
+/// populate a store-backed server with `keys` distinct heavyweight
+/// histograms and shut it down gracefully (flushing the resident hot
+/// set), then replay the same keys against (a) a server warm-started
+/// over the same store directory and (b) a server over a fresh, empty
+/// one. Warm restarts answer from the store (decode and reply); cold
+/// restarts pay the full O(N²) reconstruction per key.
+fn run_restart_rows(workers: usize, keys: u64) -> Vec<ServeBenchRow> {
+    let root =
+        std::env::temp_dir().join(format!("hammer-bench-serve-store-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&root);
+
+    let boot = |dir: std::path::PathBuf| {
+        serve(&ServeConfig {
+            addr: "127.0.0.1:0".into(),
+            workers,
+            queue_limit: 4096,
+            // A deliberately tiny cache: entries spill on eviction, so
+            // the store — not the LRU — carries the set across restarts.
+            cache_mb: 1,
+            store_dir: Some(dir),
+            store_mb: 256,
+            ..ServeConfig::default()
+        })
+        .expect("bind an ephemeral port")
+    };
+
+    let warm_dir = root.join("warm");
+    let server = boot(warm_dir.clone());
+    let mut client = ServeClient::connect(server.local_addr().to_string()).expect("connect");
+    for salt in 0..keys {
+        client
+            .reconstruct(&large_counts(4096, salt), &HammerConfig::paper())
+            .expect("populate request");
+    }
+    drop(client);
+    server.shutdown();
+    let _ = server.wait();
+
+    let mut rows = Vec::new();
+    for (scenario, dir) in [
+        ("restart-warm", warm_dir),
+        ("restart-cold", root.join("cold")),
+    ] {
+        let server = boot(dir);
+        let mut client = ServeClient::connect(server.local_addr().to_string()).expect("connect");
+        let start = Instant::now();
+        let mut latencies = Vec::with_capacity(keys as usize);
+        for salt in 0..keys {
+            let t = Instant::now();
+            client
+                .reconstruct(&large_counts(4096, salt), &HammerConfig::paper())
+                .expect("restart request");
+            latencies.push(t.elapsed().as_micros() as u64);
+        }
+        let secs = start.elapsed().as_secs_f64();
+        drop(client);
+        latencies.sort_unstable();
+        let stats = server.stats();
+        let cacheable = stats.cache_hits + stats.cache_misses + stats.coalesced;
+        let row = ServeBenchRow {
+            scenario,
+            clients: 1,
+            requests: keys,
+            secs,
+            p50_us: percentile(&latencies, 0.50),
+            p99_us: percentile(&latencies, 0.99),
+            hit_rate: if cacheable > 0 {
+                stats.cache_hits as f64 / cacheable as f64
+            } else {
+                0.0
+            },
+            coalesced: stats.coalesced,
+            busy: 0,
+            store_loads: stats.store_loads,
+            store_spills: stats.store_spills,
+        };
+        server.shutdown();
+        let _ = server.wait();
+        eprintln!(
+            "[bench-serve] {}: {} reqs in {:.3} s ({:.0} req/s), p50 {:.0} µs, p99 {:.0} µs, \
+             {} store loads",
+            row.scenario,
+            row.requests,
+            row.secs,
+            row.req_per_sec(),
+            row.p50_us,
+            row.p99_us,
+            row.store_loads,
+        );
+        rows.push(row);
+    }
+    let _ = std::fs::remove_dir_all(&root);
+    rows
+}
+
 /// Runs the sweep. Quick mode shrinks the request budgets (CI smoke).
 #[must_use]
 pub fn run(quick: bool) -> ServeBenchReport {
     let workers = ServeConfig::default().workers;
-    let (small_n, large_n, sample_n) = if quick { (50, 8, 6) } else { (2000, 150, 100) };
+    let (small_n, large_n, sample_n, restart_n) = if quick {
+        (50, 8, 6, 6)
+    } else {
+        (2000, 150, 100, 24)
+    };
 
     // Hot requests share salt 0; cold requests get a unique salt per
     // (client, index) pair, offset to never collide with the hot key.
     let salt_of = |client: u64, i: u64| 1 + client * 1_000_000 + i;
-    let rows = vec![
+    let mut rows = vec![
         run_scenario("reconstruct-small", workers, small_n, move |c, i| {
             let salt = if i % 10 < HOT_PER_10 {
                 0
@@ -275,6 +388,7 @@ pub fn run(quick: bool) -> ServeBenchReport {
             Work::Sample(ghz_job(16, 20_000, seed))
         }),
     ];
+    rows.extend(run_restart_rows(workers, restart_n));
     ServeBenchReport {
         workers,
         quick,
@@ -296,7 +410,8 @@ impl ServeBenchReport {
                 "    {{\"scenario\": \"{}\", \"clients\": {}, \"requests\": {}, \
                  \"secs\": {:.6}, \"req_per_sec\": {:.1}, \"p50_us\": {:.1}, \
                  \"p99_us\": {:.1}, \"cache_hit_rate\": {:.4}, \"coalesced\": {}, \
-                 \"busy_retries\": {}, \"measured\": true}}",
+                 \"busy_retries\": {}, \"store_loads\": {}, \"store_spills\": {}, \
+                 \"measured\": true}}",
                 r.scenario,
                 r.clients,
                 r.requests,
@@ -307,6 +422,8 @@ impl ServeBenchReport {
                 r.hit_rate,
                 r.coalesced,
                 r.busy,
+                r.store_loads,
+                r.store_spills,
             ));
         }
         format!(
@@ -314,7 +431,8 @@ impl ServeBenchReport {
              \"description\": \"hammer_serve under concurrent load: an in-process TCP server \
              (binary wire protocol, bounded worker-pool queue, request coalescing, sharded LRU \
              distribution cache) driven by {} client threads through mixed 80/20 hot/cold \
-             workloads. Every cell is measured wall clock (not extrapolated).\",\n  \
+             workloads, plus warm-vs-cold restart replays over the persistent spill \
+             store. Every cell is measured wall clock (not extrapolated).\",\n  \
              \"workers\": {},\n  \"quick\": {},\n  \"rows\": [\n{}\n  ]\n}}\n",
             CLIENTS, self.workers, self.quick, rows,
         )
@@ -334,6 +452,7 @@ impl ServeBenchReport {
             "p99 (µs)",
             "hit rate",
             "coalesced",
+            "st.loads",
         ]);
         for r in &self.rows {
             table.row_owned(vec![
@@ -346,6 +465,7 @@ impl ServeBenchReport {
                 fnum(r.p99_us, 0),
                 fnum(r.hit_rate, 3),
                 r.coalesced.to_string(),
+                r.store_loads.to_string(),
             ]);
         }
         format!(
@@ -385,14 +505,32 @@ mod tests {
     #[test]
     fn quick_sweep_runs_end_to_end() {
         let report = run(true);
-        assert_eq!(report.rows.len(), 3);
+        assert_eq!(report.rows.len(), 5);
         for row in &report.rows {
             assert!(row.requests > 0);
             assert!(row.secs > 0.0);
-            assert!(row.hit_rate > 0.0, "hot requests must hit: {row:?}");
+            if !row.scenario.starts_with("restart-") {
+                assert!(row.hit_rate > 0.0, "hot requests must hit: {row:?}");
+            }
         }
+        let warm = report
+            .rows
+            .iter()
+            .find(|r| r.scenario == "restart-warm")
+            .expect("warm restart row");
+        assert_eq!(
+            warm.store_loads, warm.requests,
+            "every warm-restart key must be served from the store: {warm:?}"
+        );
+        let cold = report
+            .rows
+            .iter()
+            .find(|r| r.scenario == "restart-cold")
+            .expect("cold restart row");
+        assert_eq!(cold.store_loads, 0, "an empty store cannot serve: {cold:?}");
         let json = report.to_json();
         assert!(json.contains("\"artifact\": \"BENCH_serve\""));
+        assert!(json.contains("\"store_loads\""));
         assert!(report.render().contains("req/s"));
     }
 }

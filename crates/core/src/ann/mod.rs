@@ -80,23 +80,48 @@ impl AnnParams {
     /// `bits_per_hash = log2(N / oversample)` (clamped to
     /// `4..=`[`MAX_BITS_PER_HASH`], and to the register width) when the
     /// tuning leaves it automatic, and clamps the probe radius to 2.
+    ///
+    /// When the hash is auto-sized, the tree count scales with it:
+    /// widening the hash by one bit multiplies the per-tree collision
+    /// odds of a fixed-distance pair by roughly `(1 − d/n)` (≈ 0.75 on
+    /// the benchmark's error-halo workload), so a forest that recalls
+    /// 0.96 at `k = 12` decays to 0.79 at `k = 14` and 0.52 at `k = 16`
+    /// if the tree count stays put (BENCH_ann.json, pre-fix rows).
+    /// Doubling the trees for every two extra hash bits restores the
+    /// union's catch probability, so recall stays flat as the support —
+    /// and with it the auto-sized hash — grows. An explicit
+    /// `bits_per_hash` leaves `trees` exactly as tuned.
     #[must_use]
     pub fn resolve(tuning: &AnnTuning, n_unique: usize, n_bits: usize) -> Self {
-        let k = if tuning.bits_per_hash > 0 {
-            tuning.bits_per_hash
+        let (k, auto) = if tuning.bits_per_hash > 0 {
+            (tuning.bits_per_hash, false)
         } else {
             let target = tuning.oversample.max(1);
             let buckets = (n_unique / target).max(1);
-            (usize::BITS - 1 - buckets.leading_zeros()) as usize
+            ((usize::BITS - 1 - buckets.leading_zeros()) as usize, true)
         };
+        let bits_per_hash = k.clamp(4, MAX_BITS_PER_HASH).min(n_bits).max(1);
+        let mut trees = tuning.trees.max(1);
+        if auto && bits_per_hash > RECALL_BASELINE_BITS {
+            let shift = (bits_per_hash - RECALL_BASELINE_BITS).div_ceil(2);
+            trees = trees.saturating_mul(1 << shift.min(MAX_RECALL_SHIFT));
+        }
         Self {
-            trees: tuning.trees.max(1),
-            bits_per_hash: k.clamp(4, MAX_BITS_PER_HASH).min(n_bits).max(1),
+            trees,
+            bits_per_hash,
             probe_radius: tuning.probe_radius.min(2),
             seed: DEFAULT_SEED,
         }
     }
 }
+
+/// Hash width at which the default forest's measured recall sits at
+/// ≈ 0.96 on the benchmark workload; auto-sizing compensates beyond it.
+const RECALL_BASELINE_BITS: usize = 12;
+
+/// Cap on the recall compensation: at most ×16 trees (hash 8 bits past
+/// the baseline), past which build cost dominates any recall left.
+const MAX_RECALL_SHIFT: usize = 4;
 
 /// One tree: `k` sampled bit positions and a counting-sorted bucket
 /// directory (`starts` offsets into `ids`).
@@ -498,6 +523,25 @@ mod tests {
             AnnParams::resolve(&tuning, usize::MAX >> 8, 128).bits_per_hash,
             MAX_BITS_PER_HASH
         );
+    }
+
+    #[test]
+    fn resolve_scales_trees_with_the_auto_sized_hash() {
+        let tuning = AnnTuning::default();
+        // At the 12-bit baseline and below, trees stay as tuned.
+        assert_eq!(AnnParams::resolve(&tuning, 65_536, 64).trees, 8);
+        assert_eq!(AnnParams::resolve(&tuning, 64, 64).trees, 8);
+        // 14 bits (262K support) → ×2; 16 bits (1M) → ×4.
+        assert_eq!(AnnParams::resolve(&tuning, 1 << 18, 64).trees, 16);
+        assert_eq!(AnnParams::resolve(&tuning, 1 << 20, 64).trees, 32);
+        // The compensation caps at ×16 even for a 20-bit hash.
+        assert_eq!(AnnParams::resolve(&tuning, usize::MAX >> 8, 128).trees, 128);
+        // An explicit hash width is a manual override: trees untouched.
+        let manual = AnnTuning {
+            bits_per_hash: 16,
+            ..AnnTuning::default()
+        };
+        assert_eq!(AnnParams::resolve(&manual, 1 << 20, 64).trees, 8);
     }
 
     #[test]

@@ -32,11 +32,12 @@
 //! jobs cannot express without `unsafe` — see the ROADMAP headroom
 //! note.
 
-use std::collections::VecDeque;
+use std::collections::BinaryHeap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{mpsc, Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
+use std::time::Instant;
 
 pub mod cancel;
 
@@ -45,10 +46,65 @@ pub use cancel::{CancelToken, Cancelled};
 /// A queued unit of work.
 type Job = Box<dyn FnOnce() + Send + 'static>;
 
+/// One queued job with its scheduling rank: earliest deadline first,
+/// undeadlined jobs after every deadlined one, FIFO (by admission
+/// sequence) within a tie. The rank orders *dequeue*, so a mixed-budget
+/// storm spends workers on the requests that can still make their
+/// deadlines and lets already-doomed ones reach the dequeue-time shed
+/// check before burning compute.
+struct QueuedJob {
+    deadline: Option<Instant>,
+    seq: u64,
+    job: Job,
+}
+
+impl QueuedJob {
+    /// `BinaryHeap` pops the maximum, so "runs sooner" must compare
+    /// `Greater`: earlier deadlines and earlier sequence numbers rank
+    /// above later ones, and any deadline ranks above none.
+    fn rank(&self, other: &Self) -> std::cmp::Ordering {
+        match (self.deadline, other.deadline) {
+            (Some(a), Some(b)) => b.cmp(&a),
+            (Some(_), None) => std::cmp::Ordering::Greater,
+            (None, Some(_)) => std::cmp::Ordering::Less,
+            (None, None) => std::cmp::Ordering::Equal,
+        }
+        .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+impl PartialEq for QueuedJob {
+    fn eq(&self, other: &Self) -> bool {
+        self.seq == other.seq
+    }
+}
+impl Eq for QueuedJob {}
+impl PartialOrd for QueuedJob {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for QueuedJob {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.rank(other)
+    }
+}
+
 /// State behind the pool's mutex: the job queue and the shutdown latch.
 struct QueueState {
-    jobs: VecDeque<Job>,
+    jobs: BinaryHeap<QueuedJob>,
+    /// Admission counter: the FIFO tiebreaker within equal deadlines
+    /// (and the whole order for undeadlined jobs).
+    seq: u64,
     shutdown: bool,
+}
+
+impl QueueState {
+    fn push(&mut self, deadline: Option<Instant>, job: Job) {
+        let seq = self.seq;
+        self.seq += 1;
+        self.jobs.push(QueuedJob { deadline, seq, job });
+    }
 }
 
 /// Everything the worker threads share.
@@ -124,7 +180,8 @@ impl WorkerPool {
         assert!(threads >= 1, "need at least one worker thread");
         let shared = Arc::new(Shared {
             state: Mutex::new(QueueState {
-                jobs: VecDeque::new(),
+                jobs: BinaryHeap::new(),
+                seq: 0,
                 shutdown: false,
             }),
             wake: Condvar::new(),
@@ -187,7 +244,7 @@ impl WorkerPool {
     /// Enqueues a fire-and-forget job, ignoring the queue limit.
     pub fn submit<F: FnOnce() + Send + 'static>(&self, job: F) {
         let mut state = self.shared.state.lock().expect("pool mutex unpoisoned");
-        state.jobs.push_back(Box::new(job));
+        state.push(None, Box::new(job));
         drop(state);
         self.shared.wake.notify_one();
     }
@@ -204,11 +261,30 @@ impl WorkerPool {
     /// Returns `Err(job)` when the queue is full or the pool is
     /// shutting down.
     pub fn try_submit<F: FnOnce() + Send + 'static>(&self, job: F) -> Result<(), F> {
+        self.try_submit_with_deadline(None, job)
+    }
+
+    /// [`try_submit`](WorkerPool::try_submit) with a scheduling
+    /// deadline: queued jobs dequeue earliest-deadline-first, with
+    /// undeadlined jobs (FIFO among themselves) after every deadlined
+    /// one. The deadline orders the queue only — enforcing it is the
+    /// job's own business (the serving layer checks its cancel token at
+    /// dequeue and sheds expired work without computing).
+    ///
+    /// # Errors
+    ///
+    /// Returns `Err(job)` when the queue is full or the pool is
+    /// shutting down.
+    pub fn try_submit_with_deadline<F: FnOnce() + Send + 'static>(
+        &self,
+        deadline: Option<Instant>,
+        job: F,
+    ) -> Result<(), F> {
         let mut state = self.shared.state.lock().expect("pool mutex unpoisoned");
         if state.shutdown || state.jobs.len() >= self.queue_limit {
             return Err(job);
         }
-        state.jobs.push_back(Box::new(job));
+        state.push(deadline, Box::new(job));
         drop(state);
         self.shared.wake.notify_one();
         Ok(())
@@ -345,8 +421,8 @@ fn worker_loop(shared: &Shared) {
         let job = {
             let mut state = shared.state.lock().expect("pool mutex unpoisoned");
             loop {
-                if let Some(job) = state.jobs.pop_front() {
-                    break job;
+                if let Some(queued) = state.jobs.pop() {
+                    break queued.job;
                 }
                 if state.shutdown {
                     return;
@@ -529,6 +605,52 @@ mod tests {
             start.elapsed() < std::time::Duration::from_secs(10),
             "drain took {:?}",
             start.elapsed()
+        );
+    }
+
+    #[test]
+    fn deadlined_jobs_dequeue_earliest_deadline_first() {
+        // One worker parked on a gate, so the queue order is decided
+        // before anything runs: jobs submitted with out-of-order
+        // deadlines must dequeue in deadline order, undeadlined jobs
+        // FIFO after every deadlined one.
+        let pool = WorkerPool::with_queue_limit(1, 16);
+        let gate = Arc::new((Mutex::new(false), Condvar::new()));
+        {
+            let gate = Arc::clone(&gate);
+            pool.submit(move || {
+                let (lock, cv) = &*gate;
+                let mut open = lock.lock().unwrap();
+                while !*open {
+                    open = cv.wait(open).unwrap();
+                }
+            });
+        }
+        loop {
+            if pool.queued_jobs() == 0 {
+                break;
+            }
+            std::thread::yield_now();
+        }
+        let order = Arc::new(Mutex::new(Vec::new()));
+        let now = Instant::now();
+        let tag = |name: &'static str| {
+            let order = Arc::clone(&order);
+            move || order.lock().unwrap().push(name)
+        };
+        let ms = |n: u64| Some(now + std::time::Duration::from_millis(n));
+        assert!(pool.try_submit_with_deadline(None, tag("none-1")).is_ok());
+        assert!(pool.try_submit_with_deadline(ms(300), tag("late")).is_ok());
+        assert!(pool.try_submit_with_deadline(ms(100), tag("early")).is_ok());
+        assert!(pool.try_submit_with_deadline(ms(200), tag("mid")).is_ok());
+        assert!(pool.try_submit_with_deadline(None, tag("none-2")).is_ok());
+        let (lock, cv) = &*gate;
+        *lock.lock().unwrap() = true;
+        cv.notify_all();
+        drop(pool); // drains the queue in dequeue order
+        assert_eq!(
+            *order.lock().unwrap(),
+            vec!["early", "mid", "late", "none-1", "none-2"]
         );
     }
 

@@ -34,12 +34,18 @@ fn approx_bytes(d: &Distribution) -> usize {
     96 + d.len() * (16 + 8 + 8 + 8)
 }
 
+/// An entry evicted under memory pressure, handed back to the caller
+/// so the serving runtime can demote it to the persistent spill tier
+/// instead of discarding it: `(key, flags, value)`. Flags are the
+/// store's record flags (e.g. [`crate::store::FLAG_APPROX`]).
+pub type Evicted = (u64, u8, Arc<Distribution>);
+
 /// One LRU shard: the value map plus a recency index keyed by a
 /// monotone per-shard tick.
 #[derive(Default)]
 struct Shard {
-    /// key → (value, last-touch tick, approximate bytes).
-    map: HashMap<u64, (Arc<Distribution>, u64, usize)>,
+    /// key → (value, last-touch tick, approximate bytes, record flags).
+    map: HashMap<u64, (Arc<Distribution>, u64, usize, u8)>,
     /// last-touch tick → key (unique: ticks only move forward).
     recency: std::collections::BTreeMap<u64, u64>,
     tick: u64,
@@ -49,7 +55,7 @@ struct Shard {
 impl Shard {
     fn touch(&mut self, key: u64) -> Option<Arc<Distribution>> {
         let next_tick = self.tick + 1;
-        let (value, tick, _) = self.map.get_mut(&key)?;
+        let (value, tick, _, _) = self.map.get_mut(&key)?;
         let old = std::mem::replace(tick, next_tick);
         self.tick = next_tick;
         self.recency.remove(&old);
@@ -57,10 +63,18 @@ impl Shard {
         Some(Arc::clone(value))
     }
 
-    fn insert(&mut self, key: u64, value: Arc<Distribution>, budget: usize) -> u64 {
+    fn insert(
+        &mut self,
+        key: u64,
+        value: Arc<Distribution>,
+        flags: u8,
+        budget: usize,
+    ) -> Vec<Evicted> {
         let bytes = approx_bytes(&value);
         self.tick += 1;
-        if let Some((_, old_tick, old_bytes)) = self.map.insert(key, (value, self.tick, bytes)) {
+        if let Some((_, old_tick, old_bytes, _)) =
+            self.map.insert(key, (value, self.tick, bytes, flags))
+        {
             self.recency.remove(&old_tick);
             self.bytes -= old_bytes;
         }
@@ -68,17 +82,18 @@ impl Shard {
         self.bytes += bytes;
         // Evict least-recently-used entries until we fit, but never the
         // entry just inserted (a budget smaller than one entry would
-        // otherwise thrash forever).
-        let mut evicted = 0u64;
+        // otherwise thrash forever). Evicted entries are returned, not
+        // dropped: the caller demotes them to the spill tier.
+        let mut evicted = Vec::new();
         while self.bytes > budget && self.map.len() > 1 {
             let (&lru_tick, &lru_key) = self.recency.iter().next().expect("non-empty recency");
             if lru_key == key {
                 break;
             }
             self.recency.remove(&lru_tick);
-            let (_, _, freed) = self.map.remove(&lru_key).expect("recency maps into map");
+            let (value, _, freed, fl) = self.map.remove(&lru_key).expect("recency maps into map");
             self.bytes -= freed;
-            evicted += 1;
+            evicted.push((lru_key, fl, value));
         }
         evicted
     }
@@ -135,16 +150,40 @@ impl DistCache {
     }
 
     /// Inserts a completed distribution, evicting LRU entries past the
-    /// shard budget.
-    pub fn insert(&self, key: u64, value: Arc<Distribution>) {
-        let evicted =
-            self.shard(key)
-                .lock()
-                .expect("shard unpoisoned")
-                .insert(key, value, self.shard_budget);
-        if evicted > 0 {
-            self.evictions.fetch_add(evicted, Ordering::Relaxed);
+    /// shard budget. Evicted entries are returned (outside any shard
+    /// lock concern — the caller holds only Arcs) so the serving
+    /// runtime can demote them to the persistent spill tier.
+    pub fn insert(&self, key: u64, value: Arc<Distribution>, flags: u8) -> Vec<Evicted> {
+        let evicted = self.shard(key).lock().expect("shard unpoisoned").insert(
+            key,
+            value,
+            flags,
+            self.shard_budget,
+        );
+        if !evicted.is_empty() {
+            self.evictions
+                .fetch_add(evicted.len() as u64, Ordering::Relaxed);
         }
+        evicted
+    }
+
+    /// A snapshot of every resident entry, coldest first within each
+    /// shard — the flush order for a graceful shutdown that wants the
+    /// whole hot set (not just past evictions) in the spill tier, with
+    /// the hottest entries written last so they supersede on replay.
+    #[must_use]
+    pub fn entries(&self) -> Vec<Evicted> {
+        let mut out = Vec::new();
+        for shard in &self.shards {
+            let s = shard.lock().expect("shard unpoisoned");
+            // The recency index iterates coldest-to-hottest already.
+            for &key in s.recency.values() {
+                if let Some((value, _, _, flags)) = s.map.get(&key) {
+                    out.push((key, *flags, Arc::clone(value)));
+                }
+            }
+        }
+        out
     }
 
     /// `(hits, misses, evictions, entries, bytes)` snapshot.
@@ -416,7 +455,7 @@ mod tests {
         let cache = DistCache::new(1 << 20);
         assert!(cache.get(42).is_none());
         cache.note_miss();
-        cache.insert(42, dist(0));
+        cache.insert(42, dist(0), 0);
         let hit = cache.get(42).expect("present");
         assert_eq!(*hit, *dist(0));
         let (hits, misses, evictions, entries, bytes) = cache.stats();
@@ -435,17 +474,41 @@ mod tests {
             .take(4)
             .collect();
         let key = |i: u64| same_shard[i as usize];
-        cache.insert(key(1), dist(1));
-        cache.insert(key(2), dist(2));
+        cache.insert(key(1), dist(1), 0);
+        cache.insert(key(2), dist(2), 0);
         // Touch 1 so 2 becomes the LRU.
         assert!(cache.get(key(1)).is_some());
-        cache.insert(key(3), dist(3));
+        cache.insert(key(3), dist(3), 0);
         assert!(cache.get(key(2)).is_none(), "LRU key evicted");
         assert!(cache.get(key(1)).is_some(), "recently-touched key kept");
         assert!(cache.get(key(3)).is_some(), "new key kept");
         let (_, _, evictions, entries, _) = cache.stats();
         assert_eq!(evictions, 1);
         assert_eq!(entries, 2);
+    }
+
+    #[test]
+    fn eviction_hands_back_the_entry_for_the_spill_tier() {
+        let per_entry = approx_bytes(&dist(0));
+        let cache = DistCache::new(per_entry * 2 * SHARDS + SHARDS);
+        let same_shard: Vec<u64> = (0u64..)
+            .filter(|&k| fold(k) % SHARDS == fold(0) % SHARDS)
+            .take(3)
+            .collect();
+        assert!(cache.insert(same_shard[0], dist(1), 7).is_empty());
+        assert!(cache.insert(same_shard[1], dist(2), 0).is_empty());
+        let evicted = cache.insert(same_shard[2], dist(3), 0);
+        // The coldest entry comes back with its key, flags and value
+        // intact — exactly what a spill to disk needs.
+        assert_eq!(evicted.len(), 1);
+        let (key, flags, value) = &evicted[0];
+        assert_eq!((*key, *flags), (same_shard[0], 7));
+        assert_eq!(**value, *dist(1));
+        // entries() snapshots the survivors, coldest first.
+        let resident = cache.entries();
+        assert_eq!(resident.len(), 2);
+        assert_eq!(resident[0].0, same_shard[1]);
+        assert_eq!(resident[1].0, same_shard[2]);
     }
 
     #[test]
@@ -479,18 +542,18 @@ mod tests {
     #[test]
     fn tiny_budget_never_evicts_the_entry_just_inserted() {
         let cache = DistCache::new(1); // less than one entry
-        cache.insert(7, dist(7));
+        cache.insert(7, dist(7), 0);
         assert!(cache.get(7).is_some(), "sole entry survives");
-        cache.insert(9, dist(9));
+        cache.insert(9, dist(9), 0);
         assert!(cache.get(9).is_some(), "newest entry survives");
     }
 
     #[test]
     fn reinserting_a_key_replaces_without_leaking_bytes() {
         let cache = DistCache::new(1 << 20);
-        cache.insert(5, dist(1));
+        cache.insert(5, dist(1), 0);
         let (_, _, _, _, bytes_once) = cache.stats();
-        cache.insert(5, dist(2));
+        cache.insert(5, dist(2), 0);
         let (_, _, _, entries, bytes_twice) = cache.stats();
         assert_eq!(entries, 1);
         assert_eq!(bytes_once, bytes_twice);

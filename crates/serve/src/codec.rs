@@ -80,6 +80,11 @@ impl<'a> Cur<'a> {
             .collect())
     }
 
+    /// Bytes left unconsumed (for optional trailing extensions).
+    fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
     /// Decoding must consume the payload exactly.
     fn finish(self) -> Result<(), WireError> {
         if self.pos == self.buf.len() {
@@ -145,6 +150,17 @@ fn get_distribution(cur: &mut Cur) -> Result<Distribution, WireError> {
     };
     let probs = cur.f64_array(len)?;
     Ok(Distribution::from_raw_parts(n_bits, keys, keys_hi, probs)?)
+}
+
+/// Decodes a standalone [`put_distribution`] payload, consuming it
+/// exactly. The persistent store ([`crate::store`]) frames this same
+/// layout inside its CRC'd records, so a disk record decodes through
+/// the identical validated path as a wire frame.
+pub(crate) fn read_distribution(payload: &[u8]) -> Result<Distribution, WireError> {
+    let mut cur = Cur::new(payload);
+    let d = get_distribution(&mut cur)?;
+    cur.finish()?;
+    Ok(d)
 }
 
 /// Appends a [`Counts`] histogram: `u16 n_bits, u32 len`, then the
@@ -671,6 +687,19 @@ pub struct ServeStats {
     pub cache_entries: u64,
     /// Current approximate cache footprint in bytes.
     pub cache_bytes: u64,
+    /// Queued requests shed at dequeue because their deadline had
+    /// already expired (no compute spent).
+    pub deadline_sheds: u64,
+    /// Cache evictions demoted into the persistent store.
+    pub store_spills: u64,
+    /// Cache misses served from the persistent store instead of
+    /// recomputing.
+    pub store_loads: u64,
+    /// Records recovered from the store directory at startup.
+    pub store_recovered: u64,
+    /// Store records dropped as corrupt (torn tails, bad CRCs,
+    /// undecodable payloads) — counted, never fatal.
+    pub store_corrupt_dropped: u64,
 }
 
 /// A server → client message.
@@ -745,6 +774,13 @@ impl Reply {
                     s.evictions,
                     s.cache_entries,
                     s.cache_bytes,
+                    // PR 8 extension block: absent in older payloads,
+                    // decoded only when present.
+                    s.deadline_sheds,
+                    s.store_spills,
+                    s.store_loads,
+                    s.store_recovered,
+                    s.store_corrupt_dropped,
                 ] {
                     put_u64(&mut out, v);
                 }
@@ -778,16 +814,29 @@ impl Reply {
                 ehd: cur.f64()?,
                 uniform_ehd: cur.f64()?,
             }),
-            opcode::STATS_REPLY => Self::Stats(ServeStats {
-                requests: cur.u64()?,
-                busy_rejections: cur.u64()?,
-                cache_hits: cur.u64()?,
-                cache_misses: cur.u64()?,
-                coalesced: cur.u64()?,
-                evictions: cur.u64()?,
-                cache_entries: cur.u64()?,
-                cache_bytes: cur.u64()?,
-            }),
+            opcode::STATS_REPLY => {
+                let mut s = ServeStats {
+                    requests: cur.u64()?,
+                    busy_rejections: cur.u64()?,
+                    cache_hits: cur.u64()?,
+                    cache_misses: cur.u64()?,
+                    coalesced: cur.u64()?,
+                    evictions: cur.u64()?,
+                    cache_entries: cur.u64()?,
+                    cache_bytes: cur.u64()?,
+                    ..ServeStats::default()
+                };
+                // Extension block (deadline shedding + persistent
+                // store): a pre-PR-8 server simply omits it.
+                if cur.remaining() > 0 {
+                    s.deadline_sheds = cur.u64()?;
+                    s.store_spills = cur.u64()?;
+                    s.store_loads = cur.u64()?;
+                    s.store_recovered = cur.u64()?;
+                    s.store_corrupt_dropped = cur.u64()?;
+                }
+                Self::Stats(s)
+            }
             opcode::ERROR => {
                 let len = cur.u32()? as usize;
                 let bytes = cur.bytes(len)?;
@@ -907,8 +956,26 @@ mod tests {
             evictions: 2,
             cache_entries: 2,
             cache_bytes: 4096,
+            deadline_sheds: 3,
+            store_spills: 7,
+            store_loads: 6,
+            store_recovered: 5,
+            store_corrupt_dropped: 1,
         });
         assert_eq!(round_trip_reply(&stats), stats);
+        // A pre-extension payload (8 counters only) still decodes, with
+        // the extension counters zeroed — old servers, new clients.
+        let legacy: Vec<u8> = (1u64..=8).flat_map(|v| v.to_le_bytes()).collect();
+        let decoded = Reply::decode(opcode::STATS_REPLY, &legacy).expect("legacy stats");
+        match decoded {
+            Reply::Stats(s) => {
+                assert_eq!(s.requests, 1);
+                assert_eq!(s.cache_bytes, 8);
+                assert_eq!(s.deadline_sheds, 0);
+                assert_eq!(s.store_loads, 0);
+            }
+            other => panic!("expected stats, got {other:?}"),
+        }
         let err = Reply::Error("device width 300 outside 1..=128".into());
         assert_eq!(round_trip_reply(&err), err);
     }

@@ -2,11 +2,13 @@
 //! `fault-points`, on by default and **inert until armed**).
 //!
 //! The TCP-level faults ([`crate::chaos::ChaosProxy`]) exercise the
-//! wire; these exercise the compute path from the inside: a panic in
-//! the middle of a leader's computation, or a computation that dawdles
-//! long enough for deadlines to fire. Both are process-wide globals —
-//! chaos tests that arm them serialize on a lock and [`reset`] when
-//! done.
+//! wire; these exercise the compute and persistence paths from the
+//! inside: a panic in the middle of a leader's computation, a
+//! computation that dawdles long enough for deadlines to fire, or a
+//! hard `abort()` mid-way through a store append / before its fsync /
+//! during recovery truncation (the `repro persist-smoke` crash
+//! drills). All are process-wide globals — chaos tests that arm them
+//! serialize on a lock and [`reset`] when done.
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Duration;
@@ -19,6 +21,18 @@ static PANIC_ON_NTH: AtomicU64 = AtomicU64::new(0);
 static COMPUTES_SEEN: AtomicU64 = AtomicU64::new(0);
 /// Extra latency injected into every compute, in milliseconds.
 static SLOW_MS: AtomicU64 = AtomicU64::new(0);
+/// Abort on the Nth store append, mid-record (1-based); 0 = disarmed.
+static ABORT_ON_NTH_APPEND: AtomicU64 = AtomicU64::new(0);
+/// Store appends observed since the append fault was last armed.
+static APPENDS_SEEN: AtomicU64 = AtomicU64::new(0);
+/// Abort on the Nth store append, just before fsync; 0 = disarmed.
+static ABORT_ON_NTH_FSYNC: AtomicU64 = AtomicU64::new(0);
+/// Pre-fsync points observed since the fsync fault was last armed.
+static FSYNCS_SEEN: AtomicU64 = AtomicU64::new(0);
+/// Abort on the Nth recovery truncation; 0 = disarmed.
+static ABORT_ON_NTH_RECOVERY: AtomicU64 = AtomicU64::new(0);
+/// Recovery truncations observed since that fault was last armed.
+static RECOVERIES_SEEN: AtomicU64 = AtomicU64::new(0);
 
 /// Arms a panic on the `n`-th compute from now (1 = the very next one).
 pub fn arm_panic_on_nth_compute(n: u64) {
@@ -33,11 +47,74 @@ pub fn set_slow_compute_ms(ms: u64) {
     SLOW_MS.store(ms, Ordering::SeqCst);
 }
 
+/// Aborts the process on the `n`-th store append from now, after the
+/// record header reaches the file but before its body does — the
+/// sharpest possible torn-write: a structurally truncated record at
+/// the segment tail.
+pub fn arm_abort_on_nth_store_append(n: u64) {
+    APPENDS_SEEN.store(0, Ordering::SeqCst);
+    ABORT_ON_NTH_APPEND.store(n, Ordering::SeqCst);
+}
+
+/// Aborts the process on the `n`-th store append from now, after the
+/// full record is written but before the fsync commit point. The
+/// record may or may not survive — the drill asserts only that the
+/// store recovers *cleanly*, because fsync is a durability floor, not
+/// a ceiling.
+pub fn arm_abort_on_nth_store_fsync(n: u64) {
+    FSYNCS_SEEN.store(0, Ordering::SeqCst);
+    ABORT_ON_NTH_FSYNC.store(n, Ordering::SeqCst);
+}
+
+/// Aborts the process on the `n`-th torn-tail truncation during store
+/// recovery — a crash *during* crash recovery, which must itself be
+/// recoverable.
+pub fn arm_abort_on_nth_recovery_truncate(n: u64) {
+    RECOVERIES_SEEN.store(0, Ordering::SeqCst);
+    ABORT_ON_NTH_RECOVERY.store(n, Ordering::SeqCst);
+}
+
 /// Disarms every fault point.
 pub fn reset() {
     PANIC_ON_NTH.store(0, Ordering::SeqCst);
     COMPUTES_SEEN.store(0, Ordering::SeqCst);
     SLOW_MS.store(0, Ordering::SeqCst);
+    ABORT_ON_NTH_APPEND.store(0, Ordering::SeqCst);
+    APPENDS_SEEN.store(0, Ordering::SeqCst);
+    ABORT_ON_NTH_FSYNC.store(0, Ordering::SeqCst);
+    FSYNCS_SEEN.store(0, Ordering::SeqCst);
+    ABORT_ON_NTH_RECOVERY.store(0, Ordering::SeqCst);
+    RECOVERIES_SEEN.store(0, Ordering::SeqCst);
+}
+
+/// Fires an armed Nth-event abort. `abort()` (not `panic!`) so nothing
+/// unwinds, no destructor flushes, no buffered write escapes — as
+/// close to `kill -9` as the process can do to itself.
+fn maybe_abort(armed: &AtomicU64, seen: &AtomicU64, what: &str) {
+    let n = armed.load(Ordering::SeqCst);
+    if n > 0 && seen.fetch_add(1, Ordering::SeqCst) + 1 == n {
+        eprintln!("fault point: aborting {what}");
+        std::process::abort();
+    }
+}
+
+/// Hook between a record header's write and its body's (torn write).
+pub(crate) fn on_store_append() {
+    maybe_abort(&ABORT_ON_NTH_APPEND, &APPENDS_SEEN, "mid store append");
+}
+
+/// Hook after a record's write but before its fsync commit point.
+pub(crate) fn on_store_fsync() {
+    maybe_abort(&ABORT_ON_NTH_FSYNC, &FSYNCS_SEEN, "before store fsync");
+}
+
+/// Hook right after recovery truncates a torn tail.
+pub(crate) fn on_recovery_truncate() {
+    maybe_abort(
+        &ABORT_ON_NTH_RECOVERY,
+        &RECOVERIES_SEEN,
+        "during recovery truncation",
+    );
 }
 
 /// The hook the server calls at the start of every leader compute.

@@ -27,6 +27,11 @@
 //!   `u64` fingerprints, backed by a sharded LRU cache of completed
 //!   distributions with hit/miss/eviction/coalesce counters exposed
 //!   through the `Stats` opcode;
+//! * [`store`] / [`DistStore`] — a crash-safe, append-only segment
+//!   store the LRU spills evictions into and reloads misses from:
+//!   CRC'd, fsync'd records; recovery that truncates torn tails and
+//!   skips corrupt records (counted, never fatal); warm restarts over
+//!   the same `--store-dir`;
 //! * [`ServeClient`] — the synchronous, reconnecting client.
 //!
 //! Related mitigators (Q-BEEP and friends) share HAMMER's
@@ -73,8 +78,10 @@ pub mod codec;
 pub mod fault;
 pub mod protocol;
 mod server;
+pub mod store;
 
 pub use client::ServeClient;
 pub use codec::{DeviceSpec, MetricsReply, Reply, Request, SampleJob, ServeStats};
 pub use protocol::WireError;
 pub use server::{serve, DegradeConfig, ServeConfig, ServerHandle};
+pub use store::{DistStore, StoreStats, FLAG_APPROX};

@@ -37,6 +37,7 @@ use hammer_sim::{AutoEngine, WorkerPool};
 use crate::cache::{Claim, ComputeError, ComputeResult, DistCache, InFlight};
 use crate::codec::{Reply, Request, SampleJob, ServeStats};
 use crate::protocol::{read_frame_full, write_frame, Frame, WireError};
+use crate::store::{DistStore, FLAG_APPROX};
 
 /// Graceful-degradation knobs: under queue pressure, large
 /// reconstructions fall back to the ANN-approximate scoring path
@@ -91,6 +92,13 @@ pub struct ServeConfig {
     pub max_connections: usize,
     /// Graceful degradation under queue pressure.
     pub degrade: DegradeConfig,
+    /// Directory of the persistent spill store (`--store-dir`). `None`
+    /// runs without one: evictions are discarded and every restart is
+    /// cold. A directory that cannot be opened degrades to the same —
+    /// never a refused start.
+    pub store_dir: Option<std::path::PathBuf>,
+    /// On-disk byte budget of the spill store, in mebibytes.
+    pub store_mb: usize,
 }
 
 impl Default for ServeConfig {
@@ -105,6 +113,8 @@ impl Default for ServeConfig {
             io_timeout: Some(Duration::from_secs(30)),
             max_connections: 1024,
             degrade: DegradeConfig::default(),
+            store_dir: None,
+            store_mb: 256,
         }
     }
 }
@@ -115,6 +125,9 @@ impl Default for ServeConfig {
 struct RuntimeCounters {
     requests: AtomicU64,
     busy: AtomicU64,
+    /// Queued jobs shed at dequeue because their deadline had already
+    /// expired — answered `DeadlineExceeded` without computing.
+    deadline_sheds: AtomicU64,
     active_jobs: AtomicUsize,
     /// Replies queued to a connection writer but not yet written to the
     /// socket. Graceful shutdown waits for this to reach zero, so the
@@ -128,6 +141,8 @@ struct ServerState {
     request_pool: WorkerPool,
     engine_pool: Arc<WorkerPool>,
     cache: DistCache,
+    /// The persistent spill tier, if configured and openable.
+    store: Option<DistStore>,
     inflight: InFlight,
     counters: RuntimeCounters,
     shutting_down: AtomicBool,
@@ -140,6 +155,11 @@ struct ServerState {
 impl ServerState {
     fn stats(&self) -> ServeStats {
         let (hits, misses, evictions, entries, bytes) = self.cache.stats();
+        let store = self
+            .store
+            .as_ref()
+            .map(DistStore::stats)
+            .unwrap_or_default();
         ServeStats {
             requests: self.counters.requests.load(Ordering::Relaxed),
             busy_rejections: self.counters.busy.load(Ordering::Relaxed),
@@ -149,6 +169,23 @@ impl ServerState {
             evictions,
             cache_entries: entries,
             cache_bytes: bytes,
+            deadline_sheds: self.counters.deadline_sheds.load(Ordering::Relaxed),
+            store_spills: store.spills,
+            store_loads: store.loads,
+            store_recovered: store.recovered,
+            store_corrupt_dropped: store.corrupt_dropped,
+        }
+    }
+
+    /// Inserts a completed distribution into the cache, demoting any
+    /// evicted entries into the spill store. Spill failures lose only
+    /// the demotion (the store skips that entry), never the request.
+    fn insert_cached(&self, key: u64, value: Arc<Distribution>, flags: u8) {
+        let evicted = self.cache.insert(key, value, flags);
+        if let Some(store) = &self.store {
+            for (k, f, d) in evicted {
+                let _ = store.spill(k, f, &d);
+            }
         }
     }
 }
@@ -198,6 +235,16 @@ impl ServerHandle {
         {
             std::thread::sleep(std::time::Duration::from_millis(2));
         }
+        // Graceful shutdowns flush the whole resident hot set — not
+        // just past evictions — into the spill tier, hottest entries
+        // last so they supersede on replay: the next start over this
+        // directory serves warm. (A crash skips this; the store still
+        // holds every spill fsync'd before the crash.)
+        if let Some(store) = &self.state.store {
+            for (key, flags, value) in self.state.cache.entries() {
+                let _ = store.spill(key, flags, &value);
+            }
+        }
         self.state.stats()
     }
 }
@@ -222,10 +269,26 @@ fn begin_shutdown(state: &ServerState, addr: SocketAddr) {
 pub fn serve(config: &ServeConfig) -> std::io::Result<ServerHandle> {
     let listener = TcpListener::bind(&config.addr)?;
     let local_addr = listener.local_addr()?;
+    // A store that cannot be opened is a degraded start (cold cache,
+    // no persistence), never a refused one.
+    let store = config.store_dir.as_ref().and_then(|dir| {
+        let budget = (config.store_mb.max(1) as u64).saturating_mul(1024 * 1024);
+        match DistStore::open(dir, budget) {
+            Ok(store) => Some(store),
+            Err(e) => {
+                eprintln!(
+                    "[serve] store at {} unusable ({e}); serving without persistence",
+                    dir.display()
+                );
+                None
+            }
+        }
+    });
     let state = Arc::new(ServerState {
         request_pool: WorkerPool::with_queue_limit(config.workers.max(1), config.queue_limit),
         engine_pool: Arc::new(WorkerPool::new(config.engine_threads.max(1))),
         cache: DistCache::new(config.cache_mb.saturating_mul(1024 * 1024)),
+        store,
         inflight: InFlight::new(),
         counters: RuntimeCounters::default(),
         shutting_down: AtomicBool::new(false),
@@ -433,20 +496,33 @@ fn connection_loop(stream: TcpStream, state: &Arc<ServerState>, addr: SocketAddr
                 }
                 let job_state = Arc::clone(state);
                 let job_tx = reply_tx.clone();
-                let submitted = state.request_pool.try_submit(move || {
-                    // The cheapest cancellation point: the deadline may
-                    // have expired while the job sat in the queue.
-                    let reply = if cancel.is_cancelled() {
-                        Reply::DeadlineExceeded
-                    } else {
-                        handle_compute(&job_state, compute, &cancel, degraded)
-                    };
-                    job_tx((id, reply));
-                    job_state
-                        .counters
-                        .active_jobs
-                        .fetch_sub(1, Ordering::SeqCst);
-                });
+                // Deadlined jobs queue earliest-deadline-first, so a
+                // mixed-budget storm spends workers on the requests
+                // that can still make it (undeadlined jobs queue FIFO
+                // behind every deadlined one).
+                let queue_deadline = cancel.deadline();
+                let submitted =
+                    state
+                        .request_pool
+                        .try_submit_with_deadline(queue_deadline, move || {
+                            // The cheapest cancellation point: the deadline
+                            // may have expired while the job sat in the
+                            // queue — shed it without computing.
+                            let reply = if cancel.is_cancelled() {
+                                job_state
+                                    .counters
+                                    .deadline_sheds
+                                    .fetch_add(1, Ordering::Relaxed);
+                                Reply::DeadlineExceeded
+                            } else {
+                                handle_compute(&job_state, compute, &cancel, degraded)
+                            };
+                            job_tx((id, reply));
+                            job_state
+                                .counters
+                                .active_jobs
+                                .fetch_sub(1, Ordering::SeqCst);
+                        });
                 if submitted.is_err() {
                     state.counters.active_jobs.fetch_sub(1, Ordering::SeqCst);
                     state.counters.busy.fetch_add(1, Ordering::Relaxed);
@@ -552,7 +628,11 @@ fn handle_compute(
             // builds cannot nest a fan_out on the pool we run on.
             let engine_pool = Arc::clone(&state.engine_pool);
             let job_cancel = cancel.clone();
-            let reply = cached_compute(state, key.finish(), cancel, move || {
+            // The store record carries the approx flag too, so even a
+            // corrupted key directory can never promote an approximate
+            // record to an exact answer.
+            let flags = if degraded { FLAG_APPROX } else { 0 };
+            let reply = cached_compute(state, key.finish(), flags, cancel, move || {
                 Hammer::with_config(config)
                     .with_pool(engine_pool)
                     .try_reconstruct_counts(&counts, &job_cancel)
@@ -567,7 +647,7 @@ fn handle_compute(
             let key = job.fingerprint();
             let engine_pool = Arc::clone(&state.engine_pool);
             let job_cancel = cancel.clone();
-            cached_compute(state, key, cancel, move || {
+            cached_compute(state, key, 0, cancel, move || {
                 run_sample_job(&job, &engine_pool, &job_cancel)
             })
         }
@@ -619,7 +699,17 @@ fn degrade_config(
 /// leader's failure was leader-specific (its deadline fired, its worker
 /// panicked) they re-claim the key and compute for themselves rather
 /// than inherit a failure their budget did not earn.
-fn cached_compute<F>(state: &Arc<ServerState>, key: u64, cancel: &CancelToken, compute: F) -> Reply
+///
+/// A leader that misses the cache probes the persistent store before
+/// computing: a disk hit promotes back into the cache and skips the
+/// computation entirely (`store_loads`, not `cache_misses`).
+fn cached_compute<F>(
+    state: &Arc<ServerState>,
+    key: u64,
+    flags: u8,
+    cancel: &CancelToken,
+    compute: F,
+) -> Reply
 where
     F: FnOnce() -> Result<Distribution, ComputeError>,
 {
@@ -646,6 +736,17 @@ where
                     // waiting for; followers re-lead under their own
                     // budgets.
                     Err(ComputeError::Cancelled)
+                } else if let Some(d) = state
+                    .store
+                    .as_ref()
+                    .and_then(|store| store.load(key, flags))
+                {
+                    // Spill-tier hit: promote back into the cache and
+                    // answer without recomputing. The record was CRC-
+                    // and invariant-revalidated on the way in.
+                    let dist = Arc::new(d);
+                    state.insert_cached(key, Arc::clone(&dist), flags);
+                    Ok(dist)
                 } else {
                     state.cache.note_miss();
                     let job = compute.take().expect("leader computes at most once");
@@ -658,7 +759,7 @@ where
                     })) {
                         Ok(Ok(dist)) => {
                             let dist = Arc::new(dist);
-                            state.cache.insert(key, Arc::clone(&dist));
+                            state.insert_cached(key, Arc::clone(&dist), flags);
                             Ok(dist)
                         }
                         Ok(Err(e)) => Err(e),
