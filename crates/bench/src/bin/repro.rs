@@ -25,7 +25,9 @@ use std::process::ExitCode;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
-use hammer_bench::{ann_bench, experiments, kernel_bench, serve_bench, sim_bench, stab_bench};
+use hammer_bench::{
+    ann_bench, experiments, kernel_bench, obs_bench, serve_bench, sim_bench, stab_bench,
+};
 
 /// Runs one of the JSON-artifact bench subcommands and writes its
 /// output file.
@@ -51,6 +53,10 @@ fn run_bench_artifact(name: &str, quick: bool, out_path: &str) -> ExitCode {
             let report = ann_bench::run(quick);
             (report.render(), report.to_json())
         }
+        "bench-obs" => {
+            let report = obs_bench::run(quick);
+            (report.render(), report.to_json())
+        }
         other => unreachable!("unknown bench subcommand {other}"),
     };
     println!("{rendered}");
@@ -62,9 +68,52 @@ fn run_bench_artifact(name: &str, quick: bool, out_path: &str) -> ExitCode {
     ExitCode::SUCCESS
 }
 
+/// One digest line shared by the periodic `--stats-every` ticker and
+/// the final shutdown report: the legacy counters, plus latency
+/// quantiles and gauges from the metric registry when `--obs` is on.
+/// Both paths read the same snapshot types, so the numbers an operator
+/// tails are the numbers `MetricsSnapshot` serves over the wire.
+fn digest_line(
+    stats: &hammer_serve::ServeStats,
+    obs: Option<&hammer_obs::MetricsSnapshot>,
+) -> String {
+    let mut line = format!(
+        "{} requests ({} hits, {} misses, {} coalesced, {} busy, {} spills, {} loads)",
+        stats.requests,
+        stats.cache_hits,
+        stats.cache_misses,
+        stats.coalesced,
+        stats.busy_rejections,
+        stats.store_spills,
+        stats.store_loads,
+    );
+    if let Some(snap) = obs {
+        if let Some(h) = snap.histogram("serve.request_ns") {
+            line.push_str(&format!(
+                "; request p50/p95/p99 {:.2}/{:.2}/{:.2} ms",
+                h.quantile(0.50) as f64 / 1e6,
+                h.quantile(0.95) as f64 / 1e6,
+                h.quantile(0.99) as f64 / 1e6,
+            ));
+        }
+        if let Some(entries) = snap.gauge("serve.cache.entries") {
+            line.push_str(&format!("; cache {entries} entries"));
+        }
+        if let Some(conns) = snap.gauge("serve.connections") {
+            line.push_str(&format!(", {conns} conns"));
+        }
+    }
+    line
+}
+
 /// `repro serve [--addr A] [--workers N] [--cache-mb MB]
-/// [--store-dir D] [--store-mb MB] [--store-fault KIND:N]`: run the
+/// [--store-dir D] [--store-mb MB] [--store-fault KIND:N]
+/// [--obs] [--stats-every SECS]`: run the
 /// serving subsystem in the foreground until a client sends `Shutdown`.
+///
+/// `--stats-every SECS` prints a periodic stats digest; `--obs` widens
+/// it (and the final shutdown line) with registry latency quantiles,
+/// defaulting the period to 30 s if `--stats-every` is absent.
 ///
 /// `--store-fault` arms a crash-injection point for the persist-smoke
 /// drill: `append:N` aborts mid-way through the Nth store append
@@ -116,6 +165,14 @@ fn run_serve(args: &[String]) -> ExitCode {
             return ExitCode::FAILURE;
         }
     }
+    let obs_digest = args.iter().any(|a| a == "--obs");
+    let stats_every = match usize_flag(args, "--stats-every") {
+        Ok(v) => v.unwrap_or(if obs_digest { 30 } else { 0 }),
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
     // Fault points must be armed before `serve` opens the store: the
     // recovery fault fires during that open.
     match flag_value(args, "--store-fault") {
@@ -159,18 +216,32 @@ fn run_serve(args: &[String]) -> ExitCode {
             .map(|d| format!(", store {} @ {} MiB", d.display(), config.store_mb))
             .unwrap_or_default(),
     );
+    let observer = server.observer();
+    let ticker = (stats_every > 0).then(|| {
+        let observer = observer.clone();
+        std::thread::spawn(move || {
+            let period = std::time::Duration::from_secs(stats_every as u64);
+            let mut next = std::time::Instant::now() + period;
+            while !observer.is_shut_down() {
+                std::thread::sleep(std::time::Duration::from_millis(200));
+                if std::time::Instant::now() >= next {
+                    next += period;
+                    let stats = observer.stats();
+                    let snap = obs_digest.then(|| observer.obs_snapshot());
+                    eprintln!("[serve] {}", digest_line(&stats, snap.as_ref()));
+                }
+            }
+        })
+    });
     let stats = server.wait();
+    let snap = obs_digest.then(|| observer.obs_snapshot());
     eprintln!(
-        "[serve] shut down after {} requests ({} hits, {} misses, {} coalesced, {} busy, \
-         {} spills, {} loads)",
-        stats.requests,
-        stats.cache_hits,
-        stats.cache_misses,
-        stats.coalesced,
-        stats.busy_rejections,
-        stats.store_spills,
-        stats.store_loads,
+        "[serve] shut down after {}",
+        digest_line(&stats, snap.as_ref())
     );
+    if let Some(t) = ticker {
+        let _ = t.join();
+    }
     ExitCode::SUCCESS
 }
 
@@ -757,8 +828,10 @@ fn main() -> ExitCode {
         eprintln!("       repro bench-stab [--quick] [--out PATH]");
         eprintln!("       repro bench-serve [--quick] [--out PATH]");
         eprintln!("       repro bench-ann [--quick] [--out PATH]");
+        eprintln!("       repro bench-obs [--quick] [--out PATH]");
         eprintln!("       repro serve [--addr A] [--workers N] [--cache-mb MB]");
         eprintln!("                   [--store-dir D] [--store-mb MB] [--store-fault SPEC]");
+        eprintln!("                   [--obs] [--stats-every SECS]");
         eprintln!("       repro serve-smoke [--addr A] [--shutdown]");
         eprintln!("       repro chaos-smoke [--quick]");
         eprintln!("       repro persist-smoke [--quick]");
@@ -787,7 +860,7 @@ fn main() -> ExitCode {
     if let Some(bench) = args.iter().find(|a| {
         matches!(
             a.as_str(),
-            "bench-kernel" | "bench-sim" | "bench-stab" | "bench-serve" | "bench-ann"
+            "bench-kernel" | "bench-sim" | "bench-stab" | "bench-serve" | "bench-ann" | "bench-obs"
         )
     }) {
         let out_value = match flag_value(&args, "--out") {
@@ -802,6 +875,7 @@ fn main() -> ExitCode {
             "bench-sim" => "BENCH_sim.json",
             "bench-serve" => "BENCH_serve.json",
             "bench-ann" => "BENCH_ann.json",
+            "bench-obs" => "BENCH_obs.json",
             _ => "BENCH_stab.json",
         };
         // Refuse to silently drop experiment ids passed alongside the

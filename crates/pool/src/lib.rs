@@ -55,6 +55,9 @@ type Job = Box<dyn FnOnce() + Send + 'static>;
 struct QueuedJob {
     deadline: Option<Instant>,
     seq: u64,
+    /// When the job was admitted — observed at pop into the global
+    /// `pool.queue_wait_ns` histogram so EDF queueing delay is visible.
+    enqueued: Instant,
     job: Job,
 }
 
@@ -103,7 +106,12 @@ impl QueueState {
     fn push(&mut self, deadline: Option<Instant>, job: Job) {
         let seq = self.seq;
         self.seq += 1;
-        self.jobs.push(QueuedJob { deadline, seq, job });
+        self.jobs.push(QueuedJob {
+            deadline,
+            seq,
+            enqueued: Instant::now(),
+            job,
+        });
     }
 }
 
@@ -414,6 +422,18 @@ impl Drop for WorkerPool {
     }
 }
 
+/// The process-wide EDF queue-wait histogram: admission-to-dequeue
+/// latency across every pool in the process, on the global registry so
+/// the serving tier's `MetricsSnapshot` opcode exposes it.
+fn queue_wait_hist() -> &'static hammer_obs::Histogram {
+    static H: std::sync::OnceLock<hammer_obs::Histogram> = std::sync::OnceLock::new();
+    H.get_or_init(|| hammer_obs::Registry::global().histogram("pool.queue_wait_ns"))
+}
+
+fn elapsed_ns(since: Instant) -> u64 {
+    since.elapsed().as_nanos().min(u64::MAX as u128) as u64
+}
+
 /// The worker body: pop-run until shutdown *and* the queue is drained
 /// (graceful shutdown finishes queued work instead of dropping it).
 fn worker_loop(shared: &Shared) {
@@ -422,6 +442,7 @@ fn worker_loop(shared: &Shared) {
             let mut state = shared.state.lock().expect("pool mutex unpoisoned");
             loop {
                 if let Some(queued) = state.jobs.pop() {
+                    queue_wait_hist().record(elapsed_ns(queued.enqueued));
                     break queued.job;
                 }
                 if state.shutdown {

@@ -18,7 +18,6 @@
 //! request/busy tallies kept by the server runtime).
 
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 
 use hammer_dist::Distribution;
@@ -100,26 +99,44 @@ impl Shard {
 }
 
 /// The sharded LRU cache with hit/miss/eviction counters.
+///
+/// The counters are [`hammer_obs::Counter`] handles: built via
+/// [`DistCache::with_registry`] they appear in the server's metrics
+/// snapshot under `serve.cache.*`; built via [`DistCache::new`] they
+/// are detached cells with identical semantics.
 pub struct DistCache {
     shards: Vec<Mutex<Shard>>,
     /// Per-shard byte budget (total budget / shard count).
     shard_budget: usize,
-    hits: AtomicU64,
-    misses: AtomicU64,
-    evictions: AtomicU64,
+    hits: hammer_obs::Counter,
+    misses: hammer_obs::Counter,
+    evictions: hammer_obs::Counter,
 }
 
 impl DistCache {
     /// A cache bounded by `capacity_bytes` (approximate, split evenly
-    /// across shards; at least one entry per shard always fits).
+    /// across shards; at least one entry per shard always fits), with
+    /// detached (unregistered) counters.
     #[must_use]
     pub fn new(capacity_bytes: usize) -> Self {
         Self {
             shards: (0..SHARDS).map(|_| Mutex::new(Shard::default())).collect(),
             shard_budget: capacity_bytes / SHARDS,
-            hits: AtomicU64::new(0),
-            misses: AtomicU64::new(0),
-            evictions: AtomicU64::new(0),
+            hits: hammer_obs::Counter::detached(),
+            misses: hammer_obs::Counter::detached(),
+            evictions: hammer_obs::Counter::detached(),
+        }
+    }
+
+    /// [`DistCache::new`], with the counters registered on `registry`
+    /// as `serve.cache.{hits,misses,evictions}`.
+    #[must_use]
+    pub fn with_registry(capacity_bytes: usize, registry: &hammer_obs::Registry) -> Self {
+        Self {
+            hits: registry.counter("serve.cache.hits"),
+            misses: registry.counter("serve.cache.misses"),
+            evictions: registry.counter("serve.cache.evictions"),
+            ..Self::new(capacity_bytes)
         }
     }
 
@@ -139,14 +156,14 @@ impl DistCache {
     pub fn get(&self, key: u64) -> Option<Arc<Distribution>> {
         let found = self.shard(key).lock().expect("shard unpoisoned").touch(key);
         if found.is_some() {
-            self.hits.fetch_add(1, Ordering::Relaxed);
+            self.hits.inc();
         }
         found
     }
 
     /// Records one cache miss (= one underlying computation started).
     pub fn note_miss(&self) {
-        self.misses.fetch_add(1, Ordering::Relaxed);
+        self.misses.inc();
     }
 
     /// Inserts a completed distribution, evicting LRU entries past the
@@ -161,8 +178,7 @@ impl DistCache {
             self.shard_budget,
         );
         if !evicted.is_empty() {
-            self.evictions
-                .fetch_add(evicted.len() as u64, Ordering::Relaxed);
+            self.evictions.add(evicted.len() as u64);
         }
         evicted
     }
@@ -196,9 +212,9 @@ impl DistCache {
             bytes += s.bytes as u64;
         }
         (
-            self.hits.load(Ordering::Relaxed),
-            self.misses.load(Ordering::Relaxed),
-            self.evictions.load(Ordering::Relaxed),
+            self.hits.get(),
+            self.misses.get(),
+            self.evictions.get(),
             entries,
             bytes,
         )
@@ -276,20 +292,30 @@ pub enum Claim {
 #[derive(Default)]
 pub struct InFlight {
     slots: Mutex<HashMap<u64, Arc<Slot>>>,
-    coalesced: AtomicU64,
+    coalesced: hammer_obs::Counter,
 }
 
 impl InFlight {
-    /// An empty map.
+    /// An empty map with a detached coalesce counter.
     #[must_use]
     pub fn new() -> Self {
         Self::default()
     }
 
+    /// An empty map whose coalesce counter is registered on `registry`
+    /// as `serve.coalesced`.
+    #[must_use]
+    pub fn with_registry(registry: &hammer_obs::Registry) -> Self {
+        Self {
+            coalesced: registry.counter("serve.coalesced"),
+            ..Self::new()
+        }
+    }
+
     /// Requests that found a leader to ride on instead of computing.
     #[must_use]
     pub fn coalesced(&self) -> u64 {
-        self.coalesced.load(Ordering::Relaxed)
+        self.coalesced.get()
     }
 
     /// Claims a key: the first claimant becomes the leader, everyone
@@ -298,7 +324,7 @@ impl InFlight {
     pub fn claim(&self, key: u64) -> Claim {
         let mut slots = self.slots.lock().expect("in-flight map unpoisoned");
         if let Some(slot) = slots.get(&key) {
-            self.coalesced.fetch_add(1, Ordering::Relaxed);
+            self.coalesced.inc();
             return Claim::Follower(Arc::clone(slot));
         }
         slots.insert(

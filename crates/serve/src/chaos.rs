@@ -10,14 +10,22 @@
 //!
 //! The proxy is deliberately dumb: it neither parses frames nor knows
 //! the protocol, so every fault it injects is one the real world can
-//! produce (a NAT timeout, a dying switch, a buggy middlebox).
+//! produce (a NAT timeout, a dying switch, a buggy middlebox). The one
+//! concession to observability: the trace-id field sits at a fixed
+//! offset in every v3 frame header, so the proxy *sniffs* (never
+//! decodes) the id of the last request it saw and records it alongside
+//! each fault it fires — `[chaos] …` log lines and
+//! [`ChaosProxy::fault_log`] tie an injected fault back to the victim
+//! request's server-side trace.
 
 use std::io::{Read, Write};
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-use std::sync::Arc;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::Duration;
+
+use crate::protocol::{MAGIC, TRACE_ID_OFFSET, VERSION};
 
 /// What the proxy does to one proxied connection.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -41,11 +49,81 @@ pub enum Fault {
     HalfCloseRequestAfter(usize),
 }
 
+/// One injected fault, recorded the moment it first perturbed traffic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaultEvent {
+    /// 0-based accept-order index of the victim connection.
+    pub connection: usize,
+    /// The fault the schedule assigned to that connection.
+    pub fault: Fault,
+    /// Trace id of the last v3 request frame the proxy saw on the
+    /// victim connection before the fault fired, if it saw one (bare
+    /// clients and pre-v3 frames leave this `None`).
+    pub trace_id: Option<u64>,
+}
+
+/// Per-connection fault bookkeeping, shared by both pump directions.
+struct FaultMonitor {
+    connection: usize,
+    fault: Fault,
+    /// Last trace id sniffed from a request-direction chunk (0 = none).
+    last_trace: AtomicU64,
+    /// Whether this connection's fault has been logged already — each
+    /// fault is recorded once, at first effect.
+    logged: AtomicBool,
+    log: Arc<Mutex<Vec<FaultEvent>>>,
+}
+
+impl FaultMonitor {
+    /// Remembers the trace id of a request-direction chunk that starts
+    /// a v3 frame. A fixed-offset peek, not a protocol decode: the
+    /// proxy stays dumb enough that every fault it injects remains one
+    /// a real middlebox could produce.
+    fn sniff(&self, chunk: &[u8]) {
+        if chunk.len() >= TRACE_ID_OFFSET + 8
+            && chunk[..MAGIC.len()] == MAGIC
+            && chunk[MAGIC.len()..MAGIC.len() + 2] == VERSION.to_le_bytes()
+        {
+            let mut id = [0u8; 8];
+            id.copy_from_slice(&chunk[TRACE_ID_OFFSET..TRACE_ID_OFFSET + 8]);
+            self.last_trace
+                .store(u64::from_le_bytes(id), Ordering::Relaxed);
+        }
+    }
+
+    /// Records the fault the first time it actually perturbs traffic.
+    fn fired(&self) {
+        if self.logged.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        let event = FaultEvent {
+            connection: self.connection,
+            fault: self.fault,
+            trace_id: match self.last_trace.load(Ordering::Relaxed) {
+                0 => None,
+                id => Some(id),
+            },
+        };
+        match event.trace_id {
+            Some(id) => eprintln!(
+                "[chaos] conn {} fault {:?} trace {id:#018x}",
+                event.connection, event.fault
+            ),
+            None => eprintln!(
+                "[chaos] conn {} fault {:?} (untraced)",
+                event.connection, event.fault
+            ),
+        }
+        self.log.lock().expect("fault log unpoisoned").push(event);
+    }
+}
+
 /// A running chaos proxy; dropping it severs every proxied connection.
 pub struct ChaosProxy {
     local_addr: SocketAddr,
     stop: Arc<AtomicBool>,
     accepted: Arc<AtomicUsize>,
+    log: Arc<Mutex<Vec<FaultEvent>>>,
     acceptor: Option<JoinHandle<()>>,
 }
 
@@ -65,9 +143,11 @@ impl ChaosProxy {
         listener.set_nonblocking(true)?;
         let stop = Arc::new(AtomicBool::new(false));
         let accepted = Arc::new(AtomicUsize::new(0));
+        let log = Arc::new(Mutex::new(Vec::new()));
         let acceptor = {
             let stop = Arc::clone(&stop);
             let accepted = Arc::clone(&accepted);
+            let log = Arc::clone(&log);
             std::thread::Builder::new()
                 .name("chaos-proxy-accept".into())
                 .spawn(move || {
@@ -81,9 +161,18 @@ impl ChaosProxy {
                                     schedule[n % schedule.len()]
                                 };
                                 let stop = Arc::clone(&stop);
+                                let monitor = Arc::new(FaultMonitor {
+                                    connection: n,
+                                    fault,
+                                    last_trace: AtomicU64::new(0),
+                                    logged: AtomicBool::new(false),
+                                    log: Arc::clone(&log),
+                                });
                                 let _ = std::thread::Builder::new()
                                     .name("chaos-proxy-conn".into())
-                                    .spawn(move || proxy_connection(client, upstream, fault, stop));
+                                    .spawn(move || {
+                                        proxy_connection(client, upstream, fault, stop, &monitor);
+                                    });
                             }
                             Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
                                 std::thread::sleep(Duration::from_millis(2));
@@ -98,6 +187,7 @@ impl ChaosProxy {
             local_addr,
             stop,
             accepted,
+            log,
             acceptor: Some(acceptor),
         })
     }
@@ -113,6 +203,15 @@ impl ChaosProxy {
     pub fn accepted(&self) -> usize {
         self.accepted.load(Ordering::SeqCst)
     }
+
+    /// Every fault that has actually fired so far — one entry per
+    /// perturbed connection, tagged with the victim request's trace id
+    /// when the proxy saw one on the wire. Scheduled-but-dormant faults
+    /// (the connection never hit the trigger) do not appear.
+    #[must_use]
+    pub fn fault_log(&self) -> Vec<FaultEvent> {
+        self.log.lock().expect("fault log unpoisoned").clone()
+    }
 }
 
 impl Drop for ChaosProxy {
@@ -126,7 +225,13 @@ impl Drop for ChaosProxy {
 
 /// Pumps one proxied connection, applying `fault` to the two
 /// directions. Request direction = client→upstream.
-fn proxy_connection(client: TcpStream, upstream: SocketAddr, fault: Fault, stop: Arc<AtomicBool>) {
+fn proxy_connection(
+    client: TcpStream,
+    upstream: SocketAddr,
+    fault: Fault,
+    stop: Arc<AtomicBool>,
+    monitor: &Arc<FaultMonitor>,
+) {
     let Ok(server) = TcpStream::connect(upstream) else {
         return;
     };
@@ -151,19 +256,27 @@ fn proxy_connection(client: TcpStream, upstream: SocketAddr, fault: Fault, stop:
     };
     let up = {
         let stop = Arc::clone(&stop);
+        let monitor = Arc::clone(monitor);
         std::thread::Builder::new()
             .name("chaos-pump-up".into())
-            .spawn(move || pump(client_r, server, request_fault, true, &stop))
+            .spawn(move || pump(client_r, server, request_fault, true, &stop, &monitor))
     };
     // Reply direction runs on this thread.
-    pump(server_r, client, reply_fault, false, &stop);
+    pump(server_r, client, reply_fault, false, &stop, monitor);
     if let Ok(handle) = up {
         let _ = handle.join();
     }
 }
 
 /// Copies bytes `src → dst`, applying one fault, until EOF/stop/error.
-fn pump(mut src: TcpStream, mut dst: TcpStream, fault: Fault, is_request: bool, stop: &AtomicBool) {
+fn pump(
+    mut src: TcpStream,
+    mut dst: TcpStream,
+    fault: Fault,
+    is_request: bool,
+    stop: &AtomicBool,
+    monitor: &FaultMonitor,
+) {
     let mut buf = [0u8; 4096];
     let mut forwarded = 0usize;
     loop {
@@ -189,11 +302,20 @@ fn pump(mut src: TcpStream, mut dst: TcpStream, fault: Fault, is_request: bool, 
             Err(_) => return,
         };
         let chunk = &mut buf[..n];
+        // Sniff the victim's trace id before the fault can mangle the
+        // chunk, so a corrupted frame still logs its original id.
+        if is_request {
+            monitor.sniff(chunk);
+        }
         match fault {
             Fault::None => {}
-            Fault::DelayMs(ms) => std::thread::sleep(Duration::from_millis(ms)),
+            Fault::DelayMs(ms) => {
+                monitor.fired();
+                std::thread::sleep(Duration::from_millis(ms));
+            }
             Fault::DropRequestAfter(limit) | Fault::TruncateReplyAfter(limit) => {
                 if forwarded >= limit {
+                    monitor.fired();
                     if matches!(fault, Fault::TruncateReplyAfter(_)) {
                         // Sever: the client must see a hard truncation,
                         // not a stall.
@@ -206,11 +328,15 @@ fn pump(mut src: TcpStream, mut dst: TcpStream, fault: Fault, is_request: bool, 
                     continue;
                 }
                 let allowed = (limit - forwarded).min(n);
+                if allowed < n {
+                    monitor.fired();
+                }
                 if write_all(&mut dst, &chunk[..allowed]).is_err() {
                     return;
                 }
                 forwarded += n;
                 if matches!(fault, Fault::TruncateReplyAfter(_)) && forwarded >= limit {
+                    monitor.fired();
                     let _ = dst.shutdown(Shutdown::Both);
                     let _ = src.shutdown(Shutdown::Both);
                     return;
@@ -219,11 +345,13 @@ fn pump(mut src: TcpStream, mut dst: TcpStream, fault: Fault, is_request: bool, 
             }
             Fault::CorruptRequestByte(offset) => {
                 if is_request && (forwarded..forwarded + n).contains(&offset) {
+                    monitor.fired();
                     chunk[offset - forwarded] ^= 0xFF;
                 }
             }
             Fault::HalfCloseRequestAfter(limit) => {
                 if is_request && forwarded + n >= limit {
+                    monitor.fired();
                     let allowed = limit.saturating_sub(forwarded).min(n);
                     let _ = write_all(&mut dst, &chunk[..allowed]);
                     let _ = dst.shutdown(Shutdown::Write);

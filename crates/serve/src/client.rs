@@ -20,8 +20,8 @@ use std::time::{Duration, Instant};
 use hammer_core::HammerConfig;
 use hammer_dist::{BitString, Counts, Distribution};
 
-use crate::codec::{MetricsReply, Reply, Request, SampleJob, ServeStats};
-use crate::protocol::{read_frame, write_frame_with_deadline, WireError};
+use crate::codec::{MetricsReply, Reply, Request, SampleJob, ServeStats, TraceDumpEntry};
+use crate::protocol::{read_frame, write_frame_traced, WireError};
 
 /// The floor for a deadline-derived socket timeout: a budget of a few
 /// milliseconds still deserves one real read attempt.
@@ -61,6 +61,12 @@ pub struct ServeClient {
     /// Per-call time budget; stamped into every request frame so the
     /// server can cancel work the client stopped waiting for.
     deadline: Option<Duration>,
+    /// A caller-pinned trace id; `None` generates a fresh one per call.
+    pinned_trace_id: Option<u64>,
+    /// The trace id the most recent call went out under (0 before the
+    /// first call) — the handle for correlating a slow reply with the
+    /// server's `TraceDump`.
+    last_trace_id: u64,
 }
 
 impl ServeClient {
@@ -81,7 +87,25 @@ impl ServeClient {
             busy_backoff: Duration::from_millis(10),
             io_timeout: None,
             deadline: None,
+            pinned_trace_id: None,
+            last_trace_id: 0,
         })
+    }
+
+    /// Pins every subsequent call to one trace id instead of generating
+    /// a fresh id per call — the tool for correlating a scripted
+    /// sequence of requests in the server's `TraceDump`. `0` unpins.
+    #[must_use]
+    pub fn with_trace_id(mut self, trace_id: u64) -> Self {
+        self.pinned_trace_id = (trace_id != 0).then_some(trace_id);
+        self
+    }
+
+    /// The trace id the most recent call was stamped with (stable
+    /// across that call's transport/busy retries; 0 before any call).
+    #[must_use]
+    pub fn last_trace_id(&self) -> u64 {
+        self.last_trace_id
     }
 
     /// Bounds every socket read and write. Without one, a server that
@@ -145,6 +169,7 @@ impl ServeClient {
         id: u64,
         request: &Request,
         deadline: Option<Instant>,
+        trace_id: u64,
     ) -> Result<Reply, WireError> {
         let opcode = request.opcode();
         let payload = request.encode();
@@ -174,7 +199,7 @@ impl ServeClient {
             stream.set_read_timeout(nonzero(io_timeout))?;
             stream.set_write_timeout(nonzero(io_timeout))?;
         }
-        write_frame_with_deadline(stream, id, opcode, deadline_ms, &payload)?;
+        write_frame_traced(stream, id, opcode, deadline_ms, trace_id, &payload)?;
         loop {
             let (reply_id, op, body) = read_frame(stream)?;
             // A sync client has exactly one request outstanding; anything
@@ -200,11 +225,17 @@ impl ServeClient {
     /// surface as [`WireError::Busy`].
     pub fn call(&mut self, request: &Request) -> Result<Reply, WireError> {
         let deadline = self.deadline.map(|budget| Instant::now() + budget);
+        // One id per *call*, not per attempt: every retry of this
+        // request shows up in the server's traces under the same id.
+        let trace_id = self
+            .pinned_trace_id
+            .unwrap_or_else(hammer_obs::gen_trace_id);
+        self.last_trace_id = trace_id;
         let mut busy_attempts = 0u32;
         loop {
             let id = self.next_id;
             self.next_id += 1;
-            let result = match self.call_once(id, request, deadline) {
+            let result = match self.call_once(id, request, deadline, trace_id) {
                 Err(WireError::Io(e)) => {
                     // Out of budget is a final verdict, not a dead
                     // connection; everything else (server restart, idle
@@ -219,7 +250,7 @@ impl ServeClient {
                     if timed_out && deadline.is_some_and(|dl| Instant::now() >= dl) {
                         return Err(WireError::DeadlineExceeded);
                     }
-                    self.call_once(id, request, deadline)
+                    self.call_once(id, request, deadline, trace_id)
                 }
                 Ok(Reply::ShuttingDown) => {
                     // The server said, in-band, that it is going away: a
@@ -228,7 +259,7 @@ impl ServeClient {
                     // there (yet), the honest verdict is still
                     // `ShuttingDown`, not a transport error.
                     self.stream = None;
-                    match self.call_once(id, request, deadline) {
+                    match self.call_once(id, request, deadline, trace_id) {
                         Err(WireError::Io(_)) => Ok(Reply::ShuttingDown),
                         other => other,
                     }
@@ -364,6 +395,34 @@ impl ServeClient {
     pub fn stats(&mut self) -> Result<ServeStats, WireError> {
         match self.call(&Request::Stats)? {
             Reply::Stats(s) => Ok(s),
+            other => Err(Self::unexpected(other)),
+        }
+    }
+
+    /// Drains the server's slow-request trace ring: span trees of every
+    /// request that crossed the configured slow threshold (or missed
+    /// its deadline) since the last dump. Draining is destructive —
+    /// two monitors polling one server split the traces between them.
+    ///
+    /// # Errors
+    ///
+    /// Transport/protocol failures.
+    pub fn trace_dump(&mut self) -> Result<Vec<TraceDumpEntry>, WireError> {
+        match self.call(&Request::TraceDump)? {
+            Reply::TraceDump(entries) => Ok(entries),
+            other => Err(Self::unexpected(other)),
+        }
+    }
+
+    /// Snapshots every registered metric series (counters, gauges and
+    /// latency histograms; server-local merged with process-global).
+    ///
+    /// # Errors
+    ///
+    /// Transport/protocol failures.
+    pub fn metrics_snapshot(&mut self) -> Result<hammer_obs::MetricsSnapshot, WireError> {
+        match self.call(&Request::MetricsSnapshot)? {
+            Reply::MetricsSnapshot(snap) => Ok(snap),
             other => Err(Self::unexpected(other)),
         }
     }

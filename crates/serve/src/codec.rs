@@ -567,6 +567,10 @@ pub enum Request {
     SampleAndReconstruct(SampleJob),
     /// Snapshot the serving counters.
     Stats,
+    /// Drain the server's captured slow-request traces.
+    TraceDump,
+    /// Snapshot every registered observability series.
+    MetricsSnapshot,
     /// Graceful shutdown.
     Shutdown,
 }
@@ -581,6 +585,8 @@ impl Request {
             Self::Metrics { .. } => opcode::METRICS,
             Self::SampleAndReconstruct(_) => opcode::SAMPLE_AND_RECONSTRUCT,
             Self::Stats => opcode::STATS,
+            Self::TraceDump => opcode::TRACE_DUMP,
+            Self::MetricsSnapshot => opcode::METRICS_SNAPSHOT,
             Self::Shutdown => opcode::SHUTDOWN,
         }
     }
@@ -591,7 +597,8 @@ impl Request {
     pub fn encode(&self) -> Vec<u8> {
         let mut out = Vec::new();
         match self {
-            Self::Ping | Self::Stats | Self::Shutdown => {}
+            Self::Ping | Self::Stats | Self::TraceDump | Self::MetricsSnapshot | Self::Shutdown => {
+            }
             Self::Reconstruct { config, counts } => {
                 put_config(&mut out, config);
                 put_counts(&mut out, counts);
@@ -622,6 +629,8 @@ impl Request {
         let req = match op {
             opcode::PING => Self::Ping,
             opcode::STATS => Self::Stats,
+            opcode::TRACE_DUMP => Self::TraceDump,
+            opcode::METRICS_SNAPSHOT => Self::MetricsSnapshot,
             opcode::SHUTDOWN => Self::Shutdown,
             opcode::RECONSTRUCT => {
                 let config = get_config(&mut cur)?;
@@ -702,6 +711,179 @@ pub struct ServeStats {
     pub store_corrupt_dropped: u64,
 }
 
+/// One decoded stage span of a captured request trace.
+///
+/// The wire-side mirror of [`hammer_obs::Span`]: stage names arrive as
+/// owned strings because the receiving process does not share the
+/// server's `&'static str` table.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceSpan {
+    /// Stage name (`decode`, `queue`, `cache_probe`, …).
+    pub stage: String,
+    /// Start offset from the request's arrival, in nanoseconds.
+    pub start_ns: u64,
+    /// Stage duration in nanoseconds.
+    pub dur_ns: u64,
+}
+
+/// One captured slow-request trace returned by the `TraceDump` opcode.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceDumpEntry {
+    /// The request's 64-bit trace ID (client-stamped or
+    /// server-assigned).
+    pub trace_id: u64,
+    /// The request opcode.
+    pub opcode: u8,
+    /// The reply opcode the request ended with (distribution, busy,
+    /// deadline-exceeded, …).
+    pub outcome: u8,
+    /// Total request wall time in nanoseconds.
+    pub total_ns: u64,
+    /// Stage spans ordered by start offset.
+    pub spans: Vec<TraceSpan>,
+}
+
+impl From<hammer_obs::RequestTrace> for TraceDumpEntry {
+    fn from(t: hammer_obs::RequestTrace) -> Self {
+        Self {
+            trace_id: t.trace_id,
+            opcode: t.opcode,
+            outcome: t.outcome,
+            total_ns: t.total_ns,
+            spans: t
+                .spans
+                .into_iter()
+                .map(|s| TraceSpan {
+                    stage: s.stage.to_string(),
+                    start_ns: s.start_ns,
+                    dur_ns: s.dur_ns,
+                })
+                .collect(),
+        }
+    }
+}
+
+fn put_str(out: &mut Vec<u8>, s: &str) {
+    put_u32(out, s.len() as u32);
+    out.extend_from_slice(s.as_bytes());
+}
+
+fn get_str(cur: &mut Cur<'_>) -> Result<String, WireError> {
+    let len = cur.u32()? as usize;
+    let bytes = cur.bytes(len)?;
+    std::str::from_utf8(bytes)
+        .map(str::to_owned)
+        .map_err(|_| WireError::Malformed("string not UTF-8".into()))
+}
+
+fn put_trace_dump(out: &mut Vec<u8>, traces: &[TraceDumpEntry]) {
+    put_u32(out, traces.len() as u32);
+    for t in traces {
+        put_u64(out, t.trace_id);
+        out.push(t.opcode);
+        out.push(t.outcome);
+        put_u64(out, t.total_ns);
+        put_u32(out, t.spans.len() as u32);
+        for s in &t.spans {
+            put_str(out, &s.stage);
+            put_u64(out, s.start_ns);
+            put_u64(out, s.dur_ns);
+        }
+    }
+}
+
+fn get_trace_dump(cur: &mut Cur<'_>) -> Result<Vec<TraceDumpEntry>, WireError> {
+    let n = cur.u32()? as usize;
+    let mut traces = Vec::with_capacity(n.min(1024));
+    for _ in 0..n {
+        let trace_id = cur.u64()?;
+        let opcode = cur.u8()?;
+        let outcome = cur.u8()?;
+        let total_ns = cur.u64()?;
+        let n_spans = cur.u32()? as usize;
+        let mut spans = Vec::with_capacity(n_spans.min(1024));
+        for _ in 0..n_spans {
+            let stage = get_str(cur)?;
+            let start_ns = cur.u64()?;
+            let dur_ns = cur.u64()?;
+            spans.push(TraceSpan {
+                stage,
+                start_ns,
+                dur_ns,
+            });
+        }
+        traces.push(TraceDumpEntry {
+            trace_id,
+            opcode,
+            outcome,
+            total_ns,
+            spans,
+        });
+    }
+    Ok(traces)
+}
+
+fn put_obs_snapshot(out: &mut Vec<u8>, snap: &hammer_obs::MetricsSnapshot) {
+    use hammer_obs::SeriesValue;
+    put_u32(out, snap.series.len() as u32);
+    for s in &snap.series {
+        put_str(out, &s.name);
+        match &s.value {
+            SeriesValue::Counter(v) => {
+                out.push(0);
+                put_u64(out, *v);
+            }
+            SeriesValue::Gauge(v) => {
+                out.push(1);
+                put_u64(out, *v as u64);
+            }
+            SeriesValue::Histogram(h) => {
+                out.push(2);
+                // Sparse bucket encoding: most of the 64 log₂ buckets
+                // are empty in practice.
+                let nonzero = h.buckets.iter().filter(|&&c| c != 0).count();
+                out.push(nonzero as u8);
+                for (i, &c) in h.buckets.iter().enumerate() {
+                    if c != 0 {
+                        out.push(i as u8);
+                        put_u64(out, c);
+                    }
+                }
+            }
+        }
+    }
+}
+
+fn get_obs_snapshot(cur: &mut Cur<'_>) -> Result<hammer_obs::MetricsSnapshot, WireError> {
+    use hammer_obs::{HistogramSnapshot, SeriesSnapshot, SeriesValue, HIST_BUCKETS};
+    let n = cur.u32()? as usize;
+    let mut series = Vec::with_capacity(n.min(4096));
+    for _ in 0..n {
+        let name = get_str(cur)?;
+        let value = match cur.u8()? {
+            0 => SeriesValue::Counter(cur.u64()?),
+            1 => SeriesValue::Gauge(cur.u64()? as i64),
+            2 => {
+                let mut h = HistogramSnapshot::empty();
+                let nonzero = cur.u8()? as usize;
+                for _ in 0..nonzero {
+                    let idx = cur.u8()? as usize;
+                    if idx >= HIST_BUCKETS {
+                        return Err(WireError::Malformed(format!(
+                            "histogram bucket index {idx} out of range"
+                        )));
+                    }
+                    h.buckets[idx] = cur.u64()?;
+                }
+                SeriesValue::Histogram(h)
+            }
+            other => return Err(WireError::Malformed(format!("unknown series kind {other}"))),
+        };
+        series.push(SeriesSnapshot { name, value });
+    }
+    Ok(hammer_obs::MetricsSnapshot { series })
+}
+
 /// A server → client message.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Reply {
@@ -717,6 +899,10 @@ pub enum Reply {
     Metrics(MetricsReply),
     /// Serving counters.
     Stats(ServeStats),
+    /// Captured slow-request traces, oldest first.
+    TraceDump(Vec<TraceDumpEntry>),
+    /// A full observability snapshot.
+    MetricsSnapshot(hammer_obs::MetricsSnapshot),
     /// Shutdown acknowledged.
     ShutdownAck,
     /// Backpressure: retry later.
@@ -739,6 +925,8 @@ impl Reply {
             Self::ApproxDistribution(_) => opcode::DISTRIBUTION_APPROX,
             Self::Metrics(_) => opcode::METRICS_REPLY,
             Self::Stats(_) => opcode::STATS_REPLY,
+            Self::TraceDump(_) => opcode::TRACE_DUMP_REPLY,
+            Self::MetricsSnapshot(_) => opcode::METRICS_SNAPSHOT_REPLY,
             Self::ShutdownAck => opcode::SHUTDOWN_ACK,
             Self::Busy => opcode::BUSY,
             Self::DeadlineExceeded => opcode::DEADLINE_EXCEEDED,
@@ -785,6 +973,8 @@ impl Reply {
                     put_u64(&mut out, v);
                 }
             }
+            Self::TraceDump(traces) => put_trace_dump(&mut out, traces),
+            Self::MetricsSnapshot(snap) => put_obs_snapshot(&mut out, snap),
             Self::Error(msg) => {
                 put_u32(&mut out, msg.len() as u32);
                 out.extend_from_slice(msg.as_bytes());
@@ -837,6 +1027,8 @@ impl Reply {
                 }
                 Self::Stats(s)
             }
+            opcode::TRACE_DUMP_REPLY => Self::TraceDump(get_trace_dump(&mut cur)?),
+            opcode::METRICS_SNAPSHOT_REPLY => Self::MetricsSnapshot(get_obs_snapshot(&mut cur)?),
             opcode::ERROR => {
                 let len = cur.u32()? as usize;
                 let bytes = cur.bytes(len)?;
@@ -976,8 +1168,99 @@ mod tests {
             }
             other => panic!("expected stats, got {other:?}"),
         }
+        // The registry migration must not have changed the wire layout:
+        // a full payload is still exactly 13 little-endian u64s, and a
+        // new client reading an old 8-counter server keeps working (and
+        // vice versa — the extension decode is gated on remaining
+        // bytes, not version).
+        assert_eq!(stats.encode().len(), 13 * 8);
+        let truncated = &stats.encode()[..8 * 8];
+        match Reply::decode(opcode::STATS_REPLY, truncated).expect("truncated stats") {
+            Reply::Stats(s) => {
+                assert_eq!(s.requests, 10);
+                assert_eq!(s.cache_bytes, 4096);
+                assert_eq!(s.store_spills, 0);
+            }
+            other => panic!("expected stats, got {other:?}"),
+        }
         let err = Reply::Error("device width 300 outside 1..=128".into());
         assert_eq!(round_trip_reply(&err), err);
+    }
+
+    #[test]
+    fn trace_dump_round_trips() {
+        for req in [Request::TraceDump, Request::MetricsSnapshot] {
+            assert_eq!(round_trip_request(&req), req);
+        }
+        let reply = Reply::TraceDump(vec![
+            TraceDumpEntry {
+                trace_id: 0xABCD,
+                opcode: opcode::RECONSTRUCT,
+                outcome: opcode::DISTRIBUTION,
+                total_ns: 1_234_567,
+                spans: vec![
+                    TraceSpan {
+                        stage: "decode".into(),
+                        start_ns: 0,
+                        dur_ns: 1_000,
+                    },
+                    TraceSpan {
+                        stage: "compute".into(),
+                        start_ns: 5_000,
+                        dur_ns: 1_200_000,
+                    },
+                ],
+            },
+            TraceDumpEntry {
+                trace_id: 7,
+                opcode: opcode::SAMPLE_AND_RECONSTRUCT,
+                outcome: opcode::DEADLINE_EXCEEDED,
+                total_ns: 42,
+                spans: Vec::new(),
+            },
+        ]);
+        assert_eq!(round_trip_reply(&reply), reply);
+        assert_eq!(round_trip_reply(&Reply::TraceDump(Vec::new())), {
+            Reply::TraceDump(Vec::new())
+        });
+    }
+
+    #[test]
+    fn metrics_snapshot_round_trips() {
+        use hammer_obs::Registry;
+        let reg = Registry::new();
+        reg.counter("serve.requests").add(17);
+        reg.gauge("serve.cache.bytes").set(-3);
+        let h = reg.histogram("serve.stage.compute_ns");
+        for ns in [100u64, 150, 1_000_000, u64::MAX] {
+            h.record(ns);
+        }
+        let snap = reg.snapshot();
+        let reply = Reply::MetricsSnapshot(snap.clone());
+        let decoded = round_trip_reply(&reply);
+        match &decoded {
+            Reply::MetricsSnapshot(got) => {
+                assert_eq!(got, &snap);
+                assert_eq!(got.counter("serve.requests"), Some(17));
+                assert_eq!(got.gauge("serve.cache.bytes"), Some(-3));
+                let hist = got.histogram("serve.stage.compute_ns").unwrap();
+                assert_eq!(hist.count(), 4);
+            }
+            other => panic!("expected snapshot, got {other:?}"),
+        }
+        // An empty snapshot is legal (no series registered yet).
+        let empty = Reply::MetricsSnapshot(hammer_obs::MetricsSnapshot::default());
+        assert_eq!(round_trip_reply(&empty), empty);
+        // Unknown series kinds are rejected, not panicked on.
+        let mut bad = Vec::new();
+        bad.extend_from_slice(&1u32.to_le_bytes());
+        bad.extend_from_slice(&1u32.to_le_bytes());
+        bad.push(b'x');
+        bad.push(9);
+        assert!(matches!(
+            Reply::decode(opcode::METRICS_SNAPSHOT_REPLY, &bad),
+            Err(WireError::Malformed(_))
+        ));
     }
 
     #[test]

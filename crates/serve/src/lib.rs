@@ -32,7 +32,13 @@
 //!   CRC'd, fsync'd records; recovery that truncates torn tails and
 //!   skips corrupt records (counted, never fatal); warm restarts over
 //!   the same `--store-dir`;
-//! * [`ServeClient`] — the synchronous, reconnecting client.
+//! * [`ServeClient`] — the synchronous, reconnecting client;
+//! * **observability** (`hammer_obs`) — every server owns a metric
+//!   registry (counters, gauges, per-stage latency histograms) exposed
+//!   by the `MetricsSnapshot` opcode; compute requests carry a 64-bit
+//!   trace id in the v3 frame header from client to reply, and slow or
+//!   deadline-exceeded requests park their per-stage span tree in a
+//!   ring drained by the `TraceDump` opcode.
 //!
 //! Related mitigators (Q-BEEP and friends) share HAMMER's
 //! counts-to-distribution contract, so the wire format is deliberately
@@ -81,7 +87,9 @@ mod server;
 pub mod store;
 
 pub use client::ServeClient;
-pub use codec::{DeviceSpec, MetricsReply, Reply, Request, SampleJob, ServeStats};
+pub use codec::{
+    DeviceSpec, MetricsReply, Reply, Request, SampleJob, ServeStats, TraceDumpEntry, TraceSpan,
+};
 pub use protocol::WireError;
-pub use server::{serve, DegradeConfig, ServeConfig, ServerHandle};
+pub use server::{serve, DegradeConfig, ServeConfig, ServeObserver, ServerHandle};
 pub use store::{DistStore, StoreStats, FLAG_APPROX};

@@ -8,19 +8,24 @@
 //! ```text
 //! offset  size  field
 //! 0       4     magic       b"HAMR"
-//! 4       2     version     u16 LE, currently 2
+//! 4       2     version     u16 LE, currently 3
 //! 6       1     opcode      message discriminant
 //! 7       8     request id  u64 LE, echoed verbatim in the reply
-//! 15      4     deadline    u32 LE milliseconds, 0 = none (v2 only)
-//! 19      4     payload len u32 LE, bytes that follow (≤ 64 MiB)
-//! 23      …     payload     opcode-specific (see [`crate::codec`])
+//! 15      8     trace id    u64 LE, 0 = untraced (v3 only)
+//! 23      4     deadline    u32 LE milliseconds, 0 = none (v2/v3)
+//! 27      4     payload len u32 LE, bytes that follow (≤ 64 MiB)
+//! 31      …     payload     opcode-specific (see [`crate::codec`])
 //! ```
 //!
 //! Version 2 added the `deadline` field — the sender's remaining time
 //! budget in milliseconds, propagated so the server can refuse or
 //! cancel work the client will no longer wait for (zero means
-//! "no deadline"). Readers still accept version-1 frames, whose 19-byte
-//! header simply lacks the field; v1 senders get deadline 0.
+//! "no deadline"). Version 3 added the `trace id`: a 64-bit request
+//! correlation token stamped by [`crate::ServeClient`] (or assigned at
+//! frame arrival for bare clients), carried at a fixed offset directly
+//! after the request id so even protocol-blind middleboxes (the chaos
+//! proxy) can sniff it. Readers still accept v1 (19-byte header) and
+//! v2 (23-byte header) frames; their senders get trace id 0.
 //!
 //! The request id is an opaque client token: the server echoes it so a
 //! client may pipeline requests and match replies arriving out of order
@@ -37,18 +42,30 @@ use hammer_dist::DistError;
 
 /// Frame magic: `b"HAMR"`.
 pub const MAGIC: [u8; 4] = *b"HAMR";
-/// Current protocol version (v2 added the deadline header field).
-pub const VERSION: u16 = 2;
-/// The previous protocol version, still accepted on read: identical
-/// framing minus the deadline field.
+/// Current protocol version (v3 added the trace-id header field).
+pub const VERSION: u16 = 3;
+/// The version-2 protocol (deadline field, no trace id), still
+/// accepted on read.
+pub const V2_VERSION: u16 = 2;
+/// The version-1 protocol, still accepted on read: identical framing
+/// minus the deadline and trace-id fields.
 pub const LEGACY_VERSION: u16 = 1;
 /// Upper bound on a frame payload; larger length prefixes are rejected
 /// before any allocation happens.
 pub const MAX_PAYLOAD: u32 = 64 * 1024 * 1024;
-/// Version-2 frame header size in bytes.
-pub const HEADER_LEN: usize = 23;
-/// Version-1 frame header size in bytes (no deadline field).
+/// Version-3 frame header size in bytes.
+pub const HEADER_LEN: usize = 31;
+/// Version-2 frame header size in bytes (no trace-id field).
+pub const V2_HEADER_LEN: usize = 23;
+/// Version-1 frame header size in bytes (no deadline or trace-id
+/// field).
 pub const LEGACY_HEADER_LEN: usize = 19;
+/// Byte offset of the trace-id field in a v3 header — fixed directly
+/// after the request id so middleboxes can sniff it without a decoder.
+pub const TRACE_ID_OFFSET: usize = 15;
+/// Bytes shared by every version's header: magic, version, opcode and
+/// request id.
+pub const COMMON_PREFIX_LEN: usize = 15;
 
 /// Request opcodes (client → server).
 pub mod opcode {
@@ -65,6 +82,10 @@ pub mod opcode {
     pub const STATS: u8 = 0x05;
     /// Graceful shutdown: stop accepting, drain in-flight work.
     pub const SHUTDOWN: u8 = 0x06;
+    /// Drain the server's ring of captured slow-request traces.
+    pub const TRACE_DUMP: u8 = 0x07;
+    /// Snapshot of every registered observability series.
+    pub const METRICS_SNAPSHOT: u8 = 0x08;
 
     /// Reply opcodes (server → client) set the high bit.
     pub const PONG: u8 = 0x81;
@@ -76,6 +97,11 @@ pub mod opcode {
     pub const STATS_REPLY: u8 = 0x85;
     /// Shutdown acknowledged; the connection stays usable until closed.
     pub const SHUTDOWN_ACK: u8 = 0x86;
+    /// Captured slow-request traces (see [`crate::TraceDumpEntry`]).
+    pub const TRACE_DUMP_REPLY: u8 = 0x87;
+    /// A full observability snapshot (see
+    /// [`hammer_obs::MetricsSnapshot`]).
+    pub const METRICS_SNAPSHOT_REPLY: u8 = 0x88;
     /// A [`hammer_dist::Distribution`] payload computed by the
     /// degraded (ANN-approximate) path under load — same encoding as
     /// [`DISTRIBUTION`], flagged so clients can tell.
@@ -134,7 +160,7 @@ impl fmt::Display for WireError {
             Self::BadMagic(m) => write!(f, "bad frame magic {m:02x?} (want \"HAMR\")"),
             Self::BadVersion(v) => write!(
                 f,
-                "unsupported protocol version {v} (want {LEGACY_VERSION} or {VERSION})"
+                "unsupported protocol version {v} (want {LEGACY_VERSION}, {V2_VERSION} or {VERSION})"
             ),
             Self::UnknownOpcode(op) => write!(f, "unknown opcode 0x{op:02x}"),
             Self::PayloadTooLarge(n) => {
@@ -177,6 +203,9 @@ pub struct Frame {
     /// Sender's remaining time budget in milliseconds; 0 = none.
     /// Always 0 for version-1 frames.
     pub deadline_ms: u32,
+    /// 64-bit request-correlation token; 0 = untraced. Always 0 for
+    /// version-1 and version-2 frames.
+    pub trace_id: u64,
     /// Opcode-specific bytes.
     pub payload: Vec<u8>,
 }
@@ -210,12 +239,30 @@ pub fn write_frame_with_deadline<W: Write>(
     deadline_ms: u32,
     payload: &[u8],
 ) -> std::io::Result<()> {
+    write_frame_traced(w, request_id, opcode, deadline_ms, 0, payload)
+}
+
+/// [`write_frame_with_deadline`] carrying an explicit trace id
+/// (0 = untraced). Emits the full version-3 header.
+///
+/// # Errors
+///
+/// Propagates transport errors.
+pub fn write_frame_traced<W: Write>(
+    w: &mut W,
+    request_id: u64,
+    opcode: u8,
+    deadline_ms: u32,
+    trace_id: u64,
+    payload: &[u8],
+) -> std::io::Result<()> {
     debug_assert!(payload.len() <= MAX_PAYLOAD as usize, "oversized payload");
     let mut frame = Vec::with_capacity(HEADER_LEN + payload.len());
     frame.extend_from_slice(&MAGIC);
     frame.extend_from_slice(&VERSION.to_le_bytes());
     frame.push(opcode);
     frame.extend_from_slice(&request_id.to_le_bytes());
+    frame.extend_from_slice(&trace_id.to_le_bytes());
     frame.extend_from_slice(&deadline_ms.to_le_bytes());
     frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
     frame.extend_from_slice(payload);
@@ -236,8 +283,9 @@ pub fn read_frame<R: Read>(r: &mut R) -> Result<(u64, u8, Vec<u8>), WireError> {
     Ok((frame.request_id, frame.opcode, frame.payload))
 }
 
-/// Reads one frame, accepting both the current (v2, 23-byte header
-/// with deadline) and legacy (v1, 19-byte header) framings.
+/// Reads one frame, accepting the current (v3, 31-byte header with
+/// trace id), the v2 (23-byte header with deadline) and the legacy
+/// (v1, 19-byte header) framings.
 ///
 /// # Errors
 ///
@@ -245,10 +293,9 @@ pub fn read_frame<R: Read>(r: &mut R) -> Result<(u64, u8, Vec<u8>), WireError> {
 /// the header, which surfaces as `UnexpectedEof`), and the framing
 /// variants on a corrupt header.
 pub fn read_frame_full<R: Read>(r: &mut R) -> Result<Frame, WireError> {
-    // Both versions share the first 19 bytes up through the field at
-    // offset 15 — which is the deadline in v2 and the payload length in
-    // v1 — so one fixed-size read covers the common prefix.
-    let mut header = [0u8; LEGACY_HEADER_LEN];
+    // Every version shares the first 15 bytes (magic, version, opcode,
+    // request id); the remainder is version-specific.
+    let mut header = [0u8; COMMON_PREFIX_LEN];
     r.read_exact(&mut header)?;
     if header[0..4] != MAGIC {
         return Err(WireError::BadMagic([
@@ -258,14 +305,33 @@ pub fn read_frame_full<R: Read>(r: &mut R) -> Result<Frame, WireError> {
     let version = u16::from_le_bytes([header[4], header[5]]);
     let opcode = header[6];
     let request_id = u64::from_le_bytes(header[7..15].try_into().expect("8 header bytes"));
-    let at_15 = u32::from_le_bytes(header[15..19].try_into().expect("4 header bytes"));
-    let (deadline_ms, len) = match version {
+    let (trace_id, deadline_ms, len) = match version {
         VERSION => {
+            // trace id u64 | deadline u32 | payload len u32.
+            let mut rest = [0u8; 16];
+            r.read_exact(&mut rest)?;
+            (
+                u64::from_le_bytes(rest[0..8].try_into().expect("8 header bytes")),
+                u32::from_le_bytes(rest[8..12].try_into().expect("4 header bytes")),
+                u32::from_le_bytes(rest[12..16].try_into().expect("4 header bytes")),
+            )
+        }
+        V2_VERSION => {
+            // deadline u32 | payload len u32.
+            let mut rest = [0u8; 8];
+            r.read_exact(&mut rest)?;
+            (
+                0,
+                u32::from_le_bytes(rest[0..4].try_into().expect("4 header bytes")),
+                u32::from_le_bytes(rest[4..8].try_into().expect("4 header bytes")),
+            )
+        }
+        LEGACY_VERSION => {
+            // payload len u32 only.
             let mut rest = [0u8; 4];
             r.read_exact(&mut rest)?;
-            (at_15, u32::from_le_bytes(rest))
+            (0, 0, u32::from_le_bytes(rest))
         }
-        LEGACY_VERSION => (0, at_15),
         other => return Err(WireError::BadVersion(other)),
     };
     if len > MAX_PAYLOAD {
@@ -277,6 +343,7 @@ pub fn read_frame_full<R: Read>(r: &mut R) -> Result<Frame, WireError> {
         request_id,
         opcode,
         deadline_ms,
+        trace_id,
         payload,
     })
 }
@@ -321,11 +388,30 @@ mod tests {
     fn oversized_length_prefix_is_rejected_before_allocation() {
         let mut buf = Vec::new();
         write_frame(&mut buf, 1, opcode::PING, b"").unwrap();
-        buf[19..23].copy_from_slice(&u32::MAX.to_le_bytes());
+        buf[HEADER_LEN - 4..HEADER_LEN].copy_from_slice(&u32::MAX.to_le_bytes());
         assert!(matches!(
             read_frame(&mut buf.as_slice()),
             Err(WireError::PayloadTooLarge(u32::MAX))
         ));
+    }
+
+    #[test]
+    fn trace_id_round_trips_through_the_full_reader() {
+        let mut buf = Vec::new();
+        write_frame_traced(&mut buf, 9, opcode::RECONSTRUCT, 250, 0xFACE_FEED, b"pp").unwrap();
+        assert_eq!(buf.len(), HEADER_LEN + 2);
+        // The trace id sits at its documented fixed offset.
+        let sniffed = u64::from_le_bytes(
+            buf[TRACE_ID_OFFSET..TRACE_ID_OFFSET + 8]
+                .try_into()
+                .unwrap(),
+        );
+        assert_eq!(sniffed, 0xFACE_FEED);
+        let frame = read_frame_full(&mut buf.as_slice()).unwrap();
+        assert_eq!(frame.request_id, 9);
+        assert_eq!(frame.trace_id, 0xFACE_FEED);
+        assert_eq!(frame.deadline_ms, 250);
+        assert_eq!(frame.payload, b"pp");
     }
 
     #[test]
@@ -353,7 +439,59 @@ mod tests {
         assert_eq!(frame.request_id, 42);
         assert_eq!(frame.opcode, opcode::PING);
         assert_eq!(frame.deadline_ms, 0);
+        assert_eq!(frame.trace_id, 0);
         assert_eq!(frame.payload, b"xyz");
+    }
+
+    #[test]
+    fn v2_frames_still_read_with_trace_id_zero() {
+        // Hand-rolled v2 frame: 23-byte header, deadline but no trace.
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&MAGIC);
+        buf.extend_from_slice(&V2_VERSION.to_le_bytes());
+        buf.push(opcode::RECONSTRUCT);
+        buf.extend_from_slice(&77u64.to_le_bytes());
+        buf.extend_from_slice(&900u32.to_le_bytes());
+        buf.extend_from_slice(&3u32.to_le_bytes());
+        buf.extend_from_slice(b"abc");
+        let frame = read_frame_full(&mut buf.as_slice()).unwrap();
+        assert_eq!(frame.request_id, 77);
+        assert_eq!(frame.opcode, opcode::RECONSTRUCT);
+        assert_eq!(frame.deadline_ms, 900);
+        assert_eq!(frame.trace_id, 0);
+        assert_eq!(frame.payload, b"abc");
+    }
+
+    #[test]
+    fn all_three_versions_cross_decode_from_one_stream() {
+        // One stream interleaving v1, v2 and v3 frames must yield all
+        // three with the right per-version defaults.
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&MAGIC);
+        buf.extend_from_slice(&LEGACY_VERSION.to_le_bytes());
+        buf.push(opcode::PING);
+        buf.extend_from_slice(&1u64.to_le_bytes());
+        buf.extend_from_slice(&0u32.to_le_bytes());
+        buf.extend_from_slice(&MAGIC);
+        buf.extend_from_slice(&V2_VERSION.to_le_bytes());
+        buf.push(opcode::PING);
+        buf.extend_from_slice(&2u64.to_le_bytes());
+        buf.extend_from_slice(&500u32.to_le_bytes());
+        buf.extend_from_slice(&0u32.to_le_bytes());
+        write_frame_traced(&mut buf, 3, opcode::PING, 750, 0xBEEF, b"v3").unwrap();
+
+        let mut r = buf.as_slice();
+        let f1 = read_frame_full(&mut r).unwrap();
+        let f2 = read_frame_full(&mut r).unwrap();
+        let f3 = read_frame_full(&mut r).unwrap();
+        assert_eq!((f1.request_id, f1.deadline_ms, f1.trace_id), (1, 0, 0));
+        assert_eq!((f2.request_id, f2.deadline_ms, f2.trace_id), (2, 500, 0));
+        assert_eq!(
+            (f3.request_id, f3.deadline_ms, f3.trace_id),
+            (3, 750, 0xBEEF)
+        );
+        assert_eq!(f3.payload, b"v3");
+        assert!(r.is_empty());
     }
 
     #[test]

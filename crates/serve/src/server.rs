@@ -20,11 +20,26 @@
 //! could deadlock (every worker waiting on work only that pool could
 //! run). The request pool is bounded (backpressure); the engine pool is
 //! fed only by request workers, so it needs no bound of its own.
+//!
+//! # Observability
+//!
+//! Every server owns a private [`hammer_obs::Registry`] — counters and
+//! per-stage latency histograms are exact per instance, so tests can
+//! boot several servers in one process and assert on each. Compute
+//! requests carry a [`TraceCtx`] from frame arrival to the socket
+//! write: each stage (decode, queue wait, cache probe, store load,
+//! compute, encode, write) opens a span that lands both in the
+//! request's own span list and in the matching stage histogram. Slow
+//! requests (and every `DeadlineExceeded`) park their span tree in a
+//! bounded ring, drained by the `TraceDump` opcode. Tracing costs one
+//! `Instant::now` pair and an atomic add per stage, and the whole
+//! span/histogram layer sits behind [`hammer_obs::timing_enabled`];
+//! counters stay exact either way.
 
 use std::io::{BufWriter, Read};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{mpsc, Arc};
 use std::thread::JoinHandle;
 use std::time::Duration;
@@ -32,11 +47,14 @@ use std::time::Duration;
 use hammer_core::{CancelToken, Cancelled, Hammer, NeighborhoodLimit};
 use hammer_dist::fingerprint::Fnv1a;
 use hammer_dist::{metrics, Distribution};
+use hammer_obs::{
+    gen_trace_id, Counter, Histogram, MetricsSnapshot, Registry, TraceCtx, TraceRing,
+};
 use hammer_sim::{AutoEngine, WorkerPool};
 
 use crate::cache::{Claim, ComputeError, ComputeResult, DistCache, InFlight};
 use crate::codec::{Reply, Request, SampleJob, ServeStats};
-use crate::protocol::{read_frame_full, write_frame, Frame, WireError};
+use crate::protocol::{opcode, read_frame_full, write_frame, write_frame_traced, Frame, WireError};
 use crate::store::{DistStore, FLAG_APPROX};
 
 /// Graceful-degradation knobs: under queue pressure, large
@@ -99,6 +117,11 @@ pub struct ServeConfig {
     pub store_dir: Option<std::path::PathBuf>,
     /// On-disk byte budget of the spill store, in mebibytes.
     pub store_mb: usize,
+    /// Requests whose end-to-end latency reaches this many milliseconds
+    /// dump their span tree into the `TraceDump` ring (deadline-exceeded
+    /// requests are always captured). `0` captures every traced request
+    /// — the setting for tests and short diagnostics sessions.
+    pub slow_trace_ms: u64,
 }
 
 impl Default for ServeConfig {
@@ -115,25 +138,76 @@ impl Default for ServeConfig {
             degrade: DegradeConfig::default(),
             store_dir: None,
             store_mb: 256,
+            slow_trace_ms: 500,
         }
     }
 }
 
+/// Capacity of the slow-request trace ring: deep enough to hold a
+/// burst of outliers between `TraceDump` polls, small enough that an
+/// unpolled server caps its memory at a few dozen span trees.
+const TRACE_RING_CAP: usize = 64;
+
 /// Counters owned by the runtime (cache counters live in [`DistCache`] /
-/// [`InFlight`]).
-#[derive(Default)]
+/// [`InFlight`]). The request/refusal/shed tallies are registry
+/// counters — same cells the `MetricsSnapshot` opcode exposes — while
+/// the two lifecycle watermarks stay plain atomics: they are shutdown
+/// bookkeeping, not metrics.
 struct RuntimeCounters {
-    requests: AtomicU64,
-    busy: AtomicU64,
+    requests: Counter,
+    busy: Counter,
     /// Queued jobs shed at dequeue because their deadline had already
     /// expired — answered `DeadlineExceeded` without computing.
-    deadline_sheds: AtomicU64,
+    deadline_sheds: Counter,
     active_jobs: AtomicUsize,
     /// Replies queued to a connection writer but not yet written to the
     /// socket. Graceful shutdown waits for this to reach zero, so the
     /// final acknowledgements are flushed before `wait` returns (and
     /// before a hosting process exits, killing the detached writers).
     pending_replies: AtomicUsize,
+}
+
+impl RuntimeCounters {
+    fn registered(registry: &Registry) -> Self {
+        Self {
+            requests: registry.counter("serve.requests"),
+            busy: registry.counter("serve.busy_rejections"),
+            deadline_sheds: registry.counter("serve.deadline_sheds"),
+            active_jobs: AtomicUsize::new(0),
+            pending_replies: AtomicUsize::new(0),
+        }
+    }
+}
+
+/// Per-stage latency histograms, one per pipeline stage a request
+/// crosses. Registered under `serve.stage.*_ns` plus the end-to-end
+/// `serve.request_ns`.
+struct StageHists {
+    decode: Histogram,
+    queue: Histogram,
+    coalesce_wait: Histogram,
+    cache_probe: Histogram,
+    store_load: Histogram,
+    compute: Histogram,
+    encode: Histogram,
+    write: Histogram,
+    request: Histogram,
+}
+
+impl StageHists {
+    fn registered(registry: &Registry) -> Self {
+        Self {
+            decode: registry.histogram("serve.stage.decode_ns"),
+            queue: registry.histogram("serve.stage.queue_ns"),
+            coalesce_wait: registry.histogram("serve.stage.coalesce_wait_ns"),
+            cache_probe: registry.histogram("serve.stage.cache_probe_ns"),
+            store_load: registry.histogram("serve.stage.store_load_ns"),
+            compute: registry.histogram("serve.stage.compute_ns"),
+            encode: registry.histogram("serve.stage.encode_ns"),
+            write: registry.histogram("serve.stage.write_ns"),
+            request: registry.histogram("serve.request_ns"),
+        }
+    }
 }
 
 /// Shared server state.
@@ -145,6 +219,16 @@ struct ServerState {
     store: Option<DistStore>,
     inflight: InFlight,
     counters: RuntimeCounters,
+    /// This server's metric registry; compute-tier metrics
+    /// (`pool.*`, `core.*`, `sim.*`) live on [`Registry::global`] and
+    /// are merged in at snapshot time.
+    obs: Registry,
+    stages: StageHists,
+    /// Span trees of slow / deadline-exceeded requests, drained by the
+    /// `TraceDump` opcode.
+    traces: TraceRing,
+    /// Capture threshold in nanoseconds; `0` captures every trace.
+    slow_trace_ns: u64,
     shutting_down: AtomicBool,
     io_timeout: Option<Duration>,
     max_connections: usize,
@@ -161,20 +245,37 @@ impl ServerState {
             .map(DistStore::stats)
             .unwrap_or_default();
         ServeStats {
-            requests: self.counters.requests.load(Ordering::Relaxed),
-            busy_rejections: self.counters.busy.load(Ordering::Relaxed),
+            requests: self.counters.requests.get(),
+            busy_rejections: self.counters.busy.get(),
             cache_hits: hits,
             cache_misses: misses,
             coalesced: self.inflight.coalesced(),
             evictions,
             cache_entries: entries,
             cache_bytes: bytes,
-            deadline_sheds: self.counters.deadline_sheds.load(Ordering::Relaxed),
+            deadline_sheds: self.counters.deadline_sheds.get(),
             store_spills: store.spills,
             store_loads: store.loads,
             store_recovered: store.recovered,
             store_corrupt_dropped: store.corrupt_dropped,
         }
+    }
+
+    /// One coherent snapshot of every registered series: gauges are
+    /// refreshed first, then this server's registry is merged over the
+    /// process-global one (pool queue waits, kernel/ANN/sim timings).
+    fn obs_snapshot(&self) -> MetricsSnapshot {
+        let (_, _, _, entries, bytes) = self.cache.stats();
+        self.obs
+            .gauge("serve.cache.entries")
+            .set(i64::try_from(entries).unwrap_or(i64::MAX));
+        self.obs
+            .gauge("serve.cache.bytes")
+            .set(i64::try_from(bytes).unwrap_or(i64::MAX));
+        self.obs
+            .gauge("serve.connections")
+            .set(i64::try_from(self.connections.load(Ordering::SeqCst)).unwrap_or(i64::MAX));
+        self.obs.snapshot().merge(Registry::global().snapshot())
     }
 
     /// Inserts a completed distribution into the cache, demoting any
@@ -210,6 +311,23 @@ impl ServerHandle {
     #[must_use]
     pub fn stats(&self) -> ServeStats {
         self.state.stats()
+    }
+
+    /// A snapshot of every registered metric series (the
+    /// `MetricsSnapshot` opcode, without a round trip).
+    #[must_use]
+    pub fn obs_snapshot(&self) -> MetricsSnapshot {
+        self.state.obs_snapshot()
+    }
+
+    /// A cloneable, non-owning view of the running server for digest /
+    /// monitoring threads: it can read stats and metric snapshots but
+    /// cannot shut the server down or block its drain.
+    #[must_use]
+    pub fn observer(&self) -> ServeObserver {
+        ServeObserver {
+            state: Arc::clone(&self.state),
+        }
     }
 
     /// Triggers shutdown from the hosting process (equivalent to a
@@ -249,6 +367,34 @@ impl ServerHandle {
     }
 }
 
+/// A cloneable read-only view of a running server, handed to the
+/// `repro serve` digest thread (and anything else that wants periodic
+/// snapshots without owning the [`ServerHandle`]).
+#[derive(Clone)]
+pub struct ServeObserver {
+    state: Arc<ServerState>,
+}
+
+impl ServeObserver {
+    /// Current serving counters.
+    #[must_use]
+    pub fn stats(&self) -> ServeStats {
+        self.state.stats()
+    }
+
+    /// Current metric-registry snapshot (server + process-global).
+    #[must_use]
+    pub fn obs_snapshot(&self) -> MetricsSnapshot {
+        self.state.obs_snapshot()
+    }
+
+    /// Whether shutdown has begun (digest threads use this to stop).
+    #[must_use]
+    pub fn is_shut_down(&self) -> bool {
+        self.state.shutting_down.load(Ordering::SeqCst)
+    }
+}
+
 /// Flags shutdown and unblocks the acceptor with a wake-up connection.
 fn begin_shutdown(state: &ServerState, addr: SocketAddr) {
     if !state.shutting_down.swap(true, Ordering::SeqCst) {
@@ -269,11 +415,12 @@ fn begin_shutdown(state: &ServerState, addr: SocketAddr) {
 pub fn serve(config: &ServeConfig) -> std::io::Result<ServerHandle> {
     let listener = TcpListener::bind(&config.addr)?;
     let local_addr = listener.local_addr()?;
+    let obs = Registry::new();
     // A store that cannot be opened is a degraded start (cold cache,
     // no persistence), never a refused one.
     let store = config.store_dir.as_ref().and_then(|dir| {
         let budget = (config.store_mb.max(1) as u64).saturating_mul(1024 * 1024);
-        match DistStore::open(dir, budget) {
+        match DistStore::open_registered(dir, budget, &obs) {
             Ok(store) => Some(store),
             Err(e) => {
                 eprintln!(
@@ -287,10 +434,14 @@ pub fn serve(config: &ServeConfig) -> std::io::Result<ServerHandle> {
     let state = Arc::new(ServerState {
         request_pool: WorkerPool::with_queue_limit(config.workers.max(1), config.queue_limit),
         engine_pool: Arc::new(WorkerPool::new(config.engine_threads.max(1))),
-        cache: DistCache::new(config.cache_mb.saturating_mul(1024 * 1024)),
+        cache: DistCache::with_registry(config.cache_mb.saturating_mul(1024 * 1024), &obs),
         store,
-        inflight: InFlight::new(),
-        counters: RuntimeCounters::default(),
+        inflight: InFlight::with_registry(&obs),
+        counters: RuntimeCounters::registered(&obs),
+        stages: StageHists::registered(&obs),
+        traces: TraceRing::new(TRACE_RING_CAP),
+        slow_trace_ns: config.slow_trace_ms.saturating_mul(1_000_000),
+        obs,
         shutting_down: AtomicBool::new(false),
         io_timeout: config.io_timeout.filter(|t| !t.is_zero()),
         max_connections: config.max_connections.max(1),
@@ -326,7 +477,7 @@ fn accept_loop(listener: &TcpListener, state: &Arc<ServerState>) {
                 // dropped, so a connection flood degrades into fast
                 // refusals instead of unbounded reader threads.
                 if state.connections.load(Ordering::SeqCst) >= state.max_connections {
-                    state.counters.busy.fetch_add(1, Ordering::Relaxed);
+                    state.counters.busy.inc();
                     let mut w = BufWriter::new(stream);
                     let busy = Reply::Busy;
                     let _ = write_frame(&mut w, 0, busy.opcode(), &busy.encode());
@@ -361,16 +512,22 @@ fn accept_loop(listener: &TcpListener, state: &Arc<ServerState>) {
     }
 }
 
+/// A reply queued to the writer thread: request id, the reply itself,
+/// and — for traced compute requests — the request opcode plus the
+/// trace context the writer finalizes after the socket write.
+type Outbound = (u64, Reply, Option<(u8, TraceCtx)>);
+
 /// The per-connection reader: parses frames, answers cheap opcodes
 /// inline, and queues compute opcodes onto the bounded request pool.
 /// Replies flow through an mpsc channel to a dedicated writer thread,
 /// so slow computations never block the read side and out-of-order
 /// completion is fine (the request id disambiguates).
+#[allow(clippy::too_many_lines)]
 fn connection_loop(stream: TcpStream, state: &Arc<ServerState>, addr: SocketAddr) {
     let Ok(write_half) = stream.try_clone() else {
         return;
     };
-    let (raw_tx, reply_rx) = mpsc::channel::<(u64, Reply)>();
+    let (raw_tx, reply_rx) = mpsc::channel::<Outbound>();
     let writer = {
         let state = Arc::clone(state);
         std::thread::Builder::new()
@@ -381,10 +538,41 @@ fn connection_loop(stream: TcpStream, state: &Arc<ServerState>, addr: SocketAddr
                 // Keep draining after a write failure: every queued
                 // reply must still decrement `pending_replies` or
                 // shutdown would wait forever on a dead client.
-                while let Ok((id, reply)) = reply_rx.recv() {
-                    if !broken && write_frame(&mut w, id, reply.opcode(), &reply.encode()).is_err()
-                    {
-                        broken = true;
+                while let Ok((id, reply, traced)) = reply_rx.recv() {
+                    let outcome = reply.opcode();
+                    let trace_id = traced.as_ref().map_or(0, |(_, ctx)| ctx.trace_id());
+                    if !broken {
+                        let payload = {
+                            let _t = traced
+                                .as_ref()
+                                .map(|(_, ctx)| ctx.span("encode", Some(&state.stages.encode)));
+                            reply.encode()
+                        };
+                        let wrote = {
+                            let _t = traced
+                                .as_ref()
+                                .map(|(_, ctx)| ctx.span("write", Some(&state.stages.write)));
+                            write_frame_traced(&mut w, id, outcome, 0, trace_id, &payload)
+                        };
+                        if wrote.is_err() {
+                            broken = true;
+                        }
+                    }
+                    // The writer is the last stop on the reply path, so
+                    // it finalizes the trace: end-to-end latency into
+                    // the request histogram, and the span tree into the
+                    // slow-request ring when it crossed the threshold
+                    // (deadline misses always capture — those are the
+                    // requests someone will ask about).
+                    if let Some((op, ctx)) = traced {
+                        let trace = ctx.finish(op, outcome);
+                        state.stages.request.record(trace.total_ns);
+                        if state.slow_trace_ns == 0
+                            || trace.total_ns >= state.slow_trace_ns
+                            || outcome == opcode::DEADLINE_EXCEEDED
+                        {
+                            state.traces.push(trace);
+                        }
                     }
                     state
                         .counters
@@ -398,7 +586,7 @@ fn connection_loop(stream: TcpStream, state: &Arc<ServerState>, addr: SocketAddr
     // writer picks it up.
     let reply_tx = {
         let state = Arc::clone(state);
-        move |message: (u64, Reply)| {
+        move |message: Outbound| {
             state
                 .counters
                 .pending_replies
@@ -424,7 +612,7 @@ fn connection_loop(stream: TcpStream, state: &Arc<ServerState>, addr: SocketAddr
             FrameOutcome::Closed => break, // EOF, dead peer, slow-loris
             FrameOutcome::Malformed => {
                 // Framing is unrecoverable mid-stream: report and drop.
-                reply_tx((0, Reply::Error("malformed frame".into())));
+                reply_tx((0, Reply::Error("malformed frame".into()), None));
                 break;
             }
         };
@@ -432,6 +620,7 @@ fn connection_loop(stream: TcpStream, state: &Arc<ServerState>, addr: SocketAddr
             request_id: id,
             opcode: op,
             deadline_ms,
+            trace_id,
             payload,
         } = frame;
         // A draining server answers surviving connections in-band —
@@ -439,13 +628,35 @@ fn connection_loop(stream: TcpStream, state: &Arc<ServerState>, addr: SocketAddr
         // "server going away" from a network failure and do not burn
         // their transport retry re-sending work it will never take.
         if state.shutting_down.load(Ordering::SeqCst) {
-            reply_tx((id, Reply::ShuttingDown));
+            reply_tx((id, Reply::ShuttingDown, None));
             continue;
         }
-        let request = match Request::decode(op, &payload) {
+        // Compute opcodes get a trace from the moment their frame is
+        // complete: the client's id when it sent one, a fresh one for
+        // bare clients — both end up on the reply header either way.
+        let is_compute = matches!(
+            op,
+            opcode::RECONSTRUCT | opcode::METRICS | opcode::SAMPLE_AND_RECONSTRUCT
+        );
+        let ctx = if is_compute && hammer_obs::timing_enabled() {
+            Some(TraceCtx::new(if trace_id != 0 {
+                trace_id
+            } else {
+                gen_trace_id()
+            }))
+        } else {
+            None
+        };
+        let request = {
+            let _t = ctx
+                .as_ref()
+                .map(|c| c.span("decode", Some(&state.stages.decode)));
+            Request::decode(op, &payload)
+        };
+        let request = match request {
             Ok(request) => request,
             Err(e) => {
-                reply_tx((id, Reply::Error(e.to_string())));
+                reply_tx((id, Reply::Error(e.to_string()), ctx.map(|c| (op, c))));
                 continue;
             }
         };
@@ -458,13 +669,20 @@ fn connection_loop(stream: TcpStream, state: &Arc<ServerState>, addr: SocketAddr
         };
         match request {
             Request::Ping => {
-                reply_tx((id, Reply::Pong));
+                reply_tx((id, Reply::Pong, None));
             }
             Request::Stats => {
-                reply_tx((id, Reply::Stats(state.stats())));
+                reply_tx((id, Reply::Stats(state.stats()), None));
+            }
+            Request::TraceDump => {
+                let entries = state.traces.drain().into_iter().map(Into::into).collect();
+                reply_tx((id, Reply::TraceDump(entries), None));
+            }
+            Request::MetricsSnapshot => {
+                reply_tx((id, Reply::MetricsSnapshot(state.obs_snapshot()), None));
             }
             Request::Shutdown => {
-                reply_tx((id, Reply::ShutdownAck));
+                reply_tx((id, Reply::ShutdownAck, None));
                 begin_shutdown(state, addr);
                 break;
             }
@@ -490,12 +708,16 @@ fn connection_loop(stream: TcpStream, state: &Arc<ServerState>, addr: SocketAddr
                 state.counters.active_jobs.fetch_add(1, Ordering::SeqCst);
                 if state.shutting_down.load(Ordering::SeqCst) {
                     state.counters.active_jobs.fetch_sub(1, Ordering::SeqCst);
-                    state.counters.busy.fetch_add(1, Ordering::Relaxed);
-                    reply_tx((id, Reply::ShuttingDown));
+                    state.counters.busy.inc();
+                    reply_tx((id, Reply::ShuttingDown, ctx.map(|c| (op, c))));
                     continue;
                 }
                 let job_state = Arc::clone(state);
                 let job_tx = reply_tx.clone();
+                let trace = ctx.clone();
+                // The queue-wait span runs from here (submission) to
+                // the top of the job closure (dequeue on a worker).
+                let queued_at = trace.as_ref().map(TraceCtx::elapsed_ns);
                 // Deadlined jobs queue earliest-deadline-first, so a
                 // mixed-budget storm spends workers on the requests
                 // that can still make it (undeadlined jobs queue FIFO
@@ -505,19 +727,27 @@ fn connection_loop(stream: TcpStream, state: &Arc<ServerState>, addr: SocketAddr
                     state
                         .request_pool
                         .try_submit_with_deadline(queue_deadline, move || {
+                            if let (Some(c), Some(start)) = (&trace, queued_at) {
+                                let waited = c.elapsed_ns().saturating_sub(start);
+                                c.add_span("queue", start, waited);
+                                job_state.stages.queue.record(waited);
+                            }
                             // The cheapest cancellation point: the deadline
                             // may have expired while the job sat in the
                             // queue — shed it without computing.
                             let reply = if cancel.is_cancelled() {
-                                job_state
-                                    .counters
-                                    .deadline_sheds
-                                    .fetch_add(1, Ordering::Relaxed);
+                                job_state.counters.deadline_sheds.inc();
                                 Reply::DeadlineExceeded
                             } else {
-                                handle_compute(&job_state, compute, &cancel, degraded)
+                                handle_compute(
+                                    &job_state,
+                                    compute,
+                                    &cancel,
+                                    degraded,
+                                    trace.as_ref(),
+                                )
                             };
-                            job_tx((id, reply));
+                            job_tx((id, reply, trace.map(|c| (op, c))));
                             job_state
                                 .counters
                                 .active_jobs
@@ -525,13 +755,13 @@ fn connection_loop(stream: TcpStream, state: &Arc<ServerState>, addr: SocketAddr
                         });
                 if submitted.is_err() {
                     state.counters.active_jobs.fetch_sub(1, Ordering::SeqCst);
-                    state.counters.busy.fetch_add(1, Ordering::Relaxed);
+                    state.counters.busy.inc();
                     let refusal = if state.shutting_down.load(Ordering::SeqCst) {
                         Reply::ShuttingDown
                     } else {
                         Reply::Busy
                     };
-                    reply_tx((id, refusal));
+                    reply_tx((id, refusal, ctx.map(|c| (op, c))));
                 }
             }
         }
@@ -600,8 +830,9 @@ fn handle_compute(
     request: Request,
     cancel: &CancelToken,
     degraded: bool,
+    trace: Option<&TraceCtx>,
 ) -> Reply {
-    state.counters.requests.fetch_add(1, Ordering::Relaxed);
+    state.counters.requests.inc();
     match request {
         Request::Reconstruct { config, counts } => {
             if counts.is_empty() {
@@ -632,7 +863,7 @@ fn handle_compute(
             // corrupted key directory can never promote an approximate
             // record to an exact answer.
             let flags = if degraded { FLAG_APPROX } else { 0 };
-            let reply = cached_compute(state, key.finish(), flags, cancel, move || {
+            let reply = cached_compute(state, key.finish(), flags, cancel, trace, move || {
                 Hammer::with_config(config)
                     .with_pool(engine_pool)
                     .try_reconstruct_counts(&counts, &job_cancel)
@@ -647,7 +878,7 @@ fn handle_compute(
             let key = job.fingerprint();
             let engine_pool = Arc::clone(&state.engine_pool);
             let job_cancel = cancel.clone();
-            cached_compute(state, key, 0, cancel, move || {
+            cached_compute(state, key, 0, cancel, trace, move || {
                 run_sample_job(&job, &engine_pool, &job_cancel)
             })
         }
@@ -662,6 +893,7 @@ fn handle_compute(
                     dist.n_bits()
                 ));
             }
+            let _t = trace.map(|c| c.span("compute", Some(&state.stages.compute)));
             Reply::Metrics(crate::codec::MetricsReply {
                 pst: metrics::pst(&dist, &correct),
                 ist: metrics::ist(&dist, &correct),
@@ -669,7 +901,11 @@ fn handle_compute(
                 uniform_ehd: metrics::uniform_ehd(dist.n_bits()),
             })
         }
-        Request::Ping | Request::Stats | Request::Shutdown => {
+        Request::Ping
+        | Request::Stats
+        | Request::TraceDump
+        | Request::MetricsSnapshot
+        | Request::Shutdown => {
             unreachable!("cheap opcodes are answered inline by the reader")
         }
     }
@@ -703,17 +939,27 @@ fn degrade_config(
 /// A leader that misses the cache probes the persistent store before
 /// computing: a disk hit promotes back into the cache and skips the
 /// computation entirely (`store_loads`, not `cache_misses`).
+///
+/// Trace spans: the first cache probe is `cache_probe`, a follower's
+/// wait is `coalesce_wait`, the leader's store probe is `store_load`
+/// (only when a store is configured) and the computation itself is
+/// `compute`.
 fn cached_compute<F>(
     state: &Arc<ServerState>,
     key: u64,
     flags: u8,
     cancel: &CancelToken,
+    trace: Option<&TraceCtx>,
     compute: F,
 ) -> Reply
 where
     F: FnOnce() -> Result<Distribution, ComputeError>,
 {
-    if let Some(hit) = state.cache.get(key) {
+    let probed = {
+        let _t = trace.map(|c| c.span("cache_probe", Some(&state.stages.cache_probe)));
+        state.cache.get(key)
+    };
+    if let Some(hit) = probed {
         return Reply::Distribution((*hit).clone());
     }
     let mut compute = Some(compute);
@@ -736,43 +982,53 @@ where
                     // waiting for; followers re-lead under their own
                     // budgets.
                     Err(ComputeError::Cancelled)
-                } else if let Some(d) = state
-                    .store
-                    .as_ref()
-                    .and_then(|store| store.load(key, flags))
-                {
-                    // Spill-tier hit: promote back into the cache and
-                    // answer without recomputing. The record was CRC-
-                    // and invariant-revalidated on the way in.
-                    let dist = Arc::new(d);
-                    state.insert_cached(key, Arc::clone(&dist), flags);
-                    Ok(dist)
                 } else {
-                    state.cache.note_miss();
-                    let job = compute.take().expect("leader computes at most once");
-                    #[cfg(feature = "fault-points")]
-                    let fault_cancel = cancel.clone();
-                    match catch_unwind(AssertUnwindSafe(move || {
+                    let loaded = state.store.as_ref().and_then(|store| {
+                        let _t =
+                            trace.map(|c| c.span("store_load", Some(&state.stages.store_load)));
+                        store.load(key, flags)
+                    });
+                    if let Some(d) = loaded {
+                        // Spill-tier hit: promote back into the cache
+                        // and answer without recomputing. The record
+                        // was CRC- and invariant-revalidated on the way
+                        // in.
+                        let dist = Arc::new(d);
+                        state.insert_cached(key, Arc::clone(&dist), flags);
+                        Ok(dist)
+                    } else {
+                        state.cache.note_miss();
+                        let job = compute.take().expect("leader computes at most once");
                         #[cfg(feature = "fault-points")]
-                        crate::fault::on_compute(Some(&fault_cancel));
-                        job()
-                    })) {
-                        Ok(Ok(dist)) => {
-                            let dist = Arc::new(dist);
-                            state.insert_cached(key, Arc::clone(&dist), flags);
-                            Ok(dist)
+                        let fault_cancel = cancel.clone();
+                        let _t = trace.map(|c| c.span("compute", Some(&state.stages.compute)));
+                        match catch_unwind(AssertUnwindSafe(move || {
+                            #[cfg(feature = "fault-points")]
+                            crate::fault::on_compute(Some(&fault_cancel));
+                            job()
+                        })) {
+                            Ok(Ok(dist)) => {
+                                let dist = Arc::new(dist);
+                                state.insert_cached(key, Arc::clone(&dist), flags);
+                                Ok(dist)
+                            }
+                            Ok(Err(e)) => Err(e),
+                            Err(payload) => Err(ComputeError::Panicked(
+                                hammer_sim::pool::panic_message(payload.as_ref()),
+                            )),
                         }
-                        Ok(Err(e)) => Err(e),
-                        Err(payload) => Err(ComputeError::Panicked(
-                            hammer_sim::pool::panic_message(payload.as_ref()),
-                        )),
                     }
                 };
                 guard.publish(result.clone());
                 return reply_of(result);
             }
             follower @ Claim::Follower(_) => {
-                let Some(result) = follower.wait_until(cancel.deadline()) else {
+                let waited = {
+                    let _t =
+                        trace.map(|c| c.span("coalesce_wait", Some(&state.stages.coalesce_wait)));
+                    follower.wait_until(cancel.deadline())
+                };
+                let Some(result) = waited else {
                     return Reply::DeadlineExceeded;
                 };
                 match result {

@@ -53,7 +53,6 @@ use std::collections::{BTreeMap, HashMap};
 use std::fs::{self, File, OpenOptions};
 use std::io::{Read, Seek, SeekFrom, Write};
 use std::path::{Path, PathBuf};
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 
 use hammer_dist::Distribution;
@@ -131,17 +130,19 @@ struct StoreInner {
 /// the cache's *miss* path — contention is not a concern there).
 pub struct DistStore {
     inner: Mutex<StoreInner>,
-    spills: AtomicU64,
-    loads: AtomicU64,
-    recovered: AtomicU64,
-    corrupt_dropped: AtomicU64,
+    spills: hammer_obs::Counter,
+    loads: hammer_obs::Counter,
+    recovered: hammer_obs::Counter,
+    corrupt_dropped: hammer_obs::Counter,
 }
 
 impl DistStore {
     /// Opens (creating if needed) a store bounded by `budget_bytes`,
     /// running recovery over whatever the directory holds: torn tails
     /// are truncated, corrupt records skipped and counted, and the key
-    /// directory rebuilt from the surviving records.
+    /// directory rebuilt from the surviving records. Counters are
+    /// detached; see [`DistStore::open_registered`] for the
+    /// metrics-visible variant.
     ///
     /// # Errors
     ///
@@ -150,8 +151,34 @@ impl DistStore {
     /// *recovered from*, never an error. Callers treat an error as
     /// "run without a store".
     pub fn open(dir: &Path, budget_bytes: u64) -> std::io::Result<Self> {
+        Self::open_with_counters(dir, budget_bytes, None)
+    }
+
+    /// [`DistStore::open`], with the counters registered on `registry`
+    /// as `serve.store.{spills,loads,recovered,corrupt_dropped}`.
+    /// Registration happens before recovery runs so recovery tallies
+    /// are never lost.
+    ///
+    /// # Errors
+    ///
+    /// See [`DistStore::open`].
+    pub fn open_registered(
+        dir: &Path,
+        budget_bytes: u64,
+        registry: &hammer_obs::Registry,
+    ) -> std::io::Result<Self> {
+        Self::open_with_counters(dir, budget_bytes, Some(registry))
+    }
+
+    fn open_with_counters(
+        dir: &Path,
+        budget_bytes: u64,
+        registry: Option<&hammer_obs::Registry>,
+    ) -> std::io::Result<Self> {
         fs::create_dir_all(dir)?;
         let budget = budget_bytes.max(1);
+        let counter =
+            |name: &str| registry.map_or_else(hammer_obs::Counter::detached, |r| r.counter(name));
         let store = Self {
             inner: Mutex::new(StoreInner {
                 dir: dir.to_path_buf(),
@@ -162,10 +189,10 @@ impl DistStore {
                 segments: BTreeMap::new(),
                 index: HashMap::new(),
             }),
-            spills: AtomicU64::new(0),
-            loads: AtomicU64::new(0),
-            recovered: AtomicU64::new(0),
-            corrupt_dropped: AtomicU64::new(0),
+            spills: counter("serve.store.spills"),
+            loads: counter("serve.store.loads"),
+            recovered: counter("serve.store.recovered"),
+            corrupt_dropped: counter("serve.store.corrupt_dropped"),
         };
         let _ = fs::remove_file(dir.join("seg-tmp-bootstrap"));
         store.recover()?;
@@ -176,10 +203,10 @@ impl DistStore {
     #[must_use]
     pub fn stats(&self) -> StoreStats {
         StoreStats {
-            spills: self.spills.load(Ordering::Relaxed),
-            loads: self.loads.load(Ordering::Relaxed),
-            recovered: self.recovered.load(Ordering::Relaxed),
-            corrupt_dropped: self.corrupt_dropped.load(Ordering::Relaxed),
+            spills: self.spills.get(),
+            loads: self.loads.get(),
+            recovered: self.recovered.get(),
+            corrupt_dropped: self.corrupt_dropped.get(),
         }
     }
 
@@ -222,7 +249,7 @@ impl DistStore {
         if let Some(old) = inner.index.insert(key, entry) {
             inner.retire(old);
         }
-        self.spills.fetch_add(1, Ordering::Relaxed);
+        self.spills.inc();
         inner.enforce_budget();
         Ok(())
     }
@@ -238,7 +265,7 @@ impl DistStore {
         let entry = *inner.index.get(&key)?;
         match inner.read_record(entry) {
             Some((stored_key, stored_flags, d)) if stored_key == key && stored_flags == flags => {
-                self.loads.fetch_add(1, Ordering::Relaxed);
+                self.loads.inc();
                 Some(d)
             }
             _ => {
@@ -246,7 +273,7 @@ impl DistStore {
                 // the caller recomputes (and the record dies at the
                 // next compaction).
                 inner.drop_entry(key);
-                self.corrupt_dropped.fetch_add(1, Ordering::Relaxed);
+                self.corrupt_dropped.inc();
                 None
             }
         }
@@ -330,9 +357,8 @@ impl DistStore {
         let path = segment_path(&inner.dir, active_id);
         inner.active = OpenOptions::new().create(true).append(true).open(path)?;
         inner.segments.entry(active_id).or_default();
-        self.recovered
-            .store(inner.index.len() as u64, Ordering::Relaxed);
-        self.corrupt_dropped.fetch_add(corrupt, Ordering::Relaxed);
+        self.recovered.add(inner.index.len() as u64);
+        self.corrupt_dropped.add(corrupt);
         inner.enforce_budget();
         Ok(())
     }

@@ -169,6 +169,7 @@ impl<'a> AutoEngine<'a> {
         trials: u64,
         rng: &mut R,
     ) -> Result<Counts, SimError> {
+        let _t = sample_hist().start();
         if circuit.is_clifford() {
             let mut engine =
                 StabilizerEngine::new(self.device).with_threads(self.tuning.threads.max(1));
@@ -199,6 +200,7 @@ impl<'a> AutoEngine<'a> {
         rng: &mut R,
         cancel: &hammer_pool::CancelToken,
     ) -> Result<Counts, SimError> {
+        let _t = sample_hist().start();
         if circuit.is_clifford() {
             let mut engine =
                 StabilizerEngine::new(self.device).with_threads(self.tuning.threads.max(1));
@@ -214,6 +216,14 @@ impl<'a> AutoEngine<'a> {
             engine.sample_with_cancel(circuit, trials, rng, cancel)
         }
     }
+}
+
+/// Per-call wall-time histogram for the auto-dispatched sampling entry
+/// points, on the global registry (`sim.sample_ns`). Entry-point
+/// granularity only — per-trial and per-gate loops are never touched.
+fn sample_hist() -> &'static hammer_obs::Histogram {
+    static H: std::sync::OnceLock<hammer_obs::Histogram> = std::sync::OnceLock::new();
+    H.get_or_init(|| hammer_obs::Registry::global().histogram("sim.sample_ns"))
 }
 
 impl NoiseEngine for AutoEngine<'_> {
