@@ -108,8 +108,16 @@ fn digest_line(
 
 /// `repro serve [--addr A] [--workers N] [--cache-mb MB]
 /// [--store-dir D] [--store-mb MB] [--store-fault KIND:N]
-/// [--obs] [--stats-every SECS]`: run the
-/// serving subsystem in the foreground until a client sends `Shutdown`.
+/// [--obs] [--stats-every SECS] [--metrics-addr A] [--rollup-ms N]
+/// [--slo SPEC]...`: run the serving subsystem in the foreground until
+/// a client sends `Shutdown`.
+///
+/// `--metrics-addr` binds the HTTP exposition listener (`/metrics`,
+/// `/series`, `/events`, `/slo`, `/healthz`) on a second port;
+/// `--rollup-ms` sets the rollup window the roller ticks at (default
+/// 1000); `--slo` declares an objective
+/// (`latency:NAME:SERIES:THRESH:PCT:WINDOW` or
+/// `avail:NAME:BAD:TOTAL:PCT:WINDOW`) and may repeat.
 ///
 /// `--stats-every SECS` prints a periodic stats digest; `--obs` widens
 /// it (and the final shutdown line) with registry latency quantiles,
@@ -156,6 +164,18 @@ fn run_serve(args: &[String]) -> ExitCode {
                 config.store_dir = Some(std::path::PathBuf::from(dir));
             }
         })
+        .and_then(|()| flag_value(args, "--metrics-addr"))
+        .map(|v| {
+            if let Some(addr) = v {
+                config.metrics_addr = Some(addr.to_owned());
+            }
+        })
+        .and_then(|()| usize_flag(args, "--rollup-ms"))
+        .map(|v| {
+            if let Some(ms) = v {
+                config.rollup_window_ms = ms as u64;
+            }
+        })
         .and_then(|()| flag_value(args, "--addr").map(|v| v.map(String::from)));
     match parsed {
         Ok(Some(addr)) => config.addr = addr,
@@ -163,6 +183,22 @@ fn run_serve(args: &[String]) -> ExitCode {
         Err(e) => {
             eprintln!("{e}");
             return ExitCode::FAILURE;
+        }
+    }
+    // `--slo SPEC` is repeatable: collect every occurrence.
+    for (i, arg) in args.iter().enumerate() {
+        if arg == "--slo" {
+            let Some(spec) = args.get(i + 1).filter(|v| !v.starts_with("--")) else {
+                eprintln!("--slo requires a value argument");
+                return ExitCode::FAILURE;
+            };
+            match hammer_obs::SloSpec::parse(spec) {
+                Ok(slo) => config.slos.push(slo),
+                Err(e) => {
+                    eprintln!("--slo {spec}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
         }
     }
     let obs_digest = args.iter().any(|a| a == "--obs");
@@ -216,6 +252,11 @@ fn run_serve(args: &[String]) -> ExitCode {
             .map(|d| format!(", store {} @ {} MiB", d.display(), config.store_mb))
             .unwrap_or_default(),
     );
+    if let Some(addr) = server.metrics_addr() {
+        eprintln!(
+            "[serve] metrics exposition on http://{addr} (/metrics /series /events /slo /healthz)"
+        );
+    }
     let observer = server.observer();
     let ticker = (stats_every > 0).then(|| {
         let observer = observer.clone();
@@ -243,6 +284,53 @@ fn run_serve(args: &[String]) -> ExitCode {
         let _ = t.join();
     }
     ExitCode::SUCCESS
+}
+
+/// `repro top [--addr A] [--binary] [--once] [--interval-ms N]
+/// [--frames N]`: live terminal dashboard over a running server's
+/// exposition endpoints (`--addr` is the `--metrics-addr` port), or
+/// over the binary protocol with `--binary` (then `--addr` is the
+/// serving port). `--once` prints a single frame and exits.
+fn run_top(args: &[String]) -> ExitCode {
+    let mut config = hammer_bench::top::TopConfig {
+        once: args.iter().any(|a| a == "--once"),
+        binary: args.iter().any(|a| a == "--binary"),
+        ..hammer_bench::top::TopConfig::default()
+    };
+    let parsed = flag_value(args, "--addr")
+        .map(|v| {
+            if let Some(addr) = v {
+                config.addr = addr.to_owned();
+            }
+        })
+        .and_then(|()| flag_value(args, "--interval-ms"))
+        .and_then(|v| match v {
+            None => Ok(()),
+            Some(v) => v
+                .parse::<u64>()
+                .map(|ms| config.interval_ms = ms)
+                .map_err(|_| format!("--interval-ms requires an integer, got {v}")),
+        })
+        .and_then(|()| flag_value(args, "--frames"))
+        .and_then(|v| match v {
+            None => Ok(()),
+            Some(v) => v
+                .parse::<u64>()
+                .map(|n| config.max_frames = Some(n))
+                .map_err(|_| format!("--frames requires an integer, got {v}")),
+        });
+    if let Err(e) = parsed {
+        eprintln!("{e}");
+        return ExitCode::FAILURE;
+    }
+    let mut stdout = std::io::stdout();
+    match hammer_bench::top::run(&config, &mut stdout) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("top: {e}");
+            ExitCode::FAILURE
+        }
+    }
 }
 
 /// `repro serve-smoke [--addr A] [--shutdown]`: one client round trip —
@@ -832,6 +920,8 @@ fn main() -> ExitCode {
         eprintln!("       repro serve [--addr A] [--workers N] [--cache-mb MB]");
         eprintln!("                   [--store-dir D] [--store-mb MB] [--store-fault SPEC]");
         eprintln!("                   [--obs] [--stats-every SECS]");
+        eprintln!("                   [--metrics-addr A] [--rollup-ms N] [--slo SPEC]...");
+        eprintln!("       repro top [--addr A] [--binary] [--once] [--interval-ms N]");
         eprintln!("       repro serve-smoke [--addr A] [--shutdown]");
         eprintln!("       repro chaos-smoke [--quick]");
         eprintln!("       repro persist-smoke [--quick]");
@@ -840,6 +930,9 @@ fn main() -> ExitCode {
     }
     if args.first().map(String::as_str) == Some("serve") {
         return run_serve(&args[1..]);
+    }
+    if args.first().map(String::as_str) == Some("top") {
+        return run_top(&args[1..]);
     }
     if args.first().map(String::as_str) == Some("serve-smoke") {
         return run_serve_smoke(&args[1..]);

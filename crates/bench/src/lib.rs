@@ -19,6 +19,7 @@ pub mod angles;
 pub mod ann_bench;
 pub mod datasets;
 pub mod experiments;
+pub mod json;
 pub mod kernel_bench;
 pub mod obs_bench;
 pub mod pipeline;
@@ -26,3 +27,4 @@ pub mod report;
 pub mod serve_bench;
 pub mod sim_bench;
 pub mod stab_bench;
+pub mod top;

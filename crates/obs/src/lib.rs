@@ -14,6 +14,16 @@
 //!   protocol) that accumulates named stage spans; finished traces of
 //!   slow or shed requests land in a bounded [`TraceRing`] for later
 //!   dumping.
+//! * **Time series** ([`TimeSeries`]) — fixed-capacity rings of
+//!   per-window rollups (counter deltas, merged histogram buckets,
+//!   gauge min/max) over every registered series, with a coarse tier
+//!   extending retention beyond the fine ring.
+//! * **Events** ([`EventLog`]) — a leveled, bounded ring of structured
+//!   key=value events, trace-id correlated, replacing scattered
+//!   `eprintln!`s.
+//! * **SLOs** ([`SloTracker`]) — declared latency/availability
+//!   objectives evaluated as fast/slow multi-window burn rates over the
+//!   rollup rings, alerting into the event log.
 //! * **A global kill switch** ([`set_timing_enabled`]) that gates the
 //!   *timing* layers (histograms and spans). Counters and gauges are
 //!   never gated: exact request accounting (`ServeStats`) must not
@@ -25,12 +35,22 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod events;
 mod metrics;
+mod rollup;
+mod slo;
 mod trace;
 
+pub use events::{format_human, format_human_parts, Event, EventBuilder, EventLog, Level};
 pub use metrics::{
     Counter, Gauge, Histogram, HistogramSnapshot, MetricsSnapshot, Registry, SeriesSnapshot,
     SeriesValue, HIST_BUCKETS,
+};
+pub use rollup::{
+    unix_ms_now, PointValue, RollupConfig, RollupPoint, RollupSeries, SeriesKind, TimeSeries,
+};
+pub use slo::{
+    parse_duration_ns, Objective, SloSpec, SloStatus, SloTracker, DEFAULT_BURN_THRESHOLD,
 };
 pub use trace::{gen_trace_id, RequestTrace, Span, SpanTimer, TraceCtx, TraceRing};
 

@@ -1,0 +1,205 @@
+//! The rollup ring pinned against exact oracles: counter window deltas
+//! against the raw increment sequence (including fine-ring wraparound
+//! and grouped queries), and merged-histogram windowed quantiles
+//! against a sorted-sample oracle over exactly the samples recorded in
+//! the queried windows.
+
+use hammer_obs::{PointValue, Registry, RollupConfig, TimeSeries};
+use proptest::prelude::*;
+
+fn small_rings(fine_capacity: usize, coarse_factor: usize) -> RollupConfig {
+    RollupConfig {
+        window_ms: 1_000,
+        fine_capacity,
+        coarse_factor,
+        coarse_capacity: 64,
+    }
+}
+
+/// Inclusive bounds of the log₂ bucket containing `ns`.
+fn bucket_window(ns: u64) -> (u64, u64) {
+    let i = 63 - (ns | 1).leading_zeros();
+    let lo = if i == 0 { 0 } else { 1u64 << i };
+    let hi = if i >= 63 {
+        u64::MAX
+    } else {
+        (1u64 << (i + 1)) - 1
+    };
+    (lo, hi)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Every fine window's counter delta equals the increment fed into
+    /// that window, across wraparound: after more rolls than the ring
+    /// holds, the survivors are exactly the most recent windows.
+    #[test]
+    fn counter_deltas_match_the_increment_oracle(
+        increments in proptest::collection::vec(0u64..1_000, 1..100),
+        fine_capacity in 2usize..40,
+    ) {
+        let reg = Registry::new();
+        let counter = reg.counter("t.requests");
+        let ts = TimeSeries::new(small_rings(fine_capacity, 60));
+        for (i, &inc) in increments.iter().enumerate() {
+            counter.add(inc);
+            ts.roll_at(&reg.snapshot(), (i as u64 + 1) * 1_000);
+        }
+        let series = ts.query("t.requests", 1, 10_000).expect("series exists");
+        let retained = increments.len().min(fine_capacity);
+        prop_assert_eq!(series.points.len(), retained);
+        let oracle = &increments[increments.len() - retained..];
+        for (i, (point, &expect)) in series.points.iter().zip(oracle).enumerate() {
+            let first_kept = increments.len() - retained;
+            prop_assert_eq!(
+                point.unix_ms,
+                (first_kept as u64 + i as u64 + 1) * 1_000,
+                "stamp of retained window {i}"
+            );
+            match point.value {
+                PointValue::Rate { delta, per_sec } => {
+                    prop_assert_eq!(delta, expect, "window {i}");
+                    prop_assert!((per_sec - expect as f64).abs() < 1e-9);
+                }
+                _ => prop_assert!(false, "counter produced a non-rate point"),
+            }
+        }
+    }
+
+    /// Grouped queries merge whole back-aligned chunks: each point's
+    /// delta is the sum of its `group` constituent windows, and nothing
+    /// is counted twice or dropped between points.
+    #[test]
+    fn grouped_counter_points_sum_their_chunks(
+        increments in proptest::collection::vec(0u64..1_000, 1..60),
+        group in 2usize..8,
+    ) {
+        // Keep `group` below the coarse factor so the fine ring answers
+        // and the oracle is exact; capacity holds everything.
+        let reg = Registry::new();
+        let counter = reg.counter("t.requests");
+        let ts = TimeSeries::new(small_rings(128, 60));
+        for (i, &inc) in increments.iter().enumerate() {
+            counter.add(inc);
+            ts.roll_at(&reg.snapshot(), (i as u64 + 1) * 1_000);
+        }
+        let series = ts.query("t.requests", group, 10_000).expect("series exists");
+        // Chunks are aligned at the BACK: the last point covers the
+        // last `group` windows, the first point may cover fewer.
+        let mut expected = Vec::new();
+        let mut end = increments.len();
+        while end > 0 {
+            let start = end.saturating_sub(group);
+            expected.push(increments[start..end].iter().sum::<u64>());
+            end = start;
+        }
+        expected.reverse();
+        prop_assert_eq!(series.points.len(), expected.len());
+        let mut total = 0u64;
+        for (point, &expect) in series.points.iter().zip(&expected) {
+            match point.value {
+                PointValue::Rate { delta, .. } => {
+                    prop_assert_eq!(delta, expect);
+                    total += delta;
+                }
+                _ => prop_assert!(false, "counter produced a non-rate point"),
+            }
+        }
+        prop_assert_eq!(total, increments.iter().sum::<u64>());
+    }
+
+    /// Windowed quantiles from the merged histogram ring land in the
+    /// same log₂ bucket as the exact order statistic over exactly the
+    /// samples recorded in the queried windows — samples recorded in
+    /// *earlier* (unqueried) windows must not leak in.
+    #[test]
+    fn merged_histogram_quantiles_match_the_sorted_oracle(
+        warmup in proptest::collection::vec(1u64..1_000_000, 0..50),
+        windows in proptest::collection::vec(
+            proptest::collection::vec(1u64..1_000_000, 0..30),
+            1..8,
+        ),
+    ) {
+        let reg = Registry::new();
+        let hist = reg.histogram("t.latency_ns");
+        let ts = TimeSeries::new(small_rings(128, 60));
+        // Warmup lands in window 0, outside the queried range below.
+        for &ns in &warmup {
+            hist.record(ns);
+        }
+        ts.roll_at(&reg.snapshot(), 1_000);
+        for (i, window) in windows.iter().enumerate() {
+            for &ns in window {
+                hist.record(ns);
+            }
+            ts.roll_at(&reg.snapshot(), (i as u64 + 2) * 1_000);
+        }
+        let mut oracle: Vec<u64> = windows.iter().flatten().copied().collect();
+        oracle.sort_unstable();
+        let merged = ts.merged_histogram("t.latency_ns", windows.len());
+        prop_assert_eq!(merged.count(), oracle.len() as u64);
+        if !oracle.is_empty() {
+            for q in [0.0, 0.5, 0.95, 0.99, 1.0] {
+                let idx = ((oracle.len() - 1) as f64 * q).round() as usize;
+                let exact = oracle[idx];
+                let est = merged.quantile(q);
+                let (lo, hi) = bucket_window(exact);
+                prop_assert!(
+                    (lo..=hi).contains(&est),
+                    "q={} exact={} est={} window=[{},{}]",
+                    q, exact, est, lo, hi,
+                );
+            }
+        }
+        // The same merge surfaces through query() as a quantile point.
+        let series = ts
+            .query("t.latency_ns", windows.len().max(1), 1)
+            .expect("series exists");
+        if windows.len() < 60 {
+            let last = series.points.last().expect("at least one point");
+            match last.value {
+                PointValue::Quantiles { count, .. } => {
+                    // query() chunks from the back; with one point of
+                    // `windows.len()` fine windows the counts agree.
+                    prop_assert_eq!(count, oracle.len() as u64);
+                }
+                _ => prop_assert!(false, "histogram produced a non-quantile point"),
+            }
+        }
+    }
+
+    /// Coarse windows close exactly at every `coarse_factor`-th roll
+    /// and partition the increment stream: nothing is dropped or
+    /// double-counted across the fine/coarse boundary.
+    #[test]
+    fn coarse_windows_partition_the_stream(
+        per_window in proptest::collection::vec(0u64..100, 8..40),
+        coarse_factor in 2usize..6,
+    ) {
+        let reg = Registry::new();
+        let counter = reg.counter("t.requests");
+        // Fine ring far smaller than the stream forces the coarse tier
+        // to be the only complete record.
+        let ts = TimeSeries::new(small_rings(2, coarse_factor));
+        for (i, &inc) in per_window.iter().enumerate() {
+            counter.add(inc);
+            ts.roll_at(&reg.snapshot(), (i as u64 + 1) * 1_000);
+        }
+        let series = ts
+            .query("t.requests", coarse_factor, 10_000)
+            .expect("series exists");
+        let closed = per_window.len() / coarse_factor;
+        prop_assert_eq!(series.points.len(), closed.min(64));
+        let covered: u64 = per_window[..closed * coarse_factor].iter().sum();
+        let total: u64 = series
+            .points
+            .iter()
+            .map(|p| match p.value {
+                PointValue::Rate { delta, .. } => delta,
+                _ => 0,
+            })
+            .sum();
+        prop_assert_eq!(total, covered);
+    }
+}

@@ -14,10 +14,11 @@
 //! concession to observability: the trace-id field sits at a fixed
 //! offset in every v3 frame header, so the proxy *sniffs* (never
 //! decodes) the id of the last request it saw and records it alongside
-//! each fault it fires — `[chaos] …` log lines and
-//! [`ChaosProxy::fault_log`] tie an injected fault back to the victim
-//! request's server-side trace.
+//! each fault it fires — structured `chaos` events (in the global
+//! [`EventLog`]) and [`ChaosProxy::fault_log`] tie an injected fault
+//! back to the victim request's server-side trace.
 
+use std::collections::VecDeque;
 use std::io::{Read, Write};
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
@@ -25,7 +26,39 @@ use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::Duration;
 
+use hammer_obs::EventLog;
+
 use crate::protocol::{MAGIC, TRACE_ID_OFFSET, VERSION};
+
+/// Fired faults retained by [`ChaosProxy::fault_log`]. A long chaos
+/// soak fires one event per perturbed connection; the ring keeps the
+/// latest and counts what it sheds ([`ChaosProxy::faults_dropped`]), so
+/// soak memory stays bounded no matter how long the drill runs.
+const FAULT_LOG_CAP: usize = 1024;
+
+/// The bounded keep-latest ring behind [`ChaosProxy::fault_log`].
+struct FaultLog {
+    ring: Mutex<VecDeque<FaultEvent>>,
+    dropped: AtomicU64,
+}
+
+impl FaultLog {
+    fn new() -> Self {
+        Self {
+            ring: Mutex::new(VecDeque::new()),
+            dropped: AtomicU64::new(0),
+        }
+    }
+
+    fn push(&self, event: FaultEvent) {
+        let mut ring = self.ring.lock().expect("fault log unpoisoned");
+        if ring.len() == FAULT_LOG_CAP {
+            ring.pop_front();
+            self.dropped.fetch_add(1, Ordering::Relaxed);
+        }
+        ring.push_back(event);
+    }
+}
 
 /// What the proxy does to one proxied connection.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -71,7 +104,7 @@ struct FaultMonitor {
     /// Whether this connection's fault has been logged already — each
     /// fault is recorded once, at first effect.
     logged: AtomicBool,
-    log: Arc<Mutex<Vec<FaultEvent>>>,
+    log: Arc<FaultLog>,
 }
 
 impl FaultMonitor {
@@ -104,17 +137,12 @@ impl FaultMonitor {
                 id => Some(id),
             },
         };
-        match event.trace_id {
-            Some(id) => eprintln!(
-                "[chaos] conn {} fault {:?} trace {id:#018x}",
-                event.connection, event.fault
-            ),
-            None => eprintln!(
-                "[chaos] conn {} fault {:?} (untraced)",
-                event.connection, event.fault
-            ),
-        }
-        self.log.lock().expect("fault log unpoisoned").push(event);
+        EventLog::global()
+            .warn("chaos", "fault fired")
+            .field("conn", event.connection)
+            .field("fault", format!("{:?}", event.fault))
+            .trace(event.trace_id.unwrap_or(0));
+        self.log.push(event);
     }
 }
 
@@ -123,7 +151,7 @@ pub struct ChaosProxy {
     local_addr: SocketAddr,
     stop: Arc<AtomicBool>,
     accepted: Arc<AtomicUsize>,
-    log: Arc<Mutex<Vec<FaultEvent>>>,
+    log: Arc<FaultLog>,
     acceptor: Option<JoinHandle<()>>,
 }
 
@@ -143,7 +171,7 @@ impl ChaosProxy {
         listener.set_nonblocking(true)?;
         let stop = Arc::new(AtomicBool::new(false));
         let accepted = Arc::new(AtomicUsize::new(0));
-        let log = Arc::new(Mutex::new(Vec::new()));
+        let log = Arc::new(FaultLog::new());
         let acceptor = {
             let stop = Arc::clone(&stop);
             let accepted = Arc::clone(&accepted);
@@ -204,13 +232,27 @@ impl ChaosProxy {
         self.accepted.load(Ordering::SeqCst)
     }
 
-    /// Every fault that has actually fired so far — one entry per
-    /// perturbed connection, tagged with the victim request's trace id
-    /// when the proxy saw one on the wire. Scheduled-but-dormant faults
-    /// (the connection never hit the trigger) do not appear.
+    /// The most recent fired faults — one entry per perturbed
+    /// connection, tagged with the victim request's trace id when the
+    /// proxy saw one on the wire. Scheduled-but-dormant faults (the
+    /// connection never hit the trigger) do not appear, and a soak
+    /// that fires more than the ring's capacity keeps only the latest
+    /// (see [`faults_dropped`](ChaosProxy::faults_dropped)).
     #[must_use]
     pub fn fault_log(&self) -> Vec<FaultEvent> {
-        self.log.lock().expect("fault log unpoisoned").clone()
+        self.log
+            .ring
+            .lock()
+            .expect("fault log unpoisoned")
+            .iter()
+            .copied()
+            .collect()
+    }
+
+    /// Fired faults evicted from the bounded log so far.
+    #[must_use]
+    pub fn faults_dropped(&self) -> u64 {
+        self.log.dropped.load(Ordering::Relaxed)
     }
 }
 

@@ -93,7 +93,13 @@ pub fn reset() {
 fn maybe_abort(armed: &AtomicU64, seen: &AtomicU64, what: &str) {
     let n = armed.load(Ordering::SeqCst);
     if n > 0 && seen.fetch_add(1, Ordering::SeqCst) + 1 == n {
-        eprintln!("fault point: aborting {what}");
+        // The builder commits (and echoes to stderr) on drop — before
+        // the abort, so the crash drills still see the line.
+        drop(
+            hammer_obs::EventLog::global()
+                .error("fault", "fault point aborting process")
+                .field("point", what),
+        );
         std::process::abort();
     }
 }

@@ -38,7 +38,13 @@
 //!   by the `MetricsSnapshot` opcode; compute requests carry a 64-bit
 //!   trace id in the v3 frame header from client to reply, and slow or
 //!   deadline-exceeded requests park their per-stage span tree in a
-//!   ring drained by the `TraceDump` opcode.
+//!   ring drained by the `TraceDump` opcode. A roller thread folds a
+//!   snapshot per window into rollup rings (`TimeSeries`), evaluates
+//!   declared SLO burn rates, and — with `metrics_addr` set — a
+//!   dedicated HTTP/1.1 thread exposes `GET /metrics` (Prometheus
+//!   text), `/series` (JSON rollup history), `/events` (structured
+//!   log tail), `/slo` and `/healthz`, protocol-blind to the binary
+//!   tier.
 //!
 //! Related mitigators (Q-BEEP and friends) share HAMMER's
 //! counts-to-distribution contract, so the wire format is deliberately
@@ -82,6 +88,7 @@ mod client;
 pub mod codec;
 #[cfg(feature = "fault-points")]
 pub mod fault;
+mod http;
 pub mod protocol;
 mod server;
 pub mod store;

@@ -40,7 +40,7 @@ use std::io::{BufWriter, Read};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-use std::sync::{mpsc, Arc};
+use std::sync::{mpsc, Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::Duration;
 
@@ -48,7 +48,8 @@ use hammer_core::{CancelToken, Cancelled, Hammer, NeighborhoodLimit};
 use hammer_dist::fingerprint::Fnv1a;
 use hammer_dist::{metrics, Distribution};
 use hammer_obs::{
-    gen_trace_id, Counter, Histogram, MetricsSnapshot, Registry, TraceCtx, TraceRing,
+    gen_trace_id, Counter, EventLog, Histogram, MetricsSnapshot, Registry, RollupConfig, SloSpec,
+    SloStatus, SloTracker, TimeSeries, TraceCtx, TraceRing,
 };
 use hammer_sim::{AutoEngine, WorkerPool};
 
@@ -122,6 +123,16 @@ pub struct ServeConfig {
     /// requests are always captured). `0` captures every traced request
     /// — the setting for tests and short diagnostics sessions.
     pub slow_trace_ms: u64,
+    /// Bind address of the HTTP exposition listener (`--metrics-addr`):
+    /// `GET /metrics`, `/series`, `/events`, `/slo`, `/healthz` on a
+    /// dedicated thread. `None` (the default) runs without one.
+    pub metrics_addr: Option<String>,
+    /// Width of one rollup window in milliseconds — the roller thread's
+    /// tick, the grain of `/series` history and of SLO burn windows.
+    pub rollup_window_ms: u64,
+    /// Declared SLOs, evaluated every rollup window against the rings
+    /// (see [`SloSpec::parse`] for the declaration format).
+    pub slos: Vec<SloSpec>,
 }
 
 impl Default for ServeConfig {
@@ -139,6 +150,9 @@ impl Default for ServeConfig {
             store_dir: None,
             store_mb: 256,
             slow_trace_ms: 500,
+            metrics_addr: None,
+            rollup_window_ms: 1_000,
+            slos: Vec::new(),
         }
     }
 }
@@ -159,6 +173,12 @@ struct RuntimeCounters {
     /// Queued jobs shed at dequeue because their deadline had already
     /// expired — answered `DeadlineExceeded` without computing.
     deadline_sheds: Counter,
+    /// Every reply queued to a writer, and the subset that refused or
+    /// failed the request (`Error` / `Busy` / `DeadlineExceeded` /
+    /// `ShuttingDown`) — the numerator and denominator of the default
+    /// availability SLO.
+    replies_total: Counter,
+    replies_failed: Counter,
     active_jobs: AtomicUsize,
     /// Replies queued to a connection writer but not yet written to the
     /// socket. Graceful shutdown waits for this to reach zero, so the
@@ -173,6 +193,8 @@ impl RuntimeCounters {
             requests: registry.counter("serve.requests"),
             busy: registry.counter("serve.busy_rejections"),
             deadline_sheds: registry.counter("serve.deadline_sheds"),
+            replies_total: registry.counter("serve.replies.total"),
+            replies_failed: registry.counter("serve.replies.failed"),
             active_jobs: AtomicUsize::new(0),
             pending_replies: AtomicUsize::new(0),
         }
@@ -211,7 +233,7 @@ impl StageHists {
 }
 
 /// Shared server state.
-struct ServerState {
+pub(crate) struct ServerState {
     request_pool: WorkerPool,
     engine_pool: Arc<WorkerPool>,
     cache: DistCache,
@@ -229,6 +251,15 @@ struct ServerState {
     traces: TraceRing,
     /// Capture threshold in nanoseconds; `0` captures every trace.
     slow_trace_ns: u64,
+    /// Rollup rings the roller thread folds [`obs_snapshot`]
+    /// (ServerState::obs_snapshot) into every window.
+    ts: TimeSeries,
+    /// The structured event log; the process-global one so chaos /
+    /// store / fault events land next to serve events and `/events`
+    /// shows them all.
+    events: &'static EventLog,
+    /// Latest SLO evaluation, refreshed by the roller every window.
+    slo_status: Mutex<Vec<SloStatus>>,
     shutting_down: AtomicBool,
     io_timeout: Option<Duration>,
     max_connections: usize,
@@ -264,7 +295,7 @@ impl ServerState {
     /// One coherent snapshot of every registered series: gauges are
     /// refreshed first, then this server's registry is merged over the
     /// process-global one (pool queue waits, kernel/ANN/sim timings).
-    fn obs_snapshot(&self) -> MetricsSnapshot {
+    pub(crate) fn obs_snapshot(&self) -> MetricsSnapshot {
         let (_, _, _, entries, bytes) = self.cache.stats();
         self.obs
             .gauge("serve.cache.entries")
@@ -275,7 +306,31 @@ impl ServerState {
         self.obs
             .gauge("serve.connections")
             .set(i64::try_from(self.connections.load(Ordering::SeqCst)).unwrap_or(i64::MAX));
+        self.obs
+            .gauge("serve.queue.depth")
+            .set(i64::try_from(self.request_pool.queued_jobs()).unwrap_or(i64::MAX));
         self.obs.snapshot().merge(Registry::global().snapshot())
+    }
+
+    /// The rollup rings (exposition listener).
+    pub(crate) fn time_series(&self) -> &TimeSeries {
+        &self.ts
+    }
+
+    /// The structured event log (exposition listener).
+    pub(crate) fn event_log(&self) -> &'static EventLog {
+        self.events
+    }
+
+    /// The latest SLO evaluation (exposition listener).
+    pub(crate) fn slo_statuses(&self) -> Vec<SloStatus> {
+        self.slo_status.lock().unwrap().clone()
+    }
+
+    /// Whether shutdown has begun (exposition and roller threads poll
+    /// this to exit).
+    pub(crate) fn is_shutting_down(&self) -> bool {
+        self.shutting_down.load(Ordering::SeqCst)
     }
 
     /// Inserts a completed distribution into the cache, demoting any
@@ -295,7 +350,9 @@ impl ServerState {
 /// [`wait`](ServerHandle::wait)ed to completion.
 pub struct ServerHandle {
     local_addr: SocketAddr,
+    metrics_addr: Option<SocketAddr>,
     acceptor: Option<JoinHandle<()>>,
+    http: Option<JoinHandle<()>>,
     state: Arc<ServerState>,
 }
 
@@ -304,6 +361,19 @@ impl ServerHandle {
     #[must_use]
     pub fn local_addr(&self) -> SocketAddr {
         self.local_addr
+    }
+
+    /// The bound address of the HTTP exposition listener, when
+    /// `metrics_addr` was configured (resolves port 0).
+    #[must_use]
+    pub fn metrics_addr(&self) -> Option<SocketAddr> {
+        self.metrics_addr
+    }
+
+    /// The latest SLO evaluation (refreshed every rollup window).
+    #[must_use]
+    pub fn slo_statuses(&self) -> Vec<SloStatus> {
+        self.state.slo_statuses()
     }
 
     /// A snapshot of the serving counters (the `Stats` opcode, without
@@ -343,6 +413,12 @@ impl ServerHandle {
     pub fn wait(mut self) -> ServeStats {
         if let Some(acceptor) = self.acceptor.take() {
             acceptor.join().expect("acceptor does not panic");
+        }
+        // The exposition listener polls the shutdown flag every accept
+        // tick; joining it here closes the metrics port before `wait`
+        // returns.
+        if let Some(http) = self.http.take() {
+            http.join().expect("exposition thread does not panic");
         }
         // Drain: every accepted job decrements `active_jobs` after its
         // reply is queued, and every queued reply decrements
@@ -418,15 +494,16 @@ pub fn serve(config: &ServeConfig) -> std::io::Result<ServerHandle> {
     let obs = Registry::new();
     // A store that cannot be opened is a degraded start (cold cache,
     // no persistence), never a refused one.
+    let events = EventLog::global();
     let store = config.store_dir.as_ref().and_then(|dir| {
         let budget = (config.store_mb.max(1) as u64).saturating_mul(1024 * 1024);
         match DistStore::open_registered(dir, budget, &obs) {
             Ok(store) => Some(store),
             Err(e) => {
-                eprintln!(
-                    "[serve] store at {} unusable ({e}); serving without persistence",
-                    dir.display()
-                );
+                events
+                    .warn("serve", "store unusable; serving without persistence")
+                    .field("dir", dir.display())
+                    .field("error", e);
                 None
             }
         }
@@ -441,6 +518,12 @@ pub fn serve(config: &ServeConfig) -> std::io::Result<ServerHandle> {
         stages: StageHists::registered(&obs),
         traces: TraceRing::new(TRACE_RING_CAP),
         slow_trace_ns: config.slow_trace_ms.saturating_mul(1_000_000),
+        ts: TimeSeries::new(RollupConfig {
+            window_ms: config.rollup_window_ms.max(10),
+            ..RollupConfig::default()
+        }),
+        events,
+        slo_status: Mutex::new(Vec::new()),
         obs,
         shutting_down: AtomicBool::new(false),
         io_timeout: config.io_timeout.filter(|t| !t.is_zero()),
@@ -448,6 +531,46 @@ pub fn serve(config: &ServeConfig) -> std::io::Result<ServerHandle> {
         connections: AtomicUsize::new(0),
         degrade: config.degrade,
     });
+    // The roller: one tick per rollup window, folding a full snapshot
+    // into the rings and re-evaluating SLOs. Detached — it polls the
+    // shutdown flag every slice and exits within one, holding only its
+    // own Arc on the state.
+    {
+        let state = Arc::clone(&state);
+        let mut tracker = SloTracker::new(config.slos.clone(), &state.obs);
+        let window = Duration::from_millis(config.rollup_window_ms.max(10));
+        std::thread::Builder::new()
+            .name("hammer-serve-roll".into())
+            .spawn(move || {
+                let slice = Duration::from_millis(20).min(window);
+                loop {
+                    let mut slept = Duration::ZERO;
+                    while slept < window {
+                        if state.is_shutting_down() {
+                            return;
+                        }
+                        std::thread::sleep(slice);
+                        slept += slice;
+                    }
+                    state.ts.roll(&state.obs_snapshot());
+                    let statuses = tracker.evaluate(&state.ts, state.events);
+                    *state.slo_status.lock().unwrap() = statuses;
+                }
+            })
+            .expect("roller thread spawns");
+    }
+    // The exposition listener is optional and bound before the handle
+    // is returned, so `metrics_addr()` always resolves port 0.
+    let (metrics_addr, http_thread) = match &config.metrics_addr {
+        Some(addr) => {
+            let (bound, thread) = crate::http::spawn(addr, Arc::clone(&state))?;
+            events
+                .info("serve", "exposition listener up")
+                .field("addr", bound);
+            (Some(bound), Some(thread))
+        }
+        None => (None, None),
+    };
     let acceptor = {
         let state = Arc::clone(&state);
         std::thread::Builder::new()
@@ -457,7 +580,9 @@ pub fn serve(config: &ServeConfig) -> std::io::Result<ServerHandle> {
     };
     Ok(ServerHandle {
         local_addr,
+        metrics_addr,
         acceptor: Some(acceptor),
+        http: http_thread,
         state,
     })
 }
@@ -587,6 +712,15 @@ fn connection_loop(stream: TcpStream, state: &Arc<ServerState>, addr: SocketAddr
     let reply_tx = {
         let state = Arc::clone(state);
         move |message: Outbound| {
+            // Availability accounting: every reply, and the subset that
+            // refused or failed its request.
+            state.counters.replies_total.inc();
+            if matches!(
+                message.1,
+                Reply::Error(_) | Reply::Busy | Reply::DeadlineExceeded | Reply::ShuttingDown
+            ) {
+                state.counters.replies_failed.inc();
+            }
             state
                 .counters
                 .pending_replies
